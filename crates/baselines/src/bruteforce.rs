@@ -1,0 +1,126 @@
+//! Brute-force reference oracle.
+//!
+//! Enumerates *every* injective, label-preserving vertex mapping by plain
+//! backtracking with no pruning beyond labels and injectivity, verifies the
+//! subhypergraph condition at the end, and collects the induced hyperedge
+//! tuples in a set. Exponential — strictly for testing the real engines on
+//! tiny instances.
+
+use std::collections::BTreeSet;
+
+use hgmatch_hypergraph::{EdgeId, Hypergraph, VertexId};
+
+/// All embeddings as hyperedge tuples (`tuple[i]` = data edge matched to
+/// query edge `i`), sorted and deduplicated.
+pub fn embeddings(data: &Hypergraph, query: &Hypergraph) -> Vec<Vec<u32>> {
+    let mut tuples: BTreeSet<Vec<u32>> = BTreeSet::new();
+    let nq = query.num_vertices();
+    if nq == 0 || query.num_edges() == 0 {
+        return Vec::new();
+    }
+    let mut mapping = vec![u32::MAX; nq];
+    let mut used = vec![false; data.num_vertices()];
+    recurse(data, query, 0, &mut mapping, &mut used, &mut tuples);
+    tuples.into_iter().collect()
+}
+
+/// Number of embeddings (hyperedge tuples).
+pub fn count(data: &Hypergraph, query: &Hypergraph) -> u64 {
+    embeddings(data, query).len() as u64
+}
+
+fn recurse(
+    data: &Hypergraph,
+    query: &Hypergraph,
+    u: usize,
+    mapping: &mut Vec<u32>,
+    used: &mut Vec<bool>,
+    tuples: &mut BTreeSet<Vec<u32>>,
+) {
+    if u == query.num_vertices() {
+        if let Some(tuple) = induced_tuple(data, query, mapping) {
+            tuples.insert(tuple);
+        }
+        return;
+    }
+    let label = query.label(VertexId::from_index(u));
+    for v in 0..data.num_vertices() {
+        if used[v] || data.label(VertexId::from_index(v)) != label {
+            continue;
+        }
+        mapping[u] = v as u32;
+        used[v] = true;
+        recurse(data, query, u + 1, mapping, used, tuples);
+        used[v] = false;
+        mapping[u] = u32::MAX;
+    }
+}
+
+fn induced_tuple(data: &Hypergraph, query: &Hypergraph, mapping: &[u32]) -> Option<Vec<u32>> {
+    let mut tuple = Vec::with_capacity(query.num_edges());
+    for e in 0..query.num_edges() {
+        let mut mapped: Vec<u32> = query
+            .edge_vertices(EdgeId::from_index(e))
+            .iter()
+            .map(|&w| mapping[w as usize])
+            .collect();
+        mapped.sort_unstable();
+        tuple.push(data.find_edge(&mapped)?.raw());
+    }
+    Some(tuple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgmatch_hypergraph::{HypergraphBuilder, Label};
+
+    #[test]
+    fn paper_example() {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![4, 6]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![3, 5, 6]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.add_edge(vec![2, 3, 4, 5]).unwrap();
+        let data = b.build().unwrap();
+
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        let query = b.build().unwrap();
+
+        let tuples = embeddings(&data, &query);
+        assert_eq!(tuples, vec![vec![0, 2, 4], vec![1, 3, 5]]);
+        assert_eq!(count(&data, &query), 2);
+    }
+
+    #[test]
+    fn automorphisms_collapse() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(3, Label::new(0));
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        let data = b.build().unwrap();
+        let query = data.clone();
+        // 3! vertex mappings, one tuple.
+        assert_eq!(count(&data, &query), 1);
+    }
+
+    #[test]
+    fn empty_query_is_zero() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(Label::new(0));
+        b.add_edge(vec![0]).unwrap();
+        let data = b.build().unwrap();
+        let empty = HypergraphBuilder::new().build().unwrap();
+        assert_eq!(count(&data, &empty), 0);
+    }
+}

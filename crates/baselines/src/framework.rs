@@ -1,0 +1,548 @@
+//! The generic match-by-vertex backtracking framework (paper §III-B,
+//! Algorithm 1 extended by Theorem III.2), shared by the CFL-H / DAF-H /
+//! CECI-H baselines.
+//!
+//! The framework recursively maps query vertices to data vertices along a
+//! strategy-chosen matching order. At each assignment it checks:
+//!
+//! * injectivity (a used-by map doubles as DAF's conflict attribution);
+//! * adjacency — if `u` shares a query hyperedge with an already-matched
+//!   `u'`, then `f(u)` must share a data hyperedge with `f(u')`;
+//! * the subhypergraph constraint of Theorem III.2 — whenever the
+//!   assignment completes a query hyperedge, the mapped vertex set must be
+//!   a data hyperedge (this is the *delayed hyperedge verification* the
+//!   paper identifies as the framework's weakness);
+//! * vertex-type symmetry breaking, so embeddings are counted as hyperedge
+//!   tuples exactly like HGMatch (see the crate docs).
+//!
+//! With [`OrderingStrategy::Daf`] the framework additionally maintains
+//! DAF-style *failing sets*: when a fully-failed subtree's failure does not
+//! involve the current vertex, its remaining candidates are skipped.
+
+use std::time::{Duration, Instant};
+
+use hgmatch_hypergraph::setops;
+use hgmatch_hypergraph::{EdgeId, Hypergraph, VertexId};
+
+use crate::ihs::build_candidate_sets;
+use crate::ordering::{compute_order, OrderingStrategy};
+
+/// Recursions between timeout checks.
+const CHECK_INTERVAL: u64 = 2048;
+
+/// Query-vertex count up to which DAF's failing-set pruning is available
+/// (failing sets pack query vertices into a `u64`). Larger queries still
+/// match correctly — failing-set pruning is silently disabled.
+pub const MAX_FAILING_SET_VERTICES: usize = 64;
+
+/// Bit for query vertex `u` in a failing-set mask (0 beyond the mask width;
+/// only consulted when failing sets are active, i.e. `nq ≤ 64`).
+#[inline]
+fn bit(u: u32) -> u64 {
+    if u < 64 {
+        1u64 << u
+    } else {
+        0
+    }
+}
+
+/// Result of a baseline run.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineResult {
+    /// Embeddings found (hyperedge tuples, matching HGMatch semantics).
+    pub count: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Whether the timeout fired (count is then a lower bound).
+    pub timed_out: bool,
+    /// Recursive calls performed (search-space size indicator).
+    pub recursions: u64,
+}
+
+/// Symmetry-breaking constraint of position `i` against an earlier position.
+#[derive(Debug, Clone, Copy)]
+struct SymmetryConstraint {
+    /// Earlier matching-order position.
+    earlier_pos: u32,
+    /// `true` ⇒ require `f(earlier) < f(current)`; `false` ⇒ `>`.
+    earlier_is_smaller: bool,
+}
+
+/// A query hyperedge that becomes fully mapped at some position.
+#[derive(Debug, Clone)]
+struct Completion {
+    /// Mask of the edge's query vertices (for failing sets).
+    vertex_mask: u64,
+    /// The edge's query vertices.
+    vertices: Vec<u32>,
+}
+
+/// Per-position static matching structure.
+#[derive(Debug, Clone)]
+struct PositionInfo {
+    /// Query vertex matched at this position.
+    vertex: u32,
+    /// Earlier positions whose query vertices are adjacent to this one.
+    adjacent_earlier: Vec<u32>,
+    /// Symmetry-breaking constraints against earlier positions.
+    symmetry: Vec<SymmetryConstraint>,
+    /// Query hyperedges that complete at this position.
+    completions: Vec<Completion>,
+}
+
+/// A compiled match-by-vertex matcher for one (data, query) pair.
+#[derive(Debug)]
+pub struct VertexMatcher<'a> {
+    data: &'a Hypergraph,
+    query: &'a Hypergraph,
+    candidates: Vec<Vec<u32>>,
+    positions: Vec<PositionInfo>,
+    use_failing_sets: bool,
+    feasible: bool,
+}
+
+/// Outcome of exploring one subtree (for failing-set pruning).
+enum Explored {
+    /// At least one embedding was found below — no pruning possible.
+    FoundSome,
+    /// The whole subtree failed; the mask names the query vertices whose
+    /// assignments participated in every failure.
+    Failed(u64),
+}
+
+struct SearchCtx<'a, 'b, F: FnMut(&[u32])> {
+    matcher: &'a VertexMatcher<'b>,
+    /// `mapping[u]` = data vertex for query vertex `u` (`u32::MAX` unset).
+    mapping: Vec<u32>,
+    /// `used_by[v]` = query vertex occupying data vertex `v`.
+    used_by: Vec<u32>,
+    deadline: Option<Instant>,
+    recursions: u64,
+    count: u64,
+    timed_out: bool,
+    on_match: F,
+}
+
+impl<'a> VertexMatcher<'a> {
+    /// Compiles a matcher: IHS candidate sets, matching order, adjacency /
+    /// symmetry / completion tables.
+    ///
+    /// # Panics
+    /// Panics if the query has no vertices.
+    pub fn new(data: &'a Hypergraph, query: &'a Hypergraph, strategy: OrderingStrategy) -> Self {
+        let nq = query.num_vertices();
+        assert!(nq > 0, "query must have vertices");
+        let failing_sets_available = nq <= MAX_FAILING_SET_VERTICES;
+
+        let candidates = build_candidate_sets(data, query);
+        let feasible = candidates.iter().all(|c| !c.is_empty());
+        let order = compute_order(strategy, query, &candidates);
+        let mut pos_of = vec![0u32; nq];
+        for (i, &u) in order.iter().enumerate() {
+            pos_of[u as usize] = i as u32;
+        }
+
+        // Vertex type classes: (label, incident query edge set).
+        let mut class_key: Vec<(u32, Vec<u32>)> = (0..nq)
+            .map(|u| {
+                (
+                    query.label(VertexId::from_index(u)).raw(),
+                    query.incident_edges(VertexId::from_index(u)).to_vec(),
+                )
+            })
+            .collect();
+        // For each vertex, its class predecessor/successor by vertex id.
+        let mut class_links: Vec<(Option<u32>, Option<u32>)> = vec![(None, None); nq];
+        for u in 0..nq {
+            for w in (0..u).rev() {
+                if class_key[w] == class_key[u] {
+                    class_links[u].0 = Some(w as u32);
+                    break;
+                }
+            }
+            for w in u + 1..nq {
+                if class_key[w] == class_key[u] {
+                    class_links[u].1 = Some(w as u32);
+                    break;
+                }
+            }
+        }
+        class_key.clear();
+
+        let positions: Vec<PositionInfo> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                let adjacent_earlier: Vec<u32> = query
+                    .adjacent_vertices(VertexId::new(u))
+                    .iter()
+                    .map(|&w| pos_of[w as usize])
+                    .filter(|&p| p < i as u32)
+                    .collect();
+
+                let mut symmetry = Vec::new();
+                if let (Some(prev), _) = class_links[u as usize] {
+                    if pos_of[prev as usize] < i as u32 {
+                        symmetry.push(SymmetryConstraint {
+                            earlier_pos: pos_of[prev as usize],
+                            earlier_is_smaller: true,
+                        });
+                    }
+                }
+                if let (_, Some(next)) = class_links[u as usize] {
+                    if pos_of[next as usize] < i as u32 {
+                        symmetry.push(SymmetryConstraint {
+                            earlier_pos: pos_of[next as usize],
+                            earlier_is_smaller: false,
+                        });
+                    }
+                }
+
+                // Query edges whose deepest vertex (by order) is u.
+                let completions = (0..query.num_edges())
+                    .filter_map(|e| {
+                        let vs = query.edge_vertices(EdgeId::from_index(e));
+                        let deepest =
+                            vs.iter().map(|&w| pos_of[w as usize]).max().expect("non-empty edge");
+                        (deepest == i as u32).then(|| Completion {
+                            vertex_mask: vs.iter().fold(0u64, |m, &w| m | bit(w)),
+                            vertices: vs.to_vec(),
+                        })
+                    })
+                    .collect();
+
+                PositionInfo { vertex: u, adjacent_earlier, symmetry, completions }
+            })
+            .collect();
+
+        Self {
+            data,
+            query,
+            candidates,
+            positions,
+            use_failing_sets: strategy.uses_failing_sets() && failing_sets_available,
+            feasible,
+        }
+    }
+
+    /// The IHS candidate sets (for inspection / ablation).
+    pub fn candidate_sets(&self) -> &[Vec<u32>] {
+        &self.candidates
+    }
+
+    /// The matching order over query vertices.
+    pub fn order(&self) -> Vec<u32> {
+        self.positions.iter().map(|p| p.vertex).collect()
+    }
+
+    /// Counts all embeddings (hyperedge tuples).
+    pub fn count(&self, timeout: Option<Duration>) -> BaselineResult {
+        self.run(timeout, |_| {})
+    }
+
+    /// Enumerates all embeddings as *vertex mappings* (`result[u]` = data
+    /// vertex for query vertex `u`), one canonical mapping per hyperedge
+    /// tuple.
+    pub fn enumerate(&self, timeout: Option<Duration>) -> (Vec<Vec<u32>>, BaselineResult) {
+        let mut out = Vec::new();
+        let result = self.run(timeout, |mapping| out.push(mapping.to_vec()));
+        (out, result)
+    }
+
+    /// Runs the search, invoking `on_match` with the query-vertex → data-
+    /// vertex mapping of every embedding.
+    pub fn run<F: FnMut(&[u32])>(&self, timeout: Option<Duration>, on_match: F) -> BaselineResult {
+        let start = Instant::now();
+        let mut result = BaselineResult::default();
+        if !self.feasible {
+            result.elapsed = start.elapsed();
+            return result;
+        }
+        let mut ctx = SearchCtx {
+            matcher: self,
+            mapping: vec![u32::MAX; self.query.num_vertices()],
+            used_by: vec![u32::MAX; self.data.num_vertices()],
+            deadline: timeout.map(|t| start + t),
+            recursions: 0,
+            count: 0,
+            timed_out: false,
+            on_match,
+        };
+        ctx.explore(0);
+        result.count = ctx.count;
+        result.recursions = ctx.recursions;
+        result.timed_out = ctx.timed_out;
+        result.elapsed = start.elapsed();
+        result
+    }
+}
+
+impl<F: FnMut(&[u32])> SearchCtx<'_, '_, F> {
+    fn explore(&mut self, pos: usize) -> Explored {
+        self.recursions += 1;
+        if self.recursions.is_multiple_of(CHECK_INTERVAL) {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.timed_out = true;
+                }
+            }
+        }
+        if self.timed_out {
+            // Treat as "found" so no ancestor prunes based on a truncated
+            // subtree.
+            return Explored::FoundSome;
+        }
+
+        let m = self.matcher;
+        if pos == m.positions.len() {
+            self.count += 1;
+            (self.on_match)(&self.mapping);
+            return Explored::FoundSome;
+        }
+
+        let info = &m.positions[pos];
+        let u = info.vertex;
+        let u_bit = bit(u);
+        let mut found = false;
+        let mut failing: u64 = u_bit;
+
+        'candidates: for &v in &m.candidates[u as usize] {
+            // Injectivity.
+            let owner = self.used_by[v as usize];
+            if owner != u32::MAX {
+                failing |= u_bit | bit(owner);
+                continue;
+            }
+            // Symmetry breaking within the vertex type class.
+            for sc in &info.symmetry {
+                let earlier_u = m.positions[sc.earlier_pos as usize].vertex;
+                let earlier_v = self.mapping[earlier_u as usize];
+                let ok = if sc.earlier_is_smaller { earlier_v < v } else { v < earlier_v };
+                if !ok {
+                    failing |= u_bit | bit(earlier_u);
+                    continue 'candidates;
+                }
+            }
+            // Adjacency: share a hyperedge with every matched neighbour.
+            for &p in &info.adjacent_earlier {
+                let earlier_u = m.positions[p as usize].vertex;
+                let earlier_v = self.mapping[earlier_u as usize];
+                let he_v = m.data.incident_edges(VertexId::new(v));
+                let he_w = m.data.incident_edges(VertexId::new(earlier_v));
+                if !setops::intersects(he_v, he_w) {
+                    failing |= u_bit | bit(earlier_u);
+                    continue 'candidates;
+                }
+            }
+            // Hyperedge completion (Theorem III.2) — the delayed check.
+            self.mapping[u as usize] = v;
+            let mut completion_ok = true;
+            let mut mapped = Vec::new();
+            for completion in &info.completions {
+                mapped.clear();
+                mapped.extend(completion.vertices.iter().map(|&w| self.mapping[w as usize]));
+                mapped.sort_unstable();
+                if m.data.find_edge(&mapped).is_none() {
+                    failing |= completion.vertex_mask;
+                    completion_ok = false;
+                    break;
+                }
+            }
+            if !completion_ok {
+                self.mapping[u as usize] = u32::MAX;
+                continue;
+            }
+
+            self.used_by[v as usize] = u;
+            let child = self.explore(pos + 1);
+            self.used_by[v as usize] = u32::MAX;
+            self.mapping[u as usize] = u32::MAX;
+
+            match child {
+                Explored::FoundSome => found = true,
+                Explored::Failed(child_set) => {
+                    if m.use_failing_sets && !found && child_set & u_bit == 0 {
+                        // The subtree failed for reasons independent of u's
+                        // assignment: trying other candidates for u cannot
+                        // help (DAF's failing-set rule).
+                        return Explored::Failed(child_set);
+                    }
+                    failing |= child_set;
+                }
+            }
+        }
+
+        if found {
+            Explored::FoundSome
+        } else {
+            Explored::Failed(failing)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgmatch_hypergraph::{HypergraphBuilder, Label};
+
+    fn paper_pair() -> (Hypergraph, Hypergraph) {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![4, 6]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![3, 5, 6]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.add_edge(vec![2, 3, 4, 5]).unwrap();
+        let data = b.build().unwrap();
+
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        let query = b.build().unwrap();
+        (data, query)
+    }
+
+    #[test]
+    fn paper_example_all_strategies() {
+        let (data, query) = paper_pair();
+        for strategy in [
+            OrderingStrategy::Naive,
+            OrderingStrategy::Cfl,
+            OrderingStrategy::Daf,
+            OrderingStrategy::Ceci,
+        ] {
+            let matcher = VertexMatcher::new(&data, &query, strategy);
+            let result = matcher.count(None);
+            assert_eq!(result.count, 2, "{strategy:?}");
+            assert!(!result.timed_out);
+        }
+    }
+
+    #[test]
+    fn enumerate_returns_canonical_mappings() {
+        let (data, query) = paper_pair();
+        let matcher = VertexMatcher::new(&data, &query, OrderingStrategy::Cfl);
+        let (mappings, result) = matcher.enumerate(None);
+        assert_eq!(result.count, 2);
+        assert_eq!(mappings.len(), 2);
+        for mapping in &mappings {
+            // Every query edge must map onto a data edge.
+            for e in 0..query.num_edges() {
+                let mut mapped: Vec<u32> = query
+                    .edge_vertices(EdgeId::from_index(e))
+                    .iter()
+                    .map(|&u| mapping[u as usize])
+                    .collect();
+                mapped.sort_unstable();
+                assert!(data.find_edge(&mapped).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_breaking_dedupes_automorphic_mappings() {
+        // Query: single edge {A, A}. Data: single edge {A, A}. Two vertex
+        // bijections exist but only one hyperedge tuple.
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(0));
+        b.add_edge(vec![0, 1]).unwrap();
+        let data = b.build().unwrap();
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(0));
+        b.add_edge(vec![0, 1]).unwrap();
+        let query = b.build().unwrap();
+        for strategy in [OrderingStrategy::Naive, OrderingStrategy::Daf] {
+            let result = VertexMatcher::new(&data, &query, strategy).count(None);
+            assert_eq!(result.count, 1, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn distinguishable_vertices_not_deduped() {
+        // Query: path e0={u0,u1}, e1={u1,u2}, all label A. u0 and u2 have
+        // different incident edges, so mappings that swap their images are
+        // distinct embeddings (different edge tuples).
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(3, Label::new(0));
+        b.add_edge(vec![0, 1]).unwrap();
+        b.add_edge(vec![1, 2]).unwrap();
+        let data = b.build().unwrap();
+        let query = {
+            let mut b = HypergraphBuilder::new();
+            b.add_vertices(3, Label::new(0));
+            b.add_edge(vec![0, 1]).unwrap();
+            b.add_edge(vec![1, 2]).unwrap();
+            b.build().unwrap()
+        };
+        let result = VertexMatcher::new(&data, &query, OrderingStrategy::Cfl).count(None);
+        // (e0,e1) and (e1,e0): both orderings of the path match.
+        assert_eq!(result.count, 2);
+    }
+
+    #[test]
+    fn infeasible_query_is_zero_fast() {
+        let (data, _) = paper_pair();
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(9));
+        b.add_edge(vec![0, 1]).unwrap();
+        let query = b.build().unwrap();
+        let result = VertexMatcher::new(&data, &query, OrderingStrategy::Daf).count(None);
+        assert_eq!(result.count, 0);
+        assert_eq!(result.recursions, 0);
+    }
+
+    #[test]
+    fn timeout_reports_truncation() {
+        // A dense instance with a tiny timeout must set timed_out (or
+        // finish legitimately — accept either, but never wrongly count).
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(12, Label::new(0));
+        for i in 0..12u32 {
+            for j in i + 1..12 {
+                b.add_edge(vec![i, j]).unwrap();
+            }
+        }
+        let data = b.build().unwrap();
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(4, Label::new(0));
+        for i in 0..4u32 {
+            for j in i + 1..4 {
+                b.add_edge(vec![i, j]).unwrap();
+            }
+        }
+        let query = b.build().unwrap();
+        let matcher = VertexMatcher::new(&data, &query, OrderingStrategy::Ceci);
+        let full = matcher.count(None);
+        assert!(full.count > 0);
+        let quick = matcher.count(Some(Duration::from_nanos(1)));
+        assert!(quick.timed_out || quick.count == full.count);
+    }
+
+    #[test]
+    fn oversized_query_matches_without_failing_sets() {
+        // 70 query vertices exceed the failing-set mask width; matching
+        // must still be correct (failing sets silently disabled). Distinct
+        // labels keep the candidate sets singleton so the test is instant —
+        // a same-label 70-clique would be exponential for match-by-vertex,
+        // which is precisely the paper's argument against this framework.
+        let mut b = HypergraphBuilder::new();
+        for l in 0..70u32 {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge((0..70).collect()).unwrap();
+        b.add_edge(vec![0, 1]).unwrap();
+        let query = b.build().unwrap();
+        let data = query.clone();
+        for strategy in [OrderingStrategy::Naive, OrderingStrategy::Daf] {
+            let result = VertexMatcher::new(&data, &query, strategy).count(None);
+            assert_eq!(result.count, 1, "{strategy:?}");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The IHS (incident hyperedge structure) candidate-vertex filter
+//! (paper §III-B, after Ha et al. \[30\]).
+//!
+//! A data vertex `v` is a candidate for query vertex `u` only if:
+//!
+//! 1. **Degree and label**: `l(u) = l(v)` and `d(u) ≤ d(v)`;
+//! 2. **Adjacent nodes**: `|adj(u)| ≤ |adj(v)|`;
+//! 3. **Arity containment**: for every arity `a`, `|he_a(u)| ≤ |he_a(v)|`;
+//! 4. **Hyperedge labels**: for every signature `s` of a hyperedge incident
+//!    to `u`, `v` has at least as many incident hyperedges with signature
+//!    `s` — the label-multiset condition of \[30\] strengthened from
+//!    "∃ matching hyperedge" to signature-count dominance, which is the
+//!    containment the inverted index answers in `O(1)`.
+
+use hgmatch_hypergraph::fxhash::FxHashMap;
+use hgmatch_hypergraph::{Hypergraph, Signature, SignatureId, VertexId};
+
+/// Per-query-vertex requirements precomputed once per query.
+#[derive(Debug, Clone)]
+pub struct VertexRequirements {
+    /// Query vertex label.
+    pub label: hgmatch_hypergraph::Label,
+    /// Query vertex degree `d(u)`.
+    pub degree: usize,
+    /// `|adj(u)|`.
+    pub adjacent: usize,
+    /// `(arity, |he_a(u)|)` pairs, ascending by arity.
+    pub arity_counts: Vec<(usize, usize)>,
+    /// `(data signature id, required count)` for signatures present in the
+    /// data hypergraph; `None` when some incident query signature is absent
+    /// from the data entirely (no candidate can exist).
+    pub signature_counts: Option<Vec<(SignatureId, usize)>>,
+}
+
+impl VertexRequirements {
+    /// Computes the requirements of query vertex `u`.
+    pub fn compute(data: &Hypergraph, query: &Hypergraph, u: VertexId) -> Self {
+        let incident = query.incident_edges(u);
+        let mut arity_counts: FxHashMap<usize, usize> = FxHashMap::default();
+        let mut signature_counts: FxHashMap<SignatureId, usize> = FxHashMap::default();
+        let mut feasible = true;
+        for &e in incident {
+            let eid = hgmatch_hypergraph::EdgeId::new(e);
+            let arity = query.edge_arity(eid);
+            *arity_counts.entry(arity).or_insert(0) += 1;
+            let signature = Signature::new(
+                query.edge_vertices(eid).iter().map(|&w| query.label(VertexId::new(w))).collect(),
+            );
+            match data.interner().get(&signature) {
+                Some(sid) => *signature_counts.entry(sid).or_insert(0) += 1,
+                None => feasible = false,
+            }
+        }
+        let mut arity_counts: Vec<(usize, usize)> = arity_counts.into_iter().collect();
+        arity_counts.sort_unstable();
+        let signature_counts = feasible.then(|| {
+            let mut v: Vec<(SignatureId, usize)> = signature_counts.into_iter().collect();
+            v.sort_unstable();
+            v
+        });
+        Self {
+            label: query.label(u),
+            degree: query.degree(u),
+            adjacent: query.adjacent_count(u),
+            arity_counts,
+            signature_counts,
+        }
+    }
+
+    /// Tests whether data vertex `v` passes the four IHS conditions.
+    pub fn admits(&self, data: &Hypergraph, v: VertexId) -> bool {
+        let Some(signature_counts) = &self.signature_counts else {
+            return false;
+        };
+        if data.label(v) != self.label || data.degree(v) < self.degree {
+            return false;
+        }
+        if data.adjacent_count(v) < self.adjacent {
+            return false;
+        }
+        for &(arity, required) in &self.arity_counts {
+            if data.degree_with_arity(v, arity) < required {
+                return false;
+            }
+        }
+        for &(sid, required) in signature_counts {
+            if data.degree_with_signature(v, sid) < required {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Builds the IHS-filtered candidate set of every query vertex: sorted data
+/// vertex ids per query vertex.
+pub fn build_candidate_sets(data: &Hypergraph, query: &Hypergraph) -> Vec<Vec<u32>> {
+    (0..query.num_vertices())
+        .map(|u| {
+            let req = VertexRequirements::compute(data, query, VertexId::from_index(u));
+            (0..data.num_vertices() as u32)
+                .filter(|&v| req.admits(data, VertexId::new(v)))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgmatch_hypergraph::{HypergraphBuilder, Label};
+
+    fn paper_data() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![4, 6]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![3, 5, 6]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.add_edge(vec![2, 3, 4, 5]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn paper_query() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn candidates_respect_labels() {
+        let data = paper_data();
+        let query = paper_query();
+        let cands = build_candidate_sets(&data, &query);
+        assert_eq!(cands.len(), 5);
+        // u4 is the only B query vertex; v4 is the only B data vertex.
+        assert_eq!(cands[4], vec![4]);
+        // All candidates carry the right label.
+        for (u, cu) in cands.iter().enumerate() {
+            for &v in cu {
+                assert_eq!(
+                    data.label(VertexId::new(v)),
+                    query.label(VertexId::from_index(u))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn true_matches_survive() {
+        // The two embeddings map u2 → v2 / v6 — both must be candidates.
+        let data = paper_data();
+        let query = paper_query();
+        let cands = build_candidate_sets(&data, &query);
+        assert!(cands[2].contains(&2));
+        assert!(cands[2].contains(&6));
+        // u0 → v0 / v3.
+        assert!(cands[0].contains(&0));
+        assert!(cands[0].contains(&3));
+    }
+
+    #[test]
+    fn degree_condition_prunes() {
+        // u2 has degree 2 (in q0 and q1); v3 has the right label A but its
+        // incident signatures are {A,A,C} and {A,A,B,C}, not matching u2's
+        // {A,B} requirement — the signature condition must prune it.
+        let data = paper_data();
+        let query = paper_query();
+        let cands = build_candidate_sets(&data, &query);
+        assert!(!cands[2].contains(&3));
+    }
+
+    #[test]
+    fn missing_signature_empties_candidates() {
+        let data = paper_data();
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(1)); // {B,B} signature absent from data
+        b.add_edge(vec![0, 1]).unwrap();
+        let query = b.build().unwrap();
+        let cands = build_candidate_sets(&data, &query);
+        assert!(cands[0].is_empty());
+        assert!(cands[1].is_empty());
+    }
+
+    #[test]
+    fn arity_containment_prunes() {
+        // Query vertex with two incident arity-2 edges requires data
+        // vertices with ≥2 incident arity-2 edges: only v4 qualifies among
+        // B… make an A-query: u0 in two 2-edges {A,B},{A,B}? Data A-vertices
+        // in two arity-2 {A,B} edges: none (v2 and v6 have one each).
+        let data = paper_data();
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(Label::new(0)); // u0 A
+        b.add_vertex(Label::new(1)); // u1 B
+        b.add_vertex(Label::new(1)); // u2 B
+        b.add_edge(vec![0, 1]).unwrap();
+        b.add_edge(vec![0, 2]).unwrap();
+        let query = b.build().unwrap();
+        let cands = build_candidate_sets(&data, &query);
+        assert!(cands[0].is_empty(), "no data A-vertex has two {{A,B}} edges");
+    }
+}

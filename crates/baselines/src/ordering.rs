@@ -1,0 +1,273 @@
+//! Matching-order strategies for the match-by-vertex baselines.
+//!
+//! Each strategy reimplements the ordering idea of its namesake algorithm,
+//! adapted to hypergraphs (orders are over query *vertices* here, unlike
+//! HGMatch's hyperedge orders):
+//!
+//! * **CFL** \[9\]: core-forest-leaf decomposition — dense "core" vertices
+//!   (query degree ≥ 2) match first, tree-like forest vertices next,
+//!   degree-1 leaves last, postponing Cartesian products.
+//! * **DAF** \[31\]: root the query at the vertex minimising
+//!   `|C(u)| / d(u)`, then order by BFS DAG layers (parents before
+//!   children); DAF's failing-set pruning is enabled with this strategy.
+//! * **CECI** \[8\]: BFS from the vertex with the smallest candidate set,
+//!   ties broken towards rarer candidates — the order along which CECI
+//!   builds its embedding-cluster index.
+//!
+//! All strategies emit *connected* orders whenever the query is connected:
+//! every vertex (after the first) shares a hyperedge with an earlier one,
+//! which the framework's adjacency pruning relies on.
+
+use hgmatch_hypergraph::{Hypergraph, VertexId};
+
+/// Ordering strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingStrategy {
+    /// Query-vertex order as given (testing only).
+    Naive,
+    /// CFL-style core-forest-leaf order.
+    Cfl,
+    /// DAF-style DAG/BFS order (enables failing-set pruning).
+    Daf,
+    /// CECI-style BFS order.
+    Ceci,
+}
+
+impl OrderingStrategy {
+    /// Whether the framework should run DAF's failing-set pruning.
+    pub fn uses_failing_sets(self) -> bool {
+        matches!(self, Self::Daf)
+    }
+}
+
+/// Computes a matching order over query vertices.
+///
+/// `candidates[u]` are the IHS-filtered candidate sets, used for
+/// cardinality-based tie-breaking.
+pub fn compute_order(
+    strategy: OrderingStrategy,
+    query: &Hypergraph,
+    candidates: &[Vec<u32>],
+) -> Vec<u32> {
+    let n = query.num_vertices();
+    match strategy {
+        OrderingStrategy::Naive => (0..n as u32).collect(),
+        OrderingStrategy::Cfl => cfl_order(query, candidates),
+        OrderingStrategy::Daf => {
+            bfs_order(query, candidates, |u, c| {
+                // |C(u)| / d(u), scaled to integers for a total order.
+                let d = query.degree(VertexId::new(u)).max(1);
+                (c[u as usize].len() * 1000 / d, u)
+            })
+        }
+        OrderingStrategy::Ceci => {
+            bfs_order(query, candidates, |u, c| (c[u as usize].len() * 1000, u))
+        }
+    }
+}
+
+/// Greedy connected order: start at `root`, repeatedly append the adjacent
+/// unplaced vertex with the smallest key; falls back to the smallest-key
+/// unplaced vertex when the query is disconnected.
+fn connected_greedy(
+    query: &Hypergraph,
+    root: u32,
+    key: impl Fn(u32) -> (usize, u32),
+) -> Vec<u32> {
+    let n = query.num_vertices();
+    let mut order = vec![root];
+    let mut placed = vec![false; n];
+    placed[root as usize] = true;
+    while order.len() < n {
+        let mut best: Option<((usize, u32), u32)> = None;
+        for &u in &order {
+            for &w in &query.adjacent_vertices(VertexId::new(u)) {
+                if placed[w as usize] {
+                    continue;
+                }
+                let k = key(w);
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, w));
+                }
+            }
+        }
+        let next = match best {
+            Some((_, w)) => w,
+            None => (0..n as u32)
+                .filter(|&u| !placed[u as usize])
+                .min_by_key(|&u| key(u))
+                .expect("unplaced vertex exists"),
+        };
+        placed[next as usize] = true;
+        order.push(next);
+    }
+    order
+}
+
+fn cfl_order(query: &Hypergraph, candidates: &[Vec<u32>]) -> Vec<u32> {
+    let n = query.num_vertices();
+    let core: Vec<u32> =
+        (0..n as u32).filter(|&u| query.degree(VertexId::new(u)) >= 2).collect();
+    // Root: core vertex minimising |C(u)|/d(u); whole query if no core.
+    let everything: Vec<u32>;
+    let pool: &[u32] = if core.is_empty() {
+        everything = (0..n as u32).collect();
+        &everything
+    } else {
+        &core
+    };
+    let root = *pool
+        .iter()
+        .min_by_key(|&&u| {
+            let d = query.degree(VertexId::new(u)).max(1);
+            (candidates[u as usize].len() * 1000 / d, u)
+        })
+        .expect("query has vertices");
+    let is_core = {
+        let mut v = vec![false; n];
+        for &u in &core {
+            v[u as usize] = true;
+        }
+        v
+    };
+    // Core first (key biased low), then forest, leaves (degree 1) last.
+    connected_greedy(query, root, |u| {
+        let deg = query.degree(VertexId::new(u));
+        let tier = if is_core[u as usize] { 0 } else if deg > 1 { 1 } else { 2 };
+        (tier * 1_000_000 + candidates[u as usize].len(), u)
+    })
+}
+
+fn bfs_order(
+    query: &Hypergraph,
+    candidates: &[Vec<u32>],
+    key: impl Fn(u32, &[Vec<u32>]) -> (usize, u32),
+) -> Vec<u32> {
+    let n = query.num_vertices();
+    let root = (0..n as u32).min_by_key(|&u| key(u, candidates)).expect("non-empty query");
+    // BFS layering, then stable order: (layer, key).
+    let mut layer = vec![usize::MAX; n];
+    layer[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut depth = 0;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &w in &query.adjacent_vertices(VertexId::new(u)) {
+                if layer[w as usize] == usize::MAX {
+                    layer[w as usize] = depth;
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+    }
+    // Disconnected remnants go to the last layer.
+    for l in layer.iter_mut() {
+        if *l == usize::MAX {
+            *l = depth + 1;
+        }
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&u| (layer[u as usize], key(u, candidates)));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ihs::build_candidate_sets;
+    use hgmatch_hypergraph::{HypergraphBuilder, Label};
+
+    fn paper_pair() -> (Hypergraph, Hypergraph) {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![4, 6]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![3, 5, 6]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.add_edge(vec![2, 3, 4, 5]).unwrap();
+        let data = b.build().unwrap();
+
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        let query = b.build().unwrap();
+        (data, query)
+    }
+
+    fn assert_is_permutation(order: &[u32], n: usize) {
+        let mut sorted = order.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    fn assert_connected_order(query: &Hypergraph, order: &[u32]) {
+        for (i, &u) in order.iter().enumerate().skip(1) {
+            let adj = query.adjacent_vertices(VertexId::new(u));
+            assert!(
+                order[..i].iter().any(|&w| adj.contains(&w)),
+                "vertex {u} at position {i} is not connected to the prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn all_strategies_emit_connected_permutations() {
+        let (data, query) = paper_pair();
+        let cands = build_candidate_sets(&data, &query);
+        for strategy in
+            [OrderingStrategy::Cfl, OrderingStrategy::Daf, OrderingStrategy::Ceci]
+        {
+            let order = compute_order(strategy, &query, &cands);
+            assert_is_permutation(&order, query.num_vertices());
+            assert_connected_order(&query, &order);
+        }
+    }
+
+    #[test]
+    fn naive_is_identity() {
+        let (data, query) = paper_pair();
+        let cands = build_candidate_sets(&data, &query);
+        assert_eq!(compute_order(OrderingStrategy::Naive, &query, &cands), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cfl_puts_leaves_last() {
+        let (data, query) = paper_pair();
+        let cands = build_candidate_sets(&data, &query);
+        let order = compute_order(OrderingStrategy::Cfl, &query, &cands);
+        // u3 is the only degree-1 leaf in the query; it must come last.
+        assert_eq!(*order.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn only_daf_uses_failing_sets() {
+        assert!(OrderingStrategy::Daf.uses_failing_sets());
+        assert!(!OrderingStrategy::Cfl.uses_failing_sets());
+        assert!(!OrderingStrategy::Ceci.uses_failing_sets());
+        assert!(!OrderingStrategy::Naive.uses_failing_sets());
+    }
+
+    #[test]
+    fn singleton_query_orders() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(Label::new(0));
+        b.add_edge(vec![0]).unwrap();
+        let q = b.build().unwrap();
+        let cands = vec![vec![0u32]];
+        for strategy in
+            [OrderingStrategy::Naive, OrderingStrategy::Cfl, OrderingStrategy::Daf, OrderingStrategy::Ceci]
+        {
+            assert_eq!(compute_order(strategy, &q, &cands), vec![0]);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! RapidMatch-H: subgraph matching on the bipartite conversion.
+//!
+//! RapidMatch \[71\] is a join-based subgraph matcher for conventional
+//! graphs, so the paper feeds it the bipartite incidence graphs of the
+//! query and data hypergraphs (Fig. 2) rather than extending it with the
+//! match-by-vertex constraint. We reproduce that pipeline: convert both
+//! hypergraphs to labelled bipartite graphs (hyperedge nodes labelled by
+//! arity) and run a backtracking search over *all* query bipartite nodes.
+//! The join order is RapidMatch-flavoured: hyperedge nodes (the join
+//! relations) ordered by ascending candidate cardinality, each immediately
+//! followed by its unmatched vertex nodes so the relation's incidences bind
+//! as early as possible.
+//!
+//! Counting follows HGMatch's hyperedge-tuple semantics: interchangeable
+//! query vertex nodes (same label, same incident hyperedge nodes) are
+//! symmetry-broken so every edge-node assignment is counted exactly once
+//! (see the crate docs).
+
+use std::time::{Duration, Instant};
+
+use hgmatch_hypergraph::bipartite::BipartiteGraph;
+use hgmatch_hypergraph::{EdgeId, Hypergraph, Signature, VertexId};
+
+use crate::framework::BaselineResult;
+
+/// Recursions between timeout checks.
+const CHECK_INTERVAL: u64 = 1024;
+
+/// Per-position matching info over the query's bipartite nodes.
+#[derive(Debug)]
+struct Position {
+    /// Query bipartite node at this position.
+    node: u32,
+    /// Expected data-side node label.
+    label: u32,
+    /// Earlier positions adjacent in the query bipartite graph.
+    adjacent_earlier: Vec<u32>,
+    /// `(earlier position, earlier must map smaller)` symmetry constraints.
+    symmetry: Vec<(u32, bool)>,
+}
+
+struct Ctx<'a> {
+    data_bg: &'a BipartiteGraph,
+    edge_candidates: &'a [Vec<u32>],
+    positions: &'a [Position],
+    nq_v: usize,
+    mapping: Vec<u32>,
+    used: Vec<bool>,
+    deadline: Option<Instant>,
+    recursions: u64,
+    count: u64,
+    timed_out: bool,
+}
+
+impl Ctx<'_> {
+    fn explore(&mut self, pos: usize) {
+        self.recursions += 1;
+        if self.recursions.is_multiple_of(CHECK_INTERVAL) {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.timed_out = true;
+                }
+            }
+        }
+        if self.timed_out {
+            return;
+        }
+        if pos == self.positions.len() {
+            self.count += 1;
+            return;
+        }
+        let info = &self.positions[pos];
+        let n = info.node;
+        let is_vertex_node = (n as usize) < self.nq_v;
+
+        // Candidate source: edge nodes draw from their signature relation;
+        // vertex nodes from the neighbours of their first matched adjacent
+        // edge node (the join order guarantees one exists).
+        let from_neighbors: Vec<u32>;
+        let candidates: &[u32] = if is_vertex_node {
+            let anchor = *info
+                .adjacent_earlier
+                .first()
+                .expect("vertex nodes follow their first edge node in the order");
+            let anchor_data = self.mapping[self.positions[anchor as usize].node as usize];
+            from_neighbors = self.data_bg.neighbors(anchor_data).to_vec();
+            &from_neighbors
+        } else {
+            &self.edge_candidates[n as usize - self.nq_v]
+        };
+
+        'cands: for &v in candidates {
+            if self.used[v as usize] || self.data_bg.label(v) != info.label {
+                continue;
+            }
+            for &(p, earlier_smaller) in &info.symmetry {
+                let earlier_v = self.mapping[self.positions[p as usize].node as usize];
+                let ok = if earlier_smaller { earlier_v < v } else { v < earlier_v };
+                if !ok {
+                    continue 'cands;
+                }
+            }
+            for &p in &info.adjacent_earlier {
+                let w = self.mapping[self.positions[p as usize].node as usize];
+                if self.data_bg.neighbors(w).binary_search(&v).is_err() {
+                    continue 'cands;
+                }
+            }
+            self.mapping[n as usize] = v;
+            self.used[v as usize] = true;
+            self.explore(pos + 1);
+            self.used[v as usize] = false;
+            self.mapping[n as usize] = u32::MAX;
+        }
+    }
+}
+
+/// Counts embeddings of `query` in `data` through the bipartite conversion.
+pub fn count(data: &Hypergraph, query: &Hypergraph, timeout: Option<Duration>) -> BaselineResult {
+    let start = Instant::now();
+    let mut result = BaselineResult::default();
+    if query.num_edges() == 0 {
+        result.elapsed = start.elapsed();
+        return result;
+    }
+
+    let data_bg = BipartiteGraph::from_hypergraph(data);
+    let nq_v = query.num_vertices();
+    let nq_e = query.num_edges();
+    let nq = nq_v + nq_e;
+
+    // Candidates for query edge nodes: data edge nodes with the same
+    // hyperedge signature — RapidMatch's label-filtered relations, answered
+    // by the data hypergraph's partitions.
+    let edge_candidates: Vec<Vec<u32>> = (0..nq_e)
+        .map(|e| {
+            let signature = Signature::new(
+                query
+                    .edge_vertices(EdgeId::from_index(e))
+                    .iter()
+                    .map(|&u| query.label(VertexId::new(u)))
+                    .collect(),
+            );
+            match data.partition_of(&signature) {
+                Some(p) => {
+                    p.global_ids().iter().map(|g| g.raw() + nq_v_offset(data)).collect()
+                }
+                None => Vec::new(),
+            }
+        })
+        .collect();
+    if edge_candidates.iter().any(Vec::is_empty) {
+        result.elapsed = start.elapsed();
+        return result;
+    }
+
+    let order = join_order(query, &edge_candidates);
+    debug_assert_eq!(order.len(), nq);
+    let mut pos_of = vec![u32::MAX; nq];
+    for (i, &n) in order.iter().enumerate() {
+        pos_of[n as usize] = i as u32;
+    }
+
+    // Query bipartite labels, aligned with the data conversion's alphabet.
+    let sigma = data.num_labels() as u32;
+    let q_label = |n: u32| {
+        if (n as usize) < nq_v {
+            query.label(VertexId::new(n)).raw()
+        } else {
+            sigma + query.edge_arity(EdgeId::new(n - nq_v as u32)) as u32
+        }
+    };
+    let q_neighbors = |n: u32| -> Vec<u32> {
+        if (n as usize) < nq_v {
+            query.incident_edges(VertexId::new(n)).iter().map(|&e| nq_v as u32 + e).collect()
+        } else {
+            query.edge_vertices(EdgeId::new(n - nq_v as u32)).to_vec()
+        }
+    };
+    // Vertex-node type classes for symmetry breaking.
+    let class_key: Vec<(u32, Vec<u32>)> = (0..nq_v)
+        .map(|u| {
+            (
+                query.label(VertexId::from_index(u)).raw(),
+                query.incident_edges(VertexId::from_index(u)).to_vec(),
+            )
+        })
+        .collect();
+
+    let positions: Vec<Position> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let adjacent_earlier: Vec<u32> = q_neighbors(n)
+                .into_iter()
+                .map(|w| pos_of[w as usize])
+                .filter(|&p| p < i as u32)
+                .collect();
+            let mut symmetry = Vec::new();
+            if (n as usize) < nq_v {
+                for w in 0..nq_v as u32 {
+                    if w != n
+                        && class_key[w as usize] == class_key[n as usize]
+                        && pos_of[w as usize] < i as u32
+                    {
+                        symmetry.push((pos_of[w as usize], w < n));
+                    }
+                }
+            }
+            Position { node: n, label: q_label(n), adjacent_earlier, symmetry }
+        })
+        .collect();
+
+    let mut ctx = Ctx {
+        data_bg: &data_bg,
+        edge_candidates: &edge_candidates,
+        positions: &positions,
+        nq_v,
+        mapping: vec![u32::MAX; nq],
+        used: vec![false; data_bg.num_nodes()],
+        deadline: timeout.map(|t| start + t),
+        recursions: 0,
+        count: 0,
+        timed_out: false,
+    };
+    ctx.explore(0);
+
+    result.count = ctx.count;
+    result.recursions = ctx.recursions;
+    result.timed_out = ctx.timed_out;
+    result.elapsed = start.elapsed();
+    result
+}
+
+/// Offset turning a data hyperedge id into its bipartite edge-node id.
+fn nq_v_offset(data: &Hypergraph) -> u32 {
+    data.num_vertices() as u32
+}
+
+/// Join order: edge nodes by ascending relation size (connected first),
+/// each immediately followed by its not-yet-placed vertex nodes.
+fn join_order(query: &Hypergraph, edge_candidates: &[Vec<u32>]) -> Vec<u32> {
+    let nq_v = query.num_vertices();
+    let ne = query.num_edges();
+    let mut order: Vec<u32> = Vec::with_capacity(nq_v + ne);
+    let mut vertex_placed = vec![false; nq_v];
+    let mut edge_placed = vec![false; ne];
+    let mut covered = vec![false; nq_v];
+
+    for _ in 0..ne {
+        let next = (0..ne)
+            .filter(|&e| !edge_placed[e])
+            .min_by_key(|&e| {
+                let connected = query
+                    .edge_vertices(EdgeId::from_index(e))
+                    .iter()
+                    .any(|&v| covered[v as usize]);
+                let first = order.is_empty();
+                (!first && !connected, edge_candidates[e].len(), e)
+            })
+            .expect("edges remain");
+        edge_placed[next] = true;
+        order.push(nq_v as u32 + next as u32);
+        for &v in query.edge_vertices(EdgeId::from_index(next)) {
+            covered[v as usize] = true;
+            if !vertex_placed[v as usize] {
+                vertex_placed[v as usize] = true;
+                order.push(v);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgmatch_hypergraph::{HypergraphBuilder, Label};
+
+    fn paper_pair() -> (Hypergraph, Hypergraph) {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![4, 6]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![3, 5, 6]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.add_edge(vec![2, 3, 4, 5]).unwrap();
+        let data = b.build().unwrap();
+
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        let query = b.build().unwrap();
+        (data, query)
+    }
+
+    #[test]
+    fn paper_example_counts_two() {
+        let (data, query) = paper_pair();
+        let result = count(&data, &query, None);
+        assert_eq!(result.count, 2);
+        assert!(!result.timed_out);
+    }
+
+    #[test]
+    fn single_edge_counts_partition() {
+        let (data, _) = paper_pair();
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(Label::new(0));
+        b.add_vertex(Label::new(1));
+        b.add_edge(vec![0, 1]).unwrap();
+        let query = b.build().unwrap();
+        assert_eq!(count(&data, &query, None).count, 2);
+    }
+
+    #[test]
+    fn missing_signature_is_zero() {
+        let (data, _) = paper_pair();
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(1));
+        b.add_edge(vec![0, 1]).unwrap();
+        let query = b.build().unwrap();
+        assert_eq!(count(&data, &query, None).count, 0);
+    }
+
+    #[test]
+    fn automorphic_vertices_deduped() {
+        // {A,A} in {A,A}: one tuple despite two bijections.
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(0));
+        b.add_edge(vec![0, 1]).unwrap();
+        let data = b.build().unwrap();
+        let query = data.clone();
+        assert_eq!(count(&data, &query, None).count, 1);
+    }
+
+    #[test]
+    fn shared_vertex_constraints_enforced() {
+        // Query: two edges sharing a vertex must map to data edges that
+        // actually share the image vertex.
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(4, Label::new(0));
+        b.add_edge(vec![0, 1]).unwrap();
+        b.add_edge(vec![2, 3]).unwrap(); // disjoint
+        let data = b.build().unwrap();
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(3, Label::new(0));
+        b.add_edge(vec![0, 1]).unwrap();
+        b.add_edge(vec![1, 2]).unwrap(); // shares u1
+        let query = b.build().unwrap();
+        assert_eq!(count(&data, &query, None).count, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cross-system correctness: every baseline and every HGMatch executor
+//! must agree with the brute-force oracle on exhaustive small instances,
+//! including the exact embedding tuples.
+
+use hgmatch_baselines::{bruteforce, run_baseline, BaselineAlgorithm};
+use hgmatch_core::{CollectSink, MatchConfig, Matcher};
+use hgmatch_datasets::{generate, sample_query, standard_settings, ArityDistribution, GeneratorConfig};
+use hgmatch_hypergraph::{Hypergraph, HypergraphBuilder, Label};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_hypergraph(seed: u64, nv: usize, ne: usize, labels: u32, max_arity: usize) -> Hypergraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = HypergraphBuilder::new();
+    for _ in 0..nv {
+        b.add_vertex(Label::new(rng.random_range(0..labels)));
+    }
+    for _ in 0..ne {
+        let arity = rng.random_range(1..=max_arity.min(nv));
+        let mut edge: Vec<u32> = Vec::new();
+        while edge.len() < arity {
+            let v = rng.random_range(0..nv as u32);
+            if !edge.contains(&v) {
+                edge.push(v);
+            }
+        }
+        let _ = b.add_edge(edge).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn random_subquery(data: &Hypergraph, seed: u64, k: usize) -> Option<Hypergraph> {
+    use hgmatch_hypergraph::{EdgeId, VertexId};
+    let mut rng = StdRng::seed_from_u64(seed);
+    if data.num_edges() < k {
+        return None;
+    }
+    let mut edges = vec![rng.random_range(0..data.num_edges() as u32)];
+    for _ in 1..k {
+        let mut frontier: Vec<u32> = Vec::new();
+        for &e in &edges {
+            for &v in data.edge_vertices(EdgeId::new(e)) {
+                frontier.extend_from_slice(data.incident_edges(VertexId::new(v)));
+            }
+        }
+        frontier.sort_unstable();
+        frontier.dedup();
+        frontier.retain(|e| !edges.contains(e));
+        if frontier.is_empty() {
+            return None;
+        }
+        edges.push(frontier[rng.random_range(0..frontier.len())]);
+    }
+    let mut vertices: Vec<u32> =
+        edges.iter().flat_map(|&e| data.edge_vertices(EdgeId::new(e))).copied().collect();
+    vertices.sort_unstable();
+    vertices.dedup();
+    let mut b = HypergraphBuilder::new();
+    for &v in &vertices {
+        b.add_vertex(data.label(VertexId::new(v)));
+    }
+    for &e in &edges {
+        let renumbered: Vec<u32> = data
+            .edge_vertices(EdgeId::new(e))
+            .iter()
+            .map(|&v| vertices.binary_search(&v).unwrap() as u32)
+            .collect();
+        b.add_edge(renumbered).unwrap();
+    }
+    Some(b.build().unwrap())
+}
+
+/// Exhaustive agreement against brute force on tiny instances (brute force
+/// is factorial in |V(q)|, so queries stay small).
+#[test]
+fn all_systems_match_bruteforce() {
+    for seed in 0..10u64 {
+        let data = random_hypergraph(seed, 9, 14, 2, 3);
+        for k in [1usize, 2, 3] {
+            let Some(query) = random_subquery(&data, seed * 13 + k as u64, k) else {
+                continue;
+            };
+            if query.num_vertices() > 8 {
+                continue; // keep brute force tractable
+            }
+            let oracle = bruteforce::count(&data, &query);
+            assert!(oracle >= 1, "planted query (seed {seed}, k {k})");
+
+            let hg = Matcher::new(&data).count(&query).unwrap();
+            assert_eq!(hg, oracle, "HGMatch vs oracle (seed {seed}, k {k})");
+
+            for alg in BaselineAlgorithm::all() {
+                let result = run_baseline(alg, &data, &query, None);
+                assert_eq!(
+                    result.count,
+                    oracle,
+                    "{} vs oracle (seed {seed}, k {k})",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+/// The enumerated tuples (not just counts) must match the oracle.
+#[test]
+fn hgmatch_tuples_match_bruteforce() {
+    for seed in 0..6u64 {
+        let data = random_hypergraph(seed + 50, 8, 12, 2, 3);
+        let Some(query) = random_subquery(&data, seed, 2) else { continue };
+        if query.num_vertices() > 8 {
+            continue;
+        }
+        let oracle = bruteforce::embeddings(&data, &query);
+        let sink = CollectSink::new();
+        Matcher::new(&data).run(&query, &sink).unwrap();
+        let ours: Vec<Vec<u32>> =
+            sink.into_results().into_iter().map(|m| m.raw().to_vec()).collect();
+        assert_eq!(ours, oracle, "tuple sets differ (seed {seed})");
+    }
+}
+
+/// Single-label stress: everything is an automorphism candidate.
+#[test]
+fn unlabeled_stress_agreement() {
+    for seed in 0..6u64 {
+        let data = random_hypergraph(seed + 200, 7, 10, 1, 3);
+        for k in [2usize, 3] {
+            let Some(query) = random_subquery(&data, seed * 7 + k as u64, k) else {
+                continue;
+            };
+            if query.num_vertices() > 7 {
+                continue;
+            }
+            let oracle = bruteforce::count(&data, &query);
+            let hg = Matcher::new(&data).count(&query).unwrap();
+            assert_eq!(hg, oracle, "HGMatch (seed {seed}, k {k})");
+            for alg in BaselineAlgorithm::all() {
+                let got = run_baseline(alg, &data, &query, None).count;
+                assert_eq!(got, oracle, "{} (seed {seed}, k {k})", alg.name());
+            }
+        }
+    }
+}
+
+/// Mid-size agreement between HGMatch and baselines (no oracle — brute
+/// force would be infeasible; this checks mutual consistency instead).
+#[test]
+fn midsize_mutual_agreement() {
+    let data = generate(&GeneratorConfig {
+        num_vertices: 120,
+        num_edges: 360,
+        num_labels: 3,
+        label_skew: 0.4,
+        arity: ArityDistribution::Uniform { min: 2, max: 4 },
+        degree_skew: 0.6,
+        seed: 99,
+    });
+    let mut checked = 0;
+    for (si, setting) in standard_settings().iter().enumerate().take(3) {
+        for seed in 0..3u64 {
+            let Some(query) = sample_query(&data, setting, seed * 5 + si as u64) else {
+                continue;
+            };
+            let hg1 = Matcher::new(&data).count(&query).unwrap();
+            let hg4 =
+                Matcher::with_config(&data, MatchConfig::parallel(4)).count(&query).unwrap();
+            assert_eq!(hg1, hg4, "thread disagreement ({}, seed {seed})", setting.name);
+            for alg in BaselineAlgorithm::all() {
+                let got = run_baseline(alg, &data, &query, None).count;
+                assert_eq!(got, hg1, "{} ({}, seed {seed})", alg.name(), setting.name);
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 5, "too few queries sampled ({checked})");
+}

@@ -1,0 +1,109 @@
+//! Property-based agreement: all baselines and HGMatch against the
+//! brute-force oracle on arbitrary tiny instances.
+
+use hgmatch_baselines::{bruteforce, run_baseline, BaselineAlgorithm};
+use hgmatch_core::Matcher;
+use hgmatch_hypergraph::{EdgeId, Hypergraph, HypergraphBuilder, Label, VertexId};
+use proptest::prelude::*;
+
+fn hypergraph_strategy() -> impl Strategy<Value = Hypergraph> {
+    (3usize..9).prop_flat_map(|nv| {
+        let labels = proptest::collection::vec(0u32..2, nv);
+        let edges = proptest::collection::vec(
+            proptest::collection::btree_set(0u32..nv as u32, 1..4usize.min(nv)),
+            1..10,
+        );
+        (labels, edges).prop_map(|(labels, edges)| {
+            let mut b = HypergraphBuilder::new();
+            for &l in &labels {
+                b.add_vertex(Label::new(l));
+            }
+            for e in edges {
+                let _ = b.add_edge(e.into_iter().collect()).unwrap();
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+fn planted_query(data: &Hypergraph, picks: &[u8]) -> Option<Hypergraph> {
+    if data.num_edges() == 0 {
+        return None;
+    }
+    let mut edges = vec![picks.first().map(|&p| p as u32).unwrap_or(0) % data.num_edges() as u32];
+    for &p in picks.iter().skip(1) {
+        let mut frontier: Vec<u32> = Vec::new();
+        for &e in &edges {
+            for &v in data.edge_vertices(EdgeId::new(e)) {
+                frontier.extend_from_slice(data.incident_edges(VertexId::new(v)));
+            }
+        }
+        frontier.sort_unstable();
+        frontier.dedup();
+        frontier.retain(|e| !edges.contains(e));
+        if frontier.is_empty() {
+            break;
+        }
+        edges.push(frontier[p as usize % frontier.len()]);
+    }
+    let mut vertices: Vec<u32> =
+        edges.iter().flat_map(|&e| data.edge_vertices(EdgeId::new(e))).copied().collect();
+    vertices.sort_unstable();
+    vertices.dedup();
+    if vertices.len() > 8 {
+        return None; // keep the factorial oracle tractable
+    }
+    let mut b = HypergraphBuilder::new();
+    for &v in &vertices {
+        b.add_vertex(data.label(VertexId::new(v)));
+    }
+    for &e in &edges {
+        let renumbered: Vec<u32> = data
+            .edge_vertices(EdgeId::new(e))
+            .iter()
+            .map(|&v| vertices.binary_search(&v).unwrap() as u32)
+            .collect();
+        b.add_edge(renumbered).unwrap();
+    }
+    Some(b.build().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn everyone_matches_the_oracle(
+        data in hypergraph_strategy(),
+        picks in proptest::collection::vec(0u8..255, 1..4),
+    ) {
+        let Some(query) = planted_query(&data, &picks) else { return Ok(()) };
+        let oracle = bruteforce::count(&data, &query);
+        prop_assert!(oracle >= 1, "planted queries always match");
+
+        let hg = Matcher::new(&data).count(&query).unwrap();
+        prop_assert_eq!(hg, oracle, "HGMatch");
+
+        for alg in BaselineAlgorithm::all() {
+            let got = run_baseline(alg, &data, &query, None).count;
+            prop_assert_eq!(got, oracle, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn non_planted_queries_also_agree(
+        data in hypergraph_strategy(),
+        qdata in hypergraph_strategy(),
+        picks in proptest::collection::vec(0u8..255, 1..3),
+    ) {
+        // Query sampled from a *different* hypergraph: zero matches are now
+        // possible, exercising the empty-result paths.
+        let Some(query) = planted_query(&qdata, &picks) else { return Ok(()) };
+        let oracle = bruteforce::count(&data, &query);
+        let hg = Matcher::new(&data).count(&query).unwrap();
+        prop_assert_eq!(hg, oracle, "HGMatch");
+        for alg in BaselineAlgorithm::all() {
+            let got = run_baseline(alg, &data, &query, None).count;
+            prop_assert_eq!(got, oracle, "{}", alg.name());
+        }
+    }
+}

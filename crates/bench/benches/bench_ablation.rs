@@ -1,0 +1,118 @@
+//! Ablations of HGMatch design choices (DESIGN.md §9):
+//!
+//! * eager non-incidence pruning (Observation V.3 applied in candidate
+//!   generation) on/off;
+//! * work stealing on/off;
+//! * scan-chunk granularity;
+//! * executor choice (sequential DFS vs task engine at one thread — the
+//!   task abstraction's overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hgmatch_core::engine::ParallelEngine;
+use hgmatch_core::exec::SequentialExecutor;
+use hgmatch_core::{CountSink, MatchConfig, Matcher};
+use hgmatch_datasets::{profile_by_name, sample_query, standard_settings};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn setup() -> (hgmatch_hypergraph::Hypergraph, hgmatch_core::Plan) {
+    let data = profile_by_name("CP").expect("profile").generate();
+    let matcher = Matcher::new(&data);
+    let (query, _) = (0..10u64)
+        .filter_map(|seed| sample_query(&data, &standard_settings()[2], seed))
+        .map(|q| {
+            let count = matcher.count(&q).unwrap_or(0);
+            (q, count)
+        })
+        .max_by_key(|(_, c)| *c)
+        .expect("query sampled");
+    let plan = matcher.plan(&query).expect("plan");
+    (data, plan)
+}
+
+fn bench_prune_non_incident(c: &mut Criterion) {
+    let (data, plan) = setup();
+    let mut group = c.benchmark_group("ablate_prune_non_incident");
+    group.sample_size(10);
+    for (label, enabled) in [("off(paper)", false), ("on", true)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let config = MatchConfig::sequential().with_prune_non_incident(enabled);
+            b.iter(|| {
+                let sink = CountSink::new();
+                SequentialExecutor::run(&plan, &data, &sink, &config);
+                black_box(sink.count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stealing(c: &mut Criterion) {
+    let (data, plan) = setup();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    let mut group = c.benchmark_group("ablate_work_stealing");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    for (label, stealing) in [("nostl", false), ("stealing", true)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let config = MatchConfig::parallel(threads).with_work_stealing(stealing);
+            b.iter(|| {
+                let sink = CountSink::new();
+                ParallelEngine::run(&plan, &data, &sink, &config);
+                black_box(sink.count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_chunk(c: &mut Criterion) {
+    let (data, plan) = setup();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    let mut group = c.benchmark_group("ablate_scan_chunk");
+    group.sample_size(10);
+    for chunk in [16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            let mut config = MatchConfig::parallel(threads);
+            config.scan_chunk = chunk;
+            b.iter(|| {
+                let sink = CountSink::new();
+                ParallelEngine::run(&plan, &data, &sink, &config);
+                black_box(sink.count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    let (data, plan) = setup();
+    let mut group = c.benchmark_group("ablate_executor");
+    group.sample_size(10);
+    group.bench_function("sequential_dfs", |b| {
+        let config = MatchConfig::sequential();
+        b.iter(|| {
+            let sink = CountSink::new();
+            SequentialExecutor::run(&plan, &data, &sink, &config);
+            black_box(sink.count())
+        });
+    });
+    group.bench_function("task_engine_1thread", |b| {
+        let config = MatchConfig::parallel(1);
+        b.iter(|| {
+            let sink = CountSink::new();
+            ParallelEngine::run(&plan, &data, &sink, &config);
+            black_box(sink.count())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prune_non_incident,
+    bench_stealing,
+    bench_scan_chunk,
+    bench_engine_overhead
+);
+criterion_main!(benches);

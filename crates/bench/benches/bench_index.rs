@@ -1,0 +1,48 @@
+//! Fig. 7 microbenchmark: offline preprocessing (signature partitioning +
+//! inverted hyperedge index construction) on the small/medium datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hgmatch_datasets::profile_by_name;
+use hgmatch_hypergraph::HypergraphBuilder;
+use std::hint::black_box;
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for name in ["HC", "CH", "CP", "SB"] {
+        let profile = profile_by_name(name).expect("profile");
+        let h = profile.generate();
+        let labels = h.labels().to_vec();
+        let edges: Vec<Vec<u32>> = h.iter_edges().map(|(_, vs)| vs.to_vec()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                let mut builder = HypergraphBuilder::new();
+                for &l in &labels {
+                    builder.add_vertex(l);
+                }
+                for e in &edges {
+                    builder.add_edge(e.clone()).unwrap();
+                }
+                black_box(builder.build().unwrap().num_edges())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_incident_lookup(c: &mut Criterion) {
+    let h = profile_by_name("CP").expect("profile").generate();
+    let partition = &h.partitions()[0];
+    c.bench_function("inverted_index_lookup", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in 0..h.num_vertices() as u32 {
+                total += partition.incident_rows(black_box(v)).len();
+            }
+            black_box(total)
+        });
+    });
+}
+
+criterion_group!(benches, bench_index_build, bench_incident_lookup);
+criterion_main!(benches);

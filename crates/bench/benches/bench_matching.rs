@@ -1,0 +1,46 @@
+//! Fig. 8 microbenchmark: HGMatch versus the match-by-vertex baselines on
+//! fixed queries over the contact datasets (small enough for statistically
+//! meaningful criterion runs, large enough to show the ordering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hgmatch_baselines::{run_baseline, BaselineAlgorithm};
+use hgmatch_core::Matcher;
+use hgmatch_datasets::{profile_by_name, sample_query, standard_settings};
+use hgmatch_hypergraph::Hypergraph;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fixed_query(data: &Hypergraph, setting_index: usize) -> Hypergraph {
+    let setting = standard_settings()[setting_index];
+    (0..50u64)
+        .find_map(|seed| sample_query(data, &setting, seed))
+        .expect("sampleable query")
+}
+
+fn bench_single_thread(c: &mut Criterion) {
+    let data = profile_by_name("CH").expect("profile").generate();
+    for (si, name) in [(0usize, "q2"), (1, "q3")] {
+        let query = fixed_query(&data, si);
+        let mut group = c.benchmark_group(format!("match_CH_{name}"));
+        group.sample_size(10);
+        group.measurement_time(Duration::from_secs(5));
+
+        group.bench_function(BenchmarkId::from_parameter("HGMatch"), |b| {
+            let matcher = Matcher::new(&data);
+            b.iter(|| black_box(matcher.count(&query).unwrap()));
+        });
+        for alg in BaselineAlgorithm::all() {
+            group.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
+                b.iter(|| {
+                    black_box(
+                        run_baseline(alg, &data, &query, Some(Duration::from_secs(10))).count,
+                    )
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_single_thread);
+criterion_main!(benches);

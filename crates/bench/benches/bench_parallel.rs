@@ -1,0 +1,45 @@
+//! Fig. 10 microbenchmark: thread-count scaling of the task-based engine
+//! on a heavy query over a hub-skewed dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hgmatch_core::engine::ParallelEngine;
+use hgmatch_core::{CountSink, MatchConfig, Matcher};
+use hgmatch_datasets::{profile_by_name, sample_query, standard_settings};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let data = profile_by_name("WT").expect("profile").generate();
+    let matcher = Matcher::new(&data);
+    // Heaviest q3 query among a few seeds.
+    let (query, _) = (0..10u64)
+        .filter_map(|seed| sample_query(&data, &standard_settings()[1], seed))
+        .map(|q| {
+            let count = matcher.count(&q).unwrap_or(0);
+            (q, count)
+        })
+        .max_by_key(|(_, c)| *c)
+        .expect("query sampled");
+    let plan = matcher.plan(&query).expect("plan");
+
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut group = c.benchmark_group("engine_threads");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let config = MatchConfig::parallel(t);
+            b.iter(|| {
+                let sink = CountSink::new();
+                ParallelEngine::run(&plan, &data, &sink, &config);
+                black_box(sink.count())
+            });
+        });
+        threads *= 2;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmarks of the sorted-set kernels behind candidate generation
+//! (paper §V-B), including the merge-vs-gallop ablation: candidate
+//! generation is posting-list intersection, and the adaptive kernel is a
+//! design choice DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hgmatch_hypergraph::setops;
+use std::hint::black_box;
+
+fn evens(n: u32) -> Vec<u32> {
+    (0..n).map(|i| i * 2).collect()
+}
+
+fn multiples(n: u32, k: u32) -> Vec<u32> {
+    (0..n).map(|i| i * k).collect()
+}
+
+fn bench_intersections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect");
+    let large = evens(100_000);
+    for small_len in [16u32, 256, 4_096, 65_536] {
+        let small = multiples(small_len, 7);
+        group.bench_with_input(
+            BenchmarkId::new("adaptive", small_len),
+            &small,
+            |b, small| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    setops::intersect_into(black_box(small), black_box(&large), &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_union_difference(c: &mut Criterion) {
+    let a = multiples(50_000, 2);
+    let b = multiples(50_000, 3);
+    c.bench_function("union/50k+50k", |bench| {
+        let mut out = Vec::new();
+        bench.iter(|| {
+            setops::union_into(black_box(&a), black_box(&b), &mut out);
+            black_box(out.len())
+        });
+    });
+    c.bench_function("difference/50k-50k", |bench| {
+        let mut out = Vec::new();
+        bench.iter(|| {
+            setops::difference_into(black_box(&a), black_box(&b), &mut out);
+            black_box(out.len())
+        });
+    });
+}
+
+fn bench_multiway(c: &mut Criterion) {
+    let lists: Vec<Vec<u32>> = (2..8u32).map(|k| multiples(20_000, k)).collect();
+    c.bench_function("intersect_many/6-way", |bench| {
+        bench.iter(|| {
+            let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+            black_box(setops::intersect_many(refs).len())
+        });
+    });
+    c.bench_function("union_many/6-way", |bench| {
+        bench.iter(|| {
+            let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+            black_box(setops::union_many(refs).len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_intersections, bench_union_difference, bench_multiway);
+criterion_main!(benches);

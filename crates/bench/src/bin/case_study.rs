@@ -1,0 +1,73 @@
+//! §VII-D case study — question answering over a hypergraph knowledge
+//! base (Fig. 13).
+//!
+//! Generates the JF17K-like knowledge base, runs the two example queries
+//! ("players who represented different teams in different matches" and
+//! "actors who played the same character in a TV show on different
+//! seasons"), and prints counts plus a few named answers.
+//!
+//! Usage: `case_study [--answers N]`.
+
+use hgmatch_core::Matcher;
+use hgmatch_datasets::{KnowledgeBase, KnowledgeBaseConfig};
+use hgmatch_hypergraph::{EdgeId, VertexId};
+
+fn main() {
+    let mut show = 5usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--answers" => {
+                i += 1;
+                show = args.get(i).and_then(|s| s.parse().ok()).expect("--answers N");
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+        i += 1;
+    }
+
+    let kb = KnowledgeBase::generate(&KnowledgeBaseConfig::default());
+    let stats = kb.graph.stats();
+    println!("# Case study: Q/A over a hypergraph knowledge base (JF17K-like)");
+    println!(
+        "# KB: {} entities, {} facts, {} types",
+        stats.num_vertices, stats.num_edges, stats.num_labels
+    );
+    let matcher = Matcher::new(&kb.graph);
+
+    for (title, query) in [
+        (
+            "Query 1: players who represented different teams in different matches",
+            KnowledgeBase::query_multi_team_player(),
+        ),
+        (
+            "Query 2: actors who played the same character in a TV show on different seasons",
+            KnowledgeBase::query_recast_character(),
+        ),
+    ] {
+        println!();
+        println!("{title}");
+        let embeddings = matcher.find_all(&query).expect("query valid");
+        println!("embeddings found: {}", embeddings.len());
+        for m in embeddings.iter().take(show) {
+            let mut parts = Vec::new();
+            for e in m.iter() {
+                let fact: Vec<&str> = kb
+                    .graph
+                    .edge_vertices(EdgeId::new(e.raw()))
+                    .iter()
+                    .map(|&v| kb.names[VertexId::new(v).index()].as_str())
+                    .collect();
+                parts.push(format!("({})", fact.join(", ")));
+            }
+            println!("  {}", parts.join(" & "));
+        }
+        if embeddings.len() > show {
+            println!("  … {} more", embeddings.len() - show);
+        }
+    }
+    println!();
+    println!("# Paper shape: both queries return non-trivial answer sets");
+    println!("# (the paper found 111 and 76 on the real JF17K).");
+}

@@ -1,0 +1,88 @@
+//! Fig. 10 — thread scalability on the largest dataset.
+//!
+//! Picks the two heaviest q3 queries on AR-S (the paper's q3^1 and q3^2)
+//! and sweeps the thread count, reporting time and speedup versus one
+//! thread. Expect near-linear speedup up to the physical core count.
+//!
+//! Usage: `fig10_scalability [--dataset NAME] [--max-threads N]
+//!                           [--candidates N] [--timeout SECS]`.
+
+use hgmatch_bench::experiments::{heaviest_queries, num_cpus};
+use hgmatch_bench::harness::Workload;
+use hgmatch_core::{MatchConfig, Matcher};
+use hgmatch_datasets::{profile_by_name, standard_settings};
+use std::time::Duration;
+
+fn main() {
+    let mut dataset = "AR-S".to_string();
+    let mut max_threads = num_cpus();
+    let mut candidates = 10usize;
+    let mut timeout = Duration::from_secs(30);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dataset" => {
+                i += 1;
+                dataset = args.get(i).expect("--dataset NAME").clone();
+            }
+            "--max-threads" => {
+                i += 1;
+                max_threads = args.get(i).and_then(|s| s.parse().ok()).expect("--max-threads N");
+            }
+            "--candidates" => {
+                i += 1;
+                candidates = args.get(i).and_then(|s| s.parse().ok()).expect("--candidates N");
+            }
+            "--timeout" => {
+                i += 1;
+                timeout = Duration::from_secs_f64(
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--timeout SECS"),
+                );
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+        i += 1;
+    }
+
+    let profile = profile_by_name(&dataset).expect("known dataset");
+    let data = profile.generate();
+    let q3 = standard_settings()[1];
+    let workload = Workload::sample(&data, q3, candidates, 31);
+    let heavy = heaviest_queries(&data, &workload, 2, timeout);
+
+    println!("# Fig. 10: scalability on {} (heaviest q3 queries)", profile.name);
+    println!("query\tembeddings\tthreads\tseconds\tspeedup");
+    let mut threads_list = vec![1usize];
+    let mut t = 2;
+    while t < max_threads {
+        threads_list.push(t);
+        t *= 2;
+    }
+    if *threads_list.last().unwrap() != max_threads {
+        threads_list.push(max_threads);
+    }
+
+    for (qi, (query, count)) in heavy.iter().enumerate() {
+        let mut base = None;
+        for &threads in &threads_list {
+            let matcher = Matcher::with_config(
+                &data,
+                MatchConfig::parallel(threads).with_timeout(timeout * 4),
+            );
+            let (_, stats) = matcher.count_with_stats(query).expect("query valid");
+            let secs = stats.elapsed.as_secs_f64();
+            let base_secs = *base.get_or_insert(secs);
+            println!(
+                "q3^{}\t{}\t{}\t{:.4}\t{:.2}",
+                qi + 1,
+                count,
+                threads,
+                secs,
+                base_secs / secs.max(1e-9),
+            );
+        }
+    }
+    println!();
+    println!("# Paper shape: near-linear speedup while threads <= physical cores.");
+}

@@ -1,0 +1,83 @@
+//! Fig. 6 — distribution of embedding counts per query setting.
+//!
+//! For every dataset and query setting, samples the workload and reports
+//! the box-plot statistics (min / p25 / median / p75 / max) of the number
+//! of embeddings, as counted by HGMatch.
+//!
+//! Usage: `fig6_embeddings [--queries N] [--timeout SECS] [dataset…]`.
+
+use hgmatch_bench::experiments::{num_cpus, selected_profiles, SweepParams};
+use hgmatch_bench::harness::Workload;
+use hgmatch_bench::report::percentile;
+use hgmatch_core::{MatchConfig, Matcher};
+use hgmatch_datasets::standard_settings;
+use std::time::Duration;
+
+fn main() {
+    let mut queries = 10usize;
+    let mut timeout = Duration::from_secs(5);
+    let mut datasets: Vec<String> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--queries" => {
+                i += 1;
+                queries = args.get(i).and_then(|s| s.parse().ok()).expect("--queries N");
+            }
+            "--timeout" => {
+                i += 1;
+                timeout = Duration::from_secs_f64(
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--timeout SECS"),
+                );
+            }
+            name => datasets.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if datasets.is_empty() {
+        datasets = SweepParams::default().datasets;
+    }
+
+    println!("# Fig. 6: number-of-embeddings distributions");
+    println!("# Table III query settings: q2(2e,5-15v) q3(3e,10-20v) q4(4e,10-30v) q6(6e,15-35v)");
+    println!("dataset\tsetting\tqueries\tmin\tp25\tmedian\tp75\tmax\ttimeouts");
+    for profile in selected_profiles(&datasets) {
+        let data = profile.generate();
+        let matcher = Matcher::with_config(
+            &data,
+            MatchConfig::parallel(num_cpus()).with_timeout(timeout),
+        );
+        for setting in standard_settings() {
+            let workload = Workload::sample(&data, setting, queries, 11);
+            if workload.is_empty() {
+                continue;
+            }
+            let mut counts: Vec<f64> = Vec::new();
+            let mut timeouts = 0usize;
+            for q in &workload.queries {
+                match matcher.count_with_stats(q) {
+                    Ok((count, stats)) => {
+                        counts.push(count as f64);
+                        if stats.timed_out {
+                            timeouts += 1;
+                        }
+                    }
+                    Err(_) => timeouts += 1,
+                }
+            }
+            println!(
+                "{}\t{}\t{}\t{:.0}\t{:.0}\t{:.0}\t{:.0}\t{:.0}\t{}",
+                profile.name,
+                setting.name,
+                counts.len(),
+                percentile(&counts, 0.0),
+                percentile(&counts, 25.0),
+                percentile(&counts, 50.0),
+                percentile(&counts, 75.0),
+                percentile(&counts, 100.0),
+                timeouts,
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Fig. 7 — index building time and size.
+//!
+//! For every dataset: the time of offline preprocessing (partitioning +
+//! inverted-index construction) and the sizes of the hyperedge tables
+//! ("graph size") and inverted indices ("index size").
+//!
+//! Usage: `fig7_index [profile…]` (default: all ten).
+
+use hgmatch_bench::experiments::time_index_build;
+use hgmatch_datasets::{all_profiles, profile_by_name};
+use hgmatch_hypergraph::stats::human_bytes;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profiles = if args.is_empty() {
+        all_profiles()
+    } else {
+        args.iter().filter_map(|n| profile_by_name(n)).collect()
+    };
+
+    println!("# Fig. 7: index building time and size");
+    println!("dataset\tbuild_s\tgraph_size\tindex_size\tindex/graph");
+    for profile in profiles {
+        let h = profile.generate();
+        let timing = time_index_build(&h);
+        println!(
+            "{}\t{:.4}\t{}\t{}\t{:.2}",
+            profile.name,
+            timing.build_seconds,
+            human_bytes(timing.table_bytes),
+            human_bytes(timing.index_bytes),
+            timing.index_bytes as f64 / timing.table_bytes.max(1) as f64,
+        );
+    }
+    println!();
+    println!("# Paper shape: index builds are fast (seconds even at full AR");
+    println!("# scale) and index size is comparable to the graph size.");
+}

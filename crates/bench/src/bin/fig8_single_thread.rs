@@ -1,0 +1,71 @@
+//! Fig. 8 — single-thread comparison of HGMatch against CFL-H, DAF-H,
+//! CECI-H and RapidMatch, plus the Table IV completion ratios (the two
+//! artefacts come from the same sweep in the paper too).
+//!
+//! Usage: `fig8_single_thread [--timeout SECS] [--queries N] [dataset…]`
+//! Defaults: 2 s timeout, 3 queries per setting, all datasets except AR-S
+//! (the paper also reserves AR for the parallel experiments).
+
+use hgmatch_bench::experiments::{single_thread_sweep, SweepParams};
+use std::time::Duration;
+
+fn main() {
+    let mut params = SweepParams::default();
+    let mut datasets: Vec<String> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout" => {
+                i += 1;
+                params.timeout = Duration::from_secs_f64(
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--timeout SECS"),
+                );
+            }
+            "--queries" => {
+                i += 1;
+                params.queries_per_setting =
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--queries N");
+            }
+            name => datasets.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if !datasets.is_empty() {
+        params.datasets = datasets;
+    }
+
+    println!("# Fig. 8: single-thread comparison");
+    println!(
+        "# timeout = {:?}, {} queries per (dataset, setting)",
+        params.timeout, params.queries_per_setting
+    );
+    println!("dataset\tsetting\talgorithm\tgeomean_s\tcompleted/total");
+    let result = single_thread_sweep(&params, |cell| {
+        println!(
+            "{}\t{}\t{}\t{:.6}\t{}/{}",
+            cell.dataset,
+            cell.setting,
+            cell.algorithm,
+            cell.mean_seconds,
+            cell.completed,
+            cell.total
+        );
+    });
+
+    println!();
+    println!("# Table IV: query completion ratio (single-thread)");
+    println!("algorithm\tcompleted\ttotal\tratio");
+    for (algorithm, (completed, total)) in result.completion_ratios() {
+        println!(
+            "{algorithm}\t{completed}\t{total}\t{:.1}%",
+            100.0 * completed as f64 / total.max(1) as f64
+        );
+    }
+
+    println!();
+    println!("# Average speedup of HGMatch (geometric mean across cells):");
+    for algorithm in ["CFL-H", "DAF-H", "CECI-H", "RapidMatch"] {
+        println!("vs {algorithm}: {:.1}x", result.speedup_over(algorithm));
+    }
+}

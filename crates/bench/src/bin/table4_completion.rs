@@ -1,0 +1,84 @@
+//! Table IV — query completion ratio per algorithm within the timeout.
+//!
+//! A thin front-end over the same sweep as Fig. 8 (the paper derives
+//! Table IV from that experiment as well), printing only the ratios.
+//!
+//! Usage: `table4_completion [--timeout SECS] [--queries N] [dataset…]`.
+
+use hgmatch_bench::experiments::{single_thread_sweep, SweepParams};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn main() {
+    let mut params = SweepParams::default();
+    let mut datasets: Vec<String> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout" => {
+                i += 1;
+                params.timeout = Duration::from_secs_f64(
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--timeout SECS"),
+                );
+            }
+            "--queries" => {
+                i += 1;
+                params.queries_per_setting =
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--queries N");
+            }
+            name => datasets.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if !datasets.is_empty() {
+        params.datasets = datasets;
+    }
+
+    println!("# Table IV: query completion ratio (single-thread)");
+    println!("# timeout = {:?}", params.timeout);
+
+    // Per-dataset breakdown like the paper's table, plus totals.
+    let result = single_thread_sweep(&params, |_| {});
+    let mut per_dataset: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+    for cell in &result.cells {
+        let e = per_dataset
+            .entry((cell.algorithm.clone(), cell.dataset.clone()))
+            .or_insert((0, 0));
+        e.0 += cell.completed;
+        e.1 += cell.total;
+    }
+
+    let datasets: Vec<String> = {
+        let mut v: Vec<String> = result.cells.iter().map(|c| c.dataset.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    print!("algorithm");
+    for d in &datasets {
+        print!("\t{d}");
+    }
+    println!("\tTotal");
+    let algorithms: Vec<String> = {
+        let mut v: Vec<String> = result.cells.iter().map(|c| c.algorithm.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    for algorithm in algorithms {
+        print!("{algorithm}");
+        let mut done = 0;
+        let mut all = 0;
+        for d in &datasets {
+            let (c, t) = per_dataset
+                .get(&(algorithm.clone(), d.clone()))
+                .copied()
+                .unwrap_or((0, 0));
+            done += c;
+            all += t;
+            print!("\t{:.0}%", 100.0 * c as f64 / t.max(1) as f64);
+        }
+        println!("\t{:.0}%", 100.0 * done as f64 / all.max(1) as f64);
+    }
+}

@@ -1,0 +1,211 @@
+//! Shared experiment drivers used by the per-figure binaries.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use hgmatch_core::{MatchConfig, Matcher};
+use hgmatch_datasets::{all_profiles, standard_settings, DatasetProfile};
+use hgmatch_hypergraph::Hypergraph;
+
+use crate::harness::{time_algorithm, AlgorithmChoice, Workload};
+use crate::report::geometric_mean;
+
+/// Parameters of the single-thread comparison sweep (Fig. 8 / Table IV).
+#[derive(Debug, Clone)]
+pub struct SweepParams {
+    /// Per-query timeout (the paper used 1 hour; laptop default is shorter).
+    pub timeout: Duration,
+    /// Queries per (dataset, setting) pair (paper: 20).
+    pub queries_per_setting: usize,
+    /// Dataset names to include (paper: all but AR for single-thread runs).
+    pub datasets: Vec<String>,
+    /// Base RNG seed for query sampling.
+    pub seed: u64,
+}
+
+impl Default for SweepParams {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(2),
+            queries_per_setting: 3,
+            datasets: all_profiles()
+                .iter()
+                .map(|p| p.name.to_string())
+                .filter(|n| n != "AR-S")
+                .collect(),
+            seed: 7,
+        }
+    }
+}
+
+/// One cell of the Fig. 8 grid.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Query setting name.
+    pub setting: &'static str,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Geometric-mean elapsed seconds over the workload (censored).
+    pub mean_seconds: f64,
+    /// Completed (non-timeout) queries.
+    pub completed: usize,
+    /// Total queries attempted.
+    pub total: usize,
+}
+
+/// Result of the full sweep: Fig. 8 cells plus Table IV completion counts.
+#[derive(Debug, Default)]
+pub struct SweepResult {
+    /// All timing cells.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepResult {
+    /// Completion ratio per algorithm (Table IV's "Total" column).
+    pub fn completion_ratios(&self) -> BTreeMap<String, (usize, usize)> {
+        let mut totals: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for cell in &self.cells {
+            let entry = totals.entry(cell.algorithm.clone()).or_insert((0, 0));
+            entry.0 += cell.completed;
+            entry.1 += cell.total;
+        }
+        totals
+    }
+
+    /// Average speedup of HGMatch over `algorithm` (ratio of geometric
+    /// means across all common cells).
+    pub fn speedup_over(&self, algorithm: &str) -> f64 {
+        let mut ours = Vec::new();
+        for cell in &self.cells {
+            if cell.algorithm == "HGMatch" {
+                ours.push((cell.dataset.clone(), cell.setting, cell.mean_seconds));
+            }
+        }
+        let mut ratios = Vec::new();
+        for (dataset, setting, hg) in &ours {
+            if let Some(other) = self.cells.iter().find(|c| {
+                &c.dataset == dataset && c.setting == *setting && c.algorithm == algorithm
+            }) {
+                if *hg > 0.0 {
+                    ratios.push(other.mean_seconds / hg);
+                }
+            }
+        }
+        geometric_mean(&ratios)
+    }
+}
+
+/// Runs the Fig. 8 / Table IV sweep.
+///
+/// `progress` receives one line per (dataset, setting, algorithm) for
+/// incremental output.
+pub fn single_thread_sweep(
+    params: &SweepParams,
+    mut progress: impl FnMut(&SweepCell),
+) -> SweepResult {
+    let mut result = SweepResult::default();
+    for profile in selected_profiles(&params.datasets) {
+        let data = profile.generate();
+        for setting in standard_settings() {
+            let workload =
+                Workload::sample(&data, setting, params.queries_per_setting, params.seed);
+            if workload.is_empty() {
+                continue;
+            }
+            for algorithm in AlgorithmChoice::single_thread_lineup() {
+                let mut seconds = Vec::new();
+                let mut completed = 0usize;
+                for query in &workload.queries {
+                    let run = time_algorithm(algorithm, &data, query, Some(params.timeout));
+                    seconds.push(run.seconds);
+                    if !run.timed_out {
+                        completed += 1;
+                    }
+                }
+                let cell = SweepCell {
+                    dataset: profile.name.to_string(),
+                    setting: setting.name,
+                    algorithm: algorithm.name(),
+                    mean_seconds: geometric_mean(&seconds),
+                    completed,
+                    total: workload.len(),
+                };
+                progress(&cell);
+                result.cells.push(cell);
+            }
+        }
+    }
+    result
+}
+
+/// Resolves dataset names to profiles, preserving request order.
+pub fn selected_profiles(names: &[String]) -> Vec<DatasetProfile> {
+    names
+        .iter()
+        .filter_map(|n| hgmatch_datasets::profile_by_name(n))
+        .collect()
+}
+
+/// Times offline preprocessing (load + partition + index) for Fig. 7.
+pub struct IndexTiming {
+    /// Seconds to build the indexed hypergraph from raw edges.
+    pub build_seconds: f64,
+    /// Hyperedge-table bytes ("graph size").
+    pub table_bytes: usize,
+    /// Inverted-index bytes ("index size").
+    pub index_bytes: usize,
+}
+
+/// Rebuilds `h` from its raw edges, timing the whole preprocessing path.
+pub fn time_index_build(h: &Hypergraph) -> IndexTiming {
+    // Extract raw form (outside the timed section).
+    let labels: Vec<_> = h.labels().to_vec();
+    let edges: Vec<Vec<u32>> = h.iter_edges().map(|(_, vs)| vs.to_vec()).collect();
+
+    let start = Instant::now();
+    let mut builder = hgmatch_hypergraph::HypergraphBuilder::new();
+    for l in labels {
+        builder.add_vertex(l);
+    }
+    for e in edges {
+        builder.add_edge(e).expect("edges valid");
+    }
+    let rebuilt = builder.build().expect("build succeeds");
+    let build_seconds = start.elapsed().as_secs_f64();
+
+    IndexTiming {
+        build_seconds,
+        table_bytes: rebuilt.table_size_bytes(),
+        index_bytes: rebuilt.index_size_bytes(),
+    }
+}
+
+/// Picks the `k` queries with the most embeddings from a workload (used by
+/// the scalability and scheduling experiments, which want heavy queries).
+pub fn heaviest_queries(
+    data: &Hypergraph,
+    workload: &Workload,
+    k: usize,
+    timeout: Duration,
+) -> Vec<(Hypergraph, u64)> {
+    let matcher =
+        Matcher::with_config(data, MatchConfig::parallel(num_cpus()).with_timeout(timeout));
+    let mut weighted: Vec<(Hypergraph, u64)> = workload
+        .queries
+        .iter()
+        .map(|q| {
+            let count = matcher.count(q).unwrap_or(0);
+            (q.clone(), count)
+        })
+        .collect();
+    weighted.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    weighted.truncate(k);
+    weighted
+}
+
+/// Available parallelism (1 if undetectable).
+pub fn num_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

@@ -1,0 +1,186 @@
+//! Shared experiment machinery: algorithm selection, workload construction
+//! and timed runs with the paper's censoring semantics (timed-out queries
+//! count as the full timeout when averaging, §VII-A).
+
+use std::time::Duration;
+
+use hgmatch_baselines::{run_baseline, BaselineAlgorithm};
+use hgmatch_core::{MatchConfig, Matcher};
+use hgmatch_datasets::{sample_query, QuerySetting};
+use hgmatch_hypergraph::Hypergraph;
+
+/// An algorithm under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmChoice {
+    /// HGMatch with the given thread count.
+    HgMatch {
+        /// Worker threads.
+        threads: usize,
+    },
+    /// One of the match-by-vertex baselines.
+    Baseline(BaselineAlgorithm),
+}
+
+impl AlgorithmChoice {
+    /// Display name (paper figure legend).
+    pub fn name(self) -> String {
+        match self {
+            Self::HgMatch { threads: 1 } => "HGMatch".to_string(),
+            Self::HgMatch { threads } => format!("HGMatch({threads}t)"),
+            Self::Baseline(b) => b.name().to_string(),
+        }
+    }
+
+    /// The single-thread comparison lineup of Fig. 8.
+    pub fn single_thread_lineup() -> Vec<AlgorithmChoice> {
+        let mut v: Vec<AlgorithmChoice> =
+            BaselineAlgorithm::all().into_iter().map(AlgorithmChoice::Baseline).collect();
+        v.push(AlgorithmChoice::HgMatch { threads: 1 });
+        v
+    }
+}
+
+/// Outcome of one timed run.
+#[derive(Debug, Clone, Copy)]
+pub struct TimedRun {
+    /// Embeddings counted (lower bound when timed out).
+    pub count: u64,
+    /// Elapsed seconds; equals the timeout when censored.
+    pub seconds: f64,
+    /// Whether the timeout fired.
+    pub timed_out: bool,
+}
+
+/// Runs `algorithm` on `(data, query)` with the paper's censoring: a
+/// timed-out run reports exactly the timeout as its elapsed time.
+pub fn time_algorithm(
+    algorithm: AlgorithmChoice,
+    data: &Hypergraph,
+    query: &Hypergraph,
+    timeout: Option<Duration>,
+) -> TimedRun {
+    match algorithm {
+        AlgorithmChoice::HgMatch { threads } => {
+            let mut config = MatchConfig::parallel(threads);
+            config.timeout = timeout;
+            let matcher = Matcher::with_config(data, config);
+            match matcher.count_with_stats(query) {
+                Ok((count, stats)) => TimedRun {
+                    count,
+                    seconds: censor(stats.elapsed, stats.timed_out, timeout),
+                    timed_out: stats.timed_out,
+                },
+                Err(_) => TimedRun { count: 0, seconds: 0.0, timed_out: false },
+            }
+        }
+        AlgorithmChoice::Baseline(b) => {
+            let result = run_baseline(b, data, query, timeout);
+            TimedRun {
+                count: result.count,
+                seconds: censor(result.elapsed, result.timed_out, timeout),
+                timed_out: result.timed_out,
+            }
+        }
+    }
+}
+
+fn censor(elapsed: Duration, timed_out: bool, timeout: Option<Duration>) -> f64 {
+    match (timed_out, timeout) {
+        (true, Some(t)) => t.as_secs_f64(),
+        _ => elapsed.as_secs_f64(),
+    }
+}
+
+/// A query workload: `n` random-walk queries per setting.
+#[derive(Debug)]
+pub struct Workload {
+    /// Setting the queries were drawn with.
+    pub setting: QuerySetting,
+    /// The sampled query hypergraphs.
+    pub queries: Vec<Hypergraph>,
+}
+
+impl Workload {
+    /// Samples `n` queries for `setting` from `data` (seeds `base_seed..`).
+    /// Datasets that cannot produce a query for some seed get fewer
+    /// queries; callers can check [`Workload::len`].
+    pub fn sample(data: &Hypergraph, setting: QuerySetting, n: usize, base_seed: u64) -> Self {
+        let queries = (0..n as u64)
+            .filter_map(|i| sample_query(data, &setting, base_seed.wrapping_add(i)))
+            .collect();
+        Self { setting, queries }
+    }
+
+    /// Number of queries actually sampled.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether sampling produced no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgmatch_datasets::standard_settings;
+    use hgmatch_hypergraph::{HypergraphBuilder, Label};
+
+    fn tiny_data() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![4, 6]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![3, 5, 6]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.add_edge(vec![2, 3, 4, 5]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn paper_query() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_paper_example() {
+        let data = tiny_data();
+        let query = paper_query();
+        for alg in AlgorithmChoice::single_thread_lineup() {
+            let run = time_algorithm(alg, &data, &query, None);
+            assert_eq!(run.count, 2, "{}", alg.name());
+            assert!(!run.timed_out);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AlgorithmChoice::HgMatch { threads: 1 }.name(), "HGMatch");
+        assert_eq!(AlgorithmChoice::HgMatch { threads: 8 }.name(), "HGMatch(8t)");
+        assert_eq!(
+            AlgorithmChoice::Baseline(BaselineAlgorithm::CflH).name(),
+            "CFL-H"
+        );
+    }
+
+    #[test]
+    fn workload_sampling() {
+        let data = tiny_data();
+        let w = Workload::sample(&data, standard_settings()[0], 5, 1);
+        assert!(!w.is_empty());
+        for q in &w.queries {
+            assert_eq!(q.num_edges(), 2);
+        }
+    }
+}

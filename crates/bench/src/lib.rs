@@ -1,0 +1,14 @@
+//! # hgmatch-bench
+//!
+//! Benchmark harness regenerating every table and figure of the HGMatch
+//! paper's evaluation (§VII). Each experiment is a binary under `src/bin/`
+//! (see DESIGN.md §4 for the index); shared machinery — timing, query
+//! workload construction, TSV reporting — lives here.
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use experiments::{single_thread_sweep, SweepParams, SweepResult};
+pub use harness::{time_algorithm, AlgorithmChoice, Workload};
+pub use report::{geometric_mean, median, percentile};

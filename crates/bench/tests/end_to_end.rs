@@ -1,0 +1,91 @@
+//! Workspace-spanning end-to-end tests: dataset profiles → query sampling
+//! → planning → parallel matching → baselines, exercised together the way
+//! the experiment binaries use them.
+
+use std::time::Duration;
+
+use hgmatch_bench::experiments::{single_thread_sweep, time_index_build, SweepParams};
+use hgmatch_bench::harness::{time_algorithm, AlgorithmChoice, Workload};
+use hgmatch_core::{MatchConfig, Matcher};
+use hgmatch_datasets::{profile_by_name, standard_settings, KnowledgeBase, KnowledgeBaseConfig};
+
+#[test]
+fn sweep_runs_and_all_algorithms_agree_on_counts() {
+    // A miniature Fig. 8 sweep on the smallest dataset: all algorithms
+    // must produce identical counts on every query they complete.
+    let params = SweepParams {
+        timeout: Duration::from_secs(10),
+        queries_per_setting: 2,
+        datasets: vec!["CH".to_string()],
+        seed: 3,
+    };
+    let data = profile_by_name("CH").unwrap().generate();
+    for setting in standard_settings().iter().take(2) {
+        let workload = Workload::sample(&data, *setting, 2, 3);
+        for query in &workload.queries {
+            let mut counts = Vec::new();
+            for alg in AlgorithmChoice::single_thread_lineup() {
+                let run = time_algorithm(alg, &data, query, Some(params.timeout));
+                if !run.timed_out {
+                    counts.push((alg.name(), run.count));
+                }
+            }
+            assert!(!counts.is_empty());
+            let reference = counts[0].1;
+            for (name, count) in &counts {
+                assert_eq!(*count, reference, "{name} disagrees");
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_result_has_expected_shape() {
+    let params = SweepParams {
+        timeout: Duration::from_secs(5),
+        queries_per_setting: 1,
+        datasets: vec!["CH".to_string()],
+        seed: 1,
+    };
+    let result = single_thread_sweep(&params, |_| {});
+    // 4 settings x 5 algorithms (some settings may fail to sample).
+    assert!(!result.cells.is_empty());
+    let ratios = result.completion_ratios();
+    assert!(ratios.contains_key("HGMatch"));
+    assert!(ratios.len() == 5, "five algorithms expected, got {:?}", ratios.keys());
+    for (_, (completed, total)) in ratios {
+        assert!(completed <= total);
+    }
+}
+
+#[test]
+fn index_build_timing_is_sane() {
+    let h = profile_by_name("CP").unwrap().generate();
+    let timing = time_index_build(&h);
+    assert!(timing.build_seconds > 0.0);
+    assert!(timing.build_seconds < 30.0);
+    assert!(timing.table_bytes > 0);
+    assert!(timing.index_bytes > 0);
+}
+
+#[test]
+fn parallel_matches_sequential_on_profile_dataset() {
+    let data = profile_by_name("CH").unwrap().generate();
+    let workload = Workload::sample(&data, standard_settings()[1], 3, 17);
+    assert!(!workload.is_empty());
+    let seq = Matcher::new(&data);
+    let par = Matcher::with_config(&data, MatchConfig::parallel(4));
+    for query in &workload.queries {
+        assert_eq!(seq.count(query).unwrap(), par.count(query).unwrap());
+    }
+}
+
+#[test]
+fn case_study_queries_return_answers() {
+    let kb = KnowledgeBase::generate(&KnowledgeBaseConfig::default());
+    let matcher = Matcher::new(&kb.graph);
+    let q1 = matcher.count(&KnowledgeBase::query_multi_team_player()).unwrap();
+    let q2 = matcher.count(&KnowledgeBase::query_recast_character()).unwrap();
+    assert!(q1 > 0, "query 1 has planted answers");
+    assert!(q2 > 0, "query 2 has planted answers");
+}

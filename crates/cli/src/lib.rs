@@ -1,0 +1,180 @@
+//! `hgmatch` — command-line interface to the HGMatch engine (library
+//! portion: argument parsing and subcommand logic, testable in-process).
+//!
+//! Subcommands:
+//!
+//! * `generate <profile> <labels.txt> <edges.txt>` — emit a synthetic
+//!   dataset (Table II profile) in the text format.
+//! * `stats <labels.txt> <edges.txt>` — print Table II-style statistics.
+//! * `match <labels.txt> <edges.txt> <qlabels.txt> <qedges.txt>
+//!   [--threads N] [--timeout SECS] [--print [LIMIT]]` — count (and
+//!   optionally print) embeddings.
+//! * `explain <labels.txt> <edges.txt> <qlabels.txt> <qedges.txt>` — show
+//!   the matching order and dataflow.
+//! * `sample-query <labels.txt> <edges.txt> <setting> <seed>
+//!   <out-labels> <out-edges>` — draw a random-walk query (q2/q3/q4/q6).
+
+use std::path::Path;
+use std::time::Duration;
+
+use hgmatch_core::operators::Dataflow;
+use hgmatch_core::{MatchConfig, Matcher};
+use hgmatch_datasets::{profile_by_name, sample_query, standard_settings};
+use hgmatch_hypergraph::io;
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "usage:
+  hgmatch generate <profile> <labels.txt> <edges.txt>
+  hgmatch stats <labels.txt> <edges.txt>
+  hgmatch match <labels> <edges> <qlabels> <qedges> [--threads N] [--timeout SECS] [--print [LIMIT]]
+  hgmatch explain <labels> <edges> <qlabels> <qedges>
+  hgmatch sample-query <labels> <edges> <q2|q3|q4|q6> <seed> <out-labels> <out-edges>
+profiles: HC MA CH CP SB HB WT TC SA AR";
+
+/// Executes one CLI invocation; `args` excludes the program name.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "generate" => generate(&args[1..]),
+        "stats" => stats(&args[1..]),
+        "match" => do_match(&args[1..]),
+        "explain" => explain(&args[1..]),
+        "sample-query" => do_sample(&args[1..]),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load(labels: &str, edges: &str) -> Result<hgmatch_hypergraph::Hypergraph, String> {
+    io::load_text(Path::new(labels), Path::new(edges))
+        .map_err(|e| format!("loading {labels} / {edges}: {e}"))
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let [profile, labels, edges] = args else {
+        return Err("generate needs <profile> <labels.txt> <edges.txt>".into());
+    };
+    let profile =
+        profile_by_name(profile).ok_or_else(|| format!("unknown profile {profile:?}"))?;
+    let h = profile.generate();
+    io::save_text(&h, Path::new(labels), Path::new(edges)).map_err(|e| e.to_string())?;
+    println!("{}", h.stats().table_row(profile.name));
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let [labels, edges] = args else {
+        return Err("stats needs <labels.txt> <edges.txt>".into());
+    };
+    let h = load(labels, edges)?;
+    let s = h.stats();
+    println!("dataset\t|V|\t|E|\t|Sigma|\tamax\ta\tgraph\tindex");
+    println!("{}", s.table_row("-"));
+    println!("partitions: {}", s.num_partitions);
+    println!("max degree: {}", s.max_degree);
+    Ok(())
+}
+
+fn do_match(args: &[String]) -> Result<(), String> {
+    if args.len() < 4 {
+        return Err("match needs data and query label/edge files".into());
+    }
+    let data = load(&args[0], &args[1])?;
+    let query = load(&args[2], &args[3])?;
+
+    let mut config = MatchConfig::default();
+    let mut print_limit: Option<usize> = None;
+    let mut i = 4;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                config.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a number")?;
+            }
+            "--timeout" => {
+                i += 1;
+                let secs: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--timeout needs seconds")?;
+                config.timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--print" => {
+                if let Some(limit) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    i += 1;
+                    print_limit = Some(limit);
+                } else {
+                    print_limit = Some(20);
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+
+    let matcher = Matcher::with_config(&data, config);
+    if let Some(limit) = print_limit {
+        let all = matcher.find_all(&query).map_err(|e| e.to_string())?;
+        println!("embeddings: {}", all.len());
+        for m in all.iter().take(limit) {
+            println!("  {m}");
+        }
+        if all.len() > limit {
+            println!("  … {} more", all.len() - limit);
+        }
+    } else {
+        let (count, stats) = matcher.count_with_stats(&query).map_err(|e| e.to_string())?;
+        println!("embeddings: {count}");
+        println!("elapsed: {:.6}s", stats.elapsed.as_secs_f64());
+        if stats.timed_out {
+            println!("TIMED OUT (count is a lower bound)");
+        }
+        let m = stats.metrics;
+        println!(
+            "scan: {}, candidates: {}, filtered: {}, validated: {}",
+            m.scan_rows, m.candidates, m.filtered, m.validated
+        );
+    }
+    Ok(())
+}
+
+fn explain(args: &[String]) -> Result<(), String> {
+    let [labels, edges, qlabels, qedges] = args else {
+        return Err("explain needs data and query label/edge files".into());
+    };
+    let data = load(labels, edges)?;
+    let query = load(qlabels, qedges)?;
+    let matcher = Matcher::new(&data);
+    let plan = matcher.plan(&query).map_err(|e| e.to_string())?;
+    println!("matching order (query hyperedges): {:?}", plan.order());
+    println!("{}", Dataflow::from_plan(&plan, &data));
+    if plan.is_infeasible() {
+        println!("plan is infeasible: some query signature is absent from the data");
+    }
+    Ok(())
+}
+
+fn do_sample(args: &[String]) -> Result<(), String> {
+    let [labels, edges, setting_name, seed, out_labels, out_edges] = args else {
+        return Err("sample-query needs 6 arguments".into());
+    };
+    let data = load(labels, edges)?;
+    let setting = standard_settings()
+        .into_iter()
+        .find(|s| s.name == setting_name.as_str())
+        .ok_or_else(|| format!("unknown setting {setting_name:?} (q2/q3/q4/q6)"))?;
+    let seed: u64 = seed.parse().map_err(|_| "seed must be an integer")?;
+    let query = sample_query(&data, &setting, seed)
+        .ok_or("could not sample a query with this setting/seed")?;
+    io::save_text(&query, Path::new(out_labels), Path::new(out_edges))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "sampled {}: |V(q)| = {}, |E(q)| = {}",
+        setting.name,
+        query.num_vertices(),
+        query.num_edges()
+    );
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! `hgmatch` binary entry point. All logic lives in the library so the
+//! subcommands are unit-testable in-process.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hgmatch_cli::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", hgmatch_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

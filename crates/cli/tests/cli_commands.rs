@@ -1,0 +1,113 @@
+//! In-process tests of every CLI subcommand.
+
+use std::path::PathBuf;
+
+use hgmatch_cli::run;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("hgmatch-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Writes the paper's Fig. 1 data and query files; returns their paths.
+fn write_paper_files(dir: &TempDir) -> (String, String, String, String) {
+    let dl = dir.path("data.labels");
+    let de = dir.path("data.edges");
+    let ql = dir.path("query.labels");
+    let qe = dir.path("query.edges");
+    std::fs::write(&dl, "0\n2\n0\n0\n1\n2\n0\n").unwrap();
+    std::fs::write(&de, "2,4\n4,6\n0,1,2\n3,5,6\n0,1,4,6\n2,3,4,5\n").unwrap();
+    std::fs::write(&ql, "0\n2\n0\n0\n1\n").unwrap();
+    std::fs::write(&qe, "2,4\n0,1,2\n0,1,3,4\n").unwrap();
+    (dl, de, ql, qe)
+}
+
+#[test]
+fn unknown_command_errors() {
+    assert!(run(&args(&["frobnicate"])).is_err());
+    assert!(run(&[]).is_err());
+}
+
+#[test]
+fn generate_and_stats_roundtrip() {
+    let dir = TempDir::new("gen");
+    let labels = dir.path("ch.labels");
+    let edges = dir.path("ch.edges");
+    run(&args(&["generate", "CH", &labels, &edges])).expect("generate works");
+    run(&args(&["stats", &labels, &edges])).expect("stats works");
+    assert!(std::fs::metadata(&labels).unwrap().len() > 0);
+    assert!(std::fs::metadata(&edges).unwrap().len() > 0);
+}
+
+#[test]
+fn generate_rejects_unknown_profile() {
+    let dir = TempDir::new("badprofile");
+    let err = run(&args(&["generate", "NOPE", &dir.path("a"), &dir.path("b")])).unwrap_err();
+    assert!(err.contains("unknown profile"));
+}
+
+#[test]
+fn match_counts_paper_example() {
+    let dir = TempDir::new("match");
+    let (dl, de, ql, qe) = write_paper_files(&dir);
+    run(&args(&["match", &dl, &de, &ql, &qe])).expect("match works");
+    run(&args(&["match", &dl, &de, &ql, &qe, "--threads", "2"])).expect("parallel match");
+    run(&args(&["match", &dl, &de, &ql, &qe, "--print", "5"])).expect("print mode");
+    run(&args(&["match", &dl, &de, &ql, &qe, "--timeout", "10"])).expect("timeout flag");
+}
+
+#[test]
+fn match_rejects_bad_flags() {
+    let dir = TempDir::new("badflags");
+    let (dl, de, ql, qe) = write_paper_files(&dir);
+    assert!(run(&args(&["match", &dl, &de, &ql, &qe, "--bogus"])).is_err());
+    assert!(run(&args(&["match", &dl, &de, &ql, &qe, "--threads"])).is_err());
+    assert!(run(&args(&["match", &dl, &de])).is_err());
+}
+
+#[test]
+fn explain_prints_dataflow() {
+    let dir = TempDir::new("explain");
+    let (dl, de, ql, qe) = write_paper_files(&dir);
+    run(&args(&["explain", &dl, &de, &ql, &qe])).expect("explain works");
+}
+
+#[test]
+fn sample_query_emits_files() {
+    let dir = TempDir::new("sample");
+    let labels = dir.path("cp.labels");
+    let edges = dir.path("cp.edges");
+    run(&args(&["generate", "CP", &labels, &edges])).unwrap();
+    let ql = dir.path("q.labels");
+    let qe = dir.path("q.edges");
+    run(&args(&["sample-query", &labels, &edges, "q2", "5", &ql, &qe])).expect("sample works");
+    // The sampled query must itself be loadable and matchable.
+    run(&args(&["match", &labels, &edges, &ql, &qe])).expect("sampled query matches");
+    // Unknown setting is rejected.
+    assert!(run(&args(&["sample-query", &labels, &edges, "q9", "5", &ql, &qe])).is_err());
+}
+
+#[test]
+fn missing_files_produce_errors_not_panics() {
+    let err = run(&args(&["stats", "/nonexistent/a", "/nonexistent/b"])).unwrap_err();
+    assert!(err.contains("loading"));
+}

@@ -1,0 +1,368 @@
+//! Candidate hyperedge generation — the paper's Algorithm 4.
+//!
+//! Given a partial embedding `m` and the next query hyperedge `eq`, the
+//! candidates are data hyperedges that
+//!
+//! * live in the partition with signature `S(eq)` (Observation V.1),
+//! * are incident, for every *anchor* — a `(previously matched adjacent
+//!   query edge e, shared vertex u ∈ e ∩ eq)` pair — to at least one vertex
+//!   of `f(e)` that carries `u`'s label and has matching degree within the
+//!   partial embedding (Observations V.2 and V.4),
+//! * and (optionally, eager Observation V.3) touch no vertex matched by a
+//!   non-adjacent query edge.
+//!
+//! Everything is posting-list algebra: per anchor a *union* of `he(v,
+//! S(eq))` lists, then an *intersection* across anchors, and optionally a
+//! *difference* against the non-incident union — exactly the three set
+//! operations the paper highlights.
+
+use hgmatch_hypergraph::hypergraph::Hypergraph;
+use hgmatch_hypergraph::setops;
+
+use crate::config::MatchConfig;
+use crate::plan::Step;
+
+/// Per-expansion state shared between candidate generation and validation.
+///
+/// Rebuilt once per partial embedding (not per candidate), so its cost is
+/// amortised over all candidates of the expansion.
+#[derive(Debug, Default)]
+pub struct ExpansionState {
+    /// Sorted distinct vertices of the partial embedding with their degree
+    /// within it: `(v, d_Hm(v))`.
+    pub m_vertices: Vec<(u32, u32)>,
+    /// Sorted vertices matched by non-adjacent previous edges
+    /// (`V_n_incdt` of Algorithm 4 line 1).
+    pub non_incident: Vec<u32>,
+    /// Output: candidate local rows in the step's partition.
+    pub candidates: Vec<u32>,
+    // Scratch buffers.
+    gather: Vec<u32>,
+    union: Vec<u32>,
+    tmp: Vec<u32>,
+}
+
+impl ExpansionState {
+    /// Creates empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `d_Hm(v)`: degree of data vertex `v` within the partial embedding.
+    #[inline]
+    pub fn embedding_degree(&self, v: u32) -> u32 {
+        match self.m_vertices.binary_search_by_key(&v, |&(x, _)| x) {
+            Ok(i) => self.m_vertices[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Whether `v` already occurs in the partial embedding.
+    #[inline]
+    pub fn contains_vertex(&self, v: u32) -> bool {
+        self.m_vertices.binary_search_by_key(&v, |&(x, _)| x).is_ok()
+    }
+
+    /// `|V(Hm)|`: distinct vertices in the partial embedding.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.m_vertices.len()
+    }
+
+    /// Rebuilds `m_vertices` and `non_incident` for the partial embedding
+    /// `emb` (global edge ids, matching-order positions) at `step`.
+    pub fn prepare(&mut self, data: &Hypergraph, step: &Step, emb: &[u32]) {
+        self.gather.clear();
+        for &e in emb {
+            self.gather.extend_from_slice(data.edge_vertices(e.into()));
+        }
+        self.gather.sort_unstable();
+        self.m_vertices.clear();
+        for &v in &self.gather {
+            match self.m_vertices.last_mut() {
+                Some((last, count)) if *last == v => *count += 1,
+                _ => self.m_vertices.push((v, 1)),
+            }
+        }
+
+        self.non_incident.clear();
+        for &pos in &step.nonadjacent_prev {
+            self.non_incident.extend_from_slice(data.edge_vertices(emb[pos as usize].into()));
+        }
+        self.non_incident.sort_unstable();
+        self.non_incident.dedup();
+    }
+}
+
+/// Runs Algorithm 4: fills `state.candidates` with the local rows of the
+/// step's partition that may extend `emb`. Returns the number of candidates.
+///
+/// [`ExpansionState::prepare`] must have been called for the same
+/// `(step, emb)` first.
+pub fn generate_candidates(
+    data: &Hypergraph,
+    step: &Step,
+    emb: &[u32],
+    state: &mut ExpansionState,
+    config: &MatchConfig,
+) -> usize {
+    state.candidates.clear();
+    let Some(pid) = step.partition else {
+        return 0; // signature absent from the data: no candidates
+    };
+    let partition = data.partition(pid);
+
+    if step.anchors.is_empty() {
+        // Disconnected step (or an explicitly disconnected order): every row
+        // of the partition is a candidate; validation sorts out the rest.
+        state.candidates.extend(0..partition.len() as u32);
+    } else {
+        let mut first = true;
+        let mut postings: Vec<&[u32]> = Vec::new();
+        for anchor in &step.anchors {
+            let prev = emb[anchor.prev_pos as usize];
+            postings.clear();
+            for &v in data.edge_vertices(prev.into()) {
+                // V_incdt filter: label, embedding degree, not in V_n_incdt.
+                if data.label(v.into()) != anchor.label
+                    || state.embedding_degree(v) != anchor.required_degree
+                    || state.non_incident.binary_search(&v).is_ok()
+                {
+                    continue;
+                }
+                let rows = partition.incident_rows(v);
+                if !rows.is_empty() {
+                    postings.push(rows);
+                }
+            }
+            if postings.is_empty() {
+                state.candidates.clear();
+                return 0;
+            }
+            // One C' element: the union over qualifying vertices.
+            build_union(&postings, &mut state.union, &mut state.tmp);
+            if first {
+                std::mem::swap(&mut state.candidates, &mut state.union);
+                first = false;
+            } else {
+                setops::intersect_into(&state.candidates, &state.union, &mut state.tmp);
+                std::mem::swap(&mut state.candidates, &mut state.tmp);
+            }
+            if state.candidates.is_empty() {
+                return 0;
+            }
+        }
+    }
+
+    if config.prune_non_incident && !state.non_incident.is_empty() {
+        // Eager Observation V.3: drop candidates touching forbidden
+        // vertices. `state.union` is reused for the forbidden-row union.
+        let mut postings: Vec<&[u32]> = Vec::new();
+        for &v in &state.non_incident {
+            let rows = partition.incident_rows(v);
+            if !rows.is_empty() {
+                postings.push(rows);
+            }
+        }
+        if !postings.is_empty() {
+            build_union(&postings, &mut state.union, &mut state.tmp);
+            setops::difference_into(&state.candidates, &state.union, &mut state.tmp);
+            std::mem::swap(&mut state.candidates, &mut state.tmp);
+        }
+    }
+
+    state.candidates.len()
+}
+
+/// Unions `postings` into `out`, using `tmp` as scratch.
+fn build_union(postings: &[&[u32]], out: &mut Vec<u32>, tmp: &mut Vec<u32>) {
+    match postings {
+        [] => out.clear(),
+        [only] => {
+            out.clear();
+            out.extend_from_slice(only);
+        }
+        [a, b] => setops::union_into(a, b, out),
+        many => {
+            setops::union_into(many[0], many[1], out);
+            for s in &many[2..] {
+                setops::union_into(out, s, tmp);
+                std::mem::swap(out, tmp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Planner;
+    use crate::query::QueryGraph;
+    use hgmatch_hypergraph::{HypergraphBuilder, Label};
+
+    fn paper_data() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap(); // e0 (paper e1)
+        b.add_edge(vec![4, 6]).unwrap(); // e1 (paper e2)
+        b.add_edge(vec![0, 1, 2]).unwrap(); // e2 (paper e3)
+        b.add_edge(vec![3, 5, 6]).unwrap(); // e3 (paper e4)
+        b.add_edge(vec![0, 1, 4, 6]).unwrap(); // e4 (paper e5)
+        b.add_edge(vec![2, 3, 4, 5]).unwrap(); // e5 (paper e6)
+        b.build().unwrap()
+    }
+
+    fn paper_query() -> QueryGraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        QueryGraph::new(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_example_v1() {
+        // Example V.1: ϕ = (q0, q1, q2), m = (e1, e3) in paper ids —
+        // (e0, e2) in ours. Candidates for q2 must be {e5 (paper)} = row of
+        // our e4 in its partition.
+        let data = paper_data();
+        let query = paper_query();
+        let plan = Planner::plan_with_order(&query, &data, vec![0, 1, 2]).unwrap();
+        let step = &plan.steps()[2];
+        let emb = [0u32, 2]; // our e0 (paper e1), e2 (paper e3)
+
+        let mut state = ExpansionState::new();
+        state.prepare(&data, step, &emb);
+        let n = generate_candidates(&data, step, &emb, &mut state, &MatchConfig::default());
+        assert_eq!(n, 1);
+        let partition = data.partition(step.partition.unwrap());
+        let globals: Vec<u32> =
+            state.candidates.iter().map(|&r| partition.global_id(r).raw()).collect();
+        assert_eq!(globals, vec![4]); // paper e5
+    }
+
+    #[test]
+    fn prepare_builds_embedding_degrees() {
+        let data = paper_data();
+        let query = paper_query();
+        let plan = Planner::plan_with_order(&query, &data, vec![0, 1, 2]).unwrap();
+        let mut state = ExpansionState::new();
+        state.prepare(&data, &plan.steps()[2], &[0, 2]);
+        // m = {e0 {2,4}, e2 {0,1,2}} → v2 appears twice.
+        assert_eq!(state.embedding_degree(2), 2);
+        assert_eq!(state.embedding_degree(0), 1);
+        assert_eq!(state.embedding_degree(4), 1);
+        assert_eq!(state.embedding_degree(9), 0);
+        assert_eq!(state.num_vertices(), 4);
+        assert!(state.contains_vertex(4));
+        assert!(!state.contains_vertex(6));
+    }
+
+    #[test]
+    fn second_step_candidates() {
+        // After matching q0 → e0 {v2,v4}, candidates for q1 {A,A,C} must be
+        // incident to v2 (the A vertex of e0 with the right partial degree):
+        // only e2 {0,1,2} qualifies (e3 does not touch v2).
+        let data = paper_data();
+        let query = paper_query();
+        let plan = Planner::plan_with_order(&query, &data, vec![0, 1, 2]).unwrap();
+        let step = &plan.steps()[1];
+        let emb = [0u32];
+        let mut state = ExpansionState::new();
+        state.prepare(&data, step, &emb);
+        let n = generate_candidates(&data, step, &emb, &mut state, &MatchConfig::default());
+        let partition = data.partition(step.partition.unwrap());
+        let globals: Vec<u32> =
+            state.candidates.iter().map(|&r| partition.global_id(r).raw()).collect();
+        assert_eq!(n, 1);
+        assert_eq!(globals, vec![2]);
+    }
+
+    #[test]
+    fn missing_partition_yields_nothing() {
+        let data = paper_data();
+        // Query with a signature {B,B} absent from the data.
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(1));
+        b.add_edge(vec![0, 1]).unwrap();
+        let q = QueryGraph::new(&b.build().unwrap()).unwrap();
+        let plan = Planner::plan(&q, &data).unwrap();
+        assert!(plan.is_infeasible());
+        let mut state = ExpansionState::new();
+        state.prepare(&data, &plan.steps()[0], &[]);
+        let n =
+            generate_candidates(&data, &plan.steps()[0], &[], &mut state, &MatchConfig::default());
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn eager_non_incident_pruning_drops_rows() {
+        // Disconnected query: two {A,B} edges. After matching the first to
+        // e0 {v2,v4}, the second step has no anchors; with eager pruning the
+        // candidate set must exclude rows touching v2 or v4.
+        let data = paper_data();
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 1, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![0, 1]).unwrap();
+        b.add_edge(vec![2, 3]).unwrap();
+        let q = QueryGraph::new(&b.build().unwrap()).unwrap();
+        let plan = Planner::plan(&q, &data).unwrap();
+        let step = &plan.steps()[1];
+        assert!(step.anchors.is_empty());
+        let emb = [0u32]; // e0 = {v2, v4}
+
+        let mut state = ExpansionState::new();
+        state.prepare(&data, step, &emb);
+
+        // Without pruning: both {A,B} rows are candidates.
+        let n = generate_candidates(&data, step, &emb, &mut state, &MatchConfig::default());
+        assert_eq!(n, 2);
+
+        // With pruning: e0 shares v2/v4, e1 = {v4,v6} shares v4 → none left.
+        let cfg = MatchConfig::default().with_prune_non_incident(true);
+        state.prepare(&data, step, &emb);
+        let n = generate_candidates(&data, step, &emb, &mut state, &cfg);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn second_embedding_path_found() {
+        // The paper's second embedding is (e2, e4, e6) in its 1-indexed ids
+        // = our (e1, e3, e5). Walk it step by step: q0 → e1 {v4,v6}, then
+        // q1 {A,A,C} must pick e3 {3,5,6} (v6 anchors it; v3/v6 degree
+        // filtering rules out e2), then q2 must pick exactly e5.
+        let data = paper_data();
+        let query = paper_query();
+        let plan = Planner::plan_with_order(&query, &data, vec![0, 1, 2]).unwrap();
+        let mut state = ExpansionState::new();
+
+        let step1 = &plan.steps()[1];
+        let emb1 = [1u32];
+        state.prepare(&data, step1, &emb1);
+        let n = generate_candidates(&data, step1, &emb1, &mut state, &MatchConfig::default());
+        let partition = data.partition(step1.partition.unwrap());
+        let globals: Vec<u32> =
+            state.candidates.iter().map(|&r| partition.global_id(r).raw()).collect();
+        assert_eq!((n, globals), (1, vec![3]));
+
+        let step2 = &plan.steps()[2];
+        let emb2 = [1u32, 3];
+        state.prepare(&data, step2, &emb2);
+        let n = generate_candidates(&data, step2, &emb2, &mut state, &MatchConfig::default());
+        let partition = data.partition(step2.partition.unwrap());
+        let globals: Vec<u32> =
+            state.candidates.iter().map(|&r| partition.global_id(r).raw()).collect();
+        // The degree filter (Observation V.4) rejects e4 even though v4 is
+        // shared: within (e1, e3), v6 has embedding degree 2 but u0/u2's
+        // partial-query degrees demand 1, so only v3/v5 anchor — both point
+        // at e5 alone.
+        assert_eq!((n, globals), (1, vec![5]));
+    }
+}

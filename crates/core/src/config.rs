@@ -1,0 +1,96 @@
+//! Execution configuration.
+
+use std::time::Duration;
+
+/// Configuration shared by all executors.
+#[derive(Debug, Clone)]
+pub struct MatchConfig {
+    /// Worker threads for the parallel engine (the sequential executor
+    /// ignores this). Must be ≥ 1.
+    pub threads: usize,
+    /// Wall-clock budget; execution aborts (reporting `timed_out`) when
+    /// exceeded. `None` = unbounded.
+    pub timeout: Option<Duration>,
+    /// Extra pruning beyond the paper's Algorithm 4: subtract hyperedges
+    /// incident to `V_n_incdt` from the candidate set instead of leaving
+    /// them to validation (Observation V.3 applied eagerly). Off by default
+    /// to match the paper; the ablation bench measures its effect.
+    pub prune_non_incident: bool,
+    /// Dynamic work stealing (paper §VI-C). Disabling it reproduces the
+    /// `HGMatch-NOSTL` baseline of Fig. 12.
+    pub work_stealing: bool,
+    /// Rows per SCAN chunk: the scan range splits until chunks are at most
+    /// this long, bounding task granularity.
+    pub scan_chunk: usize,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            timeout: None,
+            prune_non_incident: false,
+            work_stealing: true,
+            scan_chunk: 256,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// Single-threaded config.
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// Parallel config with `threads` workers.
+    pub fn parallel(threads: usize) -> Self {
+        Self { threads: threads.max(1), ..Self::default() }
+    }
+
+    /// Sets the timeout, builder style.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Toggles work stealing, builder style.
+    pub fn with_work_stealing(mut self, enabled: bool) -> Self {
+        self.work_stealing = enabled;
+        self
+    }
+
+    /// Toggles eager non-incidence pruning, builder style.
+    pub fn with_prune_non_incident(mut self, enabled: bool) -> Self {
+        self.prune_non_incident = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = MatchConfig::default();
+        assert_eq!(c.threads, 1);
+        assert!(c.timeout.is_none());
+        assert!(!c.prune_non_incident);
+        assert!(c.work_stealing);
+        assert!(c.scan_chunk > 0);
+    }
+
+    #[test]
+    fn builders() {
+        let c = MatchConfig::parallel(8)
+            .with_timeout(Duration::from_secs(5))
+            .with_work_stealing(false)
+            .with_prune_non_incident(true);
+        assert_eq!(c.threads, 8);
+        assert_eq!(c.timeout, Some(Duration::from_secs(5)));
+        assert!(!c.work_stealing);
+        assert!(c.prune_non_incident);
+        // Zero threads clamps to one.
+        assert_eq!(MatchConfig::parallel(0).threads, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Embedding representation.
+//!
+//! A subhypergraph-isomorphism embedding is the tuple
+//! `m = (e_H1, …, e_Hn)` of data hyperedges matched to the query hyperedges
+//! (paper §III-A): `edges()[i]` is the data hyperedge matched to query
+//! hyperedge `i`. Engines work internally in matching-order positions and
+//! convert through [`crate::plan::Plan::to_query_order`] at the sink
+//! boundary.
+
+use std::fmt;
+
+use hgmatch_hypergraph::EdgeId;
+
+/// A complete embedding: data hyperedge ids in *query hyperedge order*.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Embedding {
+    edges: Box<[u32]>,
+}
+
+impl Embedding {
+    /// Wraps raw data-edge ids (already in query-edge order).
+    pub fn new(edges: Vec<u32>) -> Self {
+        Self { edges: edges.into_boxed_slice() }
+    }
+
+    /// The matched data hyperedge for query hyperedge `i`.
+    #[inline]
+    pub fn edge(&self, i: usize) -> EdgeId {
+        EdgeId::new(self.edges[i])
+    }
+
+    /// Raw matched edge ids, indexed by query hyperedge.
+    #[inline]
+    pub fn raw(&self) -> &[u32] {
+        &self.edges
+    }
+
+    /// Number of matched hyperedges (= `|E(q)|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the embedding is empty (never true for valid embeddings).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterates the matched hyperedges as [`EdgeId`]s.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().map(|&e| EdgeId::new(e))
+    }
+}
+
+impl fmt::Display for Embedding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<u32>> for Embedding {
+    fn from(edges: Vec<u32>) -> Self {
+        Self::new(edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let m = Embedding::new(vec![4, 2, 0]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.edge(0), EdgeId::new(4));
+        assert_eq!(m.raw(), &[4, 2, 0]);
+        let ids: Vec<EdgeId> = m.iter().collect();
+        assert_eq!(ids, vec![EdgeId::new(4), EdgeId::new(2), EdgeId::new(0)]);
+    }
+
+    #[test]
+    fn display() {
+        let m = Embedding::new(vec![1, 3, 5]);
+        assert_eq!(m.to_string(), "(e1, e3, e5)");
+    }
+
+    #[test]
+    fn ordering_and_hash_follow_tuple() {
+        use std::collections::HashSet;
+        let a = Embedding::new(vec![1, 2]);
+        let b = Embedding::new(vec![1, 3]);
+        assert!(a < b);
+        let set: HashSet<Embedding> = [a.clone(), b.clone(), a.clone()].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,512 @@
+//! The task-based parallel execution engine (paper §VI).
+//!
+//! Computation is a SCAN → EXPAND* → SINK dataflow executed as *tasks*
+//! (Definition VI.1): a `Scan` task covers a range of partition rows and
+//! splits itself until ranges are small; an `Expand` task carries one
+//! partial embedding, generates candidates, validates them and spawns one
+//! child task per valid extension (or delivers to the sink at the last
+//! step).
+//!
+//! Scheduling follows the paper exactly:
+//!
+//! * **LIFO task deques** — every worker owns a Chase–Lev deque
+//!   (`crossbeam-deque`, the same non-blocking design as the paper's [17])
+//!   and pushes/pops at its hot end, so the engine runs depth-first locally
+//!   and memory stays within the Theorem VI.1 bound
+//!   `O(aq · |E(q)|² · |E(H)|)`.
+//! * **Dynamic work stealing** (§VI-C) — an idle worker picks a random
+//!   victim and steals a batch (up to half) from the cold end of its deque,
+//!   i.e. the oldest, coarsest tasks. Disabling stealing (plus static
+//!   first-level partitioning) reproduces the `HGMatch-NOSTL` baseline of
+//!   Fig. 12.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use hgmatch_hypergraph::Hypergraph;
+use parking_lot::Mutex;
+
+use crate::candidates::{generate_candidates, ExpansionState};
+use crate::config::MatchConfig;
+use crate::exec::{RunStats, WorkerStats};
+use crate::memory::MemoryTracker;
+use crate::metrics::MatchMetrics;
+use crate::plan::Plan;
+use crate::sink::Sink;
+use crate::validate::{validate_candidate, Validation, ValidateScratch};
+
+/// Tasks between abort-flag checks.
+const CHECK_INTERVAL: u64 = 256;
+
+/// A schedulable unit (paper Definition VI.1).
+#[derive(Debug)]
+enum Task {
+    /// Scan rows `start..end` of the first step's partition; splits itself
+    /// while the range exceeds the configured chunk size.
+    Scan { start: u32, end: u32 },
+    /// Expand the partial embedding `emb` (matching-order positions
+    /// `0..depth`) at step `depth`.
+    Expand { depth: u8, emb: Box<[u32]> },
+}
+
+/// The parallel engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelEngine;
+
+struct Shared<'a, S: Sink> {
+    plan: &'a Plan,
+    data: &'a Hypergraph,
+    sink: &'a S,
+    config: &'a MatchConfig,
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    pending: AtomicU64,
+    abort: AtomicBool,
+    timed_out: AtomicBool,
+    deadline: Option<Instant>,
+    tracker: MemoryTracker,
+}
+
+impl ParallelEngine {
+    /// Runs `plan` against `data` with `config.threads` workers, delivering
+    /// results to `sink`.
+    pub fn run<S: Sink>(
+        plan: &Plan,
+        data: &Hypergraph,
+        sink: &S,
+        config: &MatchConfig,
+    ) -> RunStats {
+        let start = Instant::now();
+        let threads = config.threads.max(1);
+        let mut stats = RunStats::default();
+        if plan.is_infeasible() {
+            stats.workers = vec![WorkerStats::default(); threads];
+            stats.elapsed = start.elapsed();
+            return stats;
+        }
+
+        let deques: Vec<Deque<Task>> = (0..threads).map(|_| Deque::new_lifo()).collect();
+        let stealers: Vec<Stealer<Task>> = deques.iter().map(Deque::stealer).collect();
+
+        let shared = Shared {
+            plan,
+            data,
+            sink,
+            config,
+            injector: Injector::new(),
+            stealers,
+            pending: AtomicU64::new(0),
+            abort: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            deadline: config.timeout.map(|t| start + t),
+            tracker: MemoryTracker::new(),
+        };
+
+        // Seed the scan. With stealing the whole range goes to the injector
+        // and splits dynamically; without stealing (NOSTL) the first-level
+        // rows are divided statically and evenly among workers — the
+        // coarse-grained baseline of Fig. 12.
+        let scan_rows = data.partition(plan.steps()[0].partition.expect("feasible")).len() as u32;
+        let mut seeded: Vec<Vec<Task>> = (0..threads).map(|_| Vec::new()).collect();
+        if config.work_stealing {
+            if scan_rows > 0 {
+                shared.pending.fetch_add(1, Ordering::Relaxed);
+                shared.injector.push(Task::Scan { start: 0, end: scan_rows });
+            }
+        } else {
+            let per = scan_rows.div_ceil(threads.max(1) as u32).max(1);
+            let mut begin = 0u32;
+            let mut w = 0usize;
+            while begin < scan_rows {
+                let end = (begin + per).min(scan_rows);
+                shared.pending.fetch_add(1, Ordering::Relaxed);
+                seeded[w % threads].push(Task::Scan { start: begin, end });
+                begin = end;
+                w += 1;
+            }
+        }
+
+        let results: Mutex<Vec<(usize, WorkerStats, MatchMetrics)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (id, deque) in deques.into_iter().enumerate() {
+                let shared = &shared;
+                let results = &results;
+                let seed = std::mem::take(&mut seeded[id]);
+                scope.spawn(move || {
+                    for task in seed {
+                        deque.push(task);
+                    }
+                    let (wstats, metrics) = worker_loop(id, deque, shared);
+                    results.lock().push((id, wstats, metrics));
+                });
+            }
+        });
+
+        let mut collected = results.into_inner();
+        collected.sort_by_key(|(id, _, _)| *id);
+        let mut metrics = MatchMetrics::default();
+        let mut workers = Vec::with_capacity(threads);
+        for (_, w, m) in collected {
+            metrics.merge(&m);
+            workers.push(w);
+        }
+
+        stats.metrics = metrics;
+        stats.workers = workers;
+        stats.timed_out = shared.timed_out.load(Ordering::Relaxed);
+        stats.elapsed = start.elapsed();
+        stats.peak_memory_bytes = shared.tracker.peak_bytes();
+        stats
+    }
+}
+
+fn worker_loop<S: Sink>(
+    id: usize,
+    local: Deque<Task>,
+    shared: &Shared<'_, S>,
+) -> (WorkerStats, MatchMetrics) {
+    let mut ctx = WorkerCtx {
+        local: &local,
+        shared,
+        state: ExpansionState::new(),
+        scratch: ValidateScratch::new(),
+        metrics: MatchMetrics::default(),
+        stats: WorkerStats::default(),
+        rng: 0x9E37_79B9 ^ (id as u64 + 1).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        checks: 0,
+        uncounted: 0,
+    };
+
+    loop {
+        if let Some(task) = ctx.find_task(id) {
+            let begin = Instant::now();
+            ctx.execute(task);
+            ctx.flush_counts();
+            ctx.stats.busy += begin.elapsed();
+            ctx.stats.tasks += 1;
+            shared.pending.fetch_sub(1, Ordering::Release);
+        } else {
+            if shared.pending.load(Ordering::Acquire) == 0 || shared.abort.load(Ordering::Relaxed)
+            {
+                break;
+            }
+            // Periodic deadline check also while idle, so a stuck queue
+            // cannot outlive the timeout.
+            ctx.check_abort();
+            std::thread::yield_now();
+        }
+    }
+    (ctx.stats, ctx.metrics)
+}
+
+struct WorkerCtx<'a, 'b, S: Sink> {
+    local: &'a Deque<Task>,
+    shared: &'a Shared<'b, S>,
+    state: ExpansionState,
+    scratch: ValidateScratch,
+    metrics: MatchMetrics,
+    stats: WorkerStats,
+    rng: u64,
+    checks: u64,
+    uncounted: u64,
+}
+
+impl<S: Sink> WorkerCtx<'_, '_, S> {
+    fn find_task(&mut self, id: usize) -> Option<Task> {
+        if let Some(t) = self.local.pop() {
+            return Some(t);
+        }
+        // Injector next: seed tasks and overflow.
+        loop {
+            match self.shared.injector.steal_batch_and_pop(self.local) {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+        if !self.shared.config.work_stealing {
+            return None;
+        }
+        // Random-victim batch stealing: take up to half of the victim's
+        // deque from the cold end (paper §VI-C).
+        let n = self.shared.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        for _ in 0..2 * n {
+            let victim = (self.next_rand() as usize) % n;
+            if victim == id {
+                continue;
+            }
+            match self.shared.stealers[victim].steal_batch_and_pop(self.local) {
+                Steal::Success(t) => {
+                    self.stats.steals += 1;
+                    return Some(t);
+                }
+                Steal::Retry | Steal::Empty => continue,
+            }
+        }
+        None
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    #[inline]
+    fn check_abort(&mut self) -> bool {
+        self.checks += 1;
+        if self.checks.is_multiple_of(CHECK_INTERVAL) || self.checks == 1 {
+            if self.shared.abort.load(Ordering::Relaxed) {
+                return true;
+            }
+            if self.shared.sink.is_satisfied() {
+                self.shared.abort.store(true, Ordering::Relaxed);
+                return true;
+            }
+            if self.shared.deadline.is_some_and(|d| Instant::now() >= d) {
+                self.shared.abort.store(true, Ordering::Relaxed);
+                self.shared.timed_out.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        self.shared.abort.load(Ordering::Relaxed)
+    }
+
+    fn spawn(&mut self, task: Task) {
+        if let Task::Expand { ref emb, .. } = task {
+            self.shared.tracker.alloc(MemoryTracker::embedding_bytes(emb.len()));
+        }
+        self.shared.pending.fetch_add(1, Ordering::Relaxed);
+        self.local.push(task);
+    }
+
+    fn execute(&mut self, task: Task) {
+        match task {
+            Task::Scan { start, end } => self.execute_scan(start, end),
+            Task::Expand { depth, emb } => {
+                self.shared.tracker.free(MemoryTracker::embedding_bytes(emb.len()));
+                self.execute_expand(depth as usize, &emb);
+            }
+        }
+    }
+
+    fn execute_scan(&mut self, start: u32, end: u32) {
+        if self.check_abort() {
+            return;
+        }
+        let chunk = self.shared.config.scan_chunk.max(1) as u32;
+        if end - start > chunk {
+            let mid = start + (end - start) / 2;
+            // Push the far half first so the near half is processed next
+            // (LIFO), keeping the scan roughly in order locally.
+            self.spawn(Task::Scan { start: mid, end });
+            self.spawn(Task::Scan { start, end: mid });
+            return;
+        }
+
+        let plan = self.shared.plan;
+        let partition =
+            self.shared.data.partition(plan.steps()[0].partition.expect("feasible"));
+        self.metrics.scan_rows += (end - start) as u64;
+        if plan.len() == 1 {
+            // Single-edge query: scan rows are complete embeddings.
+            for row in start..end {
+                let global = partition.global_id(row).raw();
+                self.deliver(&[global]);
+            }
+            return;
+        }
+        for row in (start..end).rev() {
+            let global = partition.global_id(row).raw();
+            self.spawn(Task::Expand { depth: 1, emb: vec![global].into_boxed_slice() });
+        }
+    }
+
+    fn execute_expand(&mut self, depth: usize, emb: &[u32]) {
+        if self.check_abort() {
+            return;
+        }
+        let plan = self.shared.plan;
+        let data = self.shared.data;
+        let step = &plan.steps()[depth];
+        self.state.prepare(data, step, emb);
+        let produced = generate_candidates(data, step, emb, &mut self.state, self.shared.config);
+        self.metrics.expansions += 1;
+        self.metrics.candidates += produced as u64;
+        let Some(pid) = step.partition else { return };
+        let partition = data.partition(pid);
+        let last = depth + 1 == plan.len();
+
+        let cands = std::mem::take(&mut self.state.candidates);
+        for &row in &cands {
+            let global = partition.global_id(row).raw();
+            match validate_candidate(
+                data,
+                step,
+                depth,
+                emb,
+                &self.state,
+                global,
+                partition.row(row),
+                &mut self.scratch,
+            ) {
+                Validation::Valid => {
+                    self.metrics.filtered += 1;
+                    self.metrics.validated += 1;
+                    if last {
+                        let mut full = Vec::with_capacity(depth + 1);
+                        full.extend_from_slice(emb);
+                        full.push(global);
+                        self.deliver(&full);
+                    } else {
+                        let mut next = Vec::with_capacity(depth + 1);
+                        next.extend_from_slice(emb);
+                        next.push(global);
+                        self.spawn(Task::Expand {
+                            depth: (depth + 1) as u8,
+                            emb: next.into_boxed_slice(),
+                        });
+                    }
+                }
+                Validation::WrongProfiles => self.metrics.filtered += 1,
+                Validation::WrongVertexCount | Validation::Duplicate => {}
+            }
+        }
+        self.state.candidates = cands;
+    }
+
+    fn deliver(&mut self, emb_positions: &[u32]) {
+        self.metrics.embeddings += 1;
+        self.stats.matches += 1;
+        // Counts are batched per task (`flush_counts`) so counting costs no
+        // shared atomic per embedding.
+        self.uncounted += 1;
+        if self.shared.sink.needs_embeddings() {
+            let ordered = self.shared.plan.to_query_order(emb_positions);
+            self.shared.sink.consume(&ordered);
+        }
+    }
+
+    fn flush_counts(&mut self) {
+        if self.uncounted > 0 {
+            self.shared.sink.add_count(self.uncounted);
+            self.uncounted = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Planner;
+    use crate::query::QueryGraph;
+    use crate::sink::{CollectSink, CountSink, FirstKSink};
+    use hgmatch_hypergraph::{HypergraphBuilder, Label};
+
+    fn paper_data() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![4, 6]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![3, 5, 6]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.add_edge(vec![2, 3, 4, 5]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn paper_query() -> QueryGraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        QueryGraph::new(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_paper_example() {
+        let data = paper_data();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        for threads in [1, 2, 4] {
+            let sink = CollectSink::new();
+            let stats =
+                ParallelEngine::run(&plan, &data, &sink, &MatchConfig::parallel(threads));
+            assert_eq!(stats.embeddings(), 2, "threads={threads}");
+            assert_eq!(stats.workers.len(), threads);
+            let results = sink.into_results();
+            assert_eq!(results[0].raw(), &[0, 2, 4]);
+            assert_eq!(results[1].raw(), &[1, 3, 5]);
+        }
+    }
+
+    #[test]
+    fn nostl_static_partitioning_matches() {
+        let data = paper_data();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        let sink = CountSink::new();
+        let cfg = MatchConfig::parallel(3).with_work_stealing(false);
+        let stats = ParallelEngine::run(&plan, &data, &sink, &cfg);
+        assert_eq!(stats.embeddings(), 2);
+        assert_eq!(sink.count(), 2);
+        assert!(stats.workers.iter().all(|w| w.steals == 0));
+    }
+
+    #[test]
+    fn single_edge_query_parallel() {
+        let data = paper_data();
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(Label::new(0));
+        b.add_vertex(Label::new(1));
+        b.add_edge(vec![0, 1]).unwrap();
+        let q = QueryGraph::new(&b.build().unwrap()).unwrap();
+        let plan = Planner::plan(&q, &data).unwrap();
+        let sink = CountSink::new();
+        let stats = ParallelEngine::run(&plan, &data, &sink, &MatchConfig::parallel(2));
+        assert_eq!(stats.embeddings(), 2);
+    }
+
+    #[test]
+    fn infeasible_returns_immediately() {
+        let data = paper_data();
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(9));
+        b.add_edge(vec![0, 1]).unwrap();
+        let q = QueryGraph::new(&b.build().unwrap()).unwrap();
+        let plan = Planner::plan(&q, &data).unwrap();
+        let sink = CountSink::new();
+        let stats = ParallelEngine::run(&plan, &data, &sink, &MatchConfig::parallel(2));
+        assert_eq!(stats.embeddings(), 0);
+        assert!(!stats.timed_out);
+    }
+
+    #[test]
+    fn first_k_aborts_workers() {
+        let data = paper_data();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        let sink = FirstKSink::new(1);
+        ParallelEngine::run(&plan, &data, &sink, &MatchConfig::parallel(2));
+        assert_eq!(sink.into_results().len(), 1);
+    }
+
+    #[test]
+    fn memory_peak_tracked() {
+        let data = paper_data();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        let sink = CountSink::new();
+        let stats = ParallelEngine::run(&plan, &data, &sink, &MatchConfig::parallel(2));
+        assert!(stats.peak_memory_bytes > 0);
+    }
+}

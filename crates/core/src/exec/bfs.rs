@@ -1,0 +1,252 @@
+//! Level-at-a-time (BFS) executor — the memory-hungry strawman of Fig. 11.
+//!
+//! Expands *all* partial embeddings of one step before moving to the next,
+//! materialising every intermediate result. CPU utilisation is easy to get
+//! (the level is split across threads) but memory grows with the largest
+//! intermediate level — exponential in the worst case — which is exactly
+//! the behaviour the paper's task-based scheduler avoids. Peak memory is
+//! accounted through [`MemoryTracker`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use hgmatch_hypergraph::Hypergraph;
+use parking_lot::Mutex;
+
+use crate::candidates::{generate_candidates, ExpansionState};
+use crate::config::MatchConfig;
+use crate::exec::{RunStats, WorkerStats};
+use crate::memory::MemoryTracker;
+use crate::metrics::MatchMetrics;
+use crate::plan::Plan;
+use crate::sink::Sink;
+use crate::validate::{validate_candidate, Validation, ValidateScratch};
+
+/// Level-synchronous breadth-first executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsExecutor;
+
+impl BfsExecutor {
+    /// Runs `plan` against `data`, delivering results to `sink`.
+    pub fn run<S: Sink>(
+        plan: &Plan,
+        data: &Hypergraph,
+        sink: &S,
+        config: &MatchConfig,
+    ) -> RunStats {
+        let start = Instant::now();
+        let mut stats = RunStats::default();
+        stats.workers = vec![WorkerStats::default(); config.threads.max(1)];
+        if plan.is_infeasible() {
+            stats.elapsed = start.elapsed();
+            return stats;
+        }
+
+        let tracker = MemoryTracker::new();
+        let deadline = config.timeout.map(|t| start + t);
+        let aborted = AtomicBool::new(false);
+        let mut metrics = MatchMetrics::default();
+
+        // Level 0: scan.
+        let mut level: Vec<Box<[u32]>> = {
+            let step = &plan.steps()[0];
+            let mut state = ExpansionState::new();
+            state.prepare(data, step, &[]);
+            generate_candidates(data, step, &[], &mut state, config);
+            let partition = data.partition(step.partition.expect("feasible plan"));
+            state
+                .candidates
+                .iter()
+                .map(|&row| {
+                    tracker.alloc(MemoryTracker::embedding_bytes(1));
+                    vec![partition.global_id(row).raw()].into_boxed_slice()
+                })
+                .collect()
+        };
+        metrics.scan_rows = level.len() as u64;
+
+        for depth in 1..plan.len() {
+            if level.is_empty() || abort_now(&aborted, deadline, sink) {
+                break;
+            }
+            let threads = config.threads.max(1).min(level.len().max(1));
+            let chunk = level.len().div_ceil(threads);
+            let merged: Mutex<(Vec<Box<[u32]>>, MatchMetrics)> =
+                Mutex::new((Vec::new(), MatchMetrics::default()));
+
+            std::thread::scope(|scope| {
+                for slice in level.chunks(chunk) {
+                    let merged = &merged;
+                    let tracker = &tracker;
+                    let aborted = &aborted;
+                    scope.spawn(move || {
+                        let mut state = ExpansionState::new();
+                        let mut scratch = ValidateScratch::new();
+                        let mut local: Vec<Box<[u32]>> = Vec::new();
+                        let mut lm = MatchMetrics::default();
+                        let step = &plan.steps()[depth];
+                        for (i, emb) in slice.iter().enumerate() {
+                            if i % 256 == 0 && abort_now(aborted, deadline, sink) {
+                                break;
+                            }
+                            state.prepare(data, step, emb);
+                            let produced =
+                                generate_candidates(data, step, emb, &mut state, config);
+                            lm.expansions += 1;
+                            lm.candidates += produced as u64;
+                            let partition = match step.partition {
+                                Some(p) => data.partition(p),
+                                None => break,
+                            };
+                            for &row in &state.candidates {
+                                let global = partition.global_id(row).raw();
+                                match validate_candidate(
+                                    data,
+                                    step,
+                                    depth,
+                                    emb,
+                                    &state,
+                                    global,
+                                    partition.row(row),
+                                    &mut scratch,
+                                ) {
+                                    Validation::Valid => {
+                                        lm.filtered += 1;
+                                        lm.validated += 1;
+                                        let mut next = Vec::with_capacity(depth + 1);
+                                        next.extend_from_slice(emb);
+                                        next.push(global);
+                                        tracker
+                                            .alloc(MemoryTracker::embedding_bytes(depth + 1));
+                                        local.push(next.into_boxed_slice());
+                                    }
+                                    Validation::WrongProfiles => lm.filtered += 1,
+                                    _ => {}
+                                }
+                            }
+                        }
+                        let mut guard = merged.lock();
+                        guard.0.append(&mut local);
+                        guard.1.merge(&lm);
+                    });
+                }
+            });
+
+            let (next, level_metrics) = merged.into_inner();
+            metrics.merge(&level_metrics);
+            for emb in &level {
+                tracker.free(MemoryTracker::embedding_bytes(emb.len()));
+            }
+            level = next;
+        }
+
+        // Deliver the final level.
+        if !abort_now(&aborted, deadline, sink) {
+            metrics.embeddings = level.len() as u64;
+            sink.add_count(level.len() as u64);
+            if sink.needs_embeddings() {
+                for emb in &level {
+                    sink.consume(&plan.to_query_order(emb));
+                }
+            }
+        }
+        for emb in &level {
+            tracker.free(MemoryTracker::embedding_bytes(emb.len()));
+        }
+
+        stats.metrics = metrics;
+        stats.timed_out = aborted.load(Ordering::Relaxed);
+        stats.elapsed = start.elapsed();
+        stats.peak_memory_bytes = tracker.peak_bytes();
+        stats
+    }
+}
+
+fn abort_now<S: Sink>(aborted: &AtomicBool, deadline: Option<Instant>, sink: &S) -> bool {
+    if aborted.load(Ordering::Relaxed) {
+        return true;
+    }
+    if sink.is_satisfied() || deadline.is_some_and(|d| Instant::now() >= d) {
+        aborted.store(true, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Planner;
+    use crate::query::QueryGraph;
+    use crate::sink::{CollectSink, CountSink};
+    use hgmatch_hypergraph::{HypergraphBuilder, Label};
+
+    fn paper_data() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![4, 6]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![3, 5, 6]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.add_edge(vec![2, 3, 4, 5]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn paper_query() -> QueryGraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        QueryGraph::new(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_results() {
+        let data = paper_data();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        let sink = CollectSink::new();
+        let stats = BfsExecutor::run(&plan, &data, &sink, &MatchConfig::default());
+        assert_eq!(stats.embeddings(), 2);
+        let results = sink.into_results();
+        assert_eq!(results[0].raw(), &[0, 2, 4]);
+        assert_eq!(results[1].raw(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn parallel_bfs_matches_too() {
+        let data = paper_data();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        let sink = CountSink::new();
+        let stats = BfsExecutor::run(&plan, &data, &sink, &MatchConfig::parallel(4));
+        assert_eq!(stats.embeddings(), 2);
+        assert_eq!(sink.count(), 2);
+    }
+
+    #[test]
+    fn peak_memory_is_tracked() {
+        let data = paper_data();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        let sink = CountSink::new();
+        let stats = BfsExecutor::run(&plan, &data, &sink, &MatchConfig::default());
+        assert!(stats.peak_memory_bytes > 0);
+    }
+
+    #[test]
+    fn infeasible_plan_short_circuits() {
+        let data = paper_data();
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(9));
+        b.add_edge(vec![0, 1]).unwrap();
+        let q = QueryGraph::new(&b.build().unwrap()).unwrap();
+        let plan = Planner::plan(&q, &data).unwrap();
+        let sink = CountSink::new();
+        let stats = BfsExecutor::run(&plan, &data, &sink, &MatchConfig::default());
+        assert_eq!(stats.embeddings(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Executors: sequential DFS and level-at-a-time BFS.
+//!
+//! Both interpret the same compiled [`crate::plan::Plan`] with the same
+//! candidate generation and validation kernels; they differ only in
+//! *scheduling* — which is exactly the paper's point in §VI-B. The
+//! parallel task-based scheduler lives in [`crate::engine`].
+
+pub mod bfs;
+pub mod sequential;
+
+pub use bfs::BfsExecutor;
+pub use sequential::SequentialExecutor;
+
+use std::time::Duration;
+
+use crate::metrics::MatchMetrics;
+
+/// Per-worker execution statistics (Fig. 12's per-worker busy times).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Time spent executing tasks (excludes idle/steal spinning).
+    pub busy: Duration,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Successful steal operations.
+    pub steals: u64,
+    /// Complete embeddings this worker delivered.
+    pub matches: u64,
+}
+
+/// Outcome of one execution.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Merged metrics (Fig. 9 counters).
+    pub metrics: MatchMetrics,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Whether the timeout fired before completion (results are a lower
+    /// bound in that case).
+    pub timed_out: bool,
+    /// Per-worker statistics (one entry for sequential execution).
+    pub workers: Vec<WorkerStats>,
+    /// Peak bytes of materialised intermediate embeddings.
+    pub peak_memory_bytes: i64,
+}
+
+impl RunStats {
+    /// Total embeddings found (from the merged metrics).
+    pub fn embeddings(&self) -> u64 {
+        self.metrics.embeddings
+    }
+}

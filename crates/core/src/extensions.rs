@@ -1,0 +1,261 @@
+//! Dataflow extensions: property filtering and aggregation.
+//!
+//! The paper remarks (§VI-A) that HGMatch's dataflow design "allows it to
+//! be easily extended with other functionalities of hypergraph databases …
+//! by introducing new dataflow operators. Examples include adding extra
+//! aggregation and property filtering to the dataflow graph." This module
+//! implements those two operators as *sink combinators*: they compose on
+//! the SINK side of the dataflow path, so they run inside the workers with
+//! zero extra materialisation, exactly like a fused post-SINK operator
+//! would.
+//!
+//! * [`FilterSink`] — keeps only embeddings satisfying a predicate
+//!   (property filtering; e.g. "the two matched hyperedges must not share
+//!   the team entity").
+//! * [`GroupCountSink`] — counts embeddings grouped by the data hyperedge
+//!   matched to a chosen query hyperedge (aggregation; e.g. "answers per
+//!   player fact").
+//! * [`DistinctEdgeSink`] — counts the distinct data hyperedges used in
+//!   some query-hyperedge position (a `COUNT(DISTINCT …)` aggregate).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use hgmatch_hypergraph::fxhash::FxHashMap;
+
+use crate::sink::Sink;
+
+/// Property filter: forwards embeddings that satisfy `predicate` to the
+/// inner sink.
+///
+/// The predicate receives the embedding in query-edge order (data edge id
+/// per query hyperedge) and must be thread-safe.
+pub struct FilterSink<S: Sink, P: Fn(&[u32]) -> bool + Sync> {
+    inner: S,
+    predicate: P,
+    passed: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl<S: Sink, P: Fn(&[u32]) -> bool + Sync> FilterSink<S, P> {
+    /// Wraps `inner`, forwarding only embeddings where `predicate` holds.
+    pub fn new(inner: S, predicate: P) -> Self {
+        Self { inner, predicate, passed: AtomicU64::new(0), dropped: AtomicU64::new(0) }
+    }
+
+    /// Embeddings forwarded to the inner sink.
+    pub fn passed(&self) -> u64 {
+        self.passed.load(Ordering::Relaxed)
+    }
+
+    /// Embeddings rejected by the predicate.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Sink, P: Fn(&[u32]) -> bool + Sync> Sink for FilterSink<S, P> {
+    fn needs_embeddings(&self) -> bool {
+        true // the predicate must see every embedding
+    }
+
+    fn consume(&self, embedding: &[u32]) {
+        if (self.predicate)(embedding) {
+            self.passed.fetch_add(1, Ordering::Relaxed);
+            self.inner.add_count(1);
+            if self.inner.needs_embeddings() {
+                self.inner.consume(embedding);
+            }
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn add_count(&self, _n: u64) {
+        // Raw pre-filter counts are ignored; filtered counts are forwarded
+        // from `consume`.
+    }
+
+    fn is_satisfied(&self) -> bool {
+        self.inner.is_satisfied()
+    }
+}
+
+/// Aggregation: counts embeddings per data hyperedge matched at one query
+/// hyperedge position (a `GROUP BY f(eq) COUNT(*)`).
+pub struct GroupCountSink {
+    query_edge: usize,
+    groups: Mutex<FxHashMap<u32, u64>>,
+    total: AtomicU64,
+}
+
+impl GroupCountSink {
+    /// Groups by the data edge matched to query hyperedge `query_edge`.
+    pub fn new(query_edge: usize) -> Self {
+        Self { query_edge, groups: Mutex::new(FxHashMap::default()), total: AtomicU64::new(0) }
+    }
+
+    /// The aggregated `(data edge, count)` pairs, sorted by edge id.
+    pub fn into_groups(self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.groups.into_inner().into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total embeddings aggregated.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+impl Sink for GroupCountSink {
+    fn needs_embeddings(&self) -> bool {
+        true
+    }
+
+    fn consume(&self, embedding: &[u32]) {
+        let key = embedding[self.query_edge];
+        *self.groups.lock().entry(key).or_insert(0) += 1;
+    }
+
+    fn add_count(&self, n: u64) {
+        self.total.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// `COUNT(DISTINCT f(eq))`: distinct data hyperedges appearing at one
+/// query-hyperedge position.
+pub struct DistinctEdgeSink {
+    query_edge: usize,
+    seen: Mutex<hgmatch_hypergraph::fxhash::FxHashSet<u32>>,
+    total: AtomicU64,
+}
+
+impl DistinctEdgeSink {
+    /// Tracks distinct matches of query hyperedge `query_edge`.
+    pub fn new(query_edge: usize) -> Self {
+        Self {
+            query_edge,
+            seen: Mutex::new(hgmatch_hypergraph::fxhash::FxHashSet::default()),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of distinct data hyperedges observed.
+    pub fn distinct(&self) -> usize {
+        self.seen.lock().len()
+    }
+
+    /// Total embeddings seen.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+impl Sink for DistinctEdgeSink {
+    fn needs_embeddings(&self) -> bool {
+        true
+    }
+
+    fn consume(&self, embedding: &[u32]) {
+        self.seen.lock().insert(embedding[self.query_edge]);
+    }
+
+    fn add_count(&self, n: u64) {
+        self.total.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::Matcher;
+    use crate::sink::CollectSink;
+    use hgmatch_hypergraph::{Hypergraph, HypergraphBuilder, Label};
+
+    fn paper_data() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![4, 6]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![3, 5, 6]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.add_edge(vec![2, 3, 4, 5]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn paper_query() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn filter_sink_partitions_results() {
+        let data = paper_data();
+        let query = paper_query();
+        // Keep only embeddings whose first matched edge is e0.
+        let sink = FilterSink::new(CollectSink::new(), |emb: &[u32]| emb[0] == 0);
+        Matcher::new(&data).run(&query, &sink).unwrap();
+        assert_eq!(sink.passed(), 1);
+        assert_eq!(sink.dropped(), 1);
+        let results = sink.into_inner().into_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].raw(), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn filter_sink_under_parallel_engine() {
+        let data = paper_data();
+        let query = paper_query();
+        let sink = FilterSink::new(CollectSink::new(), |_: &[u32]| true);
+        Matcher::with_config(&data, crate::MatchConfig::parallel(3))
+            .run(&query, &sink)
+            .unwrap();
+        assert_eq!(sink.passed(), 2);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn group_count_aggregates_by_position() {
+        let data = paper_data();
+        let query = paper_query();
+        let sink = GroupCountSink::new(2); // group by f(q2)
+        Matcher::new(&data).run(&query, &sink).unwrap();
+        let groups = sink.into_groups();
+        assert_eq!(groups, vec![(4, 1), (5, 1)]);
+    }
+
+    #[test]
+    fn distinct_edges_counted() {
+        let data = paper_data();
+        let query = paper_query();
+        let sink = DistinctEdgeSink::new(0);
+        Matcher::new(&data).run(&query, &sink).unwrap();
+        assert_eq!(sink.distinct(), 2);
+        assert_eq!(sink.total(), 2);
+    }
+
+    #[test]
+    fn filter_respects_inner_satisfaction() {
+        let data = paper_data();
+        let query = paper_query();
+        let sink = FilterSink::new(crate::sink::FirstKSink::new(1), |_: &[u32]| true);
+        Matcher::new(&data).run(&query, &sink).unwrap();
+        assert_eq!(sink.into_inner().into_results().len(), 1);
+    }
+}

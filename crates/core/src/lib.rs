@@ -1,0 +1,80 @@
+//! # hgmatch-core
+//!
+//! The HGMatch match-by-hyperedge subhypergraph matching engine
+//! (Yang et al., "HGMatch: A Match-by-Hyperedge Approach for Subgraph
+//! Matching on Hypergraphs", ICDE 2023).
+//!
+//! Instead of extending a partial embedding one *vertex* at a time (the
+//! match-by-vertex framework used by every prior subhypergraph matcher),
+//! HGMatch expands by one *hyperedge* at a time:
+//!
+//! 1. [`plan`] computes a matching order over query hyperedges using `O(1)`
+//!    cardinalities from the data hypergraph's signature partitions
+//!    (paper Algorithm 3).
+//! 2. [`candidates`] generates candidate data hyperedges for the next query
+//!    hyperedge purely with sorted-set operations over the inverted
+//!    hyperedge index (Algorithm 4, Observations V.1–V.4).
+//! 3. [`validate`] removes false positives by comparing multisets of
+//!    *vertex profiles* — no backtracking ever happens (Algorithm 5,
+//!    Theorem V.2).
+//!
+//! Execution is expressed as a SCAN → EXPAND* → SINK dataflow
+//! ([`operators`]) and scheduled by one of three executors:
+//!
+//! * [`exec::SequentialExecutor`] — depth-first, single thread, the
+//!   reference semantics (also collects the Fig. 9 filtering metrics);
+//! * [`exec::BfsExecutor`] — level-at-a-time with full materialisation,
+//!   the memory-hungry strawman of Fig. 11;
+//! * [`engine::ParallelEngine`] — the paper's task-based scheduler: LIFO
+//!   Chase–Lev deques, dynamic work stealing, bounded memory
+//!   (§VI, Theorem VI.1).
+//!
+//! ```
+//! use hgmatch_hypergraph::{HypergraphBuilder, Label};
+//! use hgmatch_core::Matcher;
+//!
+//! // Data: two triangles sharing a vertex (labels A=0, B=1).
+//! let mut b = HypergraphBuilder::new();
+//! for &l in &[0u32, 0, 1, 0, 0] {
+//!     b.add_vertex(Label::new(l));
+//! }
+//! b.add_edge(vec![0, 1, 2]).unwrap();
+//! b.add_edge(vec![2, 3, 4]).unwrap();
+//! let data = b.build().unwrap();
+//!
+//! // Query: one hyperedge {A, A, B}.
+//! let mut q = HypergraphBuilder::new();
+//! for &l in &[0u32, 0, 1] {
+//!     q.add_vertex(Label::new(l));
+//! }
+//! q.add_edge(vec![0, 1, 2]).unwrap();
+//! let query = q.build().unwrap();
+//!
+//! let matcher = Matcher::new(&data);
+//! assert_eq!(matcher.count(&query).unwrap(), 2);
+//! ```
+
+pub mod candidates;
+pub mod config;
+pub mod embedding;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod extensions;
+pub mod matcher;
+pub mod memory;
+pub mod metrics;
+pub mod operators;
+pub mod plan;
+pub mod query;
+pub mod sink;
+pub mod validate;
+
+pub use config::MatchConfig;
+pub use embedding::Embedding;
+pub use error::{MatchError, Result};
+pub use matcher::Matcher;
+pub use metrics::MatchMetrics;
+pub use plan::{Plan, Planner};
+pub use query::QueryGraph;
+pub use sink::{CollectSink, CountSink, FirstKSink, Sink};

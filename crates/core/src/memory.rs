@@ -1,0 +1,105 @@
+//! Intermediate-result memory accounting.
+//!
+//! Fig. 11 of the paper compares the memory footprint of the task-based
+//! scheduler against BFS-style (level-at-a-time) scheduling. We account the
+//! bytes of *materialised partial embeddings* (the quantity Theorem VI.1
+//! bounds) with a shared live/peak tracker: each executor registers every
+//! embedding it materialises and releases it when consumed.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Tracks live and peak bytes of materialised intermediate results.
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    live: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl MemoryTracker {
+    /// Creates a zeroed tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `bytes` of newly materialised intermediate state.
+    #[inline]
+    pub fn alloc(&self, bytes: usize) {
+        let now = self.live.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Releases `bytes` of intermediate state.
+    #[inline]
+    pub fn free(&self, bytes: usize) {
+        self.live.fetch_sub(bytes as i64, Ordering::Relaxed);
+    }
+
+    /// Currently live bytes.
+    pub fn live_bytes(&self) -> i64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Peak live bytes observed.
+    pub fn peak_bytes(&self) -> i64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Accounted size of one partial embedding of `len` hyperedges: the
+    /// edge-id payload plus a fixed per-task overhead (box header + depth +
+    /// queue slot).
+    #[inline]
+    pub fn embedding_bytes(len: usize) -> usize {
+        len * std::mem::size_of::<u32>() + 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_live_and_peak() {
+        let t = MemoryTracker::new();
+        t.alloc(100);
+        t.alloc(50);
+        assert_eq!(t.live_bytes(), 150);
+        assert_eq!(t.peak_bytes(), 150);
+        t.free(120);
+        assert_eq!(t.live_bytes(), 30);
+        assert_eq!(t.peak_bytes(), 150);
+        t.alloc(10);
+        assert_eq!(t.peak_bytes(), 150, "peak keeps its high-water mark");
+    }
+
+    #[test]
+    fn embedding_bytes_scales_with_len() {
+        assert!(MemoryTracker::embedding_bytes(6) > MemoryTracker::embedding_bytes(2));
+        assert_eq!(
+            MemoryTracker::embedding_bytes(4) - MemoryTracker::embedding_bytes(0),
+            16
+        );
+    }
+
+    #[test]
+    fn concurrent_updates_are_consistent() {
+        use std::sync::Arc;
+        let t = Arc::new(MemoryTracker::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        t.alloc(8);
+                        t.free(8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.live_bytes(), 0);
+        assert!(t.peak_bytes() >= 8);
+        assert!(t.peak_bytes() <= 32);
+    }
+}

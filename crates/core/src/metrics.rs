@@ -1,0 +1,94 @@
+//! Execution metrics.
+//!
+//! The counters mirror the quantities the paper reports in Fig. 9
+//! ("Candidates Filtering"): the number of candidate hyperedges produced by
+//! Algorithm 4, how many survive the cheap vertex-count check of
+//! Observation V.5 ("Filtered"), and how many are true embeddings after the
+//! vertex-profile comparison ("Embeddings"). Engines keep one
+//! `MatchMetrics` per worker and merge at the end, so recording is free of
+//! contention.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected during one match execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchMetrics {
+    /// Rows emitted by the SCAN operator (matches of the first query edge).
+    pub scan_rows: u64,
+    /// Candidate hyperedges produced by candidate generation (Fig. 9
+    /// "Candidates"), summed over all EXPAND steps.
+    pub candidates: u64,
+    /// Candidates that passed the vertex-count check of Observation V.5
+    /// (Fig. 9 "Filtered").
+    pub filtered: u64,
+    /// Candidates that passed full vertex-profile validation — i.e. valid
+    /// (partial) embeddings produced by EXPAND.
+    pub validated: u64,
+    /// Complete embeddings delivered to the sink (Fig. 9 "Embeddings").
+    pub embeddings: u64,
+    /// EXPAND invocations (one per partial embedding per step).
+    pub expansions: u64,
+}
+
+impl MatchMetrics {
+    /// Merges another worker's counters into this one.
+    pub fn merge(&mut self, other: &MatchMetrics) {
+        self.scan_rows += other.scan_rows;
+        self.candidates += other.candidates;
+        self.filtered += other.filtered;
+        self.validated += other.validated;
+        self.embeddings += other.embeddings;
+        self.expansions += other.expansions;
+    }
+
+    /// False-positive rate of candidate generation: the fraction of
+    /// candidates that were not valid embeddings (paper §V-B remark reports
+    /// this is extremely low).
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            return 0.0;
+        }
+        1.0 - self.validated as f64 / self.candidates as f64
+    }
+
+    /// Fraction of vertex-count-filtered candidates that were true
+    /// embeddings (the paper observes ≈97%).
+    pub fn filtered_precision(&self) -> f64 {
+        if self.filtered == 0 {
+            return 0.0;
+        }
+        self.validated as f64 / self.filtered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = MatchMetrics {
+            scan_rows: 1,
+            candidates: 10,
+            filtered: 8,
+            validated: 7,
+            embeddings: 3,
+            expansions: 5,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.candidates, 20);
+        assert_eq!(a.embeddings, 6);
+        assert_eq!(a.expansions, 10);
+    }
+
+    #[test]
+    fn rates() {
+        let m = MatchMetrics { candidates: 100, filtered: 50, validated: 40, ..Default::default() };
+        assert!((m.false_positive_rate() - 0.6).abs() < 1e-9);
+        assert!((m.filtered_precision() - 0.8).abs() < 1e-9);
+        let empty = MatchMetrics::default();
+        assert_eq!(empty.false_positive_rate(), 0.0);
+        assert_eq!(empty.filtered_precision(), 0.0);
+    }
+}

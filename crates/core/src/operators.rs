@@ -1,0 +1,140 @@
+//! The dataflow model (paper §VI-A).
+//!
+//! A compiled plan is presented as a dataflow graph — always a straight
+//! path `SCAN → EXPAND* → SINK` (Fig. 5a). The executors interpret the plan
+//! steps directly; this module gives the dataflow an explicit, inspectable
+//! form for `EXPLAIN`-style output, tooling and tests, and is the natural
+//! extension point for the richer operators (aggregation, property filters)
+//! the paper sketches as future work.
+
+use std::fmt;
+
+use crate::plan::Plan;
+
+/// One dataflow operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operator {
+    /// Scans the partition matching the first query hyperedge's signature.
+    Scan {
+        /// Query hyperedge matched by the scan.
+        query_edge: u32,
+        /// Cardinality of the scanned partition (0 when absent).
+        cardinality: usize,
+    },
+    /// Expands each partial embedding by one hyperedge.
+    Expand {
+        /// Query hyperedge matched by this expansion.
+        query_edge: u32,
+        /// Number of candidate-generation anchors.
+        anchors: usize,
+        /// Cardinality of the target partition (0 when absent).
+        cardinality: usize,
+    },
+    /// Consumes complete embeddings (count or output).
+    Sink,
+}
+
+/// A dataflow graph: a path of operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataflow {
+    operators: Vec<Operator>,
+}
+
+impl Dataflow {
+    /// Builds the dataflow for a plan against a data hypergraph.
+    pub fn from_plan(plan: &Plan, data: &hgmatch_hypergraph::Hypergraph) -> Self {
+        let mut operators = Vec::with_capacity(plan.len() + 1);
+        for (i, step) in plan.steps().iter().enumerate() {
+            let cardinality = step.partition.map_or(0, |p| data.partition(p).len());
+            if i == 0 {
+                operators.push(Operator::Scan { query_edge: step.query_edge, cardinality });
+            } else {
+                operators.push(Operator::Expand {
+                    query_edge: step.query_edge,
+                    anchors: step.anchors.len(),
+                    cardinality,
+                });
+            }
+        }
+        operators.push(Operator::Sink);
+        Self { operators }
+    }
+
+    /// The operators, SCAN first, SINK last.
+    pub fn operators(&self) -> &[Operator] {
+        &self.operators
+    }
+
+    /// Number of operators (|E(q)| + 1).
+    pub fn len(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// Dataflows always contain at least SCAN and SINK.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.operators.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            match op {
+                Operator::Scan { query_edge, cardinality } => {
+                    write!(f, "SCAN(q{query_edge}) [card={cardinality}]")?;
+                }
+                Operator::Expand { query_edge, anchors, cardinality } => {
+                    write!(f, "EXPAND(q{query_edge}) [anchors={anchors}, card={cardinality}]")?;
+                }
+                Operator::Sink => write!(f, "SINK")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Planner;
+    use crate::query::QueryGraph;
+    use hgmatch_hypergraph::{HypergraphBuilder, Label};
+
+    fn tiny() -> (hgmatch_hypergraph::Hypergraph, QueryGraph) {
+        let mut d = HypergraphBuilder::new();
+        d.add_vertices(3, Label::new(0));
+        d.add_edge(vec![0, 1]).unwrap();
+        d.add_edge(vec![1, 2]).unwrap();
+        let data = d.build().unwrap();
+        let mut q = HypergraphBuilder::new();
+        q.add_vertices(3, Label::new(0));
+        q.add_edge(vec![0, 1]).unwrap();
+        q.add_edge(vec![1, 2]).unwrap();
+        (data, QueryGraph::new(&q.build().unwrap()).unwrap())
+    }
+
+    #[test]
+    fn path_shape() {
+        let (data, query) = tiny();
+        let plan = Planner::plan(&query, &data).unwrap();
+        let df = Dataflow::from_plan(&plan, &data);
+        assert_eq!(df.len(), 3);
+        assert!(matches!(df.operators()[0], Operator::Scan { .. }));
+        assert!(matches!(df.operators()[1], Operator::Expand { .. }));
+        assert_eq!(df.operators()[2], Operator::Sink);
+    }
+
+    #[test]
+    fn display_is_explainable() {
+        let (data, query) = tiny();
+        let plan = Planner::plan(&query, &data).unwrap();
+        let text = Dataflow::from_plan(&plan, &data).to_string();
+        assert!(text.contains("SCAN"));
+        assert!(text.contains("EXPAND"));
+        assert!(text.ends_with("SINK"));
+        assert!(text.contains("card=2"));
+    }
+}

@@ -1,0 +1,477 @@
+//! Execution planning: matching order and per-step matching structure.
+//!
+//! [`Planner::plan`] implements the paper's Algorithm 3: the first query
+//! hyperedge is the one with the smallest cardinality `Card(e, H)` (the row
+//! count of the signature partition, fetched in `O(1)`), and each subsequent
+//! hyperedge minimises `Card(e, H) / |Vϕ ∩ e|` among hyperedges connected to
+//! the partial order — i.e. infrequent, highly-connected hyperedges match
+//! first.
+//!
+//! The resulting [`Plan`] precomputes everything the runtime operators need
+//! at every step: the target partition, the candidate-generation *anchors*
+//! (one per `(previous adjacent edge, shared vertex)` pair of Algorithm 4),
+//! the non-adjacent previous positions (Observation V.3), and the static
+//! query-side vertex profiles used by validation (Algorithm 5).
+
+use hgmatch_hypergraph::{Hypergraph, Label, SignatureId};
+
+use crate::error::Result;
+use crate::query::QueryGraph;
+
+/// One candidate-generation anchor: a `(previous edge, shared vertex)` pair
+/// of Algorithm 4 lines 3–6, compiled to what the runtime actually needs.
+///
+/// At runtime the anchor selects, from the data hyperedge matched at
+/// `prev_pos`, the vertices with label `label` whose degree *within the
+/// partial embedding* equals `required_degree` (Observation V.4); the
+/// candidate hyperedge must be incident to at least one of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Anchor {
+    /// Position (in matching order) of the previously matched adjacent edge.
+    pub prev_pos: u32,
+    /// Label the shared query vertex carries.
+    pub label: Label,
+    /// `d_q'(u)`: the shared vertex's degree in the partial query *before*
+    /// this step.
+    pub required_degree: u32,
+}
+
+/// A static query-side vertex profile: the label of a vertex of the current
+/// query hyperedge and the mask (over matching-order positions `0..=step`)
+/// of query hyperedges incident to it (Definition V.3, compiled to masks).
+pub type QueryProfile = (Label, u64);
+
+/// One step of the plan: how to match the query hyperedge at this position.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Index of the query hyperedge matched at this step.
+    pub query_edge: u32,
+    /// Data partition holding candidates (`None` ⇒ the query signature does
+    /// not occur in the data and the query has zero embeddings).
+    pub partition: Option<SignatureId>,
+    /// Arity of the query hyperedge.
+    pub arity: u32,
+    /// `|V(q')|` after this step (Observation V.5 check).
+    pub vertices_after: u32,
+    /// Candidate-generation anchors (empty at step 0, or when the query is
+    /// disconnected and this step starts a new component).
+    pub anchors: Vec<Anchor>,
+    /// Positions `< step` whose query edges are *not* adjacent to this one;
+    /// their matched vertices must not occur in the candidate
+    /// (Observation V.3, used to build `V_n_incdt`).
+    pub nonadjacent_prev: Vec<u32>,
+    /// Sorted static vertex profiles of the current query hyperedge's
+    /// vertices, masks taken over positions `0..=step`.
+    pub profiles: Vec<QueryProfile>,
+}
+
+/// A compiled execution plan: matching order plus per-step structure.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    steps: Vec<Step>,
+    /// `order[pos]` = query edge index matched at `pos`.
+    order: Vec<u32>,
+    /// `position[query edge]` = matching-order position.
+    position: Vec<u32>,
+    num_query_vertices: u32,
+    /// Whether some step has no partition (zero results guaranteed).
+    infeasible: bool,
+}
+
+impl Plan {
+    /// The matching order ϕ as query-edge indices.
+    #[inline]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Position of query edge `e` in the matching order.
+    #[inline]
+    pub fn position_of(&self, e: u32) -> u32 {
+        self.position[e as usize]
+    }
+
+    /// All steps, `steps()[0]` being the SCAN step.
+    #[inline]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps (= number of query hyperedges).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Plans are never empty (planning an empty query errors).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `|V(q)|`.
+    #[inline]
+    pub fn num_query_vertices(&self) -> u32 {
+        self.num_query_vertices
+    }
+
+    /// `true` when some query signature is absent from the data hypergraph,
+    /// so the query trivially has zero embeddings.
+    #[inline]
+    pub fn is_infeasible(&self) -> bool {
+        self.infeasible
+    }
+
+    /// Reorders an embedding from matching-order positions to query-edge
+    /// order: `out[e] = emb[position_of(e)]`.
+    pub fn to_query_order(&self, emb_positions: &[u32]) -> Vec<u32> {
+        let mut out = vec![0u32; emb_positions.len()];
+        for (edge, &pos) in self.position.iter().enumerate() {
+            out[edge] = emb_positions[pos as usize];
+        }
+        out
+    }
+}
+
+/// Computes matching orders and compiles plans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planner;
+
+impl Planner {
+    /// Compiles a plan for `query` against `data` (paper Algorithm 3 for the
+    /// order, then per-step anchor/profile compilation).
+    pub fn plan(query: &QueryGraph, data: &Hypergraph) -> Result<Plan> {
+        let order = Self::matching_order(query, data);
+        Ok(Self::compile(query, data, order))
+    }
+
+    /// Compiles a plan with a caller-chosen matching order. The order must
+    /// be a permutation of `0..query.num_edges()`; HGMatch works with any
+    /// connected order (§V-A).
+    pub fn plan_with_order(query: &QueryGraph, data: &Hypergraph, order: Vec<u32>) -> Result<Plan> {
+        assert_eq!(order.len(), query.num_edges(), "order must cover all query edges");
+        let mut seen = vec![false; order.len()];
+        for &e in &order {
+            assert!(!std::mem::replace(&mut seen[e as usize], true), "order must be a permutation");
+        }
+        Ok(Self::compile(query, data, order))
+    }
+
+    /// Algorithm 3: greedy cardinality-over-connectivity order.
+    fn matching_order(query: &QueryGraph, data: &Hypergraph) -> Vec<u32> {
+        let ne = query.num_edges();
+        let card =
+            |e: usize| data.cardinality(query.signature(e)) as f64;
+
+        // Start with the smallest-cardinality hyperedge.
+        let first = (0..ne)
+            .min_by(|&a, &b| card(a).total_cmp(&card(b)).then(a.cmp(&b)))
+            .expect("query has at least one edge");
+
+        let mut order = vec![first as u32];
+        let mut in_order = 1u64 << first;
+        // Vϕ as a bitset over query vertices.
+        let mut covered = vec![false; query.num_vertices()];
+        for &v in query.edge(first) {
+            covered[v as usize] = true;
+        }
+
+        while order.len() != ne {
+            let mut best: Option<(f64, usize, usize)> = None; // (score, -overlap, edge)
+            for e in 0..ne {
+                if in_order & (1 << e) != 0 {
+                    continue;
+                }
+                let overlap =
+                    query.edge(e).iter().filter(|&&v| covered[v as usize]).count();
+                if overlap == 0 {
+                    continue;
+                }
+                let score = card(e) / overlap as f64;
+                let key = (score, usize::MAX - overlap, e);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            let next = match best {
+                Some((_, _, e)) => e,
+                // Disconnected query: start a new component at the smallest
+                // remaining cardinality (graceful extension of the paper,
+                // which assumes connected queries).
+                None => (0..ne)
+                    .filter(|&e| in_order & (1 << e) == 0)
+                    .min_by(|&a, &b| card(a).total_cmp(&card(b)).then(a.cmp(&b)))
+                    .expect("some edge remains"),
+            };
+            order.push(next as u32);
+            in_order |= 1 << next;
+            for &v in query.edge(next) {
+                covered[v as usize] = true;
+            }
+        }
+        order
+    }
+
+    fn compile(query: &QueryGraph, data: &Hypergraph, order: Vec<u32>) -> Plan {
+        let ne = order.len();
+        let mut position = vec![0u32; ne];
+        for (pos, &e) in order.iter().enumerate() {
+            position[e as usize] = pos as u32;
+        }
+
+        let mut steps = Vec::with_capacity(ne);
+        let mut infeasible = false;
+        // Mask (over *query-edge indices*) of edges matched before each step
+        // and running vertex cover.
+        let mut matched_mask = 0u64;
+        let mut covered = vec![false; query.num_vertices()];
+        let mut vertices_so_far = 0u32;
+
+        for (pos, &eq) in order.iter().enumerate() {
+            let eq_us = eq as usize;
+            let partition = data.interner().get(query.signature(eq_us));
+            if partition.is_none() {
+                infeasible = true;
+            }
+
+            // Anchors: previously matched edges adjacent to eq; one anchor
+            // per (prev edge, shared vertex) pair, deduplicated when two
+            // shared vertices compile to the identical constraint.
+            let mut anchors: Vec<Anchor> = Vec::new();
+            let adjacent_matched = query.adjacent_edges(eq_us) & matched_mask;
+            let mut am = adjacent_matched;
+            while am != 0 {
+                let prev_edge = am.trailing_zeros();
+                am &= am - 1;
+                let prev_pos = position[prev_edge as usize];
+                for &u in query.edge(prev_edge as usize) {
+                    if query.incident_edges(u) & (1 << eq) == 0 {
+                        continue; // u not shared with eq
+                    }
+                    let anchor = Anchor {
+                        prev_pos,
+                        label: query.label(u),
+                        // d_q'(u): degree among edges matched before this step.
+                        required_degree: query.degree_within(u, matched_mask),
+                    };
+                    if !anchors.contains(&anchor) {
+                        anchors.push(anchor);
+                    }
+                }
+            }
+
+            // Non-adjacent previously matched positions.
+            let nonadj = matched_mask & !query.adjacent_edges(eq_us);
+            let mut nonadjacent_prev: Vec<u32> = Vec::new();
+            let mut nm = nonadj;
+            while nm != 0 {
+                let e = nm.trailing_zeros();
+                nm &= nm - 1;
+                nonadjacent_prev.push(position[e as usize]);
+            }
+            nonadjacent_prev.sort_unstable();
+
+            // Static query profiles for the new edge's vertices: masks over
+            // matching-order *positions* of incident query edges among
+            // matched ∪ {eq}.
+            let after_mask = matched_mask | (1 << eq);
+            let mut profiles: Vec<QueryProfile> = query
+                .edge(eq_us)
+                .iter()
+                .map(|&u| {
+                    let mut mask = 0u64;
+                    let mut inc = query.incident_edges(u) & after_mask;
+                    while inc != 0 {
+                        let e = inc.trailing_zeros();
+                        inc &= inc - 1;
+                        mask |= 1 << position[e as usize];
+                    }
+                    (query.label(u), mask)
+                })
+                .collect();
+            profiles.sort_unstable();
+
+            for &v in query.edge(eq_us) {
+                if !std::mem::replace(&mut covered[v as usize], true) {
+                    vertices_so_far += 1;
+                }
+            }
+
+            steps.push(Step {
+                query_edge: eq,
+                partition,
+                arity: query.edge(eq_us).len() as u32,
+                vertices_after: vertices_so_far,
+                anchors,
+                nonadjacent_prev,
+                profiles,
+            });
+            matched_mask |= 1 << eq;
+            let _ = pos;
+        }
+
+        Plan {
+            steps,
+            order,
+            position,
+            num_query_vertices: query.num_vertices() as u32,
+            infeasible,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgmatch_hypergraph::{HypergraphBuilder, Label};
+
+    fn paper_data() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![4, 6]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![3, 5, 6]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.add_edge(vec![2, 3, 4, 5]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn paper_query() -> QueryGraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap(); // q0 {A,B}
+        b.add_edge(vec![0, 1, 2]).unwrap(); // q1 {A,A,C}
+        b.add_edge(vec![0, 1, 3, 4]).unwrap(); // q2 {A,A,B,C}
+        QueryGraph::new(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn order_is_permutation_and_connected() {
+        let data = paper_data();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        let mut order = plan.order().to_vec();
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert!(!plan.is_infeasible());
+        // All cardinalities are 2, so the first edge is edge 0 (tie-break),
+        // and each subsequent edge must connect (anchors non-empty).
+        assert_eq!(plan.order()[0], 0);
+        for step in &plan.steps()[1..] {
+            assert!(!step.anchors.is_empty(), "connected order expected");
+        }
+    }
+
+    #[test]
+    fn cardinality_drives_start_edge() {
+        // Data where signature {A,A,C} is rarer than {A,B}.
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0, 1, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap(); // {A,B}
+        b.add_edge(vec![2, 7]).unwrap(); // {A,B}
+        b.add_edge(vec![2, 8]).unwrap(); // {A,B}
+        b.add_edge(vec![0, 1, 2]).unwrap(); // {A,A,C}
+        b.add_edge(vec![0, 1, 3, 4]).unwrap(); // {A,A,B,C}
+        let data = b.build().unwrap();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        // q1 has signature {A,A,C} with cardinality 1 → starts the order.
+        assert_eq!(plan.order()[0], 1);
+    }
+
+    #[test]
+    fn vertices_after_accumulates() {
+        let data = paper_data();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        let last = plan.steps().last().unwrap();
+        assert_eq!(last.vertices_after, 5);
+        assert_eq!(plan.num_query_vertices(), 5);
+        // Monotone non-decreasing.
+        let mut prev = 0;
+        for s in plan.steps() {
+            assert!(s.vertices_after >= prev);
+            prev = s.vertices_after;
+        }
+    }
+
+    #[test]
+    fn infeasible_when_signature_missing() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(9)); // labels unseen in query
+        b.add_edge(vec![0, 1]).unwrap();
+        let data = b.build().unwrap();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        assert!(plan.is_infeasible());
+        assert!(plan.steps().iter().any(|s| s.partition.is_none()));
+    }
+
+    #[test]
+    fn profiles_are_sorted_and_cover_edge() {
+        let data = paper_data();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        for (i, step) in plan.steps().iter().enumerate() {
+            assert_eq!(step.profiles.len(), step.arity as usize);
+            assert!(step.profiles.windows(2).all(|w| w[0] <= w[1]));
+            for &(_, mask) in &step.profiles {
+                // Every profile contains the current position's bit.
+                assert!(mask & (1 << i) != 0);
+                // And no bits beyond the current position.
+                assert_eq!(mask >> (i + 1), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn to_query_order_inverts_positions() {
+        let data = paper_data();
+        let plan = Planner::plan(&paper_query(), &data).unwrap();
+        // Pretend embedding at positions = [10, 20, 30].
+        let emb = plan.to_query_order(&[10, 20, 30]);
+        for e in 0..3u32 {
+            assert_eq!(emb[e as usize], [10, 20, 30][plan.position_of(e) as usize]);
+        }
+    }
+
+    #[test]
+    fn explicit_order_respected() {
+        let data = paper_data();
+        let q = paper_query();
+        let plan = Planner::plan_with_order(&q, &data, vec![2, 0, 1]).unwrap();
+        assert_eq!(plan.order(), &[2, 0, 1]);
+        assert_eq!(plan.steps()[0].query_edge, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn non_permutation_order_panics() {
+        let data = paper_data();
+        let _ = Planner::plan_with_order(&paper_query(), &data, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn disconnected_query_plans_without_anchors() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(4, Label::new(0));
+        b.add_edge(vec![0, 1]).unwrap();
+        b.add_edge(vec![2, 3]).unwrap();
+        let q = QueryGraph::new(&b.build().unwrap()).unwrap();
+
+        let mut d = HypergraphBuilder::new();
+        d.add_vertices(4, Label::new(0));
+        d.add_edge(vec![0, 1]).unwrap();
+        d.add_edge(vec![2, 3]).unwrap();
+        let data = d.build().unwrap();
+
+        let plan = Planner::plan(&q, &data).unwrap();
+        assert_eq!(plan.len(), 2);
+        // Second step starts a new component: no anchors, one non-adjacent
+        // previous position.
+        assert!(plan.steps()[1].anchors.is_empty());
+        assert_eq!(plan.steps()[1].nonadjacent_prev, vec![0]);
+    }
+}

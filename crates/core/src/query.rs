@@ -1,0 +1,238 @@
+//! Query-side analysis.
+//!
+//! A [`QueryGraph`] wraps a (small) query hypergraph with the derived
+//! structure the planner and the matching operators need: per-hyperedge
+//! signatures, hyperedge adjacency as 64-bit masks, and per-vertex incidence
+//! masks. Queries in the paper's workloads have at most six hyperedges;
+//! the engine supports up to 64 so that all incidence sets fit in one word.
+
+use hgmatch_hypergraph::{Hypergraph, Label, Signature};
+
+use crate::error::{MatchError, Result};
+
+/// Maximum number of query hyperedges (incidence masks are `u64`).
+pub const MAX_QUERY_EDGES: usize = 64;
+
+/// A query hypergraph plus derived matching structure.
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    /// Sorted vertex list per query hyperedge.
+    edges: Vec<Vec<u32>>,
+    /// Signature per query hyperedge.
+    signatures: Vec<Signature>,
+    /// Label per query vertex.
+    labels: Vec<Label>,
+    /// Bitmask of hyperedges adjacent to hyperedge `i` (excluding `i`).
+    adjacency: Vec<u64>,
+    /// Bitmask of hyperedges incident to vertex `v`.
+    incidence: Vec<u64>,
+}
+
+impl QueryGraph {
+    /// Analyses a query hypergraph.
+    ///
+    /// # Errors
+    /// Fails if the query has no hyperedges or more than
+    /// [`MAX_QUERY_EDGES`].
+    pub fn new(query: &Hypergraph) -> Result<Self> {
+        let ne = query.num_edges();
+        if ne == 0 {
+            return Err(MatchError::EmptyQuery);
+        }
+        if ne > MAX_QUERY_EDGES {
+            return Err(MatchError::QueryTooLarge { edges: ne, max: MAX_QUERY_EDGES });
+        }
+
+        let edges: Vec<Vec<u32>> =
+            query.iter_edges().map(|(_, vs)| vs.to_vec()).collect();
+        let labels = query.labels().to_vec();
+        let signatures: Vec<Signature> = edges
+            .iter()
+            .map(|vs| Signature::new(vs.iter().map(|&v| labels[v as usize]).collect()))
+            .collect();
+
+        let mut incidence = vec![0u64; query.num_vertices()];
+        for (i, vs) in edges.iter().enumerate() {
+            for &v in vs {
+                incidence[v as usize] |= 1 << i;
+            }
+        }
+
+        let mut adjacency = vec![0u64; ne];
+        for (i, adj) in adjacency.iter_mut().enumerate() {
+            let mut mask = 0u64;
+            for &v in &edges[i] {
+                mask |= incidence[v as usize];
+            }
+            *adj = mask & !(1 << i);
+        }
+
+        Ok(Self { edges, signatures, labels, adjacency, incidence })
+    }
+
+    /// Number of query hyperedges `|E(q)|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of query vertices `|V(q)|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Sorted vertex list of query hyperedge `i`.
+    #[inline]
+    pub fn edge(&self, i: usize) -> &[u32] {
+        &self.edges[i]
+    }
+
+    /// Signature of query hyperedge `i`.
+    #[inline]
+    pub fn signature(&self, i: usize) -> &Signature {
+        &self.signatures[i]
+    }
+
+    /// Label of query vertex `v`.
+    #[inline]
+    pub fn label(&self, v: u32) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// Bitmask of hyperedges adjacent to hyperedge `i` (sharing ≥1 vertex).
+    #[inline]
+    pub fn adjacent_edges(&self, i: usize) -> u64 {
+        self.adjacency[i]
+    }
+
+    /// Bitmask of hyperedges incident to vertex `v`.
+    #[inline]
+    pub fn incident_edges(&self, v: u32) -> u64 {
+        self.incidence[v as usize]
+    }
+
+    /// Degree of vertex `v` within the hyperedge subset `mask`.
+    #[inline]
+    pub fn degree_within(&self, v: u32, mask: u64) -> u32 {
+        (self.incidence[v as usize] & mask).count_ones()
+    }
+
+    /// Average arity `a_q` of the query (used in the memory-bound theorem).
+    pub fn average_arity(&self) -> f64 {
+        let total: usize = self.edges.iter().map(Vec::len).sum();
+        total as f64 / self.edges.len() as f64
+    }
+
+    /// Whether the query is connected (every hyperedge reachable from the
+    /// first through shared vertices). The paper assumes connected queries;
+    /// the planner falls back gracefully for disconnected ones.
+    pub fn is_connected(&self) -> bool {
+        let ne = self.num_edges();
+        let mut visited = 1u64;
+        let mut frontier = 1u64;
+        while frontier != 0 {
+            let mut next = 0u64;
+            let mut f = frontier;
+            while f != 0 {
+                let i = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= self.adjacency[i] & !visited;
+            }
+            visited |= next;
+            frontier = next;
+        }
+        visited.count_ones() as usize == ne
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgmatch_hypergraph::HypergraphBuilder;
+
+    /// The paper's Fig. 1a query: u0:A u1:C u2:A u3:A u4:B,
+    /// edges ({u2,u4}, {u0,u1,u2}, {u0,u1,u3,u4}).
+    pub(crate) fn paper_query() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_query() {
+        let q = HypergraphBuilder::new().build().unwrap();
+        assert_eq!(QueryGraph::new(&q).unwrap_err(), MatchError::EmptyQuery);
+    }
+
+    #[test]
+    fn rejects_oversized_query() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(66, Label::new(0));
+        for i in 0..65 {
+            b.add_edge(vec![i, i + 1]).unwrap();
+        }
+        let q = b.build().unwrap();
+        assert!(matches!(
+            QueryGraph::new(&q).unwrap_err(),
+            MatchError::QueryTooLarge { edges: 65, max: 64 }
+        ));
+    }
+
+    #[test]
+    fn adjacency_masks() {
+        let q = QueryGraph::new(&paper_query()).unwrap();
+        assert_eq!(q.num_edges(), 3);
+        assert_eq!(q.num_vertices(), 5);
+        // e0 {u2,u4} shares u2 with e1 and u4 with e2.
+        assert_eq!(q.adjacent_edges(0), 0b110);
+        assert_eq!(q.adjacent_edges(1), 0b101);
+        assert_eq!(q.adjacent_edges(2), 0b011);
+    }
+
+    #[test]
+    fn incidence_masks_and_degree() {
+        let q = QueryGraph::new(&paper_query()).unwrap();
+        // u2 ∈ e0, e1.
+        assert_eq!(q.incident_edges(2), 0b011);
+        // u0 ∈ e1, e2.
+        assert_eq!(q.incident_edges(0), 0b110);
+        assert_eq!(q.degree_within(2, 0b001), 1);
+        assert_eq!(q.degree_within(2, 0b111), 2);
+        assert_eq!(q.degree_within(3, 0b011), 0);
+    }
+
+    #[test]
+    fn signatures_match_labels() {
+        let q = QueryGraph::new(&paper_query()).unwrap();
+        assert_eq!(q.signature(0).labels(), &[Label::new(0), Label::new(1)]);
+        assert_eq!(
+            q.signature(2).labels(),
+            &[Label::new(0), Label::new(0), Label::new(1), Label::new(2)]
+        );
+    }
+
+    #[test]
+    fn connectivity() {
+        let q = QueryGraph::new(&paper_query()).unwrap();
+        assert!(q.is_connected());
+
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(4, Label::new(0));
+        b.add_edge(vec![0, 1]).unwrap();
+        b.add_edge(vec![2, 3]).unwrap();
+        let disconnected = QueryGraph::new(&b.build().unwrap()).unwrap();
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn average_arity() {
+        let q = QueryGraph::new(&paper_query()).unwrap();
+        assert!((q.average_arity() - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,337 @@
+//! Embedding validation — the paper's Algorithm 5.
+//!
+//! Candidate generation can produce false positives; instead of falling
+//! back to backtracking search for a vertex bijection (Lemma V.1), HGMatch
+//! compares multisets of *vertex profiles* (Definition V.3, Theorem V.2):
+//!
+//! 1. a fast check that the number of distinct vertices matches
+//!    (Observation V.5) — this alone removes the vast majority of false
+//!    positives (the paper measures ≈97% of survivors are true positives);
+//! 2. a multiset comparison of `(label, incident-matched-hyperedges)`
+//!    profiles between the new query hyperedge's vertices and the candidate
+//!    data hyperedge's vertices.
+//!
+//! Query profiles are compiled statically into the plan
+//! ([`crate::plan::Step::profiles`]); incidence sets are 64-bit masks over
+//! matching-order positions, so a profile comparison is a sort + equality
+//! test of at most `a_max` two-word pairs.
+
+use hgmatch_hypergraph::hypergraph::Hypergraph;
+use hgmatch_hypergraph::Label;
+
+use crate::candidates::ExpansionState;
+use crate::plan::Step;
+
+/// Outcome of validating one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Validation {
+    /// The candidate is the same data hyperedge as an earlier match; an
+    /// injective vertex mapping can never map two query hyperedges onto one
+    /// data hyperedge, so it is rejected outright.
+    Duplicate,
+    /// Rejected by the vertex-count check (Observation V.5).
+    WrongVertexCount,
+    /// Rejected by the vertex-profile multiset comparison (Theorem V.2).
+    WrongProfiles,
+    /// The extended partial embedding is valid.
+    Valid,
+}
+
+/// Reusable scratch for profile construction.
+#[derive(Debug, Default)]
+pub struct ValidateScratch {
+    profiles: Vec<(Label, u64)>,
+}
+
+impl ValidateScratch {
+    /// Creates empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Validates extending `emb` (positions `0..step_index`) with the candidate
+/// whose global id is `cand_global` and sorted vertex list `cand_vertices`.
+///
+/// `state` must have been [`ExpansionState::prepare`]d for `(step, emb)`.
+pub fn validate_candidate(
+    data: &Hypergraph,
+    step: &Step,
+    step_index: usize,
+    emb: &[u32],
+    state: &ExpansionState,
+    cand_global: u32,
+    cand_vertices: &[u32],
+    scratch: &mut ValidateScratch,
+) -> Validation {
+    debug_assert_eq!(emb.len(), step_index);
+
+    if emb.contains(&cand_global) {
+        return Validation::Duplicate;
+    }
+
+    // Observation V.5 — cheap first: |V(Hm')| must equal |V(q')|.
+    let new_vertices =
+        cand_vertices.iter().filter(|&&v| !state.contains_vertex(v)).count();
+    if state.num_vertices() + new_vertices != step.vertices_after as usize {
+        return Validation::WrongVertexCount;
+    }
+
+    // Theorem V.2 — compare vertex-profile multisets for the new hyperedge.
+    let current_bit = 1u64 << step_index;
+    scratch.profiles.clear();
+    for &v in cand_vertices {
+        let mut mask = current_bit;
+        for (j, &prev) in emb.iter().enumerate() {
+            if data.edge_vertices(prev.into()).binary_search(&v).is_ok() {
+                mask |= 1 << j;
+            }
+        }
+        scratch.profiles.push((data.label(v.into()), mask));
+    }
+    scratch.profiles.sort_unstable();
+    if scratch.profiles == step.profiles {
+        Validation::Valid
+    } else {
+        Validation::WrongProfiles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::ExpansionState;
+    use crate::plan::Planner;
+    use crate::query::QueryGraph;
+    use hgmatch_hypergraph::{EdgeId, HypergraphBuilder, Label};
+
+    fn paper_data() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![4, 6]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![3, 5, 6]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.add_edge(vec![2, 3, 4, 5]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn paper_query() -> QueryGraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        QueryGraph::new(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_embeddings_validate() {
+        let data = paper_data();
+        let query = paper_query();
+        let plan = Planner::plan_with_order(&query, &data, vec![0, 1, 2]).unwrap();
+        let mut state = ExpansionState::new();
+        let mut scratch = ValidateScratch::new();
+
+        // Final step of the first paper embedding (e0, e2) + e4.
+        let step = &plan.steps()[2];
+        let emb = [0u32, 2];
+        state.prepare(&data, step, &emb);
+        let v = validate_candidate(
+            &data,
+            step,
+            2,
+            &emb,
+            &state,
+            4,
+            data.edge_vertices(EdgeId::new(4)),
+            &mut scratch,
+        );
+        assert_eq!(v, Validation::Valid);
+
+        // Second embedding (e1, e3) + e5.
+        let emb = [1u32, 3];
+        state.prepare(&data, step, &emb);
+        let v = validate_candidate(
+            &data,
+            step,
+            2,
+            &emb,
+            &state,
+            5,
+            data.edge_vertices(EdgeId::new(5)),
+            &mut scratch,
+        );
+        assert_eq!(v, Validation::Valid);
+    }
+
+    #[test]
+    fn cross_embedding_mix_rejected() {
+        // (e0, e2) extended with e5 has the wrong incidence structure.
+        let data = paper_data();
+        let query = paper_query();
+        let plan = Planner::plan_with_order(&query, &data, vec![0, 1, 2]).unwrap();
+        let step = &plan.steps()[2];
+        let emb = [0u32, 2];
+        let mut state = ExpansionState::new();
+        state.prepare(&data, step, &emb);
+        let mut scratch = ValidateScratch::new();
+        let v = validate_candidate(
+            &data,
+            step,
+            2,
+            &emb,
+            &state,
+            5,
+            data.edge_vertices(EdgeId::new(5)),
+            &mut scratch,
+        );
+        assert_ne!(v, Validation::Valid);
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let data = paper_data();
+        let query = paper_query();
+        let plan = Planner::plan_with_order(&query, &data, vec![0, 1, 2]).unwrap();
+        let step = &plan.steps()[1];
+        let emb = [0u32];
+        let mut state = ExpansionState::new();
+        state.prepare(&data, step, &emb);
+        let mut scratch = ValidateScratch::new();
+        let v = validate_candidate(
+            &data,
+            step,
+            1,
+            &emb,
+            &state,
+            0,
+            data.edge_vertices(EdgeId::new(0)),
+            &mut scratch,
+        );
+        assert_eq!(v, Validation::Duplicate);
+    }
+
+    #[test]
+    fn vertex_count_check_fires() {
+        // Fig. 4's shape: a candidate that glues two query vertices onto one
+        // data vertex changes the distinct-vertex count. Build a tiny case:
+        // query path e0={u0,u1}, e1={u1,u2} (A,A,A) expects 3 vertices; data
+        // has e0={v0,v1}, e1={v0,v1} impossible (dup), so use overlapping
+        // triangle: data e0={v0,v1}, e1={v1,v2}, plus bad e2={v0,v1} dup...
+        // Simplest: data e0={v0,v1}, e1={v0,v1,..}— instead craft candidate
+        // sharing BOTH vertices: e1'={v0,v1} can't exist twice, so use a
+        // 3-edge query. Data: e0={v0,v1}, e1={v1,v2}, e2={v0,v2};
+        // query: e0={u0,u1}, e1={u1,u2}, e2={u2,u3} (path, 4 vertices).
+        // Partial (e0, e1); candidate e2={v0,v2} closes the triangle:
+        // 3 data vertices ≠ 4 query vertices → WrongVertexCount.
+        let mut d = HypergraphBuilder::new();
+        d.add_vertices(3, Label::new(0));
+        d.add_edge(vec![0, 1]).unwrap();
+        d.add_edge(vec![1, 2]).unwrap();
+        d.add_edge(vec![0, 2]).unwrap();
+        let data = d.build().unwrap();
+
+        let mut q = HypergraphBuilder::new();
+        q.add_vertices(4, Label::new(0));
+        q.add_edge(vec![0, 1]).unwrap();
+        q.add_edge(vec![1, 2]).unwrap();
+        q.add_edge(vec![2, 3]).unwrap();
+        let query = QueryGraph::new(&q.build().unwrap()).unwrap();
+        let plan = Planner::plan_with_order(&query, &data, vec![0, 1, 2]).unwrap();
+
+        let step = &plan.steps()[2];
+        let emb = [0u32, 1];
+        let mut state = ExpansionState::new();
+        state.prepare(&data, step, &emb);
+        let mut scratch = ValidateScratch::new();
+        let v = validate_candidate(
+            &data,
+            step,
+            2,
+            &emb,
+            &state,
+            2,
+            data.edge_vertices(EdgeId::new(2)),
+            &mut scratch,
+        );
+        assert_eq!(v, Validation::WrongVertexCount);
+    }
+
+    #[test]
+    fn profile_check_fires_when_counts_agree() {
+        // Fig. 4 of the paper: profiles differ although counts match.
+        // Query: e0={u0,u1}, e1={u2,u3}, e2={u1,u2,u4} over labels
+        // B,A,A,A,A — mirrors the partial query q' of the figure closely
+        // enough to exercise WrongProfiles: build data where the candidate
+        // has the right vertex count but wrong incidence pattern.
+        //
+        // Query (A-labelled path with a branch):
+        //   e0 = {u0,u1}, e1 = {u1,u2}, e2 = {u0,u2}  (triangle, 3 vertices)
+        // Data:
+        //   e0 = {v0,v1}, e1 = {v1,v2}, e2 = {v2,v3}, and v3 forms
+        //   e3 = {v0, v3}? For the last query edge {u0,u2} the candidate
+        //   must touch both earlier edges through distinct vertices; a
+        //   candidate {v2,v3} has count 3+1=4 ≠ 3 → count check. Use
+        //   {v0,v1} dup instead… Simplest true WrongProfiles: candidate
+        //   re-uses the shared vertex.
+        // Data triangle-ish: e0={v0,v1}, e1={v1,v2}, e2={v1,v3}:
+        //   candidate e2 for query edge {u0,u2}: vertices {v1,v3}, count =
+        //   3 existing {v0,v1,v2} + 1 new = 4? No. Make query have 4
+        //   vertices: e0={u0,u1}, e1={u1,u2}, e2={u0,u3} (path + pendant,
+        //   4 vertices). Candidate for e2 must touch f(u0)=v0:
+        //   good = {v0,v3}; bad with right count = {v1,v3} (touches e0 AND
+        //   e1 through v1 — profile of v1 has two prev bits, expected u0
+        //   profile has only e0's bit).
+        let mut d = HypergraphBuilder::new();
+        d.add_vertices(4, Label::new(0));
+        d.add_edge(vec![0, 1]).unwrap(); // e0
+        d.add_edge(vec![1, 2]).unwrap(); // e1
+        d.add_edge(vec![1, 3]).unwrap(); // e2 (bad candidate)
+        d.add_edge(vec![0, 3]).unwrap(); // e3 (good candidate)
+        let data = d.build().unwrap();
+
+        let mut q = HypergraphBuilder::new();
+        q.add_vertices(4, Label::new(0));
+        q.add_edge(vec![0, 1]).unwrap();
+        q.add_edge(vec![1, 2]).unwrap();
+        q.add_edge(vec![0, 3]).unwrap();
+        let query = QueryGraph::new(&q.build().unwrap()).unwrap();
+        let plan = Planner::plan_with_order(&query, &data, vec![0, 1, 2]).unwrap();
+
+        let step = &plan.steps()[2];
+        let emb = [0u32, 1]; // f(e0)=e0, f(e1)=e1 → f(u0)=v0, f(u1)=v1, f(u2)=v2
+        let mut state = ExpansionState::new();
+        state.prepare(&data, step, &emb);
+        let mut scratch = ValidateScratch::new();
+
+        let bad = validate_candidate(
+            &data,
+            step,
+            2,
+            &emb,
+            &state,
+            2,
+            data.edge_vertices(EdgeId::new(2)),
+            &mut scratch,
+        );
+        assert_eq!(bad, Validation::WrongProfiles);
+
+        let good = validate_candidate(
+            &data,
+            step,
+            2,
+            &emb,
+            &state,
+            3,
+            data.edge_vertices(EdgeId::new(3)),
+            &mut scratch,
+        );
+        assert_eq!(good, Validation::Valid);
+    }
+}

@@ -1,0 +1,288 @@
+//! JF17K-like knowledge-base hypergraph (paper §VII-D case study).
+//!
+//! The case study runs subhypergraph matching as question answering over a
+//! hypergraph knowledge base extracted from Freebase: vertices are typed
+//! entities, hyperedges are n-ary facts such as *(Player, Team, Match)* —
+//! "a player played in a match representing a team" — and *(Actor,
+//! Character, TVShow, Season)*. The real JF17K dump is not bundled; this
+//! generator emits a synthetic knowledge base with the same fact schemas
+//! and *plants* answer patterns for the two example queries of Fig. 13 so
+//! the case study has non-trivial results.
+
+use hgmatch_hypergraph::{Hypergraph, HypergraphBuilder, Label};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Entity types (vertex labels) in the knowledge base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum EntityType {
+    /// Football player.
+    Player = 0,
+    /// Football team.
+    Team = 1,
+    /// Football match.
+    Match = 2,
+    /// TV actor.
+    Actor = 3,
+    /// TV character.
+    Character = 4,
+    /// TV show.
+    TvShow = 5,
+    /// TV show season.
+    Season = 6,
+}
+
+impl EntityType {
+    /// The label encoding this type.
+    pub fn label(self) -> Label {
+        Label::new(self as u32)
+    }
+
+    /// Human-readable type name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Player => "Player",
+            Self::Team => "Team",
+            Self::Match => "Match",
+            Self::Actor => "Actor",
+            Self::Character => "Character",
+            Self::TvShow => "TVShow",
+            Self::Season => "Season",
+        }
+    }
+}
+
+/// Knowledge-base generation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnowledgeBaseConfig {
+    /// Players / actors per domain.
+    pub num_players: usize,
+    /// Teams.
+    pub num_teams: usize,
+    /// Matches.
+    pub num_matches: usize,
+    /// (Player, Team, Match) facts.
+    pub num_played_facts: usize,
+    /// Actors.
+    pub num_actors: usize,
+    /// Characters.
+    pub num_characters: usize,
+    /// TV shows.
+    pub num_shows: usize,
+    /// Seasons per show (seasons are entities shared across shows here).
+    pub num_seasons: usize,
+    /// (Actor, Character, TVShow, Season) facts.
+    pub num_casting_facts: usize,
+    /// Players deliberately given facts with two different teams (answers
+    /// to example query 1).
+    pub planted_multi_team_players: usize,
+    /// Characters deliberately played by two actors in different seasons
+    /// (answers to example query 2).
+    pub planted_recast_characters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KnowledgeBaseConfig {
+    fn default() -> Self {
+        Self {
+            num_players: 400,
+            num_teams: 40,
+            num_matches: 120,
+            num_played_facts: 1_500,
+            num_actors: 300,
+            num_characters: 250,
+            num_shows: 60,
+            num_seasons: 12,
+            num_casting_facts: 1_200,
+            planted_multi_team_players: 25,
+            planted_recast_characters: 15,
+            seed: 2023,
+        }
+    }
+}
+
+/// A generated knowledge base: the hypergraph plus entity-name metadata.
+#[derive(Debug)]
+pub struct KnowledgeBase {
+    /// The fact hypergraph.
+    pub graph: Hypergraph,
+    /// `names[v]` is a readable entity name ("Player17", "Team3", …).
+    pub names: Vec<String>,
+}
+
+impl KnowledgeBase {
+    /// Generates a knowledge base.
+    pub fn generate(config: &KnowledgeBaseConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut builder = HypergraphBuilder::new();
+        let mut names = Vec::new();
+
+        let add_entities = |builder: &mut HypergraphBuilder,
+                                names: &mut Vec<String>,
+                                ty: EntityType,
+                                n: usize|
+         -> Vec<u32> {
+            (0..n)
+                .map(|i| {
+                    names.push(format!("{}{}", ty.name(), i));
+                    builder.add_vertex(ty.label()).raw()
+                })
+                .collect()
+        };
+
+        let players = add_entities(&mut builder, &mut names, EntityType::Player, config.num_players);
+        let teams = add_entities(&mut builder, &mut names, EntityType::Team, config.num_teams);
+        let matches = add_entities(&mut builder, &mut names, EntityType::Match, config.num_matches);
+        let actors = add_entities(&mut builder, &mut names, EntityType::Actor, config.num_actors);
+        let characters =
+            add_entities(&mut builder, &mut names, EntityType::Character, config.num_characters);
+        let shows = add_entities(&mut builder, &mut names, EntityType::TvShow, config.num_shows);
+        let seasons = add_entities(&mut builder, &mut names, EntityType::Season, config.num_seasons);
+
+        let pick = |rng: &mut StdRng, pool: &[u32]| pool[rng.random_range(0..pool.len())];
+
+        // Planted multi-team players: two facts with distinct teams/matches.
+        for i in 0..config.planted_multi_team_players.min(players.len()) {
+            let p = players[i];
+            let t1 = teams[i % config.num_teams];
+            let t2 = teams[(i + 1) % config.num_teams];
+            let m1 = matches[(2 * i) % config.num_matches];
+            let m2 = matches[(2 * i + 1) % config.num_matches];
+            if t1 != t2 && m1 != m2 {
+                let _ = builder.add_edge(vec![p, t1, m1]);
+                let _ = builder.add_edge(vec![p, t2, m2]);
+            }
+        }
+        // Background played-in facts: players stick to one team (no extra
+        // multi-team answers beyond random collisions).
+        for _ in 0..config.num_played_facts {
+            let p = pick(&mut rng, &players);
+            // Deterministic team per player keeps unplanted players single-team.
+            let t = teams[(p as usize * 7) % teams.len()];
+            let m = pick(&mut rng, &matches);
+            let _ = builder.add_edge(vec![p, t, m]);
+        }
+
+        // Planted recast characters: same character+show, two actors, two
+        // seasons.
+        for i in 0..config.planted_recast_characters.min(characters.len()) {
+            let c = characters[i];
+            let show = shows[i % config.num_shows];
+            let a1 = actors[(2 * i) % config.num_actors];
+            let a2 = actors[(2 * i + 1) % config.num_actors];
+            let s1 = seasons[i % config.num_seasons];
+            let s2 = seasons[(i + 1) % config.num_seasons];
+            if a1 != a2 && s1 != s2 {
+                let _ = builder.add_edge(vec![a1, c, show, s1]);
+                let _ = builder.add_edge(vec![a2, c, show, s2]);
+            }
+        }
+        // Background casting facts: a character is bound to one actor.
+        for _ in 0..config.num_casting_facts {
+            let c = pick(&mut rng, &characters);
+            let a = actors[(c as usize * 5) % actors.len()];
+            let show = shows[(c as usize * 3) % shows.len()];
+            let s = pick(&mut rng, &seasons);
+            let _ = builder.add_edge(vec![a, c, show, s]);
+        }
+
+        let graph = builder.build().expect("knowledge base is structurally valid");
+        Self { graph, names }
+    }
+
+    /// Fig. 13a — "Football players who represented different teams in
+    /// different matches": two (Player, Team, Match) facts sharing the
+    /// player, with distinct teams and matches (injectivity enforces
+    /// distinctness).
+    pub fn query_multi_team_player() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let p = b.add_vertex(EntityType::Player.label()).raw();
+        let t1 = b.add_vertex(EntityType::Team.label()).raw();
+        let t2 = b.add_vertex(EntityType::Team.label()).raw();
+        let m1 = b.add_vertex(EntityType::Match.label()).raw();
+        let m2 = b.add_vertex(EntityType::Match.label()).raw();
+        b.add_edge(vec![p, t1, m1]).unwrap();
+        b.add_edge(vec![p, t2, m2]).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Fig. 13b — "Actors who played the same character in a TV show on
+    /// different seasons": two (Actor, Character, TVShow, Season) facts
+    /// sharing character and show, with distinct actors and seasons.
+    pub fn query_recast_character() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let a1 = b.add_vertex(EntityType::Actor.label()).raw();
+        let a2 = b.add_vertex(EntityType::Actor.label()).raw();
+        let c = b.add_vertex(EntityType::Character.label()).raw();
+        let show = b.add_vertex(EntityType::TvShow.label()).raw();
+        let s1 = b.add_vertex(EntityType::Season.label()).raw();
+        let s2 = b.add_vertex(EntityType::Season.label()).raw();
+        b.add_edge(vec![a1, c, show, s1]).unwrap();
+        b.add_edge(vec![a2, c, show, s2]).unwrap();
+        b.build().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgmatch_core::Matcher;
+
+    #[test]
+    fn generates_typed_entities() {
+        let kb = KnowledgeBase::generate(&KnowledgeBaseConfig::default());
+        assert_eq!(kb.names.len(), kb.graph.num_vertices());
+        assert!(kb.names[0].starts_with("Player"));
+        assert!(kb.graph.num_edges() > 1_000);
+        // Only arity-3 and arity-4 facts exist.
+        for (_, vs) in kb.graph.iter_edges() {
+            assert!(vs.len() == 3 || vs.len() == 4);
+        }
+    }
+
+    #[test]
+    fn planted_answers_found_query1() {
+        let config = KnowledgeBaseConfig::default();
+        let kb = KnowledgeBase::generate(&config);
+        let q = KnowledgeBase::query_multi_team_player();
+        let count = Matcher::new(&kb.graph).count(&q).unwrap();
+        // Each planted player yields ≥2 ordered embeddings (edge swap);
+        // random background collisions can add more.
+        assert!(
+            count >= 2 * config.planted_multi_team_players as u64,
+            "planted answers missing: {count}"
+        );
+    }
+
+    #[test]
+    fn planted_answers_found_query2() {
+        let config = KnowledgeBaseConfig::default();
+        let kb = KnowledgeBase::generate(&config);
+        let q = KnowledgeBase::query_recast_character();
+        let count = Matcher::new(&kb.graph).count(&q).unwrap();
+        assert!(
+            count >= 2 * config.planted_recast_characters as u64,
+            "planted answers missing: {count}"
+        );
+    }
+
+    #[test]
+    fn queries_have_expected_shapes() {
+        let q1 = KnowledgeBase::query_multi_team_player();
+        assert_eq!(q1.num_vertices(), 5);
+        assert_eq!(q1.num_edges(), 2);
+        let q2 = KnowledgeBase::query_recast_character();
+        assert_eq!(q2.num_vertices(), 6);
+        assert_eq!(q2.num_edges(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = KnowledgeBase::generate(&KnowledgeBaseConfig::default());
+        let b = KnowledgeBase::generate(&KnowledgeBaseConfig::default());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    }
+}

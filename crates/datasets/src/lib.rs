@@ -1,0 +1,23 @@
+//! # hgmatch-datasets
+//!
+//! Workload substrate for the HGMatch reproduction: synthetic hypergraph
+//! generators, per-dataset profiles mirroring the paper's Table II, the
+//! random-walk query sampler of §VII-A (Table III), and the JF17K-like
+//! knowledge-base generator for the §VII-D case study.
+//!
+//! The paper evaluates on ten real hypergraphs from Benson's collection,
+//! which are not available offline. The generators here reproduce the axes
+//! those datasets exercise — label-alphabet size, arity distribution,
+//! power-law degree skew, vertex/hyperedge ratio — at laptop scale, because
+//! those are the only properties the matching algorithms observe (see
+//! DESIGN.md §5 for the substitution argument).
+
+pub mod generator;
+pub mod knowledge_base;
+pub mod profiles;
+pub mod query_gen;
+
+pub use generator::{generate, ArityDistribution, GeneratorConfig};
+pub use knowledge_base::{KnowledgeBase, KnowledgeBaseConfig};
+pub use profiles::{all_profiles, profile_by_name, DatasetProfile};
+pub use query_gen::{sample_query, standard_settings, QuerySetting};

@@ -1,0 +1,248 @@
+//! Per-dataset generator profiles mirroring the paper's Table II.
+//!
+//! Each profile reproduces a real dataset's *shape* — label alphabet, arity
+//! distribution family, vertex/hyperedge ratio, degree skew — scaled to run
+//! on a laptop. The large datasets (MA, SA, AR) are scaled down by the
+//! factor recorded in [`DatasetProfile::scale`]; the small contact/committee
+//! datasets keep their original sizes.
+
+use hgmatch_hypergraph::Hypergraph;
+use serde::{Deserialize, Serialize};
+
+use crate::generator::{generate, ArityDistribution, GeneratorConfig};
+
+/// A named dataset profile (one row of Table II, scaled).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Paper dataset code (HC, MA, …) with an `-S` suffix when scaled.
+    pub name: &'static str,
+    /// Human-readable description from the paper.
+    pub description: &'static str,
+    /// Scale factor versus the real dataset (1.0 = full size).
+    pub scale: f64,
+    /// Generator configuration realising the profile.
+    pub config: GeneratorConfig,
+}
+
+impl DatasetProfile {
+    /// Generates the dataset.
+    pub fn generate(&self) -> Hypergraph {
+        generate(&self.config)
+    }
+
+    /// Generates with a different seed (for repetition studies).
+    pub fn generate_seeded(&self, seed: u64) -> Hypergraph {
+        generate(&GeneratorConfig { seed, ..self.config.clone() })
+    }
+}
+
+/// All ten paper dataset profiles, in Table II order.
+pub fn all_profiles() -> Vec<DatasetProfile> {
+    vec![
+        DatasetProfile {
+            name: "HC",
+            description: "house committees: few labels, very large hyperedges",
+            scale: 1.0,
+            config: GeneratorConfig {
+                num_vertices: 1_290,
+                num_edges: 331,
+                num_labels: 2,
+                label_skew: 0.3,
+                arity: ArityDistribution::Geometric { min: 12, p: 0.045, max: 81 },
+                degree_skew: 0.7,
+                seed: 0x4843,
+            },
+        },
+        DatasetProfile {
+            name: "MA-S",
+            description: "MathOverflow answers: huge alphabet, large hyperedges (1/4 scale)",
+            scale: 0.25,
+            config: GeneratorConfig {
+                num_vertices: 18_463,
+                num_edges: 1_361,
+                num_labels: 364,
+                label_skew: 0.9,
+                arity: ArityDistribution::Geometric { min: 4, p: 0.048, max: 180 },
+                degree_skew: 0.9,
+                seed: 0x4D41,
+            },
+        },
+        DatasetProfile {
+            name: "CH",
+            description: "contact high school: tiny arity, few labels",
+            scale: 1.0,
+            config: GeneratorConfig {
+                num_vertices: 327,
+                num_edges: 7_818,
+                num_labels: 9,
+                label_skew: 0.4,
+                arity: ArityDistribution::Geometric { min: 2, p: 0.75, max: 5 },
+                degree_skew: 0.6,
+                seed: 0x4348,
+            },
+        },
+        DatasetProfile {
+            name: "CP",
+            description: "contact primary school: tiny arity, few labels",
+            scale: 1.0,
+            config: GeneratorConfig {
+                num_vertices: 242,
+                num_edges: 12_704,
+                num_labels: 11,
+                label_skew: 0.4,
+                arity: ArityDistribution::Geometric { min: 2, p: 0.72, max: 5 },
+                degree_skew: 0.6,
+                seed: 0x4350,
+            },
+        },
+        DatasetProfile {
+            name: "SB",
+            description: "senate bills: two labels, mid arity, strong hubs",
+            scale: 1.0,
+            config: GeneratorConfig {
+                num_vertices: 294,
+                num_edges: 20_584,
+                num_labels: 2,
+                label_skew: 0.2,
+                arity: ArityDistribution::Geometric { min: 3, p: 0.17, max: 99 },
+                degree_skew: 1.0,
+                seed: 0x5342,
+            },
+        },
+        DatasetProfile {
+            name: "HB-S",
+            description: "house bills: two labels, large hyperedges (1/4 scale)",
+            scale: 0.25,
+            config: GeneratorConfig {
+                num_vertices: 1_494,
+                num_edges: 13_240,
+                num_labels: 2,
+                label_skew: 0.2,
+                arity: ArityDistribution::Geometric { min: 4, p: 0.057, max: 200 },
+                degree_skew: 1.0,
+                seed: 0x4842,
+            },
+        },
+        DatasetProfile {
+            name: "WT-S",
+            description: "Walmart trips: moderate arity, 11 departments (1/2 scale)",
+            scale: 0.5,
+            config: GeneratorConfig {
+                num_vertices: 44_430,
+                num_edges: 32_753,
+                num_labels: 11,
+                label_skew: 0.6,
+                arity: ArityDistribution::Geometric { min: 2, p: 0.18, max: 25 },
+                degree_skew: 0.8,
+                seed: 0x5754,
+            },
+        },
+        DatasetProfile {
+            name: "TC-S",
+            description: "Trivago clicks: small arity, 160 labels (1/4 scale)",
+            scale: 0.25,
+            config: GeneratorConfig {
+                num_vertices: 43_184,
+                num_edges: 53_120,
+                num_labels: 160,
+                label_skew: 0.8,
+                arity: ArityDistribution::Geometric { min: 2, p: 0.33, max: 85 },
+                degree_skew: 0.8,
+                seed: 0x5443,
+            },
+        },
+        DatasetProfile {
+            name: "SA-S",
+            description: "StackOverflow answers: huge sparse graph, huge alphabet (1/128 scale)",
+            scale: 1.0 / 128.0,
+            config: GeneratorConfig {
+                num_vertices: 118_843,
+                num_edges: 8_618,
+                num_labels: 441,
+                label_skew: 1.0,
+                arity: ArityDistribution::Geometric { min: 4, p: 0.05, max: 480 },
+                degree_skew: 1.0,
+                seed: 0x5341,
+            },
+        },
+        DatasetProfile {
+            name: "AR-S",
+            description: "Amazon reviews: millions of edges in the original (1/64 scale)",
+            scale: 1.0 / 64.0,
+            config: GeneratorConfig {
+                num_vertices: 35_441,
+                num_edges: 66_236,
+                num_labels: 29,
+                label_skew: 0.7,
+                arity: ArityDistribution::Geometric { min: 2, p: 0.062, max: 146 },
+                degree_skew: 1.1,
+                seed: 0x4152,
+            },
+        },
+    ]
+}
+
+/// Looks up a profile by (case-insensitive) name, with or without the `-S`
+/// scale suffix.
+pub fn profile_by_name(name: &str) -> Option<DatasetProfile> {
+    let lower = name.to_ascii_lowercase();
+    all_profiles().into_iter().find(|p| {
+        let pname = p.name.to_ascii_lowercase();
+        pname == lower || pname.trim_end_matches("-s") == lower
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_profiles_in_paper_order() {
+        let names: Vec<&str> = all_profiles().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["HC", "MA-S", "CH", "CP", "SB", "HB-S", "WT-S", "TC-S", "SA-S", "AR-S"]
+        );
+    }
+
+    #[test]
+    fn lookup_accepts_suffixless_names() {
+        assert_eq!(profile_by_name("ma").unwrap().name, "MA-S");
+        assert_eq!(profile_by_name("MA-S").unwrap().name, "MA-S");
+        assert_eq!(profile_by_name("HC").unwrap().name, "HC");
+        assert!(profile_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn hc_profile_has_paper_shape() {
+        let h = profile_by_name("HC").unwrap().generate();
+        let stats = h.stats();
+        assert_eq!(stats.num_vertices, 1_290);
+        assert!(stats.num_edges >= 300, "dedup losses should be small: {}", stats.num_edges);
+        assert!(stats.num_labels <= 2);
+        // Average arity should land near the paper's 34.8 (±40%).
+        assert!((20.0..50.0).contains(&stats.avg_arity), "avg arity {}", stats.avg_arity);
+        assert!(stats.max_arity <= 81);
+    }
+
+    #[test]
+    fn ch_profile_small_arity() {
+        let h = profile_by_name("CH").unwrap().generate();
+        let stats = h.stats();
+        assert!(stats.max_arity <= 5);
+        assert!((1.8..3.2).contains(&stats.avg_arity), "paper: 2.3, got {}", stats.avg_arity);
+    }
+
+    #[test]
+    fn seeded_regeneration_differs() {
+        let p = profile_by_name("CH").unwrap();
+        let a = p.generate();
+        let b = p.generate_seeded(999);
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        let differs = (0..a.num_edges().min(b.num_edges())).any(|i| {
+            a.edge_vertices(hgmatch_hypergraph::EdgeId::from_index(i))
+                != b.edge_vertices(hgmatch_hypergraph::EdgeId::from_index(i))
+        });
+        assert!(differs);
+    }
+}

@@ -1,0 +1,69 @@
+//! Shape checks for the mid-size dataset profiles (the small ones are
+//! checked in unit tests): each synthetic analogue must land near its
+//! paper row of Table II on the axes the matcher observes.
+
+use hgmatch_datasets::{all_profiles, profile_by_name};
+
+#[test]
+fn wt_profile_shape() {
+    let h = profile_by_name("WT").unwrap().generate();
+    let stats = h.stats();
+    assert_eq!(stats.num_vertices, 44_430);
+    assert!(stats.num_edges > 30_000);
+    assert!(stats.num_labels <= 11);
+    // Paper WT: a = 6.6, amax = 25.
+    assert!((4.0..9.0).contains(&stats.avg_arity), "avg arity {}", stats.avg_arity);
+    assert!(stats.max_arity <= 25);
+}
+
+#[test]
+fn sb_profile_has_hubs() {
+    // Senate bills: 294 sponsors, 20k bills — extreme degree skew.
+    let h = profile_by_name("SB").unwrap().generate();
+    let stats = h.stats();
+    assert_eq!(stats.num_vertices, 294);
+    assert!(stats.max_degree > 1_000, "hub degree {}", stats.max_degree);
+    assert!(stats.num_labels <= 2);
+}
+
+#[test]
+fn ar_profile_is_largest() {
+    let profiles = all_profiles();
+    let ar = profiles.iter().find(|p| p.name == "AR-S").unwrap();
+    let h = ar.generate();
+    let max_edges = profiles
+        .iter()
+        .map(|p| p.config.num_edges)
+        .max()
+        .unwrap();
+    assert_eq!(ar.config.num_edges, max_edges, "AR is the edge-count maximum, as in the paper");
+    assert!(h.num_edges() > 50_000);
+}
+
+#[test]
+fn scales_recorded_consistently() {
+    for p in all_profiles() {
+        assert!(p.scale > 0.0 && p.scale <= 1.0, "{}: scale {}", p.name, p.scale);
+        let suffixed = p.name.ends_with("-S");
+        assert_eq!(
+            p.scale < 1.0,
+            suffixed,
+            "{}: the -S suffix must mark exactly the scaled profiles",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn profiles_produce_multiple_partitions() {
+    // Signature partitioning is the core storage idea; every profile must
+    // exercise it with more than a handful of partitions.
+    for name in ["CH", "CP", "WT"] {
+        let h = profile_by_name(name).unwrap().generate();
+        assert!(
+            h.partitions().len() > 3,
+            "{name}: only {} partitions",
+            h.partitions().len()
+        );
+    }
+}

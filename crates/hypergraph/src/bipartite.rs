@@ -1,0 +1,201 @@
+//! Hypergraph → incidence bipartite graph conversion (paper §I, Fig. 2).
+//!
+//! The "strawman" approach to subhypergraph matching converts the hypergraph
+//! into a bipartite graph whose upper side is the hyperedges and lower side
+//! the vertices, with an edge whenever vertex ∈ hyperedge. The paper uses
+//! this conversion for the RapidMatch baseline; we build it as a substrate
+//! for the `rapid` baseline crate and to demonstrate the size inflation the
+//! paper warns about.
+
+use crate::hypergraph::Hypergraph;
+use crate::ids::{EdgeId, Label, VertexId};
+
+/// A labelled bipartite graph in CSR form.
+///
+/// Nodes `0..num_vertex_nodes` are the original vertices (labelled with
+/// their vertex labels); nodes `num_vertex_nodes..num_nodes` are the original
+/// hyperedges (labelled by arity, offset past the vertex alphabet so the two
+/// sides can never be confused by label).
+#[derive(Debug, Clone)]
+pub struct BipartiteGraph {
+    num_vertex_nodes: usize,
+    labels: Vec<u32>,
+    offsets: Vec<u64>,
+    neighbors: Vec<u32>,
+}
+
+impl BipartiteGraph {
+    /// Converts `h` into its incidence bipartite graph.
+    pub fn from_hypergraph(h: &Hypergraph) -> Self {
+        let nv = h.num_vertices();
+        let ne = h.num_edges();
+        let sigma = h.num_labels() as u32;
+
+        let mut labels = Vec::with_capacity(nv + ne);
+        labels.extend(h.labels().iter().map(|l| l.raw()));
+        // Hyperedge nodes are labelled `sigma + arity` so arity mismatches
+        // are label mismatches for any bipartite matcher.
+        labels.extend((0..ne).map(|e| sigma + h.edge_arity(EdgeId::from_index(e)) as u32));
+
+        let mut offsets = Vec::with_capacity(nv + ne + 1);
+        offsets.push(0u64);
+        // Vertex side: neighbours are hyperedge nodes.
+        for v in 0..nv {
+            let deg = h.degree(VertexId::from_index(v)) as u64;
+            offsets.push(offsets.last().unwrap() + deg);
+        }
+        // Hyperedge side: neighbours are member vertices.
+        for e in 0..ne {
+            let a = h.edge_arity(EdgeId::from_index(e)) as u64;
+            offsets.push(offsets.last().unwrap() + a);
+        }
+
+        let total = *offsets.last().unwrap() as usize;
+        let mut neighbors = vec![0u32; total];
+        for v in 0..nv {
+            let start = offsets[v] as usize;
+            for (i, &e) in h.incident_edges(VertexId::from_index(v)).iter().enumerate() {
+                neighbors[start + i] = nv as u32 + e;
+            }
+        }
+        for e in 0..ne {
+            let start = offsets[nv + e] as usize;
+            for (i, &v) in h.edge_vertices(EdgeId::from_index(e)).iter().enumerate() {
+                neighbors[start + i] = v;
+            }
+        }
+
+        Self { num_vertex_nodes: nv, labels, offsets, neighbors }
+    }
+
+    /// Total node count (vertices + hyperedges).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of nodes on the vertex side.
+    #[inline]
+    pub fn num_vertex_nodes(&self) -> usize {
+        self.num_vertex_nodes
+    }
+
+    /// Number of nodes on the hyperedge side.
+    #[inline]
+    pub fn num_edge_nodes(&self) -> usize {
+        self.labels.len() - self.num_vertex_nodes
+    }
+
+    /// Number of (undirected) incidence edges.
+    #[inline]
+    pub fn num_incidences(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Label of node `n`.
+    #[inline]
+    pub fn label(&self, n: u32) -> u32 {
+        self.labels[n as usize]
+    }
+
+    /// Sorted neighbours of node `n`.
+    #[inline]
+    pub fn neighbors(&self, n: u32) -> &[u32] {
+        let start = self.offsets[n as usize] as usize;
+        let end = self.offsets[n as usize + 1] as usize;
+        &self.neighbors[start..end]
+    }
+
+    /// Degree of node `n`.
+    #[inline]
+    pub fn degree(&self, n: u32) -> usize {
+        (self.offsets[n as usize + 1] - self.offsets[n as usize]) as usize
+    }
+
+    /// Whether node `n` is on the hyperedge side.
+    #[inline]
+    pub fn is_edge_node(&self, n: u32) -> bool {
+        n as usize >= self.num_vertex_nodes
+    }
+
+    /// Maps a hyperedge-side node back to the original hyperedge id.
+    #[inline]
+    pub fn edge_of_node(&self, n: u32) -> EdgeId {
+        debug_assert!(self.is_edge_node(n));
+        EdgeId::new(n - self.num_vertex_nodes as u32)
+    }
+
+    /// Maps a vertex-side node back to the original vertex id.
+    #[inline]
+    pub fn vertex_of_node(&self, n: u32) -> VertexId {
+        debug_assert!(!self.is_edge_node(n));
+        VertexId::new(n)
+    }
+
+    /// Original vertex label of a vertex-side node.
+    #[inline]
+    pub fn vertex_label(&self, n: u32) -> Label {
+        Label::new(self.labels[n as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HypergraphBuilder;
+    use crate::ids::Label;
+
+    fn small() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(Label::new(0)); // v0 A
+        b.add_vertex(Label::new(1)); // v1 B
+        b.add_vertex(Label::new(0)); // v2 A
+        b.add_edge(vec![0, 1]).unwrap(); // e0
+        b.add_edge(vec![0, 1, 2]).unwrap(); // e1
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn node_counts_and_sides() {
+        let g = BipartiteGraph::from_hypergraph(&small());
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_vertex_nodes(), 3);
+        assert_eq!(g.num_edge_nodes(), 2);
+        assert_eq!(g.num_incidences(), 5); // 2 + 3 memberships
+        assert!(!g.is_edge_node(2));
+        assert!(g.is_edge_node(3));
+        assert_eq!(g.edge_of_node(3), EdgeId::new(0));
+        assert_eq!(g.vertex_of_node(1), VertexId::new(1));
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_incidence() {
+        let g = BipartiteGraph::from_hypergraph(&small());
+        // v0 ∈ e0, e1 → neighbours are edge nodes 3 and 4.
+        assert_eq!(g.neighbors(0), &[3, 4]);
+        // e1 node (index 4) has the member vertices.
+        assert_eq!(g.neighbors(4), &[0, 1, 2]);
+        assert_eq!(g.degree(4), 3);
+    }
+
+    #[test]
+    fn labels_separate_sides() {
+        let h = small();
+        let g = BipartiteGraph::from_hypergraph(&h);
+        let sigma = h.num_labels() as u32;
+        assert_eq!(g.label(0), 0);
+        assert_eq!(g.label(1), 1);
+        // Edge nodes labelled sigma + arity.
+        assert_eq!(g.label(3), sigma + 2);
+        assert_eq!(g.label(4), sigma + 3);
+        assert_eq!(g.vertex_label(2), Label::new(0));
+    }
+
+    #[test]
+    fn empty_graph_converts() {
+        let h = HypergraphBuilder::new().build().unwrap();
+        let g = BipartiteGraph::from_hypergraph(&h);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_incidences(), 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Mutable construction of [`Hypergraph`]s.
+//!
+//! The builder performs the paper's offline preprocessing (§IV, §VII-A):
+//! vertices inside a hyperedge are deduplicated, repeated hyperedges are
+//! dropped (or rejected, per [`DuplicatePolicy`]), hyperedges are grouped
+//! into signature partitions, and the inverted indices plus the global
+//! incidence CSR are built.
+
+use crate::error::{HypergraphError, Result};
+use crate::fxhash::FxHashMap;
+use crate::hypergraph::{EdgeLocation, Hypergraph};
+use crate::ids::{EdgeId, Label, SignatureId, VertexId};
+use crate::partition::Partition;
+use crate::signature::{Signature, SignatureInterner};
+
+/// How the builder treats inputs the paper's preprocessing would clean up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicatePolicy {
+    /// Silently drop repeated hyperedges and repeated vertices within a
+    /// hyperedge — mirrors the paper's dataset preprocessing.
+    #[default]
+    Dedupe,
+    /// Return an error on any duplicate.
+    Reject,
+}
+
+/// Incrementally builds a [`Hypergraph`].
+#[derive(Debug, Default)]
+pub struct HypergraphBuilder {
+    labels: Vec<Label>,
+    edges: Vec<Vec<u32>>,
+    policy: DuplicatePolicy,
+    seen_edges: FxHashMap<Vec<u32>, ()>,
+}
+
+impl HypergraphBuilder {
+    /// Creates an empty builder with the default (paper-style) policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with an explicit duplicate policy.
+    pub fn with_policy(policy: DuplicatePolicy) -> Self {
+        Self { policy, ..Self::default() }
+    }
+
+    /// Adds a vertex with `label`, returning its id (dense, in call order).
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        let id = VertexId::from_index(self.labels.len());
+        self.labels.push(label);
+        id
+    }
+
+    /// Adds `n` vertices all labelled `label`; returns the first id.
+    pub fn add_vertices(&mut self, n: usize, label: Label) -> VertexId {
+        let first = VertexId::from_index(self.labels.len());
+        self.labels.extend(std::iter::repeat_n(label, n));
+        first
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of (kept) hyperedges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a hyperedge over raw vertex ids. Vertices may arrive unsorted;
+    /// duplicates inside the edge and repeated edges are handled per policy.
+    ///
+    /// Returns the prospective edge id, or `None` if a duplicate edge was
+    /// dropped under [`DuplicatePolicy::Dedupe`].
+    pub fn add_edge(&mut self, mut vertices: Vec<u32>) -> Result<Option<EdgeId>> {
+        let edge_index = self.edges.len();
+        if vertices.is_empty() {
+            return Err(HypergraphError::EmptyHyperedge { edge_index });
+        }
+        for &v in &vertices {
+            if v as usize >= self.labels.len() {
+                return Err(HypergraphError::UnknownVertex { vertex: v, edge_index });
+            }
+        }
+        vertices.sort_unstable();
+        let before = vertices.len();
+        vertices.dedup();
+        if vertices.len() != before && self.policy == DuplicatePolicy::Reject {
+            return Err(HypergraphError::DuplicateVertex { vertex: first_dup(&vertices, before) });
+        }
+        if self.seen_edges.contains_key(&vertices) {
+            return match self.policy {
+                DuplicatePolicy::Dedupe => Ok(None),
+                DuplicatePolicy::Reject => Err(HypergraphError::DuplicateHyperedge { edge_index }),
+            };
+        }
+        self.seen_edges.insert(vertices.clone(), ());
+        self.edges.push(vertices);
+        Ok(Some(EdgeId::from_index(edge_index)))
+    }
+
+    /// Adds a hyperedge over typed vertex ids.
+    pub fn add_edge_ids(&mut self, vertices: impl IntoIterator<Item = VertexId>) -> Result<Option<EdgeId>> {
+        self.add_edge(vertices.into_iter().map(VertexId::raw).collect())
+    }
+
+    /// Finalises the hypergraph: partitions by signature, builds inverted
+    /// indices, the edge locator and the global incidence CSR.
+    pub fn build(self) -> Result<Hypergraph> {
+        let Self { labels, edges, .. } = self;
+
+        let num_labels = labels.iter().map(|l| l.raw() + 1).max().unwrap_or(0);
+
+        // Group edges by signature, preserving global insertion order ids.
+        let mut interner = SignatureInterner::new();
+        let mut groups: Vec<(Vec<Vec<u32>>, Vec<EdgeId>)> = Vec::new();
+        let mut locator = vec![EdgeLocation { signature: SignatureId::new(0), row: 0 }; edges.len()];
+        for (i, edge) in edges.into_iter().enumerate() {
+            let signature =
+                Signature::new(edge.iter().map(|&v| labels[v as usize]).collect());
+            let sid = interner.intern(signature);
+            if sid.index() == groups.len() {
+                groups.push((Vec::new(), Vec::new()));
+            }
+            let (rows, ids) = &mut groups[sid.index()];
+            locator[i] = EdgeLocation { signature: sid, row: rows.len() as u32 };
+            rows.push(edge);
+            ids.push(EdgeId::from_index(i));
+        }
+
+        let partitions: Vec<Partition> = groups
+            .into_iter()
+            .enumerate()
+            .map(|(sid, (rows, ids))| {
+                let arity = interner.resolve(SignatureId::from_index(sid)).arity() as u32;
+                Partition::new(SignatureId::from_index(sid), arity, rows, ids)
+            })
+            .collect();
+
+        // Global incidence CSR: vertex → sorted global edge ids.
+        let mut degrees = vec![0u64; labels.len()];
+        for p in &partitions {
+            for (_, row) in p.iter_rows() {
+                for &v in row {
+                    degrees[v as usize] += 1;
+                }
+            }
+        }
+        let mut incidence_offsets = Vec::with_capacity(labels.len() + 1);
+        incidence_offsets.push(0u64);
+        for &d in &degrees {
+            incidence_offsets.push(incidence_offsets.last().unwrap() + d);
+        }
+        let total = *incidence_offsets.last().unwrap() as usize;
+        let mut incidence_edges = vec![0u32; total];
+        let mut cursor = incidence_offsets[..labels.len()].to_vec();
+        // Fill in ascending global edge order so per-vertex lists are sorted.
+        let mut by_global: Vec<(EdgeId, SignatureId, u32)> = Vec::new();
+        for p in &partitions {
+            for (r, _) in p.iter_rows() {
+                by_global.push((p.global_id(r), p.signature(), r));
+            }
+        }
+        by_global.sort_unstable_by_key(|(g, _, _)| *g);
+        for (g, sid, r) in by_global {
+            for &v in partitions[sid.index()].row(r) {
+                let c = &mut cursor[v as usize];
+                incidence_edges[*c as usize] = g.raw();
+                *c += 1;
+            }
+        }
+
+        // |adj(v)| per vertex via sort+dedup of neighbour lists.
+        let graph = Hypergraph {
+            labels,
+            num_labels,
+            interner,
+            partitions,
+            locator,
+            incidence_offsets,
+            incidence_edges,
+            adj_counts: Vec::new(),
+        };
+        let adj_counts = (0..graph.num_vertices())
+            .map(|v| graph.adjacent_vertices(VertexId::from_index(v)).len() as u32)
+            .collect();
+        Ok(Hypergraph { adj_counts, ..graph })
+    }
+}
+
+fn first_dup(sorted_dedup: &[u32], _before: usize) -> u32 {
+    // After dedup we cannot recover which value repeated without the
+    // original; report the first element as the offending vertex set member.
+    sorted_dedup.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_empty() {
+        let h = HypergraphBuilder::new().build().unwrap();
+        assert_eq!(h.num_vertices(), 0);
+        assert_eq!(h.num_edges(), 0);
+        assert_eq!(h.num_labels(), 0);
+        assert_eq!(h.average_arity(), 0.0);
+        assert_eq!(h.max_arity(), 0);
+    }
+
+    #[test]
+    fn unknown_vertex_rejected() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(Label::new(0));
+        let err = b.add_edge(vec![0, 5]).unwrap_err();
+        assert!(matches!(err, HypergraphError::UnknownVertex { vertex: 5, .. }));
+    }
+
+    #[test]
+    fn empty_edge_rejected() {
+        let mut b = HypergraphBuilder::new();
+        let err = b.add_edge(vec![]).unwrap_err();
+        assert!(matches!(err, HypergraphError::EmptyHyperedge { .. }));
+    }
+
+    #[test]
+    fn dedupe_policy_drops_duplicates() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(3, Label::new(0));
+        assert!(b.add_edge(vec![0, 1]).unwrap().is_some());
+        // Same set, different order → dropped.
+        assert!(b.add_edge(vec![1, 0]).unwrap().is_none());
+        // Repeated vertex inside an edge is deduped: {2,2} → {2}.
+        assert!(b.add_edge(vec![2, 2]).unwrap().is_some());
+        let h = b.build().unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.edge_vertices(EdgeId::new(1)), &[2]);
+    }
+
+    #[test]
+    fn reject_policy_errors_on_duplicates() {
+        let mut b = HypergraphBuilder::with_policy(DuplicatePolicy::Reject);
+        b.add_vertices(3, Label::new(0));
+        b.add_edge(vec![0, 1]).unwrap();
+        assert!(matches!(
+            b.add_edge(vec![1, 0]).unwrap_err(),
+            HypergraphError::DuplicateHyperedge { .. }
+        ));
+        assert!(matches!(
+            b.add_edge(vec![2, 2]).unwrap_err(),
+            HypergraphError::DuplicateVertex { .. }
+        ));
+    }
+
+    #[test]
+    fn global_ids_follow_insertion_order() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(Label::new(0)); // v0: L0
+        b.add_vertex(Label::new(1)); // v1: L1
+        b.add_vertex(Label::new(0)); // v2: L0
+        let e0 = b.add_edge(vec![0, 1]).unwrap().unwrap(); // sig {L0,L1}
+        let e1 = b.add_edge(vec![0, 2]).unwrap().unwrap(); // sig {L0,L0}
+        let e2 = b.add_edge(vec![1, 2]).unwrap().unwrap(); // sig {L0,L1}
+        assert_eq!((e0, e1, e2), (EdgeId::new(0), EdgeId::new(1), EdgeId::new(2)));
+        let h = b.build().unwrap();
+        assert_eq!(h.edge_vertices(EdgeId::new(0)), &[0, 1]);
+        assert_eq!(h.edge_vertices(EdgeId::new(1)), &[0, 2]);
+        assert_eq!(h.edge_vertices(EdgeId::new(2)), &[1, 2]);
+        // Two partitions; e0 and e2 share one.
+        assert_eq!(h.partitions().len(), 2);
+        assert_eq!(h.edge_signature(EdgeId::new(0)), h.edge_signature(EdgeId::new(2)));
+        assert_ne!(h.edge_signature(EdgeId::new(0)), h.edge_signature(EdgeId::new(1)));
+    }
+
+    #[test]
+    fn incidence_lists_sorted_by_global_id() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(4, Label::new(0));
+        b.add_vertex(Label::new(1));
+        // Insert edges whose partition order differs from global order.
+        b.add_edge(vec![0, 4]).unwrap(); // g0, sig {L0,L1}
+        b.add_edge(vec![0, 1]).unwrap(); // g1, sig {L0,L0}
+        b.add_edge(vec![0, 2]).unwrap(); // g2, sig {L0,L0}
+        b.add_edge(vec![0, 3, 4]).unwrap(); // g3, arity 3
+        let h = b.build().unwrap();
+        assert_eq!(h.incident_edges(VertexId::new(0)), &[0, 1, 2, 3]);
+        assert_eq!(h.incident_edges(VertexId::new(4)), &[0, 3]);
+        assert_eq!(h.degree(VertexId::new(0)), 4);
+    }
+
+    #[test]
+    fn num_labels_spans_alphabet() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(Label::new(7));
+        assert_eq!(b.build().unwrap().num_labels(), 8);
+    }
+}

@@ -1,0 +1,338 @@
+//! The immutable, indexed data hypergraph (paper §IV).
+//!
+//! A [`Hypergraph`] is the product of offline preprocessing: vertex labels,
+//! signature-partitioned hyperedge tables with inverted indices, a global
+//! edge locator, and a global vertex→edge incidence CSR (used by the
+//! match-by-vertex baselines and the IHS filter).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{EdgeId, Label, SignatureId, VertexId};
+use crate::partition::Partition;
+use crate::signature::{Signature, SignatureInterner};
+use crate::stats::HypergraphStats;
+
+/// Where a global hyperedge lives: its partition and local row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeLocation {
+    /// Partition (signature) the edge belongs to.
+    pub signature: SignatureId,
+    /// Row inside the partition table.
+    pub row: u32,
+}
+
+/// An immutable vertex-labelled hypergraph in HGMatch's partitioned layout.
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    pub(crate) labels: Vec<Label>,
+    pub(crate) num_labels: u32,
+    pub(crate) interner: SignatureInterner,
+    pub(crate) partitions: Vec<Partition>,
+    pub(crate) locator: Vec<EdgeLocation>,
+    /// Global incidence CSR: `incidence_offsets[v]..incidence_offsets[v+1]`
+    /// indexes sorted global edge ids incident to vertex `v`.
+    pub(crate) incidence_offsets: Vec<u64>,
+    pub(crate) incidence_edges: Vec<u32>,
+    /// `|adj(v)|` per vertex (number of distinct adjacent vertices),
+    /// precomputed for the IHS filter.
+    pub(crate) adj_counts: Vec<u32>,
+}
+
+impl Hypergraph {
+    /// Number of vertices `|V(H)|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of hyperedges `|E(H)|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.locator.len()
+    }
+
+    /// Size of the label alphabet `|Σ|`.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.num_labels as usize
+    }
+
+    /// Label of a vertex.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The signature interner (signature ⇄ partition id).
+    #[inline]
+    pub fn interner(&self) -> &SignatureInterner {
+        &self.interner
+    }
+
+    /// All signature partitions, indexed by [`SignatureId`].
+    #[inline]
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// The partition for `id`.
+    #[inline]
+    pub fn partition(&self, id: SignatureId) -> &Partition {
+        &self.partitions[id.index()]
+    }
+
+    /// Finds the partition holding hyperedges with `signature`, if any.
+    pub fn partition_of(&self, signature: &Signature) -> Option<&Partition> {
+        self.interner.get(signature).map(|id| self.partition(id))
+    }
+
+    /// `Card(eq, H)`: number of data hyperedges whose signature equals
+    /// `signature` (Definition V.2). `O(1)` after an interner lookup.
+    pub fn cardinality(&self, signature: &Signature) -> usize {
+        self.partition_of(signature).map_or(0, Partition::len)
+    }
+
+    /// Where global edge `e` lives.
+    #[inline]
+    pub fn locate(&self, e: EdgeId) -> EdgeLocation {
+        self.locator[e.index()]
+    }
+
+    /// Sorted vertex list of global edge `e`.
+    #[inline]
+    pub fn edge_vertices(&self, e: EdgeId) -> &[u32] {
+        let loc = self.locate(e);
+        self.partitions[loc.signature.index()].row(loc.row)
+    }
+
+    /// Arity of global edge `e`.
+    #[inline]
+    pub fn edge_arity(&self, e: EdgeId) -> usize {
+        let loc = self.locate(e);
+        self.partitions[loc.signature.index()].arity() as usize
+    }
+
+    /// Signature id of global edge `e`.
+    #[inline]
+    pub fn edge_signature(&self, e: EdgeId) -> SignatureId {
+        self.locate(e).signature
+    }
+
+    /// Sorted global edge ids incident to vertex `v` — `he(v)`.
+    #[inline]
+    pub fn incident_edges(&self, v: VertexId) -> &[u32] {
+        let start = self.incidence_offsets[v.index()] as usize;
+        let end = self.incidence_offsets[v.index() + 1] as usize;
+        &self.incidence_edges[start..end]
+    }
+
+    /// Degree `d(v) = |he(v)|`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.incidence_offsets[v.index() + 1] - self.incidence_offsets[v.index()]) as usize
+    }
+
+    /// `|he_a(v)|`: number of incident hyperedges of arity `a`.
+    pub fn degree_with_arity(&self, v: VertexId, arity: usize) -> usize {
+        self.incident_edges(v)
+            .iter()
+            .filter(|&&e| self.edge_arity(EdgeId::new(e)) == arity)
+            .count()
+    }
+
+    /// `|he(v, s)|`: number of incident hyperedges with signature id `s`.
+    #[inline]
+    pub fn degree_with_signature(&self, v: VertexId, s: SignatureId) -> usize {
+        self.partitions[s.index()].incident_rows(v.raw()).len()
+    }
+
+    /// Number of distinct adjacent vertices `|adj(v)|`.
+    #[inline]
+    pub fn adjacent_count(&self, v: VertexId) -> usize {
+        self.adj_counts[v.index()] as usize
+    }
+
+    /// Collects the distinct adjacent vertices of `v`, sorted.
+    pub fn adjacent_vertices(&self, v: VertexId) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for &e in self.incident_edges(v) {
+            out.extend_from_slice(self.edge_vertices(EdgeId::new(e)));
+        }
+        out.sort_unstable();
+        out.dedup();
+        if let Ok(pos) = out.binary_search(&v.raw()) {
+            out.remove(pos);
+        }
+        out
+    }
+
+    /// Iterates all global edges as `(EdgeId, vertex list)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (EdgeId, &[u32])> {
+        (0..self.num_edges()).map(move |i| {
+            let e = EdgeId::from_index(i);
+            (e, self.edge_vertices(e))
+        })
+    }
+
+    /// Average arity `a_H`.
+    pub fn average_arity(&self) -> f64 {
+        if self.num_edges() == 0 {
+            return 0.0;
+        }
+        let total: usize = self.partitions.iter().map(|p| p.len() * p.arity() as usize).sum();
+        total as f64 / self.num_edges() as f64
+    }
+
+    /// Maximum arity `a_max`.
+    pub fn max_arity(&self) -> usize {
+        self.partitions.iter().map(|p| p.arity() as usize).max().unwrap_or(0)
+    }
+
+    /// Computes summary statistics (the columns of the paper's Table II).
+    pub fn stats(&self) -> HypergraphStats {
+        HypergraphStats::compute(self)
+    }
+
+    /// Total bytes of hyperedge tables (the "graph size" of Fig. 7).
+    pub fn table_size_bytes(&self) -> usize {
+        self.partitions.iter().map(Partition::table_size_bytes).sum()
+    }
+
+    /// Total bytes of inverted indices (the "index size" of Fig. 7).
+    pub fn index_size_bytes(&self) -> usize {
+        self.partitions.iter().map(Partition::index_size_bytes).sum()
+    }
+
+    /// Tests whether a sorted vertex set exists as a hyperedge, returning its
+    /// global id. Used by the match-by-vertex baselines to verify hyperedge
+    /// constraints (Theorem III.2).
+    pub fn find_edge(&self, sorted_vertices: &[u32]) -> Option<EdgeId> {
+        if sorted_vertices.is_empty() {
+            return None;
+        }
+        let signature = Signature::new(
+            sorted_vertices.iter().map(|&v| self.labels[v as usize]).collect(),
+        );
+        let partition = self.partition_of(&signature)?;
+        // Probe the partition's inverted index via the least-frequent vertex.
+        let mut best: Option<&[u32]> = None;
+        for &v in sorted_vertices {
+            let rows = partition.incident_rows(v);
+            if rows.is_empty() {
+                return None;
+            }
+            if best.is_none_or(|b| rows.len() < b.len()) {
+                best = Some(rows);
+            }
+        }
+        best?.iter().copied().find_map(|row| {
+            (partition.row(row) == sorted_vertices).then(|| partition.global_id(row))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HypergraphBuilder;
+
+    /// Builds the data hypergraph of the paper's Fig. 1b.
+    pub(crate) fn paper_data_graph() -> Hypergraph {
+        // Labels: A=0, B=1, C=2.
+        // v0:A v1:C v2:A v3:A v4:B v5:C v6:A
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        // e1..e6 (0-indexed e0..e5 here):
+        b.add_edge(vec![2, 4]).unwrap(); // e1 {v2,v4}
+        b.add_edge(vec![4, 6]).unwrap(); // e2 {v4,v6}
+        b.add_edge(vec![0, 1, 2]).unwrap(); // e3 {v0,v1,v2}
+        b.add_edge(vec![3, 5, 6]).unwrap(); // e4 {v3,v5,v6}
+        b.add_edge(vec![0, 1, 4, 6]).unwrap(); // e5 {v0,v1,v4,v6}
+        b.add_edge(vec![2, 3, 4, 5]).unwrap(); // e6 {v2,v3,v4,v5}
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig1_partitions_match_table1() {
+        let h = paper_data_graph();
+        assert_eq!(h.num_vertices(), 7);
+        assert_eq!(h.num_edges(), 6);
+        assert_eq!(h.partitions().len(), 3);
+
+        // {A,B} partition holds e1, e2.
+        let ab = Signature::new(vec![Label::new(0), Label::new(1)]);
+        let p = h.partition_of(&ab).expect("AB partition");
+        assert_eq!(p.len(), 2);
+        assert_eq!(h.cardinality(&ab), 2);
+
+        // {A,A,C} partition holds e3, e4.
+        let aac = Signature::new(vec![Label::new(0), Label::new(0), Label::new(2)]);
+        assert_eq!(h.cardinality(&aac), 2);
+
+        // {A,A,B,C} partition holds e5, e6.
+        let aabc =
+            Signature::new(vec![Label::new(0), Label::new(0), Label::new(1), Label::new(2)]);
+        assert_eq!(h.cardinality(&aabc), 2);
+
+        // Missing signature has zero cardinality.
+        let none = Signature::new(vec![Label::new(1), Label::new(1)]);
+        assert_eq!(h.cardinality(&none), 0);
+    }
+
+    #[test]
+    fn incidence_and_degrees() {
+        let h = paper_data_graph();
+        // v4 (B) is in e1, e2, e5, e6 → global ids 0, 1, 4, 5.
+        assert_eq!(h.incident_edges(VertexId::new(4)), &[0, 1, 4, 5]);
+        assert_eq!(h.degree(VertexId::new(4)), 4);
+        assert_eq!(h.degree_with_arity(VertexId::new(4), 2), 2);
+        assert_eq!(h.degree_with_arity(VertexId::new(4), 4), 2);
+        assert_eq!(h.degree_with_arity(VertexId::new(4), 3), 0);
+    }
+
+    #[test]
+    fn adjacency() {
+        let h = paper_data_graph();
+        // v0 is in e3 {v0,v1,v2} and e5 {v0,v1,v4,v6} → adj = {1,2,4,6}.
+        assert_eq!(h.adjacent_vertices(VertexId::new(0)), vec![1, 2, 4, 6]);
+        assert_eq!(h.adjacent_count(VertexId::new(0)), 4);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let h = paper_data_graph();
+        assert_eq!(h.edge_vertices(EdgeId::new(2)), &[0, 1, 2]);
+        assert_eq!(h.edge_arity(EdgeId::new(4)), 4);
+        assert_eq!(h.find_edge(&[2, 4]), Some(EdgeId::new(0)));
+        assert_eq!(h.find_edge(&[0, 1, 4, 6]), Some(EdgeId::new(4)));
+        assert_eq!(h.find_edge(&[0, 2]), None); // same labels as no edge
+        assert_eq!(h.find_edge(&[]), None);
+        assert_eq!(h.find_edge(&[0, 3]), None); // signature exists ({A,A})? no
+    }
+
+    #[test]
+    fn arity_summaries() {
+        let h = paper_data_graph();
+        assert_eq!(h.max_arity(), 4);
+        let avg = h.average_arity();
+        assert!((avg - 3.0).abs() < 1e-9, "avg arity {avg}");
+    }
+
+    #[test]
+    fn degree_with_signature_matches_partition_postings() {
+        let h = paper_data_graph();
+        let aabc =
+            Signature::new(vec![Label::new(0), Label::new(0), Label::new(1), Label::new(2)]);
+        let sid = h.interner().get(&aabc).unwrap();
+        assert_eq!(h.degree_with_signature(VertexId::new(4), sid), 2);
+        assert_eq!(h.degree_with_signature(VertexId::new(0), sid), 1);
+    }
+}

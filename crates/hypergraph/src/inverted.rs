@@ -1,0 +1,152 @@
+//! The lightweight inverted hyperedge index (paper §IV-C).
+//!
+//! Each signature partition carries one inverted index mapping a vertex to
+//! the *posting list* of local row ids of all its incident hyperedges in that
+//! partition, in ascending order. Candidate generation (Algorithm 4) fetches
+//! `he(v, S(eq))` from this index in `O(log k)` and then works purely with
+//! sorted-set operations.
+//!
+//! The index is stored in CSR form over a sorted key array rather than a hash
+//! map: lookups binary-search the key array, and the whole structure is three
+//! flat allocations — matching the paper's "lightweight" size analysis of
+//! `O(a_H · |E(H)|)` total postings.
+
+use serde::{Deserialize, Serialize};
+
+/// Inverted index from vertex id to a sorted posting list of local hyperedge
+/// row ids within one partition.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    /// Sorted vertex ids that appear in this partition.
+    keys: Vec<u32>,
+    /// `offsets[i]..offsets[i+1]` is the posting range of `keys[i]`.
+    offsets: Vec<u32>,
+    /// Concatenated posting lists (local row ids, ascending per key).
+    postings: Vec<u32>,
+}
+
+impl InvertedIndex {
+    /// Builds the index from `(vertex, row)` incidences.
+    ///
+    /// `rows[r]` must be the sorted vertex list of local row `r`; rows are
+    /// visited in ascending order so each posting list comes out sorted.
+    pub fn build(rows: &[&[u32]]) -> Self {
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (row, vertices) in rows.iter().enumerate() {
+            let row = row as u32;
+            for &v in *vertices {
+                pairs.push((v, row));
+            }
+        }
+        pairs.sort_unstable();
+
+        let mut keys = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut postings = Vec::with_capacity(pairs.len());
+        for (v, row) in pairs {
+            if keys.last() != Some(&v) {
+                // Close the previous key's range (offsets always ends with
+                // the running posting count) and open a new one.
+                keys.push(v);
+                offsets.push(postings.len() as u32);
+            }
+            postings.push(row);
+            *offsets.last_mut().unwrap() = postings.len() as u32;
+        }
+        Self { keys, offsets, postings }
+    }
+
+    /// Returns the posting list (sorted local row ids) for `vertex`, or an
+    /// empty slice if the vertex does not appear in this partition.
+    #[inline]
+    pub fn postings(&self, vertex: u32) -> &[u32] {
+        match self.keys.binary_search(&vertex) {
+            Ok(i) => {
+                let start = self.offsets[i] as usize;
+                let end = self.offsets[i + 1] as usize;
+                &self.postings[start..end]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Number of incidences (total posting entries).
+    #[inline]
+    pub fn num_postings(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of distinct vertices indexed.
+    #[inline]
+    pub fn num_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Approximate heap size of the index in bytes.
+    pub fn size_bytes(&self) -> usize {
+        (self.keys.len() + self.offsets.len() + self.postings.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Iterates `(vertex, posting list)` pairs in ascending vertex order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u32])> {
+        self.keys.iter().enumerate().map(move |(i, &v)| {
+            let start = self.offsets[i] as usize;
+            let end = self.offsets[i + 1] as usize;
+            (v, &self.postings[start..end])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setops::is_strictly_sorted;
+
+    #[test]
+    fn build_and_lookup() {
+        // Partition 1 of the paper's Table I: e1 = {v2, v4}, e2 = {v4, v6}.
+        let rows: Vec<&[u32]> = vec![&[2, 4], &[4, 6]];
+        let idx = InvertedIndex::build(&rows);
+        assert_eq!(idx.postings(2), &[0]);
+        assert_eq!(idx.postings(4), &[0, 1]);
+        assert_eq!(idx.postings(6), &[1]);
+        assert_eq!(idx.postings(99), &[] as &[u32]);
+        assert_eq!(idx.num_keys(), 3);
+        assert_eq!(idx.num_postings(), 4);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = InvertedIndex::build(&[]);
+        assert_eq!(idx.num_keys(), 0);
+        assert_eq!(idx.postings(0), &[] as &[u32]);
+        assert_eq!(idx.size_bytes(), 4); // the single offset sentinel
+    }
+
+    #[test]
+    fn posting_lists_are_sorted() {
+        let rows: Vec<&[u32]> = vec![&[1, 2, 3], &[2, 3], &[1, 3], &[3]];
+        let idx = InvertedIndex::build(&rows);
+        for (_, postings) in idx.iter() {
+            assert!(is_strictly_sorted(postings));
+        }
+        assert_eq!(idx.postings(3), &[0, 1, 2, 3]);
+        assert_eq!(idx.postings(1), &[0, 2]);
+    }
+
+    #[test]
+    fn iter_visits_keys_in_order() {
+        let rows: Vec<&[u32]> = vec![&[5, 9], &[1, 5]];
+        let idx = InvertedIndex::build(&rows);
+        let keys: Vec<u32> = idx.iter().map(|(v, _)| v).collect();
+        assert_eq!(keys, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn size_accounts_all_arrays() {
+        let rows: Vec<&[u32]> = vec![&[1, 2]];
+        let idx = InvertedIndex::build(&rows);
+        // keys=2, offsets=3, postings=2 → 7 u32s.
+        assert_eq!(idx.size_bytes(), 7 * 4);
+    }
+}

@@ -1,0 +1,322 @@
+//! Hypergraph serialisation: a Benson-style text format and a compact
+//! binary format.
+//!
+//! The paper's datasets come from Benson's hypergraph collection, which
+//! ships one file of vertex labels (line `i` = label of vertex `i`) and one
+//! file of hyperedges (one comma-separated vertex list per line). We
+//! implement that format for interchange, plus a length-prefixed binary
+//! format (magic `HGMB`) for fast reloads.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::builder::HypergraphBuilder;
+use crate::error::{HypergraphError, Result};
+use crate::hypergraph::Hypergraph;
+use crate::ids::Label;
+
+/// Magic bytes of the binary format.
+const MAGIC: &[u8; 4] = b"HGMB";
+/// Current binary format version.
+const VERSION: u32 = 1;
+
+/// Parses vertex labels from a reader: one non-negative integer label per
+/// line; blank lines and `#` comments are skipped.
+pub fn parse_labels<R: BufRead>(reader: R) -> Result<Vec<Label>> {
+    let mut labels = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let value: u32 = trimmed.parse().map_err(|_| HypergraphError::Parse {
+            line: lineno + 1,
+            message: format!("invalid label {trimmed:?}"),
+        })?;
+        labels.push(Label::new(value));
+    }
+    Ok(labels)
+}
+
+/// Parses hyperedges from a reader: one hyperedge per line as vertex ids
+/// separated by commas and/or whitespace; blank lines and `#` comments are
+/// skipped.
+pub fn parse_edges<R: BufRead>(reader: R) -> Result<Vec<Vec<u32>>> {
+    let mut edges = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut edge = Vec::new();
+        for token in trimmed.split(|c: char| c == ',' || c.is_whitespace()) {
+            if token.is_empty() {
+                continue;
+            }
+            let v: u32 = token.parse().map_err(|_| HypergraphError::Parse {
+                line: lineno + 1,
+                message: format!("invalid vertex id {token:?}"),
+            })?;
+            edge.push(v);
+        }
+        if edge.is_empty() {
+            return Err(HypergraphError::Parse {
+                line: lineno + 1,
+                message: "hyperedge line contains no vertices".into(),
+            });
+        }
+        edges.push(edge);
+    }
+    Ok(edges)
+}
+
+/// Builds a hypergraph from label and edge readers.
+pub fn read_text<L: BufRead, E: BufRead>(labels: L, edges: E) -> Result<Hypergraph> {
+    let labels = parse_labels(labels)?;
+    let edges = parse_edges(edges)?;
+    let mut builder = HypergraphBuilder::new();
+    for label in labels {
+        builder.add_vertex(label);
+    }
+    for edge in edges {
+        builder.add_edge(edge)?;
+    }
+    builder.build()
+}
+
+/// Loads a hypergraph from a labels file and an edges file on disk.
+pub fn load_text(labels_path: &Path, edges_path: &Path) -> Result<Hypergraph> {
+    read_text(
+        BufReader::new(File::open(labels_path)?),
+        BufReader::new(File::open(edges_path)?),
+    )
+}
+
+/// Writes a hypergraph to label and edge writers in the text format.
+pub fn write_text<L: Write, E: Write>(h: &Hypergraph, mut labels: L, mut edges: E) -> Result<()> {
+    for l in h.labels() {
+        writeln!(labels, "{}", l.raw())?;
+    }
+    for (_, vs) in h.iter_edges() {
+        let joined: Vec<String> = vs.iter().map(u32::to_string).collect();
+        writeln!(edges, "{}", joined.join(","))?;
+    }
+    Ok(())
+}
+
+/// Saves a hypergraph to a labels file and an edges file on disk.
+pub fn save_text(h: &Hypergraph, labels_path: &Path, edges_path: &Path) -> Result<()> {
+    write_text(
+        h,
+        BufWriter::new(File::create(labels_path)?),
+        BufWriter::new(File::create(edges_path)?),
+    )
+}
+
+/// Encodes a hypergraph in the binary format.
+pub fn encode_binary(h: &Hypergraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        16 + h.num_vertices() * 4 + h.num_edges() * 8 + h.table_size_bytes(),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(h.num_vertices() as u32);
+    for l in h.labels() {
+        buf.put_u32_le(l.raw());
+    }
+    buf.put_u32_le(h.num_edges() as u32);
+    for (_, vs) in h.iter_edges() {
+        buf.put_u32_le(vs.len() as u32);
+        for &v in vs {
+            buf.put_u32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a hypergraph from the binary format.
+pub fn decode_binary(mut data: &[u8]) -> Result<Hypergraph> {
+    fn need(data: &[u8], n: usize, what: &str) -> Result<()> {
+        if data.remaining() < n {
+            return Err(HypergraphError::Corrupt(format!("truncated while reading {what}")));
+        }
+        Ok(())
+    }
+
+    need(data, 8, "header")?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(HypergraphError::Corrupt("bad magic".into()));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(HypergraphError::Corrupt(format!("unsupported version {version}")));
+    }
+
+    need(data, 4, "vertex count")?;
+    let nv = data.get_u32_le() as usize;
+    need(data, nv * 4, "labels")?;
+    let mut builder = HypergraphBuilder::new();
+    for _ in 0..nv {
+        builder.add_vertex(Label::new(data.get_u32_le()));
+    }
+
+    need(data, 4, "edge count")?;
+    let ne = data.get_u32_le() as usize;
+    for _ in 0..ne {
+        need(data, 4, "edge arity")?;
+        let arity = data.get_u32_le() as usize;
+        need(data, arity * 4, "edge vertices")?;
+        let mut edge = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            edge.push(data.get_u32_le());
+        }
+        builder.add_edge(edge)?;
+    }
+    if data.has_remaining() {
+        return Err(HypergraphError::Corrupt(format!(
+            "{} trailing bytes after hypergraph",
+            data.remaining()
+        )));
+    }
+    builder.build()
+}
+
+/// Saves a hypergraph in the binary format.
+pub fn save_binary(h: &Hypergraph, path: &Path) -> Result<()> {
+    let mut file = BufWriter::new(File::create(path)?);
+    file.write_all(&encode_binary(h))?;
+    Ok(())
+}
+
+/// Loads a hypergraph from the binary format.
+pub fn load_binary(path: &Path) -> Result<Hypergraph> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    decode_binary(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HypergraphBuilder;
+    use crate::ids::EdgeId;
+
+    fn sample() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let h = sample();
+        let mut labels = Vec::new();
+        let mut edges = Vec::new();
+        write_text(&h, &mut labels, &mut edges).unwrap();
+        let h2 = read_text(labels.as_slice(), edges.as_slice()).unwrap();
+        assert_eq!(h.num_vertices(), h2.num_vertices());
+        assert_eq!(h.num_edges(), h2.num_edges());
+        for i in 0..h.num_edges() {
+            assert_eq!(
+                h.edge_vertices(EdgeId::from_index(i)),
+                h2.edge_vertices(EdgeId::from_index(i))
+            );
+        }
+        assert_eq!(h.labels(), h2.labels());
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_mixed_separators() {
+        let labels = parse_labels("# labels\n0\n\n1\n".as_bytes()).unwrap();
+        assert_eq!(labels, vec![Label::new(0), Label::new(1)]);
+        let edges = parse_edges("# edges\n0, 1\n0\t1 , 2\n".as_bytes()).unwrap();
+        assert_eq!(edges, vec![vec![0, 1], vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = parse_labels("zero\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, HypergraphError::Parse { line: 1, .. }));
+        let err = parse_edges("1,x\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, HypergraphError::Parse { line: 1, .. }));
+        let err = parse_edges(",,\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, HypergraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let h = sample();
+        let bytes = encode_binary(&h);
+        let h2 = decode_binary(&bytes).unwrap();
+        assert_eq!(h.num_vertices(), h2.num_vertices());
+        assert_eq!(h.num_edges(), h2.num_edges());
+        assert_eq!(h.labels(), h2.labels());
+        for i in 0..h.num_edges() {
+            assert_eq!(
+                h.edge_vertices(EdgeId::from_index(i)),
+                h2.edge_vertices(EdgeId::from_index(i))
+            );
+        }
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let h = sample();
+        let bytes = encode_binary(&h);
+
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(matches!(decode_binary(&bad), Err(HypergraphError::Corrupt(_))));
+
+        // Bad version.
+        let mut bad = bytes.to_vec();
+        bad[4] = 0xFF;
+        assert!(matches!(decode_binary(&bad), Err(HypergraphError::Corrupt(_))));
+
+        // Truncation at every prefix must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_binary(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+
+        // Trailing junk.
+        let mut bad = bytes.to_vec();
+        bad.push(0);
+        assert!(matches!(decode_binary(&bad), Err(HypergraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_roundtrips() {
+        let dir = std::env::temp_dir().join("hgmatch-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let h = sample();
+
+        let lp = dir.join("labels.txt");
+        let ep = dir.join("edges.txt");
+        save_text(&h, &lp, &ep).unwrap();
+        let h2 = load_text(&lp, &ep).unwrap();
+        assert_eq!(h.num_edges(), h2.num_edges());
+
+        let bp = dir.join("graph.hgmb");
+        save_binary(&h, &bp).unwrap();
+        let h3 = load_binary(&bp).unwrap();
+        assert_eq!(h.num_edges(), h3.num_edges());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

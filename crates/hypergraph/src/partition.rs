@@ -1,0 +1,187 @@
+//! Signature-partitioned hyperedge tables (paper §IV-B, Table I).
+//!
+//! All data hyperedges sharing one signature live in one `Partition`: a CSR
+//! table of sorted vertex lists plus the partition's [`InvertedIndex`]. The
+//! row count of the table *is* the hyperedge cardinality `Card(eq, H)` used
+//! by the matching-order planner (Definition V.2), available in `O(1)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{EdgeId, SignatureId};
+use crate::inverted::InvertedIndex;
+
+/// One hyperedge table: every hyperedge in it has the same signature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Partition {
+    signature: SignatureId,
+    /// Arity shared by all rows (signatures fix the arity).
+    arity: u32,
+    /// Flattened sorted vertex lists; row `r` is
+    /// `vertices[r*arity..(r+1)*arity]`.
+    vertices: Vec<u32>,
+    /// Global edge id of each local row.
+    global_ids: Vec<EdgeId>,
+    /// vertex → sorted local rows.
+    index: InvertedIndex,
+}
+
+impl Partition {
+    /// Assembles a partition from rows of sorted vertex lists and their
+    /// global ids, building the inverted index.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `arity`, or if row vertex
+    /// lists are not strictly sorted (debug builds).
+    pub fn new(signature: SignatureId, arity: u32, rows: Vec<Vec<u32>>, global_ids: Vec<EdgeId>) -> Self {
+        assert_eq!(rows.len(), global_ids.len(), "rows and global ids must align");
+        let mut vertices = Vec::with_capacity(rows.len() * arity as usize);
+        for row in &rows {
+            assert_eq!(row.len(), arity as usize, "row arity mismatch");
+            debug_assert!(
+                crate::setops::is_strictly_sorted(row),
+                "row vertex lists must be sorted and duplicate-free"
+            );
+            vertices.extend_from_slice(row);
+        }
+        let row_slices: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let index = InvertedIndex::build(&row_slices);
+        Self { signature, arity, vertices, global_ids, index }
+    }
+
+    /// The signature id all rows in this partition share.
+    #[inline]
+    pub fn signature(&self) -> SignatureId {
+        self.signature
+    }
+
+    /// Arity of every hyperedge in this partition.
+    #[inline]
+    pub fn arity(&self) -> u32 {
+        self.arity
+    }
+
+    /// Number of hyperedges — the `O(1)` cardinality used by the planner.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// Whether the partition holds no hyperedges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.global_ids.is_empty()
+    }
+
+    /// Sorted vertex list of local row `row`.
+    #[inline]
+    pub fn row(&self, row: u32) -> &[u32] {
+        let a = self.arity as usize;
+        let start = row as usize * a;
+        &self.vertices[start..start + a]
+    }
+
+    /// Global edge id of local row `row`.
+    #[inline]
+    pub fn global_id(&self, row: u32) -> EdgeId {
+        self.global_ids[row as usize]
+    }
+
+    /// All global ids, indexed by local row.
+    #[inline]
+    pub fn global_ids(&self) -> &[EdgeId] {
+        &self.global_ids
+    }
+
+    /// The partition's inverted hyperedge index.
+    #[inline]
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Posting list of local rows incident to `vertex` — `he(v, s)` for this
+    /// partition's signature `s`.
+    #[inline]
+    pub fn incident_rows(&self, vertex: u32) -> &[u32] {
+        self.index.postings(vertex)
+    }
+
+    /// Iterates `(local row, vertex list)` pairs.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (u32, &[u32])> {
+        (0..self.len() as u32).map(move |r| (r, self.row(r)))
+    }
+
+    /// Approximate heap size of the table (vertex lists + global ids),
+    /// excluding the inverted index.
+    pub fn table_size_bytes(&self) -> usize {
+        self.vertices.len() * std::mem::size_of::<u32>()
+            + self.global_ids.len() * std::mem::size_of::<EdgeId>()
+    }
+
+    /// Approximate heap size of the inverted index.
+    pub fn index_size_bytes(&self) -> usize {
+        self.index.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Partition {
+        // Partition 3 of the paper's Table I: signature {A,A,B,C};
+        // e5 = {v0,v1,v4,v6}, e6 = {v2,v3,v4,v5}.
+        Partition::new(
+            SignatureId::new(2),
+            4,
+            vec![vec![0, 1, 4, 6], vec![2, 3, 4, 5]],
+            vec![EdgeId::new(4), EdgeId::new(5)],
+        )
+    }
+
+    #[test]
+    fn rows_and_globals() {
+        let p = sample();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.arity(), 4);
+        assert_eq!(p.row(0), &[0, 1, 4, 6]);
+        assert_eq!(p.row(1), &[2, 3, 4, 5]);
+        assert_eq!(p.global_id(0), EdgeId::new(4));
+        assert_eq!(p.global_id(1), EdgeId::new(5));
+    }
+
+    #[test]
+    fn incident_rows_match_paper_table() {
+        let p = sample();
+        assert_eq!(p.incident_rows(0), &[0]);
+        assert_eq!(p.incident_rows(4), &[0, 1]); // v4 → [e5, e6]
+        assert_eq!(p.incident_rows(5), &[1]);
+        assert_eq!(p.incident_rows(7), &[] as &[u32]);
+    }
+
+    #[test]
+    fn iter_rows_covers_table() {
+        let p = sample();
+        let rows: Vec<u32> = p.iter_rows().map(|(r, _)| r).collect();
+        assert_eq!(rows, vec![0, 1]);
+    }
+
+    #[test]
+    fn sizes_are_positive() {
+        let p = sample();
+        assert_eq!(p.table_size_bytes(), (8 + 2) * 4);
+        assert!(p.index_size_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = Partition::new(SignatureId::new(0), 3, vec![vec![0, 1]], vec![EdgeId::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows and global ids")]
+    fn misaligned_ids_panic() {
+        let _ = Partition::new(SignatureId::new(0), 1, vec![vec![0]], vec![]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Sorted-set algebra over `u32` slices.
+//!
+//! HGMatch's candidate generation (paper §V-B, Algorithm 4) is built entirely
+//! from three operations over sorted posting lists: union, intersection and
+//! difference. The paper notes these "can be implemented very efficiently on
+//! modern hardware"; the original baselines even used SIMD. We use tuned
+//! scalar kernels instead (see DESIGN.md §5): a linear merge when the inputs
+//! are similar in size and a galloping (exponential-probe) variant when one
+//! side is much smaller — the classic adaptive strategy used by
+//! inverted-index engines.
+//!
+//! All functions require their inputs to be strictly increasing (sorted,
+//! deduplicated), which is an invariant of every posting list built by this
+//! crate, and produce strictly increasing outputs.
+
+/// Size ratio above which intersection switches from linear merge to
+/// galloping search. With `|small| * RATIO < |large|`, probing the large side
+/// with exponential search beats scanning it.
+const GALLOP_RATIO: usize = 16;
+
+/// Intersects two sorted slices into `out` (cleared first).
+///
+/// Adaptively picks a linear merge or a galloping probe depending on the
+/// size ratio of the inputs.
+pub fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    // Quick reject on disjoint ranges.
+    if a[a.len() - 1] < b[0] || b[b.len() - 1] < a[0] {
+        return;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.len() * GALLOP_RATIO < large.len() {
+        intersect_gallop(small, large, out);
+    } else {
+        intersect_merge(a, b, out);
+    }
+}
+
+/// Convenience wrapper around [`intersect_into`] that allocates the output.
+pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    intersect_into(a, b, &mut out);
+    out
+}
+
+fn intersect_merge(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+fn intersect_gallop(small: &[u32], large: &[u32], out: &mut Vec<u32>) {
+    let mut base = 0usize;
+    for &x in small {
+        match gallop_search(&large[base..], x) {
+            Ok(offset) => {
+                out.push(x);
+                base += offset + 1;
+            }
+            Err(offset) => base += offset,
+        }
+        if base >= large.len() {
+            break;
+        }
+    }
+}
+
+/// Exponential search for `target` in a sorted slice. Returns `Ok(pos)` when
+/// found, `Err(insertion_pos)` otherwise — mirroring `binary_search`.
+fn gallop_search(slice: &[u32], target: u32) -> Result<usize, usize> {
+    let mut hi = 1usize;
+    while hi < slice.len() && slice[hi] < target {
+        hi <<= 1;
+    }
+    let lo = hi >> 1;
+    // The probe stopped with slice[hi] >= target (or ran off the end), so the
+    // target may sit exactly at index `hi`: keep it inside the window.
+    let hi = (hi + 1).min(slice.len());
+    match slice[lo..hi].binary_search(&target) {
+        Ok(pos) => Ok(lo + pos),
+        Err(pos) => Err(lo + pos),
+    }
+}
+
+/// Unions two sorted slices into `out` (cleared first).
+pub fn union_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => {
+                out.push(x);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(y);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// Convenience wrapper around [`union_into`] that allocates the output.
+pub fn union(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    union_into(a, b, &mut out);
+    out
+}
+
+/// Unions many sorted slices. Slices are merged smallest-first to keep the
+/// intermediate results small.
+pub fn union_many(mut inputs: Vec<&[u32]>) -> Vec<u32> {
+    match inputs.len() {
+        0 => return Vec::new(),
+        1 => return inputs[0].to_vec(),
+        _ => {}
+    }
+    inputs.sort_by_key(|s| s.len());
+    let mut acc = union(inputs[0], inputs[1]);
+    let mut scratch = Vec::new();
+    for s in &inputs[2..] {
+        union_into(&acc, s, &mut scratch);
+        std::mem::swap(&mut acc, &mut scratch);
+    }
+    acc
+}
+
+/// Computes `a \ b` (elements of `a` not in `b`) into `out` (cleared first).
+pub fn difference_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(a.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => {
+                out.push(x);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+}
+
+/// Convenience wrapper around [`difference_into`] that allocates the output.
+pub fn difference(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    difference_into(a, b, &mut out);
+    out
+}
+
+/// Intersects many sorted slices, smallest-first so the running result only
+/// shrinks. Returns an empty vector if `inputs` is empty.
+pub fn intersect_many(mut inputs: Vec<&[u32]>) -> Vec<u32> {
+    match inputs.len() {
+        0 => return Vec::new(),
+        1 => return inputs[0].to_vec(),
+        _ => {}
+    }
+    inputs.sort_by_key(|s| s.len());
+    let mut acc = intersect(inputs[0], inputs[1]);
+    let mut scratch = Vec::new();
+    for s in &inputs[2..] {
+        if acc.is_empty() {
+            break;
+        }
+        intersect_into(&acc, s, &mut scratch);
+        std::mem::swap(&mut acc, &mut scratch);
+    }
+    acc
+}
+
+/// Tests whether two sorted slices share at least one element.
+pub fn intersects(a: &[u32], b: &[u32]) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    if a[a.len() - 1] < b[0] || b[b.len() - 1] < a[0] {
+        return false;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.len() * GALLOP_RATIO < large.len() {
+        let mut base = 0usize;
+        for &x in small {
+            match gallop_search(&large[base..], x) {
+                Ok(_) => return true,
+                Err(offset) => base += offset,
+            }
+            if base >= large.len() {
+                return false;
+            }
+        }
+        false
+    } else {
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+/// Tests whether sorted slice `sub` is a subset of sorted slice `sup`.
+pub fn is_subset(sub: &[u32], sup: &[u32]) -> bool {
+    if sub.len() > sup.len() {
+        return false;
+    }
+    let mut base = 0usize;
+    for &x in sub {
+        match gallop_search(&sup[base..], x) {
+            Ok(offset) => base += offset + 1,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Checks the strict-increase invariant. Used by debug assertions and tests.
+pub fn is_strictly_sorted(slice: &[u32]) -> bool {
+    slice.windows(2).all(|w| w[0] < w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_basic() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[3, 4, 5, 8]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1, 2]), Vec::<u32>::new());
+        assert_eq!(intersect(&[1, 2], &[]), Vec::<u32>::new());
+        assert_eq!(intersect(&[1, 2], &[3, 4]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn intersect_identical() {
+        let a = [2, 4, 6, 8];
+        assert_eq!(intersect(&a, &a), a.to_vec());
+    }
+
+    #[test]
+    fn intersect_gallop_path() {
+        // Small side much smaller than the large side forces the gallop path.
+        let large: Vec<u32> = (0..10_000).map(|i| i * 2).collect();
+        let small = [6, 1000, 9999, 19_998];
+        assert_eq!(intersect(&small, &large), vec![6, 1000, 19_998]);
+        // symmetric argument order
+        assert_eq!(intersect(&large, &small), vec![6, 1000, 19_998]);
+    }
+
+    #[test]
+    fn union_basic() {
+        assert_eq!(union(&[1, 3], &[2, 3, 4]), vec![1, 2, 3, 4]);
+        assert_eq!(union(&[], &[5]), vec![5]);
+        assert_eq!(union(&[5], &[]), vec![5]);
+    }
+
+    #[test]
+    fn union_many_merges_all() {
+        let a = [1u32, 5];
+        let b = [2u32, 5, 9];
+        let c = [3u32];
+        assert_eq!(union_many(vec![&a, &b, &c]), vec![1, 2, 3, 5, 9]);
+        assert_eq!(union_many(vec![]), Vec::<u32>::new());
+        assert_eq!(union_many(vec![&a[..]]), vec![1, 5]);
+    }
+
+    #[test]
+    fn difference_basic() {
+        assert_eq!(difference(&[1, 2, 3, 4], &[2, 4]), vec![1, 3]);
+        assert_eq!(difference(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(difference(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(difference(&[1, 2], &[1, 2]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn intersect_many_shrinks() {
+        let a = [1u32, 2, 3, 4, 5];
+        let b = [2u32, 3, 5];
+        let c = [3u32, 5, 7];
+        assert_eq!(intersect_many(vec![&a, &b, &c]), vec![3, 5]);
+        assert_eq!(intersect_many(vec![]), Vec::<u32>::new());
+        assert_eq!(intersect_many(vec![&a[..]]), a.to_vec());
+    }
+
+    #[test]
+    fn intersect_many_early_exit_on_empty() {
+        let a = [1u32];
+        let b = [2u32];
+        let c = [1u32, 2];
+        assert_eq!(intersect_many(vec![&a, &b, &c]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn intersects_and_subset() {
+        assert!(intersects(&[1, 5, 9], &[9, 10]));
+        assert!(!intersects(&[1, 5], &[2, 6]));
+        assert!(!intersects(&[], &[1]));
+        assert!(is_subset(&[2, 4], &[1, 2, 3, 4]));
+        assert!(!is_subset(&[2, 6], &[1, 2, 3, 4]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1, 2], &[1]));
+    }
+
+    #[test]
+    fn intersects_gallop_path() {
+        let large: Vec<u32> = (0..10_000).collect();
+        assert!(intersects(&[9_999], &large));
+        assert!(!intersects(&[10_001], &large));
+    }
+
+    #[test]
+    fn strictly_sorted_check() {
+        assert!(is_strictly_sorted(&[]));
+        assert!(is_strictly_sorted(&[1]));
+        assert!(is_strictly_sorted(&[1, 2, 9]));
+        assert!(!is_strictly_sorted(&[1, 1]));
+        assert!(!is_strictly_sorted(&[2, 1]));
+    }
+}

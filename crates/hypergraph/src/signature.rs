@@ -1,0 +1,243 @@
+//! Hyperedge signatures (paper Definition IV.1).
+//!
+//! The *signature* of a hyperedge is the multiset of the labels of its
+//! vertices. HGMatch partitions the data hypergraph into one hyperedge table
+//! per distinct signature, so candidate search for a query hyperedge only
+//! ever touches the single table whose signature matches (Observation V.1).
+//!
+//! A multiset of labels is canonically represented as a *sorted* boxed slice,
+//! which makes equality, hashing and ordering trivially consistent.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::fxhash::FxHashMap;
+use crate::ids::{Label, SignatureId};
+
+/// A hyperedge signature: the multiset of vertex labels in a hyperedge,
+/// canonicalised as a sorted sequence.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    labels: Box<[Label]>,
+}
+
+impl Signature {
+    /// Builds a signature from an arbitrary label sequence (sorted here).
+    pub fn new(mut labels: Vec<Label>) -> Self {
+        labels.sort_unstable();
+        Self { labels: labels.into_boxed_slice() }
+    }
+
+    /// Builds a signature from labels already known to be sorted.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `labels` is not sorted.
+    pub fn from_sorted(labels: Vec<Label>) -> Self {
+        debug_assert!(labels.windows(2).all(|w| w[0] <= w[1]), "labels must be sorted");
+        Self { labels: labels.into_boxed_slice() }
+    }
+
+    /// The arity (hyperedge size) this signature describes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The sorted labels of this signature.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Multiplicity of `label` in the multiset.
+    pub fn count_of(&self, label: Label) -> usize {
+        // Labels are sorted: find the run via binary search.
+        match self.labels.binary_search(&label) {
+            Err(_) => 0,
+            Ok(pos) => {
+                let mut lo = pos;
+                while lo > 0 && self.labels[lo - 1] == label {
+                    lo -= 1;
+                }
+                let mut hi = pos + 1;
+                while hi < self.labels.len() && self.labels[hi] == label {
+                    hi += 1;
+                }
+                hi - lo
+            }
+        }
+    }
+
+    /// Iterates over `(label, multiplicity)` pairs in ascending label order.
+    pub fn label_counts(&self) -> impl Iterator<Item = (Label, usize)> + '_ {
+        LabelRuns { labels: &self.labels, pos: 0 }
+    }
+}
+
+struct LabelRuns<'a> {
+    labels: &'a [Label],
+    pos: usize,
+}
+
+impl Iterator for LabelRuns<'_> {
+    type Item = (Label, usize);
+
+    fn next(&mut self) -> Option<(Label, usize)> {
+        if self.pos >= self.labels.len() {
+            return None;
+        }
+        let label = self.labels[self.pos];
+        let start = self.pos;
+        while self.pos < self.labels.len() && self.labels[self.pos] == label {
+            self.pos += 1;
+        }
+        Some((label, self.pos - start))
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Interns signatures, assigning each distinct multiset a dense
+/// [`SignatureId`] that doubles as the partition index.
+#[derive(Debug, Default, Clone)]
+pub struct SignatureInterner {
+    by_signature: FxHashMap<Signature, SignatureId>,
+    signatures: Vec<Signature>,
+}
+
+impl SignatureInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `signature`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, signature: Signature) -> SignatureId {
+        if let Some(&id) = self.by_signature.get(&signature) {
+            return id;
+        }
+        let id = SignatureId::from_index(self.signatures.len());
+        self.signatures.push(signature.clone());
+        self.by_signature.insert(signature, id);
+        id
+    }
+
+    /// Looks up an already-interned signature without inserting.
+    pub fn get(&self, signature: &Signature) -> Option<SignatureId> {
+        self.by_signature.get(signature).copied()
+    }
+
+    /// Resolves an id back to its signature.
+    pub fn resolve(&self, id: SignatureId) -> &Signature {
+        &self.signatures[id.index()]
+    }
+
+    /// Number of distinct signatures interned so far.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Whether no signatures have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Iterates all interned signatures with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (SignatureId, &Signature)> {
+        self.signatures.iter().enumerate().map(|(i, s)| (SignatureId::from_index(i), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(raw: u32) -> Label {
+        Label::new(raw)
+    }
+
+    #[test]
+    fn new_sorts_labels() {
+        let s = Signature::new(vec![l(3), l(1), l(2), l(1)]);
+        assert_eq!(s.labels(), &[l(1), l(1), l(2), l(3)]);
+        assert_eq!(s.arity(), 4);
+    }
+
+    #[test]
+    fn equality_is_multiset_equality() {
+        let a = Signature::new(vec![l(1), l(2), l(1)]);
+        let b = Signature::new(vec![l(2), l(1), l(1)]);
+        let c = Signature::new(vec![l(1), l(2), l(2)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn count_of_runs() {
+        let s = Signature::new(vec![l(1), l(1), l(1), l(5), l(7), l(7)]);
+        assert_eq!(s.count_of(l(1)), 3);
+        assert_eq!(s.count_of(l(5)), 1);
+        assert_eq!(s.count_of(l(7)), 2);
+        assert_eq!(s.count_of(l(9)), 0);
+    }
+
+    #[test]
+    fn label_counts_iterates_runs() {
+        let s = Signature::new(vec![l(2), l(2), l(4), l(9), l(9), l(9)]);
+        let runs: Vec<_> = s.label_counts().collect();
+        assert_eq!(runs, vec![(l(2), 2), (l(4), 1), (l(9), 3)]);
+    }
+
+    #[test]
+    fn empty_signature() {
+        let s = Signature::new(vec![]);
+        assert_eq!(s.arity(), 0);
+        assert_eq!(s.label_counts().count(), 0);
+        assert_eq!(s.count_of(l(0)), 0);
+    }
+
+    #[test]
+    fn interner_assigns_dense_ids() {
+        let mut interner = SignatureInterner::new();
+        let ab = Signature::new(vec![l(0), l(1)]);
+        let aa = Signature::new(vec![l(0), l(0)]);
+        let id0 = interner.intern(ab.clone());
+        let id1 = interner.intern(aa.clone());
+        let id0_again = interner.intern(Signature::new(vec![l(1), l(0)]));
+        assert_eq!(id0, SignatureId::new(0));
+        assert_eq!(id1, SignatureId::new(1));
+        assert_eq!(id0, id0_again);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(id0), &ab);
+        assert_eq!(interner.resolve(id1), &aa);
+        assert_eq!(interner.get(&ab), Some(id0));
+        assert_eq!(interner.get(&Signature::new(vec![l(9)])), None);
+    }
+
+    #[test]
+    fn interner_iter_yields_all() {
+        let mut interner = SignatureInterner::new();
+        interner.intern(Signature::new(vec![l(0)]));
+        interner.intern(Signature::new(vec![l(1)]));
+        let ids: Vec<_> = interner.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![SignatureId::new(0), SignatureId::new(1)]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = Signature::new(vec![l(1), l(0)]);
+        assert_eq!(format!("{s:?}"), "{L0,L1}");
+    }
+}

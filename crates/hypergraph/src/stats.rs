@@ -1,0 +1,128 @@
+//! Summary statistics — the columns of the paper's Table II.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hypergraph::Hypergraph;
+
+/// Dataset statistics matching the paper's Table II, plus the index/table
+/// sizes reported in Fig. 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HypergraphStats {
+    /// `|V|`
+    pub num_vertices: usize,
+    /// `|E|`
+    pub num_edges: usize,
+    /// `|Σ|` — distinct labels actually used.
+    pub num_labels: usize,
+    /// `a_max`
+    pub max_arity: usize,
+    /// `a` — average arity.
+    pub avg_arity: f64,
+    /// Number of signature partitions.
+    pub num_partitions: usize,
+    /// Bytes of hyperedge tables (graph size in Fig. 7).
+    pub table_bytes: usize,
+    /// Bytes of inverted indices (index size in Fig. 7).
+    pub index_bytes: usize,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+}
+
+impl HypergraphStats {
+    /// Computes statistics for `h`.
+    pub fn compute(h: &Hypergraph) -> Self {
+        let mut used = vec![false; h.num_labels()];
+        for &l in h.labels() {
+            used[l.index()] = true;
+        }
+        let num_labels = used.iter().filter(|&&u| u).count();
+        let max_degree = (0..h.num_vertices())
+            .map(|v| h.degree(crate::ids::VertexId::from_index(v)))
+            .max()
+            .unwrap_or(0);
+        Self {
+            num_vertices: h.num_vertices(),
+            num_edges: h.num_edges(),
+            num_labels,
+            max_arity: h.max_arity(),
+            avg_arity: h.average_arity(),
+            num_partitions: h.partitions().len(),
+            table_bytes: h.table_size_bytes(),
+            index_bytes: h.index_size_bytes(),
+            max_degree,
+        }
+    }
+
+    /// One row of a Table II-style report.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{name}\t{}\t{}\t{}\t{}\t{:.1}\t{}\t{}",
+            self.num_vertices,
+            self.num_edges,
+            self.num_labels,
+            self.max_arity,
+            self.avg_arity,
+            human_bytes(self.table_bytes),
+            human_bytes(self.index_bytes),
+        )
+    }
+}
+
+/// Formats a byte count with binary units, as in the paper's Table II.
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes}B")
+    } else {
+        format!("{value:.1}{}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HypergraphBuilder;
+    use crate::ids::Label;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(3, Label::new(0));
+        b.add_vertex(Label::new(5)); // alphabet spans 6 ids but only 2 used
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![2, 3]).unwrap();
+        let stats = b.build().unwrap().stats();
+        assert_eq!(stats.num_vertices, 4);
+        assert_eq!(stats.num_edges, 2);
+        assert_eq!(stats.num_labels, 2);
+        assert_eq!(stats.max_arity, 3);
+        assert!((stats.avg_arity - 2.5).abs() < 1e-9);
+        assert_eq!(stats.num_partitions, 2);
+        assert_eq!(stats.max_degree, 2); // v2 in both edges
+        assert!(stats.table_bytes > 0);
+        assert!(stats.index_bytes > 0);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(0), "0B");
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.0KB");
+        assert_eq!(human_bytes(5 * 1024 * 1024), "5.0MB");
+    }
+
+    #[test]
+    fn table_row_contains_fields() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(0));
+        b.add_edge(vec![0, 1]).unwrap();
+        let row = b.build().unwrap().stats().table_row("TEST");
+        assert!(row.starts_with("TEST\t2\t1\t1\t2\t2.0"));
+    }
+}

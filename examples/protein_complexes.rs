@@ -1,0 +1,100 @@
+//! Mining biological networks: protein-complex motif search.
+//!
+//! The paper's first motivating application (§I): protein interactions are
+//! modelled as a hypergraph — proteins are vertices (labelled by protein
+//! family), complexes are hyperedges — and biologists search for complex
+//! patterns. This example builds a synthetic protein-interaction
+//! hypergraph, plants a "kinase–scaffold–phosphatase" signalling motif,
+//! and finds every occurrence in parallel.
+//!
+//! Run with: `cargo run --release --example protein_complexes`
+
+use hgmatch_core::{MatchConfig, Matcher};
+use hgmatch_datasets::{generate, ArityDistribution, GeneratorConfig};
+use hgmatch_hypergraph::{Hypergraph, HypergraphBuilder, Label};
+
+// Protein families as labels.
+const KINASE: u32 = 0;
+const PHOSPHATASE: u32 = 1;
+const SCAFFOLD: u32 = 2;
+const RECEPTOR: u32 = 3;
+
+fn main() {
+    // Background interactome: 2 000 proteins over 6 families, complexes of
+    // 2–8 subunits, hub-like degree skew (real PPI networks are power-law).
+    let background = generate(&GeneratorConfig {
+        num_vertices: 2_000,
+        num_edges: 8_000,
+        num_labels: 6,
+        label_skew: 0.4,
+        arity: ArityDistribution::Geometric { min: 2, p: 0.35, max: 8 },
+        degree_skew: 0.9,
+        seed: 1905,
+    });
+
+    // Re-build with planted signalling modules: a scaffold binding a kinase
+    // and a receptor, and the same kinase in a complex with a phosphatase.
+    let mut builder = HypergraphBuilder::new();
+    for &l in background.labels() {
+        builder.add_vertex(l);
+    }
+    for (_, vs) in background.iter_edges() {
+        let _ = builder.add_edge(vs.to_vec());
+    }
+    let planted = 12;
+    let base = background.num_vertices() as u32;
+    for i in 0..planted {
+        let kinase = builder.add_vertex(Label::new(KINASE)).raw();
+        let scaffold = builder.add_vertex(Label::new(SCAFFOLD)).raw();
+        let phosphatase = builder.add_vertex(Label::new(PHOSPHATASE)).raw();
+        let receptor = builder.add_vertex(Label::new(RECEPTOR)).raw();
+        builder.add_edge(vec![kinase, scaffold, receptor]).unwrap();
+        builder.add_edge(vec![kinase, phosphatase]).unwrap();
+        let _ = (i, base);
+    }
+    let interactome = builder.build().unwrap();
+    let stats = interactome.stats();
+    println!(
+        "Interactome: {} proteins, {} complexes, families = {}, avg complex size = {:.1}",
+        stats.num_vertices, stats.num_edges, stats.num_labels, stats.avg_arity
+    );
+
+    // The motif: a (kinase, scaffold, receptor) complex whose kinase also
+    // forms a (kinase, phosphatase) dimer — a classic activation/
+    // deactivation module.
+    let motif = signalling_motif();
+
+    // Search with all cores.
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let matcher = Matcher::with_config(&interactome, MatchConfig::parallel(threads));
+
+    let (count, stats) = matcher.count_with_stats(&motif).unwrap();
+    println!("\nSignalling motif occurrences: {count} (≥ {planted} planted)");
+    println!(
+        "elapsed: {:?} on {threads} threads; {} candidates generated, {} validated",
+        stats.elapsed, stats.metrics.candidates, stats.metrics.validated
+    );
+    assert!(count >= planted as u64);
+
+    // Show a few concrete modules.
+    let examples = matcher.find_first(&motif, 3).unwrap();
+    println!("\nExample modules (complex ids):");
+    for m in &examples {
+        println!("  trimer {} + dimer {}", m.edge(0), m.edge(1));
+    }
+
+    // Existence check is much cheaper than enumeration:
+    let exists = matcher.contains(&motif).unwrap();
+    println!("\nmotif present? {exists}");
+}
+
+fn signalling_motif() -> Hypergraph {
+    let mut builder = HypergraphBuilder::new();
+    let kinase = builder.add_vertex(Label::new(KINASE)).raw();
+    let scaffold = builder.add_vertex(Label::new(SCAFFOLD)).raw();
+    let receptor = builder.add_vertex(Label::new(RECEPTOR)).raw();
+    let phosphatase = builder.add_vertex(Label::new(PHOSPHATASE)).raw();
+    builder.add_edge(vec![kinase, scaffold, receptor]).unwrap();
+    builder.add_edge(vec![kinase, phosphatase]).unwrap();
+    builder.build().unwrap()
+}
