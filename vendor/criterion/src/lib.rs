@@ -1,0 +1,339 @@
+//! Vendored stand-in for `criterion` (see DESIGN.md §1): a wall-clock
+//! micro-benchmark harness exposing the criterion API the `hgmatch-bench`
+//! benches use — groups, `bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `sample_size`, `measurement_time` and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Methodology: each benchmark is calibrated to ~one sample's worth of
+//! iterations, then `sample_size` samples are timed and the per-iteration
+//! median/mean/min are reported. No statistical regression analysis is
+//! performed. Besides the stdout table, results are appended as JSON to the
+//! path in `$HGMATCH_BENCH_JSON` (if set), which is how the committed
+//! `BENCH_*.json` baselines are produced.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/param`).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Benchmark identifier, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+            default_measurement_time: Duration::from_millis(600),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let (sample_size, measurement_time) =
+            (self.default_sample_size, self.default_measurement_time);
+        self.run_one(id.id, sample_size, measurement_time, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: String,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: F,
+    ) {
+        // Calibrate: grow the iteration count until one sample is ≥ the
+        // per-sample budget (or a floor of 1 iteration for slow routines).
+        let budget = measurement_time.div_f64(sample_size.max(1) as f64);
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= budget || b.elapsed >= Duration::from_millis(250) || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16.0
+            } else {
+                (budget.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+            };
+            iters = ((iters as f64 * grow).ceil() as u64).max(iters + 1);
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..sample_size.max(1))
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(f64::total_cmp);
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let min = per_iter_ns[0];
+
+        println!(
+            "bench {name:<50} median {:>12}  mean {:>12}  ({} samples × {iters} iters)",
+            format_ns(median),
+            format_ns(mean),
+            per_iter_ns.len(),
+        );
+        self.results.push(Measurement {
+            name,
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+            samples: per_iter_ns.len(),
+            iters_per_sample: iters,
+        });
+    }
+
+    /// All measurements taken so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Writes the JSON report if `$HGMATCH_BENCH_JSON` is set. Called by
+    /// [`criterion_main!`] after all groups run.
+    pub fn final_report(&self) {
+        let Ok(path) = std::env::var("HGMATCH_BENCH_JSON") else {
+            return;
+        };
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"name\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{comma}\n",
+                m.name, m.median_ns, m.mean_ns, m.min_ns, m.samples, m.iters_per_sample
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+            Ok(()) => eprintln!("wrote benchmark report to {path}"),
+            Err(e) => eprintln!("failed to write benchmark report to {path}: {e}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(name, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(name, self.sample_size, self.measurement_time, |b| {
+                f(b, input)
+            });
+        self
+    }
+
+    /// Ends the group (stdout spacing only).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main`, running each group and emitting the final report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            default_sample_size: 5,
+            default_measurement_time: Duration::from_millis(20),
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        let m = &c.measurements()[0];
+        assert_eq!(m.name, "spin");
+        assert!(m.median_ns > 0.0);
+        assert!(m.samples == 5);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            default_measurement_time: Duration::from_millis(10),
+            results: Vec::new(),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).measurement_time(Duration::from_millis(10));
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+        assert_eq!(c.measurements()[0].name, "g/f/7");
+    }
+}

@@ -1,0 +1,238 @@
+//! Vendored stand-in for `crossbeam` (see DESIGN.md §1), providing the
+//! `deque` module the parallel engine schedules through: per-worker deques
+//! with LIFO owner access and batch stealing from the cold end, plus a
+//! global injector.
+//!
+//! Semantics match `crossbeam-deque`'s `Worker`/`Stealer`/`Injector` for
+//! the operations hgmatch uses; the implementation is a mutex-protected
+//! ring buffer rather than a lock-free Chase–Lev deque. The owner and a
+//! thief contend on one short critical section per operation, which is
+//! adequate at the engine's task granularity (tasks split until they carry
+//! hundreds of scan rows or one expansion); swapping in real crossbeam
+//! requires no source change.
+
+pub mod deque {
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen (more may have been moved to the destination).
+        Success(T),
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    /// A worker-owned deque. The owner pushes and pops at the hot (back)
+    /// end; thieves steal batches from the cold (front) end.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a deque whose owner operates in LIFO order.
+        pub fn new_lifo() -> Self {
+            Self {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task at the hot end.
+        pub fn push(&self, task: T) {
+            self.inner.lock().push_back(task);
+        }
+
+        /// Pops the most recently pushed task.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().pop_back()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().len()
+        }
+
+        /// Creates a stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// A handle that steals from another worker's deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals up to half of the victim's tasks from the cold end, moving
+        /// them into `dest` and returning one of them directly.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut src = self.inner.lock();
+            let n = src.len();
+            if n == 0 {
+                return Steal::Empty;
+            }
+            // Oldest half (at least one), oldest-first into the destination.
+            let take = (n / 2).max(1);
+            let first = src.pop_front().expect("nonempty");
+            if take > 1 {
+                let mut dst = dest.inner.lock();
+                for _ in 1..take {
+                    dst.push_back(src.pop_front().expect("counted"));
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+
+    /// A global FIFO queue feeding all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Self {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            self.inner.lock().push_back(task);
+        }
+
+        /// Whether the injector is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().is_empty()
+        }
+
+        /// Moves up to half of the queued tasks into `dest`, returning one.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut src = self.inner.lock();
+            let n = src.len();
+            if n == 0 {
+                return Steal::Empty;
+            }
+            let take = (n / 2).max(1);
+            let first = src.pop_front().expect("nonempty");
+            if take > 1 {
+                let mut dst = dest.inner.lock();
+                for _ in 1..take {
+                    dst.push_back(src.pop_front().expect("counted"));
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn owner_is_lifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_oldest_half() {
+        let victim = Worker::new_lifo();
+        for i in 0..8 {
+            victim.push(i);
+        }
+        let thief = Worker::new_lifo();
+        // Oldest task (0) comes back; 1..4 land in the thief's deque.
+        match victim.stealer().steal_batch_and_pop(&thief) {
+            Steal::Success(t) => assert_eq!(t, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(victim.len(), 4);
+        assert_eq!(thief.len(), 3);
+        // Thief drains its batch LIFO: newest of the batch first.
+        assert_eq!(thief.pop(), Some(3));
+    }
+
+    #[test]
+    fn empty_steal_reports_empty() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let d = Worker::new_lifo();
+        assert_eq!(w.stealer().steal_batch_and_pop(&d), Steal::Empty);
+        let inj: Injector<u32> = Injector::new();
+        assert_eq!(inj.steal_batch_and_pop(&d), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_is_fifo_under_steal() {
+        let inj = Injector::new();
+        inj.push(10);
+        inj.push(20);
+        let d = Worker::new_lifo();
+        match inj.steal_batch_and_pop(&d) {
+            Steal::Success(t) => assert_eq!(t, 10),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_steals_preserve_every_task() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let victim = std::sync::Arc::new(Worker::new_lifo());
+        for i in 0..10_000u64 {
+            victim.push(i);
+        }
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stealer = victim.stealer();
+                let sum = &sum;
+                s.spawn(move || {
+                    let local = Worker::new_lifo();
+                    loop {
+                        match stealer.steal_batch_and_pop(&local) {
+                            Steal::Success(t) => {
+                                let mut acc = t;
+                                while let Some(x) = local.pop() {
+                                    acc += x;
+                                }
+                                sum.fetch_add(acc, Ordering::Relaxed);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10_000 * 9_999 / 2);
+    }
+}

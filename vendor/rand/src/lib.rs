@@ -1,0 +1,232 @@
+//! Vendored stand-in for `rand` (see DESIGN.md §1): a deterministic
+//! xoshiro256++ generator behind the small trait surface hgmatch uses —
+//! `SeedableRng::seed_from_u64`, `RngExt::random::<T>()` and
+//! `RngExt::random_range(range)`. Dataset generation only needs seedable,
+//! well-mixed, reproducible streams; cryptographic quality is a non-goal.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (expanded with SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Samples a value of `T` from its canonical distribution (uniform over
+    /// the type's range; `[0, 1)` for floats).
+    fn random<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<R: UniformRange>(&mut self, range: R) -> R::Item
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// Types samplable by [`RngExt::random`].
+pub trait Sample: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+pub trait UniformRange {
+    /// Element type of the range.
+    type Item;
+    /// Draws one value uniformly from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Item;
+}
+
+/// Unbiased integer sampling from `[0, bound)` via Lemire's multiply-shift
+/// rejection method.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    // Reject the low tail that would bias small values; for power-of-two
+    // bounds the threshold is 0 and the first draw is always accepted.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let lo = x.wrapping_mul(bound);
+        if lo >= threshold {
+            return ((x as u128 * bound as u128) >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange for Range<$t> {
+            type Item = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl UniformRange for RangeInclusive<$t> {
+            type Item = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end as u64) - (start as u64) + 1;
+                // span == 0 only for the full u64 domain, unused here.
+                start + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, usize);
+
+impl UniformRange for Range<f64> {
+    type Item = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Deterministic generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(5usize..=5);
+            assert_eq!(y, 5);
+            let f = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.random_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(5u32..5);
+    }
+}
