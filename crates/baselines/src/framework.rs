@@ -202,8 +202,11 @@ impl<'a> VertexMatcher<'a> {
                 let completions = (0..query.num_edges())
                     .filter_map(|e| {
                         let vs = query.edge_vertices(EdgeId::from_index(e));
-                        let deepest =
-                            vs.iter().map(|&w| pos_of[w as usize]).max().expect("non-empty edge");
+                        let deepest = vs
+                            .iter()
+                            .map(|&w| pos_of[w as usize])
+                            .max()
+                            .expect("non-empty edge");
                         (deepest == i as u32).then(|| Completion {
                             vertex_mask: vs.iter().fold(0u64, |m, &w| m | bit(w)),
                             vertices: vs.to_vec(),
@@ -211,7 +214,12 @@ impl<'a> VertexMatcher<'a> {
                     })
                     .collect();
 
-                PositionInfo { vertex: u, adjacent_earlier, symmetry, completions }
+                PositionInfo {
+                    vertex: u,
+                    adjacent_earlier,
+                    symmetry,
+                    completions,
+                }
             })
             .collect();
 
@@ -317,7 +325,11 @@ impl<F: FnMut(&[u32])> SearchCtx<'_, '_, F> {
             for sc in &info.symmetry {
                 let earlier_u = m.positions[sc.earlier_pos as usize].vertex;
                 let earlier_v = self.mapping[earlier_u as usize];
-                let ok = if sc.earlier_is_smaller { earlier_v < v } else { v < earlier_v };
+                let ok = if sc.earlier_is_smaller {
+                    earlier_v < v
+                } else {
+                    v < earlier_v
+                };
                 if !ok {
                     failing |= u_bit | bit(earlier_u);
                     continue 'candidates;
@@ -340,7 +352,12 @@ impl<F: FnMut(&[u32])> SearchCtx<'_, '_, F> {
             let mut mapped = Vec::new();
             for completion in &info.completions {
                 mapped.clear();
-                mapped.extend(completion.vertices.iter().map(|&w| self.mapping[w as usize]));
+                mapped.extend(
+                    completion
+                        .vertices
+                        .iter()
+                        .map(|&w| self.mapping[w as usize]),
+                );
                 mapped.sort_unstable();
                 if m.data.find_edge(&mapped).is_none() {
                     failing |= completion.vertex_mask;

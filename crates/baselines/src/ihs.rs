@@ -44,7 +44,11 @@ impl VertexRequirements {
             let arity = query.edge_arity(eid);
             *arity_counts.entry(arity).or_insert(0) += 1;
             let signature = Signature::new(
-                query.edge_vertices(eid).iter().map(|&w| query.label(VertexId::new(w))).collect(),
+                query
+                    .edge_vertices(eid)
+                    .iter()
+                    .map(|&w| query.label(VertexId::new(w)))
+                    .collect(),
             );
             match data.interner().get(&signature) {
                 Some(sid) => *signature_counts.entry(sid).or_insert(0) += 1,
@@ -205,6 +209,9 @@ mod tests {
         b.add_edge(vec![0, 2]).unwrap();
         let query = b.build().unwrap();
         let cands = build_candidate_sets(&data, &query);
-        assert!(cands[0].is_empty(), "no data A-vertex has two {{A,B}} edges");
+        assert!(
+            cands[0].is_empty(),
+            "no data A-vertex has two {{A,B}} edges"
+        );
     }
 }

@@ -69,11 +69,7 @@ pub fn compute_order(
 /// Greedy connected order: start at `root`, repeatedly append the adjacent
 /// unplaced vertex with the smallest key; falls back to the smallest-key
 /// unplaced vertex when the query is disconnected.
-fn connected_greedy(
-    query: &Hypergraph,
-    root: u32,
-    key: impl Fn(u32) -> (usize, u32),
-) -> Vec<u32> {
+fn connected_greedy(query: &Hypergraph, root: u32, key: impl Fn(u32) -> (usize, u32)) -> Vec<u32> {
     let n = query.num_vertices();
     let mut order = vec![root];
     let mut placed = vec![false; n];
@@ -106,8 +102,9 @@ fn connected_greedy(
 
 fn cfl_order(query: &Hypergraph, candidates: &[Vec<u32>]) -> Vec<u32> {
     let n = query.num_vertices();
-    let core: Vec<u32> =
-        (0..n as u32).filter(|&u| query.degree(VertexId::new(u)) >= 2).collect();
+    let core: Vec<u32> = (0..n as u32)
+        .filter(|&u| query.degree(VertexId::new(u)) >= 2)
+        .collect();
     // Root: core vertex minimising |C(u)|/d(u); whole query if no core.
     let everything: Vec<u32>;
     let pool: &[u32] = if core.is_empty() {
@@ -133,7 +130,13 @@ fn cfl_order(query: &Hypergraph, candidates: &[Vec<u32>]) -> Vec<u32> {
     // Core first (key biased low), then forest, leaves (degree 1) last.
     connected_greedy(query, root, |u| {
         let deg = query.degree(VertexId::new(u));
-        let tier = if is_core[u as usize] { 0 } else if deg > 1 { 1 } else { 2 };
+        let tier = if is_core[u as usize] {
+            0
+        } else if deg > 1 {
+            1
+        } else {
+            2
+        };
         (tier * 1_000_000 + candidates[u as usize].len(), u)
     })
 }
@@ -144,7 +147,9 @@ fn bfs_order(
     key: impl Fn(u32, &[Vec<u32>]) -> (usize, u32),
 ) -> Vec<u32> {
     let n = query.num_vertices();
-    let root = (0..n as u32).min_by_key(|&u| key(u, candidates)).expect("non-empty query");
+    let root = (0..n as u32)
+        .min_by_key(|&u| key(u, candidates))
+        .expect("non-empty query");
     // BFS layering, then stable order: (layer, key).
     let mut layer = vec![usize::MAX; n];
     layer[root as usize] = 0;
@@ -224,9 +229,11 @@ mod tests {
     fn all_strategies_emit_connected_permutations() {
         let (data, query) = paper_pair();
         let cands = build_candidate_sets(&data, &query);
-        for strategy in
-            [OrderingStrategy::Cfl, OrderingStrategy::Daf, OrderingStrategy::Ceci]
-        {
+        for strategy in [
+            OrderingStrategy::Cfl,
+            OrderingStrategy::Daf,
+            OrderingStrategy::Ceci,
+        ] {
             let order = compute_order(strategy, &query, &cands);
             assert_is_permutation(&order, query.num_vertices());
             assert_connected_order(&query, &order);
@@ -237,7 +244,10 @@ mod tests {
     fn naive_is_identity() {
         let (data, query) = paper_pair();
         let cands = build_candidate_sets(&data, &query);
-        assert_eq!(compute_order(OrderingStrategy::Naive, &query, &cands), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            compute_order(OrderingStrategy::Naive, &query, &cands),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]
@@ -264,9 +274,12 @@ mod tests {
         b.add_edge(vec![0]).unwrap();
         let q = b.build().unwrap();
         let cands = vec![vec![0u32]];
-        for strategy in
-            [OrderingStrategy::Naive, OrderingStrategy::Cfl, OrderingStrategy::Daf, OrderingStrategy::Ceci]
-        {
+        for strategy in [
+            OrderingStrategy::Naive,
+            OrderingStrategy::Cfl,
+            OrderingStrategy::Daf,
+            OrderingStrategy::Ceci,
+        ] {
             assert_eq!(compute_order(strategy, &q, &cands), vec![0]);
         }
     }

@@ -95,7 +95,11 @@ impl Ctx<'_> {
             }
             for &(p, earlier_smaller) in &info.symmetry {
                 let earlier_v = self.mapping[self.positions[p as usize].node as usize];
-                let ok = if earlier_smaller { earlier_v < v } else { v < earlier_v };
+                let ok = if earlier_smaller {
+                    earlier_v < v
+                } else {
+                    v < earlier_v
+                };
                 if !ok {
                     continue 'cands;
                 }
@@ -142,9 +146,11 @@ pub fn count(data: &Hypergraph, query: &Hypergraph, timeout: Option<Duration>) -
                     .collect(),
             );
             match data.partition_of(&signature) {
-                Some(p) => {
-                    p.global_ids().iter().map(|g| g.raw() + nq_v_offset(data)).collect()
-                }
+                Some(p) => p
+                    .global_ids()
+                    .iter()
+                    .map(|g| g.raw() + nq_v_offset(data))
+                    .collect(),
                 None => Vec::new(),
             }
         })
@@ -172,7 +178,11 @@ pub fn count(data: &Hypergraph, query: &Hypergraph, timeout: Option<Duration>) -
     };
     let q_neighbors = |n: u32| -> Vec<u32> {
         if (n as usize) < nq_v {
-            query.incident_edges(VertexId::new(n)).iter().map(|&e| nq_v as u32 + e).collect()
+            query
+                .incident_edges(VertexId::new(n))
+                .iter()
+                .map(|&e| nq_v as u32 + e)
+                .collect()
         } else {
             query.edge_vertices(EdgeId::new(n - nq_v as u32)).to_vec()
         }
@@ -207,7 +217,12 @@ pub fn count(data: &Hypergraph, query: &Hypergraph, timeout: Option<Duration>) -
                     }
                 }
             }
-            Position { node: n, label: q_label(n), adjacent_earlier, symmetry }
+            Position {
+                node: n,
+                label: q_label(n),
+                adjacent_earlier,
+                symmetry,
+            }
         })
         .collect();
 

@@ -4,7 +4,9 @@
 
 use hgmatch_baselines::{bruteforce, run_baseline, BaselineAlgorithm};
 use hgmatch_core::{CollectSink, MatchConfig, Matcher};
-use hgmatch_datasets::{generate, sample_query, standard_settings, ArityDistribution, GeneratorConfig};
+use hgmatch_datasets::{
+    generate, sample_query, standard_settings, ArityDistribution, GeneratorConfig,
+};
 use hgmatch_hypergraph::{Hypergraph, HypergraphBuilder, Label};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -51,8 +53,11 @@ fn random_subquery(data: &Hypergraph, seed: u64, k: usize) -> Option<Hypergraph>
         }
         edges.push(frontier[rng.random_range(0..frontier.len())]);
     }
-    let mut vertices: Vec<u32> =
-        edges.iter().flat_map(|&e| data.edge_vertices(EdgeId::new(e))).copied().collect();
+    let mut vertices: Vec<u32> = edges
+        .iter()
+        .flat_map(|&e| data.edge_vertices(EdgeId::new(e)))
+        .copied()
+        .collect();
     vertices.sort_unstable();
     vertices.dedup();
     let mut b = HypergraphBuilder::new();
@@ -107,15 +112,20 @@ fn all_systems_match_bruteforce() {
 fn hgmatch_tuples_match_bruteforce() {
     for seed in 0..6u64 {
         let data = random_hypergraph(seed + 50, 8, 12, 2, 3);
-        let Some(query) = random_subquery(&data, seed, 2) else { continue };
+        let Some(query) = random_subquery(&data, seed, 2) else {
+            continue;
+        };
         if query.num_vertices() > 8 {
             continue;
         }
         let oracle = bruteforce::embeddings(&data, &query);
         let sink = CollectSink::new();
         Matcher::new(&data).run(&query, &sink).unwrap();
-        let ours: Vec<Vec<u32>> =
-            sink.into_results().into_iter().map(|m| m.raw().to_vec()).collect();
+        let ours: Vec<Vec<u32>> = sink
+            .into_results()
+            .into_iter()
+            .map(|m| m.raw().to_vec())
+            .collect();
         assert_eq!(ours, oracle, "tuple sets differ (seed {seed})");
     }
 }
@@ -163,9 +173,14 @@ fn midsize_mutual_agreement() {
                 continue;
             };
             let hg1 = Matcher::new(&data).count(&query).unwrap();
-            let hg4 =
-                Matcher::with_config(&data, MatchConfig::parallel(4)).count(&query).unwrap();
-            assert_eq!(hg1, hg4, "thread disagreement ({}, seed {seed})", setting.name);
+            let hg4 = Matcher::with_config(&data, MatchConfig::parallel(4))
+                .count(&query)
+                .unwrap();
+            assert_eq!(
+                hg1, hg4,
+                "thread disagreement ({}, seed {seed})",
+                setting.name
+            );
             for alg in BaselineAlgorithm::all() {
                 let got = run_baseline(alg, &data, &query, None).count;
                 assert_eq!(got, hg1, "{} ({}, seed {seed})", alg.name(), setting.name);

@@ -46,8 +46,11 @@ fn planted_query(data: &Hypergraph, picks: &[u8]) -> Option<Hypergraph> {
         }
         edges.push(frontier[p as usize % frontier.len()]);
     }
-    let mut vertices: Vec<u32> =
-        edges.iter().flat_map(|&e| data.edge_vertices(EdgeId::new(e))).copied().collect();
+    let mut vertices: Vec<u32> = edges
+        .iter()
+        .flat_map(|&e| data.edge_vertices(EdgeId::new(e)))
+        .copied()
+        .collect();
     vertices.sort_unstable();
     vertices.dedup();
     if vertices.len() > 8 {

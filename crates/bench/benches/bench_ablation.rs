@@ -49,7 +49,10 @@ fn bench_prune_non_incident(c: &mut Criterion) {
 
 fn bench_stealing(c: &mut Criterion) {
     let (data, plan) = setup();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
     let mut group = c.benchmark_group("ablate_work_stealing");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(5));
@@ -68,7 +71,10 @@ fn bench_stealing(c: &mut Criterion) {
 
 fn bench_scan_chunk(c: &mut Criterion) {
     let (data, plan) = setup();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
     let mut group = c.benchmark_group("ablate_scan_chunk");
     group.sample_size(10);
     for chunk in [16usize, 256, 4096] {

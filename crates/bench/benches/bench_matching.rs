@@ -32,9 +32,7 @@ fn bench_single_thread(c: &mut Criterion) {
         for alg in BaselineAlgorithm::all() {
             group.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
                 b.iter(|| {
-                    black_box(
-                        run_baseline(alg, &data, &query, Some(Duration::from_secs(10))).count,
-                    )
+                    black_box(run_baseline(alg, &data, &query, Some(Duration::from_secs(10))).count)
                 });
             });
         }
@@ -42,5 +40,32 @@ fn bench_single_thread(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_single_thread);
+/// End-to-end kernel-family ablation: full HGMatch matching with the
+/// set-op kernels in Auto (SIMD + bitmap) mode vs pinned to scalar.
+fn bench_kernel_families_end_to_end(c: &mut Criterion) {
+    use hgmatch_hypergraph::setops::{self, KernelMode};
+    let data = profile_by_name("CH").expect("profile").generate();
+    let query = fixed_query(&data, 1);
+    let mut group = c.benchmark_group("match_CH_kernels");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for (label, mode) in [
+        ("auto", KernelMode::Auto),
+        ("scalar", KernelMode::ForceScalar),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            setops::set_kernel_mode(mode);
+            let matcher = Matcher::new(&data);
+            b.iter(|| black_box(matcher.count(&query).unwrap()));
+            setops::set_kernel_mode(KernelMode::Auto);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_thread,
+    bench_kernel_families_end_to_end
+);
 criterion_main!(benches);

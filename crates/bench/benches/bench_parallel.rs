@@ -22,7 +22,9 @@ fn bench_thread_scaling(c: &mut Criterion) {
         .expect("query sampled");
     let plan = matcher.plan(&query).expect("plan");
 
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut group = c.benchmark_group("engine_threads");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(5));

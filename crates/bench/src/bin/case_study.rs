@@ -20,7 +20,10 @@ fn main() {
         match args[i].as_str() {
             "--answers" => {
                 i += 1;
-                show = args.get(i).and_then(|s| s.parse().ok()).expect("--answers N");
+                show = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--answers N");
             }
             other => panic!("unknown flag {other:?}"),
         }

@@ -28,16 +28,24 @@ fn main() {
             }
             "--max-threads" => {
                 i += 1;
-                max_threads = args.get(i).and_then(|s| s.parse().ok()).expect("--max-threads N");
+                max_threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-threads N");
             }
             "--candidates" => {
                 i += 1;
-                candidates = args.get(i).and_then(|s| s.parse().ok()).expect("--candidates N");
+                candidates = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--candidates N");
             }
             "--timeout" => {
                 i += 1;
                 timeout = Duration::from_secs_f64(
-                    args.get(i).and_then(|s| s.parse().ok()).expect("--timeout SECS"),
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--timeout SECS"),
                 );
             }
             other => panic!("unknown flag {other:?}"),
@@ -51,7 +59,10 @@ fn main() {
     let workload = Workload::sample(&data, q3, candidates, 31);
     let heavy = heaviest_queries(&data, &workload, 2, timeout);
 
-    println!("# Fig. 10: scalability on {} (heaviest q3 queries)", profile.name);
+    println!(
+        "# Fig. 10: scalability on {} (heaviest q3 queries)",
+        profile.name
+    );
     println!("query\tembeddings\tthreads\tseconds\tspeedup");
     let mut threads_list = vec![1usize];
     let mut t = 2;

@@ -32,16 +32,24 @@ fn main() {
             }
             "--queries" => {
                 i += 1;
-                queries = args.get(i).and_then(|s| s.parse().ok()).expect("--queries N");
+                queries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--queries N");
             }
             "--threads" => {
                 i += 1;
-                threads = args.get(i).and_then(|s| s.parse().ok()).expect("--threads N");
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads N");
             }
             "--timeout" => {
                 i += 1;
                 timeout = Duration::from_secs_f64(
-                    args.get(i).and_then(|s| s.parse().ok()).expect("--timeout SECS"),
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--timeout SECS"),
                 );
             }
             other => panic!("unknown flag {other:?}"),
@@ -56,7 +64,10 @@ fn main() {
     let config = MatchConfig::parallel(threads).with_timeout(timeout);
     let matcher = Matcher::with_config(&data, config.clone());
 
-    println!("# Fig. 11: task-based vs BFS scheduling, {} threads, {}", threads, profile.name);
+    println!(
+        "# Fig. 11: task-based vs BFS scheduling, {} threads, {}",
+        threads, profile.name
+    );
     println!("query\tembeddings\ttask_peak_bytes\tbfs_peak_bytes\tbfs/task");
     let mut sorted: Vec<(u64, usize)> = workload
         .queries

@@ -30,17 +30,25 @@ fn main() {
             }
             "--threads" => {
                 i += 1;
-                threads = args.get(i).and_then(|s| s.parse().ok()).expect("--threads N");
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads N");
             }
             "--timeout" => {
                 i += 1;
                 timeout = Duration::from_secs_f64(
-                    args.get(i).and_then(|s| s.parse().ok()).expect("--timeout SECS"),
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--timeout SECS"),
                 );
             }
             "--candidates" => {
                 i += 1;
-                candidates = args.get(i).and_then(|s| s.parse().ok()).expect("--candidates N");
+                candidates = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--candidates N");
             }
             other => panic!("unknown flag {other:?}"),
         }
@@ -68,13 +76,15 @@ fn main() {
             .with_work_stealing(stealing);
         let sink = CountSink::new();
         let stats = ParallelEngine::run(&plan, &data, &sink, &config);
-        let mut busy: Vec<f64> =
-            stats.workers.iter().map(|w| w.busy.as_secs_f64()).collect();
+        let mut busy: Vec<f64> = stats.workers.iter().map(|w| w.busy.as_secs_f64()).collect();
         busy.sort_by(f64::total_cmp);
         let avg: f64 = busy.iter().sum::<f64>() / busy.len() as f64;
         let steals: u64 = stats.workers.iter().map(|w| w.steals).sum();
         println!();
-        println!("{label}: wall={:.3}s, avg_busy={avg:.3}s, steals={steals}", stats.elapsed.as_secs_f64());
+        println!(
+            "{label}: wall={:.3}s, avg_busy={avg:.3}s, steals={steals}",
+            stats.elapsed.as_secs_f64()
+        );
         println!("worker\tbusy_s\tbusy/avg");
         for (w, b) in busy.iter().enumerate() {
             println!("{}\t{:.3}\t{:.2}", w + 1, b, b / avg.max(1e-12));

@@ -23,12 +23,17 @@ fn main() {
         match args[i].as_str() {
             "--queries" => {
                 i += 1;
-                queries = args.get(i).and_then(|s| s.parse().ok()).expect("--queries N");
+                queries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--queries N");
             }
             "--timeout" => {
                 i += 1;
                 timeout = Duration::from_secs_f64(
-                    args.get(i).and_then(|s| s.parse().ok()).expect("--timeout SECS"),
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--timeout SECS"),
                 );
             }
             name => datasets.push(name.to_string()),

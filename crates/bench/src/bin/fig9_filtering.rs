@@ -24,12 +24,17 @@ fn main() {
         match args[i].as_str() {
             "--queries" => {
                 i += 1;
-                queries = args.get(i).and_then(|s| s.parse().ok()).expect("--queries N");
+                queries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--queries N");
             }
             "--timeout" => {
                 i += 1;
                 timeout = Duration::from_secs_f64(
-                    args.get(i).and_then(|s| s.parse().ok()).expect("--timeout SECS"),
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--timeout SECS"),
                 );
             }
             name => datasets.push(name.to_string()),
@@ -44,10 +49,7 @@ fn main() {
     println!("dataset\tcandidates\tfiltered\tembeddings\tfiltered_precision");
     for profile in selected_profiles(&datasets) {
         let data = profile.generate();
-        let matcher = Matcher::with_config(
-            &data,
-            MatchConfig::sequential().with_timeout(timeout),
-        );
+        let matcher = Matcher::with_config(&data, MatchConfig::sequential().with_timeout(timeout));
         let mut candidates = 0u64;
         let mut filtered = 0u64;
         let mut embeddings = 0u64;

@@ -21,7 +21,11 @@ fn main() {
     for profile in profiles {
         let h = profile.generate();
         let stats = h.stats();
-        println!("{}\t{}", stats.table_row(profile.name), format_scale(profile.scale));
+        println!(
+            "{}\t{}",
+            stats.table_row(profile.name),
+            format_scale(profile.scale)
+        );
     }
 }
 

@@ -19,13 +19,17 @@ fn main() {
             "--timeout" => {
                 i += 1;
                 params.timeout = Duration::from_secs_f64(
-                    args.get(i).and_then(|s| s.parse().ok()).expect("--timeout SECS"),
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--timeout SECS"),
                 );
             }
             "--queries" => {
                 i += 1;
-                params.queries_per_setting =
-                    args.get(i).and_then(|s| s.parse().ok()).expect("--queries N");
+                params.queries_per_setting = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--queries N");
             }
             name => datasets.push(name.to_string()),
         }

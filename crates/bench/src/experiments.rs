@@ -190,8 +190,10 @@ pub fn heaviest_queries(
     k: usize,
     timeout: Duration,
 ) -> Vec<(Hypergraph, u64)> {
-    let matcher =
-        Matcher::with_config(data, MatchConfig::parallel(num_cpus()).with_timeout(timeout));
+    let matcher = Matcher::with_config(
+        data,
+        MatchConfig::parallel(num_cpus()).with_timeout(timeout),
+    );
     let mut weighted: Vec<(Hypergraph, u64)> = workload
         .queries
         .iter()
@@ -207,5 +209,7 @@ pub fn heaviest_queries(
 
 /// Available parallelism (1 if undetectable).
 pub fn num_cpus() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }

@@ -33,8 +33,10 @@ impl AlgorithmChoice {
 
     /// The single-thread comparison lineup of Fig. 8.
     pub fn single_thread_lineup() -> Vec<AlgorithmChoice> {
-        let mut v: Vec<AlgorithmChoice> =
-            BaselineAlgorithm::all().into_iter().map(AlgorithmChoice::Baseline).collect();
+        let mut v: Vec<AlgorithmChoice> = BaselineAlgorithm::all()
+            .into_iter()
+            .map(AlgorithmChoice::Baseline)
+            .collect();
         v.push(AlgorithmChoice::HgMatch { threads: 1 });
         v
     }
@@ -70,7 +72,11 @@ pub fn time_algorithm(
                     seconds: censor(stats.elapsed, stats.timed_out, timeout),
                     timed_out: stats.timed_out,
                 },
-                Err(_) => TimedRun { count: 0, seconds: 0.0, timed_out: false },
+                Err(_) => TimedRun {
+                    count: 0,
+                    seconds: 0.0,
+                    timed_out: false,
+                },
             }
         }
         AlgorithmChoice::Baseline(b) => {
@@ -167,7 +173,10 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(AlgorithmChoice::HgMatch { threads: 1 }.name(), "HGMatch");
-        assert_eq!(AlgorithmChoice::HgMatch { threads: 8 }.name(), "HGMatch(8t)");
+        assert_eq!(
+            AlgorithmChoice::HgMatch { threads: 8 }.name(),
+            "HGMatch(8t)"
+        );
         assert_eq!(
             AlgorithmChoice::Baseline(BaselineAlgorithm::CflH).name(),
             "CFL-H"

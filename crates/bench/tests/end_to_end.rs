@@ -52,7 +52,11 @@ fn sweep_result_has_expected_shape() {
     assert!(!result.cells.is_empty());
     let ratios = result.completion_ratios();
     assert!(ratios.contains_key("HGMatch"));
-    assert!(ratios.len() == 5, "five algorithms expected, got {:?}", ratios.keys());
+    assert!(
+        ratios.len() == 5,
+        "five algorithms expected, got {:?}",
+        ratios.keys()
+    );
     for (_, (completed, total)) in ratios {
         assert!(completed <= total);
     }
@@ -84,8 +88,12 @@ fn parallel_matches_sequential_on_profile_dataset() {
 fn case_study_queries_return_answers() {
     let kb = KnowledgeBase::generate(&KnowledgeBaseConfig::default());
     let matcher = Matcher::new(&kb.graph);
-    let q1 = matcher.count(&KnowledgeBase::query_multi_team_player()).unwrap();
-    let q2 = matcher.count(&KnowledgeBase::query_recast_character()).unwrap();
+    let q1 = matcher
+        .count(&KnowledgeBase::query_multi_team_player())
+        .unwrap();
+    let q2 = matcher
+        .count(&KnowledgeBase::query_recast_character())
+        .unwrap();
     assert!(q1 > 0, "query 1 has planted answers");
     assert!(q2 > 0, "query 2 has planted answers");
 }

@@ -53,8 +53,7 @@ fn generate(args: &[String]) -> Result<(), String> {
     let [profile, labels, edges] = args else {
         return Err("generate needs <profile> <labels.txt> <edges.txt>".into());
     };
-    let profile =
-        profile_by_name(profile).ok_or_else(|| format!("unknown profile {profile:?}"))?;
+    let profile = profile_by_name(profile).ok_or_else(|| format!("unknown profile {profile:?}"))?;
     let h = profile.generate();
     io::save_text(&h, Path::new(labels), Path::new(edges)).map_err(|e| e.to_string())?;
     println!("{}", h.stats().table_row(profile.name));
@@ -125,7 +124,9 @@ fn do_match(args: &[String]) -> Result<(), String> {
             println!("  … {} more", all.len() - limit);
         }
     } else {
-        let (count, stats) = matcher.count_with_stats(&query).map_err(|e| e.to_string())?;
+        let (count, stats) = matcher
+            .count_with_stats(&query)
+            .map_err(|e| e.to_string())?;
         println!("embeddings: {count}");
         println!("elapsed: {:.6}s", stats.elapsed.as_secs_f64());
         if stats.timed_out {

@@ -12,7 +12,8 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn new(tag: &str) -> Self {
-        let dir = std::env::temp_dir().join(format!("hgmatch-cli-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("hgmatch-cli-test-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         Self(dir)
     }
@@ -99,11 +100,29 @@ fn sample_query_emits_files() {
     run(&args(&["generate", "CP", &labels, &edges])).unwrap();
     let ql = dir.path("q.labels");
     let qe = dir.path("q.edges");
-    run(&args(&["sample-query", &labels, &edges, "q2", "5", &ql, &qe])).expect("sample works");
+    run(&args(&[
+        "sample-query",
+        &labels,
+        &edges,
+        "q2",
+        "5",
+        &ql,
+        &qe,
+    ]))
+    .expect("sample works");
     // The sampled query must itself be loadable and matchable.
     run(&args(&["match", &labels, &edges, &ql, &qe])).expect("sampled query matches");
     // Unknown setting is rejected.
-    assert!(run(&args(&["sample-query", &labels, &edges, "q9", "5", &ql, &qe])).is_err());
+    assert!(run(&args(&[
+        "sample-query",
+        &labels,
+        &edges,
+        "q9",
+        "5",
+        &ql,
+        &qe
+    ]))
+    .is_err());
 }
 
 #[test]

@@ -14,33 +14,80 @@
 //! Everything is posting-list algebra: per anchor a *union* of `he(v,
 //! S(eq))` lists, then an *intersection* across anchors, and optionally a
 //! *difference* against the non-incident union — exactly the three set
-//! operations the paper highlights.
+//! operations the paper highlights. Each union picks the cheaper of two
+//! representations per anchor (DESIGN.md §5.5): the k-way sorted-list merge
+//! of [`setops::union_many_into`], or a [`Bitmap`] accumulator over the
+//! partition's row space when the postings are dense (hub vertices carry
+//! precomputed bitmaps in the inverted index, OR-ing 64 rows per
+//! instruction).
 
+use hgmatch_hypergraph::bitmap::Bitmap;
 use hgmatch_hypergraph::hypergraph::Hypergraph;
 use hgmatch_hypergraph::setops;
 
 use crate::config::MatchConfig;
 use crate::plan::Step;
 
+/// Partitions smaller than this always use the sorted-list path; matches
+/// the inverted index's own bitmap threshold.
+const MIN_BITMAP_ROWS: usize = 256;
+
+/// The bitmap accumulator is chosen when the postings to union hold at
+/// least `rows / LIST_DENSITY_DIV` entries (or any of them already has a
+/// precomputed bitmap).
+const LIST_DENSITY_DIV: usize = 16;
+
+/// One distinct vertex of the partial embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MVertex {
+    /// The data vertex id.
+    pub v: u32,
+    /// `d_Hm(v)`: its degree within the partial embedding.
+    pub degree: u32,
+    /// Bit `j` set ⇔ the edge at matching-order position `j` contains `v`.
+    /// This is the precomputed prev-edge membership set that validation
+    /// (Algorithm 5) folds into vertex profiles without re-searching every
+    /// previous edge.
+    pub mask: u64,
+}
+
+/// The sorted vertex multiset of one embedding prefix.
+#[derive(Debug, Default, Clone)]
+struct Level {
+    /// The data edge matched at this position (cache key).
+    edge: u32,
+    /// Distinct vertices of the prefix `emb[..=pos]`, sorted by id.
+    m: Vec<MVertex>,
+}
+
 /// Per-expansion state shared between candidate generation and validation.
 ///
-/// Rebuilt once per partial embedding (not per candidate), so its cost is
-/// amortised over all candidates of the expansion.
+/// The vertex multiset is maintained as a *stack of levels*, one per
+/// embedding prefix: preparing for an embedding that extends (or shares a
+/// prefix with) the previously prepared one only merges the new edges'
+/// vertices instead of re-sorting the whole embedding — under the engines'
+/// depth-first order almost every preparation is a single `O(|V(m)|)` merge
+/// (DESIGN.md §6.3).
 #[derive(Debug, Default)]
 pub struct ExpansionState {
-    /// Sorted distinct vertices of the partial embedding with their degree
-    /// within it: `(v, d_Hm(v))`.
-    pub m_vertices: Vec<(u32, u32)>,
+    /// Multiset stack; `levels[p]` covers `emb[..=p]`.
+    levels: Vec<Level>,
+    /// Levels currently valid (the stack is reused, not truncated).
+    depth: usize,
     /// Sorted vertices matched by non-adjacent previous edges
-    /// (`V_n_incdt` of Algorithm 4 line 1).
+    /// (`V_n_incdt` of Algorithm 4 line 1). Rebuilt per preparation.
     pub non_incident: Vec<u32>,
     /// Output: candidate local rows in the step's partition.
     pub candidates: Vec<u32>,
-    // Scratch buffers.
-    gather: Vec<u32>,
+    // Scratch buffers (allocated once, reused across expansions).
     union: Vec<u32>,
     tmp: Vec<u32>,
+    mw: setops::MultiwayScratch,
+    acc_bits: Bitmap,
+    anchor_bits: Bitmap,
 }
+
+static EMPTY_LEVEL: &[MVertex] = &[];
 
 impl ExpansionState {
     /// Creates empty state.
@@ -48,50 +95,127 @@ impl ExpansionState {
         Self::default()
     }
 
+    /// The current embedding's distinct vertices, sorted by id.
+    #[inline]
+    pub fn vertices(&self) -> &[MVertex] {
+        if self.depth == 0 {
+            EMPTY_LEVEL
+        } else {
+            &self.levels[self.depth - 1].m
+        }
+    }
+
+    /// Looks up the [`MVertex`] entry of `v`, if it is in the embedding.
+    #[inline]
+    pub fn vertex_entry(&self, v: u32) -> Option<&MVertex> {
+        let m = self.vertices();
+        match m.binary_search_by_key(&v, |e| e.v) {
+            Ok(i) => Some(&m[i]),
+            Err(_) => None,
+        }
+    }
+
     /// `d_Hm(v)`: degree of data vertex `v` within the partial embedding.
     #[inline]
     pub fn embedding_degree(&self, v: u32) -> u32 {
-        match self.m_vertices.binary_search_by_key(&v, |&(x, _)| x) {
-            Ok(i) => self.m_vertices[i].1,
-            Err(_) => 0,
-        }
+        self.vertex_entry(v).map_or(0, |e| e.degree)
     }
 
     /// Whether `v` already occurs in the partial embedding.
     #[inline]
     pub fn contains_vertex(&self, v: u32) -> bool {
-        self.m_vertices.binary_search_by_key(&v, |&(x, _)| x).is_ok()
+        self.vertex_entry(v).is_some()
     }
 
     /// `|V(Hm)|`: distinct vertices in the partial embedding.
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.m_vertices.len()
+        self.vertices().len()
     }
 
-    /// Rebuilds `m_vertices` and `non_incident` for the partial embedding
-    /// `emb` (global edge ids, matching-order positions) at `step`.
+    /// Rebuilds the state for the partial embedding `emb` (global edge ids,
+    /// matching-order positions) at `step`.
+    ///
+    /// Levels shared with the previously prepared embedding are reused; only
+    /// positions where `emb` diverges are (re)built, each by one linear
+    /// merge of the new edge's vertices into the previous level.
     pub fn prepare(&mut self, data: &Hypergraph, step: &Step, emb: &[u32]) {
-        self.gather.clear();
-        for &e in emb {
-            self.gather.extend_from_slice(data.edge_vertices(e.into()));
+        // Longest prefix of valid levels matching `emb`.
+        let mut keep = 0usize;
+        while keep < self.depth && keep < emb.len() && self.levels[keep].edge == emb[keep] {
+            keep += 1;
         }
-        self.gather.sort_unstable();
-        self.m_vertices.clear();
-        for &v in &self.gather {
-            match self.m_vertices.last_mut() {
-                Some((last, count)) if *last == v => *count += 1,
-                _ => self.m_vertices.push((v, 1)),
+        for pos in keep..emb.len() {
+            // Split `levels` so we can read level `pos-1` while writing
+            // level `pos`.
+            if self.levels.len() == pos {
+                self.levels.push(Level::default());
             }
+            let (prev, rest) = self.levels.split_at_mut(pos);
+            let prev_m: &[MVertex] = if pos == 0 {
+                EMPTY_LEVEL
+            } else {
+                &prev[pos - 1].m
+            };
+            let level = &mut rest[0];
+            level.edge = emb[pos];
+            merge_edge(
+                prev_m,
+                data.edge_vertices(emb[pos].into()),
+                1u64 << pos,
+                &mut level.m,
+            );
         }
+        self.depth = emb.len();
 
         self.non_incident.clear();
         for &pos in &step.nonadjacent_prev {
-            self.non_incident.extend_from_slice(data.edge_vertices(emb[pos as usize].into()));
+            self.non_incident
+                .extend_from_slice(data.edge_vertices(emb[pos as usize].into()));
         }
         self.non_incident.sort_unstable();
         self.non_incident.dedup();
     }
+}
+
+/// Merges a sorted edge-vertex list into a sorted multiset level:
+/// `out = prev ⊎ vs`, tagging merged-in vertices with `bit`.
+fn merge_edge(prev: &[MVertex], vs: &[u32], bit: u64, out: &mut Vec<MVertex>) {
+    out.clear();
+    out.reserve(prev.len() + vs.len());
+    let (mut i, mut j) = (0, 0);
+    while i < prev.len() && j < vs.len() {
+        let e = prev[i];
+        match e.v.cmp(&vs[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(e);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(MVertex {
+                    v: vs[j],
+                    degree: 1,
+                    mask: bit,
+                });
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(MVertex {
+                    v: e.v,
+                    degree: e.degree + 1,
+                    mask: e.mask | bit,
+                });
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&prev[i..]);
+    out.extend(vs[j..].iter().map(|&v| MVertex {
+        v,
+        degree: 1,
+        mask: bit,
+    }));
 }
 
 /// Runs Algorithm 4: fills `state.candidates` with the local rows of the
@@ -111,17 +235,22 @@ pub fn generate_candidates(
         return 0; // signature absent from the data: no candidates
     };
     let partition = data.partition(pid);
+    let rows = partition.len();
 
     if step.anchors.is_empty() {
         // Disconnected step (or an explicitly disconnected order): every row
         // of the partition is a candidate; validation sorts out the rest.
-        state.candidates.extend(0..partition.len() as u32);
+        state.candidates.extend(0..rows as u32);
     } else {
         let mut first = true;
-        let mut postings: Vec<&[u32]> = Vec::new();
+        let mut use_bits = false;
+        let mut lists: Vec<&[u32]> = Vec::new();
+        let mut bitmaps: Vec<&Bitmap> = Vec::new();
         for anchor in &step.anchors {
             let prev = emb[anchor.prev_pos as usize];
-            postings.clear();
+            lists.clear();
+            bitmaps.clear();
+            let mut total = 0usize;
             for &v in data.edge_vertices(prev.into()) {
                 // V_incdt filter: label, embedding degree, not in V_n_incdt.
                 if data.label(v.into()) != anchor.label
@@ -130,24 +259,65 @@ pub fn generate_candidates(
                 {
                     continue;
                 }
-                let rows = partition.incident_rows(v);
-                if !rows.is_empty() {
-                    postings.push(rows);
+                let posting = partition.incident_posting(v);
+                if posting.list.is_empty() {
+                    continue;
+                }
+                total += posting.list.len();
+                match posting.bits {
+                    Some(b) => bitmaps.push(b),
+                    None => lists.push(posting.list),
                 }
             }
-            if postings.is_empty() {
+            if lists.is_empty() && bitmaps.is_empty() {
                 state.candidates.clear();
                 return 0;
             }
-            // One C' element: the union over qualifying vertices.
-            build_union(&postings, &mut state.union, &mut state.tmp);
+
+            // Representation switch (DESIGN.md §5.5): a bitmap accumulator
+            // when the postings are dense in the row space, the k-way list
+            // merge otherwise.
+            let dense = rows >= MIN_BITMAP_ROWS
+                && (!bitmaps.is_empty() || total * LIST_DENSITY_DIV >= rows);
+
             if first {
-                std::mem::swap(&mut state.candidates, &mut state.union);
                 first = false;
+                if dense {
+                    use_bits = true;
+                    union_postings_into_bitmap(&bitmaps, &lists, rows, &mut state.acc_bits);
+                } else {
+                    setops::union_many_into(&mut lists, &mut state.candidates, &mut state.mw);
+                }
+            } else if use_bits {
+                // C' ∩ next anchor union, word-wise.
+                union_postings_into_bitmap(&bitmaps, &lists, rows, &mut state.anchor_bits);
+                state.acc_bits.intersect_assign(&state.anchor_bits);
+                if state.acc_bits.is_empty() {
+                    return 0;
+                }
+            } else if dense {
+                // Sorted-list accumulator filtered through the anchor's
+                // bitmap union: O(|C'|) membership tests, no materialised
+                // union.
+                union_postings_into_bitmap(&bitmaps, &lists, rows, &mut state.anchor_bits);
+                state
+                    .anchor_bits
+                    .filter_list_into(&state.candidates, &mut state.tmp);
+                std::mem::swap(&mut state.candidates, &mut state.tmp);
+                if state.candidates.is_empty() {
+                    return 0;
+                }
             } else {
+                setops::union_many_into(&mut lists, &mut state.union, &mut state.mw);
                 setops::intersect_into(&state.candidates, &state.union, &mut state.tmp);
                 std::mem::swap(&mut state.candidates, &mut state.tmp);
+                if state.candidates.is_empty() {
+                    return 0;
+                }
             }
+        }
+        if use_bits {
+            state.acc_bits.extract_into(&mut state.candidates);
             if state.candidates.is_empty() {
                 return 0;
             }
@@ -156,17 +326,33 @@ pub fn generate_candidates(
 
     if config.prune_non_incident && !state.non_incident.is_empty() {
         // Eager Observation V.3: drop candidates touching forbidden
-        // vertices. `state.union` is reused for the forbidden-row union.
-        let mut postings: Vec<&[u32]> = Vec::new();
+        // vertices, with the same representation switch.
+        let mut lists: Vec<&[u32]> = Vec::new();
+        let mut bitmaps: Vec<&Bitmap> = Vec::new();
+        let mut total = 0usize;
         for &v in &state.non_incident {
-            let rows = partition.incident_rows(v);
-            if !rows.is_empty() {
-                postings.push(rows);
+            let posting = partition.incident_posting(v);
+            if posting.list.is_empty() {
+                continue;
+            }
+            total += posting.list.len();
+            match posting.bits {
+                Some(b) => bitmaps.push(b),
+                None => lists.push(posting.list),
             }
         }
-        if !postings.is_empty() {
-            build_union(&postings, &mut state.union, &mut state.tmp);
-            setops::difference_into(&state.candidates, &state.union, &mut state.tmp);
+        if !lists.is_empty() || !bitmaps.is_empty() {
+            let dense = rows >= MIN_BITMAP_ROWS
+                && (!bitmaps.is_empty() || total * LIST_DENSITY_DIV >= rows);
+            if dense {
+                union_postings_into_bitmap(&bitmaps, &lists, rows, &mut state.anchor_bits);
+                state
+                    .anchor_bits
+                    .filter_list_out(&state.candidates, &mut state.tmp);
+            } else {
+                setops::union_many_into(&mut lists, &mut state.union, &mut state.mw);
+                setops::difference_into(&state.candidates, &state.union, &mut state.tmp);
+            }
             std::mem::swap(&mut state.candidates, &mut state.tmp);
         }
     }
@@ -174,22 +360,20 @@ pub fn generate_candidates(
     state.candidates.len()
 }
 
-/// Unions `postings` into `out`, using `tmp` as scratch.
-fn build_union(postings: &[&[u32]], out: &mut Vec<u32>, tmp: &mut Vec<u32>) {
-    match postings {
-        [] => out.clear(),
-        [only] => {
-            out.clear();
-            out.extend_from_slice(only);
-        }
-        [a, b] => setops::union_into(a, b, out),
-        many => {
-            setops::union_into(many[0], many[1], out);
-            for s in &many[2..] {
-                setops::union_into(out, s, tmp);
-                std::mem::swap(out, tmp);
-            }
-        }
+/// Unions precomputed bitmaps (word-wise OR) and sparse lists (bit sets)
+/// into `acc`, reset to the partition's row domain first.
+fn union_postings_into_bitmap(
+    bitmaps: &[&Bitmap],
+    lists: &[&[u32]],
+    rows: usize,
+    acc: &mut Bitmap,
+) {
+    acc.reset(rows as u32);
+    for b in bitmaps {
+        acc.union_assign(b);
+    }
+    for l in lists {
+        acc.insert_list(l);
     }
 }
 
@@ -241,8 +425,11 @@ mod tests {
         let n = generate_candidates(&data, step, &emb, &mut state, &MatchConfig::default());
         assert_eq!(n, 1);
         let partition = data.partition(step.partition.unwrap());
-        let globals: Vec<u32> =
-            state.candidates.iter().map(|&r| partition.global_id(r).raw()).collect();
+        let globals: Vec<u32> = state
+            .candidates
+            .iter()
+            .map(|&r| partition.global_id(r).raw())
+            .collect();
         assert_eq!(globals, vec![4]); // paper e5
     }
 
@@ -264,6 +451,51 @@ mod tests {
     }
 
     #[test]
+    fn prepare_builds_membership_masks() {
+        let data = paper_data();
+        let query = paper_query();
+        let plan = Planner::plan_with_order(&query, &data, vec![0, 1, 2]).unwrap();
+        let mut state = ExpansionState::new();
+        state.prepare(&data, &plan.steps()[2], &[0, 2]);
+        // v2 ∈ e0 (position 0) and e2 (position 1); v4 ∈ e0 only; v0 ∈ e2.
+        assert_eq!(state.vertex_entry(2).unwrap().mask, 0b11);
+        assert_eq!(state.vertex_entry(4).unwrap().mask, 0b01);
+        assert_eq!(state.vertex_entry(0).unwrap().mask, 0b10);
+        assert!(state.vertex_entry(6).is_none());
+    }
+
+    #[test]
+    fn prepare_is_incremental_across_prefixes() {
+        // Preparing a sibling after a deep descent must still be correct:
+        // the level stack rebuilds only from the divergence point.
+        let data = paper_data();
+        let query = paper_query();
+        let plan = Planner::plan_with_order(&query, &data, vec![0, 1, 2]).unwrap();
+        let mut fresh = ExpansionState::new();
+        let mut reused = ExpansionState::new();
+
+        let sequences: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![0, 2],
+            vec![0, 2], // same again
+            vec![0, 3], // sibling at depth 1
+            vec![1, 3], // diverges at depth 0
+            vec![1],    // shrink
+            vec![1, 3], // regrow
+        ];
+        for emb in &sequences {
+            let step = &plan.steps()[emb.len().min(2)];
+            reused.prepare(&data, step, emb);
+            fresh.prepare(&data, step, emb);
+            // An independent, freshly built state must agree exactly.
+            let mut fresh2 = ExpansionState::new();
+            fresh2.prepare(&data, step, emb);
+            assert_eq!(reused.vertices(), fresh2.vertices(), "emb {emb:?}");
+            assert_eq!(reused.non_incident, fresh2.non_incident, "emb {emb:?}");
+        }
+    }
+
+    #[test]
     fn second_step_candidates() {
         // After matching q0 → e0 {v2,v4}, candidates for q1 {A,A,C} must be
         // incident to v2 (the A vertex of e0 with the right partial degree):
@@ -277,8 +509,11 @@ mod tests {
         state.prepare(&data, step, &emb);
         let n = generate_candidates(&data, step, &emb, &mut state, &MatchConfig::default());
         let partition = data.partition(step.partition.unwrap());
-        let globals: Vec<u32> =
-            state.candidates.iter().map(|&r| partition.global_id(r).raw()).collect();
+        let globals: Vec<u32> = state
+            .candidates
+            .iter()
+            .map(|&r| partition.global_id(r).raw())
+            .collect();
         assert_eq!(n, 1);
         assert_eq!(globals, vec![2]);
     }
@@ -295,8 +530,13 @@ mod tests {
         assert!(plan.is_infeasible());
         let mut state = ExpansionState::new();
         state.prepare(&data, &plan.steps()[0], &[]);
-        let n =
-            generate_candidates(&data, &plan.steps()[0], &[], &mut state, &MatchConfig::default());
+        let n = generate_candidates(
+            &data,
+            &plan.steps()[0],
+            &[],
+            &mut state,
+            &MatchConfig::default(),
+        );
         assert_eq!(n, 0);
     }
 
@@ -348,8 +588,11 @@ mod tests {
         state.prepare(&data, step1, &emb1);
         let n = generate_candidates(&data, step1, &emb1, &mut state, &MatchConfig::default());
         let partition = data.partition(step1.partition.unwrap());
-        let globals: Vec<u32> =
-            state.candidates.iter().map(|&r| partition.global_id(r).raw()).collect();
+        let globals: Vec<u32> = state
+            .candidates
+            .iter()
+            .map(|&r| partition.global_id(r).raw())
+            .collect();
         assert_eq!((n, globals), (1, vec![3]));
 
         let step2 = &plan.steps()[2];
@@ -357,12 +600,59 @@ mod tests {
         state.prepare(&data, step2, &emb2);
         let n = generate_candidates(&data, step2, &emb2, &mut state, &MatchConfig::default());
         let partition = data.partition(step2.partition.unwrap());
-        let globals: Vec<u32> =
-            state.candidates.iter().map(|&r| partition.global_id(r).raw()).collect();
+        let globals: Vec<u32> = state
+            .candidates
+            .iter()
+            .map(|&r| partition.global_id(r).raw())
+            .collect();
         // The degree filter (Observation V.4) rejects e4 even though v4 is
         // shared: within (e1, e3), v6 has embedding degree 2 but u0/u2's
         // partial-query degrees demand 1, so only v3/v5 anchor — both point
         // at e5 alone.
         assert_eq!((n, globals), (1, vec![5]));
+    }
+
+    #[test]
+    fn dense_partition_uses_bitmap_path_with_same_results() {
+        // A large {A,B} partition around one hub vertex so the inverted
+        // index materialises a bitmap and the anchor union takes the dense
+        // path; a second step anchored on the hub must agree with the
+        // list-only result of the small-partition equivalent.
+        let n = 600u32;
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(Label::new(0)); // v0: hub, label A
+        for _ in 0..n {
+            b.add_vertex(Label::new(1)); // leaves, label B
+        }
+        for leaf in 1..=n {
+            b.add_edge(vec![0, leaf]).unwrap(); // {A,B} × 600, all via v0
+        }
+        let data = b.build().unwrap();
+
+        // Query: two {A,B} edges sharing the A vertex.
+        let mut qb = HypergraphBuilder::new();
+        qb.add_vertex(Label::new(0));
+        qb.add_vertex(Label::new(1));
+        qb.add_vertex(Label::new(1));
+        qb.add_edge(vec![0, 1]).unwrap();
+        qb.add_edge(vec![0, 2]).unwrap();
+        let q = QueryGraph::new(&qb.build().unwrap()).unwrap();
+        let plan = Planner::plan(&q, &data).unwrap();
+        let step = &plan.steps()[1];
+
+        let mut state = ExpansionState::new();
+        let emb = [0u32];
+        state.prepare(&data, step, &emb);
+        let count = generate_candidates(&data, step, &emb, &mut state, &MatchConfig::default());
+        // All rows except the matched edge itself remain candidates (the
+        // duplicate is removed by validation, not generation).
+        assert_eq!(count, n as usize);
+        assert!(hgmatch_hypergraph::setops::is_strictly_sorted(
+            &state.candidates
+        ));
+
+        // The partition's hub key is genuinely dense-represented.
+        let partition = data.partition(step.partition.unwrap());
+        assert!(partition.incident_posting(0).bits.is_some());
     }
 }

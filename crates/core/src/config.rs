@@ -44,7 +44,10 @@ impl MatchConfig {
 
     /// Parallel config with `threads` workers.
     pub fn parallel(threads: usize) -> Self {
-        Self { threads: threads.max(1), ..Self::default() }
+        Self {
+            threads: threads.max(1),
+            ..Self::default()
+        }
     }
 
     /// Sets the timeout, builder style.

@@ -20,7 +20,9 @@ pub struct Embedding {
 impl Embedding {
     /// Wraps raw data-edge ids (already in query-edge order).
     pub fn new(edges: Vec<u32>) -> Self {
-        Self { edges: edges.into_boxed_slice() }
+        Self {
+            edges: edges.into_boxed_slice(),
+        }
     }
 
     /// The matched data hyperedge for query hyperedge `i`.

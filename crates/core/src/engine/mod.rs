@@ -9,8 +9,8 @@
 //!
 //! Scheduling follows the paper exactly:
 //!
-//! * **LIFO task deques** — every worker owns a Chase–Lev deque
-//!   (`crossbeam-deque`, the same non-blocking design as the paper's [17])
+//! * **LIFO task deques** — every worker owns a deque
+//!   (`crossbeam::deque`, the same non-blocking design as the paper's [17])
 //!   and pushes/pops at its hot end, so the engine runs depth-first locally
 //!   and memory stays within the Theorem VI.1 bound
 //!   `O(aq · |E(q)|² · |E(H)|)`.
@@ -19,6 +19,12 @@
 //!   i.e. the oldest, coarsest tasks. Disabling stealing (plus static
 //!   first-level partitioning) reproduces the `HGMatch-NOSTL` baseline of
 //!   Fig. 12.
+//!
+//! The expansion path is allocation-free in the common case
+//! (DESIGN.md §6): embeddings of up to [`INLINE_EMB`] edges are stored
+//! inline in the task itself, deeper ones spill to heap buffers recycled
+//! through a per-worker pool, and per-expansion state (vertex multisets,
+//! candidate and delivery buffers) is reused across tasks.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
@@ -34,10 +40,18 @@ use crate::memory::MemoryTracker;
 use crate::metrics::MatchMetrics;
 use crate::plan::Plan;
 use crate::sink::Sink;
-use crate::validate::{validate_candidate, Validation, ValidateScratch};
+use crate::validate::{validate_candidate, ValidateScratch, Validation};
 
 /// Tasks between abort-flag checks.
 const CHECK_INTERVAL: u64 = 256;
+
+/// Partial embeddings of at most this many edges live inline in the task —
+/// no heap allocation on the expansion path. Queries with more hyperedges
+/// than this spill to pooled buffers (DESIGN.md §6.2).
+const INLINE_EMB: usize = 8;
+
+/// Recycled spill buffers kept per worker.
+const POOL_CAP: usize = 64;
 
 /// A schedulable unit (paper Definition VI.1).
 #[derive(Debug)]
@@ -45,9 +59,12 @@ enum Task {
     /// Scan rows `start..end` of the first step's partition; splits itself
     /// while the range exceeds the configured chunk size.
     Scan { start: u32, end: u32 },
-    /// Expand the partial embedding `emb` (matching-order positions
-    /// `0..depth`) at step `depth`.
-    Expand { depth: u8, emb: Box<[u32]> },
+    /// Expand the partial embedding `emb[..depth]` (matching-order
+    /// positions `0..depth`) at step `depth`. Inline: no allocation.
+    Expand { depth: u8, emb: [u32; INLINE_EMB] },
+    /// Expansion deeper than [`INLINE_EMB`]; the buffer is recycled through
+    /// the executing worker's pool.
+    ExpandSpilled { emb: Vec<u32> },
 }
 
 /// The parallel engine.
@@ -107,12 +124,17 @@ impl ParallelEngine {
         // and splits dynamically; without stealing (NOSTL) the first-level
         // rows are divided statically and evenly among workers — the
         // coarse-grained baseline of Fig. 12.
-        let scan_rows = data.partition(plan.steps()[0].partition.expect("feasible")).len() as u32;
+        let scan_rows = data
+            .partition(plan.steps()[0].partition.expect("feasible"))
+            .len() as u32;
         let mut seeded: Vec<Vec<Task>> = (0..threads).map(|_| Vec::new()).collect();
         if config.work_stealing {
             if scan_rows > 0 {
                 shared.pending.fetch_add(1, Ordering::Relaxed);
-                shared.injector.push(Task::Scan { start: 0, end: scan_rows });
+                shared.injector.push(Task::Scan {
+                    start: 0,
+                    end: scan_rows,
+                });
             }
         } else {
             let per = scan_rows.div_ceil(threads.max(1) as u32).max(1);
@@ -176,6 +198,9 @@ fn worker_loop<S: Sink>(
         rng: 0x9E37_79B9 ^ (id as u64 + 1).wrapping_mul(0x2545_F491_4F6C_DD1D),
         checks: 0,
         uncounted: 0,
+        pool: Vec::new(),
+        full_scratch: Vec::new(),
+        ordered_scratch: Vec::new(),
     };
 
     loop {
@@ -187,8 +212,7 @@ fn worker_loop<S: Sink>(
             ctx.stats.tasks += 1;
             shared.pending.fetch_sub(1, Ordering::Release);
         } else {
-            if shared.pending.load(Ordering::Acquire) == 0 || shared.abort.load(Ordering::Relaxed)
-            {
+            if shared.pending.load(Ordering::Acquire) == 0 || shared.abort.load(Ordering::Relaxed) {
                 break;
             }
             // Periodic deadline check also while idle, so a stuck queue
@@ -210,6 +234,12 @@ struct WorkerCtx<'a, 'b, S: Sink> {
     rng: u64,
     checks: u64,
     uncounted: u64,
+    /// Recycled spill buffers for embeddings deeper than [`INLINE_EMB`].
+    pool: Vec<Vec<u32>>,
+    /// Reused buffer for assembling complete embeddings at the last step.
+    full_scratch: Vec<u32>,
+    /// Reused buffer for query-order delivery.
+    ordered_scratch: Vec<u32>,
 }
 
 impl<S: Sink> WorkerCtx<'_, '_, S> {
@@ -281,19 +311,55 @@ impl<S: Sink> WorkerCtx<'_, '_, S> {
     }
 
     fn spawn(&mut self, task: Task) {
-        if let Task::Expand { ref emb, .. } = task {
-            self.shared.tracker.alloc(MemoryTracker::embedding_bytes(emb.len()));
-        }
         self.shared.pending.fetch_add(1, Ordering::Relaxed);
         self.local.push(task);
+    }
+
+    /// Spawns the expansion of `parent + [global]`, inline when it fits and
+    /// through a pooled spill buffer beyond [`INLINE_EMB`]. The memory
+    /// tracker accounts the queued embedding either way — Theorem VI.1
+    /// bounds materialised partial embeddings, not allocator traffic.
+    fn spawn_expand(&mut self, parent: &[u32], global: u32) {
+        let len = parent.len() + 1;
+        self.shared
+            .tracker
+            .alloc(MemoryTracker::embedding_bytes(len));
+        if len <= INLINE_EMB {
+            let mut emb = [0u32; INLINE_EMB];
+            emb[..parent.len()].copy_from_slice(parent);
+            emb[parent.len()] = global;
+            self.spawn(Task::Expand {
+                depth: len as u8,
+                emb,
+            });
+        } else {
+            let mut buf = self.pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.reserve(len);
+            buf.extend_from_slice(parent);
+            buf.push(global);
+            self.spawn(Task::ExpandSpilled { emb: buf });
+        }
     }
 
     fn execute(&mut self, task: Task) {
         match task {
             Task::Scan { start, end } => self.execute_scan(start, end),
             Task::Expand { depth, emb } => {
-                self.shared.tracker.free(MemoryTracker::embedding_bytes(emb.len()));
-                self.execute_expand(depth as usize, &emb);
+                let depth = depth as usize;
+                self.shared
+                    .tracker
+                    .free(MemoryTracker::embedding_bytes(depth));
+                self.execute_expand(depth, &emb[..depth]);
+            }
+            Task::ExpandSpilled { emb } => {
+                self.shared
+                    .tracker
+                    .free(MemoryTracker::embedding_bytes(emb.len()));
+                self.execute_expand(emb.len(), &emb);
+                if self.pool.len() < POOL_CAP {
+                    self.pool.push(emb);
+                }
             }
         }
     }
@@ -313,20 +379,24 @@ impl<S: Sink> WorkerCtx<'_, '_, S> {
         }
 
         let plan = self.shared.plan;
-        let partition =
-            self.shared.data.partition(plan.steps()[0].partition.expect("feasible"));
+        let partition = self
+            .shared
+            .data
+            .partition(plan.steps()[0].partition.expect("feasible"));
         self.metrics.scan_rows += (end - start) as u64;
         if plan.len() == 1 {
             // Single-edge query: scan rows are complete embeddings.
             for row in start..end {
                 let global = partition.global_id(row).raw();
-                self.deliver(&[global]);
+                self.full_scratch.clear();
+                self.full_scratch.push(global);
+                self.deliver_full();
             }
             return;
         }
         for row in (start..end).rev() {
             let global = partition.global_id(row).raw();
-            self.spawn(Task::Expand { depth: 1, emb: vec![global].into_boxed_slice() });
+            self.spawn_expand(&[], global);
         }
     }
 
@@ -337,11 +407,16 @@ impl<S: Sink> WorkerCtx<'_, '_, S> {
         let plan = self.shared.plan;
         let data = self.shared.data;
         let step = &plan.steps()[depth];
+        // A step whose signature is absent from the data can never extend
+        // anything: skip the (non-trivial) state preparation outright.
+        let Some(pid) = step.partition else {
+            self.metrics.expansions += 1;
+            return;
+        };
         self.state.prepare(data, step, emb);
         let produced = generate_candidates(data, step, emb, &mut self.state, self.shared.config);
         self.metrics.expansions += 1;
         self.metrics.candidates += produced as u64;
-        let Some(pid) = step.partition else { return };
         let partition = data.partition(pid);
         let last = depth + 1 == plan.len();
 
@@ -362,18 +437,12 @@ impl<S: Sink> WorkerCtx<'_, '_, S> {
                     self.metrics.filtered += 1;
                     self.metrics.validated += 1;
                     if last {
-                        let mut full = Vec::with_capacity(depth + 1);
-                        full.extend_from_slice(emb);
-                        full.push(global);
-                        self.deliver(&full);
+                        self.full_scratch.clear();
+                        self.full_scratch.extend_from_slice(emb);
+                        self.full_scratch.push(global);
+                        self.deliver_full();
                     } else {
-                        let mut next = Vec::with_capacity(depth + 1);
-                        next.extend_from_slice(emb);
-                        next.push(global);
-                        self.spawn(Task::Expand {
-                            depth: (depth + 1) as u8,
-                            emb: next.into_boxed_slice(),
-                        });
+                        self.spawn_expand(emb, global);
                     }
                 }
                 Validation::WrongProfiles => self.metrics.filtered += 1,
@@ -383,15 +452,18 @@ impl<S: Sink> WorkerCtx<'_, '_, S> {
         self.state.candidates = cands;
     }
 
-    fn deliver(&mut self, emb_positions: &[u32]) {
+    /// Delivers `self.full_scratch` as a complete embedding.
+    fn deliver_full(&mut self) {
         self.metrics.embeddings += 1;
         self.stats.matches += 1;
         // Counts are batched per task (`flush_counts`) so counting costs no
         // shared atomic per embedding.
         self.uncounted += 1;
         if self.shared.sink.needs_embeddings() {
-            let ordered = self.shared.plan.to_query_order(emb_positions);
-            self.shared.sink.consume(&ordered);
+            self.shared
+                .plan
+                .to_query_order_into(&self.full_scratch, &mut self.ordered_scratch);
+            self.shared.sink.consume(&self.ordered_scratch);
         }
     }
 
@@ -442,8 +514,7 @@ mod tests {
         let plan = Planner::plan(&paper_query(), &data).unwrap();
         for threads in [1, 2, 4] {
             let sink = CollectSink::new();
-            let stats =
-                ParallelEngine::run(&plan, &data, &sink, &MatchConfig::parallel(threads));
+            let stats = ParallelEngine::run(&plan, &data, &sink, &MatchConfig::parallel(threads));
             assert_eq!(stats.embeddings(), 2, "threads={threads}");
             assert_eq!(stats.workers.len(), threads);
             let results = sink.into_results();
@@ -508,5 +579,42 @@ mod tests {
         let sink = CountSink::new();
         let stats = ParallelEngine::run(&plan, &data, &sink, &MatchConfig::parallel(2));
         assert!(stats.peak_memory_bytes > 0);
+    }
+
+    /// A query with more hyperedges than [`INLINE_EMB`], exercising the
+    /// spill-to-pool path: a path of 10 {A,A} edges over distinct vertices,
+    /// matched against an identical data path (exactly one embedding).
+    #[test]
+    fn deep_queries_spill_and_still_match() {
+        let n = 10usize;
+        assert!(n > INLINE_EMB);
+        let mut d = HypergraphBuilder::new();
+        d.add_vertices(n + 1, Label::new(0));
+        for i in 0..n {
+            d.add_edge(vec![i as u32, i as u32 + 1]).unwrap();
+        }
+        let data = d.build().unwrap();
+
+        let mut q = HypergraphBuilder::new();
+        q.add_vertices(n + 1, Label::new(0));
+        for i in 0..n {
+            q.add_edge(vec![i as u32, i as u32 + 1]).unwrap();
+        }
+        let query = QueryGraph::new(&q.build().unwrap()).unwrap();
+        let plan = Planner::plan(&query, &data).unwrap();
+
+        // Oracle: the sequential executor (its recursion depth is unbounded
+        // by INLINE_EMB, so it pins down the expected count — the identity
+        // embedding plus the path-reversal automorphism).
+        let oracle = CountSink::new();
+        crate::exec::SequentialExecutor::run(&plan, &data, &oracle, &MatchConfig::sequential());
+        assert!(oracle.count() >= 1);
+
+        for threads in [1, 3] {
+            let sink = CountSink::new();
+            let stats = ParallelEngine::run(&plan, &data, &sink, &MatchConfig::parallel(threads));
+            assert_eq!(stats.embeddings(), oracle.count(), "threads={threads}");
+            assert_eq!(sink.count(), oracle.count());
+        }
     }
 }

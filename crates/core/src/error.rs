@@ -22,7 +22,10 @@ impl fmt::Display for MatchError {
         match self {
             Self::EmptyQuery => write!(f, "query hypergraph has no hyperedges"),
             Self::QueryTooLarge { edges, max } => {
-                write!(f, "query has {edges} hyperedges; the engine supports at most {max}")
+                write!(
+                    f,
+                    "query has {edges} hyperedges; the engine supports at most {max}"
+                )
             }
             Self::InvalidThreadCount => write!(f, "thread count must be >= 1"),
         }
@@ -38,7 +41,9 @@ mod tests {
     #[test]
     fn display() {
         assert!(MatchError::EmptyQuery.to_string().contains("no hyperedges"));
-        assert!(MatchError::QueryTooLarge { edges: 70, max: 64 }.to_string().contains("70"));
+        assert!(MatchError::QueryTooLarge { edges: 70, max: 64 }
+            .to_string()
+            .contains("70"));
         assert!(MatchError::InvalidThreadCount.to_string().contains(">= 1"));
     }
 }

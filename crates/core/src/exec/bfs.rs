@@ -20,7 +20,7 @@ use crate::memory::MemoryTracker;
 use crate::metrics::MatchMetrics;
 use crate::plan::Plan;
 use crate::sink::Sink;
-use crate::validate::{validate_candidate, Validation, ValidateScratch};
+use crate::validate::{validate_candidate, ValidateScratch, Validation};
 
 /// Level-synchronous breadth-first executor.
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,8 +35,10 @@ impl BfsExecutor {
         config: &MatchConfig,
     ) -> RunStats {
         let start = Instant::now();
-        let mut stats = RunStats::default();
-        stats.workers = vec![WorkerStats::default(); config.threads.max(1)];
+        let mut stats = RunStats {
+            workers: vec![WorkerStats::default(); config.threads.max(1)],
+            ..RunStats::default()
+        };
         if plan.is_infeasible() {
             stats.elapsed = start.elapsed();
             return stats;
@@ -85,19 +87,22 @@ impl BfsExecutor {
                         let mut local: Vec<Box<[u32]>> = Vec::new();
                         let mut lm = MatchMetrics::default();
                         let step = &plan.steps()[depth];
+                        // Absent signature ⇒ the level dies here; skip all
+                        // state preparation.
+                        let Some(pid) = step.partition else {
+                            let mut guard = merged.lock();
+                            guard.1.merge(&lm);
+                            return;
+                        };
+                        let partition = data.partition(pid);
                         for (i, emb) in slice.iter().enumerate() {
                             if i % 256 == 0 && abort_now(aborted, deadline, sink) {
                                 break;
                             }
                             state.prepare(data, step, emb);
-                            let produced =
-                                generate_candidates(data, step, emb, &mut state, config);
+                            let produced = generate_candidates(data, step, emb, &mut state, config);
                             lm.expansions += 1;
                             lm.candidates += produced as u64;
-                            let partition = match step.partition {
-                                Some(p) => data.partition(p),
-                                None => break,
-                            };
                             for &row in &state.candidates {
                                 let global = partition.global_id(row).raw();
                                 match validate_candidate(
@@ -116,8 +121,7 @@ impl BfsExecutor {
                                         let mut next = Vec::with_capacity(depth + 1);
                                         next.extend_from_slice(emb);
                                         next.push(global);
-                                        tracker
-                                            .alloc(MemoryTracker::embedding_bytes(depth + 1));
+                                        tracker.alloc(MemoryTracker::embedding_bytes(depth + 1));
                                         local.push(next.into_boxed_slice());
                                     }
                                     Validation::WrongProfiles => lm.filtered += 1,

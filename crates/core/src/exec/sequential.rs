@@ -15,7 +15,7 @@ use crate::exec::{RunStats, WorkerStats};
 use crate::metrics::MatchMetrics;
 use crate::plan::Plan;
 use crate::sink::Sink;
-use crate::validate::{validate_candidate, Validation, ValidateScratch};
+use crate::validate::{validate_candidate, ValidateScratch, Validation};
 
 /// How many expansions between timeout / early-stop checks.
 const CHECK_INTERVAL: u64 = 1024;
@@ -96,9 +96,26 @@ impl<S: Sink> Dfs<'_, S> {
         }
 
         let step = &self.plan.steps()[depth];
+        // An absent signature means zero candidates: skip the state
+        // preparation entirely instead of preparing and then discovering
+        // there is no partition.
+        let partition = match step.partition {
+            Some(p) => self.data.partition(p),
+            None => {
+                if depth > 0 {
+                    self.metrics.expansions += 1;
+                }
+                return;
+            }
+        };
         self.states[depth].prepare(self.data, step, &self.emb);
-        let produced =
-            generate_candidates(self.data, step, &self.emb, &mut self.states[depth], self.config);
+        let produced = generate_candidates(
+            self.data,
+            step,
+            &self.emb,
+            &mut self.states[depth],
+            self.config,
+        );
 
         if depth == 0 {
             self.metrics.scan_rows += produced as u64;
@@ -106,11 +123,6 @@ impl<S: Sink> Dfs<'_, S> {
             self.metrics.expansions += 1;
             self.metrics.candidates += produced as u64;
         }
-
-        let partition = match step.partition {
-            Some(p) => self.data.partition(p),
-            None => return,
-        };
 
         // Take ownership of the candidate buffer so deeper recursion can
         // reuse the per-depth state; restored afterwards to keep capacity.

@@ -41,7 +41,12 @@ pub struct FilterSink<S: Sink, P: Fn(&[u32]) -> bool + Sync> {
 impl<S: Sink, P: Fn(&[u32]) -> bool + Sync> FilterSink<S, P> {
     /// Wraps `inner`, forwarding only embeddings where `predicate` holds.
     pub fn new(inner: S, predicate: P) -> Self {
-        Self { inner, predicate, passed: AtomicU64::new(0), dropped: AtomicU64::new(0) }
+        Self {
+            inner,
+            predicate,
+            passed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
     }
 
     /// Embeddings forwarded to the inner sink.
@@ -98,7 +103,11 @@ pub struct GroupCountSink {
 impl GroupCountSink {
     /// Groups by the data edge matched to query hyperedge `query_edge`.
     pub fn new(query_edge: usize) -> Self {
-        Self { query_edge, groups: Mutex::new(FxHashMap::default()), total: AtomicU64::new(0) }
+        Self {
+            query_edge,
+            groups: Mutex::new(FxHashMap::default()),
+            total: AtomicU64::new(0),
+        }
     }
 
     /// The aggregated `(data edge, count)` pairs, sorted by edge id.

@@ -26,7 +26,10 @@ pub struct Matcher<'a> {
 impl<'a> Matcher<'a> {
     /// Creates a matcher with the default (sequential) configuration.
     pub fn new(data: &'a Hypergraph) -> Self {
-        Self { data, config: MatchConfig::default() }
+        Self {
+            data,
+            config: MatchConfig::default(),
+        }
     }
 
     /// Creates a matcher with an explicit configuration.
@@ -156,7 +159,10 @@ mod tests {
     fn empty_query_errors() {
         let data = paper_data();
         let empty = HypergraphBuilder::new().build().unwrap();
-        assert_eq!(Matcher::new(&data).count(&empty).unwrap_err(), MatchError::EmptyQuery);
+        assert_eq!(
+            Matcher::new(&data).count(&empty).unwrap_err(),
+            MatchError::EmptyQuery
+        );
     }
 
     #[test]

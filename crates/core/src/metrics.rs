@@ -84,7 +84,12 @@ mod tests {
 
     #[test]
     fn rates() {
-        let m = MatchMetrics { candidates: 100, filtered: 50, validated: 40, ..Default::default() };
+        let m = MatchMetrics {
+            candidates: 100,
+            filtered: 50,
+            validated: 40,
+            ..Default::default()
+        };
         assert!((m.false_positive_rate() - 0.6).abs() < 1e-9);
         assert!((m.filtered_precision() - 0.8).abs() < 1e-9);
         let empty = MatchMetrics::default();

@@ -47,7 +47,10 @@ impl Dataflow {
         for (i, step) in plan.steps().iter().enumerate() {
             let cardinality = step.partition.map_or(0, |p| data.partition(p).len());
             if i == 0 {
-                operators.push(Operator::Scan { query_edge: step.query_edge, cardinality });
+                operators.push(Operator::Scan {
+                    query_edge: step.query_edge,
+                    cardinality,
+                });
             } else {
                 operators.push(Operator::Expand {
                     query_edge: step.query_edge,
@@ -83,11 +86,21 @@ impl fmt::Display for Dataflow {
                 writeln!(f)?;
             }
             match op {
-                Operator::Scan { query_edge, cardinality } => {
+                Operator::Scan {
+                    query_edge,
+                    cardinality,
+                } => {
                     write!(f, "SCAN(q{query_edge}) [card={cardinality}]")?;
                 }
-                Operator::Expand { query_edge, anchors, cardinality } => {
-                    write!(f, "EXPAND(q{query_edge}) [anchors={anchors}, card={cardinality}]")?;
+                Operator::Expand {
+                    query_edge,
+                    anchors,
+                    cardinality,
+                } => {
+                    write!(
+                        f,
+                        "EXPAND(q{query_edge}) [anchors={anchors}, card={cardinality}]"
+                    )?;
                 }
                 Operator::Sink => write!(f, "SINK")?,
             }

@@ -125,11 +125,19 @@ impl Plan {
     /// Reorders an embedding from matching-order positions to query-edge
     /// order: `out[e] = emb[position_of(e)]`.
     pub fn to_query_order(&self, emb_positions: &[u32]) -> Vec<u32> {
-        let mut out = vec![0u32; emb_positions.len()];
+        let mut out = Vec::new();
+        self.to_query_order_into(emb_positions, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Plan::to_query_order`]: writes into
+    /// `out` (cleared first), for reuse on the delivery hot path.
+    pub fn to_query_order_into(&self, emb_positions: &[u32], out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(emb_positions.len(), 0);
         for (edge, &pos) in self.position.iter().enumerate() {
             out[edge] = emb_positions[pos as usize];
         }
-        out
     }
 }
 
@@ -149,10 +157,17 @@ impl Planner {
     /// be a permutation of `0..query.num_edges()`; HGMatch works with any
     /// connected order (§V-A).
     pub fn plan_with_order(query: &QueryGraph, data: &Hypergraph, order: Vec<u32>) -> Result<Plan> {
-        assert_eq!(order.len(), query.num_edges(), "order must cover all query edges");
+        assert_eq!(
+            order.len(),
+            query.num_edges(),
+            "order must cover all query edges"
+        );
         let mut seen = vec![false; order.len()];
         for &e in &order {
-            assert!(!std::mem::replace(&mut seen[e as usize], true), "order must be a permutation");
+            assert!(
+                !std::mem::replace(&mut seen[e as usize], true),
+                "order must be a permutation"
+            );
         }
         Ok(Self::compile(query, data, order))
     }
@@ -160,8 +175,7 @@ impl Planner {
     /// Algorithm 3: greedy cardinality-over-connectivity order.
     fn matching_order(query: &QueryGraph, data: &Hypergraph) -> Vec<u32> {
         let ne = query.num_edges();
-        let card =
-            |e: usize| data.cardinality(query.signature(e)) as f64;
+        let card = |e: usize| data.cardinality(query.signature(e)) as f64;
 
         // Start with the smallest-cardinality hyperedge.
         let first = (0..ne)
@@ -182,8 +196,11 @@ impl Planner {
                 if in_order & (1 << e) != 0 {
                     continue;
                 }
-                let overlap =
-                    query.edge(e).iter().filter(|&&v| covered[v as usize]).count();
+                let overlap = query
+                    .edge(e)
+                    .iter()
+                    .filter(|&&v| covered[v as usize])
+                    .count();
                 if overlap == 0 {
                     continue;
                 }

@@ -40,11 +40,13 @@ impl QueryGraph {
             return Err(MatchError::EmptyQuery);
         }
         if ne > MAX_QUERY_EDGES {
-            return Err(MatchError::QueryTooLarge { edges: ne, max: MAX_QUERY_EDGES });
+            return Err(MatchError::QueryTooLarge {
+                edges: ne,
+                max: MAX_QUERY_EDGES,
+            });
         }
 
-        let edges: Vec<Vec<u32>> =
-            query.iter_edges().map(|(_, vs)| vs.to_vec()).collect();
+        let edges: Vec<Vec<u32>> = query.iter_edges().map(|(_, vs)| vs.to_vec()).collect();
         let labels = query.labels().to_vec();
         let signatures: Vec<Signature> = edges
             .iter()
@@ -67,7 +69,13 @@ impl QueryGraph {
             *adj = mask & !(1 << i);
         }
 
-        Ok(Self { edges, signatures, labels, adjacency, incidence })
+        Ok(Self {
+            edges,
+            signatures,
+            labels,
+            adjacency,
+            incidence,
+        })
     }
 
     /// Number of query hyperedges `|E(q)|`.

@@ -161,7 +161,10 @@ pub struct CallbackSink<F: Fn(&[u32]) + Sync> {
 impl<F: Fn(&[u32]) + Sync> CallbackSink<F> {
     /// Wraps `callback`; it is invoked once per embedding, concurrently.
     pub fn new(callback: F) -> Self {
-        Self { count: AtomicU64::new(0), callback }
+        Self {
+            count: AtomicU64::new(0),
+            callback,
+        }
     }
 
     /// Number of embeddings streamed.

@@ -54,6 +54,7 @@ impl ValidateScratch {
 /// whose global id is `cand_global` and sorted vertex list `cand_vertices`.
 ///
 /// `state` must have been [`ExpansionState::prepare`]d for `(step, emb)`.
+#[allow(clippy::too_many_arguments)] // hot-path kernel: explicit borrows beat a context struct here
 pub fn validate_candidate(
     data: &Hypergraph,
     step: &Step,
@@ -70,25 +71,31 @@ pub fn validate_candidate(
         return Validation::Duplicate;
     }
 
+    // One pass over the candidate's vertices builds both checks from the
+    // expansion state's precomputed per-vertex prev-edge membership masks
+    // (one binary search per vertex instead of one per previous edge):
+    // the distinct-vertex count of Observation V.5 and the dynamic side of
+    // the Theorem V.2 vertex profiles.
+    let current_bit = 1u64 << step_index;
+    let mut new_vertices = 0usize;
+    scratch.profiles.clear();
+    for &v in cand_vertices {
+        let mask = match state.vertex_entry(v) {
+            Some(entry) => entry.mask | current_bit,
+            None => {
+                new_vertices += 1;
+                current_bit
+            }
+        };
+        scratch.profiles.push((data.label(v.into()), mask));
+    }
+
     // Observation V.5 — cheap first: |V(Hm')| must equal |V(q')|.
-    let new_vertices =
-        cand_vertices.iter().filter(|&&v| !state.contains_vertex(v)).count();
     if state.num_vertices() + new_vertices != step.vertices_after as usize {
         return Validation::WrongVertexCount;
     }
 
     // Theorem V.2 — compare vertex-profile multisets for the new hyperedge.
-    let current_bit = 1u64 << step_index;
-    scratch.profiles.clear();
-    for &v in cand_vertices {
-        let mut mask = current_bit;
-        for (j, &prev) in emb.iter().enumerate() {
-            if data.edge_vertices(prev.into()).binary_search(&v).is_ok() {
-                mask |= 1 << j;
-            }
-        }
-        scratch.profiles.push((data.label(v.into()), mask));
-    }
     scratch.profiles.sort_unstable();
     if scratch.profiles == step.profiles {
         Validation::Valid

@@ -56,8 +56,11 @@ fn random_walk_query(data: &Hypergraph, seed: u64, k: usize) -> Option<Hypergrap
         edges.push(frontier[rng.random_range(0..frontier.len())]);
     }
     // Extract into a standalone query hypergraph.
-    let mut vertices: Vec<u32> =
-        edges.iter().flat_map(|&e| data.edge_vertices(EdgeId::new(e))).copied().collect();
+    let mut vertices: Vec<u32> = edges
+        .iter()
+        .flat_map(|&e| data.edge_vertices(EdgeId::new(e)))
+        .copied()
+        .collect();
     vertices.sort_unstable();
     vertices.dedup();
     let mut b = HypergraphBuilder::new();
@@ -121,7 +124,10 @@ fn executors_agree_on_random_instances() {
             };
             let results = count_all_executors(&data, &query);
             let reference = results[0].1;
-            assert!(reference >= 1, "planted query must be found (seed {seed}, k {k})");
+            assert!(
+                reference >= 1,
+                "planted query must be found (seed {seed}, k {k})"
+            );
             for (name, count) in &results {
                 assert_eq!(
                     *count, reference,
@@ -182,7 +188,14 @@ fn matching_order_does_not_change_counts() {
         sink.count()
     };
     // All 6 permutations of 3 query edges.
-    for order in [[0u32, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+    for order in [
+        [0u32, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ] {
         let plan = Planner::plan_with_order(&qg, &data, order.to_vec()).unwrap();
         let sink = CountSink::new();
         SequentialExecutor::run(&plan, &data, &sink, &MatchConfig::sequential());

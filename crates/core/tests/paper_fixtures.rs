@@ -62,7 +62,18 @@ fn fig5_dataflow_shape() {
     let plan = Planner::plan_with_order(&query, &data, vec![0, 1, 2]).unwrap();
     let dataflow = Dataflow::from_plan(&plan, &data);
     match dataflow.operators() {
-        [Operator::Scan { query_edge: 0, cardinality: 2 }, Operator::Expand { query_edge: 1, cardinality: 2, .. }, Operator::Expand { query_edge: 2, cardinality: 2, .. }, Operator::Sink] => {}
+        [Operator::Scan {
+            query_edge: 0,
+            cardinality: 2,
+        }, Operator::Expand {
+            query_edge: 1,
+            cardinality: 2,
+            ..
+        }, Operator::Expand {
+            query_edge: 2,
+            cardinality: 2,
+            ..
+        }, Operator::Sink] => {}
         other => panic!("unexpected dataflow {other:?}"),
     }
 }

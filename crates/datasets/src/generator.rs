@@ -96,7 +96,11 @@ impl Default for GeneratorConfig {
             num_edges: 5_000,
             num_labels: 8,
             label_skew: 0.5,
-            arity: ArityDistribution::Geometric { min: 2, p: 0.45, max: 12 },
+            arity: ArityDistribution::Geometric {
+                min: 2,
+                p: 0.45,
+                max: 12,
+            },
             degree_skew: 0.8,
             seed: 42,
         }
@@ -123,7 +127,9 @@ impl ZipfSampler {
     fn sample<R: RngExt>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("non-empty sampler");
         let x = rng.random::<f64>() * total;
-        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -184,7 +190,9 @@ pub fn generate(config: &GeneratorConfig) -> Hypergraph {
         }
     }
 
-    builder.build().expect("generator produces structurally valid hypergraphs")
+    builder
+        .build()
+        .expect("generator produces structurally valid hypergraphs")
 }
 
 #[cfg(test)]
@@ -193,7 +201,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let config = GeneratorConfig { num_vertices: 200, num_edges: 400, ..Default::default() };
+        let config = GeneratorConfig {
+            num_vertices: 200,
+            num_edges: 400,
+            ..Default::default()
+        };
         let a = generate(&config);
         let b = generate(&config);
         assert_eq!(a.num_edges(), b.num_edges());
@@ -224,7 +236,11 @@ mod tests {
         };
         let h = generate(&config);
         assert_eq!(h.num_vertices(), 500);
-        assert!(h.num_edges() > 900, "dup-drop should lose few edges, got {}", h.num_edges());
+        assert!(
+            h.num_edges() > 900,
+            "dup-drop should lose few edges, got {}",
+            h.num_edges()
+        );
         assert!(h.max_arity() <= 6);
         assert!(h.stats().num_labels <= 5);
         for (_, vs) in h.iter_edges() {
@@ -273,7 +289,11 @@ mod tests {
         let h = generate(&GeneratorConfig {
             num_vertices: 2000,
             num_edges: 3000,
-            arity: ArityDistribution::Geometric { min: 2, p: 0.5, max: 20 },
+            arity: ArityDistribution::Geometric {
+                min: 2,
+                p: 0.5,
+                max: 20,
+            },
             ..Default::default()
         });
         let avg = h.average_arity();
@@ -290,7 +310,10 @@ mod tests {
             arity: ArityDistribution::Uniform { min: 1, max: 4 },
             ..Default::default()
         });
-        assert!(h.num_edges() <= 1, "only one distinct edge exists over one vertex");
+        assert!(
+            h.num_edges() <= 1,
+            "only one distinct edge exists over one vertex"
+        );
     }
 
     #[test]

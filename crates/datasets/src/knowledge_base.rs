@@ -121,9 +121,9 @@ impl KnowledgeBase {
         let mut names = Vec::new();
 
         let add_entities = |builder: &mut HypergraphBuilder,
-                                names: &mut Vec<String>,
-                                ty: EntityType,
-                                n: usize|
+                            names: &mut Vec<String>,
+                            ty: EntityType,
+                            n: usize|
          -> Vec<u32> {
             (0..n)
                 .map(|i| {
@@ -133,14 +133,43 @@ impl KnowledgeBase {
                 .collect()
         };
 
-        let players = add_entities(&mut builder, &mut names, EntityType::Player, config.num_players);
+        let players = add_entities(
+            &mut builder,
+            &mut names,
+            EntityType::Player,
+            config.num_players,
+        );
         let teams = add_entities(&mut builder, &mut names, EntityType::Team, config.num_teams);
-        let matches = add_entities(&mut builder, &mut names, EntityType::Match, config.num_matches);
-        let actors = add_entities(&mut builder, &mut names, EntityType::Actor, config.num_actors);
-        let characters =
-            add_entities(&mut builder, &mut names, EntityType::Character, config.num_characters);
-        let shows = add_entities(&mut builder, &mut names, EntityType::TvShow, config.num_shows);
-        let seasons = add_entities(&mut builder, &mut names, EntityType::Season, config.num_seasons);
+        let matches = add_entities(
+            &mut builder,
+            &mut names,
+            EntityType::Match,
+            config.num_matches,
+        );
+        let actors = add_entities(
+            &mut builder,
+            &mut names,
+            EntityType::Actor,
+            config.num_actors,
+        );
+        let characters = add_entities(
+            &mut builder,
+            &mut names,
+            EntityType::Character,
+            config.num_characters,
+        );
+        let shows = add_entities(
+            &mut builder,
+            &mut names,
+            EntityType::TvShow,
+            config.num_shows,
+        );
+        let seasons = add_entities(
+            &mut builder,
+            &mut names,
+            EntityType::Season,
+            config.num_seasons,
+        );
 
         let pick = |rng: &mut StdRng, pool: &[u32]| pool[rng.random_range(0..pool.len())];
 
@@ -189,7 +218,9 @@ impl KnowledgeBase {
             let _ = builder.add_edge(vec![a, c, show, s]);
         }
 
-        let graph = builder.build().expect("knowledge base is structurally valid");
+        let graph = builder
+            .build()
+            .expect("knowledge base is structurally valid");
         Self { graph, names }
     }
 

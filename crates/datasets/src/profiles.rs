@@ -32,7 +32,10 @@ impl DatasetProfile {
 
     /// Generates with a different seed (for repetition studies).
     pub fn generate_seeded(&self, seed: u64) -> Hypergraph {
-        generate(&GeneratorConfig { seed, ..self.config.clone() })
+        generate(&GeneratorConfig {
+            seed,
+            ..self.config.clone()
+        })
     }
 }
 
@@ -48,7 +51,11 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 num_edges: 331,
                 num_labels: 2,
                 label_skew: 0.3,
-                arity: ArityDistribution::Geometric { min: 12, p: 0.045, max: 81 },
+                arity: ArityDistribution::Geometric {
+                    min: 12,
+                    p: 0.045,
+                    max: 81,
+                },
                 degree_skew: 0.7,
                 seed: 0x4843,
             },
@@ -62,7 +69,11 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 num_edges: 1_361,
                 num_labels: 364,
                 label_skew: 0.9,
-                arity: ArityDistribution::Geometric { min: 4, p: 0.048, max: 180 },
+                arity: ArityDistribution::Geometric {
+                    min: 4,
+                    p: 0.048,
+                    max: 180,
+                },
                 degree_skew: 0.9,
                 seed: 0x4D41,
             },
@@ -76,7 +87,11 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 num_edges: 7_818,
                 num_labels: 9,
                 label_skew: 0.4,
-                arity: ArityDistribution::Geometric { min: 2, p: 0.75, max: 5 },
+                arity: ArityDistribution::Geometric {
+                    min: 2,
+                    p: 0.75,
+                    max: 5,
+                },
                 degree_skew: 0.6,
                 seed: 0x4348,
             },
@@ -90,7 +105,11 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 num_edges: 12_704,
                 num_labels: 11,
                 label_skew: 0.4,
-                arity: ArityDistribution::Geometric { min: 2, p: 0.72, max: 5 },
+                arity: ArityDistribution::Geometric {
+                    min: 2,
+                    p: 0.72,
+                    max: 5,
+                },
                 degree_skew: 0.6,
                 seed: 0x4350,
             },
@@ -104,7 +123,11 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 num_edges: 20_584,
                 num_labels: 2,
                 label_skew: 0.2,
-                arity: ArityDistribution::Geometric { min: 3, p: 0.17, max: 99 },
+                arity: ArityDistribution::Geometric {
+                    min: 3,
+                    p: 0.17,
+                    max: 99,
+                },
                 degree_skew: 1.0,
                 seed: 0x5342,
             },
@@ -118,7 +141,11 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 num_edges: 13_240,
                 num_labels: 2,
                 label_skew: 0.2,
-                arity: ArityDistribution::Geometric { min: 4, p: 0.057, max: 200 },
+                arity: ArityDistribution::Geometric {
+                    min: 4,
+                    p: 0.057,
+                    max: 200,
+                },
                 degree_skew: 1.0,
                 seed: 0x4842,
             },
@@ -132,7 +159,11 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 num_edges: 32_753,
                 num_labels: 11,
                 label_skew: 0.6,
-                arity: ArityDistribution::Geometric { min: 2, p: 0.18, max: 25 },
+                arity: ArityDistribution::Geometric {
+                    min: 2,
+                    p: 0.18,
+                    max: 25,
+                },
                 degree_skew: 0.8,
                 seed: 0x5754,
             },
@@ -146,7 +177,11 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 num_edges: 53_120,
                 num_labels: 160,
                 label_skew: 0.8,
-                arity: ArityDistribution::Geometric { min: 2, p: 0.33, max: 85 },
+                arity: ArityDistribution::Geometric {
+                    min: 2,
+                    p: 0.33,
+                    max: 85,
+                },
                 degree_skew: 0.8,
                 seed: 0x5443,
             },
@@ -160,7 +195,11 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 num_edges: 8_618,
                 num_labels: 441,
                 label_skew: 1.0,
-                arity: ArityDistribution::Geometric { min: 4, p: 0.05, max: 480 },
+                arity: ArityDistribution::Geometric {
+                    min: 4,
+                    p: 0.05,
+                    max: 480,
+                },
                 degree_skew: 1.0,
                 seed: 0x5341,
             },
@@ -174,7 +213,11 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 num_edges: 66_236,
                 num_labels: 29,
                 label_skew: 0.7,
-                arity: ArityDistribution::Geometric { min: 2, p: 0.062, max: 146 },
+                arity: ArityDistribution::Geometric {
+                    min: 2,
+                    p: 0.062,
+                    max: 146,
+                },
                 degree_skew: 1.1,
                 seed: 0x4152,
             },
@@ -218,10 +261,18 @@ mod tests {
         let h = profile_by_name("HC").unwrap().generate();
         let stats = h.stats();
         assert_eq!(stats.num_vertices, 1_290);
-        assert!(stats.num_edges >= 300, "dedup losses should be small: {}", stats.num_edges);
+        assert!(
+            stats.num_edges >= 300,
+            "dedup losses should be small: {}",
+            stats.num_edges
+        );
         assert!(stats.num_labels <= 2);
         // Average arity should land near the paper's 34.8 (±40%).
-        assert!((20.0..50.0).contains(&stats.avg_arity), "avg arity {}", stats.avg_arity);
+        assert!(
+            (20.0..50.0).contains(&stats.avg_arity),
+            "avg arity {}",
+            stats.avg_arity
+        );
         assert!(stats.max_arity <= 81);
     }
 
@@ -230,7 +281,11 @@ mod tests {
         let h = profile_by_name("CH").unwrap().generate();
         let stats = h.stats();
         assert!(stats.max_arity <= 5);
-        assert!((1.8..3.2).contains(&stats.avg_arity), "paper: 2.3, got {}", stats.avg_arity);
+        assert!(
+            (1.8..3.2).contains(&stats.avg_arity),
+            "paper: 2.3, got {}",
+            stats.avg_arity
+        );
     }
 
     #[test]

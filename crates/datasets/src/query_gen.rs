@@ -27,10 +27,30 @@ pub struct QuerySetting {
 /// The paper's four standard query settings (Table III).
 pub fn standard_settings() -> [QuerySetting; 4] {
     [
-        QuerySetting { name: "q2", num_edges: 2, min_vertices: 5, max_vertices: 15 },
-        QuerySetting { name: "q3", num_edges: 3, min_vertices: 10, max_vertices: 20 },
-        QuerySetting { name: "q4", num_edges: 4, min_vertices: 10, max_vertices: 30 },
-        QuerySetting { name: "q6", num_edges: 6, min_vertices: 15, max_vertices: 35 },
+        QuerySetting {
+            name: "q2",
+            num_edges: 2,
+            min_vertices: 5,
+            max_vertices: 15,
+        },
+        QuerySetting {
+            name: "q3",
+            num_edges: 3,
+            min_vertices: 10,
+            max_vertices: 20,
+        },
+        QuerySetting {
+            name: "q4",
+            num_edges: 4,
+            min_vertices: 10,
+            max_vertices: 30,
+        },
+        QuerySetting {
+            name: "q6",
+            num_edges: 6,
+            min_vertices: 15,
+            max_vertices: 35,
+        },
     ]
 }
 
@@ -92,7 +112,11 @@ fn walk(data: &Hypergraph, n: usize, rng: &mut StdRng) -> Option<Vec<EdgeId>> {
 }
 
 fn distinct_vertices(data: &Hypergraph, edges: &[EdgeId]) -> usize {
-    let mut vs: Vec<u32> = edges.iter().flat_map(|&e| data.edge_vertices(e)).copied().collect();
+    let mut vs: Vec<u32> = edges
+        .iter()
+        .flat_map(|&e| data.edge_vertices(e))
+        .copied()
+        .collect();
     vs.sort_unstable();
     vs.dedup();
     vs.len()
@@ -101,8 +125,11 @@ fn distinct_vertices(data: &Hypergraph, edges: &[EdgeId]) -> usize {
 /// Extracts the sub-hypergraph induced by `edges`, renumbering vertices
 /// densely and preserving labels.
 fn extract(data: &Hypergraph, edges: &[EdgeId]) -> Hypergraph {
-    let mut vertex_ids: Vec<u32> =
-        edges.iter().flat_map(|&e| data.edge_vertices(e)).copied().collect();
+    let mut vertex_ids: Vec<u32> = edges
+        .iter()
+        .flat_map(|&e| data.edge_vertices(e))
+        .copied()
+        .collect();
     vertex_ids.sort_unstable();
     vertex_ids.dedup();
 
@@ -116,7 +143,9 @@ fn extract(data: &Hypergraph, edges: &[EdgeId]) -> Hypergraph {
             .iter()
             .map(|&v| vertex_ids.binary_search(&v).expect("member vertex") as u32)
             .collect();
-        builder.add_edge(renumbered).expect("extracted edges are valid");
+        builder
+            .add_edge(renumbered)
+            .expect("extracted edges are valid");
     }
     builder.build().expect("extracted sub-hypergraph is valid")
 }
@@ -138,7 +167,15 @@ mod tests {
     #[test]
     fn table3_settings() {
         let s = standard_settings();
-        assert_eq!(s[0], QuerySetting { name: "q2", num_edges: 2, min_vertices: 5, max_vertices: 15 });
+        assert_eq!(
+            s[0],
+            QuerySetting {
+                name: "q2",
+                num_edges: 2,
+                min_vertices: 5,
+                max_vertices: 15
+            }
+        );
         assert_eq!(s[3].num_edges, 6);
         assert_eq!(s[2].max_vertices, 30);
     }
@@ -151,7 +188,11 @@ mod tests {
             assert_eq!(q.num_edges(), setting.num_edges, "{}", setting.name);
             // Connectivity: BFS over shared vertices must reach all edges.
             let qg = hgmatch_core::QueryGraph::new(&q).unwrap();
-            assert!(qg.is_connected(), "{} produced a disconnected query", setting.name);
+            assert!(
+                qg.is_connected(),
+                "{} produced a disconnected query",
+                setting.name
+            );
         }
     }
 

@@ -12,7 +12,11 @@ fn wt_profile_shape() {
     assert!(stats.num_edges > 30_000);
     assert!(stats.num_labels <= 11);
     // Paper WT: a = 6.6, amax = 25.
-    assert!((4.0..9.0).contains(&stats.avg_arity), "avg arity {}", stats.avg_arity);
+    assert!(
+        (4.0..9.0).contains(&stats.avg_arity),
+        "avg arity {}",
+        stats.avg_arity
+    );
     assert!(stats.max_arity <= 25);
 }
 
@@ -31,19 +35,23 @@ fn ar_profile_is_largest() {
     let profiles = all_profiles();
     let ar = profiles.iter().find(|p| p.name == "AR-S").unwrap();
     let h = ar.generate();
-    let max_edges = profiles
-        .iter()
-        .map(|p| p.config.num_edges)
-        .max()
-        .unwrap();
-    assert_eq!(ar.config.num_edges, max_edges, "AR is the edge-count maximum, as in the paper");
+    let max_edges = profiles.iter().map(|p| p.config.num_edges).max().unwrap();
+    assert_eq!(
+        ar.config.num_edges, max_edges,
+        "AR is the edge-count maximum, as in the paper"
+    );
     assert!(h.num_edges() > 50_000);
 }
 
 #[test]
 fn scales_recorded_consistently() {
     for p in all_profiles() {
-        assert!(p.scale > 0.0 && p.scale <= 1.0, "{}: scale {}", p.name, p.scale);
+        assert!(
+            p.scale > 0.0 && p.scale <= 1.0,
+            "{}: scale {}",
+            p.name,
+            p.scale
+        );
         let suffixed = p.name.ends_with("-S");
         assert_eq!(
             p.scale < 1.0,

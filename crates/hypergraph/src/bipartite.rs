@@ -52,8 +52,8 @@ impl BipartiteGraph {
 
         let total = *offsets.last().unwrap() as usize;
         let mut neighbors = vec![0u32; total];
-        for v in 0..nv {
-            let start = offsets[v] as usize;
+        for (v, &offset) in offsets.iter().take(nv).enumerate() {
+            let start = offset as usize;
             for (i, &e) in h.incident_edges(VertexId::from_index(v)).iter().enumerate() {
                 neighbors[start + i] = nv as u32 + e;
             }
@@ -65,7 +65,12 @@ impl BipartiteGraph {
             }
         }
 
-        Self { num_vertex_nodes: nv, labels, offsets, neighbors }
+        Self {
+            num_vertex_nodes: nv,
+            labels,
+            offsets,
+            neighbors,
+        }
     }
 
     /// Total node count (vertices + hyperedges).

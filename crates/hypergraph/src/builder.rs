@@ -41,7 +41,10 @@ impl HypergraphBuilder {
 
     /// Creates a builder with an explicit duplicate policy.
     pub fn with_policy(policy: DuplicatePolicy) -> Self {
-        Self { policy, ..Self::default() }
+        Self {
+            policy,
+            ..Self::default()
+        }
     }
 
     /// Adds a vertex with `label`, returning its id (dense, in call order).
@@ -80,14 +83,19 @@ impl HypergraphBuilder {
         }
         for &v in &vertices {
             if v as usize >= self.labels.len() {
-                return Err(HypergraphError::UnknownVertex { vertex: v, edge_index });
+                return Err(HypergraphError::UnknownVertex {
+                    vertex: v,
+                    edge_index,
+                });
             }
         }
         vertices.sort_unstable();
         let before = vertices.len();
         vertices.dedup();
         if vertices.len() != before && self.policy == DuplicatePolicy::Reject {
-            return Err(HypergraphError::DuplicateVertex { vertex: first_dup(&vertices, before) });
+            return Err(HypergraphError::DuplicateVertex {
+                vertex: first_dup(&vertices, before),
+            });
         }
         if self.seen_edges.contains_key(&vertices) {
             return match self.policy {
@@ -101,7 +109,10 @@ impl HypergraphBuilder {
     }
 
     /// Adds a hyperedge over typed vertex ids.
-    pub fn add_edge_ids(&mut self, vertices: impl IntoIterator<Item = VertexId>) -> Result<Option<EdgeId>> {
+    pub fn add_edge_ids(
+        &mut self,
+        vertices: impl IntoIterator<Item = VertexId>,
+    ) -> Result<Option<EdgeId>> {
         self.add_edge(vertices.into_iter().map(VertexId::raw).collect())
     }
 
@@ -115,16 +126,24 @@ impl HypergraphBuilder {
         // Group edges by signature, preserving global insertion order ids.
         let mut interner = SignatureInterner::new();
         let mut groups: Vec<(Vec<Vec<u32>>, Vec<EdgeId>)> = Vec::new();
-        let mut locator = vec![EdgeLocation { signature: SignatureId::new(0), row: 0 }; edges.len()];
+        let mut locator = vec![
+            EdgeLocation {
+                signature: SignatureId::new(0),
+                row: 0
+            };
+            edges.len()
+        ];
         for (i, edge) in edges.into_iter().enumerate() {
-            let signature =
-                Signature::new(edge.iter().map(|&v| labels[v as usize]).collect());
+            let signature = Signature::new(edge.iter().map(|&v| labels[v as usize]).collect());
             let sid = interner.intern(signature);
             if sid.index() == groups.len() {
                 groups.push((Vec::new(), Vec::new()));
             }
             let (rows, ids) = &mut groups[sid.index()];
-            locator[i] = EdgeLocation { signature: sid, row: rows.len() as u32 };
+            locator[i] = EdgeLocation {
+                signature: sid,
+                row: rows.len() as u32,
+            };
             rows.push(edge);
             ids.push(EdgeId::from_index(i));
         }
@@ -185,7 +204,10 @@ impl HypergraphBuilder {
         let adj_counts = (0..graph.num_vertices())
             .map(|v| graph.adjacent_vertices(VertexId::from_index(v)).len() as u32)
             .collect();
-        Ok(Hypergraph { adj_counts, ..graph })
+        Ok(Hypergraph {
+            adj_counts,
+            ..graph
+        })
     }
 }
 
@@ -214,7 +236,10 @@ mod tests {
         let mut b = HypergraphBuilder::new();
         b.add_vertex(Label::new(0));
         let err = b.add_edge(vec![0, 5]).unwrap_err();
-        assert!(matches!(err, HypergraphError::UnknownVertex { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            HypergraphError::UnknownVertex { vertex: 5, .. }
+        ));
     }
 
     #[test]
@@ -262,15 +287,24 @@ mod tests {
         let e0 = b.add_edge(vec![0, 1]).unwrap().unwrap(); // sig {L0,L1}
         let e1 = b.add_edge(vec![0, 2]).unwrap().unwrap(); // sig {L0,L0}
         let e2 = b.add_edge(vec![1, 2]).unwrap().unwrap(); // sig {L0,L1}
-        assert_eq!((e0, e1, e2), (EdgeId::new(0), EdgeId::new(1), EdgeId::new(2)));
+        assert_eq!(
+            (e0, e1, e2),
+            (EdgeId::new(0), EdgeId::new(1), EdgeId::new(2))
+        );
         let h = b.build().unwrap();
         assert_eq!(h.edge_vertices(EdgeId::new(0)), &[0, 1]);
         assert_eq!(h.edge_vertices(EdgeId::new(1)), &[0, 2]);
         assert_eq!(h.edge_vertices(EdgeId::new(2)), &[1, 2]);
         // Two partitions; e0 and e2 share one.
         assert_eq!(h.partitions().len(), 2);
-        assert_eq!(h.edge_signature(EdgeId::new(0)), h.edge_signature(EdgeId::new(2)));
-        assert_ne!(h.edge_signature(EdgeId::new(0)), h.edge_signature(EdgeId::new(1)));
+        assert_eq!(
+            h.edge_signature(EdgeId::new(0)),
+            h.edge_signature(EdgeId::new(2))
+        );
+        assert_ne!(
+            h.edge_signature(EdgeId::new(0)),
+            h.edge_signature(EdgeId::new(1))
+        );
     }
 
     #[test]

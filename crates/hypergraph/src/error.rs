@@ -31,7 +31,10 @@ impl fmt::Display for HypergraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::UnknownVertex { vertex, edge_index } => {
-                write!(f, "hyperedge #{edge_index} references undeclared vertex {vertex}")
+                write!(
+                    f,
+                    "hyperedge #{edge_index} references undeclared vertex {vertex}"
+                )
             }
             Self::EmptyHyperedge { edge_index } => {
                 write!(f, "hyperedge #{edge_index} is empty")
@@ -70,11 +73,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = HypergraphError::UnknownVertex { vertex: 9, edge_index: 2 };
+        let e = HypergraphError::UnknownVertex {
+            vertex: 9,
+            edge_index: 2,
+        };
         assert!(e.to_string().contains("undeclared vertex 9"));
         let e = HypergraphError::EmptyHyperedge { edge_index: 1 };
         assert!(e.to_string().contains("empty"));
-        let e = HypergraphError::Parse { line: 3, message: "bad label".into() };
+        let e = HypergraphError::Parse {
+            line: 3,
+            message: "bad label".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

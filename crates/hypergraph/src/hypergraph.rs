@@ -185,13 +185,21 @@ impl Hypergraph {
         if self.num_edges() == 0 {
             return 0.0;
         }
-        let total: usize = self.partitions.iter().map(|p| p.len() * p.arity() as usize).sum();
+        let total: usize = self
+            .partitions
+            .iter()
+            .map(|p| p.len() * p.arity() as usize)
+            .sum();
         total as f64 / self.num_edges() as f64
     }
 
     /// Maximum arity `a_max`.
     pub fn max_arity(&self) -> usize {
-        self.partitions.iter().map(|p| p.arity() as usize).max().unwrap_or(0)
+        self.partitions
+            .iter()
+            .map(|p| p.arity() as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Computes summary statistics (the columns of the paper's Table II).
@@ -201,12 +209,18 @@ impl Hypergraph {
 
     /// Total bytes of hyperedge tables (the "graph size" of Fig. 7).
     pub fn table_size_bytes(&self) -> usize {
-        self.partitions.iter().map(Partition::table_size_bytes).sum()
+        self.partitions
+            .iter()
+            .map(Partition::table_size_bytes)
+            .sum()
     }
 
     /// Total bytes of inverted indices (the "index size" of Fig. 7).
     pub fn index_size_bytes(&self) -> usize {
-        self.partitions.iter().map(Partition::index_size_bytes).sum()
+        self.partitions
+            .iter()
+            .map(Partition::index_size_bytes)
+            .sum()
     }
 
     /// Tests whether a sorted vertex set exists as a hyperedge, returning its
@@ -217,7 +231,10 @@ impl Hypergraph {
             return None;
         }
         let signature = Signature::new(
-            sorted_vertices.iter().map(|&v| self.labels[v as usize]).collect(),
+            sorted_vertices
+                .iter()
+                .map(|&v| self.labels[v as usize])
+                .collect(),
         );
         let partition = self.partition_of(&signature)?;
         // Probe the partition's inverted index via the least-frequent vertex.
@@ -278,8 +295,12 @@ mod tests {
         assert_eq!(h.cardinality(&aac), 2);
 
         // {A,A,B,C} partition holds e5, e6.
-        let aabc =
-            Signature::new(vec![Label::new(0), Label::new(0), Label::new(1), Label::new(2)]);
+        let aabc = Signature::new(vec![
+            Label::new(0),
+            Label::new(0),
+            Label::new(1),
+            Label::new(2),
+        ]);
         assert_eq!(h.cardinality(&aabc), 2);
 
         // Missing signature has zero cardinality.
@@ -329,8 +350,12 @@ mod tests {
     #[test]
     fn degree_with_signature_matches_partition_postings() {
         let h = paper_data_graph();
-        let aabc =
-            Signature::new(vec![Label::new(0), Label::new(0), Label::new(1), Label::new(2)]);
+        let aabc = Signature::new(vec![
+            Label::new(0),
+            Label::new(0),
+            Label::new(1),
+            Label::new(2),
+        ]);
         let sid = h.interner().get(&aabc).unwrap();
         assert_eq!(h.degree_with_signature(VertexId::new(4), sid), 2);
         assert_eq!(h.degree_with_signature(VertexId::new(0), sid), 1);

@@ -13,6 +13,31 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bitmap::Bitmap;
+
+/// Partitions with fewer rows than this never materialise bitmaps — the
+/// sorted lists are already tiny (DESIGN.md §5.4).
+const MIN_BITMAP_ROWS: usize = 256;
+
+/// A key is *dense* — and gets a bitmap next to its sorted posting list —
+/// when it covers at least `1/DENSE_KEY_DIV` of the partition's rows.
+const DENSE_KEY_DIV: usize = 32;
+
+/// Sentinel in `dense_idx` for keys without a bitmap.
+const NO_BITMAP: u32 = u32::MAX;
+
+/// A posting set in both of its representations: the sorted row-id list
+/// (always present) and, for dense keys of large partitions, a [`Bitmap`]
+/// over the partition's row space. Consumers pick whichever representation
+/// makes their set operation cheaper (DESIGN.md §5.5).
+#[derive(Debug, Clone, Copy)]
+pub struct Posting<'a> {
+    /// Sorted local row ids.
+    pub list: &'a [u32],
+    /// Dense representation, present only for hot keys.
+    pub bits: Option<&'a Bitmap>,
+}
+
 /// Inverted index from vertex id to a sorted posting list of local hyperedge
 /// row ids within one partition.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,6 +48,12 @@ pub struct InvertedIndex {
     offsets: Vec<u32>,
     /// Concatenated posting lists (local row ids, ascending per key).
     postings: Vec<u32>,
+    /// Rows in the partition this index covers (the bitmap domain).
+    num_rows: u32,
+    /// Per-key index into `bitmaps`, or [`NO_BITMAP`].
+    dense_idx: Vec<u32>,
+    /// Bitmaps of the dense keys, in key order.
+    bitmaps: Vec<Bitmap>,
 }
 
 impl InvertedIndex {
@@ -53,7 +84,65 @@ impl InvertedIndex {
             postings.push(row);
             *offsets.last_mut().unwrap() = postings.len() as u32;
         }
-        Self { keys, offsets, postings }
+
+        // Adaptive representation switch: dense keys of large partitions
+        // additionally carry a bitmap over the row space, so consumers can
+        // run word-wide set algebra against hub vertices.
+        let num_rows = rows.len() as u32;
+        let mut dense_idx = vec![NO_BITMAP; keys.len()];
+        let mut bitmaps = Vec::new();
+        if rows.len() >= MIN_BITMAP_ROWS {
+            for i in 0..keys.len() {
+                let start = offsets[i] as usize;
+                let end = offsets[i + 1] as usize;
+                if (end - start) * DENSE_KEY_DIV >= rows.len() {
+                    dense_idx[i] = bitmaps.len() as u32;
+                    bitmaps.push(Bitmap::from_sorted(&postings[start..end], num_rows));
+                }
+            }
+        }
+        Self {
+            keys,
+            offsets,
+            postings,
+            num_rows,
+            dense_idx,
+            bitmaps,
+        }
+    }
+
+    /// Number of rows in the partition this index covers (the domain of
+    /// posting bitmaps).
+    #[inline]
+    pub fn num_rows(&self) -> u32 {
+        self.num_rows
+    }
+
+    /// Returns the posting set for `vertex` in both representations (the
+    /// bitmap side is `None` for sparse keys and absent vertices).
+    #[inline]
+    pub fn posting(&self, vertex: u32) -> Posting<'_> {
+        match self.keys.binary_search(&vertex) {
+            Ok(i) => {
+                let start = self.offsets[i] as usize;
+                let end = self.offsets[i + 1] as usize;
+                let dense = self.dense_idx[i];
+                Posting {
+                    list: &self.postings[start..end],
+                    bits: (dense != NO_BITMAP).then(|| &self.bitmaps[dense as usize]),
+                }
+            }
+            Err(_) => Posting {
+                list: &[],
+                bits: None,
+            },
+        }
+    }
+
+    /// Number of keys carrying a dense (bitmap) representation.
+    #[inline]
+    pub fn num_dense_keys(&self) -> usize {
+        self.bitmaps.len()
     }
 
     /// Returns the posting list (sorted local row ids) for `vertex`, or an
@@ -82,9 +171,12 @@ impl InvertedIndex {
         self.keys.len()
     }
 
-    /// Approximate heap size of the index in bytes.
+    /// Approximate heap size of the index in bytes, including the bitmaps
+    /// of dense keys.
     pub fn size_bytes(&self) -> usize {
-        (self.keys.len() + self.offsets.len() + self.postings.len()) * std::mem::size_of::<u32>()
+        (self.keys.len() + self.offsets.len() + self.postings.len() + self.dense_idx.len())
+            * std::mem::size_of::<u32>()
+            + self.bitmaps.iter().map(Bitmap::size_bytes).sum::<usize>()
     }
 
     /// Iterates `(vertex, posting list)` pairs in ascending vertex order.
@@ -146,7 +238,45 @@ mod tests {
     fn size_accounts_all_arrays() {
         let rows: Vec<&[u32]> = vec![&[1, 2]];
         let idx = InvertedIndex::build(&rows);
-        // keys=2, offsets=3, postings=2 → 7 u32s.
-        assert_eq!(idx.size_bytes(), 7 * 4);
+        // keys=2, offsets=3, postings=2, dense_idx=2 → 9 u32s, no bitmaps.
+        assert_eq!(idx.size_bytes(), 9 * 4);
+        assert_eq!(idx.num_dense_keys(), 0);
+    }
+
+    #[test]
+    fn small_partitions_stay_list_only() {
+        let rows: Vec<Vec<u32>> = (0..100).map(|_| vec![7u32]).collect();
+        let refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let idx = InvertedIndex::build(&refs);
+        // Vertex 7 is in every row, but 100 rows < MIN_BITMAP_ROWS.
+        assert_eq!(idx.num_dense_keys(), 0);
+        assert!(idx.posting(7).bits.is_none());
+        assert_eq!(idx.posting(7).list.len(), 100);
+    }
+
+    #[test]
+    fn dense_keys_get_bitmaps_sparse_keys_do_not() {
+        // 512 rows; vertex 1 in every row (dense), vertex `100 + r` unique
+        // per row (sparse).
+        let rows: Vec<Vec<u32>> = (0..512u32).map(|r| vec![1, 100 + r]).collect();
+        let refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let idx = InvertedIndex::build(&refs);
+        assert_eq!(idx.num_rows(), 512);
+        assert_eq!(idx.num_dense_keys(), 1);
+
+        let dense = idx.posting(1);
+        assert_eq!(dense.list.len(), 512);
+        let bits = dense.bits.expect("hub vertex must be dense");
+        assert_eq!(bits.to_sorted(), dense.list);
+
+        let sparse = idx.posting(100);
+        assert_eq!(sparse.list, &[0]);
+        assert!(sparse.bits.is_none());
+
+        let absent = idx.posting(99);
+        assert!(absent.list.is_empty() && absent.bits.is_none());
+
+        // Bitmap bytes are accounted.
+        assert!(idx.size_bytes() > (idx.num_keys() * 2 + 1 + idx.num_postings()) * 4);
     }
 }

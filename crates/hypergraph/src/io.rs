@@ -143,7 +143,9 @@ pub fn encode_binary(h: &Hypergraph) -> Bytes {
 pub fn decode_binary(mut data: &[u8]) -> Result<Hypergraph> {
     fn need(data: &[u8], n: usize, what: &str) -> Result<()> {
         if data.remaining() < n {
-            return Err(HypergraphError::Corrupt(format!("truncated while reading {what}")));
+            return Err(HypergraphError::Corrupt(format!(
+                "truncated while reading {what}"
+            )));
         }
         Ok(())
     }
@@ -156,7 +158,9 @@ pub fn decode_binary(mut data: &[u8]) -> Result<Hypergraph> {
     }
     let version = data.get_u32_le();
     if version != VERSION {
-        return Err(HypergraphError::Corrupt(format!("unsupported version {version}")));
+        return Err(HypergraphError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
     }
 
     need(data, 4, "vertex count")?;
@@ -279,12 +283,18 @@ mod tests {
         // Bad magic.
         let mut bad = bytes.to_vec();
         bad[0] = b'X';
-        assert!(matches!(decode_binary(&bad), Err(HypergraphError::Corrupt(_))));
+        assert!(matches!(
+            decode_binary(&bad),
+            Err(HypergraphError::Corrupt(_))
+        ));
 
         // Bad version.
         let mut bad = bytes.to_vec();
         bad[4] = 0xFF;
-        assert!(matches!(decode_binary(&bad), Err(HypergraphError::Corrupt(_))));
+        assert!(matches!(
+            decode_binary(&bad),
+            Err(HypergraphError::Corrupt(_))
+        ));
 
         // Truncation at every prefix must error, never panic.
         for cut in 0..bytes.len() {
@@ -297,7 +307,10 @@ mod tests {
         // Trailing junk.
         let mut bad = bytes.to_vec();
         bad.push(0);
-        assert!(matches!(decode_binary(&bad), Err(HypergraphError::Corrupt(_))));
+        assert!(matches!(
+            decode_binary(&bad),
+            Err(HypergraphError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! the match-by-hyperedge framework spends its time.
 
 pub mod bipartite;
+pub mod bitmap;
 pub mod builder;
 pub mod error;
 pub mod fxhash;
@@ -36,11 +37,12 @@ pub mod setops;
 pub mod signature;
 pub mod stats;
 
+pub use bitmap::Bitmap;
 pub use builder::HypergraphBuilder;
 pub use error::{HypergraphError, Result};
 pub use hypergraph::Hypergraph;
 pub use ids::{EdgeId, Label, SignatureId, VertexId};
-pub use inverted::InvertedIndex;
+pub use inverted::{InvertedIndex, Posting};
 pub use partition::Partition;
 pub use signature::{Signature, SignatureInterner};
 pub use stats::HypergraphStats;

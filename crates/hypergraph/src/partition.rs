@@ -32,8 +32,17 @@ impl Partition {
     /// # Panics
     /// Panics if any row's length differs from `arity`, or if row vertex
     /// lists are not strictly sorted (debug builds).
-    pub fn new(signature: SignatureId, arity: u32, rows: Vec<Vec<u32>>, global_ids: Vec<EdgeId>) -> Self {
-        assert_eq!(rows.len(), global_ids.len(), "rows and global ids must align");
+    pub fn new(
+        signature: SignatureId,
+        arity: u32,
+        rows: Vec<Vec<u32>>,
+        global_ids: Vec<EdgeId>,
+    ) -> Self {
+        assert_eq!(
+            rows.len(),
+            global_ids.len(),
+            "rows and global ids must align"
+        );
         let mut vertices = Vec::with_capacity(rows.len() * arity as usize);
         for row in &rows {
             assert_eq!(row.len(), arity as usize, "row arity mismatch");
@@ -45,7 +54,13 @@ impl Partition {
         }
         let row_slices: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
         let index = InvertedIndex::build(&row_slices);
-        Self { signature, arity, vertices, global_ids, index }
+        Self {
+            signature,
+            arity,
+            vertices,
+            global_ids,
+            index,
+        }
     }
 
     /// The signature id all rows in this partition share.
@@ -103,6 +118,13 @@ impl Partition {
     #[inline]
     pub fn incident_rows(&self, vertex: u32) -> &[u32] {
         self.index.postings(vertex)
+    }
+
+    /// Posting set of `vertex` in both representations (sorted list plus a
+    /// bitmap for dense keys) — lets Algorithm 4 pick the cheaper one.
+    #[inline]
+    pub fn incident_posting(&self, vertex: u32) -> crate::inverted::Posting<'_> {
+        self.index.posting(vertex)
     }
 
     /// Iterates `(local row, vertex list)` pairs.
@@ -176,7 +198,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "row arity mismatch")]
     fn arity_mismatch_panics() {
-        let _ = Partition::new(SignatureId::new(0), 3, vec![vec![0, 1]], vec![EdgeId::new(0)]);
+        let _ = Partition::new(
+            SignatureId::new(0),
+            3,
+            vec![vec![0, 1]],
+            vec![EdgeId::new(0)],
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@ impl Signature {
     /// Builds a signature from an arbitrary label sequence (sorted here).
     pub fn new(mut labels: Vec<Label>) -> Self {
         labels.sort_unstable();
-        Self { labels: labels.into_boxed_slice() }
+        Self {
+            labels: labels.into_boxed_slice(),
+        }
     }
 
     /// Builds a signature from labels already known to be sorted.
@@ -34,8 +36,13 @@ impl Signature {
     /// # Panics
     /// Panics in debug builds if `labels` is not sorted.
     pub fn from_sorted(labels: Vec<Label>) -> Self {
-        debug_assert!(labels.windows(2).all(|w| w[0] <= w[1]), "labels must be sorted");
-        Self { labels: labels.into_boxed_slice() }
+        debug_assert!(
+            labels.windows(2).all(|w| w[0] <= w[1]),
+            "labels must be sorted"
+        );
+        Self {
+            labels: labels.into_boxed_slice(),
+        }
     }
 
     /// The arity (hyperedge size) this signature describes.
@@ -71,7 +78,10 @@ impl Signature {
 
     /// Iterates over `(label, multiplicity)` pairs in ascending label order.
     pub fn label_counts(&self) -> impl Iterator<Item = (Label, usize)> + '_ {
-        LabelRuns { labels: &self.labels, pos: 0 }
+        LabelRuns {
+            labels: &self.labels,
+            pos: 0,
+        }
     }
 }
 
@@ -156,7 +166,10 @@ impl SignatureInterner {
 
     /// Iterates all interned signatures with their ids.
     pub fn iter(&self) -> impl Iterator<Item = (SignatureId, &Signature)> {
-        self.signatures.iter().enumerate().map(|(i, s)| (SignatureId::from_index(i), s))
+        self.signatures
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SignatureId::from_index(i), s))
     }
 }
 

@@ -88,6 +88,112 @@ proptest! {
     }
 }
 
+/// Strategy: a sorted set sized to sit on either side of the dispatcher's
+/// gallop ratio (16×) against a partner of ~1000 elements — the adversarial
+/// shapes for kernel selection: 1000/62 ≈ ratio boundary, plus far-smaller
+/// and equal-size extremes.
+fn ratio_adversarial_pair() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (0usize..5).prop_flat_map(|shape| {
+        let small_size = match shape {
+            0 => 1usize..4,      // extreme gallop
+            1 => 50usize..70,    // straddles 1000/16 = 62.5
+            2 => 120usize..140,  // just below ratio: merge/SIMD
+            3 => 900usize..1100, // equal sized: SIMD block path
+            _ => 15usize..17,    // SIMD_MIN_LEN boundary
+        };
+        (
+            proptest::collection::btree_set(0u32..4000, small_size)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+            proptest::collection::btree_set(0u32..4000, 950usize..1050)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// SIMD dispatch (intersection/difference) against the scalar oracle on
+    /// adversarial size ratios, in both argument orders.
+    #[test]
+    fn simd_kernels_match_scalar_oracle((a, b) in ratio_adversarial_pair()) {
+        let mut auto_out = Vec::new();
+        let mut scalar_out = Vec::new();
+        for (x, y) in [(&a, &b), (&b, &a)] {
+            setops::intersect_into(x, y, &mut auto_out);
+            setops::intersect_into_scalar(x, y, &mut scalar_out);
+            prop_assert_eq!(&auto_out, &scalar_out);
+            prop_assert!(setops::is_strictly_sorted(&auto_out));
+
+            setops::difference_into(x, y, &mut auto_out);
+            setops::difference_into_scalar(x, y, &mut scalar_out);
+            prop_assert_eq!(&auto_out, &scalar_out);
+            prop_assert!(setops::is_strictly_sorted(&auto_out));
+        }
+    }
+
+    /// Bitmap set algebra against the scalar list kernels as oracle.
+    #[test]
+    fn bitmap_kernels_match_scalar_oracle((a, b) in ratio_adversarial_pair()) {
+        use hgmatch_hypergraph::Bitmap;
+        let domain = 4000u32;
+        let ba = Bitmap::from_sorted(&a, domain);
+        let bb = Bitmap::from_sorted(&b, domain);
+
+        let mut and = ba.clone();
+        and.intersect_assign(&bb);
+        prop_assert_eq!(and.to_sorted(), setops::intersect(&a, &b));
+
+        let mut or = ba.clone();
+        or.union_assign(&bb);
+        prop_assert_eq!(or.to_sorted(), setops::union(&a, &b));
+
+        let mut not = ba.clone();
+        not.difference_assign(&bb);
+        prop_assert_eq!(not.to_sorted(), setops::difference(&a, &b));
+
+        // Filter forms agree with materialised set algebra.
+        let mut filtered = Vec::new();
+        bb.filter_list_into(&a, &mut filtered);
+        prop_assert_eq!(&filtered, &setops::intersect(&a, &b));
+        bb.filter_list_out(&a, &mut filtered);
+        prop_assert_eq!(&filtered, &setops::difference(&a, &b));
+    }
+
+    /// Degenerate inputs: empty, identical and disjoint lists through every
+    /// dispatch path.
+    #[test]
+    fn kernel_edge_cases_hold(a in sorted_set()) {
+        let empty: Vec<u32> = Vec::new();
+        prop_assert_eq!(setops::intersect(&a, &empty), empty.clone());
+        prop_assert_eq!(setops::intersect(&a, &a), a.clone());
+        prop_assert_eq!(setops::difference(&a, &a), empty.clone());
+        prop_assert_eq!(setops::difference(&a, &empty), a.clone());
+        prop_assert_eq!(setops::union(&a, &empty), a.clone());
+        let shifted: Vec<u32> = a.iter().map(|&v| v + 10_000).collect();
+        prop_assert_eq!(setops::intersect(&a, &shifted), empty);
+        prop_assert_eq!(setops::difference(&a, &shifted), a.clone());
+    }
+
+    /// The k-way tournament union agrees with a BTreeSet fold for any number
+    /// of inputs (both below and above the tournament threshold).
+    #[test]
+    fn kway_union_matches_btreeset(lists in proptest::collection::vec(sorted_set(), 0..10)) {
+        let mut refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+        let mut out = Vec::new();
+        let mut scratch = setops::MultiwayScratch::new();
+        setops::union_many_into(&mut refs, &mut out, &mut scratch);
+        let expected: Vec<u32> = {
+            let mut all: BTreeSet<u32> = BTreeSet::new();
+            for l in &lists {
+                all.extend(l.iter().copied());
+            }
+            all.into_iter().collect()
+        };
+        prop_assert_eq!(out, expected);
+    }
+}
+
 /// Strategy: a random small hypergraph as (labels, edges).
 fn hypergraph_parts() -> impl Strategy<Value = (Vec<u32>, Vec<Vec<u32>>)> {
     (2usize..30).prop_flat_map(|nv| {

@@ -16,7 +16,12 @@ fn main() {
     // work to balance.
     let profile = profile_by_name("WT").expect("profile exists");
     let data = profile.generate();
-    println!("Dataset {}: {} vertices, {} hyperedges", profile.name, data.num_vertices(), data.num_edges());
+    println!(
+        "Dataset {}: {} vertices, {} hyperedges",
+        profile.name,
+        data.num_vertices(),
+        data.num_edges()
+    );
 
     // A q3 query (3 hyperedges) sampled by random walk — guaranteed ≥ 1
     // embedding. Scan a few seeds for a reasonably heavy one.
@@ -30,10 +35,16 @@ fn main() {
         })
         .max_by_key(|(_, c)| *c)
         .expect("sampled a query");
-    println!("query: |E(q)| = {}, |V(q)| = {}, embeddings = {count}", query.num_edges(), query.num_vertices());
+    println!(
+        "query: |E(q)| = {}, |V(q)| = {}, embeddings = {count}",
+        query.num_edges(),
+        query.num_vertices()
+    );
 
     let plan = matcher.plan(&query).unwrap();
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     println!("\nthreads  seconds   speedup  steals");
     let mut base = None;
@@ -46,7 +57,10 @@ fn main() {
         let secs = stats.elapsed.as_secs_f64();
         let base_secs = *base.get_or_insert(secs);
         let steals: u64 = stats.workers.iter().map(|w| w.steals).sum();
-        println!("{threads:>7}  {secs:>8.4}  {:>6.2}x  {steals:>6}", base_secs / secs.max(1e-9));
+        println!(
+            "{threads:>7}  {secs:>8.4}  {:>6.2}x  {steals:>6}",
+            base_secs / secs.max(1e-9)
+        );
         threads *= 2;
     }
 

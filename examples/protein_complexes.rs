@@ -27,7 +27,11 @@ fn main() {
         num_edges: 8_000,
         num_labels: 6,
         label_skew: 0.4,
-        arity: ArityDistribution::Geometric { min: 2, p: 0.35, max: 8 },
+        arity: ArityDistribution::Geometric {
+            min: 2,
+            p: 0.35,
+            max: 8,
+        },
         degree_skew: 0.9,
         seed: 1905,
     });
@@ -65,7 +69,9 @@ fn main() {
     let motif = signalling_motif();
 
     // Search with all cores.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let matcher = Matcher::with_config(&interactome, MatchConfig::parallel(threads));
 
     let (count, stats) = matcher.count_with_stats(&motif).unwrap();

@@ -30,7 +30,11 @@ fn main() {
     builder.add_edge(vec![2, 3, 4, 5]).unwrap(); // e6 {v2, v3, v4, v5}
     let data = builder.build().unwrap();
 
-    println!("Data hypergraph: {} vertices, {} hyperedges", data.num_vertices(), data.num_edges());
+    println!(
+        "Data hypergraph: {} vertices, {} hyperedges",
+        data.num_vertices(),
+        data.num_edges()
+    );
     println!("Signature partitions (Table I):");
     for partition in data.partitions() {
         let signature = data.interner().resolve(partition.signature());
