@@ -28,9 +28,7 @@ use hgmatch_hypergraph::setops;
 use crate::config::MatchConfig;
 use crate::plan::Step;
 
-/// Partitions smaller than this always use the sorted-list path; matches
-/// the inverted index's own bitmap threshold.
-const MIN_BITMAP_ROWS: usize = 256;
+use hgmatch_hypergraph::inverted::MIN_BITMAP_ROWS;
 
 /// The bitmap accumulator is chosen when the postings to union hold at
 /// least `rows / LIST_DENSITY_DIV` entries (or any of them already has a

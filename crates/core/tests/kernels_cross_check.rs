@@ -19,6 +19,15 @@ use std::sync::Mutex;
 /// deterministic.)
 static MODE_LOCK: Mutex<()> = Mutex::new(());
 
+/// Acquires [`MODE_LOCK`], recovering from a poisoned lock by clearing any
+/// kernel mode a panicked prior test may have leaked.
+fn lock_mode() -> std::sync::MutexGuard<'static, ()> {
+    MODE_LOCK.lock().unwrap_or_else(|poisoned| {
+        setops::set_kernel_mode(KernelMode::Auto);
+        poisoned.into_inner()
+    })
+}
+
 /// Deterministic random hypergraph. With few labels and low arity many
 /// hyperedges share a signature, producing the large partitions the bitmap
 /// and SIMD paths trigger on.
@@ -116,7 +125,7 @@ fn counts_under(mode: KernelMode, data: &Hypergraph, query: &Hypergraph) -> Vec<
 
 #[test]
 fn scalar_and_simd_kernels_agree_end_to_end() {
-    let _guard = MODE_LOCK.lock().unwrap();
+    let _guard = lock_mode();
     // Large two-label instance: {A,A}-style partitions hold hundreds of
     // rows, so the inverted index materialises dense bitmaps and the SIMD
     // kernels run on real posting lists.
@@ -146,20 +155,24 @@ fn scalar_and_simd_kernels_agree_end_to_end() {
 
 #[test]
 fn kernel_mode_does_not_leak_between_runs() {
-    let _guard = MODE_LOCK.lock().unwrap();
+    let _guard = lock_mode();
     // Sanity: after a ForceScalar run the mode restores to Auto, and both
     // modes remain reproducible on the same instance.
     let data = random_hypergraph(77, 30, 400, 2, 3);
     let query = random_walk_query(&data, 5, 2).expect("query");
     let first = counts_under(KernelMode::ForceScalar, &data, &query);
-    assert_eq!(setops::kernel_mode(), KernelMode::Auto);
+    if !setops::env_forced_scalar() {
+        // The env override pins ForceScalar process-wide; only without it
+        // can the mode restore to Auto.
+        assert_eq!(setops::kernel_mode(), KernelMode::Auto);
+    }
     let second = counts_under(KernelMode::ForceScalar, &data, &query);
     assert_eq!(first, second);
 }
 
 #[test]
 fn dense_hub_partition_agrees_across_kernel_families() {
-    let _guard = MODE_LOCK.lock().unwrap();
+    let _guard = lock_mode();
     // Star data around hub vertices: one giant {A,B} partition whose hub
     // posting list covers every row — the strongest bitmap-path trigger.
     let n = 800u32;

@@ -10,7 +10,7 @@
 //! those datasets exercise — label-alphabet size, arity distribution,
 //! power-law degree skew, vertex/hyperedge ratio — at laptop scale, because
 //! those are the only properties the matching algorithms observe (see
-//! DESIGN.md §5 for the substitution argument).
+//! DESIGN.md §3 for the substitution argument).
 
 pub mod generator;
 pub mod knowledge_base;

@@ -16,8 +16,9 @@ use serde::{Deserialize, Serialize};
 use crate::bitmap::Bitmap;
 
 /// Partitions with fewer rows than this never materialise bitmaps — the
-/// sorted lists are already tiny (DESIGN.md §5.4).
-const MIN_BITMAP_ROWS: usize = 256;
+/// sorted lists are already tiny (DESIGN.md §5.4). Exported so candidate
+/// generation's density heuristic cannot drift from the index's own switch.
+pub const MIN_BITMAP_ROWS: usize = 256;
 
 /// A key is *dense* — and gets a bitmap next to its sorted posting list —
 /// when it covers at least `1/DENSE_KEY_DIV` of the partition's rows.

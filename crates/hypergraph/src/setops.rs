@@ -13,9 +13,9 @@
 //! * **SIMD** — SSE/SSSE3 and AVX2 block kernels for intersection and
 //!   difference (4 or 8 lanes per step, shuffle-compacted output), selected
 //!   by runtime feature detection with a scalar tail. See `simd` below.
-//! * **k-way** — a binary-heap multiway union replacing repeated pairwise
-//!   merging ([`union_many_into`]), used by candidate generation for the
-//!   per-anchor posting unions.
+//! * **k-way** — a tournament-tree multiway union replacing repeated
+//!   pairwise merging ([`union_many_into`]), used by candidate generation
+//!   for the per-anchor posting unions.
 //!
 //! Dense-domain bitwise kernels live in [`crate::bitmap`]; the adaptive
 //! sorted-list↔bitmap switch is made per posting list by
@@ -42,7 +42,7 @@ const GALLOP_RATIO: usize = 16;
 const SIMD_MIN_LEN: usize = 16;
 
 /// Inputs-per-union above which [`union_many_into`] switches from repeated
-/// pairwise merging to the heap-based multiway merge.
+/// pairwise merging to the tournament-tree multiway merge.
 const KWAY_THRESHOLD: usize = 4;
 
 /// Which kernel family the dispatching entry points may use.
@@ -67,6 +67,12 @@ fn env_forces_scalar() -> bool {
 /// dispatched call.
 pub fn set_kernel_mode(mode: KernelMode) {
     FORCE_SCALAR.store(mode == KernelMode::ForceScalar, Ordering::Relaxed);
+}
+
+/// Whether `HGMATCH_FORCE_SCALAR` is set to a forcing value (anything but
+/// empty or `0`). Exposed so tests can mirror the exact dispatch predicate.
+pub fn env_forced_scalar() -> bool {
+    env_forces_scalar()
 }
 
 /// The active kernel mode ([`set_kernel_mode`] or `HGMATCH_FORCE_SCALAR=1`).
@@ -844,8 +850,8 @@ mod tests {
     }
 
     #[test]
-    fn union_many_kway_heap_path() {
-        // More than KWAY_THRESHOLD inputs exercises the heap merge.
+    fn union_many_kway_tournament_path() {
+        // More than KWAY_THRESHOLD inputs exercises the tournament merge.
         let lists: Vec<Vec<u32>> = (0..8u32).map(|k| (k..200).step_by(7).collect()).collect();
         let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
         let got = union_many(refs.clone());
@@ -858,7 +864,7 @@ mod tests {
 
     #[test]
     fn union_many_kway_duplicate_heavy() {
-        // All inputs identical: dedup on pop must collapse them.
+        // All inputs identical: the tournament merges must collapse them.
         let a: Vec<u32> = (0..100).collect();
         let refs: Vec<&[u32]> = (0..6).map(|_| a.as_slice()).collect();
         assert_eq!(union_many(refs), a);
@@ -919,11 +925,18 @@ mod tests {
 
     #[test]
     fn kernel_mode_toggles() {
-        assert_eq!(kernel_mode(), KernelMode::Auto);
+        // HGMATCH_FORCE_SCALAR pins ForceScalar process-wide; the toggle is
+        // only observable without it.
+        let env_forced = env_forced_scalar();
+        if !env_forced {
+            assert_eq!(kernel_mode(), KernelMode::Auto);
+        }
         set_kernel_mode(KernelMode::ForceScalar);
         assert_eq!(kernel_mode(), KernelMode::ForceScalar);
         set_kernel_mode(KernelMode::Auto);
-        assert_eq!(kernel_mode(), KernelMode::Auto);
+        if !env_forced {
+            assert_eq!(kernel_mode(), KernelMode::Auto);
+        }
         assert!(["avx2", "ssse3", "scalar"].contains(&simd_level()));
     }
 

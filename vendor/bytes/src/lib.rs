@@ -1,4 +1,4 @@
-//! Vendored stand-in for the `bytes` crate (see DESIGN.md §1): exactly the
+//! Vendored stand-in for the `bytes` crate (see DESIGN.md §7): exactly the
 //! API surface `hgmatch_hypergraph::io` uses — `BytesMut` for building the
 //! binary format, `Bytes` as the frozen result, `Buf` for cursor-style
 //! decoding over `&[u8]`, and `BufMut` for the append side.

@@ -1,4 +1,4 @@
-//! Vendored stand-in for `criterion` (see DESIGN.md §1): a wall-clock
+//! Vendored stand-in for `criterion` (see DESIGN.md §7): a wall-clock
 //! micro-benchmark harness exposing the criterion API the `hgmatch-bench`
 //! benches use — groups, `bench_function`/`bench_with_input`, `BenchmarkId`,
 //! `sample_size`, `measurement_time` and the `criterion_group!`/

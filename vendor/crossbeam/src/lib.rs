@@ -1,4 +1,4 @@
-//! Vendored stand-in for `crossbeam` (see DESIGN.md §1), providing the
+//! Vendored stand-in for `crossbeam` (see DESIGN.md §7), providing the
 //! `deque` module the parallel engine schedules through: per-worker deques
 //! with LIFO owner access and batch stealing from the cold end, plus a
 //! global injector.

@@ -1,4 +1,4 @@
-//! Vendored stand-in for `parking_lot` (see DESIGN.md §1): thin facades over
+//! Vendored stand-in for `parking_lot` (see DESIGN.md §7): thin facades over
 //! `std::sync` primitives with parking_lot's ergonomics — `lock()` returns
 //! the guard directly and poisoning is transparently ignored (a panic while
 //! holding the lock does not wedge every later user).

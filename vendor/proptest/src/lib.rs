@@ -1,4 +1,4 @@
-//! Vendored stand-in for `proptest` (see DESIGN.md §1): a deterministic
+//! Vendored stand-in for `proptest` (see DESIGN.md §7): a deterministic
 //! property-testing harness exposing the subset of proptest's API the test
 //! suites use — the `proptest!` macro, range/collection/tuple strategies,
 //! `prop_map`/`prop_flat_map`, `prop_assert*`, and `ProptestConfig`.

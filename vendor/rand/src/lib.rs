@@ -1,4 +1,4 @@
-//! Vendored stand-in for `rand` (see DESIGN.md §1): a deterministic
+//! Vendored stand-in for `rand` (see DESIGN.md §7): a deterministic
 //! xoshiro256++ generator behind the small trait surface hgmatch uses —
 //! `SeedableRng::seed_from_u64`, `RngExt::random::<T>()` and
 //! `RngExt::random_range(range)`. Dataset generation only needs seedable,

@@ -2,7 +2,7 @@
 //!
 //! This workspace builds without network access to a crates registry, so the
 //! handful of external dependencies it uses are vendored as minimal local
-//! crates (see DESIGN.md §1). The repository only *decorates* types with
+//! crates (see DESIGN.md §7). The repository only *decorates* types with
 //! `#[derive(Serialize, Deserialize)]` — nothing serialises through serde's
 //! data model at runtime (the on-disk formats in `hgmatch_hypergraph::io`
 //! and the bench JSON reports are hand-written) — so the derives expand to
