@@ -1,4 +1,4 @@
-//! Ablations of HGMatch design choices (DESIGN.md §9):
+//! Ablations of HGMatch design choices (DESIGN.md §10):
 //!
 //! * eager non-incidence pruning (Observation V.3 applied in candidate
 //!   generation) on/off;

@@ -1,0 +1,260 @@
+//! Multi-query serving throughput — the workload the serving layer
+//! (DESIGN.md §8) exists for, complementing the single-query Fig. 10
+//! scalability sweep.
+//!
+//! Three execution strategies answer the same mixed q2/q3 workload:
+//!
+//! 1. `sequential_loop` — one query at a time through the sequential
+//!    executor (the latency-oracle baseline);
+//! 2. `oneshot_pool_loop` — one query at a time through the one-shot
+//!    `ParallelEngine`-backed `Matcher`, spinning a fresh pool per query;
+//! 3. `served_concurrent` — every query submitted at once to one resident
+//!    [`MatchServer`] pool;
+//! 4. `served_repeat` — the same workload submitted again to the same
+//!    server, so every plan comes from the plan cache.
+//!
+//! All strategies must agree on embedding counts (asserted). Per-phase
+//! wall-clock, throughput and per-query latency stats are printed as TSV;
+//! `--json PATH` additionally writes the committed `BENCH_serve.json`
+//! baseline shape.
+//!
+//! Usage: `serve_throughput [--dataset NAME] [--queries N] [--threads N]
+//!                          [--timeout SECS] [--json PATH]`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hgmatch_bench::experiments::num_cpus;
+use hgmatch_bench::harness::Workload;
+use hgmatch_bench::report::{median, percentile};
+use hgmatch_core::serve::{MatchServer, QueryOptions, ServeConfig};
+use hgmatch_core::{MatchConfig, Matcher};
+use hgmatch_datasets::{profile_by_name, standard_settings};
+use hgmatch_hypergraph::Hypergraph;
+
+struct PhaseResult {
+    name: &'static str,
+    wall: Duration,
+    latencies: Vec<f64>,
+    embeddings: u64,
+}
+
+impl PhaseResult {
+    fn qps(&self) -> f64 {
+        self.latencies.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+fn main() {
+    let mut dataset = "CH".to_string();
+    let mut per_setting = 12usize;
+    let mut threads = num_cpus();
+    let mut timeout = Duration::from_secs(5);
+    let mut json_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dataset" => {
+                i += 1;
+                dataset = args.get(i).expect("--dataset NAME").clone();
+            }
+            "--queries" => {
+                i += 1;
+                per_setting = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--queries N");
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads N");
+            }
+            "--timeout" => {
+                i += 1;
+                timeout = Duration::from_secs_f64(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--timeout SECS"),
+                );
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json PATH").clone());
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+        i += 1;
+    }
+
+    let profile = profile_by_name(&dataset).expect("known dataset");
+    let data = Arc::new(profile.generate());
+
+    // Mixed workload: q2 and q3 random-walk queries, interleaved so big
+    // and small queries alternate on the shared pool.
+    let settings = standard_settings();
+    let q2 = Workload::sample(&data, settings[0], per_setting, 17);
+    let q3 = Workload::sample(&data, settings[1], per_setting, 59);
+    let mut queries: Vec<Hypergraph> = Vec::new();
+    for (a, b) in q2.queries.iter().zip(q3.queries.iter()) {
+        queries.push(a.clone());
+        queries.push(b.clone());
+    }
+    assert!(!queries.is_empty(), "workload sampling produced no queries");
+
+    println!(
+        "# serve_throughput: {} queries (q2/q3 mix) on {}, {} worker threads",
+        queries.len(),
+        profile.name,
+        threads
+    );
+
+    // Phase 1: sequential, one at a time.
+    let sequential = run_loop("sequential_loop", &queries, |q| {
+        let matcher = Matcher::with_config(&data, MatchConfig::sequential().with_timeout(timeout));
+        matcher.count(q).expect("valid query")
+    });
+
+    // Phase 2: one-shot parallel engine, one at a time (pool per query).
+    let oneshot = run_loop("oneshot_pool_loop", &queries, |q| {
+        let matcher =
+            Matcher::with_config(&data, MatchConfig::parallel(threads).with_timeout(timeout));
+        matcher.count(q).expect("valid query")
+    });
+
+    // Phases 3 & 4: the resident server, all queries in flight at once;
+    // the second round replays the workload against a warm plan cache.
+    let server = MatchServer::new(
+        Arc::clone(&data),
+        ServeConfig::default().with_threads(threads),
+    );
+    let served = run_served("served_concurrent", &server, &queries, timeout);
+    let served_repeat = run_served("served_repeat", &server, &queries, timeout);
+    let stats = server.stats();
+    // ≥ rather than ==: the random-walk sampler may draw canonically
+    // identical queries, which already hit the cache in the first round.
+    assert!(
+        stats.plan_cache_hits >= queries.len() as u64,
+        "the repeat round must hit the plan cache for every query (hits={}, queries={})",
+        stats.plan_cache_hits,
+        queries.len()
+    );
+
+    for phase in [&sequential, &oneshot, &served, &served_repeat] {
+        assert_eq!(
+            phase.embeddings, sequential.embeddings,
+            "{}: all strategies must count identically",
+            phase.name
+        );
+    }
+
+    println!("phase\twall_s\tqueries_per_s\tp50_ms\tp95_ms\tembeddings");
+    let phases = [&sequential, &oneshot, &served, &served_repeat];
+    for phase in phases {
+        println!(
+            "{}\t{:.4}\t{:.2}\t{:.3}\t{:.3}\t{}",
+            phase.name,
+            phase.wall.as_secs_f64(),
+            phase.qps(),
+            median(&phase.latencies) * 1e3,
+            percentile(&phase.latencies, 95.0) * 1e3,
+            phase.embeddings
+        );
+    }
+    println!(
+        "# plan cache: {} hits / {} misses; pool tasks: {}, steals: {}",
+        stats.plan_cache_hits, stats.plan_cache_misses, stats.tasks_executed, stats.steals
+    );
+
+    if let Some(path) = json_path {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"dataset\": \"{}\", \"queries\": {}, \"threads\": {},",
+            profile.name,
+            queries.len(),
+            threads
+        );
+        out.push_str("  \"phases\": [\n");
+        for (i, phase) in phases.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"wall_s\": {:.4}, \"queries_per_s\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"embeddings\": {}}}{}",
+                phase.name,
+                phase.wall.as_secs_f64(),
+                phase.qps(),
+                median(&phase.latencies) * 1e3,
+                percentile(&phase.latencies, 95.0) * 1e3,
+                phase.embeddings,
+                if i + 1 < phases.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(
+            out,
+            "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}}}",
+            stats.plan_cache_hits, stats.plan_cache_misses
+        );
+        out.push_str("}\n");
+        std::fs::write(&path, out).expect("write json report");
+        println!("# wrote {path}");
+    }
+}
+
+/// Runs `count_one` over every query back-to-back, timing each.
+fn run_loop(
+    name: &'static str,
+    queries: &[Hypergraph],
+    mut count_one: impl FnMut(&Hypergraph) -> u64,
+) -> PhaseResult {
+    let begin = Instant::now();
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut embeddings = 0;
+    for q in queries {
+        let t = Instant::now();
+        embeddings += count_one(q);
+        latencies.push(t.elapsed().as_secs_f64());
+    }
+    PhaseResult {
+        name,
+        wall: begin.elapsed(),
+        latencies,
+        embeddings,
+    }
+}
+
+/// Submits every query to the server at once, then waits for all.
+fn run_served(
+    name: &'static str,
+    server: &MatchServer,
+    queries: &[Hypergraph],
+    timeout: Duration,
+) -> PhaseResult {
+    let begin = Instant::now();
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            server
+                .submit(q, QueryOptions::count().with_timeout(timeout))
+                .expect("valid query")
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(handles.len());
+    let mut embeddings = 0;
+    for handle in handles {
+        let outcome = handle.wait();
+        latencies.push(outcome.elapsed.as_secs_f64());
+        embeddings += outcome.count;
+    }
+    PhaseResult {
+        name,
+        wall: begin.elapsed(),
+        latencies,
+        embeddings,
+    }
+}

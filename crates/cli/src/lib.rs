@@ -8,16 +8,26 @@
 //! * `stats <labels.txt> <edges.txt>` — print Table II-style statistics.
 //! * `match <labels.txt> <edges.txt> <qlabels.txt> <qedges.txt>
 //!   [--threads N] [--timeout SECS] [--print [LIMIT]]` — count (and
-//!   optionally print) embeddings.
+//!   optionally print) embeddings of one query.
+//! * `batch` / `serve` — answer a *stream* of queries on one resident
+//!   worker pool ([`hgmatch_core::serve::MatchServer`]): `batch` reads a
+//!   query-list file and reports results in submission order; `serve`
+//!   reads specs from stdin (or `--input`) and streams results in
+//!   completion order. Both report per-query latency and aggregate
+//!   throughput. A query list has one `<qlabels> <qedges>` pair per line
+//!   (blank lines and `#` comments skipped).
 //! * `explain <labels.txt> <edges.txt> <qlabels.txt> <qedges.txt>` — show
 //!   the matching order and dataflow.
 //! * `sample-query <labels.txt> <edges.txt> <setting> <seed>
 //!   <out-labels> <out-edges>` — draw a random-walk query (q2/q3/q4/q6).
 
+use std::io::BufRead;
 use std::path::Path;
-use std::time::Duration;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use hgmatch_core::operators::Dataflow;
+use hgmatch_core::serve::{MatchServer, QueryHandle, QueryOptions, ServeConfig};
 use hgmatch_core::{MatchConfig, Matcher};
 use hgmatch_datasets::{profile_by_name, sample_query, standard_settings};
 use hgmatch_hypergraph::io;
@@ -27,8 +37,21 @@ pub const USAGE: &str = "usage:
   hgmatch generate <profile> <labels.txt> <edges.txt>
   hgmatch stats <labels.txt> <edges.txt>
   hgmatch match <labels> <edges> <qlabels> <qedges> [--threads N] [--timeout SECS] [--print [LIMIT]]
+  hgmatch batch <labels> <edges> <queries.txt> [serve flags]
+  hgmatch serve <labels> <edges> [--input FILE] [serve flags]
   hgmatch explain <labels> <edges> <qlabels> <qedges>
   hgmatch sample-query <labels> <edges> <q2|q3|q4|q6> <seed> <out-labels> <out-edges>
+
+serve/batch answer many queries on one resident worker pool; a query list
+holds one `<qlabels> <qedges>` pair per line (# comments allowed).
+serve flags:
+  --threads N       worker threads in the shared pool (default 4)
+  --timeout SECS    per-query wall-clock budget (default: none)
+  --max-results N   stop each query after N embeddings (default: none)
+  --repeat K        batch only: submit the list K times (plan-cache demo)
+  --input FILE      serve only: read specs from FILE instead of stdin
+  --quantum N       fairness quantum in tasks (default 64)
+  --plan-cache N    plan-cache capacity, 0 disables (default 128)
 profiles: HC MA CH CP SB HB WT TC SA AR";
 
 /// Executes one CLI invocation; `args` excludes the program name.
@@ -38,6 +61,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "generate" => generate(&args[1..]),
         "stats" => stats(&args[1..]),
         "match" => do_match(&args[1..]),
+        "batch" => do_batch(&args[1..]),
+        "serve" => do_serve(&args[1..]),
         "explain" => explain(&args[1..]),
         "sample-query" => do_sample(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
@@ -94,11 +119,7 @@ fn do_match(args: &[String]) -> Result<(), String> {
             }
             "--timeout" => {
                 i += 1;
-                let secs: f64 = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--timeout needs seconds")?;
-                config.timeout = Some(Duration::from_secs_f64(secs));
+                config.timeout = Some(parse_timeout(args.get(i))?);
             }
             "--print" => {
                 if let Some(limit) = args.get(i + 1).and_then(|s| s.parse().ok()) {
@@ -138,6 +159,304 @@ fn do_match(args: &[String]) -> Result<(), String> {
             m.scan_rows, m.candidates, m.filtered, m.validated
         );
     }
+    Ok(())
+}
+
+/// Parses a `--timeout` operand into a [`Duration`], rejecting negative,
+/// non-finite and out-of-range values as errors instead of panics.
+fn parse_timeout(value: Option<&String>) -> Result<Duration, String> {
+    let secs: f64 = value
+        .and_then(|s| s.parse().ok())
+        .ok_or("--timeout needs seconds")?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!(
+            "--timeout must be a non-negative number, got {secs}"
+        ));
+    }
+    Duration::try_from_secs_f64(secs).map_err(|e| format!("--timeout {secs}: {e}"))
+}
+
+/// Which serving subcommand is parsing flags (they share most but not all).
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum ServeMode {
+    /// `batch`: a query-list file argument, supports `--repeat`.
+    Batch,
+    /// `serve`: streams from stdin or `--input`.
+    Stream,
+}
+
+/// Options shared by `serve` and `batch`.
+struct ServeCliOptions {
+    config: ServeConfig,
+    per_query: QueryOptions,
+    repeat: usize,
+    input: Option<String>,
+}
+
+impl ServeCliOptions {
+    fn parse(args: &[String], mode: ServeMode) -> Result<Self, String> {
+        let mut config = ServeConfig::default();
+        let mut per_query = QueryOptions::count();
+        let mut repeat = 1usize;
+        let mut input = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--threads" => {
+                    i += 1;
+                    config.threads = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--threads needs a number")?;
+                }
+                "--timeout" => {
+                    i += 1;
+                    per_query.timeout = Some(parse_timeout(args.get(i))?);
+                }
+                "--max-results" => {
+                    i += 1;
+                    per_query.max_results = Some(
+                        args.get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("--max-results needs a number")?,
+                    );
+                }
+                "--repeat" if mode == ServeMode::Batch => {
+                    i += 1;
+                    repeat = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--repeat needs a number")?;
+                }
+                "--quantum" => {
+                    i += 1;
+                    config.fairness_quantum = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--quantum needs a number")?;
+                }
+                "--plan-cache" => {
+                    i += 1;
+                    config.plan_cache_capacity = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--plan-cache needs a number")?;
+                }
+                "--input" if mode == ServeMode::Stream => {
+                    i += 1;
+                    input = Some(args.get(i).ok_or("--input needs a path")?.clone());
+                }
+                other => {
+                    let which = match mode {
+                        ServeMode::Batch => "batch",
+                        ServeMode::Stream => "serve",
+                    };
+                    return Err(format!("unknown {which} flag {other:?}"));
+                }
+            }
+            i += 1;
+        }
+        Ok(Self {
+            config,
+            per_query,
+            repeat: repeat.max(1),
+            input,
+        })
+    }
+}
+
+/// Parses one query-spec line (`<qlabels> <qedges>`) into a loaded query.
+fn parse_query_spec(line: &str) -> Result<Option<hgmatch_hypergraph::Hypergraph>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = trimmed.split_whitespace();
+    let (Some(labels), Some(edges), None) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(format!(
+            "query spec must be `<qlabels> <qedges>`, got {trimmed:?}"
+        ));
+    };
+    load(labels, edges).map(Some)
+}
+
+/// Locks a std mutex, ignoring poisoning (worker panics already abort).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn print_outcome(name: &str, outcome: &hgmatch_core::QueryOutcome) {
+    println!(
+        "{name}\t{status}\tembeddings={count}\telapsed={secs:.6}s\tplan_cached={cached}",
+        status = outcome.status,
+        count = outcome.count,
+        secs = outcome.elapsed.as_secs_f64(),
+        cached = if outcome.plan_cached { "yes" } else { "no" },
+    );
+}
+
+fn print_aggregate(server: &MatchServer, served: usize, wall: Duration) {
+    let stats = server.stats();
+    let secs = wall.as_secs_f64();
+    println!(
+        "served {served} queries in {secs:.4}s ({:.1} q/s) on {} workers",
+        served as f64 / secs.max(1e-9),
+        server.threads(),
+    );
+    println!(
+        "plan cache: {} hits / {} misses; tasks: {}, steals: {}, timed out: {}, limit: {}",
+        stats.plan_cache_hits,
+        stats.plan_cache_misses,
+        stats.tasks_executed,
+        stats.steals,
+        stats.timed_out,
+        stats.limit_reached,
+    );
+}
+
+/// `batch`: submit every query of a list file (possibly `--repeat` times)
+/// to one shared pool, then report outcomes in submission order.
+fn do_batch(args: &[String]) -> Result<(), String> {
+    if args.len() < 3 {
+        return Err("batch needs <labels> <edges> <queries.txt>".into());
+    }
+    let data = std::sync::Arc::new(load(&args[0], &args[1])?);
+    let list = std::fs::read_to_string(&args[2])
+        .map_err(|e| format!("reading query list {}: {e}", args[2]))?;
+    let options = ServeCliOptions::parse(&args[3..], ServeMode::Batch)?;
+
+    let mut queries = Vec::new();
+    for (lineno, line) in list.lines().enumerate() {
+        if let Some(q) = parse_query_spec(line).map_err(|e| format!("line {}: {e}", lineno + 1))? {
+            queries.push((format!("q{}", lineno + 1), q));
+        }
+    }
+    if queries.is_empty() {
+        return Err("query list is empty".into());
+    }
+
+    let server = MatchServer::new(data, options.config);
+    let begin = Instant::now();
+    let mut handles: Vec<(String, QueryHandle)> = Vec::new();
+    for round in 0..options.repeat {
+        for (name, query) in &queries {
+            let tag = if options.repeat > 1 {
+                format!("{name}#{}", round + 1)
+            } else {
+                name.clone()
+            };
+            let handle = server
+                .submit(query, options.per_query.clone())
+                .map_err(|e| format!("{tag}: {e}"))?;
+            handles.push((tag, handle));
+        }
+    }
+    let total = handles.len();
+    for (name, handle) in handles {
+        print_outcome(&name, &handle.wait());
+    }
+    print_aggregate(&server, total, begin.elapsed());
+    Ok(())
+}
+
+/// `serve`: read query specs from stdin (or `--input FILE`), submit each
+/// as it arrives, and stream outcomes in completion order.
+fn do_serve(args: &[String]) -> Result<(), String> {
+    if args.len() < 2 {
+        return Err("serve needs <labels> <edges>".into());
+    }
+    let data = std::sync::Arc::new(load(&args[0], &args[1])?);
+    let options = ServeCliOptions::parse(&args[2..], ServeMode::Stream)?;
+
+    let server = MatchServer::new(data, options.config);
+    let begin = Instant::now();
+    // A background drainer prints outcomes the moment they finish, even
+    // while the reader thread is blocked waiting for the next input line
+    // (completion-order streaming). Shared state: the pending handles and
+    // a served counter; the reader signals completion via `input_done`.
+    let pending: Mutex<Vec<(String, QueryHandle)>> = Mutex::new(Vec::new());
+    let served = std::sync::atomic::AtomicUsize::new(0);
+    let input_done = std::sync::atomic::AtomicBool::new(false);
+    let read_error: Mutex<Option<String>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let submit_line = |line: &str, lineno: usize| -> Result<(), String> {
+                match parse_query_spec(line) {
+                    Ok(None) => Ok(()),
+                    Ok(Some(query)) => {
+                        let name = format!("q{lineno}");
+                        let handle = server
+                            .submit(&query, options.per_query.clone())
+                            .map_err(|e| format!("{name}: {e}"))?;
+                        lock(&pending).push((name, handle));
+                        Ok(())
+                    }
+                    Err(e) => Err(format!("line {lineno}: {e}")),
+                }
+            };
+            let result = if let Some(path) = &options.input {
+                std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {path}: {e}"))
+                    .and_then(|content| {
+                        content
+                            .lines()
+                            .enumerate()
+                            .try_for_each(|(i, line)| submit_line(line, i + 1))
+                    })
+            } else {
+                let stdin = std::io::stdin();
+                stdin.lock().lines().enumerate().try_for_each(|(i, line)| {
+                    line.map_err(|e| format!("reading stdin: {e}"))
+                        .and_then(|line| submit_line(&line, i + 1))
+                })
+            };
+            if let Err(e) = result {
+                *lock(&read_error) = Some(e);
+            }
+            input_done.store(true, std::sync::atomic::Ordering::Release);
+        });
+
+        // Drainer: poll pending handles until input is exhausted and
+        // everything submitted has been reported. Finished handles are
+        // moved out under the lock and printed after it drops, so stdout
+        // back-pressure never blocks the reader's next submission.
+        loop {
+            // Read the done flag *before* scanning: a handle pushed after
+            // the scan but before a later flag-read would otherwise be
+            // dropped. With this order, done=true means every submission
+            // already preceded the scan.
+            let done = input_done.load(std::sync::atomic::Ordering::Acquire);
+            let mut guard = lock(&pending);
+            let mut finished = Vec::new();
+            let mut i = 0;
+            while i < guard.len() {
+                if guard[i].1.is_finished() {
+                    finished.push(guard.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            let empty = guard.is_empty();
+            drop(guard);
+            for (name, handle) in finished {
+                print_outcome(&name, &handle.wait());
+                served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            if empty && done {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+    if let Some(e) = read_error.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(e);
+    }
+    print_aggregate(
+        &server,
+        served.load(std::sync::atomic::Ordering::Relaxed),
+        begin.elapsed(),
+    );
     Ok(())
 }
 

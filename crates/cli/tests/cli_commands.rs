@@ -130,3 +130,103 @@ fn missing_files_produce_errors_not_panics() {
     let err = run(&args(&["stats", "/nonexistent/a", "/nonexistent/b"])).unwrap_err();
     assert!(err.contains("loading"));
 }
+
+/// Writes a query-list file referencing the paper query twice plus a
+/// single-edge query, exercising the shared pool and the plan cache.
+fn write_query_list(dir: &TempDir) -> (String, String, String) {
+    let (dl, de, ql, qe) = write_paper_files(dir);
+    let sl = dir.path("single.labels");
+    let se = dir.path("single.edges");
+    std::fs::write(&sl, "0\n1\n").unwrap();
+    std::fs::write(&se, "0,1\n").unwrap();
+    let list = dir.path("queries.txt");
+    std::fs::write(
+        &list,
+        format!("# paper query twice, then a single edge\n{ql} {qe}\n{ql} {qe}\n\n{sl} {se}\n"),
+    )
+    .unwrap();
+    (dl, de, list)
+}
+
+#[test]
+fn batch_serves_query_list_on_shared_pool() {
+    let dir = TempDir::new("batch");
+    let (dl, de, list) = write_query_list(&dir);
+    run(&args(&["batch", &dl, &de, &list, "--threads", "2"])).expect("batch works");
+    run(&args(&[
+        "batch",
+        &dl,
+        &de,
+        &list,
+        "--threads",
+        "2",
+        "--repeat",
+        "3",
+        "--max-results",
+        "1",
+        "--timeout",
+        "30",
+    ]))
+    .expect("batch with limits works");
+}
+
+#[test]
+fn serve_streams_from_input_file() {
+    let dir = TempDir::new("serve");
+    let (dl, de, list) = write_query_list(&dir);
+    run(&args(&[
+        "serve",
+        &dl,
+        &de,
+        "--input",
+        &list,
+        "--threads",
+        "2",
+        "--quantum",
+        "8",
+    ]))
+    .expect("serve works");
+}
+
+#[test]
+fn bad_timeouts_error_instead_of_panicking() {
+    let dir = TempDir::new("badtimeout");
+    let (dl, de, ql, qe) = write_paper_files(&dir);
+    for bad in ["-1", "nan", "inf", "1e300"] {
+        let err = run(&args(&["match", &dl, &de, &ql, &qe, "--timeout", bad])).unwrap_err();
+        assert!(err.contains("--timeout"), "{bad}: {err}");
+    }
+    let list = dir.path("q.txt");
+    std::fs::write(&list, format!("{ql} {qe}\n")).unwrap();
+    assert!(run(&args(&["batch", &dl, &de, &list, "--timeout", "-5"])).is_err());
+}
+
+#[test]
+fn mode_specific_flags_are_rejected_crosswise() {
+    let dir = TempDir::new("modeflags");
+    let (dl, de, ql, qe) = write_paper_files(&dir);
+    let list = dir.path("q.txt");
+    std::fs::write(&list, format!("{ql} {qe}\n")).unwrap();
+    // serve does not repeat; batch does not take --input.
+    let err = run(&args(&[
+        "serve", &dl, &de, "--input", &list, "--repeat", "3",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("--repeat"), "{err}");
+    let err = run(&args(&["batch", &dl, &de, &list, "--input", &list])).unwrap_err();
+    assert!(err.contains("--input"), "{err}");
+}
+
+#[test]
+fn serve_and_batch_reject_bad_specs() {
+    let dir = TempDir::new("badserve");
+    let (dl, de, _, _) = write_paper_files(&dir);
+    let list = dir.path("bad.txt");
+    std::fs::write(&list, "only-one-token\n").unwrap();
+    assert!(run(&args(&["batch", &dl, &de, &list])).is_err());
+    assert!(run(&args(&["serve", &dl, &de, "--input", &list])).is_err());
+    let empty = dir.path("empty.txt");
+    std::fs::write(&empty, "# nothing\n").unwrap();
+    assert!(run(&args(&["batch", &dl, &de, &empty])).is_err());
+    assert!(run(&args(&["batch", &dl, &de, &list, "--bogus"])).is_err());
+}

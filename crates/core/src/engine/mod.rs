@@ -10,7 +10,7 @@
 //! Scheduling follows the paper exactly:
 //!
 //! * **LIFO task deques** — every worker owns a deque
-//!   (`crossbeam::deque`, the same non-blocking design as the paper's [17])
+//!   (`crossbeam::deque`, the same non-blocking design as the paper's \[17\])
 //!   and pushes/pops at its hot end, so the engine runs depth-first locally
 //!   and memory stays within the Theorem VI.1 bound
 //!   `O(aq · |E(q)|² · |E(H)|)`.
@@ -20,11 +20,30 @@
 //!   first-level partitioning) reproduces the `HGMatch-NOSTL` baseline of
 //!   Fig. 12.
 //!
+//! # Architecture: one task core, two schedulers
+//!
+//! Everything that happens *inside* a task — candidate generation,
+//! validation, delivery, spill-buffer pooling — lives in the shared
+//! `task` submodule, decoupled from any scheduler's lifetime. Two
+//! schedulers drive it:
+//!
+//! * [`ParallelEngine`] (this module) — the paper's one-shot engine: a
+//!   scoped pool is spun up for a single `run()`, executes one query, and
+//!   is torn down when the run returns. Best for batch experiments and the
+//!   figure-reproduction benches.
+//! * [`crate::serve::MatchServer`] — the resident serving pool: worker
+//!   threads live for the process lifetime, tasks are tagged with the query
+//!   they belong to, and many queries execute concurrently against one
+//!   shared data hypergraph with fair interleaving, per-query cancellation,
+//!   timeouts and result limits.
+//!
 //! The expansion path is allocation-free in the common case
-//! (DESIGN.md §6): embeddings of up to [`INLINE_EMB`] edges are stored
+//! (DESIGN.md §6): embeddings of up to `INLINE_EMB` edges are stored
 //! inline in the task itself, deeper ones spill to heap buffers recycled
 //! through a per-worker pool, and per-expansion state (vertex multisets,
 //! candidate and delivery buffers) is reused across tasks.
+
+pub(crate) mod task;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
@@ -33,56 +52,27 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use hgmatch_hypergraph::Hypergraph;
 use parking_lot::Mutex;
 
-use crate::candidates::{generate_candidates, ExpansionState};
 use crate::config::MatchConfig;
 use crate::exec::{RunStats, WorkerStats};
 use crate::memory::MemoryTracker;
 use crate::metrics::MatchMetrics;
 use crate::plan::Plan;
 use crate::sink::Sink;
-use crate::validate::{validate_candidate, ValidateScratch, Validation};
 
-/// Tasks between abort-flag checks.
-const CHECK_INTERVAL: u64 = 256;
-
-/// Partial embeddings of at most this many edges live inline in the task —
-/// no heap allocation on the expansion path. Queries with more hyperedges
-/// than this spill to pooled buffers (DESIGN.md §6.2).
-const INLINE_EMB: usize = 8;
-
-/// Recycled spill buffers kept per worker.
-const POOL_CAP: usize = 64;
-
-/// A schedulable unit (paper Definition VI.1).
-#[derive(Debug)]
-enum Task {
-    /// Scan rows `start..end` of the first step's partition; splits itself
-    /// while the range exceeds the configured chunk size.
-    Scan { start: u32, end: u32 },
-    /// Expand the partial embedding `emb[..depth]` (matching-order
-    /// positions `0..depth`) at step `depth`. Inline: no allocation.
-    Expand { depth: u8, emb: [u32; INLINE_EMB] },
-    /// Expansion deeper than [`INLINE_EMB`]; the buffer is recycled through
-    /// the executing worker's pool.
-    ExpandSpilled { emb: Vec<u32> },
-}
+use task::{execute_task, steal_from_victims, ExecScratch, QueryEnv, Task, CHECK_INTERVAL};
 
 /// The parallel engine.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ParallelEngine;
 
 struct Shared<'a, S: Sink> {
-    plan: &'a Plan,
-    data: &'a Hypergraph,
-    sink: &'a S,
-    config: &'a MatchConfig,
+    env: QueryEnv<'a, S>,
     injector: Injector<Task>,
     stealers: Vec<Stealer<Task>>,
     pending: AtomicU64,
     abort: AtomicBool,
     timed_out: AtomicBool,
     deadline: Option<Instant>,
-    tracker: MemoryTracker,
 }
 
 impl ParallelEngine {
@@ -105,19 +95,22 @@ impl ParallelEngine {
 
         let deques: Vec<Deque<Task>> = (0..threads).map(|_| Deque::new_lifo()).collect();
         let stealers: Vec<Stealer<Task>> = deques.iter().map(Deque::stealer).collect();
+        let tracker = MemoryTracker::new();
 
         let shared = Shared {
-            plan,
-            data,
-            sink,
-            config,
+            env: QueryEnv {
+                plan,
+                data,
+                sink,
+                config,
+                tracker: &tracker,
+            },
             injector: Injector::new(),
             stealers,
             pending: AtomicU64::new(0),
             abort: AtomicBool::new(false),
             timed_out: AtomicBool::new(false),
             deadline: config.timeout.map(|t| start + t),
-            tracker: MemoryTracker::new(),
         };
 
         // Seed the scan. With stealing the whole range goes to the injector
@@ -178,7 +171,7 @@ impl ParallelEngine {
         stats.workers = workers;
         stats.timed_out = shared.timed_out.load(Ordering::Relaxed);
         stats.elapsed = start.elapsed();
-        stats.peak_memory_bytes = shared.tracker.peak_bytes();
+        stats.peak_memory_bytes = tracker.peak_bytes();
         stats
     }
 }
@@ -188,28 +181,29 @@ fn worker_loop<S: Sink>(
     local: Deque<Task>,
     shared: &Shared<'_, S>,
 ) -> (WorkerStats, MatchMetrics) {
-    let mut ctx = WorkerCtx {
-        local: &local,
-        shared,
-        state: ExpansionState::new(),
-        scratch: ValidateScratch::new(),
-        metrics: MatchMetrics::default(),
-        stats: WorkerStats::default(),
-        rng: 0x9E37_79B9 ^ (id as u64 + 1).wrapping_mul(0x2545_F491_4F6C_DD1D),
-        checks: 0,
-        uncounted: 0,
-        pool: Vec::new(),
-        full_scratch: Vec::new(),
-        ordered_scratch: Vec::new(),
-    };
+    let mut scratch = ExecScratch::new();
+    let mut metrics = MatchMetrics::default();
+    let mut stats = WorkerStats::default();
+    let mut rng = 0x9E37_79B9 ^ (id as u64 + 1).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let mut checks = 0u64;
 
     loop {
-        if let Some(task) = ctx.find_task(id) {
+        if let Some(task) = find_task(id, &local, shared, &mut rng, &mut stats) {
             let begin = Instant::now();
-            ctx.execute(task);
-            ctx.flush_counts();
-            ctx.stats.busy += begin.elapsed();
-            ctx.stats.tasks += 1;
+            let delivered = execute_task(
+                &shared.env,
+                &mut scratch,
+                &mut metrics,
+                task,
+                &mut || check_abort(shared, &mut checks),
+                &mut |t| {
+                    shared.pending.fetch_add(1, Ordering::Relaxed);
+                    local.push(t);
+                },
+            );
+            stats.matches += delivered;
+            stats.busy += begin.elapsed();
+            stats.tasks += 1;
             shared.pending.fetch_sub(1, Ordering::Release);
         } else {
             if shared.pending.load(Ordering::Acquire) == 0 || shared.abort.load(Ordering::Relaxed) {
@@ -217,266 +211,67 @@ fn worker_loop<S: Sink>(
             }
             // Periodic deadline check also while idle, so a stuck queue
             // cannot outlive the timeout.
-            ctx.check_abort();
+            check_abort(shared, &mut checks);
             std::thread::yield_now();
         }
     }
-    (ctx.stats, ctx.metrics)
+    (stats, metrics)
 }
 
-struct WorkerCtx<'a, 'b, S: Sink> {
-    local: &'a Deque<Task>,
-    shared: &'a Shared<'b, S>,
-    state: ExpansionState,
-    scratch: ValidateScratch,
-    metrics: MatchMetrics,
-    stats: WorkerStats,
-    rng: u64,
-    checks: u64,
-    uncounted: u64,
-    /// Recycled spill buffers for embeddings deeper than [`INLINE_EMB`].
-    pool: Vec<Vec<u32>>,
-    /// Reused buffer for assembling complete embeddings at the last step.
-    full_scratch: Vec<u32>,
-    /// Reused buffer for query-order delivery.
-    ordered_scratch: Vec<u32>,
+fn find_task<S: Sink>(
+    id: usize,
+    local: &Deque<Task>,
+    shared: &Shared<'_, S>,
+    rng: &mut u64,
+    stats: &mut WorkerStats,
+) -> Option<Task> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    // Injector next: seed tasks and overflow.
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    if !shared.env.config.work_stealing {
+        return None;
+    }
+    let stolen = steal_from_victims(&shared.stealers, local, id, rng);
+    if stolen.is_some() {
+        stats.steals += 1;
+    }
+    stolen
 }
 
-impl<S: Sink> WorkerCtx<'_, '_, S> {
-    fn find_task(&mut self, id: usize) -> Option<Task> {
-        if let Some(t) = self.local.pop() {
-            return Some(t);
+/// The one-shot engine's cooperative stop check: an already-raised abort
+/// flag is honoured every call (one relaxed load); the sink's satisfaction
+/// and the deadline are consulted every [`CHECK_INTERVAL`] calls.
+#[inline]
+fn check_abort<S: Sink>(shared: &Shared<'_, S>, checks: &mut u64) -> bool {
+    *checks += 1;
+    if checks.is_multiple_of(CHECK_INTERVAL) || *checks == 1 {
+        if shared.abort.load(Ordering::Relaxed) {
+            return true;
         }
-        // Injector next: seed tasks and overflow.
-        loop {
-            match self.shared.injector.steal_batch_and_pop(self.local) {
-                Steal::Success(t) => return Some(t),
-                Steal::Retry => continue,
-                Steal::Empty => break,
-            }
+        if shared.env.sink.is_satisfied() {
+            shared.abort.store(true, Ordering::Relaxed);
+            return true;
         }
-        if !self.shared.config.work_stealing {
-            return None;
-        }
-        // Random-victim batch stealing: take up to half of the victim's
-        // deque from the cold end (paper §VI-C).
-        let n = self.shared.stealers.len();
-        if n <= 1 {
-            return None;
-        }
-        for _ in 0..2 * n {
-            let victim = (self.next_rand() as usize) % n;
-            if victim == id {
-                continue;
-            }
-            match self.shared.stealers[victim].steal_batch_and_pop(self.local) {
-                Steal::Success(t) => {
-                    self.stats.steals += 1;
-                    return Some(t);
-                }
-                Steal::Retry | Steal::Empty => continue,
-            }
-        }
-        None
-    }
-
-    fn next_rand(&mut self) -> u64 {
-        // xorshift64*
-        let mut x = self.rng;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    #[inline]
-    fn check_abort(&mut self) -> bool {
-        self.checks += 1;
-        if self.checks.is_multiple_of(CHECK_INTERVAL) || self.checks == 1 {
-            if self.shared.abort.load(Ordering::Relaxed) {
-                return true;
-            }
-            if self.shared.sink.is_satisfied() {
-                self.shared.abort.store(true, Ordering::Relaxed);
-                return true;
-            }
-            if self.shared.deadline.is_some_and(|d| Instant::now() >= d) {
-                self.shared.abort.store(true, Ordering::Relaxed);
-                self.shared.timed_out.store(true, Ordering::Relaxed);
-                return true;
-            }
-        }
-        self.shared.abort.load(Ordering::Relaxed)
-    }
-
-    fn spawn(&mut self, task: Task) {
-        self.shared.pending.fetch_add(1, Ordering::Relaxed);
-        self.local.push(task);
-    }
-
-    /// Spawns the expansion of `parent + [global]`, inline when it fits and
-    /// through a pooled spill buffer beyond [`INLINE_EMB`]. The memory
-    /// tracker accounts the queued embedding either way — Theorem VI.1
-    /// bounds materialised partial embeddings, not allocator traffic.
-    fn spawn_expand(&mut self, parent: &[u32], global: u32) {
-        let len = parent.len() + 1;
-        self.shared
-            .tracker
-            .alloc(MemoryTracker::embedding_bytes(len));
-        if len <= INLINE_EMB {
-            let mut emb = [0u32; INLINE_EMB];
-            emb[..parent.len()].copy_from_slice(parent);
-            emb[parent.len()] = global;
-            self.spawn(Task::Expand {
-                depth: len as u8,
-                emb,
-            });
-        } else {
-            let mut buf = self.pool.pop().unwrap_or_default();
-            buf.clear();
-            buf.reserve(len);
-            buf.extend_from_slice(parent);
-            buf.push(global);
-            self.spawn(Task::ExpandSpilled { emb: buf });
+        if shared.deadline.is_some_and(|d| Instant::now() >= d) {
+            shared.abort.store(true, Ordering::Relaxed);
+            shared.timed_out.store(true, Ordering::Relaxed);
+            return true;
         }
     }
-
-    fn execute(&mut self, task: Task) {
-        match task {
-            Task::Scan { start, end } => self.execute_scan(start, end),
-            Task::Expand { depth, emb } => {
-                let depth = depth as usize;
-                self.shared
-                    .tracker
-                    .free(MemoryTracker::embedding_bytes(depth));
-                self.execute_expand(depth, &emb[..depth]);
-            }
-            Task::ExpandSpilled { emb } => {
-                self.shared
-                    .tracker
-                    .free(MemoryTracker::embedding_bytes(emb.len()));
-                self.execute_expand(emb.len(), &emb);
-                if self.pool.len() < POOL_CAP {
-                    self.pool.push(emb);
-                }
-            }
-        }
-    }
-
-    fn execute_scan(&mut self, start: u32, end: u32) {
-        if self.check_abort() {
-            return;
-        }
-        let chunk = self.shared.config.scan_chunk.max(1) as u32;
-        if end - start > chunk {
-            let mid = start + (end - start) / 2;
-            // Push the far half first so the near half is processed next
-            // (LIFO), keeping the scan roughly in order locally.
-            self.spawn(Task::Scan { start: mid, end });
-            self.spawn(Task::Scan { start, end: mid });
-            return;
-        }
-
-        let plan = self.shared.plan;
-        let partition = self
-            .shared
-            .data
-            .partition(plan.steps()[0].partition.expect("feasible"));
-        self.metrics.scan_rows += (end - start) as u64;
-        if plan.len() == 1 {
-            // Single-edge query: scan rows are complete embeddings.
-            for row in start..end {
-                let global = partition.global_id(row).raw();
-                self.full_scratch.clear();
-                self.full_scratch.push(global);
-                self.deliver_full();
-            }
-            return;
-        }
-        for row in (start..end).rev() {
-            let global = partition.global_id(row).raw();
-            self.spawn_expand(&[], global);
-        }
-    }
-
-    fn execute_expand(&mut self, depth: usize, emb: &[u32]) {
-        if self.check_abort() {
-            return;
-        }
-        let plan = self.shared.plan;
-        let data = self.shared.data;
-        let step = &plan.steps()[depth];
-        // A step whose signature is absent from the data can never extend
-        // anything: skip the (non-trivial) state preparation outright.
-        let Some(pid) = step.partition else {
-            self.metrics.expansions += 1;
-            return;
-        };
-        self.state.prepare(data, step, emb);
-        let produced = generate_candidates(data, step, emb, &mut self.state, self.shared.config);
-        self.metrics.expansions += 1;
-        self.metrics.candidates += produced as u64;
-        let partition = data.partition(pid);
-        let last = depth + 1 == plan.len();
-
-        let cands = std::mem::take(&mut self.state.candidates);
-        for &row in &cands {
-            let global = partition.global_id(row).raw();
-            match validate_candidate(
-                data,
-                step,
-                depth,
-                emb,
-                &self.state,
-                global,
-                partition.row(row),
-                &mut self.scratch,
-            ) {
-                Validation::Valid => {
-                    self.metrics.filtered += 1;
-                    self.metrics.validated += 1;
-                    if last {
-                        self.full_scratch.clear();
-                        self.full_scratch.extend_from_slice(emb);
-                        self.full_scratch.push(global);
-                        self.deliver_full();
-                    } else {
-                        self.spawn_expand(emb, global);
-                    }
-                }
-                Validation::WrongProfiles => self.metrics.filtered += 1,
-                Validation::WrongVertexCount | Validation::Duplicate => {}
-            }
-        }
-        self.state.candidates = cands;
-    }
-
-    /// Delivers `self.full_scratch` as a complete embedding.
-    fn deliver_full(&mut self) {
-        self.metrics.embeddings += 1;
-        self.stats.matches += 1;
-        // Counts are batched per task (`flush_counts`) so counting costs no
-        // shared atomic per embedding.
-        self.uncounted += 1;
-        if self.shared.sink.needs_embeddings() {
-            self.shared
-                .plan
-                .to_query_order_into(&self.full_scratch, &mut self.ordered_scratch);
-            self.shared.sink.consume(&self.ordered_scratch);
-        }
-    }
-
-    fn flush_counts(&mut self) {
-        if self.uncounted > 0 {
-            self.shared.sink.add_count(self.uncounted);
-            self.uncounted = 0;
-        }
-    }
+    shared.abort.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
 mod tests {
+    use super::task::INLINE_EMB;
     use super::*;
     use crate::plan::Planner;
     use crate::query::QueryGraph;

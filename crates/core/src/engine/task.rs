@@ -1,0 +1,359 @@
+//! The shared per-task execution core.
+//!
+//! One *task* (paper Definition VI.1) is the unit both schedulers trade in:
+//! the one-shot [`ParallelEngine`](super::ParallelEngine) (scoped pool, one
+//! query per run) and the resident serving pool of [`crate::serve`] (one
+//! pool, many concurrent queries). This module owns everything that happens
+//! *inside* a task — scan-range splitting, candidate generation, validation,
+//! delivery, spill-buffer pooling, memory accounting — while the scheduler
+//! supplies two closures:
+//!
+//! * `emit(Task)` — where child tasks go. The one-shot engine pushes to its
+//!   local deque and bumps the global pending counter; the serving pool
+//!   additionally tags each child with its query handle so tasks of many
+//!   queries can interleave in one deque.
+//! * `abort() -> bool` — the cooperative stop signal, polled at task entry
+//!   and every [`ABORT_PROBE`] candidates inside a long expansion, so
+//!   cancellation and timeouts take effect *mid-expansion* instead of at
+//!   the next task boundary.
+//!
+//! Child expansions are emitted in **reverse candidate order**: the worker
+//! deques are LIFO, so popping then visits candidates in ascending order —
+//! the exact depth-first order of [`crate::exec::SequentialExecutor`]. With
+//! one worker the delivery sequence is therefore identical to the
+//! sequential executor's, which is what makes `max_results` early-exit
+//! deterministic (and testable) under the serving layer.
+
+use crossbeam::deque::{Steal, Stealer, Worker as Deque};
+use hgmatch_hypergraph::Hypergraph;
+
+use crate::candidates::{generate_candidates, ExpansionState};
+use crate::config::MatchConfig;
+use crate::memory::MemoryTracker;
+use crate::metrics::MatchMetrics;
+use crate::plan::Plan;
+use crate::sink::Sink;
+use crate::validate::{validate_candidate, ValidateScratch, Validation};
+
+/// Abort polls / deadline checks happen every this many probe ticks (the
+/// schedulers' `abort` closures are expected to do the cheap flag load every
+/// call and the expensive checks on this cadence).
+pub(crate) const CHECK_INTERVAL: u64 = 256;
+
+/// Candidates validated between `abort()` polls inside one expansion, so a
+/// cancelled query releases its worker even mid-way through a huge
+/// candidate list.
+const ABORT_PROBE: usize = 1024;
+
+/// Partial embeddings of at most this many edges live inline in the task —
+/// no heap allocation on the expansion path. Queries with more hyperedges
+/// than this spill to pooled buffers (DESIGN.md §6.2).
+pub(crate) const INLINE_EMB: usize = 8;
+
+/// Recycled spill buffers kept per worker.
+const POOL_CAP: usize = 64;
+
+/// A schedulable unit (paper Definition VI.1).
+#[derive(Debug)]
+pub(crate) enum Task {
+    /// Scan rows `start..end` of the first step's partition; splits itself
+    /// while the range exceeds the configured chunk size.
+    Scan { start: u32, end: u32 },
+    /// Expand the partial embedding `emb[..depth]` (matching-order
+    /// positions `0..depth`) at step `depth`. Inline: no allocation.
+    Expand { depth: u8, emb: [u32; INLINE_EMB] },
+    /// Expansion deeper than [`INLINE_EMB`]; the buffer is recycled through
+    /// the executing worker's pool.
+    ExpandSpilled { emb: Vec<u32> },
+}
+
+/// Everything one task execution needs to know about the query it belongs
+/// to. The one-shot engine builds one per run; the serving pool builds one
+/// per *task* from the task's query tag.
+pub(crate) struct QueryEnv<'a, S: Sink + ?Sized> {
+    pub plan: &'a Plan,
+    pub data: &'a Hypergraph,
+    pub sink: &'a S,
+    pub config: &'a MatchConfig,
+    pub tracker: &'a MemoryTracker,
+}
+
+/// Per-worker scratch reused across tasks — and, in the serving pool,
+/// across *queries*: the expansion level-stack caches data-edge prefixes
+/// ([`ExpansionState::prepare`]), which are query-agnostic.
+#[derive(Debug, Default)]
+pub(crate) struct ExecScratch {
+    state: ExpansionState,
+    validate: ValidateScratch,
+    /// Recycled spill buffers for embeddings deeper than [`INLINE_EMB`].
+    pool: Vec<Vec<u32>>,
+    /// Reused buffer for assembling complete embeddings at the last step.
+    full: Vec<u32>,
+    /// Reused buffer for query-order delivery.
+    ordered: Vec<u32>,
+    /// Valid extensions of the current expansion, buffered so children can
+    /// be emitted in reverse (LIFO ⇒ ascending pop order).
+    valid: Vec<u32>,
+}
+
+impl ExecScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Executes one task against `env`, emitting child tasks through `emit` and
+/// polling `abort` cooperatively. Returns the number of complete embeddings
+/// this task delivered.
+///
+/// The task's queued-embedding bytes are released from `env.tracker` here
+/// regardless of the abort outcome, so schedulers can account spawned tasks
+/// eagerly and drop cancelled ones by simply executing them (the execution
+/// degenerates to the accounting).
+pub(crate) fn execute_task<S: Sink + ?Sized>(
+    env: &QueryEnv<'_, S>,
+    scratch: &mut ExecScratch,
+    metrics: &mut MatchMetrics,
+    task: Task,
+    abort: &mut dyn FnMut() -> bool,
+    emit: &mut dyn FnMut(Task),
+) -> u64 {
+    let mut exec = Exec {
+        env,
+        scratch,
+        metrics,
+        abort,
+        emit,
+        delivered: 0,
+        uncounted: 0,
+    };
+    exec.execute(task);
+    exec.flush_counts();
+    exec.delivered
+}
+
+/// xorshift64* — the per-worker steal-victim RNG shared by both schedulers.
+pub(crate) fn next_rand(rng: &mut u64) -> u64 {
+    let mut x = *rng;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *rng = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Random-victim batch stealing (paper §VI-C): up to `2 * stealers.len()`
+/// attempts at taking half of a random victim's deque from its cold
+/// (oldest-task) end into `local`. Returns the popped task; the caller
+/// records the steal in its own counters.
+pub(crate) fn steal_from_victims<T>(
+    stealers: &[Stealer<T>],
+    local: &Deque<T>,
+    self_id: usize,
+    rng: &mut u64,
+) -> Option<T> {
+    let n = stealers.len();
+    if n <= 1 {
+        return None;
+    }
+    for _ in 0..2 * n {
+        let victim = (next_rand(rng) as usize) % n;
+        if victim == self_id {
+            continue;
+        }
+        match stealers[victim].steal_batch_and_pop(local) {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry | Steal::Empty => continue,
+        }
+    }
+    None
+}
+
+struct Exec<'e, 'a, S: Sink + ?Sized> {
+    env: &'e QueryEnv<'a, S>,
+    scratch: &'e mut ExecScratch,
+    metrics: &'e mut MatchMetrics,
+    abort: &'e mut dyn FnMut() -> bool,
+    emit: &'e mut dyn FnMut(Task),
+    delivered: u64,
+    uncounted: u64,
+}
+
+impl<S: Sink + ?Sized> Exec<'_, '_, S> {
+    fn execute(&mut self, task: Task) {
+        match task {
+            Task::Scan { start, end } => self.execute_scan(start, end),
+            Task::Expand { depth, emb } => {
+                let depth = depth as usize;
+                self.env.tracker.free(MemoryTracker::embedding_bytes(depth));
+                self.execute_expand(depth, &emb[..depth]);
+            }
+            Task::ExpandSpilled { emb } => {
+                self.env
+                    .tracker
+                    .free(MemoryTracker::embedding_bytes(emb.len()));
+                self.execute_expand(emb.len(), &emb);
+                if self.scratch.pool.len() < POOL_CAP {
+                    self.scratch.pool.push(emb);
+                }
+            }
+        }
+    }
+
+    fn execute_scan(&mut self, start: u32, end: u32) {
+        if (self.abort)() {
+            return;
+        }
+        let chunk = self.env.config.scan_chunk.max(1) as u32;
+        if end - start > chunk {
+            let mid = start + (end - start) / 2;
+            // Emit the far half first so the near half is processed next
+            // (LIFO), keeping the scan roughly in order locally.
+            (self.emit)(Task::Scan { start: mid, end });
+            (self.emit)(Task::Scan { start, end: mid });
+            return;
+        }
+
+        let plan = self.env.plan;
+        let partition = self
+            .env
+            .data
+            .partition(plan.steps()[0].partition.expect("feasible"));
+        self.metrics.scan_rows += (end - start) as u64;
+        if plan.len() == 1 {
+            // Single-edge query: scan rows are complete embeddings.
+            for row in start..end {
+                let global = partition.global_id(row).raw();
+                self.scratch.full.clear();
+                self.scratch.full.push(global);
+                self.deliver_full();
+            }
+            return;
+        }
+        for row in (start..end).rev() {
+            let global = partition.global_id(row).raw();
+            self.spawn_expand(&[], global);
+        }
+    }
+
+    fn execute_expand(&mut self, depth: usize, emb: &[u32]) {
+        if (self.abort)() {
+            return;
+        }
+        let plan = self.env.plan;
+        let data = self.env.data;
+        let step = &plan.steps()[depth];
+        // A step whose signature is absent from the data can never extend
+        // anything: skip the (non-trivial) state preparation outright.
+        let Some(pid) = step.partition else {
+            self.metrics.expansions += 1;
+            return;
+        };
+        self.scratch.state.prepare(data, step, emb);
+        let produced =
+            generate_candidates(data, step, emb, &mut self.scratch.state, self.env.config);
+        self.metrics.expansions += 1;
+        self.metrics.candidates += produced as u64;
+        let partition = data.partition(pid);
+        let last = depth + 1 == plan.len();
+
+        let cands = std::mem::take(&mut self.scratch.state.candidates);
+        let mut valid = std::mem::take(&mut self.scratch.valid);
+        valid.clear();
+        let mut aborted = false;
+        for (i, &row) in cands.iter().enumerate() {
+            // Mid-expansion cancellation: a huge candidate list must not pin
+            // this worker past a cancel/timeout/limit signal.
+            if i % ABORT_PROBE == ABORT_PROBE - 1 && (self.abort)() {
+                aborted = true;
+                break;
+            }
+            let global = partition.global_id(row).raw();
+            match validate_candidate(
+                data,
+                step,
+                depth,
+                emb,
+                &self.scratch.state,
+                global,
+                partition.row(row),
+                &mut self.scratch.validate,
+            ) {
+                Validation::Valid => {
+                    self.metrics.filtered += 1;
+                    self.metrics.validated += 1;
+                    if last {
+                        self.scratch.full.clear();
+                        self.scratch.full.extend_from_slice(emb);
+                        self.scratch.full.push(global);
+                        self.deliver_full();
+                    } else {
+                        valid.push(global);
+                    }
+                }
+                Validation::WrongProfiles => self.metrics.filtered += 1,
+                Validation::WrongVertexCount | Validation::Duplicate => {}
+            }
+        }
+        // Reverse emission: the LIFO deque then pops extensions in ascending
+        // candidate order, matching the sequential executor's visit order.
+        // After a mid-loop abort nothing is emitted — the extensions would
+        // only degenerate to accounting when popped, delaying worker
+        // release (and nothing has been allocated for them yet).
+        if !aborted {
+            for idx in (0..valid.len()).rev() {
+                let global = valid[idx];
+                self.spawn_expand(emb, global);
+            }
+        }
+        self.scratch.state.candidates = cands;
+        self.scratch.valid = valid;
+    }
+
+    /// Emits the expansion of `parent + [global]`, inline when it fits and
+    /// through a pooled spill buffer beyond [`INLINE_EMB`]. The memory
+    /// tracker accounts the queued embedding either way — Theorem VI.1
+    /// bounds materialised partial embeddings, not allocator traffic.
+    fn spawn_expand(&mut self, parent: &[u32], global: u32) {
+        let len = parent.len() + 1;
+        self.env.tracker.alloc(MemoryTracker::embedding_bytes(len));
+        if len <= INLINE_EMB {
+            let mut emb = [0u32; INLINE_EMB];
+            emb[..parent.len()].copy_from_slice(parent);
+            emb[parent.len()] = global;
+            (self.emit)(Task::Expand {
+                depth: len as u8,
+                emb,
+            });
+        } else {
+            let mut buf = self.scratch.pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.reserve(len);
+            buf.extend_from_slice(parent);
+            buf.push(global);
+            (self.emit)(Task::ExpandSpilled { emb: buf });
+        }
+    }
+
+    /// Delivers `self.scratch.full` as a complete embedding.
+    fn deliver_full(&mut self) {
+        self.metrics.embeddings += 1;
+        self.delivered += 1;
+        // Counts are batched per task (`flush_counts`) so counting costs no
+        // shared atomic per embedding.
+        self.uncounted += 1;
+        if self.env.sink.needs_embeddings() {
+            self.env
+                .plan
+                .to_query_order_into(&self.scratch.full, &mut self.scratch.ordered);
+            self.env.sink.consume(&self.scratch.ordered);
+        }
+    }
+
+    fn flush_counts(&mut self) {
+        if self.uncounted > 0 {
+            self.env.sink.add_count(self.uncounted);
+            self.uncounted = 0;
+        }
+    }
+}

@@ -29,6 +29,16 @@
 //!   Chase–Lev deques, dynamic work stealing, bounded memory
 //!   (§VI, Theorem VI.1).
 //!
+//! The per-task execution core (candidate generation, validation,
+//! delivery) is shared between two *schedulers* of that third executor:
+//! the one-shot [`engine::ParallelEngine`], which owns a scoped pool for a
+//! single query, and the resident [`serve::MatchServer`], which keeps one
+//! worker pool alive for the process lifetime and serves many concurrent
+//! queries against a shared data hypergraph — with fair interleaving,
+//! per-query cancellation/timeouts/result limits, and a plan cache
+//! (DESIGN.md §8). Use [`Matcher`] for one-query-at-a-time workloads and
+//! [`serve::MatchServer`] when queries arrive as a stream.
+//!
 //! ```
 //! use hgmatch_hypergraph::{HypergraphBuilder, Label};
 //! use hgmatch_core::Matcher;
@@ -67,6 +77,7 @@ pub mod metrics;
 pub mod operators;
 pub mod plan;
 pub mod query;
+pub mod serve;
 pub mod sink;
 pub mod validate;
 
@@ -77,4 +88,5 @@ pub use matcher::Matcher;
 pub use metrics::MatchMetrics;
 pub use plan::{Plan, Planner};
 pub use query::QueryGraph;
+pub use serve::{MatchServer, QueryHandle, QueryOptions, QueryOutcome, QueryStatus, ServeConfig};
 pub use sink::{CollectSink, CountSink, FirstKSink, Sink};

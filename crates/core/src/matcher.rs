@@ -17,6 +17,39 @@ use crate::query::QueryGraph;
 use crate::sink::{CollectSink, CountSink, FirstKSink, Sink};
 
 /// Matches query hypergraphs against one indexed data hypergraph.
+///
+/// One [`Matcher`] answers one query at a time (the parallel engine spins
+/// its pool up per run). For streams of concurrent queries on a resident
+/// pool, use [`crate::serve::MatchServer`].
+///
+/// # Example
+///
+/// ```
+/// use hgmatch_core::{MatchConfig, Matcher};
+/// use hgmatch_hypergraph::{HypergraphBuilder, Label};
+///
+/// // Data: two triangles sharing a vertex (labels A=0, B=1).
+/// let mut b = HypergraphBuilder::new();
+/// for &l in &[0u32, 0, 1, 0, 0] {
+///     b.add_vertex(Label::new(l));
+/// }
+/// b.add_edge(vec![0, 1, 2]).unwrap();
+/// b.add_edge(vec![2, 3, 4]).unwrap();
+/// let data = b.build().unwrap();
+///
+/// // Query: one {A, A, B} hyperedge — matches both triangles.
+/// let mut q = HypergraphBuilder::new();
+/// for &l in &[0u32, 0, 1] {
+///     q.add_vertex(Label::new(l));
+/// }
+/// q.add_edge(vec![0, 1, 2]).unwrap();
+/// let query = q.build().unwrap();
+///
+/// let matcher = Matcher::with_config(&data, MatchConfig::parallel(2));
+/// assert_eq!(matcher.count(&query).unwrap(), 2);
+/// assert_eq!(matcher.find_all(&query).unwrap().len(), 2);
+/// assert!(matcher.contains(&query).unwrap());
+/// ```
 #[derive(Debug, Clone)]
 pub struct Matcher<'a> {
     data: &'a Hypergraph,

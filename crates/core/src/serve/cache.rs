@@ -1,0 +1,252 @@
+//! The plan cache: repeated query shapes skip Algorithm 3.
+//!
+//! A serving workload repeats query shapes constantly (the same template
+//! with different parameters, the same dashboard query every few seconds),
+//! so the server memoises compiled [`Plan`]s. The cache key is the query's
+//! *canonical form*: its vertex-label vector plus its canonicalised
+//! (sorted) hyperedge lists — the same canonicalisation
+//! [`hgmatch_hypergraph::Signature`] applies to label multisets, lifted to
+//! the whole query. The per-edge `Signature`s themselves are *not* stored
+//! in the key: they are a pure function of the labels and edge lists, so
+//! they cannot distinguish any queries the key does not already
+//! distinguish — they are rebuilt (and interned) during planning on a
+//! miss, and a hit touches only the label/edge comparison.
+//!
+//! Plans are valid for exactly one data hypergraph (Algorithm 3 orders by
+//! the data's signature cardinalities and steps embed `SignatureId`s of its
+//! interner), which is why the cache lives inside [`MatchServer`] — the
+//! server owns one immutable data hypergraph for its whole lifetime.
+//!
+//! Eviction is least-recently-used over a bounded capacity; hits and misses
+//! are observable through [`MatchServer::stats`].
+//!
+//! [`MatchServer`]: super::MatchServer
+//! [`MatchServer::stats`]: super::MatchServer::stats
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hgmatch_hypergraph::fxhash::FxHashMap;
+use hgmatch_hypergraph::{Hypergraph, Label};
+use parking_lot::Mutex;
+
+use crate::error::Result;
+use crate::plan::{Plan, Planner};
+use crate::query::QueryGraph;
+
+/// Canonical cache key of a query hypergraph.
+///
+/// Two queries collide exactly when they have the same vertex labels and
+/// the same (sorted) hyperedge vertex lists — i.e. when they are the *same*
+/// labelled hypergraph, for which the planner provably produces the same
+/// plan against a fixed data hypergraph. Isomorphic-but-relabelled queries
+/// plan afresh: full canonical labelling would cost more than Algorithm 3
+/// saves on the paper's ≤ 6-edge queries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    labels: Box<[Label]>,
+    edges: Box<[Box<[u32]>]>,
+}
+
+impl PlanKey {
+    fn new(query: &Hypergraph) -> Self {
+        Self {
+            labels: query.labels().into(),
+            edges: query.iter_edges().map(|(_, vs)| Box::from(vs)).collect(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<Plan>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: FxHashMap<PlanKey, Entry>,
+    tick: u64,
+}
+
+/// A bounded LRU cache of compiled plans, keyed by canonical query form.
+#[derive(Debug)]
+pub(crate) struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (0 disables
+    /// caching: every submission plans afresh).
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the plan for `query` against `data`, reusing a cached one
+    /// when the canonical form matches. The boolean is `true` on a hit.
+    pub(crate) fn plan_for(
+        &self,
+        query: &Hypergraph,
+        data: &Hypergraph,
+    ) -> Result<(Arc<Plan>, bool)> {
+        if self.capacity == 0 {
+            let q = QueryGraph::new(query)?;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::new(Planner::plan(&q, data)?), false));
+        }
+
+        let key = PlanKey::new(query);
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = tick;
+                let plan = Arc::clone(&entry.plan);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((plan, true));
+            }
+        }
+
+        // Plan outside the lock: Algorithm 3 is cheap but not free, and
+        // submissions should not serialise behind each other's planning.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let q = QueryGraph::new(query)?;
+        let plan = Arc::new(Planner::plan(&q, data)?);
+
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity {
+            // Evict the least-recently-used entry (linear scan: serving
+            // caches are small, eviction is rare).
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        // A racing submitter may have inserted the same key meanwhile;
+        // keeping the existing entry preserves its recency.
+        inner.map.entry(key).or_insert(Entry {
+            plan: Arc::clone(&plan),
+            last_used: tick,
+        });
+        Ok((plan, false))
+    }
+
+    /// Cache hits so far.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far (planning happened).
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Plans currently cached.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgmatch_hypergraph::HypergraphBuilder;
+
+    fn tiny_data() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 1, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![0, 1]).unwrap();
+        b.add_edge(vec![2, 3]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn ab_query(extra: u32) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(Label::new(0));
+        b.add_vertex(Label::new(extra));
+        b.add_edge(vec![0, 1]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hit_on_identical_query() {
+        let data = tiny_data();
+        let cache = PlanCache::new(4);
+        let (p1, hit1) = cache.plan_for(&ab_query(1), &data).unwrap();
+        let (p2, hit2) = cache.plan_for(&ab_query(1), &data).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn different_labels_miss() {
+        let data = tiny_data();
+        let cache = PlanCache::new(4);
+        cache.plan_for(&ab_query(1), &data).unwrap();
+        let (_, hit) = cache.plan_for(&ab_query(0), &data).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let data = tiny_data();
+        let cache = PlanCache::new(2);
+        let q1 = ab_query(1);
+        let q2 = ab_query(0);
+        cache.plan_for(&q1, &data).unwrap(); // {q1}
+        cache.plan_for(&q2, &data).unwrap(); // {q1, q2}
+        cache.plan_for(&q1, &data).unwrap(); // touch q1
+
+        // A third shape evicts q2 (least recently used), not q1.
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(3, Label::new(0));
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        let q3 = b.build().unwrap();
+        cache.plan_for(&q3, &data).unwrap();
+        assert_eq!(cache.len(), 2);
+
+        let (_, hit1) = cache.plan_for(&q1, &data).unwrap();
+        assert!(hit1, "recently-used entry must survive eviction");
+        let (_, hit2) = cache.plan_for(&q2, &data).unwrap();
+        assert!(!hit2, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let data = tiny_data();
+        let cache = PlanCache::new(0);
+        cache.plan_for(&ab_query(1), &data).unwrap();
+        let (_, hit) = cache.plan_for(&ab_query(1), &data).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn planning_errors_propagate() {
+        let data = tiny_data();
+        let cache = PlanCache::new(4);
+        let empty = HypergraphBuilder::new().build().unwrap();
+        assert!(cache.plan_for(&empty, &data).is_err());
+    }
+}

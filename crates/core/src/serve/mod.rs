@@ -1,0 +1,516 @@
+//! The multi-query serving layer: one resident worker pool, many
+//! concurrent queries.
+//!
+//! The one-shot [`crate::engine::ParallelEngine`] spins a pool up and down
+//! per `run()` — perfect for benchmarks, wasteful for a server answering a
+//! stream of queries against one immutable data hypergraph. This module
+//! provides [`MatchServer`]: worker threads that live for the process
+//! lifetime and multiplex every admitted query over one shared,
+//! [`Arc`]'d data hypergraph (with its signature partitions and inverted
+//! indexes built once).
+//!
+//! What the server adds over the engine (DESIGN.md §8):
+//!
+//! * **Admission & fair interleaving** — each query is planned once (or
+//!   fetched from the plan cache) and seeded as a single root scan task;
+//!   workers pick seeds up round-robin and, after a fairness quantum of
+//!   consecutive tasks on one query, prioritise other queries' seeds, so a
+//!   huge query cannot starve small ones.
+//! * **Per-query control** — cooperative cancellation
+//!   ([`QueryHandle::cancel`]), wall-clock timeouts and `max_results`
+//!   early-exit all stop *expansion* (workers drop the query's remaining
+//!   tasks and abandon candidate loops mid-way), not just result
+//!   recording; a stopped query releases its workers to other queries
+//!   without touching the pool.
+//! * **Plan caching** — repeated query shapes skip Algorithm 3 entirely,
+//!   keyed by the query's canonical form: its label vector plus its
+//!   canonicalised hyperedge lists, the same canonicalisation
+//!   [`hgmatch_hypergraph::Signature`] applies to label multisets lifted
+//!   to the whole query. Hits are observable via [`MatchServer::stats`]
+//!   and per-outcome [`QueryOutcome::plan_cached`].
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hgmatch_core::serve::{MatchServer, QueryOptions, QueryStatus, ServeConfig};
+//! use hgmatch_hypergraph::{HypergraphBuilder, Label};
+//!
+//! // Data: two triangles sharing a vertex (labels A=0, B=1).
+//! let mut b = HypergraphBuilder::new();
+//! for &l in &[0u32, 0, 1, 0, 0] {
+//!     b.add_vertex(Label::new(l));
+//! }
+//! b.add_edge(vec![0, 1, 2]).unwrap();
+//! b.add_edge(vec![2, 3, 4]).unwrap();
+//! let data = Arc::new(b.build().unwrap());
+//!
+//! // Query: one {A, A, B} hyperedge.
+//! let mut q = HypergraphBuilder::new();
+//! for &l in &[0u32, 0, 1] {
+//!     q.add_vertex(Label::new(l));
+//! }
+//! q.add_edge(vec![0, 1, 2]).unwrap();
+//! let query = q.build().unwrap();
+//!
+//! let server = MatchServer::new(Arc::clone(&data), ServeConfig::default());
+//! // Submit twice: the second submission hits the plan cache.
+//! let first = server.run(&query, QueryOptions::default()).unwrap();
+//! let second = server.run(&query, QueryOptions::default()).unwrap();
+//! assert_eq!(first.status, QueryStatus::Completed);
+//! assert_eq!((first.count, second.count), (2, 2));
+//! assert!(!first.plan_cached && second.plan_cached);
+//! assert_eq!(server.stats().plan_cache_hits, 1);
+//! ```
+
+pub(crate) mod cache;
+pub(crate) mod query;
+pub(crate) mod worker;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Stealer, Worker as Deque};
+use hgmatch_hypergraph::Hypergraph;
+use parking_lot::Mutex;
+
+use crate::config::MatchConfig;
+use crate::embedding::Embedding;
+use crate::engine::task::Task;
+use crate::error::Result;
+use crate::metrics::MatchMetrics;
+
+use cache::PlanCache;
+use query::{ActiveQuery, StopCause};
+use worker::{worker_loop, ServeTask};
+
+/// Configuration of a [`MatchServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Resident worker threads. Must be ≥ 1.
+    pub threads: usize,
+    /// Consecutive tasks a worker may execute for one query before other
+    /// queries' waiting seeds take priority (fair interleaving).
+    pub fairness_quantum: u32,
+    /// Plans kept in the LRU plan cache (0 disables caching).
+    pub plan_cache_capacity: usize,
+    /// Timeout applied to queries that do not set their own.
+    pub default_timeout: Option<Duration>,
+    /// Execution knobs shared by all queries (scan chunking, work
+    /// stealing, pruning). Its `threads` and `timeout` fields are ignored:
+    /// the pool size is [`ServeConfig::threads`] and timeouts are
+    /// per-query. Disabling `work_stealing` pins each query to the worker
+    /// that claimed its seed (parallelism across queries, not within one).
+    pub match_config: MatchConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            fairness_quantum: 64,
+            plan_cache_capacity: 128,
+            default_timeout: None,
+            match_config: MatchConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker-thread count, builder style.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the default per-query timeout, builder style.
+    pub fn with_default_timeout(mut self, timeout: Duration) -> Self {
+        self.default_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the plan-cache capacity, builder style.
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the fairness quantum, builder style.
+    pub fn with_fairness_quantum(mut self, quantum: u32) -> Self {
+        self.fairness_quantum = quantum.max(1);
+        self
+    }
+}
+
+/// Per-query execution options.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Wall-clock budget; overrides [`ServeConfig::default_timeout`].
+    pub timeout: Option<Duration>,
+    /// Stop after this many embeddings. Expansion stops too — remaining
+    /// tasks of the query are dropped, releasing workers.
+    pub max_results: Option<u64>,
+    /// Materialise embeddings (otherwise the query only counts).
+    pub collect: bool,
+}
+
+impl QueryOptions {
+    /// Count-only options with no limits.
+    pub fn count() -> Self {
+        Self::default()
+    }
+
+    /// Collects every embedding.
+    pub fn collect_all() -> Self {
+        Self {
+            collect: true,
+            ..Self::default()
+        }
+    }
+
+    /// Collects at most `k` embeddings, stopping expansion once found.
+    pub fn first(k: u64) -> Self {
+        Self {
+            collect: true,
+            max_results: Some(k),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the timeout, builder style.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the result limit, builder style.
+    pub fn with_max_results(mut self, limit: u64) -> Self {
+        self.max_results = Some(limit);
+        self
+    }
+}
+
+/// Terminal status of a served query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// The search space was exhausted; results are exact.
+    Completed,
+    /// `max_results` was reached and expansion stopped early. The results
+    /// are the first to be *found*: with one worker that is exactly the
+    /// sequential executor's first-N (DESIGN.md §8.3); with several
+    /// workers it is N valid embeddings whose identity depends on
+    /// scheduling.
+    LimitReached,
+    /// The wall-clock budget expired; results are a lower bound.
+    TimedOut,
+    /// The query was cancelled; results are whatever was found first.
+    Cancelled,
+}
+
+impl std::fmt::Display for QueryStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Completed => "completed",
+            Self::LimitReached => "limit-reached",
+            Self::TimedOut => "timed-out",
+            Self::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// Final result of a served query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Server-assigned query id (also on the [`QueryHandle`]).
+    pub id: u64,
+    /// How the query ended.
+    pub status: QueryStatus,
+    /// Embeddings found (exact only when `status` is
+    /// [`QueryStatus::Completed`] or [`QueryStatus::LimitReached`]).
+    pub count: u64,
+    /// Collected embeddings (sorted), when
+    /// [`QueryOptions::collect`] was set.
+    pub embeddings: Option<Vec<Embedding>>,
+    /// Merged execution counters.
+    pub metrics: MatchMetrics,
+    /// Submission-to-completion latency.
+    pub elapsed: Duration,
+    /// Peak bytes of materialised partial embeddings for this query.
+    pub peak_memory_bytes: i64,
+    /// Whether planning was skipped via the plan cache.
+    pub plan_cached: bool,
+}
+
+/// A handle to an in-flight (or finished) query.
+///
+/// Dropping the handle does *not* cancel the query; call
+/// [`QueryHandle::cancel`] for that.
+#[derive(Debug)]
+pub struct QueryHandle {
+    query: Arc<ActiveQuery>,
+}
+
+impl QueryHandle {
+    /// The server-assigned query id.
+    pub fn id(&self) -> u64 {
+        self.query.id
+    }
+
+    /// Requests cooperative cancellation: workers drop the query's
+    /// remaining tasks and abandon in-progress expansions at the next
+    /// probe. The pool itself keeps running.
+    pub fn cancel(&self) {
+        self.query.stop(StopCause::Cancelled);
+    }
+
+    /// Whether the outcome is ready (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.query.is_finished()
+    }
+
+    /// Blocks until the query finishes and returns its outcome.
+    pub fn wait(self) -> QueryOutcome {
+        self.query.wait_outcome()
+    }
+}
+
+/// Aggregate serving counters, snapshot via [`MatchServer::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries admitted (including already-finished ones).
+    pub admitted: u64,
+    /// Queries finished, by terminal status.
+    pub completed: u64,
+    /// Queries that ended at their result limit.
+    pub limit_reached: u64,
+    /// Queries that hit their wall-clock budget.
+    pub timed_out: u64,
+    /// Queries cancelled by their submitter (or by shutdown).
+    pub cancelled: u64,
+    /// Queries currently admitted and not yet finished.
+    pub active: usize,
+    /// Tasks executed across all queries.
+    pub tasks_executed: u64,
+    /// Successful inter-worker steal operations.
+    pub steals: u64,
+    /// Plan-cache hits (planning skipped).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (planning ran).
+    pub plan_cache_misses: u64,
+    /// Plans currently cached.
+    pub plan_cache_size: usize,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) admitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) limit_reached: AtomicU64,
+    pub(crate) timed_out: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    pub(crate) tasks: AtomicU64,
+    pub(crate) steals: AtomicU64,
+}
+
+/// State shared between the server front-end and its workers.
+#[derive(Debug)]
+pub(crate) struct ServeShared {
+    pub(crate) data: Arc<Hypergraph>,
+    pub(crate) config: MatchConfig,
+    pub(crate) fairness_quantum: u32,
+    /// Admitted, unfinished queries (seed-slot scan order = admission
+    /// order; finalisation removes entries).
+    pub(crate) queries: Mutex<Vec<Arc<ActiveQuery>>>,
+    pub(crate) stealers: Vec<Stealer<ServeTask>>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) idle_mutex: StdMutex<()>,
+    pub(crate) idle_cv: Condvar,
+    pub(crate) counters: Counters,
+    pub(crate) cache: PlanCache,
+    next_id: AtomicU64,
+}
+
+impl ServeShared {
+    /// Retires a finished query: removes it from the admission registry,
+    /// resolves its outcome, bumps counters and wakes waiters. Called by
+    /// exactly one thread per query (the one retiring its last pending
+    /// task, or the submitter for trivially-empty queries).
+    pub(crate) fn finalize(&self, query: &Arc<ActiveQuery>) {
+        self.queries.lock().retain(|q| q.id != query.id);
+        let status = query.status();
+        match status {
+            QueryStatus::Completed => &self.counters.completed,
+            QueryStatus::LimitReached => &self.counters.limit_reached,
+            QueryStatus::TimedOut => &self.counters.timed_out,
+            QueryStatus::Cancelled => &self.counters.cancelled,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let (count, embeddings) = query.sink.take_output();
+        query.complete(QueryOutcome {
+            id: query.id,
+            status,
+            count,
+            embeddings,
+            metrics: *query.metrics.lock(),
+            elapsed: query.submitted.elapsed(),
+            peak_memory_bytes: query.tracker.peak_bytes(),
+            plan_cached: query.plan_cached,
+        });
+    }
+}
+
+/// A resident multi-query matching server over one shared data hypergraph.
+///
+/// Workers are spawned in [`MatchServer::new`] and joined on drop (or via
+/// [`MatchServer::shutdown`]); queries in flight at shutdown are cancelled
+/// and their waiters woken with [`QueryStatus::Cancelled`] outcomes.
+#[derive(Debug)]
+pub struct MatchServer {
+    shared: Arc<ServeShared>,
+    workers: Vec<JoinHandle<()>>,
+    default_timeout: Option<Duration>,
+}
+
+impl MatchServer {
+    /// Spawns the worker pool over `data`.
+    pub fn new(data: Arc<Hypergraph>, config: ServeConfig) -> Self {
+        let threads = config.threads.max(1);
+        let deques: Vec<Deque<ServeTask>> = (0..threads).map(|_| Deque::new_lifo()).collect();
+        let stealers: Vec<Stealer<ServeTask>> = deques.iter().map(Deque::stealer).collect();
+
+        let shared = Arc::new(ServeShared {
+            data,
+            config: config.match_config.clone(),
+            fairness_quantum: config.fairness_quantum.max(1),
+            queries: Mutex::new(Vec::new()),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            idle_mutex: StdMutex::new(()),
+            idle_cv: Condvar::new(),
+            counters: Counters::default(),
+            cache: PlanCache::new(config.plan_cache_capacity),
+            next_id: AtomicU64::new(0),
+        });
+        let default_timeout = config.default_timeout;
+
+        let workers = deques
+            .into_iter()
+            .enumerate()
+            .map(|(wid, deque)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hgmatch-serve-{wid}"))
+                    .spawn(move || worker_loop(wid, deque, shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+
+        Self {
+            shared,
+            workers,
+            default_timeout,
+        }
+    }
+
+    /// Admits `query`: plans it (or hits the plan cache), registers it
+    /// with the pool and returns a handle for cancellation and waiting.
+    ///
+    /// # Errors
+    /// Fails when the query is empty or exceeds the engine's 64-hyperedge
+    /// limit (same conditions as [`crate::Matcher`]).
+    pub fn submit(&self, query: &Hypergraph, options: QueryOptions) -> Result<QueryHandle> {
+        let shared = &self.shared;
+        let (plan, cached) = shared.cache.plan_for(query, &shared.data)?;
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let deadline = options
+            .timeout
+            .or(self.default_timeout)
+            .map(|t| Instant::now() + t);
+        let active = Arc::new(ActiveQuery::new(id, plan, &options, cached, deadline));
+        shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+
+        let scan_rows = if active.plan.is_infeasible() {
+            0
+        } else {
+            shared
+                .data
+                .partition(active.plan.steps()[0].partition.expect("feasible"))
+                .len() as u32
+        };
+        if scan_rows == 0 {
+            // Nothing to do: resolve inline, never touching the pool.
+            shared.finalize(&active);
+        } else {
+            active.pending.store(1, Ordering::Relaxed);
+            *active.seed.lock() = Some(Task::Scan {
+                start: 0,
+                end: scan_rows,
+            });
+            shared.queries.lock().push(Arc::clone(&active));
+            shared.idle_cv.notify_all();
+        }
+        Ok(QueryHandle { query: active })
+    }
+
+    /// Submits `query` and blocks for its outcome — the convenience path
+    /// for callers that do not interleave submissions.
+    pub fn run(&self, query: &Hypergraph, options: QueryOptions) -> Result<QueryOutcome> {
+        Ok(self.submit(query, options)?.wait())
+    }
+
+    /// Snapshot of the aggregate serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        ServeStats {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            limit_reached: c.limit_reached.load(Ordering::Relaxed),
+            timed_out: c.timed_out.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            active: self.shared.queries.lock().len(),
+            tasks_executed: c.tasks.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+            plan_cache_hits: self.shared.cache.hits(),
+            plan_cache_misses: self.shared.cache.misses(),
+            plan_cache_size: self.shared.cache.len(),
+        }
+    }
+
+    /// The shared data hypergraph.
+    pub fn data(&self) -> &Arc<Hypergraph> {
+        &self.shared.data
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len().max(1)
+    }
+
+    /// Cancels in-flight queries, drains the pool and joins the workers.
+    /// Dropping the server does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        for q in self.shared.queries.lock().iter() {
+            q.stop(StopCause::Cancelled);
+        }
+        self.shared.idle_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MatchServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

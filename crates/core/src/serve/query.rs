@@ -1,0 +1,292 @@
+//! Per-query serving state: result sink, stop causes, completion slot.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::embedding::Embedding;
+use crate::memory::MemoryTracker;
+use crate::metrics::MatchMetrics;
+use crate::plan::Plan;
+use crate::sink::Sink;
+
+use crate::engine::task::Task;
+
+use super::{QueryOptions, QueryOutcome, QueryStatus};
+use std::sync::Arc;
+
+/// Why a query stopped producing before exhausting the search space.
+/// First cause wins; later signals are ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StopCause {
+    /// `max_results` reached.
+    Limit = 1,
+    /// Wall-clock deadline passed.
+    Timeout = 2,
+    /// [`super::QueryHandle::cancel`] or server shutdown.
+    Cancelled = 3,
+}
+
+const RUNNING: u8 = 0;
+
+/// The server-side sink: counts always, collects embeddings when asked,
+/// and flips to *satisfied* once `max_results` is reached so workers stop
+/// expanding this query (not merely stop recording results).
+#[derive(Debug)]
+pub(crate) struct ServeSink {
+    collect: bool,
+    limit: Option<u64>,
+    count: AtomicU64,
+    results: Mutex<Vec<Embedding>>,
+    satisfied: AtomicBool,
+}
+
+impl ServeSink {
+    pub(crate) fn new(collect: bool, limit: Option<u64>) -> Self {
+        Self {
+            collect,
+            limit,
+            count: AtomicU64::new(0),
+            results: Mutex::new(Vec::new()),
+            satisfied: AtomicBool::new(limit == Some(0)),
+        }
+    }
+
+    /// Extracts the final `(count, embeddings)` pair. Collected embeddings
+    /// are sorted for determinism and truncated to the limit; the raw count
+    /// is clamped to the limit as well (count-only limited queries may
+    /// overshoot by up to one task's batch before the early-exit lands).
+    pub(crate) fn take_output(&self) -> (u64, Option<Vec<Embedding>>) {
+        let limit = self.limit.unwrap_or(u64::MAX);
+        if self.collect {
+            let mut v = std::mem::take(&mut *self.results.lock());
+            v.sort_unstable();
+            v.truncate(limit.min(usize::MAX as u64) as usize);
+            (v.len() as u64, Some(v))
+        } else {
+            (self.count.load(Ordering::Relaxed).min(limit), None)
+        }
+    }
+}
+
+impl Sink for ServeSink {
+    fn needs_embeddings(&self) -> bool {
+        self.collect
+    }
+
+    fn consume(&self, embedding: &[u32]) {
+        let limit = self.limit.unwrap_or(u64::MAX) as usize;
+        let mut guard = self.results.lock();
+        if guard.len() < limit {
+            guard.push(Embedding::new(embedding.to_vec()));
+        }
+        if guard.len() >= limit {
+            self.satisfied.store(true, Ordering::Release);
+        }
+    }
+
+    fn add_count(&self, n: u64) {
+        let total = self.count.fetch_add(n, Ordering::Relaxed) + n;
+        if !self.collect {
+            if let Some(limit) = self.limit {
+                if total >= limit {
+                    self.satisfied.store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    fn is_satisfied(&self) -> bool {
+        self.satisfied.load(Ordering::Acquire)
+    }
+}
+
+/// One admitted query: plan, sink, control flags and accounting, shared
+/// between the submitter's [`super::QueryHandle`] and every task of the
+/// query in flight.
+#[derive(Debug)]
+pub(crate) struct ActiveQuery {
+    pub(crate) id: u64,
+    pub(crate) plan: Arc<Plan>,
+    pub(crate) sink: ServeSink,
+    /// The root scan task, waiting for its first worker. Children bypass
+    /// this slot and go straight to worker deques.
+    pub(crate) seed: Mutex<Option<Task>>,
+    /// Tasks queued or executing. The worker that decrements it to zero
+    /// finalises the query.
+    pub(crate) pending: AtomicU64,
+    /// First stop cause ([`StopCause`] discriminant, 0 while running).
+    stop_cause: AtomicU8,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) submitted: Instant,
+    pub(crate) tracker: MemoryTracker,
+    pub(crate) metrics: Mutex<MatchMetrics>,
+    pub(crate) plan_cached: bool,
+    /// Completion slot: the finalising worker stores the outcome and
+    /// notifies; [`super::QueryHandle::wait`] takes it.
+    outcome: StdMutex<Option<QueryOutcome>>,
+    finished: AtomicBool,
+    done_cv: Condvar,
+}
+
+impl ActiveQuery {
+    pub(crate) fn new(
+        id: u64,
+        plan: Arc<Plan>,
+        options: &QueryOptions,
+        plan_cached: bool,
+        deadline: Option<Instant>,
+    ) -> Self {
+        Self {
+            id,
+            plan,
+            sink: ServeSink::new(options.collect, options.max_results),
+            seed: Mutex::new(None),
+            pending: AtomicU64::new(0),
+            stop_cause: AtomicU8::new(RUNNING),
+            deadline,
+            submitted: Instant::now(),
+            tracker: MemoryTracker::new(),
+            metrics: Mutex::new(MatchMetrics::default()),
+            plan_cached,
+            outcome: StdMutex::new(None),
+            finished: AtomicBool::new(false),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Raises `cause` if no earlier cause was raised; the first wins.
+    pub(crate) fn stop(&self, cause: StopCause) {
+        let _ = self.stop_cause.compare_exchange(
+            RUNNING,
+            cause as u8,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Whether a stop was requested (workers drop this query's tasks).
+    #[inline]
+    pub(crate) fn stopped(&self) -> bool {
+        self.stop_cause.load(Ordering::Relaxed) != RUNNING
+    }
+
+    pub(crate) fn stop_cause(&self) -> Option<StopCause> {
+        match self.stop_cause.load(Ordering::Acquire) {
+            1 => Some(StopCause::Limit),
+            2 => Some(StopCause::Timeout),
+            3 => Some(StopCause::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Resolves the final status from the stop cause and sink state.
+    pub(crate) fn status(&self) -> QueryStatus {
+        match self.stop_cause() {
+            Some(StopCause::Timeout) => QueryStatus::TimedOut,
+            Some(StopCause::Cancelled) => QueryStatus::Cancelled,
+            Some(StopCause::Limit) => QueryStatus::LimitReached,
+            None if self.sink.is_satisfied() => QueryStatus::LimitReached,
+            None => QueryStatus::Completed,
+        }
+    }
+
+    /// Stores the outcome and wakes waiters. Called exactly once, by
+    /// whichever worker (or the submitter, for trivially-empty queries)
+    /// retires the query's last pending task.
+    pub(crate) fn complete(&self, outcome: QueryOutcome) {
+        let mut slot = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(outcome);
+        self.finished.store(true, Ordering::Release);
+        self.done_cv.notify_all();
+    }
+
+    /// Whether the outcome is ready (non-blocking).
+    pub(crate) fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the outcome is ready and takes it.
+    pub(crate) fn wait_outcome(&self) -> QueryOutcome {
+        let mut slot = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        while slot.is_none() {
+            slot = self.done_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+        slot.take().expect("outcome present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_counts_and_limits() {
+        let s = ServeSink::new(false, Some(5));
+        assert!(!s.is_satisfied());
+        s.add_count(3);
+        assert!(!s.is_satisfied());
+        s.add_count(4);
+        assert!(s.is_satisfied(), "count limit flips satisfaction");
+        let (count, emb) = s.take_output();
+        assert_eq!(count, 5, "overshoot is clamped to the limit");
+        assert!(emb.is_none());
+    }
+
+    #[test]
+    fn sink_collects_up_to_limit() {
+        let s = ServeSink::new(true, Some(2));
+        s.consume(&[3]);
+        assert!(!s.is_satisfied());
+        s.consume(&[1]);
+        assert!(s.is_satisfied());
+        s.consume(&[2]); // ignored: already full
+        s.add_count(3);
+        let (count, emb) = s.take_output();
+        assert_eq!(count, 2);
+        let emb = emb.unwrap();
+        assert_eq!(emb.len(), 2);
+        assert!(emb[0] <= emb[1], "results are sorted");
+    }
+
+    #[test]
+    fn zero_limit_is_immediately_satisfied() {
+        assert!(ServeSink::new(true, Some(0)).is_satisfied());
+        assert!(ServeSink::new(false, Some(0)).is_satisfied());
+    }
+
+    #[test]
+    fn unlimited_sink_never_satisfies() {
+        let s = ServeSink::new(false, None);
+        s.add_count(1_000_000);
+        assert!(!s.is_satisfied());
+        assert_eq!(s.take_output().0, 1_000_000);
+    }
+
+    #[test]
+    fn first_stop_cause_wins() {
+        let plan = dummy_plan();
+        let q = ActiveQuery::new(7, plan, &QueryOptions::default(), false, None);
+        assert_eq!(q.stop_cause(), None);
+        assert!(!q.stopped());
+        q.stop(StopCause::Timeout);
+        q.stop(StopCause::Cancelled);
+        assert_eq!(q.stop_cause(), Some(StopCause::Timeout));
+        assert_eq!(q.status(), QueryStatus::TimedOut);
+        assert!(q.stopped());
+    }
+
+    fn dummy_plan() -> Arc<Plan> {
+        use crate::plan::Planner;
+        use crate::query::QueryGraph;
+        use hgmatch_hypergraph::{HypergraphBuilder, Label};
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(0));
+        b.add_edge(vec![0, 1]).unwrap();
+        let h = b.build().unwrap();
+        let q = QueryGraph::new(&h).unwrap();
+        Arc::new(Planner::plan(&q, &h).unwrap())
+    }
+}

@@ -1,0 +1,229 @@
+//! The resident worker pool: one set of OS threads multiplexing every
+//! admitted query.
+//!
+//! Each worker owns a LIFO deque of [`ServeTask`]s — tasks tagged with the
+//! query they belong to — so tasks of many queries interleave freely. Work
+//! discovery is a three-level cascade:
+//!
+//! 1. **local deque** (hot end) — depth-first on whatever the worker
+//!    touched last, preserving the engine's memory bound per query;
+//! 2. **seed slots** — admitted queries whose root scan task nobody has
+//!    picked up yet, visited round-robin so admission order is fair;
+//! 3. **stealing** — batches from a random victim's cold end, which holds
+//!    the *oldest* (coarsest) tasks, exactly as in the one-shot engine.
+//!
+//! Fairness against monopolisation: after [`ServeConfig::fairness_quantum`]
+//! consecutive tasks of the same query, a worker offers waiting seed slots
+//! priority over its own deque. A freshly admitted small query is therefore
+//! picked up within a bounded number of task executions even while a huge
+//! query keeps every deque non-empty — and because deques are LIFO, the
+//! small query's tasks then run ahead of the big query's backlog on that
+//! worker while thieves keep draining the backlog's cold end.
+//!
+//! [`ServeConfig::fairness_quantum`]: super::ServeConfig::fairness_quantum
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::Worker as Deque;
+
+use crate::engine::task::{
+    execute_task, steal_from_victims, ExecScratch, QueryEnv, Task, CHECK_INTERVAL,
+};
+use crate::metrics::MatchMetrics;
+use crate::sink::Sink;
+
+use super::query::{ActiveQuery, StopCause};
+use super::ServeShared;
+
+/// A task tagged with the query it belongs to.
+#[derive(Debug)]
+pub(crate) struct ServeTask {
+    pub(crate) query: Arc<ActiveQuery>,
+    pub(crate) task: Task,
+}
+
+/// Idle polls (with yields) before a worker parks on the condvar.
+const IDLE_SPINS: u32 = 16;
+
+/// How long a parked worker sleeps before re-polling for work. Submissions
+/// notify the condvar, so this only bounds wake-up latency for work that
+/// appears via stealing-visible spawns.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+pub(crate) fn worker_loop(wid: usize, local: Deque<ServeTask>, shared: Arc<ServeShared>) {
+    let mut scratch = ExecScratch::new();
+    let mut rng = 0x9E37_79B9 ^ (wid as u64 + 1).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let mut cursor = wid;
+    let mut consecutive = 0u32;
+    let mut last_query = u64::MAX;
+    let mut idle = 0u32;
+
+    loop {
+        // Quantum bookkeeping: after `fairness_quantum` consecutive tasks
+        // of one query, probe other queries' seeds once and start a fresh
+        // quantum — so an empty probe costs one registry scan per quantum,
+        // not one per task.
+        let probe_seeds = consecutive >= shared.fairness_quantum;
+        if probe_seeds {
+            consecutive = 0;
+        }
+        let next = find_task(
+            wid,
+            &local,
+            &shared,
+            &mut rng,
+            &mut cursor,
+            probe_seeds,
+            last_query,
+        );
+        let Some(ServeTask { query, task }) = next else {
+            if shared.shutdown.load(Ordering::Acquire) && shared.queries.lock().is_empty() {
+                break;
+            }
+            idle += 1;
+            if idle < IDLE_SPINS {
+                std::thread::yield_now();
+            } else {
+                let guard = shared.idle_mutex.lock().unwrap_or_else(|e| e.into_inner());
+                let _ = shared
+                    .idle_cv
+                    .wait_timeout(guard, PARK_TIMEOUT)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            continue;
+        };
+        idle = 0;
+        if query.id == last_query {
+            consecutive += 1;
+        } else {
+            consecutive = 0;
+            last_query = query.id;
+        }
+        run_one(&query, task, &local, &shared, &mut scratch);
+    }
+}
+
+/// Executes one task of `query`, spawning children into the worker's local
+/// deque (tagged with the same query). The worker that retires the query's
+/// last pending task finalises it.
+fn run_one(
+    query: &Arc<ActiveQuery>,
+    task: Task,
+    local: &Deque<ServeTask>,
+    shared: &ServeShared,
+    scratch: &mut ExecScratch,
+) {
+    let env = QueryEnv {
+        plan: &query.plan,
+        data: &shared.data,
+        sink: &query.sink,
+        config: &shared.config,
+        tracker: &query.tracker,
+    };
+    let mut task_metrics = MatchMetrics::default();
+    let mut probes = 0u64;
+    execute_task(
+        &env,
+        scratch,
+        &mut task_metrics,
+        task,
+        &mut || should_stop(query, &mut probes),
+        &mut |t| {
+            query.pending.fetch_add(1, Ordering::Relaxed);
+            local.push(ServeTask {
+                query: Arc::clone(query),
+                task: t,
+            });
+        },
+    );
+    if task_metrics != MatchMetrics::default() {
+        query.metrics.lock().merge(&task_metrics);
+    }
+    shared.counters.tasks.fetch_add(1, Ordering::Relaxed);
+    if query.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        shared.finalize(query);
+    }
+}
+
+/// Per-query cooperative stop check: an already-raised stop is honoured on
+/// every probe (one relaxed load); limit satisfaction and the wall-clock
+/// deadline are consulted every [`CHECK_INTERVAL`] probes.
+#[inline]
+fn should_stop(query: &ActiveQuery, probes: &mut u64) -> bool {
+    *probes += 1;
+    if query.stopped() {
+        return true;
+    }
+    if probes.is_multiple_of(CHECK_INTERVAL) || *probes == 1 {
+        if query.sink.is_satisfied() {
+            query.stop(StopCause::Limit);
+            return true;
+        }
+        if query.deadline.is_some_and(|d| Instant::now() >= d) {
+            query.stop(StopCause::Timeout);
+            return true;
+        }
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn find_task(
+    wid: usize,
+    local: &Deque<ServeTask>,
+    shared: &ServeShared,
+    rng: &mut u64,
+    cursor: &mut usize,
+    probe_seeds: bool,
+    last_query: u64,
+) -> Option<ServeTask> {
+    // Fairness: after a full quantum on one query, waiting seeds of *other*
+    // queries take priority over the local deque (the caller sets
+    // `probe_seeds` once per quantum).
+    if probe_seeds {
+        if let Some(t) = take_seed(shared, cursor, last_query) {
+            return Some(t);
+        }
+    }
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    if let Some(t) = take_seed(shared, cursor, u64::MAX) {
+        return Some(t);
+    }
+    // Random-victim batch stealing from the cold (oldest-task) end. With
+    // stealing disabled each query stays on the worker that claimed its
+    // seed: parallelism across queries, not within one.
+    if !shared.config.work_stealing {
+        return None;
+    }
+    let stolen = steal_from_victims(&shared.stealers, local, wid, rng);
+    if stolen.is_some() {
+        shared.counters.steals.fetch_add(1, Ordering::Relaxed);
+    }
+    stolen
+}
+
+/// Claims the seed task of some admitted-but-unstarted query, round-robin
+/// from `cursor`, skipping `exclude` (the quantum-exceeded query).
+fn take_seed(shared: &ServeShared, cursor: &mut usize, exclude: u64) -> Option<ServeTask> {
+    let queries = shared.queries.lock();
+    let n = queries.len();
+    for k in 0..n {
+        let idx = (*cursor + k) % n;
+        let q = &queries[idx];
+        if q.id == exclude {
+            continue;
+        }
+        if let Some(task) = q.seed.lock().take() {
+            *cursor = idx + 1;
+            return Some(ServeTask {
+                query: Arc::clone(q),
+                task,
+            });
+        }
+    }
+    None
+}

@@ -64,7 +64,7 @@ const RELAXED_ATTEMPTS: usize = 400;
 ///
 /// Datasets whose arities cannot reach the window (e.g. contact networks
 /// with `a_max = 5` rarely reach 15 vertices in 2 edges) relax the window
-/// after [`STRICT_ATTEMPTS`] failures, keeping only connectivity and the
+/// after `STRICT_ATTEMPTS` failures, keeping only connectivity and the
 /// edge count — the paper applies one global window to all datasets, which
 /// only its large-arity datasets can meet exactly.
 ///

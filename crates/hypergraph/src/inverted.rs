@@ -41,6 +41,23 @@ pub struct Posting<'a> {
 
 /// Inverted index from vertex id to a sorted posting list of local hyperedge
 /// row ids within one partition.
+///
+/// # Example
+///
+/// ```
+/// use hgmatch_hypergraph::InvertedIndex;
+///
+/// // One partition of three hyperedge rows: {0,1}, {1,2}, {0,2}.
+/// let rows: Vec<&[u32]> = vec![&[0, 1], &[1, 2], &[0, 2]];
+/// let index = InvertedIndex::build(&rows);
+///
+/// // he(v, S): vertex 1 is incident to rows 0 and 1.
+/// assert_eq!(index.postings(1), &[0, 1]);
+/// // Absent vertices yield an empty posting list.
+/// assert!(index.postings(9).is_empty());
+/// // Small partitions never materialise bitmaps.
+/// assert!(index.posting(1).bits.is_none());
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InvertedIndex {
     /// Sorted vertex ids that appear in this partition.

@@ -263,7 +263,7 @@ impl MultiwayScratch {
 
 /// Unions many sorted slices into `out` (cleared first).
 ///
-/// Few inputs are merged pairwise smallest-first; above [`KWAY_THRESHOLD`]
+/// Few inputs are merged pairwise smallest-first; above `KWAY_THRESHOLD`
 /// a tournament tree merges pairs in rounds — `O(n log k)` total work with
 /// branch-predictable linear merges, instead of the `O(k·n)` accumulating
 /// pairwise loop (DESIGN.md §5.3). This is the single k-way union used
