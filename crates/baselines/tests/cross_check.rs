@@ -4,76 +4,10 @@
 
 use hgmatch_baselines::{bruteforce, run_baseline, BaselineAlgorithm};
 use hgmatch_core::{CollectSink, MatchConfig, Matcher};
+use hgmatch_datasets::testgen::{random_hypergraph, random_subquery};
 use hgmatch_datasets::{
     generate, sample_query, standard_settings, ArityDistribution, GeneratorConfig,
 };
-use hgmatch_hypergraph::{Hypergraph, HypergraphBuilder, Label};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
-fn random_hypergraph(seed: u64, nv: usize, ne: usize, labels: u32, max_arity: usize) -> Hypergraph {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = HypergraphBuilder::new();
-    for _ in 0..nv {
-        b.add_vertex(Label::new(rng.random_range(0..labels)));
-    }
-    for _ in 0..ne {
-        let arity = rng.random_range(1..=max_arity.min(nv));
-        let mut edge: Vec<u32> = Vec::new();
-        while edge.len() < arity {
-            let v = rng.random_range(0..nv as u32);
-            if !edge.contains(&v) {
-                edge.push(v);
-            }
-        }
-        let _ = b.add_edge(edge).unwrap();
-    }
-    b.build().unwrap()
-}
-
-fn random_subquery(data: &Hypergraph, seed: u64, k: usize) -> Option<Hypergraph> {
-    use hgmatch_hypergraph::{EdgeId, VertexId};
-    let mut rng = StdRng::seed_from_u64(seed);
-    if data.num_edges() < k {
-        return None;
-    }
-    let mut edges = vec![rng.random_range(0..data.num_edges() as u32)];
-    for _ in 1..k {
-        let mut frontier: Vec<u32> = Vec::new();
-        for &e in &edges {
-            for &v in data.edge_vertices(EdgeId::new(e)) {
-                frontier.extend_from_slice(data.incident_edges(VertexId::new(v)));
-            }
-        }
-        frontier.sort_unstable();
-        frontier.dedup();
-        frontier.retain(|e| !edges.contains(e));
-        if frontier.is_empty() {
-            return None;
-        }
-        edges.push(frontier[rng.random_range(0..frontier.len())]);
-    }
-    let mut vertices: Vec<u32> = edges
-        .iter()
-        .flat_map(|&e| data.edge_vertices(EdgeId::new(e)))
-        .copied()
-        .collect();
-    vertices.sort_unstable();
-    vertices.dedup();
-    let mut b = HypergraphBuilder::new();
-    for &v in &vertices {
-        b.add_vertex(data.label(VertexId::new(v)));
-    }
-    for &e in &edges {
-        let renumbered: Vec<u32> = data
-            .edge_vertices(EdgeId::new(e))
-            .iter()
-            .map(|&v| vertices.binary_search(&v).unwrap() as u32)
-            .collect();
-        b.add_edge(renumbered).unwrap();
-    }
-    Some(b.build().unwrap())
-}
 
 /// Exhaustive agreement against brute force on tiny instances (brute force
 /// is factorial in |V(q)|, so queries stay small).

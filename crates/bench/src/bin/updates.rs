@@ -1,0 +1,268 @@
+//! Dynamic-update throughput and query latency under concurrent mutation
+//! — the workload the `hypergraph::dynamic` subsystem (DESIGN.md §11)
+//! exists for.
+//!
+//! Four phases over one dataset profile:
+//!
+//! 1. `insert_throughput` — build the graph from an insert-only stream
+//!    through [`DynamicHypergraph`] (inserts/sec), compared against the
+//!    offline one-shot build of the same edges.
+//! 2. `mixed_throughput` — a 70:30 insert:delete stream (ops/sec), with
+//!    tombstoning and threshold compaction in play.
+//! 3. `snapshot_cost` — epoch freezes at a fixed cadence during a mixed
+//!    stream: median/p95 snapshot latency, exercising partition-level
+//!    copy-on-write reuse.
+//! 4. `serve_under_mutation` — a writer thread applies the stream and
+//!    publishes epochs to a [`MatchServer`] while a reader keeps a q2/q3
+//!    workload in flight: per-query latency (p50/p95), served throughput
+//!    and concurrent update throughput.
+//!
+//! Results print as TSV; `--json PATH` writes the committed
+//! `BENCH_updates.json` baseline shape.
+//!
+//! Usage: `updates [--dataset NAME] [--ops N] [--threads N]
+//!                 [--snapshot-every N] [--json PATH]`
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hgmatch_bench::experiments::num_cpus;
+use hgmatch_bench::report::{median, percentile};
+use hgmatch_core::serve::{MatchServer, QueryOptions, ServeConfig};
+use hgmatch_datasets::testgen::rebuild_oracle;
+use hgmatch_datasets::{
+    generate_update_stream, profile_by_name, sample_query, standard_settings, UpdateStreamConfig,
+};
+use hgmatch_hypergraph::{DynamicHypergraph, Hypergraph, UpdateOp};
+
+fn main() {
+    let mut dataset = "CH".to_string();
+    let mut ops = 20_000usize;
+    let mut threads = num_cpus();
+    let mut snapshot_every = 500usize;
+    let mut json_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dataset" => {
+                i += 1;
+                dataset = args.get(i).expect("--dataset NAME").clone();
+            }
+            "--ops" => {
+                i += 1;
+                ops = args.get(i).and_then(|s| s.parse().ok()).expect("--ops N");
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads N");
+            }
+            "--snapshot-every" => {
+                i += 1;
+                snapshot_every = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--snapshot-every N");
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json PATH").clone());
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+        i += 1;
+    }
+
+    let profile = profile_by_name(&dataset).expect("known dataset");
+    let base = profile.generate();
+    println!(
+        "# updates: {} ({} vertices, {} edges), {ops} ops, snapshot every {snapshot_every}, {threads} threads",
+        profile.name,
+        base.num_vertices(),
+        base.num_edges(),
+    );
+
+    // Phase 1: insert-only throughput vs the offline builder.
+    let insert_stream = generate_update_stream(
+        &base,
+        &UpdateStreamConfig {
+            ops,
+            insert_ratio: 1.0,
+            seed: 11,
+            ..Default::default()
+        },
+    );
+    let begin = Instant::now();
+    let mut dynamic = DynamicHypergraph::from_hypergraph(&base);
+    for op in &insert_stream {
+        dynamic.apply(op).expect("stream op applies");
+    }
+    let insert_secs = begin.elapsed().as_secs_f64();
+    let inserts_per_sec = ops as f64 / insert_secs.max(1e-9);
+    let built = dynamic.snapshot().graph;
+
+    let begin = Instant::now();
+    let offline = rebuild_oracle(&built);
+    let offline_secs = begin.elapsed().as_secs_f64();
+    assert_eq!(*built, offline, "dynamic build must equal offline build");
+    println!(
+        "insert_throughput\t{inserts_per_sec:.0} inserts/s ({insert_secs:.4}s; offline one-shot build of the result: {offline_secs:.4}s)"
+    );
+
+    // Phase 2: mixed stream throughput (70:30).
+    let mixed_stream = generate_update_stream(
+        &base,
+        &UpdateStreamConfig {
+            ops,
+            insert_ratio: 0.7,
+            seed: 13,
+            ..Default::default()
+        },
+    );
+    let deletes = mixed_stream
+        .iter()
+        .filter(|op| matches!(op, UpdateOp::Delete(_)))
+        .count();
+    let begin = Instant::now();
+    let mut dynamic = DynamicHypergraph::from_hypergraph(&base);
+    for op in &mixed_stream {
+        dynamic.apply(op).expect("stream op applies");
+    }
+    let mixed_secs = begin.elapsed().as_secs_f64();
+    let mixed_ops_per_sec = ops as f64 / mixed_secs.max(1e-9);
+    let deletes_per_sec = deletes as f64 / (mixed_secs * deletes as f64 / ops as f64).max(1e-9);
+    println!(
+        "mixed_throughput\t{mixed_ops_per_sec:.0} ops/s ({} inserts, {deletes} deletes in {mixed_secs:.4}s)",
+        ops - deletes
+    );
+
+    // Phase 3: snapshot cost at a fixed cadence over a fresh mixed stream.
+    let mut dynamic = DynamicHypergraph::from_hypergraph(&base);
+    let mut snapshot_secs: Vec<f64> = Vec::new();
+    for chunk in mixed_stream.chunks(snapshot_every) {
+        for op in chunk {
+            dynamic.apply(op).expect("stream op applies");
+        }
+        let t = Instant::now();
+        let _ = dynamic.snapshot();
+        snapshot_secs.push(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "snapshot_cost\tp50 {:.3}ms\tp95 {:.3}ms\t({} snapshots)",
+        median(&snapshot_secs) * 1e3,
+        percentile(&snapshot_secs, 95.0) * 1e3,
+        snapshot_secs.len()
+    );
+
+    // Phase 4: serving under concurrent mutation.
+    let mut dynamic = DynamicHypergraph::from_hypergraph(&base);
+    let first = dynamic.snapshot().graph;
+    let settings = standard_settings();
+    let mut queries: Vec<Hypergraph> = Vec::new();
+    for (si, setting) in settings.iter().take(2).enumerate() {
+        for s in 0..6u64 {
+            if let Some(q) = sample_query(&first, setting, 31 + s * 7 + si as u64) {
+                queries.push(q);
+            }
+        }
+    }
+    assert!(
+        queries.len() >= 8,
+        "workload sampling produced too few queries"
+    );
+
+    let server = MatchServer::new(
+        Arc::clone(&first),
+        ServeConfig::default().with_threads(threads),
+    );
+    let writer_done = AtomicBool::new(false);
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut served = 0u64;
+    let serve_begin = Instant::now();
+    let concurrent_updates_per_sec = std::thread::scope(|scope| {
+        let server_ref = &server;
+        let done_ref = &writer_done;
+        let writer = scope.spawn(move || {
+            let begin = Instant::now();
+            for chunk in mixed_stream.chunks(snapshot_every) {
+                for op in chunk {
+                    dynamic.apply(op).expect("stream op applies");
+                }
+                let delta = dynamic.snapshot();
+                server_ref.update_data(delta.graph, &delta.touched_labels, delta.sids_stable);
+            }
+            done_ref.store(true, Ordering::Release);
+            ops as f64 / begin.elapsed().as_secs_f64().max(1e-9)
+        });
+
+        // Reader: keep the whole workload in flight until the writer ends.
+        while !writer_done.load(Ordering::Acquire) {
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    server
+                        .submit(q, QueryOptions::count())
+                        .expect("valid query")
+                })
+                .collect();
+            for handle in handles {
+                let outcome = handle.wait();
+                latencies.push(outcome.elapsed.as_secs_f64());
+                served += 1;
+            }
+        }
+        writer.join().expect("writer thread")
+    });
+    let serve_secs = serve_begin.elapsed().as_secs_f64();
+    let served_qps = served as f64 / serve_secs.max(1e-9);
+    let stats = server.stats();
+    println!(
+        "serve_under_mutation\t{served} queries in {serve_secs:.4}s ({served_qps:.1} q/s)\tp50 {:.3}ms\tp95 {:.3}ms\tupdates {concurrent_updates_per_sec:.0} ops/s",
+        median(&latencies) * 1e3,
+        percentile(&latencies, 95.0) * 1e3,
+    );
+    println!(
+        "# epochs {}, plan cache {} hits / {} misses / {} invalidated",
+        stats.data_epoch, stats.plan_cache_hits, stats.plan_cache_misses, stats.plans_invalidated
+    );
+
+    if let Some(path) = json_path {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"dataset\": \"{}\", \"ops\": {ops}, \"threads\": {threads}, \"snapshot_every\": {snapshot_every},",
+            profile.name
+        );
+        let _ = writeln!(
+            out,
+            "  \"insert_throughput\": {{\"inserts_per_s\": {inserts_per_sec:.0}, \"offline_build_s\": {offline_secs:.4}}},"
+        );
+        let _ = writeln!(
+            out,
+            "  \"mixed_throughput\": {{\"ops_per_s\": {mixed_ops_per_sec:.0}, \"deletes_per_s\": {deletes_per_sec:.0}}},"
+        );
+        let _ = writeln!(
+            out,
+            "  \"snapshot_cost\": {{\"p50_ms\": {:.3}, \"p95_ms\": {:.3}}},",
+            median(&snapshot_secs) * 1e3,
+            percentile(&snapshot_secs, 95.0) * 1e3
+        );
+        let _ = writeln!(
+            out,
+            "  \"serve_under_mutation\": {{\"queries_per_s\": {served_qps:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"updates_per_s\": {concurrent_updates_per_sec:.0}, \"epochs\": {}, \"plans_invalidated\": {}}}",
+            median(&latencies) * 1e3,
+            percentile(&latencies, 95.0) * 1e3,
+            stats.data_epoch,
+            stats.plans_invalidated
+        );
+        out.push_str("}\n");
+        std::fs::write(&path, out).expect("write json report");
+        println!("# wrote {path}");
+    }
+}

@@ -16,6 +16,14 @@
 //!   completion order. Both report per-query latency and aggregate
 //!   throughput. A query list has one `<qlabels> <qedges>` pair per line
 //!   (blank lines and `#` comments skipped).
+//! * `update` — consume an insert/delete stream file against a loaded
+//!   graph through [`hgmatch_hypergraph::DynamicHypergraph`]: applies ops
+//!   in batches, publishes an epoch snapshot per batch, optionally
+//!   re-answers a standing query list on a [`MatchServer`] after every
+//!   epoch (with `--delta`, cross-checked against
+//!   [`hgmatch_core::delta_match`]), and reports update throughput.
+//! * `gen-stream` — generate a random update stream with a configurable
+//!   insert:delete ratio (the `datasets` update-stream generator).
 //! * `explain <labels.txt> <edges.txt> <qlabels.txt> <qedges.txt>` — show
 //!   the matching order and dataflow.
 //! * `sample-query <labels.txt> <edges.txt> <setting> <seed>
@@ -39,6 +47,8 @@ pub const USAGE: &str = "usage:
   hgmatch match <labels> <edges> <qlabels> <qedges> [--threads N] [--timeout SECS] [--print [LIMIT]]
   hgmatch batch <labels> <edges> <queries.txt> [serve flags]
   hgmatch serve <labels> <edges> [--input FILE] [serve flags]
+  hgmatch update <labels> <edges> <stream.txt> [update flags]
+  hgmatch gen-stream <labels> <edges> <ops> <insert-ratio> <seed> <out.txt>
   hgmatch explain <labels> <edges> <qlabels> <qedges>
   hgmatch sample-query <labels> <edges> <q2|q3|q4|q6> <seed> <out-labels> <out-edges>
 
@@ -52,6 +62,15 @@ serve flags:
   --input FILE      serve only: read specs from FILE instead of stdin
   --quantum N       fairness quantum in tasks (default 64)
   --plan-cache N    plan-cache capacity, 0 disables (default 128)
+
+update applies an insert/delete stream (`+ v...` / `- v...` / `v label`
+lines) to a dynamic graph, publishing one snapshot epoch per batch.
+update flags:
+  --batch N         ops per epoch (default: the whole stream at once)
+  --queries FILE    re-answer this query list after every epoch
+  --delta           also delta-match each query and cross-check the counts
+  --threads N       worker threads for --queries (default 4)
+  --save L E        write the final graph to label/edge files
 profiles: HC MA CH CP SB HB WT TC SA AR";
 
 /// Executes one CLI invocation; `args` excludes the program name.
@@ -63,6 +82,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "match" => do_match(&args[1..]),
         "batch" => do_batch(&args[1..]),
         "serve" => do_serve(&args[1..]),
+        "update" => do_update(&args[1..]),
+        "gen-stream" => do_gen_stream(&args[1..]),
         "explain" => explain(&args[1..]),
         "sample-query" => do_sample(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
@@ -456,6 +477,280 @@ fn do_serve(args: &[String]) -> Result<(), String> {
         &server,
         served.load(std::sync::atomic::Ordering::Relaxed),
         begin.elapsed(),
+    );
+    Ok(())
+}
+
+/// Parsed flags of the `update` subcommand.
+struct UpdateCliOptions {
+    batch: Option<usize>,
+    queries: Option<String>,
+    delta: bool,
+    threads: usize,
+    save: Option<(String, String)>,
+}
+
+impl UpdateCliOptions {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut options = Self {
+            batch: None,
+            queries: None,
+            delta: false,
+            threads: 4,
+            save: None,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--batch" => {
+                    i += 1;
+                    options.batch = Some(
+                        args.get(i)
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&n: &usize| n > 0)
+                            .ok_or("--batch needs a positive number")?,
+                    );
+                }
+                "--queries" => {
+                    i += 1;
+                    options.queries = Some(args.get(i).ok_or("--queries needs a path")?.clone());
+                }
+                "--delta" => options.delta = true,
+                "--threads" => {
+                    i += 1;
+                    options.threads = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--threads needs a number")?;
+                }
+                "--save" => {
+                    let labels = args.get(i + 1).ok_or("--save needs <labels> <edges>")?;
+                    let edges = args.get(i + 2).ok_or("--save needs <labels> <edges>")?;
+                    options.save = Some((labels.clone(), edges.clone()));
+                    i += 2;
+                }
+                other => return Err(format!("unknown update flag {other:?}")),
+            }
+            i += 1;
+        }
+        Ok(options)
+    }
+}
+
+/// `update`: apply an insert/delete stream to a dynamic graph, one
+/// snapshot epoch per batch, optionally re-answering a standing query
+/// list (and delta-matching it) after every epoch.
+fn do_update(args: &[String]) -> Result<(), String> {
+    use hgmatch_core::{delta_match, DeltaBatch};
+    use hgmatch_hypergraph::dynamic::parse_update_stream;
+    use hgmatch_hypergraph::DynamicHypergraph;
+
+    if args.len() < 3 {
+        return Err("update needs <labels> <edges> <stream.txt>".into());
+    }
+    let base = load(&args[0], &args[1])?;
+    let stream_text = std::fs::read_to_string(&args[2])
+        .map_err(|e| format!("reading stream {}: {e}", args[2]))?;
+    let ops = parse_update_stream(&stream_text).map_err(|e| format!("stream: {e}"))?;
+    if ops.is_empty() {
+        return Err("update stream is empty".into());
+    }
+    let options = UpdateCliOptions::parse(&args[3..])?;
+
+    let mut queries: Vec<(String, hgmatch_hypergraph::Hypergraph)> = Vec::new();
+    if let Some(path) = &options.queries {
+        let list = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        for (lineno, line) in list.lines().enumerate() {
+            if let Some(q) =
+                parse_query_spec(line).map_err(|e| format!("line {}: {e}", lineno + 1))?
+            {
+                queries.push((format!("q{}", lineno + 1), q));
+            }
+        }
+    }
+
+    let mut dynamic = DynamicHypergraph::from_hypergraph(&base);
+    let mut previous = dynamic.snapshot().graph;
+    let server = (!queries.is_empty()).then(|| {
+        MatchServer::new(
+            std::sync::Arc::clone(&previous),
+            ServeConfig::default().with_threads(options.threads),
+        )
+    });
+    let mut counts: Vec<u64> = Vec::new();
+    let serve_begin = Instant::now();
+    let mut served = 0usize;
+    if let Some(server) = &server {
+        for (name, query) in &queries {
+            let outcome = server
+                .run(query, QueryOptions::count())
+                .map_err(|e| format!("{name}: {e}"))?;
+            println!("epoch 0\t{name}\tembeddings={}", outcome.count);
+            counts.push(outcome.count);
+            served += 1;
+        }
+    }
+
+    let batch_size = options.batch.unwrap_or(ops.len());
+    let begin = Instant::now();
+    let mut applied = 0usize;
+    let mut inserts = 0usize;
+    let mut deletes = 0usize;
+    let mut vertex_adds = 0usize;
+    let mut noops = 0usize;
+    let mut snapshot_time = Duration::ZERO;
+    for (round, chunk) in ops.chunks(batch_size).enumerate() {
+        for op in chunk {
+            use hgmatch_hypergraph::UpdateOp;
+            let effective = dynamic.apply(op).map_err(|e| format!("op {op:?}: {e}"))?;
+            applied += 1;
+            match (op, effective) {
+                (_, false) => noops += 1,
+                (UpdateOp::Delete(_), true) => deletes += 1,
+                (UpdateOp::AddVertex(_), true) => vertex_adds += 1,
+                (UpdateOp::Insert(_), true) => inserts += 1,
+            }
+        }
+        let snap_begin = Instant::now();
+        let delta = dynamic.snapshot();
+        snapshot_time += snap_begin.elapsed();
+        let epoch = round + 1;
+        println!(
+            "epoch {epoch}: applied {} ops (graph: {} edges, {} touched labels, sids {})",
+            chunk.len(),
+            delta.graph.num_edges(),
+            delta.touched_labels.len(),
+            if delta.sids_stable {
+                "stable"
+            } else {
+                "shifted"
+            },
+        );
+        if let Some(server) = &server {
+            server.update_data(
+                std::sync::Arc::clone(&delta.graph),
+                &delta.touched_labels,
+                delta.sids_stable,
+            );
+            let batch = options
+                .delta
+                .then(|| DeltaBatch::between(&previous, &delta.graph));
+            for (i, (name, query)) in queries.iter().enumerate() {
+                let outcome = server
+                    .run(query, QueryOptions::count())
+                    .map_err(|e| format!("{name}: {e}"))?;
+                let mut line = format!(
+                    "epoch {epoch}\t{name}\tembeddings={}\tplan_cached={}",
+                    outcome.count,
+                    if outcome.plan_cached { "yes" } else { "no" },
+                );
+                if let Some(batch) = &batch {
+                    let d = delta_match(&previous, &delta.graph, query, batch)
+                        .map_err(|e| format!("{name}: {e}"))?;
+                    // Signed arithmetic: a buggy delta must surface as
+                    // MISMATCH, not as an underflow panic.
+                    let predicted =
+                        counts[i] as i128 + d.gained.len() as i128 - d.lost.len() as i128;
+                    line.push_str(&format!(
+                        "\tgained={}\tlost={}\tdelta_check={}",
+                        d.gained.len(),
+                        d.lost.len(),
+                        if predicted == outcome.count as i128 {
+                            "ok"
+                        } else {
+                            "MISMATCH"
+                        },
+                    ));
+                    if predicted != outcome.count as i128 {
+                        return Err(format!(
+                            "{name}: delta predicts {predicted}, full run found {}",
+                            outcome.count
+                        ));
+                    }
+                }
+                println!("{line}");
+                counts[i] = outcome.count;
+                served += 1;
+            }
+        }
+        previous = delta.graph;
+    }
+
+    let secs = begin.elapsed().as_secs_f64();
+    println!(
+        "applied {applied} ops ({inserts} edge inserts, {deletes} deletes, {vertex_adds} \
+         vertex adds, {noops} no-ops) in {secs:.4}s ({:.0} ops/s), snapshots took {:.4}s",
+        applied as f64 / secs.max(1e-9),
+        snapshot_time.as_secs_f64(),
+    );
+    let stats = previous.stats();
+    println!("final graph:\t|V|\t|E|\t|Sigma|\tamax");
+    println!(
+        "\t{}\t{}\t{}\t{}",
+        previous.num_vertices(),
+        previous.num_edges(),
+        previous.num_labels(),
+        stats.max_arity
+    );
+    if let Some(server) = &server {
+        // `served` counts every run: the epoch-0 baseline plus one
+        // re-answer per query per epoch.
+        print_aggregate(server, served, serve_begin.elapsed());
+    }
+    if let Some((labels, edges)) = &options.save {
+        io::save_text(&previous, Path::new(labels), Path::new(edges)).map_err(|e| e.to_string())?;
+        println!("saved final graph to {labels} / {edges}");
+    }
+    Ok(())
+}
+
+/// `gen-stream`: emit a random insert/delete stream for a dataset.
+fn do_gen_stream(args: &[String]) -> Result<(), String> {
+    let [labels, edges, ops, ratio, seed, out] = args else {
+        return Err(
+            "gen-stream needs <labels> <edges> <ops> <insert-ratio> <seed> <out.txt>".into(),
+        );
+    };
+    let base = load(labels, edges)?;
+    let ops: usize = ops.parse().map_err(|_| "ops must be an integer")?;
+    let insert_ratio: f64 = ratio.parse().map_err(|_| "insert-ratio must be a number")?;
+    if !(0.0..=1.0).contains(&insert_ratio) {
+        return Err(format!(
+            "insert-ratio must be in [0, 1], got {insert_ratio}"
+        ));
+    }
+    let seed: u64 = seed.parse().map_err(|_| "seed must be an integer")?;
+    // The generator draws hyperedges of arity ≥ 2 over the base graph's
+    // vertex universe (and asserts on degenerate inputs): reject those as
+    // CLI errors like every other subcommand does.
+    if base.num_vertices() < 2 {
+        return Err(format!(
+            "gen-stream needs a base graph with at least 2 vertices, got {}",
+            base.num_vertices()
+        ));
+    }
+    let stream = hgmatch_datasets::generate_update_stream(
+        &base,
+        &hgmatch_datasets::UpdateStreamConfig {
+            ops,
+            insert_ratio,
+            seed,
+            ..Default::default()
+        },
+    );
+    let inserts = stream
+        .iter()
+        .filter(|op| matches!(op, hgmatch_hypergraph::UpdateOp::Insert(_)))
+        .count();
+    std::fs::write(
+        out,
+        hgmatch_hypergraph::dynamic::write_update_stream(&stream),
+    )
+    .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} ops ({inserts} inserts, {} deletes) to {out}",
+        stream.len(),
+        stream.len() - inserts
     );
     Ok(())
 }

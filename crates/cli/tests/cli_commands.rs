@@ -230,3 +230,102 @@ fn serve_and_batch_reject_bad_specs() {
     assert!(run(&args(&["batch", &dl, &de, &empty])).is_err());
     assert!(run(&args(&["batch", &dl, &de, &list, "--bogus"])).is_err());
 }
+
+/// Writes a small update stream against the paper data: delete one edge,
+/// re-insert it, add a vertex and a fresh edge.
+fn write_update_stream_file(dir: &TempDir) -> String {
+    let stream = dir.path("stream.txt");
+    std::fs::write(
+        &stream,
+        "# delete + reinsert the {A,B} edge, then grow the graph\n\
+         - 2 4\n\
+         + 2 4\n\
+         v 1\n\
+         + 0 7\n\
+         + 3 6\n",
+    )
+    .unwrap();
+    stream
+}
+
+#[test]
+fn update_applies_streams_in_batches() {
+    let dir = TempDir::new("update");
+    let (dl, de, _, _) = write_paper_files(&dir);
+    let stream = write_update_stream_file(&dir);
+    let out_labels = dir.path("out.labels");
+    let out_edges = dir.path("out.edges");
+    run(&args(&[
+        "update",
+        &dl,
+        &de,
+        &stream,
+        "--batch",
+        "2",
+        "--save",
+        &out_labels,
+        &out_edges,
+    ]))
+    .expect("update works");
+    // The saved graph reflects the stream: 8 vertices, 8 edges.
+    let saved = hgmatch_hypergraph::io::load_text(
+        std::path::Path::new(&out_labels),
+        std::path::Path::new(&out_edges),
+    )
+    .unwrap();
+    assert_eq!(saved.num_vertices(), 8);
+    assert_eq!(saved.num_edges(), 8);
+}
+
+#[test]
+fn update_serves_standing_queries_with_delta_check() {
+    let dir = TempDir::new("update-queries");
+    let (dl, de, list) = write_query_list(&dir);
+    let stream = write_update_stream_file(&dir);
+    run(&args(&[
+        "update",
+        &dl,
+        &de,
+        &stream,
+        "--batch",
+        "1",
+        "--queries",
+        &list,
+        "--delta",
+        "--threads",
+        "2",
+    ]))
+    .expect("update with standing queries works");
+}
+
+#[test]
+fn update_rejects_bad_inputs() {
+    let dir = TempDir::new("update-bad");
+    let (dl, de, _, _) = write_paper_files(&dir);
+    let stream = write_update_stream_file(&dir);
+    assert!(run(&args(&["update", &dl, &de])).is_err());
+    assert!(run(&args(&["update", &dl, &de, &stream, "--bogus"])).is_err());
+    assert!(run(&args(&["update", &dl, &de, &stream, "--batch", "0"])).is_err());
+    let bad = dir.path("bad-stream.txt");
+    std::fs::write(&bad, "? 1 2\n").unwrap();
+    assert!(run(&args(&["update", &dl, &de, &bad])).is_err());
+    let empty = dir.path("empty-stream.txt");
+    std::fs::write(&empty, "# nothing\n").unwrap();
+    assert!(run(&args(&["update", &dl, &de, &empty])).is_err());
+}
+
+#[test]
+fn gen_stream_round_trips_through_update() {
+    let dir = TempDir::new("gen-stream");
+    let (dl, de, _, _) = write_paper_files(&dir);
+    let stream = dir.path("gen.txt");
+    run(&args(&["gen-stream", &dl, &de, "40", "0.7", "9", &stream])).expect("gen-stream works");
+    let ops = hgmatch_hypergraph::dynamic::parse_update_stream(
+        &std::fs::read_to_string(&stream).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(ops.len(), 40);
+    run(&args(&["update", &dl, &de, &stream, "--batch", "10"])).expect("replay works");
+    assert!(run(&args(&["gen-stream", &dl, &de, "10", "2.0", "9", &stream])).is_err());
+    assert!(run(&args(&["gen-stream", &dl, &de])).is_err());
+}

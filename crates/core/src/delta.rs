@@ -1,0 +1,439 @@
+//! Delta-aware matching: re-answer a query after a batch of hyperedge
+//! updates by exploring only the *touched* candidate space.
+//!
+//! After a writer publishes a new epoch (two [`Hypergraph`] snapshots, see
+//! [`hgmatch_hypergraph::DynamicHypergraph`]), the embeddings of a standing
+//! query change in exactly two ways:
+//!
+//! * **gained** — embeddings of the new snapshot using at least one
+//!   *inserted* hyperedge;
+//! * **lost** — embeddings of the old snapshot using at least one
+//!   *deleted* hyperedge.
+//!
+//! Everything else survives verbatim (an embedding touching no delta edge
+//! is valid in one snapshot iff it is valid in the other: vertices are
+//! never removed and its matched hyperedges exist in both). [`delta_match`]
+//! therefore never re-runs the full query: for each matching-order position
+//! `j` it enumerates embeddings whose step-`j` candidate is *pinned to the
+//! delta set* — candidates at earlier positions exclude delta edges,
+//! position `j` keeps only delta edges, later positions are unrestricted.
+//! Summed over `j`, every delta-involving embedding is produced exactly
+//! once (partitioned by its first delta position), and the scan/expansion
+//! work collapses to the candidate lists that intersect the (typically
+//! tiny) batch.
+//!
+//! Queries whose vertex labels are disjoint from the labels of every batch
+//! edge are *unaffected* and skip enumeration entirely — the same label
+//! test the serving layer's plan cache uses for invalidation.
+
+use hgmatch_hypergraph::fxhash::FxHashSet;
+use hgmatch_hypergraph::{Hypergraph, Label};
+
+use crate::candidates::{generate_candidates, ExpansionState};
+use crate::config::MatchConfig;
+use crate::embedding::Embedding;
+use crate::error::Result;
+use crate::plan::{Plan, Planner};
+use crate::query::QueryGraph;
+use crate::validate::{validate_candidate, ValidateScratch, Validation};
+
+/// A net batch of hyperedge updates between two snapshots, as sorted
+/// vertex sets (vertex ids are stable across snapshots; edge ids are not).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaBatch {
+    /// Hyperedges present in the new snapshot but not the old.
+    pub inserted: Vec<Vec<u32>>,
+    /// Hyperedges present in the old snapshot but not the new.
+    pub deleted: Vec<Vec<u32>>,
+}
+
+impl DeltaBatch {
+    /// Computes the net batch between two snapshots by edge-set diffing.
+    /// Robust against any update interleaving (insert+delete of the same
+    /// edge nets out).
+    pub fn between(old: &Hypergraph, new: &Hypergraph) -> Self {
+        let diff = |from: &Hypergraph, against: &Hypergraph| {
+            from.iter_edges()
+                .filter(|(_, vs)| against.find_edge(vs).is_none())
+                .map(|(_, vs)| vs.to_vec())
+                .collect()
+        };
+        Self {
+            inserted: diff(new, old),
+            deleted: diff(old, new),
+        }
+    }
+
+    /// Whether the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+
+    /// The labels carried by any vertex of any batch edge (sorted,
+    /// deduplicated). Vertex labels are immutable, so either snapshot
+    /// resolves them; `graph` must contain every batch vertex.
+    pub fn touched_labels(&self, graph: &Hypergraph) -> Vec<Label> {
+        let mut labels: Vec<Label> = self
+            .inserted
+            .iter()
+            .chain(&self.deleted)
+            .flatten()
+            .map(|&v| graph.labels()[v as usize])
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+}
+
+/// The embedding delta of one query across one batch.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaOutcome {
+    /// Embeddings gained (edge ids of the *new* snapshot), sorted.
+    pub gained: Vec<Embedding>,
+    /// Embeddings lost (edge ids of the *old* snapshot), sorted.
+    pub lost: Vec<Embedding>,
+    /// `false` when the query's labels were disjoint from the batch and
+    /// enumeration was skipped (both vectors empty by construction).
+    pub affected: bool,
+}
+
+impl DeltaOutcome {
+    /// Patches a full result set of the old snapshot into the full result
+    /// set of the new snapshot: surviving embeddings are re-numbered into
+    /// the new snapshot's edge ids, lost ones drop out, gained ones join.
+    /// The output is sorted — `patch(old results) == fresh run on new`.
+    pub fn patch(
+        &self,
+        old: &Hypergraph,
+        new: &Hypergraph,
+        old_results: &[Embedding],
+    ) -> Vec<Embedding> {
+        let mut out: Vec<Embedding> = old_results
+            .iter()
+            .filter_map(|m| {
+                m.iter()
+                    .map(|e| new.find_edge(old.edge_vertices(e)).map(|id| id.raw()))
+                    .collect::<Option<Vec<u32>>>()
+                    .map(Embedding::new)
+            })
+            .collect();
+        out.extend(self.gained.iter().cloned());
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Computes the embedding delta of `query` across `batch`, enumerating
+/// only delta-anchored candidate spaces (see the module docs).
+///
+/// # Errors
+/// Fails for queries the planner rejects (empty, or over the engine's
+/// 64-hyperedge limit).
+pub fn delta_match(
+    old: &Hypergraph,
+    new: &Hypergraph,
+    query: &Hypergraph,
+    batch: &DeltaBatch,
+) -> Result<DeltaOutcome> {
+    let q = QueryGraph::new(query)?;
+    let query_labels: FxHashSet<Label> = query.labels().iter().copied().collect();
+    let affected = batch
+        .inserted
+        .iter()
+        .map(|vs| (vs, new))
+        .chain(batch.deleted.iter().map(|vs| (vs, old)))
+        .any(|(vs, g)| {
+            vs.iter()
+                .any(|&v| query_labels.contains(&g.labels()[v as usize]))
+        });
+    if !affected {
+        return Ok(DeltaOutcome::default());
+    }
+    let gained = anchored_embeddings(new, &q, &batch.inserted)?;
+    let lost = anchored_embeddings(old, &q, &batch.deleted)?;
+    Ok(DeltaOutcome {
+        gained,
+        lost,
+        affected: true,
+    })
+}
+
+/// Enumerates the embeddings of `data` that use at least one edge of
+/// `delta`, each exactly once, by pinning one matching-order position at a
+/// time to the delta set.
+fn anchored_embeddings(
+    data: &Hypergraph,
+    query: &QueryGraph,
+    delta: &[Vec<u32>],
+) -> Result<Vec<Embedding>> {
+    let delta_gids: FxHashSet<u32> = delta
+        .iter()
+        .filter_map(|vs| data.find_edge(vs).map(|id| id.raw()))
+        .collect();
+    if delta_gids.is_empty() {
+        return Ok(Vec::new());
+    }
+    let plan = Planner::plan(query, data)?;
+    if plan.is_infeasible() {
+        return Ok(Vec::new());
+    }
+    let mut dfs = AnchoredDfs {
+        plan: &plan,
+        data,
+        delta: &delta_gids,
+        anchor: 0,
+        states: (0..plan.len()).map(|_| ExpansionState::new()).collect(),
+        scratch: ValidateScratch::new(),
+        config: MatchConfig::default(),
+        emb: Vec::with_capacity(plan.len()),
+        out: Vec::new(),
+    };
+    for anchor in 0..plan.len() {
+        dfs.anchor = anchor;
+        dfs.descend(0);
+    }
+    let mut out = dfs.out;
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// A sequential depth-first enumerator with a per-position delta
+/// restriction: positions before `anchor` avoid the delta set, position
+/// `anchor` stays inside it, later positions are unrestricted.
+struct AnchoredDfs<'a> {
+    plan: &'a Plan,
+    data: &'a Hypergraph,
+    delta: &'a FxHashSet<u32>,
+    anchor: usize,
+    states: Vec<ExpansionState>,
+    scratch: ValidateScratch,
+    config: MatchConfig,
+    emb: Vec<u32>,
+    out: Vec<Embedding>,
+}
+
+impl AnchoredDfs<'_> {
+    fn admits(&self, depth: usize, global: u32) -> bool {
+        use std::cmp::Ordering::*;
+        match depth.cmp(&self.anchor) {
+            Less => !self.delta.contains(&global),
+            Equal => self.delta.contains(&global),
+            Greater => true,
+        }
+    }
+
+    fn descend(&mut self, depth: usize) {
+        if depth == self.plan.len() {
+            self.out
+                .push(Embedding::new(self.plan.to_query_order(&self.emb)));
+            return;
+        }
+        let step = &self.plan.steps()[depth];
+        let Some(pid) = step.partition else { return };
+        let partition = self.data.partition(pid);
+        self.states[depth].prepare(self.data, step, &self.emb);
+        generate_candidates(
+            self.data,
+            step,
+            &self.emb,
+            &mut self.states[depth],
+            &self.config,
+        );
+
+        let cands = std::mem::take(&mut self.states[depth].candidates);
+        for &row in &cands {
+            let global = partition.global_id(row).raw();
+            if !self.admits(depth, global) {
+                continue;
+            }
+            if depth == 0 {
+                // Scan rows are valid by construction (signature equality).
+                self.emb.push(global);
+                self.descend(1.min(self.plan.len()));
+                self.emb.pop();
+                continue;
+            }
+            let verdict = validate_candidate(
+                self.data,
+                step,
+                depth,
+                &self.emb,
+                &self.states[depth],
+                global,
+                partition.row(row),
+                &mut self.scratch,
+            );
+            if verdict == Validation::Valid {
+                self.emb.push(global);
+                self.descend(depth + 1);
+                self.emb.pop();
+            }
+        }
+        self.states[depth].candidates = cands;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::Matcher;
+    use hgmatch_hypergraph::{DynamicHypergraph, HypergraphBuilder, Label};
+
+    fn paper_graph(edges: &[Vec<u32>]) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        for e in edges {
+            b.add_edge(e.clone()).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn paper_edges() -> Vec<Vec<u32>> {
+        vec![
+            vec![2, 4],
+            vec![4, 6],
+            vec![0, 1, 2],
+            vec![3, 5, 6],
+            vec![0, 1, 4, 6],
+            vec![2, 3, 4, 5],
+        ]
+    }
+
+    fn paper_query() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![2, 4]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![0, 1, 3, 4]).unwrap();
+        b.build().unwrap()
+    }
+
+    /// The full-rerun oracle: delta-patched old results == fresh results.
+    fn assert_delta_consistent(old: &Hypergraph, new: &Hypergraph, query: &Hypergraph) {
+        let batch = DeltaBatch::between(old, new);
+        let outcome = delta_match(old, new, query, &batch).unwrap();
+        let old_results = Matcher::new(old).find_all(query).unwrap();
+        let new_results = Matcher::new(new).find_all(query).unwrap();
+        assert_eq!(
+            outcome.patch(old, new, &old_results),
+            new_results,
+            "patched old results must equal a fresh run"
+        );
+        // Lost embeddings really are old embeddings.
+        for m in &outcome.lost {
+            assert!(old_results.contains(m), "lost {m} not in old results");
+        }
+        for m in &outcome.gained {
+            assert!(new_results.contains(m), "gained {m} not in new results");
+        }
+    }
+
+    #[test]
+    fn batch_between_nets_out() {
+        let old = paper_graph(&paper_edges());
+        let mut edges = paper_edges();
+        edges.remove(1); // delete {4,6}
+        edges.push(vec![0, 6]); // insert an {A,A} edge
+        let new = paper_graph(&edges);
+        let batch = DeltaBatch::between(&old, &new);
+        assert_eq!(batch.deleted, vec![vec![4, 6]]);
+        assert_eq!(batch.inserted, vec![vec![0, 6]]);
+        assert!(!batch.is_empty());
+        assert_eq!(
+            batch.touched_labels(&old),
+            vec![Label::new(0), Label::new(1)]
+        );
+        assert!(DeltaBatch::between(&old, &old).is_empty());
+    }
+
+    #[test]
+    fn insertion_gains_are_found() {
+        // Deleting nothing, inserting a second {A,B} edge near v2 creates
+        // new embeddings of the paper query.
+        let old = paper_graph(&paper_edges());
+        let mut edges = paper_edges();
+        edges.push(vec![2, 4, 0, 1].into_iter().collect()); // another {A,A,B,C}? no: labels 0,1,0,2 → sorted {0,0,1,2}
+        let new = paper_graph(&edges);
+        assert_delta_consistent(&old, &new, &paper_query());
+    }
+
+    #[test]
+    fn deletion_losses_are_found() {
+        let old = paper_graph(&paper_edges());
+        let mut edges = paper_edges();
+        edges.remove(0); // {2,4} participates in one embedding
+        let new = paper_graph(&edges);
+        let batch = DeltaBatch::between(&old, &new);
+        let outcome = delta_match(&old, &new, &paper_query(), &batch).unwrap();
+        assert_eq!(outcome.lost.len(), 1);
+        assert!(outcome.gained.is_empty());
+        assert_delta_consistent(&old, &new, &paper_query());
+    }
+
+    #[test]
+    fn label_disjoint_query_is_unaffected() {
+        let old = paper_graph(&paper_edges());
+        let mut d = DynamicHypergraph::from_hypergraph(&old);
+        d.add_vertices(2, Label::new(9));
+        d.insert_hyperedge(vec![7, 8]).unwrap();
+        let new = d.snapshot().graph;
+        let batch = DeltaBatch::between(&old, &new);
+        let outcome = delta_match(&old, &new, &paper_query(), &batch).unwrap();
+        assert!(!outcome.affected);
+        assert!(outcome.gained.is_empty() && outcome.lost.is_empty());
+        assert_delta_consistent(&old, &new, &paper_query());
+    }
+
+    #[test]
+    fn mixed_batches_with_id_shifts_patch_correctly() {
+        // Deletions shift canonical edge ids; patching must still line up.
+        let old = paper_graph(&paper_edges());
+        let mut d = DynamicHypergraph::from_hypergraph(&old);
+        d.delete_hyperedge(&[2, 4]).unwrap();
+        d.delete_hyperedge(&[0, 1, 2]).unwrap();
+        d.insert_hyperedge(vec![0, 2, 1]).unwrap(); // re-insert, new id order
+        d.insert_hyperedge(vec![0, 4]).unwrap(); // fresh {A,B}
+        let new = d.snapshot().graph;
+        for query in [paper_query(), {
+            let mut b = HypergraphBuilder::new();
+            b.add_vertex(Label::new(0));
+            b.add_vertex(Label::new(1));
+            b.add_edge(vec![0, 1]).unwrap();
+            b.build().unwrap()
+        }] {
+            assert_delta_consistent(&old, &new, &query);
+        }
+    }
+
+    #[test]
+    fn anchoring_counts_each_embedding_once() {
+        // A query with two same-signature edges whose embeddings can use
+        // several delta edges at once — the per-position partition must
+        // not double count.
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(4, Label::new(0));
+        let old = b.build().unwrap();
+        let mut d = DynamicHypergraph::from_hypergraph(&old);
+        for e in [vec![0u32, 1], vec![1, 2], vec![2, 3], vec![0, 3]] {
+            d.insert_hyperedge(e).unwrap();
+        }
+        let new = d.snapshot().graph;
+
+        let mut qb = HypergraphBuilder::new();
+        qb.add_vertices(3, Label::new(0));
+        qb.add_edge(vec![0, 1]).unwrap();
+        qb.add_edge(vec![1, 2]).unwrap();
+        let query = qb.build().unwrap();
+
+        let batch = DeltaBatch::between(&old, &new);
+        let outcome = delta_match(&old, &new, &query, &batch).unwrap();
+        let fresh = Matcher::new(&new).find_all(&query).unwrap();
+        assert_eq!(outcome.gained, fresh, "everything is new, exactly once");
+        assert_delta_consistent(&old, &new, &query);
+    }
+}

@@ -66,6 +66,7 @@
 
 pub mod candidates;
 pub mod config;
+pub mod delta;
 pub mod embedding;
 pub mod engine;
 pub mod error;
@@ -82,6 +83,7 @@ pub mod sink;
 pub mod validate;
 
 pub use config::MatchConfig;
+pub use delta::{delta_match, DeltaBatch, DeltaOutcome};
 pub use embedding::Embedding;
 pub use error::{MatchError, Result};
 pub use matcher::Matcher;

@@ -14,11 +14,19 @@
 //!
 //! Plans are valid for exactly one data hypergraph (Algorithm 3 orders by
 //! the data's signature cardinalities and steps embed `SignatureId`s of its
-//! interner), which is why the cache lives inside [`MatchServer`] — the
-//! server owns one immutable data hypergraph for its whole lifetime.
+//! interner). Under dynamic updates the server publishes a new snapshot per
+//! epoch ([`MatchServer::update_data`]), so every entry is tagged with the
+//! epoch it is valid for: a key match whose epoch lags the current one is a
+//! miss. [`PlanCache::revalidate`] decides, per published epoch, which
+//! entries survive — an entry whose query labels are disjoint from the
+//! update's touched labels saw no cardinality change, so its plan is
+//! re-tagged to the new epoch instead of dropped (and when partition ids
+//! shifted, `sids_stable == false`, nothing survives).
 //!
-//! Eviction is least-recently-used over a bounded capacity; hits and misses
-//! are observable through [`MatchServer::stats`].
+//! Eviction is least-recently-used over a bounded capacity; hits, misses
+//! and invalidations are observable through [`MatchServer::stats`].
+//!
+//! [`MatchServer::update_data`]: super::MatchServer::update_data
 //!
 //! [`MatchServer`]: super::MatchServer
 //! [`MatchServer::stats`]: super::MatchServer::stats
@@ -61,6 +69,9 @@ impl PlanKey {
 struct Entry {
     plan: Arc<Plan>,
     last_used: u64,
+    /// Data epoch this plan is valid for. A key match at a stale epoch is
+    /// a miss (the entry is replaced by the re-planned result).
+    epoch: u64,
 }
 
 #[derive(Debug, Default)]
@@ -69,13 +80,15 @@ struct Inner {
     tick: u64,
 }
 
-/// A bounded LRU cache of compiled plans, keyed by canonical query form.
+/// A bounded LRU cache of compiled plans, keyed by canonical query form
+/// and tagged with the data epoch each plan was compiled against.
 #[derive(Debug)]
 pub(crate) struct PlanCache {
     capacity: usize,
     inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    invalidated: AtomicU64,
 }
 
 impl PlanCache {
@@ -87,15 +100,18 @@ impl PlanCache {
             inner: Mutex::new(Inner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 
-    /// Returns the plan for `query` against `data`, reusing a cached one
-    /// when the canonical form matches. The boolean is `true` on a hit.
+    /// Returns the plan for `query` against `data` (the snapshot of
+    /// `epoch`), reusing a cached one when the canonical form matches at
+    /// the same epoch. The boolean is `true` on a hit.
     pub(crate) fn plan_for(
         &self,
         query: &Hypergraph,
         data: &Hypergraph,
+        epoch: u64,
     ) -> Result<(Arc<Plan>, bool)> {
         if self.capacity == 0 {
             let q = QueryGraph::new(query)?;
@@ -109,11 +125,15 @@ impl PlanCache {
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(entry) = inner.map.get_mut(&key) {
-                entry.last_used = tick;
-                let plan = Arc::clone(&entry.plan);
-                drop(inner);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok((plan, true));
+                if entry.epoch == epoch {
+                    entry.last_used = tick;
+                    let plan = Arc::clone(&entry.plan);
+                    drop(inner);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((plan, true));
+                }
+                // Stale epoch (e.g. inserted by a submission racing an
+                // update): fall through to re-plan and overwrite.
             }
         }
 
@@ -126,7 +146,7 @@ impl PlanCache {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        if inner.map.len() >= self.capacity {
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
             // Evict the least-recently-used entry (linear scan: serving
             // caches are small, eviction is rare).
             if let Some(victim) = inner
@@ -138,13 +158,53 @@ impl PlanCache {
                 inner.map.remove(&victim);
             }
         }
-        // A racing submitter may have inserted the same key meanwhile;
-        // keeping the existing entry preserves its recency.
-        inner.map.entry(key).or_insert(Entry {
+        let entry = inner.map.entry(key).or_insert(Entry {
             plan: Arc::clone(&plan),
             last_used: tick,
+            epoch,
         });
+        if entry.epoch < epoch {
+            // Overwrite a stale entry in place; never downgrade a fresher
+            // one a racing submitter installed meanwhile.
+            *entry = Entry {
+                plan: Arc::clone(&plan),
+                last_used: tick,
+                epoch,
+            };
+        }
         Ok((plan, false))
+    }
+
+    /// Reconciles the cache with a newly published data epoch: entries
+    /// whose query labels intersect `touched_labels` (or every entry, when
+    /// `sids_stable` is false) are dropped; the survivors are re-tagged to
+    /// `epoch` — their cardinalities did not change, so their plans remain
+    /// optimal and their embedded partition ids remain valid.
+    ///
+    /// Only entries at the epoch being superseded (`epoch - 1`) are
+    /// eligible to survive: an entry lagging further behind was inserted
+    /// by a submission that raced an earlier update (planning happens
+    /// outside the data lock) and never passed that update's invalidation,
+    /// so its plan may embed re-numbered partition ids even though its
+    /// labels are disjoint from *this* update's.
+    pub(crate) fn revalidate(&self, epoch: u64, touched_labels: &[Label], sids_stable: bool) {
+        let mut inner = self.inner.lock();
+        let before = inner.map.len();
+        if sids_stable {
+            inner.map.retain(|key, entry| {
+                let keep = entry.epoch + 1 == epoch
+                    && !key.labels.iter().any(|l| touched_labels.contains(l));
+                if keep {
+                    entry.epoch = epoch;
+                }
+                keep
+            });
+        } else {
+            inner.map.clear();
+        }
+        let dropped = (before - inner.map.len()) as u64;
+        drop(inner);
+        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
     }
 
     /// Cache hits so far.
@@ -155,6 +215,11 @@ impl PlanCache {
     /// Cache misses so far (planning happened).
     pub(crate) fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by [`PlanCache::revalidate`] so far.
+    pub(crate) fn invalidated(&self) -> u64 {
+        self.invalidated.load(Ordering::Relaxed)
     }
 
     /// Plans currently cached.
@@ -190,8 +255,8 @@ mod tests {
     fn hit_on_identical_query() {
         let data = tiny_data();
         let cache = PlanCache::new(4);
-        let (p1, hit1) = cache.plan_for(&ab_query(1), &data).unwrap();
-        let (p2, hit2) = cache.plan_for(&ab_query(1), &data).unwrap();
+        let (p1, hit1) = cache.plan_for(&ab_query(1), &data, 0).unwrap();
+        let (p2, hit2) = cache.plan_for(&ab_query(1), &data, 0).unwrap();
         assert!(!hit1);
         assert!(hit2);
         assert!(Arc::ptr_eq(&p1, &p2));
@@ -202,8 +267,8 @@ mod tests {
     fn different_labels_miss() {
         let data = tiny_data();
         let cache = PlanCache::new(4);
-        cache.plan_for(&ab_query(1), &data).unwrap();
-        let (_, hit) = cache.plan_for(&ab_query(0), &data).unwrap();
+        cache.plan_for(&ab_query(1), &data, 0).unwrap();
+        let (_, hit) = cache.plan_for(&ab_query(0), &data, 0).unwrap();
         assert!(!hit);
         assert_eq!(cache.len(), 2);
     }
@@ -214,21 +279,21 @@ mod tests {
         let cache = PlanCache::new(2);
         let q1 = ab_query(1);
         let q2 = ab_query(0);
-        cache.plan_for(&q1, &data).unwrap(); // {q1}
-        cache.plan_for(&q2, &data).unwrap(); // {q1, q2}
-        cache.plan_for(&q1, &data).unwrap(); // touch q1
+        cache.plan_for(&q1, &data, 0).unwrap(); // {q1}
+        cache.plan_for(&q2, &data, 0).unwrap(); // {q1, q2}
+        cache.plan_for(&q1, &data, 0).unwrap(); // touch q1
 
         // A third shape evicts q2 (least recently used), not q1.
         let mut b = HypergraphBuilder::new();
         b.add_vertices(3, Label::new(0));
         b.add_edge(vec![0, 1, 2]).unwrap();
         let q3 = b.build().unwrap();
-        cache.plan_for(&q3, &data).unwrap();
+        cache.plan_for(&q3, &data, 0).unwrap();
         assert_eq!(cache.len(), 2);
 
-        let (_, hit1) = cache.plan_for(&q1, &data).unwrap();
+        let (_, hit1) = cache.plan_for(&q1, &data, 0).unwrap();
         assert!(hit1, "recently-used entry must survive eviction");
-        let (_, hit2) = cache.plan_for(&q2, &data).unwrap();
+        let (_, hit2) = cache.plan_for(&q2, &data, 0).unwrap();
         assert!(!hit2, "LRU entry must have been evicted");
     }
 
@@ -236,8 +301,8 @@ mod tests {
     fn zero_capacity_disables_caching() {
         let data = tiny_data();
         let cache = PlanCache::new(0);
-        cache.plan_for(&ab_query(1), &data).unwrap();
-        let (_, hit) = cache.plan_for(&ab_query(1), &data).unwrap();
+        cache.plan_for(&ab_query(1), &data, 0).unwrap();
+        let (_, hit) = cache.plan_for(&ab_query(1), &data, 0).unwrap();
         assert!(!hit);
         assert_eq!(cache.len(), 0);
     }
@@ -247,6 +312,65 @@ mod tests {
         let data = tiny_data();
         let cache = PlanCache::new(4);
         let empty = HypergraphBuilder::new().build().unwrap();
-        assert!(cache.plan_for(&empty, &data).is_err());
+        assert!(cache.plan_for(&empty, &data, 0).is_err());
+    }
+
+    #[test]
+    fn stale_epoch_is_a_miss() {
+        let data = tiny_data();
+        let cache = PlanCache::new(4);
+        cache.plan_for(&ab_query(1), &data, 0).unwrap();
+        let (_, hit) = cache.plan_for(&ab_query(1), &data, 1).unwrap();
+        assert!(!hit, "entry tagged epoch 0 must not serve epoch 1");
+        // The entry was upgraded in place: epoch 1 now hits.
+        let (_, hit) = cache.plan_for(&ab_query(1), &data, 1).unwrap();
+        assert!(hit);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn revalidate_drops_touched_and_keeps_disjoint() {
+        let data = tiny_data();
+        let cache = PlanCache::new(8);
+        cache.plan_for(&ab_query(1), &data, 0).unwrap(); // labels {0,1}
+        cache.plan_for(&ab_query(2), &data, 0).unwrap(); // labels {0,2}
+                                                         // Label 2 touched: only the {0,2} query drops; {0,1} re-tags.
+        cache.revalidate(1, &[Label::new(2)], true);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.invalidated(), 1);
+        let (_, hit) = cache.plan_for(&ab_query(1), &data, 1).unwrap();
+        assert!(hit, "label-disjoint entry survives at the new epoch");
+        let (_, hit) = cache.plan_for(&ab_query(2), &data, 1).unwrap();
+        assert!(!hit, "touched entry was dropped");
+    }
+
+    #[test]
+    fn revalidate_drops_entries_that_skipped_an_epoch() {
+        let data = tiny_data();
+        let cache = PlanCache::new(8);
+        // An entry a racing submitter inserted at epoch 0 *after* the
+        // epoch-1 invalidation swept (so it never passed it)…
+        cache.plan_for(&ab_query(1), &data, 0).unwrap();
+        // …must not be promoted by a later label-disjoint update: it is
+        // dropped even though no touched label matches.
+        cache.revalidate(2, &[Label::new(9)], true);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.invalidated(), 1);
+        // The normal chain (entry at the superseded epoch) still carries.
+        cache.plan_for(&ab_query(1), &data, 2).unwrap();
+        cache.revalidate(3, &[Label::new(9)], true);
+        let (_, hit) = cache.plan_for(&ab_query(1), &data, 3).unwrap();
+        assert!(hit, "contiguous-epoch entry survives");
+    }
+
+    #[test]
+    fn revalidate_clears_everything_when_sids_shift() {
+        let data = tiny_data();
+        let cache = PlanCache::new(8);
+        cache.plan_for(&ab_query(1), &data, 0).unwrap();
+        cache.plan_for(&ab_query(2), &data, 0).unwrap();
+        cache.revalidate(1, &[], false);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.invalidated(), 2);
     }
 }

@@ -7,7 +7,12 @@
 //! provides [`MatchServer`]: worker threads that live for the process
 //! lifetime and multiplex every admitted query over one shared,
 //! [`Arc`]'d data hypergraph (with its signature partitions and inverted
-//! indexes built once).
+//! indexes built once). Under dynamic updates the data is an *epoch
+//! sequence* of such snapshots: [`MatchServer::update_data`] publishes
+//! the next epoch (typically a
+//! [`hgmatch_hypergraph::DynamicHypergraph`] snapshot) while queries in
+//! flight finish on the epoch they pinned at submission — no query ever
+//! observes a half-applied update (DESIGN.md §11.3).
 //!
 //! What the server adds over the engine (DESIGN.md §8):
 //!
@@ -241,6 +246,9 @@ pub struct QueryOutcome {
     pub peak_memory_bytes: i64,
     /// Whether planning was skipped via the plan cache.
     pub plan_cached: bool,
+    /// Epoch of the data snapshot this query executed against (pinned at
+    /// submission; see [`MatchServer::update_data`]).
+    pub data_epoch: u64,
 }
 
 /// A handle to an in-flight (or finished) query.
@@ -301,6 +309,11 @@ pub struct ServeStats {
     pub plan_cache_misses: u64,
     /// Plans currently cached.
     pub plan_cache_size: usize,
+    /// Plan-cache entries dropped by data updates
+    /// ([`MatchServer::update_data`]).
+    pub plans_invalidated: u64,
+    /// Epoch of the currently published data snapshot.
+    pub data_epoch: u64,
 }
 
 #[derive(Debug, Default)]
@@ -314,10 +327,18 @@ pub(crate) struct Counters {
     pub(crate) steals: AtomicU64,
 }
 
+/// The currently published data snapshot and its epoch. Queries pin the
+/// pair at submission; [`MatchServer::update_data`] swaps it atomically.
+#[derive(Debug)]
+pub(crate) struct CurrentData {
+    pub(crate) graph: Arc<Hypergraph>,
+    pub(crate) epoch: u64,
+}
+
 /// State shared between the server front-end and its workers.
 #[derive(Debug)]
 pub(crate) struct ServeShared {
-    pub(crate) data: Arc<Hypergraph>,
+    pub(crate) data: Mutex<CurrentData>,
     pub(crate) config: MatchConfig,
     pub(crate) fairness_quantum: u32,
     /// Admitted, unfinished queries (seed-slot scan order = admission
@@ -357,6 +378,7 @@ impl ServeShared {
             elapsed: query.submitted.elapsed(),
             peak_memory_bytes: query.tracker.peak_bytes(),
             plan_cached: query.plan_cached,
+            data_epoch: query.data_epoch,
         });
     }
 }
@@ -381,7 +403,10 @@ impl MatchServer {
         let stealers: Vec<Stealer<ServeTask>> = deques.iter().map(Deque::stealer).collect();
 
         let shared = Arc::new(ServeShared {
-            data,
+            data: Mutex::new(CurrentData {
+                graph: data,
+                epoch: 0,
+            }),
             config: config.match_config.clone(),
             fairness_quantum: config.fairness_quantum.max(1),
             queries: Mutex::new(Vec::new()),
@@ -422,19 +447,28 @@ impl MatchServer {
     /// limit (same conditions as [`crate::Matcher`]).
     pub fn submit(&self, query: &Hypergraph, options: QueryOptions) -> Result<QueryHandle> {
         let shared = &self.shared;
-        let (plan, cached) = shared.cache.plan_for(query, &shared.data)?;
+        // Pin the published snapshot and its epoch together: everything
+        // below (planning, seeding, execution) sees this one view, however
+        // many updates land concurrently.
+        let (data, epoch) = {
+            let current = shared.data.lock();
+            (Arc::clone(&current.graph), current.epoch)
+        };
+        let (plan, cached) = shared.cache.plan_for(query, &data, epoch)?;
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         let deadline = options
             .timeout
             .or(self.default_timeout)
             .map(|t| Instant::now() + t);
-        let active = Arc::new(ActiveQuery::new(id, plan, &options, cached, deadline));
+        let active = Arc::new(ActiveQuery::new(
+            id, data, epoch, plan, &options, cached, deadline,
+        ));
         shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
 
         let scan_rows = if active.plan.is_infeasible() {
             0
         } else {
-            shared
+            active
                 .data
                 .partition(active.plan.steps()[0].partition.expect("feasible"))
                 .len() as u32
@@ -460,6 +494,49 @@ impl MatchServer {
         Ok(self.submit(query, options)?.wait())
     }
 
+    /// Publishes a new data snapshot: queries submitted from now on pin
+    /// `data`, while queries already in flight finish on the epoch they
+    /// pinned at submission — no query ever observes a half-applied
+    /// update. Plan-cache entries whose labels intersect `touched_labels`
+    /// are dropped; the rest carry over to the new epoch (all of them are
+    /// dropped when `sids_stable` is false, i.e. partition ids shifted).
+    ///
+    /// Returns the new epoch. With a
+    /// [`hgmatch_hypergraph::DynamicHypergraph`] writer, pass the fields of
+    /// the [`hgmatch_hypergraph::SnapshotDelta`] it produced:
+    ///
+    /// ```
+    /// # use std::sync::Arc;
+    /// # use hgmatch_core::serve::{MatchServer, ServeConfig};
+    /// # use hgmatch_hypergraph::{DynamicHypergraph, Label};
+    /// let mut writer = DynamicHypergraph::new();
+    /// writer.add_vertices(2, Label::new(0));
+    /// writer.insert_hyperedge(vec![0, 1]).unwrap();
+    /// let server = MatchServer::new(writer.snapshot().graph, ServeConfig::default());
+    ///
+    /// writer.add_vertices(2, Label::new(1));
+    /// writer.insert_hyperedge(vec![2, 3]).unwrap();
+    /// let delta = writer.snapshot();
+    /// let epoch = server.update_data(delta.graph, &delta.touched_labels, delta.sids_stable);
+    /// assert_eq!(epoch, 1);
+    /// ```
+    pub fn update_data(
+        &self,
+        data: Arc<Hypergraph>,
+        touched_labels: &[hgmatch_hypergraph::Label],
+        sids_stable: bool,
+    ) -> u64 {
+        let mut current = self.shared.data.lock();
+        let epoch = current.epoch + 1;
+        *current = CurrentData { graph: data, epoch };
+        // Revalidate under the data lock so no submission can race a plan
+        // of the new epoch past an unswept cache.
+        self.shared
+            .cache
+            .revalidate(epoch, touched_labels, sids_stable);
+        epoch
+    }
+
     /// Snapshot of the aggregate serving counters.
     pub fn stats(&self) -> ServeStats {
         let c = &self.shared.counters;
@@ -475,12 +552,15 @@ impl MatchServer {
             plan_cache_hits: self.shared.cache.hits(),
             plan_cache_misses: self.shared.cache.misses(),
             plan_cache_size: self.shared.cache.len(),
+            plans_invalidated: self.shared.cache.invalidated(),
+            data_epoch: self.shared.data.lock().epoch,
         }
     }
 
-    /// The shared data hypergraph.
-    pub fn data(&self) -> &Arc<Hypergraph> {
-        &self.shared.data
+    /// The currently published data snapshot (queries in flight may be
+    /// pinned to older epochs).
+    pub fn data(&self) -> Arc<Hypergraph> {
+        Arc::clone(&self.shared.data.lock().graph)
     }
 
     /// Worker threads in the pool.

@@ -6,6 +6,8 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use hgmatch_hypergraph::Hypergraph;
+
 use crate::embedding::Embedding;
 use crate::memory::MemoryTracker;
 use crate::metrics::MatchMetrics;
@@ -109,6 +111,13 @@ impl Sink for ServeSink {
 #[derive(Debug)]
 pub(crate) struct ActiveQuery {
     pub(crate) id: u64,
+    /// The data snapshot this query is pinned to for its whole life:
+    /// writers may publish newer epochs concurrently
+    /// ([`super::MatchServer::update_data`]), but every task of this query
+    /// executes against this one consistent view.
+    pub(crate) data: Arc<Hypergraph>,
+    /// Epoch of the pinned snapshot (reported on the outcome).
+    pub(crate) data_epoch: u64,
     pub(crate) plan: Arc<Plan>,
     pub(crate) sink: ServeSink,
     /// The root scan task, waiting for its first worker. Children bypass
@@ -134,6 +143,8 @@ pub(crate) struct ActiveQuery {
 impl ActiveQuery {
     pub(crate) fn new(
         id: u64,
+        data: Arc<Hypergraph>,
+        data_epoch: u64,
         plan: Arc<Plan>,
         options: &QueryOptions,
         plan_cached: bool,
@@ -141,6 +152,8 @@ impl ActiveQuery {
     ) -> Self {
         Self {
             id,
+            data,
+            data_epoch,
             plan,
             sink: ServeSink::new(options.collect, options.max_results),
             seed: Mutex::new(None),
@@ -267,8 +280,8 @@ mod tests {
 
     #[test]
     fn first_stop_cause_wins() {
-        let plan = dummy_plan();
-        let q = ActiveQuery::new(7, plan, &QueryOptions::default(), false, None);
+        let (data, plan) = dummy_plan();
+        let q = ActiveQuery::new(7, data, 0, plan, &QueryOptions::default(), false, None);
         assert_eq!(q.stop_cause(), None);
         assert!(!q.stopped());
         q.stop(StopCause::Timeout);
@@ -278,7 +291,7 @@ mod tests {
         assert!(q.stopped());
     }
 
-    fn dummy_plan() -> Arc<Plan> {
+    fn dummy_plan() -> (Arc<Hypergraph>, Arc<Plan>) {
         use crate::plan::Planner;
         use crate::query::QueryGraph;
         use hgmatch_hypergraph::{HypergraphBuilder, Label};
@@ -287,6 +300,7 @@ mod tests {
         b.add_edge(vec![0, 1]).unwrap();
         let h = b.build().unwrap();
         let q = QueryGraph::new(&h).unwrap();
-        Arc::new(Planner::plan(&q, &h).unwrap())
+        let plan = Arc::new(Planner::plan(&q, &h).unwrap());
+        (Arc::new(h), plan)
     }
 }

@@ -117,7 +117,9 @@ fn run_one(
 ) {
     let env = QueryEnv {
         plan: &query.plan,
-        data: &shared.data,
+        // Each task runs against the snapshot its query pinned at
+        // submission, not whatever the server currently publishes.
+        data: &query.data,
         sink: &query.sink,
         config: &shared.config,
         tracker: &query.tracker,

@@ -10,71 +10,12 @@ use hgmatch_core::exec::SequentialExecutor;
 use hgmatch_core::serve::{MatchServer, QueryOptions, QueryStatus, ServeConfig};
 use hgmatch_core::sink::{CountSink, FirstKSink};
 use hgmatch_core::{MatchConfig, Planner, QueryGraph};
+use hgmatch_datasets::testgen::{blowup, paper_data, random_arity_hypergraph, workload_queries};
 use hgmatch_hypergraph::{Hypergraph, HypergraphBuilder, Label};
 
-/// The paper's Fig. 1 data hypergraph.
-fn paper_data() -> Hypergraph {
-    let mut b = HypergraphBuilder::new();
-    for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
-        b.add_vertex(Label::new(l));
-    }
-    b.add_edge(vec![2, 4]).unwrap();
-    b.add_edge(vec![4, 6]).unwrap();
-    b.add_edge(vec![0, 1, 2]).unwrap();
-    b.add_edge(vec![3, 5, 6]).unwrap();
-    b.add_edge(vec![0, 1, 4, 6]).unwrap();
-    b.add_edge(vec![2, 3, 4, 5]).unwrap();
-    b.build().unwrap()
-}
-
-/// A deterministic pseudo-random hypergraph: `nv` vertices over `nl`
-/// labels, `ne` hyperedges of arity 2–4 drawn from an xorshift stream.
-fn random_data(nv: u32, nl: u32, ne: u32, mut seed: u64) -> Hypergraph {
-    let mut next = move || {
-        seed ^= seed >> 12;
-        seed ^= seed << 25;
-        seed ^= seed >> 27;
-        seed.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    };
-    let mut b = HypergraphBuilder::new();
-    for v in 0..nv {
-        let _ = v;
-        b.add_vertex(Label::new((next() % nl as u64) as u32));
-    }
-    let mut added = 0;
-    while added < ne {
-        let arity = 2 + (next() % 3) as usize;
-        let mut vs: Vec<u32> = (0..arity).map(|_| (next() % nv as u64) as u32).collect();
-        vs.sort_unstable();
-        vs.dedup();
-        if vs.len() < 2 {
-            continue;
-        }
-        if b.add_edge(vs).is_ok() {
-            added += 1;
-        }
-    }
-    b.build().unwrap()
-}
-
-/// A combinatorial blow-up pair: `n` same-label vertices with every pair
-/// as a data hyperedge, queried with a path of `m` {A,A} edges. Embedding
-/// counts explode with `n`, which is exactly what the cancellation and
-/// timeout tests need.
-fn blowup(n: u32, m: u32) -> (Hypergraph, Hypergraph) {
-    let mut d = HypergraphBuilder::new();
-    d.add_vertices(n as usize, Label::new(0));
-    for i in 0..n {
-        for j in (i + 1)..n {
-            d.add_edge(vec![i, j]).unwrap();
-        }
-    }
-    let mut q = HypergraphBuilder::new();
-    q.add_vertices(m as usize + 1, Label::new(0));
-    for i in 0..m {
-        q.add_edge(vec![i, i + 1]).unwrap();
-    }
-    (d.build().unwrap(), q.build().unwrap())
+/// A deterministic random hypergraph over `nl` labels, arities 2–4.
+fn random_data(nv: u32, nl: u32, ne: u32, seed: u64) -> Hypergraph {
+    random_arity_hypergraph(seed, nv as usize, ne as usize, nl, 2, 4)
 }
 
 fn sequential_count(data: &Hypergraph, query: &Hypergraph) -> u64 {
@@ -83,50 +24,6 @@ fn sequential_count(data: &Hypergraph, query: &Hypergraph) -> u64 {
     let sink = CountSink::new();
     let stats = SequentialExecutor::run(&plan, data, &sink, &MatchConfig::sequential());
     stats.embeddings()
-}
-
-/// Builds a small workload of structurally different queries over the
-/// random dataset's label space.
-fn workload_queries() -> Vec<Hypergraph> {
-    let mut queries = Vec::new();
-    // Single edges of arity 2 and 3 across a few label combos.
-    for labels in [
-        vec![0u32, 0],
-        vec![0, 1],
-        vec![1, 2],
-        vec![0, 1, 2],
-        vec![0, 0, 1],
-    ] {
-        let mut b = HypergraphBuilder::new();
-        for &l in &labels {
-            b.add_vertex(Label::new(l));
-        }
-        b.add_edge((0..labels.len() as u32).collect()).unwrap();
-        queries.push(b.build().unwrap());
-    }
-    // Two {0,1} edges sharing the 0-labelled vertex.
-    let mut b = HypergraphBuilder::new();
-    for &l in &[0u32, 1, 1] {
-        b.add_vertex(Label::new(l));
-    }
-    b.add_edge(vec![0, 1]).unwrap();
-    b.add_edge(vec![0, 2]).unwrap();
-    queries.push(b.build().unwrap());
-    // A 3-edge path mixing arities.
-    let mut b = HypergraphBuilder::new();
-    for &l in &[0u32, 1, 2, 0] {
-        b.add_vertex(Label::new(l));
-    }
-    b.add_edge(vec![0, 1]).unwrap();
-    b.add_edge(vec![1, 2]).unwrap();
-    b.add_edge(vec![2, 3]).unwrap();
-    queries.push(b.build().unwrap());
-    // Infeasible: a label absent from the dataset.
-    let mut b = HypergraphBuilder::new();
-    b.add_vertices(2, Label::new(9));
-    b.add_edge(vec![0, 1]).unwrap();
-    queries.push(b.build().unwrap());
-    queries
 }
 
 /// Acceptance: ≥ 8 concurrent queries on one shared pool return the same

@@ -16,8 +16,11 @@ pub mod generator;
 pub mod knowledge_base;
 pub mod profiles;
 pub mod query_gen;
+pub mod testgen;
+pub mod update_stream;
 
 pub use generator::{generate, ArityDistribution, GeneratorConfig};
 pub use knowledge_base::{KnowledgeBase, KnowledgeBaseConfig};
 pub use profiles::{all_profiles, profile_by_name, DatasetProfile};
 pub use query_gen::{sample_query, standard_settings, QuerySetting};
+pub use update_stream::{generate_update_stream, UpdateStreamConfig};

@@ -1,0 +1,195 @@
+//! Update-stream generation: random insert/delete workloads for the
+//! dynamic-hypergraph subsystem.
+//!
+//! A stream is a sequence of [`UpdateOp`]s against a base hypergraph,
+//! generated with a configurable insert:delete mix. The generator tracks
+//! the live edge set as it goes, so every delete targets an edge that
+//! exists at that point of the stream and every insert is fresh —
+//! replaying the stream on [`hgmatch_hypergraph::DynamicHypergraph`]
+//! performs `ops` *effective* mutations. Text serialisation lives next to
+//! the op type ([`hgmatch_hypergraph::dynamic::write_update_stream`]).
+
+use hgmatch_hypergraph::{Hypergraph, UpdateOp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Shape of a generated update stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStreamConfig {
+    /// Total operations to generate.
+    pub ops: usize,
+    /// Fraction of operations that are insertions, in `[0, 1]` (an
+    /// insert:delete ratio of 7:3 is `0.7`). Deletes fall back to inserts
+    /// while the live set is empty.
+    pub insert_ratio: f64,
+    /// Smallest hyperedge arity to insert.
+    pub min_arity: usize,
+    /// Largest hyperedge arity to insert.
+    pub max_arity: usize,
+    /// RNG seed (streams are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for UpdateStreamConfig {
+    fn default() -> Self {
+        Self {
+            ops: 1_000,
+            insert_ratio: 0.7,
+            min_arity: 2,
+            max_arity: 4,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates an update stream against `base` (its vertices are the vertex
+/// universe; its edges seed the live set that deletions draw from).
+///
+/// # Panics
+/// Panics if `base` has no vertices or the arity window is empty.
+pub fn generate_update_stream(base: &Hypergraph, config: &UpdateStreamConfig) -> Vec<UpdateOp> {
+    assert!(base.num_vertices() > 0, "stream needs a vertex universe");
+    assert!(
+        (1..=base.num_vertices()).contains(&config.min_arity)
+            && config.min_arity <= config.max_arity,
+        "invalid arity window"
+    );
+    let nv = base.num_vertices() as u32;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Live edge set: vector for uniform sampling, membership via sort-key.
+    let mut live: Vec<Vec<u32>> = base.iter_edges().map(|(_, vs)| vs.to_vec()).collect();
+    let mut member: std::collections::HashSet<Vec<u32>> = live.iter().cloned().collect();
+
+    let mut ops = Vec::with_capacity(config.ops);
+    while ops.len() < config.ops {
+        let want_insert = rng.random::<f64>() < config.insert_ratio || live.is_empty();
+        if want_insert {
+            // Draw a fresh sorted vertex set; retry on collisions with the
+            // live set (bounded, then give up and delete instead).
+            let mut inserted = false;
+            for _ in 0..64 {
+                let arity = rng.random_range(config.min_arity..=config.max_arity.min(nv as usize));
+                let mut edge: Vec<u32> = Vec::with_capacity(arity);
+                while edge.len() < arity {
+                    let v = rng.random_range(0..nv);
+                    if !edge.contains(&v) {
+                        edge.push(v);
+                    }
+                }
+                edge.sort_unstable();
+                if member.insert(edge.clone()) {
+                    live.push(edge.clone());
+                    ops.push(UpdateOp::Insert(edge));
+                    inserted = true;
+                    break;
+                }
+            }
+            if inserted || live.is_empty() {
+                continue;
+            }
+        }
+        let idx = rng.random_range(0..live.len());
+        let edge = live.swap_remove(idx);
+        member.remove(&edge);
+        ops.push(UpdateOp::Delete(edge));
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+    use hgmatch_hypergraph::DynamicHypergraph;
+
+    fn base() -> Hypergraph {
+        generate(&GeneratorConfig {
+            num_vertices: 80,
+            num_edges: 150,
+            num_labels: 3,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_sized() {
+        let base = base();
+        let cfg = UpdateStreamConfig::default();
+        let a = generate_update_stream(&base, &cfg);
+        let b = generate_update_stream(&base, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.ops);
+    }
+
+    #[test]
+    fn ratio_roughly_respected() {
+        let base = base();
+        let ops = generate_update_stream(
+            &base,
+            &UpdateStreamConfig {
+                ops: 2_000,
+                insert_ratio: 0.7,
+                ..Default::default()
+            },
+        );
+        let inserts = ops
+            .iter()
+            .filter(|o| matches!(o, UpdateOp::Insert(_)))
+            .count();
+        let ratio = inserts as f64 / ops.len() as f64;
+        assert!((0.6..0.8).contains(&ratio), "insert ratio {ratio}");
+    }
+
+    #[test]
+    fn every_op_is_effective_when_replayed() {
+        let base = base();
+        let ops = generate_update_stream(
+            &base,
+            &UpdateStreamConfig {
+                ops: 400,
+                insert_ratio: 0.5,
+                seed: 42,
+                ..Default::default()
+            },
+        );
+        let mut d = DynamicHypergraph::from_hypergraph(&base);
+        for op in &ops {
+            assert!(d.apply(op).unwrap(), "{op:?} must be effective");
+        }
+    }
+
+    #[test]
+    fn delete_only_streams_drain_the_graph() {
+        let base = base();
+        let ops = generate_update_stream(
+            &base,
+            &UpdateStreamConfig {
+                ops: base.num_edges(),
+                insert_ratio: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(ops.iter().all(|o| matches!(o, UpdateOp::Delete(_))));
+        let mut d = DynamicHypergraph::from_hypergraph(&base);
+        for op in &ops {
+            d.apply(op).unwrap();
+        }
+        assert_eq!(d.num_edges(), 0);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let base = base();
+        let ops = generate_update_stream(
+            &base,
+            &UpdateStreamConfig {
+                ops: 50,
+                ..Default::default()
+            },
+        );
+        let text = hgmatch_hypergraph::dynamic::write_update_stream(&ops);
+        let parsed = hgmatch_hypergraph::dynamic::parse_update_stream(&text).unwrap();
+        assert_eq!(parsed, ops);
+    }
+}

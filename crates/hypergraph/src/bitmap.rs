@@ -77,6 +77,27 @@ impl Bitmap {
         }
     }
 
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= domain` (slice indexing).
+    #[inline]
+    pub fn remove(&mut self, i: u32) {
+        debug_assert!(i < self.domain);
+        self.words[(i >> 6) as usize] &= !(1u64 << (i & 63));
+    }
+
+    /// Grows the domain to `domain`, keeping every set bit. Growing is how
+    /// a live posting bitmap follows its partition's row space as rows are
+    /// appended ([`crate::dynamic`]); shrinking is a no-op.
+    pub fn grow(&mut self, domain: u32) {
+        if domain <= self.domain {
+            return;
+        }
+        self.domain = domain;
+        self.words.resize(Self::words_for(domain), 0);
+    }
+
     /// Whether bit `i` is set.
     #[inline]
     pub fn contains(&self, i: u32) -> bool {

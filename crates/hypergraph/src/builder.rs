@@ -121,8 +121,6 @@ impl HypergraphBuilder {
     pub fn build(self) -> Result<Hypergraph> {
         let Self { labels, edges, .. } = self;
 
-        let num_labels = labels.iter().map(|l| l.raw() + 1).max().unwrap_or(0);
-
         // Group edges by signature, preserving global insertion order ids.
         let mut interner = SignatureInterner::new();
         let mut groups: Vec<(Vec<Vec<u32>>, Vec<EdgeId>)> = Vec::new();
@@ -148,66 +146,21 @@ impl HypergraphBuilder {
             ids.push(EdgeId::from_index(i));
         }
 
-        let partitions: Vec<Partition> = groups
+        let partitions: Vec<std::sync::Arc<Partition>> = groups
             .into_iter()
             .enumerate()
             .map(|(sid, (rows, ids))| {
                 let arity = interner.resolve(SignatureId::from_index(sid)).arity() as u32;
-                Partition::new(SignatureId::from_index(sid), arity, rows, ids)
+                std::sync::Arc::new(Partition::new(
+                    SignatureId::from_index(sid),
+                    arity,
+                    rows,
+                    ids,
+                ))
             })
             .collect();
 
-        // Global incidence CSR: vertex → sorted global edge ids.
-        let mut degrees = vec![0u64; labels.len()];
-        for p in &partitions {
-            for (_, row) in p.iter_rows() {
-                for &v in row {
-                    degrees[v as usize] += 1;
-                }
-            }
-        }
-        let mut incidence_offsets = Vec::with_capacity(labels.len() + 1);
-        incidence_offsets.push(0u64);
-        for &d in &degrees {
-            incidence_offsets.push(incidence_offsets.last().unwrap() + d);
-        }
-        let total = *incidence_offsets.last().unwrap() as usize;
-        let mut incidence_edges = vec![0u32; total];
-        let mut cursor = incidence_offsets[..labels.len()].to_vec();
-        // Fill in ascending global edge order so per-vertex lists are sorted.
-        let mut by_global: Vec<(EdgeId, SignatureId, u32)> = Vec::new();
-        for p in &partitions {
-            for (r, _) in p.iter_rows() {
-                by_global.push((p.global_id(r), p.signature(), r));
-            }
-        }
-        by_global.sort_unstable_by_key(|(g, _, _)| *g);
-        for (g, sid, r) in by_global {
-            for &v in partitions[sid.index()].row(r) {
-                let c = &mut cursor[v as usize];
-                incidence_edges[*c as usize] = g.raw();
-                *c += 1;
-            }
-        }
-
-        // |adj(v)| per vertex via sort+dedup of neighbour lists.
-        let graph = Hypergraph {
-            labels,
-            num_labels,
-            interner,
-            partitions,
-            locator,
-            incidence_offsets,
-            incidence_edges,
-            adj_counts: Vec::new(),
-        };
-        let adj_counts = (0..graph.num_vertices())
-            .map(|v| graph.adjacent_vertices(VertexId::from_index(v)).len() as u32)
-            .collect();
-        Ok(Hypergraph {
-            adj_counts,
-            ..graph
-        })
+        Ok(Hypergraph::assemble(labels, interner, partitions, locator))
     }
 }
 

@@ -1,0 +1,1006 @@
+//! Online hypergraph updates: incremental index maintenance and
+//! copy-on-write snapshots.
+//!
+//! The offline pipeline ([`crate::builder::HypergraphBuilder`]) builds an
+//! immutable [`Hypergraph`] once; production traffic instead *streams*
+//! hyperedge insertions and deletions. [`DynamicHypergraph`] is the mutable
+//! counterpart: it keeps the same signature-partitioned layout but
+//! maintains every structure incrementally —
+//!
+//! * **Postings grow in place.** Rows are only ever appended to a
+//!   partition, so a vertex's posting list grows by a sorted push; the
+//!   list↔bitmap adaptive representation flips at the *same* thresholds as
+//!   a fresh [`InvertedIndex::build`] (the rule is shared code), growing a
+//!   dense key's bitmap along with the partition's row space.
+//! * **Deletions tombstone, then compact.** Deleting a hyperedge marks its
+//!   row dead and unlinks it from the affected posting lists in `O(degree)`
+//!   posting edits; the row storage itself is compacted (order-preserving)
+//!   once tombstones pass a threshold, or at the next snapshot.
+//! * **Readers get epoch-pinned snapshots.** [`DynamicHypergraph::snapshot`]
+//!   freezes the live state into a canonical immutable [`Hypergraph`] —
+//!   *identical* to rebuilding from scratch over the surviving hyperedges
+//!   (the differential-testing oracle) — while reusing the [`Arc`] of every
+//!   partition the writer did not touch since the previous snapshot
+//!   (copy-on-write at partition granularity). The returned
+//!   [`SnapshotDelta`] carries the labels touched since the previous epoch
+//!   and whether partition ids stayed stable, which is exactly what a plan
+//!   cache needs to invalidate selectively (`hgmatch-core`'s
+//!   `MatchServer::update_data`).
+//!
+//! Canonicalisation on snapshot means dynamic edge ids (returned by
+//! [`DynamicHypergraph::insert_hyperedge`]) are *not* the ids of the
+//! snapshot: snapshots renumber live edges densely in insertion order, the
+//! way a fresh build would. Identify edges across epochs by their vertex
+//! set ([`Hypergraph::find_edge`]).
+
+use std::sync::Arc;
+
+use crate::bitmap::Bitmap;
+use crate::error::{HypergraphError, Result};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::hypergraph::{EdgeLocation, Hypergraph};
+use crate::ids::{EdgeId, Label, SignatureId, VertexId};
+use crate::inverted::{key_is_dense, InvertedIndex};
+use crate::partition::Partition;
+use crate::signature::{Signature, SignatureInterner};
+
+/// Tombstones needed before a partition compacts mid-stream (snapshots
+/// always compact). Small partitions compact eagerly; large ones amortise.
+const COMPACT_MIN_DEAD: usize = 32;
+
+/// One operation of an update stream.
+///
+/// The text form (one op per line, `#` comments and blank lines skipped) is
+/// what the CLI `update` subcommand and the `datasets` stream generator
+/// exchange:
+///
+/// ```text
+/// v 3            # add a vertex with label 3
+/// + 0 4 7        # insert the hyperedge {0, 4, 7}
+/// - 0 4 7        # delete it again
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Add a vertex with the given label.
+    AddVertex(Label),
+    /// Insert a hyperedge over existing vertex ids.
+    Insert(Vec<u32>),
+    /// Delete the hyperedge with exactly this vertex set.
+    Delete(Vec<u32>),
+}
+
+impl UpdateOp {
+    /// Parses one stream line; `Ok(None)` for blanks and comments.
+    pub fn parse_line(line: &str, lineno: usize) -> Result<Option<Self>> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Ok(None);
+        }
+        let parse_err = |message: String| HypergraphError::Parse {
+            line: lineno,
+            message,
+        };
+        let mut tokens = trimmed.split_whitespace();
+        let tag = tokens.next().expect("non-empty line has a first token");
+        let values: Vec<u32> = tokens
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| parse_err(format!("invalid id {t:?}")))
+            })
+            .collect::<Result<_>>()?;
+        match tag {
+            "v" => match values.as_slice() {
+                [label] => Ok(Some(Self::AddVertex(Label::new(*label)))),
+                _ => Err(parse_err("`v` takes exactly one label".into())),
+            },
+            "+" | "-" => {
+                if values.is_empty() {
+                    return Err(parse_err(format!("`{tag}` needs at least one vertex")));
+                }
+                Ok(Some(if tag == "+" {
+                    Self::Insert(values)
+                } else {
+                    Self::Delete(values)
+                }))
+            }
+            other => Err(parse_err(format!(
+                "unknown op {other:?} (expected `v`, `+` or `-`)"
+            ))),
+        }
+    }
+
+    /// The text form of this op (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let join = |vs: &[u32]| {
+            vs.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        match self {
+            Self::AddVertex(l) => format!("v {}", l.raw()),
+            Self::Insert(vs) => format!("+ {}", join(vs)),
+            Self::Delete(vs) => format!("- {}", join(vs)),
+        }
+    }
+}
+
+/// Parses a whole update-stream text into ops.
+pub fn parse_update_stream(text: &str) -> Result<Vec<UpdateOp>> {
+    let mut ops = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(op) = UpdateOp::parse_line(line, i + 1)? {
+            ops.push(op);
+        }
+    }
+    Ok(ops)
+}
+
+/// Serialises ops into the update-stream text format.
+pub fn write_update_stream(ops: &[UpdateOp]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        out.push_str(&op.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// A consistent published epoch: the frozen graph plus what a cache needs
+/// to know about how it differs from the previously published epoch.
+#[derive(Debug, Clone)]
+pub struct SnapshotDelta {
+    /// The immutable, canonical view of the live hyperedge set.
+    pub graph: Arc<Hypergraph>,
+    /// The writer's epoch counter at freeze time (one tick per mutation).
+    pub epoch: u64,
+    /// Labels appearing in any signature touched since the previous
+    /// snapshot (sorted, deduplicated). A cached plan whose query labels
+    /// are disjoint from this set saw no cardinality change.
+    pub touched_labels: Vec<Label>,
+    /// Whether every signature live in both this and the previous snapshot
+    /// kept its [`SignatureId`]. When `false` (a signature went extinct or
+    /// re-ordered), plans compiled against the previous epoch may reference
+    /// re-numbered partitions and must all be dropped.
+    pub sids_stable: bool,
+}
+
+/// One posting set of the mutable index: the sorted row-id list (always)
+/// plus a bitmap while the key is dense per [`key_is_dense`].
+///
+/// The live bitmap is the mutable-state analogue of the frozen index's
+/// dense keys: snapshots do *not* consume it (freeze re-derives canonical
+/// bitmaps over the compacted row space); it exists so reads against the
+/// un-frozen state get the adaptive representation at the same density
+/// rule the static index applies. The rule is re-evaluated *lazily*, at
+/// the cell's own next mutation — rows appended through other vertices
+/// grow the partition without touching this cell, so its representation
+/// can lag the current row count until then (compaction resyncs every
+/// cell). Maintenance is O(1) amortised per posting edit except when a
+/// key crosses the density threshold upward, which rebuilds that key's
+/// bitmap from its list.
+#[derive(Debug, Default)]
+struct PostingCell {
+    list: Vec<u32>,
+    bits: Option<Bitmap>,
+}
+
+impl PostingCell {
+    /// Re-evaluates the adaptive representation after a mutation.
+    /// `row_space` is the partition's current row-id domain.
+    fn sync_repr(&mut self, row_space: usize) {
+        if key_is_dense(self.list.len(), row_space) {
+            if self.bits.is_none() {
+                self.bits = Some(Bitmap::from_sorted(&self.list, row_space as u32));
+            }
+        } else {
+            self.bits = None;
+        }
+    }
+}
+
+/// The mutable per-partition inverted index: vertex → [`PostingCell`].
+#[derive(Debug, Default)]
+struct DynIndex {
+    cells: FxHashMap<u32, PostingCell>,
+}
+
+impl DynIndex {
+    /// Links appended `row` to `v`. Rows only grow, so the push keeps the
+    /// list sorted; a dense key's bitmap grows its domain along the way.
+    fn insert(&mut self, v: u32, row: u32, row_space: usize) {
+        let cell = self.cells.entry(v).or_default();
+        debug_assert!(cell.list.last().is_none_or(|&r| r < row));
+        cell.list.push(row);
+        if let Some(bits) = &mut cell.bits {
+            bits.grow(row_space as u32);
+            bits.insert(row);
+        }
+        cell.sync_repr(row_space);
+    }
+
+    /// Unlinks `row` from `v` (tombstoned row leaves the posting set).
+    fn remove(&mut self, v: u32, row: u32, row_space: usize) {
+        let Some(cell) = self.cells.get_mut(&v) else {
+            debug_assert!(false, "removing a row from an unindexed vertex");
+            return;
+        };
+        if let Ok(i) = cell.list.binary_search(&row) {
+            cell.list.remove(i);
+        }
+        if cell.list.is_empty() {
+            self.cells.remove(&v);
+            return;
+        }
+        if let Some(bits) = &mut cell.bits {
+            if row < bits.domain() {
+                bits.remove(row);
+            }
+        }
+        cell.sync_repr(row_space);
+    }
+
+    /// Applies an order-preserving row renumbering after compaction and
+    /// re-evaluates every cell's representation for the shrunk row space.
+    fn remap_rows(&mut self, remap: &[u32], row_space: usize) {
+        for cell in self.cells.values_mut() {
+            for r in &mut cell.list {
+                debug_assert_ne!(remap[*r as usize], u32::MAX, "posting to dead row");
+                *r = remap[*r as usize];
+            }
+            cell.bits = None;
+            cell.sync_repr(row_space);
+        }
+    }
+}
+
+/// One mutable signature partition: tombstoned row storage plus the
+/// incrementally maintained [`DynIndex`].
+#[derive(Debug)]
+struct DynPartition {
+    arity: u32,
+    /// Flattened vertex lists, tombstoned rows included until compaction.
+    vertices: Vec<u32>,
+    /// Dynamic edge id of each row (ascending; holds for tombstones too).
+    global: Vec<u32>,
+    live: Vec<bool>,
+    dead: usize,
+    index: DynIndex,
+    /// Mutated since the last snapshot freeze (clears partition reuse).
+    dirty: bool,
+}
+
+impl DynPartition {
+    fn new(arity: u32) -> Self {
+        Self {
+            arity,
+            vertices: Vec::new(),
+            global: Vec::new(),
+            live: Vec::new(),
+            dead: 0,
+            index: DynIndex::default(),
+            dirty: true,
+        }
+    }
+
+    fn rows_total(&self) -> usize {
+        self.global.len()
+    }
+
+    fn live_len(&self) -> usize {
+        self.global.len() - self.dead
+    }
+
+    fn max_gid(&self) -> Option<u32> {
+        self.global.last().copied()
+    }
+
+    /// Appends a live row, linking it into the index. Returns the row id.
+    fn insert_row(&mut self, vs: &[u32], gid: u32) -> u32 {
+        let row = self.global.len() as u32;
+        self.vertices.extend_from_slice(vs);
+        self.global.push(gid);
+        self.live.push(true);
+        let row_space = self.global.len();
+        for &v in vs {
+            self.index.insert(v, row, row_space);
+        }
+        self.dirty = true;
+        row
+    }
+
+    /// Tombstones a row and removes it from the posting sets.
+    fn delete_row(&mut self, row: u32) {
+        debug_assert!(self.live[row as usize], "double delete");
+        self.live[row as usize] = false;
+        self.dead += 1;
+        self.dirty = true;
+        let a = self.arity as usize;
+        let row_space = self.global.len();
+        for i in 0..a {
+            let v = self.vertices[row as usize * a + i];
+            self.index.remove(v, row, row_space);
+        }
+    }
+
+    fn should_compact(&self) -> bool {
+        self.dead >= COMPACT_MIN_DEAD && self.dead * 2 >= self.rows_total()
+    }
+
+    /// Drops tombstoned rows, renumbering the survivors densely in order.
+    /// Returns `(dynamic gid, new row)` for every surviving row so the
+    /// caller can fix its locator.
+    fn compact(&mut self) -> Vec<(u32, u32)> {
+        let total = self.rows_total();
+        let a = self.arity as usize;
+        let mut remap = vec![u32::MAX; total];
+        let mut vertices = Vec::with_capacity(self.live_len() * a);
+        let mut global = Vec::with_capacity(self.live_len());
+        let mut moves = Vec::with_capacity(self.live_len());
+        for (r, slot) in remap.iter_mut().enumerate().take(total) {
+            if !self.live[r] {
+                continue;
+            }
+            let new_row = global.len() as u32;
+            *slot = new_row;
+            vertices.extend_from_slice(&self.vertices[r * a..(r + 1) * a]);
+            global.push(self.global[r]);
+            moves.push((self.global[r], new_row));
+        }
+        self.vertices = vertices;
+        self.live = vec![true; global.len()];
+        self.global = global;
+        self.dead = 0;
+        self.index.remap_rows(&remap, self.rows_total());
+        moves
+    }
+
+    /// Freezes this (compacted) partition into the immutable form under a
+    /// canonical signature id and edge-id remap. The CSR index is emitted
+    /// straight from the maintained postings — no re-sort, and by
+    /// construction byte-identical to a fresh [`InvertedIndex::build`].
+    fn freeze(&self, canon_sid: SignatureId, gid_remap: &[u32]) -> Partition {
+        debug_assert_eq!(self.dead, 0, "freeze requires a compacted partition");
+        let mut cells: Vec<(u32, &[u32])> = self
+            .index
+            .cells
+            .iter()
+            .map(|(&v, c)| (v, c.list.as_slice()))
+            .collect();
+        cells.sort_unstable_by_key(|&(v, _)| v);
+        let index =
+            InvertedIndex::from_sorted_postings(cells.into_iter(), self.rows_total() as u32);
+        let global_ids = self
+            .global
+            .iter()
+            .map(|&g| EdgeId::new(gid_remap[g as usize]))
+            .collect();
+        Partition::from_parts(
+            canon_sid,
+            self.arity,
+            self.vertices.clone(),
+            global_ids,
+            index,
+        )
+    }
+}
+
+/// What the previous snapshot looked like, for copy-on-write reuse.
+#[derive(Debug)]
+struct SnapCache {
+    graph: Arc<Hypergraph>,
+    epoch: u64,
+    /// Canonical sid each dynamic sid froze to (`None` = extinct).
+    canon_of_dyn: Vec<Option<SignatureId>>,
+}
+
+/// A vertex-labelled hypergraph under online insertion and deletion of
+/// hyperedges, with incrementally maintained partitions and inverted
+/// indices and cheap epoch-pinned snapshots for readers.
+///
+/// # Example
+///
+/// ```
+/// use hgmatch_hypergraph::{DynamicHypergraph, Label};
+///
+/// let mut h = DynamicHypergraph::new();
+/// h.add_vertices(4, Label::new(0));
+/// h.insert_hyperedge(vec![0, 1]).unwrap();
+/// h.insert_hyperedge(vec![1, 2, 3]).unwrap();
+/// let first = h.snapshot();
+/// assert_eq!(first.graph.num_edges(), 2);
+///
+/// h.delete_hyperedge(&[0, 1]).unwrap();
+/// let second = h.snapshot();
+/// assert_eq!(second.graph.num_edges(), 1);
+/// // The earlier snapshot is unaffected: readers pin their epoch.
+/// assert_eq!(first.graph.num_edges(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct DynamicHypergraph {
+    labels: Vec<Label>,
+    /// All-time signature interner (dynamic sids; extinct ones keep slots).
+    interner: SignatureInterner,
+    parts: Vec<DynPartition>,
+    /// Dynamic gid → live location (`None` = deleted). Gids never reuse.
+    locator: Vec<Option<EdgeLocation>>,
+    /// Sorted vertex set → dynamic gid, for dedupe and delete-by-set.
+    edge_lookup: FxHashMap<Vec<u32>, u32>,
+    live_edges: usize,
+    epoch: u64,
+    /// Labels of signatures touched since the last snapshot.
+    touched: FxHashSet<Label>,
+    /// Smallest dynamic gid deleted since the last snapshot: partitions
+    /// whose gids all lie below it kept their canonical edge ids.
+    min_deleted_gid: Option<u32>,
+    cache: Option<SnapCache>,
+}
+
+impl DynamicHypergraph {
+    /// Creates an empty dynamic hypergraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds a dynamic hypergraph from an existing immutable one (same
+    /// vertices, same hyperedges in the same order).
+    pub fn from_hypergraph(h: &Hypergraph) -> Self {
+        let mut d = Self::new();
+        d.labels = h.labels().to_vec();
+        for (_, vs) in h.iter_edges() {
+            d.insert_hyperedge(vs.to_vec())
+                .expect("edges of a built hypergraph are valid");
+        }
+        // Seeding is epoch 0, not a stream of updates.
+        d.epoch = 0;
+        d.touched.clear();
+        d
+    }
+
+    /// Adds a vertex with `label`, returning its id (dense, in call order).
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        let id = VertexId::from_index(self.labels.len());
+        self.labels.push(label);
+        self.epoch += 1;
+        id
+    }
+
+    /// Adds `n` vertices all labelled `label`; returns the first id.
+    pub fn add_vertices(&mut self, n: usize, label: Label) -> VertexId {
+        let first = VertexId::from_index(self.labels.len());
+        self.labels.extend(std::iter::repeat_n(label, n));
+        self.epoch += 1;
+        first
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of *live* hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    /// The writer's epoch counter (one tick per mutation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the (unsorted) vertex set is currently a live hyperedge.
+    pub fn contains_edge(&self, vertices: &[u32]) -> bool {
+        let mut key = vertices.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        self.edge_lookup.contains_key(&key)
+    }
+
+    /// Inserts a hyperedge over raw vertex ids. Vertices may arrive
+    /// unsorted; duplicates inside the edge are collapsed and a repeat of a
+    /// live edge is dropped (`Ok(None)`), mirroring the offline builder's
+    /// dedupe policy.
+    ///
+    /// Returns the edge's *dynamic* id — stable for this writer, not the id
+    /// the edge will carry in snapshots (see the module docs).
+    pub fn insert_hyperedge(&mut self, mut vertices: Vec<u32>) -> Result<Option<EdgeId>> {
+        let edge_index = self.locator.len();
+        if vertices.is_empty() {
+            return Err(HypergraphError::EmptyHyperedge { edge_index });
+        }
+        for &v in &vertices {
+            if v as usize >= self.labels.len() {
+                return Err(HypergraphError::UnknownVertex {
+                    vertex: v,
+                    edge_index,
+                });
+            }
+        }
+        vertices.sort_unstable();
+        vertices.dedup();
+        if self.edge_lookup.contains_key(&vertices) {
+            return Ok(None);
+        }
+
+        let signature = Signature::new(vertices.iter().map(|&v| self.labels[v as usize]).collect());
+        self.touched.extend(signature.labels().iter().copied());
+        let sid = self.interner.intern(signature);
+        if sid.index() == self.parts.len() {
+            self.parts.push(DynPartition::new(vertices.len() as u32));
+        }
+
+        let gid = u32::try_from(self.locator.len()).expect("edge-id overflow");
+        let row = self.parts[sid.index()].insert_row(&vertices, gid);
+        self.locator.push(Some(EdgeLocation {
+            signature: sid,
+            row,
+        }));
+        self.edge_lookup.insert(vertices, gid);
+        self.live_edges += 1;
+        self.epoch += 1;
+        Ok(Some(EdgeId::new(gid)))
+    }
+
+    /// Deletes the hyperedge with exactly this vertex set (order and
+    /// repeats ignored). Returns whether an edge was removed.
+    pub fn delete_hyperedge(&mut self, vertices: &[u32]) -> Result<bool> {
+        let mut key = vertices.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        let Some(gid) = self.edge_lookup.remove(&key) else {
+            return Ok(false);
+        };
+        let loc = self.locator[gid as usize]
+            .take()
+            .expect("lookup and locator agree");
+        self.touched.extend(
+            self.interner
+                .resolve(loc.signature)
+                .labels()
+                .iter()
+                .copied(),
+        );
+        let part = &mut self.parts[loc.signature.index()];
+        part.delete_row(loc.row);
+        self.live_edges -= 1;
+        self.epoch += 1;
+        self.min_deleted_gid = Some(self.min_deleted_gid.map_or(gid, |m| m.min(gid)));
+        if part.should_compact() {
+            self.compact_partition(loc.signature);
+        }
+        Ok(true)
+    }
+
+    /// Applies one stream op. Returns whether the graph changed (duplicate
+    /// inserts and misses are no-ops, not errors — streams are replayable).
+    pub fn apply(&mut self, op: &UpdateOp) -> Result<bool> {
+        match op {
+            UpdateOp::AddVertex(label) => {
+                self.add_vertex(*label);
+                Ok(true)
+            }
+            UpdateOp::Insert(vs) => Ok(self.insert_hyperedge(vs.clone())?.is_some()),
+            UpdateOp::Delete(vs) => self.delete_hyperedge(vs),
+        }
+    }
+
+    fn compact_partition(&mut self, sid: SignatureId) {
+        for (gid, new_row) in self.parts[sid.index()].compact() {
+            self.locator[gid as usize]
+                .as_mut()
+                .expect("surviving row is live")
+                .row = new_row;
+        }
+    }
+
+    /// Freezes the current live state into a canonical immutable
+    /// [`Hypergraph`] and returns it with the delta information a plan
+    /// cache needs ([`SnapshotDelta`]).
+    ///
+    /// The result is exactly what [`crate::builder::HypergraphBuilder`]
+    /// would produce from the live hyperedges replayed in insertion order —
+    /// partitions in first-encounter order, edges densely renumbered —
+    /// which makes rebuild-from-scratch a byte-level oracle for this path.
+    /// Partitions untouched since the previous snapshot are shared with it
+    /// via [`Arc`] instead of being re-frozen.
+    pub fn snapshot(&mut self) -> SnapshotDelta {
+        if let Some(cache) = &self.cache {
+            if cache.epoch == self.epoch {
+                // Nothing changed: republish the cached epoch.
+                return SnapshotDelta {
+                    graph: Arc::clone(&cache.graph),
+                    epoch: self.epoch,
+                    touched_labels: Vec::new(),
+                    sids_stable: true,
+                };
+            }
+        }
+
+        // Snapshots expose dense rows: compact every tombstoned partition.
+        for sid in 0..self.parts.len() {
+            if self.parts[sid].dead > 0 {
+                self.compact_partition(SignatureId::from_index(sid));
+            }
+        }
+
+        // Canonical renumbering: scan live edges in dynamic-gid (insertion)
+        // order; signatures take canonical ids in first-encounter order and
+        // edges take dense ids — the orders a fresh build would assign.
+        let mut canon_of_dyn: Vec<Option<SignatureId>> = vec![None; self.parts.len()];
+        let mut dyn_of_canon: Vec<usize> = Vec::new();
+        let mut canon_interner = SignatureInterner::new();
+        let mut gid_remap = vec![u32::MAX; self.locator.len()];
+        let mut next_gid = 0u32;
+        for (gid, loc) in self.locator.iter().enumerate() {
+            let Some(loc) = loc else { continue };
+            let dyn_sid = loc.signature.index();
+            if canon_of_dyn[dyn_sid].is_none() {
+                let canon = canon_interner.intern(self.interner.resolve(loc.signature).clone());
+                debug_assert_eq!(canon.index(), dyn_of_canon.len());
+                canon_of_dyn[dyn_sid] = Some(canon);
+                dyn_of_canon.push(dyn_sid);
+            }
+            gid_remap[gid] = next_gid;
+            next_gid += 1;
+        }
+
+        // Freeze dirty partitions; reuse the Arc of clean ones whose
+        // canonical sid and edge ids are provably unchanged.
+        let partitions: Vec<Arc<Partition>> = dyn_of_canon
+            .iter()
+            .enumerate()
+            .map(|(canon_idx, &dyn_sid)| {
+                let canon_sid = SignatureId::from_index(canon_idx);
+                let part = &self.parts[dyn_sid];
+                let ids_unshifted = self
+                    .min_deleted_gid
+                    .is_none_or(|h| part.max_gid().is_none_or(|m| m < h));
+                let reusable = !part.dirty
+                    && ids_unshifted
+                    && self.cache.as_ref().is_some_and(|c| {
+                        c.canon_of_dyn.get(dyn_sid).copied().flatten() == Some(canon_sid)
+                    });
+                if reusable {
+                    let cache = self.cache.as_ref().expect("reusable implies cache");
+                    Arc::clone(cache.graph.partition_arc(canon_sid))
+                } else {
+                    Arc::new(part.freeze(canon_sid, &gid_remap))
+                }
+            })
+            .collect();
+
+        // Canonical locator: live edges in insertion order; rows are the
+        // (compacted) dynamic rows, which match the frozen tables.
+        let locator: Vec<EdgeLocation> = self
+            .locator
+            .iter()
+            .flatten()
+            .map(|loc| EdgeLocation {
+                signature: canon_of_dyn[loc.signature.index()].expect("live sid is canonical"),
+                row: loc.row,
+            })
+            .collect();
+
+        let graph = Arc::new(Hypergraph::assemble(
+            self.labels.clone(),
+            canon_interner,
+            partitions,
+            locator,
+        ));
+
+        let sids_stable = match &self.cache {
+            None => false,
+            Some(cache) => canon_of_dyn.iter().enumerate().all(|(dyn_sid, now)| {
+                match (cache.canon_of_dyn.get(dyn_sid).copied().flatten(), *now) {
+                    (Some(before), Some(now)) => before == now,
+                    // Extinct or newly-live signatures don't shift survivors
+                    // by themselves; their labels are in `touched_labels`.
+                    _ => true,
+                }
+            }),
+        };
+        let mut touched_labels: Vec<Label> = self.touched.drain().collect();
+        touched_labels.sort_unstable();
+        self.min_deleted_gid = None;
+        for part in &mut self.parts {
+            part.dirty = false;
+        }
+        self.cache = Some(SnapCache {
+            graph: Arc::clone(&graph),
+            epoch: self.epoch,
+            canon_of_dyn,
+        });
+        SnapshotDelta {
+            graph,
+            epoch: self.epoch,
+            touched_labels,
+            sids_stable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HypergraphBuilder;
+    use crate::inverted::MIN_BITMAP_ROWS;
+
+    /// Rebuild oracle: a fresh build over `edges` in order.
+    fn rebuild(labels: &[Label], edges: &[Vec<u32>]) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(l);
+        }
+        for e in edges {
+            b.add_edge(e.clone()).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn snapshot_matches_fresh_build_under_inserts() {
+        let mut d = DynamicHypergraph::new();
+        let labels: Vec<Label> = [0u32, 2, 0, 0, 1, 2, 0].map(Label::new).to_vec();
+        for &l in &labels {
+            d.add_vertex(l);
+        }
+        let edges = vec![
+            vec![2, 4],
+            vec![4, 6],
+            vec![0, 1, 2],
+            vec![3, 5, 6],
+            vec![0, 1, 4, 6],
+            vec![2, 3, 4, 5],
+        ];
+        for e in &edges {
+            d.insert_hyperedge(e.clone()).unwrap();
+        }
+        let snap = d.snapshot();
+        assert_eq!(*snap.graph, rebuild(&labels, &edges));
+        assert!(!snap.sids_stable, "first snapshot has no predecessor");
+        assert!(!snap.touched_labels.is_empty());
+    }
+
+    #[test]
+    fn snapshot_matches_fresh_build_under_deletes() {
+        let mut d = DynamicHypergraph::new();
+        let labels: Vec<Label> = [0u32, 1, 0, 1, 0].map(Label::new).to_vec();
+        for &l in &labels {
+            d.add_vertex(l);
+        }
+        for e in [vec![0, 1], vec![2, 3], vec![0, 3], vec![1, 2, 4]] {
+            d.insert_hyperedge(e).unwrap();
+        }
+        d.snapshot();
+        assert!(d.delete_hyperedge(&[2, 3]).unwrap());
+        assert!(!d.delete_hyperedge(&[2, 3]).unwrap(), "already gone");
+        let snap = d.snapshot();
+        let expected = rebuild(&labels, &[vec![0, 1], vec![0, 3], vec![1, 2, 4]]);
+        assert_eq!(*snap.graph, expected);
+        assert_eq!(snap.graph.num_edges(), 3);
+    }
+
+    #[test]
+    fn reinsert_after_delete_moves_to_insertion_order() {
+        let mut d = DynamicHypergraph::new();
+        d.add_vertices(4, Label::new(0));
+        d.insert_hyperedge(vec![0, 1]).unwrap();
+        d.insert_hyperedge(vec![2, 3]).unwrap();
+        d.delete_hyperedge(&[0, 1]).unwrap();
+        d.insert_hyperedge(vec![0, 1]).unwrap();
+        let snap = d.snapshot();
+        // Canonical order: {2,3} (older surviving insert) then {0,1}.
+        let labels = vec![Label::new(0); 4];
+        assert_eq!(*snap.graph, rebuild(&labels, &[vec![2, 3], vec![0, 1]]));
+    }
+
+    #[test]
+    fn clean_partitions_are_arc_shared_across_snapshots() {
+        let mut d = DynamicHypergraph::new();
+        d.add_vertices(6, Label::new(0));
+        d.add_vertices(2, Label::new(1));
+        d.insert_hyperedge(vec![0, 1]).unwrap(); // {0,0}
+        d.insert_hyperedge(vec![0, 6]).unwrap(); // {0,1}
+        let first = d.snapshot();
+        // Touch only the {0,0,0} signature (new partition appended last).
+        d.insert_hyperedge(vec![2, 3, 4]).unwrap();
+        let second = d.snapshot();
+        assert!(second.sids_stable);
+        for sid in 0..2 {
+            assert!(
+                Arc::ptr_eq(
+                    first.graph.partition_arc(SignatureId::from_index(sid)),
+                    second.graph.partition_arc(SignatureId::from_index(sid)),
+                ),
+                "untouched partition {sid} must be shared"
+            );
+        }
+        assert_eq!(second.graph.partitions().len(), 3);
+    }
+
+    #[test]
+    fn unchanged_state_republishes_the_cached_snapshot() {
+        let mut d = DynamicHypergraph::new();
+        d.add_vertices(2, Label::new(0));
+        d.insert_hyperedge(vec![0, 1]).unwrap();
+        let a = d.snapshot();
+        let b = d.snapshot();
+        assert!(Arc::ptr_eq(&a.graph, &b.graph));
+        assert!(b.sids_stable && b.touched_labels.is_empty());
+    }
+
+    #[test]
+    fn extinction_reports_sids_unstable() {
+        let mut d = DynamicHypergraph::new();
+        d.add_vertices(2, Label::new(0));
+        d.add_vertices(2, Label::new(1));
+        d.insert_hyperedge(vec![0, 1]).unwrap(); // {0,0}
+        d.insert_hyperedge(vec![2, 3]).unwrap(); // {1,1}
+        d.snapshot();
+        d.delete_hyperedge(&[0, 1]).unwrap();
+        let snap = d.snapshot();
+        assert!(!snap.sids_stable, "{{1,1}} shifted from sid 1 to sid 0");
+        assert_eq!(snap.graph.partitions().len(), 1);
+        assert_eq!(snap.touched_labels, vec![Label::new(0)]);
+    }
+
+    #[test]
+    fn deleting_first_live_edge_of_a_signature_can_reorder_sids() {
+        let mut d = DynamicHypergraph::new();
+        d.add_vertices(4, Label::new(0));
+        d.add_vertices(2, Label::new(1));
+        d.insert_hyperedge(vec![0, 1]).unwrap(); // {0,0} first
+        d.insert_hyperedge(vec![4, 5]).unwrap(); // {1,1}
+        d.insert_hyperedge(vec![2, 3]).unwrap(); // {0,0} again
+        d.snapshot();
+        // Deleting {0,1} makes {1,1}'s first live edge older than {0,0}'s.
+        d.delete_hyperedge(&[0, 1]).unwrap();
+        let snap = d.snapshot();
+        assert!(!snap.sids_stable);
+        let labels: Vec<Label> = [0u32, 0, 0, 0, 1, 1].map(Label::new).to_vec();
+        assert_eq!(*snap.graph, rebuild(&labels, &[vec![4, 5], vec![2, 3]]));
+    }
+
+    #[test]
+    fn touched_labels_cover_inserts_and_deletes() {
+        let mut d = DynamicHypergraph::new();
+        d.add_vertices(2, Label::new(3));
+        d.add_vertices(2, Label::new(7));
+        d.insert_hyperedge(vec![0, 1]).unwrap();
+        d.insert_hyperedge(vec![2, 3]).unwrap();
+        d.snapshot();
+        d.delete_hyperedge(&[2, 3]).unwrap();
+        d.insert_hyperedge(vec![0, 2]).unwrap(); // {3,7}
+        let snap = d.snapshot();
+        assert_eq!(snap.touched_labels, vec![Label::new(3), Label::new(7)]);
+    }
+
+    #[test]
+    fn adaptive_postings_flip_at_build_thresholds() {
+        // Drive one partition past MIN_BITMAP_ROWS with a hub vertex: the
+        // hub's live posting cell must pick up a bitmap exactly when a
+        // fresh build would, and drop it again as deletions thin it out.
+        let mut d = DynamicHypergraph::new();
+        let n = (MIN_BITMAP_ROWS + 64) as u32;
+        d.add_vertex(Label::new(0)); // hub
+        d.add_vertices(n as usize, Label::new(1));
+        for leaf in 1..=n {
+            d.insert_hyperedge(vec![0, leaf]).unwrap();
+        }
+        {
+            let part = &d.parts[0];
+            let hub = &part.index.cells[&0];
+            assert_eq!(hub.list.len(), n as usize);
+            let bits = hub.bits.as_ref().expect("hub is dense: bitmap present");
+            assert_eq!(bits.to_sorted(), hub.list, "bitmap mirrors the list");
+            // A leaf vertex stays list-only.
+            assert!(d.parts[0].index.cells[&1].bits.is_none());
+        }
+        // Snapshot equals a fresh build including its dense keys.
+        let snap = d.snapshot();
+        let p = snap.graph.partition(SignatureId::new(0));
+        assert!(p.index().num_dense_keys() >= 1);
+        assert!(p.incident_posting(0).bits.is_some());
+
+        // Delete most hub edges: the cell must shed its bitmap when the
+        // density rule stops holding.
+        for leaf in 1..n {
+            d.delete_hyperedge(&[0, leaf]).unwrap();
+        }
+        let part = &d.parts[0];
+        assert!(part.index.cells[&0].bits.is_none(), "sparse again");
+        let snap = d.snapshot();
+        let expected = {
+            let mut b = HypergraphBuilder::new();
+            b.add_vertex(Label::new(0));
+            b.add_vertices(n as usize, Label::new(1));
+            b.add_edge(vec![0, n]).unwrap();
+            b.build().unwrap()
+        };
+        assert_eq!(*snap.graph, expected);
+    }
+
+    #[test]
+    fn compaction_threshold_keeps_state_consistent() {
+        let mut d = DynamicHypergraph::new();
+        d.add_vertices(300, Label::new(0));
+        let mut edges: Vec<Vec<u32>> = Vec::new();
+        for i in 0..149u32 {
+            let e = vec![2 * i, 2 * i + 1];
+            d.insert_hyperedge(e.clone()).unwrap();
+            edges.push(e);
+        }
+        // Delete enough to cross COMPACT_MIN_DEAD and the 50% ratio.
+        for e in edges.drain(..80) {
+            d.delete_hyperedge(&e).unwrap();
+        }
+        // The threshold fired mid-stream: tombstones were reclaimed at
+        // least once, so fewer than the 80 deletions remain as dead rows.
+        assert!(d.parts[0].dead < 80, "compaction ran");
+        let snap = d.snapshot();
+        let labels = vec![Label::new(0); 300];
+        assert_eq!(*snap.graph, rebuild(&labels, &edges));
+    }
+
+    #[test]
+    fn duplicate_and_invalid_edges_behave_like_the_builder() {
+        let mut d = DynamicHypergraph::new();
+        d.add_vertices(3, Label::new(0));
+        assert!(d.insert_hyperedge(vec![0, 1]).unwrap().is_some());
+        assert!(d.insert_hyperedge(vec![1, 0]).unwrap().is_none());
+        assert!(d.insert_hyperedge(vec![2, 2]).unwrap().is_some());
+        assert!(matches!(
+            d.insert_hyperedge(vec![]),
+            Err(HypergraphError::EmptyHyperedge { .. })
+        ));
+        assert!(matches!(
+            d.insert_hyperedge(vec![0, 9]),
+            Err(HypergraphError::UnknownVertex { vertex: 9, .. })
+        ));
+        assert_eq!(d.num_edges(), 2);
+        assert!(d.contains_edge(&[0, 1]) && d.contains_edge(&[2]));
+    }
+
+    #[test]
+    fn update_op_round_trips_through_text() {
+        let ops = vec![
+            UpdateOp::AddVertex(Label::new(5)),
+            UpdateOp::Insert(vec![0, 4, 7]),
+            UpdateOp::Delete(vec![0, 4, 7]),
+        ];
+        let text = write_update_stream(&ops);
+        assert_eq!(parse_update_stream(&text).unwrap(), ops);
+        assert_eq!(
+            parse_update_stream("# comment\n\n+ 1 2\n").unwrap(),
+            vec![UpdateOp::Insert(vec![1, 2])]
+        );
+        assert!(parse_update_stream("x 1\n").is_err());
+        assert!(parse_update_stream("+\n").is_err());
+        assert!(parse_update_stream("v 1 2\n").is_err());
+        assert!(parse_update_stream("+ a\n").is_err());
+    }
+
+    #[test]
+    fn apply_replays_a_stream() {
+        let mut d = DynamicHypergraph::new();
+        let ops = parse_update_stream("v 0\nv 0\nv 1\n+ 0 1\n+ 1 2\n- 0 1\n").unwrap();
+        for op in &ops {
+            d.apply(op).unwrap();
+        }
+        assert_eq!((d.num_vertices(), d.num_edges()), (3, 1));
+        // Replaying the deletes/duplicates is a no-op, not an error.
+        assert!(!d.apply(&UpdateOp::Delete(vec![0, 1])).unwrap());
+        assert!(!d.apply(&UpdateOp::Insert(vec![1, 2])).unwrap());
+    }
+
+    #[test]
+    fn from_hypergraph_round_trips() {
+        let labels: Vec<Label> = [0u32, 1, 0, 1].map(Label::new).to_vec();
+        let edges = vec![vec![0, 1], vec![2, 3], vec![0, 2]];
+        let base = rebuild(&labels, &edges);
+        let mut d = DynamicHypergraph::from_hypergraph(&base);
+        assert_eq!(d.epoch(), 0);
+        let snap = d.snapshot();
+        assert_eq!(*snap.graph, base);
+    }
+}

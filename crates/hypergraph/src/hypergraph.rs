@@ -5,6 +5,8 @@
 //! edge locator, and a global vertex→edge incidence CSR (used by the
 //! match-by-vertex baselines and the IHS filter).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{EdgeId, Label, SignatureId, VertexId};
@@ -22,12 +24,17 @@ pub struct EdgeLocation {
 }
 
 /// An immutable vertex-labelled hypergraph in HGMatch's partitioned layout.
-#[derive(Debug, Clone)]
+///
+/// Partitions are [`Arc`]-shared so that the dynamic snapshot path
+/// ([`crate::dynamic`]) can produce a new consistent `Hypergraph` per epoch
+/// while reusing every partition the writer did not touch (copy-on-write at
+/// partition granularity).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hypergraph {
     pub(crate) labels: Vec<Label>,
     pub(crate) num_labels: u32,
     pub(crate) interner: SignatureInterner,
-    pub(crate) partitions: Vec<Partition>,
+    pub(crate) partitions: Vec<Arc<Partition>>,
     pub(crate) locator: Vec<EdgeLocation>,
     /// Global incidence CSR: `incidence_offsets[v]..incidence_offsets[v+1]`
     /// indexes sorted global edge ids incident to vertex `v`.
@@ -39,6 +46,73 @@ pub struct Hypergraph {
 }
 
 impl Hypergraph {
+    /// Assembles a hypergraph from its partition tables and edge locator,
+    /// deriving everything downstream of them: the label-alphabet size, the
+    /// global incidence CSR and the per-vertex adjacency counts. Shared by
+    /// the offline [`crate::builder::HypergraphBuilder`] and the dynamic
+    /// snapshot path ([`crate::dynamic`]), so both produce identical
+    /// derived state for identical partition content.
+    pub(crate) fn assemble(
+        labels: Vec<Label>,
+        interner: SignatureInterner,
+        partitions: Vec<Arc<Partition>>,
+        locator: Vec<EdgeLocation>,
+    ) -> Self {
+        let num_labels = labels.iter().map(|l| l.raw() + 1).max().unwrap_or(0);
+
+        // Global incidence CSR: vertex → sorted global edge ids.
+        let mut degrees = vec![0u64; labels.len()];
+        for p in &partitions {
+            for (_, row) in p.iter_rows() {
+                for &v in row {
+                    degrees[v as usize] += 1;
+                }
+            }
+        }
+        let mut incidence_offsets = Vec::with_capacity(labels.len() + 1);
+        incidence_offsets.push(0u64);
+        for &d in &degrees {
+            incidence_offsets.push(incidence_offsets.last().unwrap() + d);
+        }
+        let total = *incidence_offsets.last().unwrap() as usize;
+        let mut incidence_edges = vec![0u32; total];
+        let mut cursor = incidence_offsets[..labels.len()].to_vec();
+        // Fill in ascending global edge order so per-vertex lists are sorted.
+        let mut by_global: Vec<(EdgeId, SignatureId, u32)> = Vec::new();
+        for p in &partitions {
+            for (r, _) in p.iter_rows() {
+                by_global.push((p.global_id(r), p.signature(), r));
+            }
+        }
+        by_global.sort_unstable_by_key(|(g, _, _)| *g);
+        for (g, sid, r) in by_global {
+            for &v in partitions[sid.index()].row(r) {
+                let c = &mut cursor[v as usize];
+                incidence_edges[*c as usize] = g.raw();
+                *c += 1;
+            }
+        }
+
+        // |adj(v)| per vertex via sort+dedup of neighbour lists.
+        let graph = Hypergraph {
+            labels,
+            num_labels,
+            interner,
+            partitions,
+            locator,
+            incidence_offsets,
+            incidence_edges,
+            adj_counts: Vec::new(),
+        };
+        let adj_counts = (0..graph.num_vertices())
+            .map(|v| graph.adjacent_vertices(VertexId::from_index(v)).len() as u32)
+            .collect();
+        Hypergraph {
+            adj_counts,
+            ..graph
+        }
+    }
+
     /// Number of vertices `|V(H)|`.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -77,13 +151,20 @@ impl Hypergraph {
 
     /// All signature partitions, indexed by [`SignatureId`].
     #[inline]
-    pub fn partitions(&self) -> &[Partition] {
+    pub fn partitions(&self) -> &[Arc<Partition>] {
         &self.partitions
     }
 
     /// The partition for `id`.
     #[inline]
     pub fn partition(&self, id: SignatureId) -> &Partition {
+        &self.partitions[id.index()]
+    }
+
+    /// The partition for `id` as its shared handle (the dynamic snapshot
+    /// path reuses untouched partitions across epochs through this).
+    #[inline]
+    pub(crate) fn partition_arc(&self, id: SignatureId) -> &Arc<Partition> {
         &self.partitions[id.index()]
     }
 
@@ -209,25 +290,25 @@ impl Hypergraph {
 
     /// Total bytes of hyperedge tables (the "graph size" of Fig. 7).
     pub fn table_size_bytes(&self) -> usize {
-        self.partitions
-            .iter()
-            .map(Partition::table_size_bytes)
-            .sum()
+        self.partitions.iter().map(|p| p.table_size_bytes()).sum()
     }
 
     /// Total bytes of inverted indices (the "index size" of Fig. 7).
     pub fn index_size_bytes(&self) -> usize {
-        self.partitions
-            .iter()
-            .map(Partition::index_size_bytes)
-            .sum()
+        self.partitions.iter().map(|p| p.index_size_bytes()).sum()
     }
 
     /// Tests whether a sorted vertex set exists as a hyperedge, returning its
     /// global id. Used by the match-by-vertex baselines to verify hyperedge
     /// constraints (Theorem III.2).
     pub fn find_edge(&self, sorted_vertices: &[u32]) -> Option<EdgeId> {
-        if sorted_vertices.is_empty() {
+        if sorted_vertices.is_empty()
+            || sorted_vertices
+                .iter()
+                .any(|&v| v as usize >= self.labels.len())
+        {
+            // Unknown vertices cannot be part of any edge (snapshots of a
+            // growing dynamic graph may carry vertices older ones lack).
             return None;
         }
         let signature = Signature::new(

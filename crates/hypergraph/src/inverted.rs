@@ -27,6 +27,16 @@ const DENSE_KEY_DIV: usize = 32;
 /// Sentinel in `dense_idx` for keys without a bitmap.
 const NO_BITMAP: u32 = u32::MAX;
 
+/// The adaptive-representation rule shared by [`InvertedIndex::build`] and
+/// the dynamic index ([`crate::dynamic`]): a key with `posting_len` entries
+/// in a partition of `num_rows` rows carries a bitmap next to its sorted
+/// list exactly when this returns `true`. Centralised so the mutable path
+/// flips representations at the *same* thresholds as a fresh build.
+#[inline]
+pub(crate) fn key_is_dense(posting_len: usize, num_rows: usize) -> bool {
+    num_rows >= MIN_BITMAP_ROWS && posting_len * DENSE_KEY_DIV >= num_rows
+}
+
 /// A posting set in both of its representations: the sorted row-id list
 /// (always present) and, for dense keys of large partitions, a [`Bitmap`]
 /// over the partition's row space. Consumers pick whichever representation
@@ -103,20 +113,47 @@ impl InvertedIndex {
             *offsets.last_mut().unwrap() = postings.len() as u32;
         }
 
-        // Adaptive representation switch: dense keys of large partitions
-        // additionally carry a bitmap over the row space, so consumers can
-        // run word-wide set algebra against hub vertices.
-        let num_rows = rows.len() as u32;
+        Self::finish(keys, offsets, postings, rows.len() as u32)
+    }
+
+    /// Builds the index from per-key sorted posting lists, visited in
+    /// ascending key order. Produces exactly what [`InvertedIndex::build`]
+    /// would for the same incidences — this is the freeze path of the
+    /// dynamic index ([`crate::dynamic`]), which already keeps its postings
+    /// keyed and sorted.
+    pub(crate) fn from_sorted_postings<'a>(
+        cells: impl Iterator<Item = (u32, &'a [u32])>,
+        num_rows: u32,
+    ) -> Self {
+        let mut keys = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut postings = Vec::new();
+        for (key, list) in cells {
+            debug_assert!(keys.last().is_none_or(|&k| k < key), "keys must ascend");
+            debug_assert!(crate::setops::is_strictly_sorted(list));
+            if list.is_empty() {
+                continue;
+            }
+            keys.push(key);
+            postings.extend_from_slice(list);
+            offsets.push(postings.len() as u32);
+        }
+        Self::finish(keys, offsets, postings, num_rows)
+    }
+
+    /// Shared tail of the constructors: the adaptive representation switch.
+    /// Dense keys of large partitions additionally carry a bitmap over the
+    /// row space, so consumers can run word-wide set algebra against hub
+    /// vertices.
+    fn finish(keys: Vec<u32>, offsets: Vec<u32>, postings: Vec<u32>, num_rows: u32) -> Self {
         let mut dense_idx = vec![NO_BITMAP; keys.len()];
         let mut bitmaps = Vec::new();
-        if rows.len() >= MIN_BITMAP_ROWS {
-            for i in 0..keys.len() {
-                let start = offsets[i] as usize;
-                let end = offsets[i + 1] as usize;
-                if (end - start) * DENSE_KEY_DIV >= rows.len() {
-                    dense_idx[i] = bitmaps.len() as u32;
-                    bitmaps.push(Bitmap::from_sorted(&postings[start..end], num_rows));
-                }
+        for i in 0..keys.len() {
+            let start = offsets[i] as usize;
+            let end = offsets[i + 1] as usize;
+            if key_is_dense(end - start, num_rows as usize) {
+                dense_idx[i] = bitmaps.len() as u32;
+                bitmaps.push(Bitmap::from_sorted(&postings[start..end], num_rows));
             }
         }
         Self {

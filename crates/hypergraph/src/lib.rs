@@ -26,6 +26,7 @@
 pub mod bipartite;
 pub mod bitmap;
 pub mod builder;
+pub mod dynamic;
 pub mod error;
 pub mod fxhash;
 pub mod hypergraph;
@@ -39,6 +40,7 @@ pub mod stats;
 
 pub use bitmap::Bitmap;
 pub use builder::HypergraphBuilder;
+pub use dynamic::{DynamicHypergraph, SnapshotDelta, UpdateOp};
 pub use error::{HypergraphError, Result};
 pub use hypergraph::Hypergraph;
 pub use ids::{EdgeId, Label, SignatureId, VertexId};

@@ -11,7 +11,7 @@ use crate::ids::{EdgeId, SignatureId};
 use crate::inverted::InvertedIndex;
 
 /// One hyperedge table: every hyperedge in it has the same signature.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Partition {
     signature: SignatureId,
     /// Arity shared by all rows (signatures fix the arity).
@@ -54,6 +54,26 @@ impl Partition {
         }
         let row_slices: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
         let index = InvertedIndex::build(&row_slices);
+        Self {
+            signature,
+            arity,
+            vertices,
+            global_ids,
+            index,
+        }
+    }
+
+    /// Assembles a partition from already-flattened parts and a prebuilt
+    /// index — the dynamic snapshot's freeze path ([`crate::dynamic`]),
+    /// which maintains the index incrementally and must not rebuild it.
+    pub(crate) fn from_parts(
+        signature: SignatureId,
+        arity: u32,
+        vertices: Vec<u32>,
+        global_ids: Vec<EdgeId>,
+        index: InvertedIndex,
+    ) -> Self {
+        debug_assert_eq!(vertices.len(), global_ids.len() * arity as usize);
         Self {
             signature,
             arity,

@@ -121,7 +121,7 @@ impl fmt::Debug for Signature {
 
 /// Interns signatures, assigning each distinct multiset a dense
 /// [`SignatureId`] that doubles as the partition index.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct SignatureInterner {
     by_signature: FxHashMap<Signature, SignatureId>,
     signatures: Vec<Signature>,
