@@ -19,13 +19,14 @@
 //! baseline shape.
 //!
 //! Usage: `serve_throughput [--dataset NAME] [--queries N] [--threads N]
-//!                          [--timeout SECS] [--json PATH]`
+//!                          [--timeout SECS] [--json PATH]`.
+//! `HGMATCH_BENCH_SMOKE=1` shrinks the workload for the CI bench-smoke job.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hgmatch_bench::experiments::num_cpus;
+use hgmatch_bench::experiments::{bench_smoke, num_cpus};
 use hgmatch_bench::harness::Workload;
 use hgmatch_bench::report::{median, percentile};
 use hgmatch_core::serve::{MatchServer, QueryOptions, ServeConfig};
@@ -47,10 +48,11 @@ impl PhaseResult {
 }
 
 fn main() {
+    let smoke = bench_smoke();
     let mut dataset = "CH".to_string();
-    let mut per_setting = 12usize;
+    let mut per_setting = if smoke { 4 } else { 12 };
     let mut threads = num_cpus();
-    let mut timeout = Duration::from_secs(5);
+    let mut timeout = Duration::from_secs(if smoke { 2 } else { 5 });
     let mut json_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -166,8 +168,13 @@ fn main() {
         );
     }
     println!(
-        "# plan cache: {} hits / {} misses; pool tasks: {}, steals: {}",
-        stats.plan_cache_hits, stats.plan_cache_misses, stats.tasks_executed, stats.steals
+        "# plan cache: {} hits / {} misses; pool tasks: {}, steals: {}, splits: {}, assists: {}",
+        stats.plan_cache_hits,
+        stats.plan_cache_misses,
+        stats.tasks_executed,
+        stats.steals,
+        stats.splits,
+        stats.assists
     );
 
     if let Some(path) = json_path {

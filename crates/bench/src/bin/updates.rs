@@ -21,14 +21,15 @@
 //! `BENCH_updates.json` baseline shape.
 //!
 //! Usage: `updates [--dataset NAME] [--ops N] [--threads N]
-//!                 [--snapshot-every N] [--json PATH]`
+//!                 [--snapshot-every N] [--json PATH]`.
+//! `HGMATCH_BENCH_SMOKE=1` shrinks the stream for the CI bench-smoke job.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use hgmatch_bench::experiments::num_cpus;
+use hgmatch_bench::experiments::{bench_smoke, num_cpus};
 use hgmatch_bench::report::{median, percentile};
 use hgmatch_core::serve::{MatchServer, QueryOptions, ServeConfig};
 use hgmatch_datasets::testgen::rebuild_oracle;
@@ -38,10 +39,11 @@ use hgmatch_datasets::{
 use hgmatch_hypergraph::{DynamicHypergraph, Hypergraph, UpdateOp};
 
 fn main() {
+    let smoke = bench_smoke();
     let mut dataset = "CH".to_string();
-    let mut ops = 20_000usize;
+    let mut ops = if smoke { 2_000 } else { 20_000 };
     let mut threads = num_cpus();
-    let mut snapshot_every = 500usize;
+    let mut snapshot_every = if smoke { 100 } else { 500 };
     let mut json_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;

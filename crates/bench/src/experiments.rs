@@ -207,6 +207,13 @@ pub fn heaviest_queries(
     weighted
 }
 
+/// Whether the CI bench-smoke mode is requested (`HGMATCH_BENCH_SMOKE`
+/// set to anything but empty/`0`): bench bins shrink their workloads to
+/// quick sizes so the job only checks they still run and write reports.
+pub fn bench_smoke() -> bool {
+    std::env::var("HGMATCH_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
 /// Available parallelism (1 if undetectable).
 pub fn num_cpus() -> usize {
     std::thread::available_parallelism()

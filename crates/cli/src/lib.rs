@@ -325,11 +325,13 @@ fn print_aggregate(server: &MatchServer, served: usize, wall: Duration) {
         server.threads(),
     );
     println!(
-        "plan cache: {} hits / {} misses; tasks: {}, steals: {}, timed out: {}, limit: {}",
+        "plan cache: {} hits / {} misses; tasks: {}, steals: {}, splits: {}, assists: {}, timed out: {}, limit: {}",
         stats.plan_cache_hits,
         stats.plan_cache_misses,
         stats.tasks_executed,
         stats.steals,
+        stats.splits,
+        stats.assists,
         stats.timed_out,
         stats.limit_reached,
     );

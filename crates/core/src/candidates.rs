@@ -72,6 +72,12 @@ pub struct ExpansionState {
     levels: Vec<Level>,
     /// Levels currently valid (the stack is reused, not truncated).
     depth: usize,
+    /// [`Hypergraph::uid`] the cached levels were built against (0 = none).
+    /// Level reuse compares global edge ids, which are only meaningful
+    /// within one snapshot — the serving pool's per-worker scratch outlives
+    /// queries pinned to *different* epochs, whose compaction may have
+    /// remapped ids, so a uid change must drop the cache.
+    data_uid: u64,
     /// Sorted vertices matched by non-adjacent previous edges
     /// (`V_n_incdt` of Algorithm 4 line 1). Rebuilt per preparation.
     pub non_incident: Vec<u32>,
@@ -138,6 +144,13 @@ impl ExpansionState {
     /// positions where `emb` diverges are (re)built, each by one linear
     /// merge of the new edge's vertices into the previous level.
     pub fn prepare(&mut self, data: &Hypergraph, step: &Step, emb: &[u32]) {
+        // Cached levels describe edge ids of the snapshot they were built
+        // against; against any other snapshot (even an equal-content one)
+        // the ids may denote different edges, so the cache is dropped.
+        if self.data_uid != data.uid() {
+            self.data_uid = data.uid();
+            self.depth = 0;
+        }
         // Longest prefix of valid levels matching `emb`.
         let mut keep = 0usize;
         while keep < self.depth && keep < emb.len() && self.levels[keep].edge == emb[keep] {
@@ -491,6 +504,42 @@ mod tests {
             assert_eq!(reused.vertices(), fresh2.vertices(), "emb {emb:?}");
             assert_eq!(reused.non_incident, fresh2.non_incident, "emb {emb:?}");
         }
+    }
+
+    #[test]
+    fn prepare_drops_cache_across_snapshots() {
+        // The same global edge id denotes *different* edges in different
+        // snapshots (the dynamic writer's compaction remaps ids), and the
+        // serving pool reuses one scratch across queries pinned to
+        // different epochs: reusing a state against a second graph must
+        // rebuild the level cache even though the edge-id prefix matches.
+        let data_a = paper_data();
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![0, 4]).unwrap(); // e0: same {A,B} signature as
+                                         // data_a's e0 {2,4}, different set
+        b.add_edge(vec![4, 6]).unwrap();
+        b.add_edge(vec![0, 1, 2]).unwrap();
+        b.add_edge(vec![3, 5, 6]).unwrap();
+        b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.add_edge(vec![2, 3, 4, 5]).unwrap();
+        let data_b = b.build().unwrap();
+
+        let query = paper_query();
+        let plan_a = Planner::plan_with_order(&query, &data_a, vec![0, 1, 2]).unwrap();
+        let plan_b = Planner::plan_with_order(&query, &data_b, vec![0, 1, 2]).unwrap();
+
+        let mut reused = ExpansionState::new();
+        reused.prepare(&data_a, &plan_a.steps()[1], &[0]);
+        assert!(reused.contains_vertex(2), "data_a's e0 is {{2,4}}");
+        reused.prepare(&data_b, &plan_b.steps()[1], &[0]);
+
+        let mut fresh = ExpansionState::new();
+        fresh.prepare(&data_b, &plan_b.steps()[1], &[0]);
+        assert_eq!(reused.vertices(), fresh.vertices());
+        assert!(!reused.contains_vertex(2), "data_b's e0 is {{0,4}}");
     }
 
     #[test]

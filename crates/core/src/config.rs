@@ -22,6 +22,38 @@ pub struct MatchConfig {
     /// Rows per SCAN chunk: the scan range splits until chunks are at most
     /// this long, bounding task granularity.
     pub scan_chunk: usize,
+    /// Candidate-list length at which an EXPAND step becomes *splittable*
+    /// (DESIGN.md §12): instead of validating the whole list serially, the
+    /// executing worker publishes assist tickets so idle peers can claim
+    /// disjoint chunks of the same in-flight candidate range. `0` disables
+    /// mid-flight splitting; splits are also suppressed when `threads` is 1
+    /// (nobody could assist, and single-worker delivery order stays exactly
+    /// the sequential executor's). Overridable via `HGMATCH_SPLIT_THRESHOLD`.
+    pub split_threshold: usize,
+    /// Candidate rows per assist claim (the granularity of the shared
+    /// atomic claim index). Overridable via `HGMATCH_SPLIT_CHUNK`.
+    pub split_chunk: usize,
+}
+
+/// Reads a `usize` environment override once per process (the CI stress
+/// matrix sets these before any config is built; later mutations are
+/// intentionally ignored so hot paths see a stable value).
+fn env_usize(cache: &'static std::sync::OnceLock<Option<usize>>, name: &str) -> Option<usize> {
+    *cache.get_or_init(|| std::env::var(name).ok().and_then(|v| v.parse().ok()))
+}
+
+/// Default candidate-list length that makes an expansion splittable.
+pub(crate) fn default_split_threshold() -> usize {
+    static CACHE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    env_usize(&CACHE, "HGMATCH_SPLIT_THRESHOLD").unwrap_or(2048)
+}
+
+/// Default candidate rows per assist claim.
+pub(crate) fn default_split_chunk() -> usize {
+    static CACHE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    env_usize(&CACHE, "HGMATCH_SPLIT_CHUNK")
+        .unwrap_or(256)
+        .max(1)
 }
 
 impl Default for MatchConfig {
@@ -32,6 +64,8 @@ impl Default for MatchConfig {
             prune_non_incident: false,
             work_stealing: true,
             scan_chunk: 256,
+            split_threshold: default_split_threshold(),
+            split_chunk: default_split_chunk(),
         }
     }
 }
@@ -67,6 +101,19 @@ impl MatchConfig {
         self.prune_non_incident = enabled;
         self
     }
+
+    /// Sets the splittable-expansion threshold (0 disables mid-flight
+    /// splitting), builder style.
+    pub fn with_split_threshold(mut self, threshold: usize) -> Self {
+        self.split_threshold = threshold;
+        self
+    }
+
+    /// Sets the assist claim granularity, builder style.
+    pub fn with_split_chunk(mut self, chunk: usize) -> Self {
+        self.split_chunk = chunk.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +128,7 @@ mod tests {
         assert!(!c.prune_non_incident);
         assert!(c.work_stealing);
         assert!(c.scan_chunk > 0);
+        assert!(c.split_chunk > 0);
     }
 
     #[test]
@@ -95,5 +143,11 @@ mod tests {
         assert!(c.prune_non_incident);
         // Zero threads clamps to one.
         assert_eq!(MatchConfig::parallel(0).threads, 1);
+        let c = MatchConfig::default()
+            .with_split_threshold(16)
+            .with_split_chunk(0);
+        assert_eq!(c.split_threshold, 16);
+        // Zero chunk clamps to one (a zero fetch_add would never drain).
+        assert_eq!(c.split_chunk, 1);
     }
 }

@@ -190,6 +190,9 @@ fn worker_loop<S: Sink>(
     loop {
         if let Some(task) = find_task(id, &local, shared, &mut rng, &mut stats) {
             let begin = Instant::now();
+            let was_assist = matches!(task, Task::Assist { .. });
+            let splits_before = metrics.split_expansions;
+            let assist_chunks_before = metrics.assist_chunks;
             let delivered = execute_task(
                 &shared.env,
                 &mut scratch,
@@ -204,6 +207,10 @@ fn worker_loop<S: Sink>(
             stats.matches += delivered;
             stats.busy += begin.elapsed();
             stats.tasks += 1;
+            stats.splits += metrics.split_expansions - splits_before;
+            if was_assist && metrics.assist_chunks > assist_chunks_before {
+                stats.assists += 1;
+            }
             shared.pending.fetch_sub(1, Ordering::Release);
         } else {
             if shared.pending.load(Ordering::Acquire) == 0 || shared.abort.load(Ordering::Relaxed) {

@@ -24,8 +24,11 @@
 //! sequential executor's, which is what makes `max_results` early-exit
 //! deterministic (and testable) under the serving layer.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use crossbeam::deque::{Steal, Stealer, Worker as Deque};
-use hgmatch_hypergraph::Hypergraph;
+use hgmatch_hypergraph::{Hypergraph, Partition};
 
 use crate::candidates::{generate_candidates, ExpansionState};
 use crate::config::MatchConfig;
@@ -65,6 +68,49 @@ pub(crate) enum Task {
     /// Expansion deeper than [`INLINE_EMB`]; the buffer is recycled through
     /// the executing worker's pool.
     ExpandSpilled { emb: Vec<u32> },
+    /// An assist ticket for a splittable expansion (DESIGN.md §12): a
+    /// claim on the shared candidate range of an expansion some other
+    /// worker is (or was) validating. Executing it joins the work-assisting
+    /// claim loop; if the range has already drained it degenerates to
+    /// accounting.
+    Assist { shared: Arc<SplitExpansion> },
+}
+
+/// A splittable expansion — the work-assisting scheduler's shared unit.
+///
+/// One worker ran candidate generation for `emb` and found a list long
+/// enough to divide ([`crate::MatchConfig::split_threshold`]); instead of
+/// validating it serially, the list and everything needed to *resume the
+/// expansion on another worker* (the pinned partial embedding; the plan,
+/// data snapshot and sink travel with the task's query environment) moves
+/// into this shared object, and `next` becomes the single source of truth
+/// for who validates what: every participant — the owner plus any thief
+/// that stole an [`Task::Assist`] ticket — claims disjoint `chunk`-sized
+/// sub-ranges via `fetch_add` until the range drains. A chunk is therefore
+/// validated exactly once, by exactly one participant, with no coordination
+/// beyond one atomic per chunk.
+#[derive(Debug)]
+pub(crate) struct SplitExpansion {
+    /// The partial embedding this expansion extends (matching-order data
+    /// edge ids; its length is the step index).
+    emb: Vec<u32>,
+    /// Candidate local rows in the step's partition, as produced by
+    /// Algorithm 4 on the owning worker.
+    cands: Vec<u32>,
+    /// Next unclaimed index into `cands`; `fetch_add(chunk)` claims
+    /// `[old, old + chunk)`.
+    next: AtomicUsize,
+    /// Rows per claim.
+    chunk: usize,
+}
+
+impl SplitExpansion {
+    /// Heap bytes this shared expansion materialises (tracked against the
+    /// query's [`MemoryTracker`]: allocated at split, released by the
+    /// participant that claims the final chunk).
+    fn bytes(&self) -> usize {
+        (self.emb.len() + self.cands.len()) * std::mem::size_of::<u32>()
+    }
 }
 
 /// Everything one task execution needs to know about the query it belongs
@@ -197,7 +243,25 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
                     self.scratch.pool.push(emb);
                 }
             }
+            // Tickets carry no queued embedding (the split owner's Expand
+            // task already released its bytes), so there is nothing to free.
+            Task::Assist { shared } => self.execute_assist(&shared),
         }
+    }
+
+    /// Joins the claim loop of a splittable expansion as an assisting
+    /// participant: rebuilds the expansion state for the pinned partial
+    /// embedding (the one non-amortised cost of resuming on another
+    /// worker), then validates chunks until the shared range drains. A
+    /// ticket popped after the range drained — or after the query stopped —
+    /// degenerates to accounting.
+    fn execute_assist(&mut self, shared: &SplitExpansion) {
+        if (self.abort)() || shared.next.load(Ordering::Relaxed) >= shared.cands.len() {
+            return;
+        }
+        let step = &self.env.plan.steps()[shared.emb.len()];
+        self.scratch.state.prepare(self.env.data, step, &shared.emb);
+        self.run_split(shared, false);
     }
 
     fn execute_scan(&mut self, start: u32, end: u32) {
@@ -258,6 +322,57 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
         let last = depth + 1 == plan.len();
 
         let cands = std::mem::take(&mut self.scratch.state.candidates);
+
+        // Work-assisting split (DESIGN.md §12): a candidate list long
+        // enough to dominate this worker's schedule moves into shared
+        // ownership, and assist tickets let idle peers claim chunks of it
+        // mid-flight. The ticket count — one per peer that could usefully
+        // join, bounded by the chunks beyond the owner's first — gates the
+        // whole split: zero tickets (one worker, stealing disabled so
+        // nobody could ever take one, or a range of at most one chunk)
+        // means the shared state could never offer parallelism, and the
+        // plain serial loop below is strictly cheaper. With one worker
+        // this also keeps delivery order exactly the sequential
+        // executor's — the `max_results` determinism contract.
+        let cfg = self.env.config;
+        let chunk = cfg.split_chunk.max(1);
+        let tickets =
+            if cfg.split_threshold > 0 && cfg.work_stealing && cands.len() >= cfg.split_threshold {
+                ((cands.len() - 1) / chunk).min(cfg.threads.saturating_sub(1))
+            } else {
+                0
+            };
+        if tickets > 0 {
+            let shared = Arc::new(SplitExpansion {
+                emb: emb.to_vec(),
+                // Copied, not moved: the Arc outlives this task on other
+                // workers' deques, so donating the scratch buffer would
+                // forfeit its warmed capacity on every split. One exact-size
+                // copy is cheaper than regrowing the buffer from empty past
+                // the (large) split threshold on the next expansion.
+                cands: cands.clone(),
+                next: AtomicUsize::new(0),
+                chunk,
+            });
+            self.scratch.state.candidates = cands;
+            // The shared buffers are materialised state that outlives this
+            // task (they stay live until the range drains), so they count
+            // against the query's memory bound like queued embeddings do.
+            self.env.tracker.alloc(shared.bytes());
+            self.metrics.split_expansions += 1;
+            // Tickets are pushed *before* the owner starts validating, so
+            // they sit at the cold end of its LIFO deque — exactly where
+            // thieves steal from — while the children spawned below stack
+            // on the hot end for the owner's own depth-first descent.
+            for _ in 0..tickets {
+                (self.emit)(Task::Assist {
+                    shared: Arc::clone(&shared),
+                });
+            }
+            self.run_split(&shared, true);
+            return;
+        }
+
         let mut valid = std::mem::take(&mut self.scratch.valid);
         valid.clear();
         let mut aborted = false;
@@ -268,32 +383,7 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
                 aborted = true;
                 break;
             }
-            let global = partition.global_id(row).raw();
-            match validate_candidate(
-                data,
-                step,
-                depth,
-                emb,
-                &self.scratch.state,
-                global,
-                partition.row(row),
-                &mut self.scratch.validate,
-            ) {
-                Validation::Valid => {
-                    self.metrics.filtered += 1;
-                    self.metrics.validated += 1;
-                    if last {
-                        self.scratch.full.clear();
-                        self.scratch.full.extend_from_slice(emb);
-                        self.scratch.full.push(global);
-                        self.deliver_full();
-                    } else {
-                        valid.push(global);
-                    }
-                }
-                Validation::WrongProfiles => self.metrics.filtered += 1,
-                Validation::WrongVertexCount | Validation::Duplicate => {}
-            }
+            self.validate_row(partition, step, depth, emb, row, last, &mut valid);
         }
         // Reverse emission: the LIFO deque then pops extensions in ascending
         // candidate order, matching the sequential executor's visit order.
@@ -308,6 +398,108 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
         }
         self.scratch.state.candidates = cands;
         self.scratch.valid = valid;
+    }
+
+    /// The work-assisting claim loop: claims disjoint chunks of `shared`'s
+    /// candidate range until it drains, validating each row and spawning
+    /// this participant's share of child expansions locally (so the assist
+    /// hands the thief a subtree to descend, not a one-off batch).
+    ///
+    /// [`ExpansionState::prepare`] must have run for `shared.emb` on this
+    /// worker's scratch (the owner did so before generating candidates;
+    /// [`Exec::execute_assist`] does it for thieves).
+    fn run_split(&mut self, shared: &SplitExpansion, owner: bool) {
+        let depth = shared.emb.len();
+        let plan = self.env.plan;
+        let step = &plan.steps()[depth];
+        let Some(pid) = step.partition else {
+            return; // unreachable: a split implies candidates, which imply a partition
+        };
+        let partition = self.env.data.partition(pid);
+        let last = depth + 1 == plan.len();
+        let total = shared.cands.len();
+        let mut valid = std::mem::take(&mut self.scratch.valid);
+        valid.clear();
+        let mut aborted = false;
+        'claim: loop {
+            let start = shared.next.fetch_add(shared.chunk, Ordering::Relaxed);
+            if start >= total {
+                break;
+            }
+            if !owner {
+                self.metrics.assist_chunks += 1;
+            }
+            let end = (start + shared.chunk).min(total);
+            // The claimer of the final chunk releases the shared buffers'
+            // accounting (exactly one participant sees end == total with a
+            // live claim). A stopped query may skip the release — harmless:
+            // its peak is already recorded and the tracker dies with it.
+            if end == total {
+                self.env.tracker.free(shared.bytes());
+            }
+            for (i, &row) in shared.cands[start..end].iter().enumerate() {
+                if i % ABORT_PROBE == ABORT_PROBE - 1 && (self.abort)() {
+                    aborted = true;
+                    break 'claim;
+                }
+                self.validate_row(partition, step, depth, &shared.emb, row, last, &mut valid);
+            }
+            // Per-chunk probe: stop claiming promptly once the query stops
+            // (unclaimed chunks are dropped — every other participant sees
+            // the same signal).
+            if (self.abort)() {
+                aborted = true;
+                break;
+            }
+        }
+        if !aborted {
+            for idx in (0..valid.len()).rev() {
+                let global = valid[idx];
+                self.spawn_expand(&shared.emb, global);
+            }
+        }
+        self.scratch.valid = valid;
+    }
+
+    /// Validates one candidate row, delivering complete embeddings at the
+    /// last step and buffering earlier valid extensions into `valid`.
+    #[allow(clippy::too_many_arguments)] // hot-path kernel shared by the serial and split loops
+    fn validate_row(
+        &mut self,
+        partition: &Partition,
+        step: &crate::plan::Step,
+        depth: usize,
+        emb: &[u32],
+        row: u32,
+        last: bool,
+        valid: &mut Vec<u32>,
+    ) {
+        let global = partition.global_id(row).raw();
+        match validate_candidate(
+            self.env.data,
+            step,
+            depth,
+            emb,
+            &self.scratch.state,
+            global,
+            partition.row(row),
+            &mut self.scratch.validate,
+        ) {
+            Validation::Valid => {
+                self.metrics.filtered += 1;
+                self.metrics.validated += 1;
+                if last {
+                    self.scratch.full.clear();
+                    self.scratch.full.extend_from_slice(emb);
+                    self.scratch.full.push(global);
+                    self.deliver_full();
+                } else {
+                    valid.push(global);
+                }
+            }
+            Validation::WrongProfiles => self.metrics.filtered += 1,
+            Validation::WrongVertexCount | Validation::Duplicate => {}
+        }
     }
 
     /// Emits the expansion of `parent + [global]`, inline when it fits and
@@ -355,5 +547,171 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
             self.env.sink.add_count(self.uncounted);
             self.uncounted = 0;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{generate_candidates, ExpansionState};
+    use crate::config::MatchConfig;
+    use crate::memory::MemoryTracker;
+    use crate::plan::{Plan, Planner};
+    use crate::query::QueryGraph;
+    use crate::sink::CountSink;
+    use hgmatch_hypergraph::{HypergraphBuilder, Label};
+
+    /// Complete pair graph over `n` same-label vertices and a 2-edge path
+    /// query: every expansion of a matched first edge sees a fat candidate
+    /// list (every other edge in the single {A,A} partition).
+    fn pair_clique(n: u32) -> (Hypergraph, Plan) {
+        let mut d = HypergraphBuilder::new();
+        d.add_vertices(n as usize, Label::new(0));
+        for i in 0..n {
+            for j in (i + 1)..n {
+                d.add_edge(vec![i, j]).unwrap();
+            }
+        }
+        let data = d.build().unwrap();
+        let mut q = HypergraphBuilder::new();
+        q.add_vertices(3, Label::new(0));
+        q.add_edge(vec![0, 1]).unwrap();
+        q.add_edge(vec![1, 2]).unwrap();
+        let query = QueryGraph::new(&q.build().unwrap()).unwrap();
+        let plan = Planner::plan(&query, &data).unwrap();
+        (data, plan)
+    }
+
+    /// Runs `root` and every task it transitively spawns on one thread,
+    /// returning (delivered, executed tasks, metrics). With a config that
+    /// splits, this drains assist tickets after the owner's claim loop —
+    /// the degenerate-ticket path.
+    fn drain(
+        data: &Hypergraph,
+        plan: &Plan,
+        config: &MatchConfig,
+        root: Task,
+    ) -> (u64, u64, MatchMetrics) {
+        let sink = CountSink::new();
+        let tracker = MemoryTracker::new();
+        let env = QueryEnv {
+            plan,
+            data,
+            sink: &sink,
+            config,
+            tracker: &tracker,
+        };
+        let mut scratch = ExecScratch::new();
+        let mut metrics = MatchMetrics::default();
+        let mut queue = vec![root];
+        let mut delivered = 0;
+        let mut executed = 0;
+        while let Some(task) = queue.pop() {
+            delivered += execute_task(
+                &env,
+                &mut scratch,
+                &mut metrics,
+                task,
+                &mut || false,
+                &mut |t| queue.push(t),
+            );
+            executed += 1;
+        }
+        (delivered, executed, metrics)
+    }
+
+    #[test]
+    fn split_path_delivers_the_same_embeddings() {
+        let (data, plan) = pair_clique(9); // 36 edges, plenty of candidates
+        let root = || Task::Scan {
+            start: 0,
+            end: data.partition(plan.steps()[0].partition.unwrap()).len() as u32,
+        };
+
+        let plain = MatchConfig::parallel(4).with_split_threshold(0);
+        let (expect, _, m0) = drain(&data, &plan, &plain, root());
+        assert!(expect > 0);
+        assert_eq!(m0.split_expansions, 0);
+
+        let split = MatchConfig::parallel(4)
+            .with_split_threshold(4)
+            .with_split_chunk(3);
+        let (got, executed, m1) = drain(&data, &plan, &split, root());
+        assert_eq!(got, expect, "splitting must not change the result set");
+        assert!(m1.split_expansions > 0, "threshold 4 must trigger splits");
+        // One thread drains everything: the owner's claim loop empties each
+        // shared range, so every ticket degenerates to accounting — but is
+        // still executed exactly once.
+        assert_eq!(m1.assist_chunks, 0);
+        assert!(executed > m1.split_expansions);
+    }
+
+    #[test]
+    fn single_worker_config_never_splits() {
+        let (data, plan) = pair_clique(9);
+        let config = MatchConfig::parallel(1)
+            .with_split_threshold(1)
+            .with_split_chunk(1);
+        let root = Task::Scan {
+            start: 0,
+            end: data.partition(plan.steps()[0].partition.unwrap()).len() as u32,
+        };
+        let (_, _, m) = drain(&data, &plan, &config, root);
+        assert_eq!(m.split_expansions, 0, "threads=1 suppresses splitting");
+    }
+
+    /// The thief path, deterministically: an assist ticket executed on a
+    /// *fresh* scratch (as a thief would) must validate exactly the chunks
+    /// the owner did not claim and deliver the same embeddings.
+    #[test]
+    fn assist_ticket_resumes_on_fresh_scratch() {
+        let (data, plan) = pair_clique(9);
+        let config = MatchConfig::parallel(2).with_split_threshold(0);
+        let step = &plan.steps()[1];
+        let emb = vec![0u32];
+
+        // Oracle: the plain (unsplit) expansion of emb.
+        let mut inline = [0u32; INLINE_EMB];
+        inline[0] = 0;
+        let (expect, _, _) = drain(
+            &data,
+            &plan,
+            &config,
+            Task::Expand {
+                depth: 1,
+                emb: inline,
+            },
+        );
+        assert!(expect > 0);
+
+        // Regenerate the candidate list the owner would have shared.
+        let mut state = ExpansionState::new();
+        state.prepare(&data, step, &emb);
+        let produced = generate_candidates(&data, step, &emb, &mut state, &config);
+        assert!(produced > 0);
+        let shared = Arc::new(SplitExpansion {
+            emb,
+            cands: std::mem::take(&mut state.candidates),
+            next: AtomicUsize::new(0),
+            chunk: 2,
+        });
+
+        // The ticket alone (owner never claims): a fresh scratch must
+        // rebuild the expansion state and drain the whole range.
+        let (got, _, m) = drain(
+            &data,
+            &plan,
+            &config,
+            Task::Assist {
+                shared: Arc::clone(&shared),
+            },
+        );
+        assert_eq!(got, expect);
+        assert_eq!(m.assist_chunks as usize, produced.div_ceil(2));
+
+        // A second ticket on the drained range degenerates to accounting.
+        let (rest, executed, m2) = drain(&data, &plan, &config, Task::Assist { shared });
+        assert_eq!((rest, executed), (0, 1));
+        assert_eq!(m2.assist_chunks, 0);
     }
 }

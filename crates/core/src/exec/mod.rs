@@ -24,6 +24,13 @@ pub struct WorkerStats {
     pub tasks: u64,
     /// Successful steal operations.
     pub steals: u64,
+    /// Expansions this worker split for the work-assisting scheduler
+    /// (DESIGN.md §12): their candidate ranges were published for idle
+    /// peers to join mid-flight.
+    pub splits: u64,
+    /// Assist tickets this worker executed that claimed at least one chunk
+    /// of another worker's split expansion.
+    pub assists: u64,
     /// Complete embeddings this worker delivered.
     pub matches: u64,
 }

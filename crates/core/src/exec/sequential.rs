@@ -79,6 +79,8 @@ impl SequentialExecutor {
             busy: stats.elapsed,
             tasks: dfs.metrics.expansions + 1,
             steals: 0,
+            splits: 0,
+            assists: 0,
             matches: dfs.metrics.embeddings,
         }];
         stats

@@ -28,6 +28,14 @@ pub struct MatchMetrics {
     pub embeddings: u64,
     /// EXPAND invocations (one per partial embedding per step).
     pub expansions: u64,
+    /// Expansions whose candidate range was published as splittable
+    /// (DESIGN.md §12): the validating loop could be joined mid-flight by
+    /// idle workers instead of running serially on one.
+    pub split_expansions: u64,
+    /// Candidate chunks claimed by *assisting* workers — participants that
+    /// joined a splittable expansion through a stolen assist ticket rather
+    /// than having generated the candidates themselves.
+    pub assist_chunks: u64,
 }
 
 impl MatchMetrics {
@@ -39,6 +47,8 @@ impl MatchMetrics {
         self.validated += other.validated;
         self.embeddings += other.embeddings;
         self.expansions += other.expansions;
+        self.split_expansions += other.split_expansions;
+        self.assist_chunks += other.assist_chunks;
     }
 
     /// False-positive rate of candidate generation: the fraction of
@@ -74,12 +84,16 @@ mod tests {
             validated: 7,
             embeddings: 3,
             expansions: 5,
+            split_expansions: 2,
+            assist_chunks: 4,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.candidates, 20);
         assert_eq!(a.embeddings, 6);
         assert_eq!(a.expansions, 10);
+        assert_eq!(a.split_expansions, 4);
+        assert_eq!(a.assist_chunks, 8);
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //!   tasks and abandon candidate loops mid-way), not just result
 //!   recording; a stopped query releases its workers to other queries
 //!   without touching the pool.
+//! * **Work-assisting intra-query parallelism** — beyond deque stealing,
+//!   a hot expansion whose candidate list reaches
+//!   [`crate::MatchConfig::split_threshold`] is *split mid-flight*
+//!   (DESIGN.md §12): idle workers claim disjoint chunks of the in-flight
+//!   candidate range through stolen assist tickets, so a single giant
+//!   query spreads across the pool instead of pinning one worker.
+//!   Observable via [`ServeStats::splits`]/[`ServeStats::assists`] and the
+//!   per-worker busy spread of [`MatchServer::worker_stats`].
 //! * **Plan caching** — repeated query shapes skip Algorithm 3 entirely,
 //!   keyed by the query's canonical form: its label vector plus its
 //!   canonicalised hyperedge lists, the same canonicalisation
@@ -299,10 +307,22 @@ pub struct ServeStats {
     pub cancelled: u64,
     /// Queries currently admitted and not yet finished.
     pub active: usize,
+    /// Tasks spawned across all queries: seed scans plus every child task
+    /// and assist ticket emitted by executions. After the pool drains this
+    /// equals [`ServeStats::tasks_executed`] — the scheduler-stress suites
+    /// assert that invariant (no task is lost or run twice).
+    pub tasks_spawned: u64,
     /// Tasks executed across all queries.
     pub tasks_executed: u64,
     /// Successful inter-worker steal operations.
     pub steals: u64,
+    /// Expansions whose candidate range was split for the work-assisting
+    /// scheduler (DESIGN.md §12).
+    pub splits: u64,
+    /// Assist tickets that claimed at least one chunk of another worker's
+    /// split expansion (mid-flight intra-query parallelism actually
+    /// realised, not just offered).
+    pub assists: u64,
     /// Plan-cache hits (planning skipped).
     pub plan_cache_hits: u64,
     /// Plan-cache misses (planning ran).
@@ -323,8 +343,24 @@ pub(crate) struct Counters {
     pub(crate) limit_reached: AtomicU64,
     pub(crate) timed_out: AtomicU64,
     pub(crate) cancelled: AtomicU64,
+    pub(crate) spawned: AtomicU64,
     pub(crate) tasks: AtomicU64,
     pub(crate) steals: AtomicU64,
+    pub(crate) splits: AtomicU64,
+    pub(crate) assists: AtomicU64,
+}
+
+/// Per-worker accounting of the serving pool, snapshot via
+/// [`MatchServer::worker_stats`]. Busy time is the scheduling experiments'
+/// load-balance signal: with work assisting a single big query spreads its
+/// busy time across the pool, while under pinned (no-steal) pickup one
+/// worker carries it all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerServeStats {
+    /// Wall-clock spent executing tasks (excludes idle and steal spinning).
+    pub busy: Duration,
+    /// Tasks this worker executed.
+    pub tasks: u64,
 }
 
 /// The currently published data snapshot and its epoch. Queries pin the
@@ -345,6 +381,9 @@ pub(crate) struct ServeShared {
     /// order; finalisation removes entries).
     pub(crate) queries: Mutex<Vec<Arc<ActiveQuery>>>,
     pub(crate) stealers: Vec<Stealer<ServeTask>>,
+    /// Per-worker busy nanoseconds and task counts (indexed by worker id).
+    pub(crate) worker_busy_ns: Vec<AtomicU64>,
+    pub(crate) worker_tasks: Vec<AtomicU64>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) idle_mutex: StdMutex<()>,
     pub(crate) idle_cv: Condvar,
@@ -402,15 +441,23 @@ impl MatchServer {
         let deques: Vec<Deque<ServeTask>> = (0..threads).map(|_| Deque::new_lifo()).collect();
         let stealers: Vec<Stealer<ServeTask>> = deques.iter().map(Deque::stealer).collect();
 
+        // The task core gates work-assisting splits on the pool size (a
+        // lone worker never splits), so the shared config must carry it —
+        // ServeConfig::threads is authoritative, not match_config.threads.
+        let mut match_config = config.match_config.clone();
+        match_config.threads = threads;
+
         let shared = Arc::new(ServeShared {
             data: Mutex::new(CurrentData {
                 graph: data,
                 epoch: 0,
             }),
-            config: config.match_config.clone(),
+            config: match_config,
             fairness_quantum: config.fairness_quantum.max(1),
             queries: Mutex::new(Vec::new()),
             stealers,
+            worker_busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            worker_tasks: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             shutdown: AtomicBool::new(false),
             idle_mutex: StdMutex::new(()),
             idle_cv: Condvar::new(),
@@ -477,6 +524,7 @@ impl MatchServer {
             // Nothing to do: resolve inline, never touching the pool.
             shared.finalize(&active);
         } else {
+            shared.counters.spawned.fetch_add(1, Ordering::Relaxed);
             active.pending.store(1, Ordering::Relaxed);
             *active.seed.lock() = Some(Task::Scan {
                 start: 0,
@@ -547,14 +595,32 @@ impl MatchServer {
             timed_out: c.timed_out.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
             active: self.shared.queries.lock().len(),
+            tasks_spawned: c.spawned.load(Ordering::Relaxed),
             tasks_executed: c.tasks.load(Ordering::Relaxed),
             steals: c.steals.load(Ordering::Relaxed),
+            splits: c.splits.load(Ordering::Relaxed),
+            assists: c.assists.load(Ordering::Relaxed),
             plan_cache_hits: self.shared.cache.hits(),
             plan_cache_misses: self.shared.cache.misses(),
             plan_cache_size: self.shared.cache.len(),
             plans_invalidated: self.shared.cache.invalidated(),
             data_epoch: self.shared.data.lock().epoch,
         }
+    }
+
+    /// Per-worker busy time and task counts (index = worker id). The busy
+    /// spread is the scheduling experiments' load-balance signal — see
+    /// [`WorkerServeStats`].
+    pub fn worker_stats(&self) -> Vec<WorkerServeStats> {
+        self.shared
+            .worker_busy_ns
+            .iter()
+            .zip(&self.shared.worker_tasks)
+            .map(|(busy, tasks)| WorkerServeStats {
+                busy: Duration::from_nanos(busy.load(Ordering::Relaxed)),
+                tasks: tasks.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// The currently published data snapshot (queries in flight may be

@@ -11,6 +11,11 @@
 //!    picked up yet, visited round-robin so admission order is fair;
 //! 3. **stealing** — batches from a random victim's cold end, which holds
 //!    the *oldest* (coarsest) tasks, exactly as in the one-shot engine.
+//!    Since the work-assisting scheduler (DESIGN.md §12) the cold end also
+//!    holds *assist tickets*: claims on the in-flight candidate range of a
+//!    splittable expansion, pushed below the owner's children so thieves
+//!    preferentially join the hottest expansion instead of peeling off a
+//!    leaf task.
 //!
 //! Fairness against monopolisation: after [`ServeConfig::fairness_quantum`]
 //! consecutive tasks of the same query, a worker offers waiting seed slots
@@ -101,7 +106,7 @@ pub(crate) fn worker_loop(wid: usize, local: Deque<ServeTask>, shared: Arc<Serve
             consecutive = 0;
             last_query = query.id;
         }
-        run_one(&query, task, &local, &shared, &mut scratch);
+        run_one(wid, &query, task, &local, &shared, &mut scratch);
     }
 }
 
@@ -109,6 +114,7 @@ pub(crate) fn worker_loop(wid: usize, local: Deque<ServeTask>, shared: Arc<Serve
 /// deque (tagged with the same query). The worker that retires the query's
 /// last pending task finalises it.
 fn run_one(
+    wid: usize,
     query: &Arc<ActiveQuery>,
     task: Task,
     local: &Deque<ServeTask>,
@@ -124,6 +130,8 @@ fn run_one(
         config: &shared.config,
         tracker: &query.tracker,
     };
+    let begin = Instant::now();
+    let was_assist = matches!(task, Task::Assist { .. });
     let mut task_metrics = MatchMetrics::default();
     let mut probes = 0u64;
     execute_task(
@@ -134,6 +142,7 @@ fn run_one(
         &mut || should_stop(query, &mut probes),
         &mut |t| {
             query.pending.fetch_add(1, Ordering::Relaxed);
+            shared.counters.spawned.fetch_add(1, Ordering::Relaxed);
             local.push(ServeTask {
                 query: Arc::clone(query),
                 task: t,
@@ -142,8 +151,19 @@ fn run_one(
     );
     if task_metrics != MatchMetrics::default() {
         query.metrics.lock().merge(&task_metrics);
+        if task_metrics.split_expansions > 0 {
+            shared
+                .counters
+                .splits
+                .fetch_add(task_metrics.split_expansions, Ordering::Relaxed);
+        }
+        if was_assist && task_metrics.assist_chunks > 0 {
+            shared.counters.assists.fetch_add(1, Ordering::Relaxed);
+        }
     }
     shared.counters.tasks.fetch_add(1, Ordering::Relaxed);
+    shared.worker_busy_ns[wid].fetch_add(begin.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    shared.worker_tasks[wid].fetch_add(1, Ordering::Relaxed);
     if query.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
         shared.finalize(query);
     }

@@ -5,6 +5,7 @@
 //! edge locator, and a global vertex→edge incidence CSR (used by the
 //! match-by-vertex baselines and the IHS filter).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -13,6 +14,33 @@ use crate::ids::{EdgeId, Label, SignatureId, VertexId};
 use crate::partition::Partition;
 use crate::signature::{Signature, SignatureInterner};
 use crate::stats::HypergraphStats;
+
+/// Process-unique identity of one assembled snapshot.
+///
+/// Global edge ids are only meaningful *within* one snapshot — the dynamic
+/// writer's compaction remaps them across epochs — so executor scratch
+/// caches keyed by edge id (the expansion level stack) must be invalidated
+/// whenever they are reused against a different snapshot, even one with
+/// overlapping edge ids. Equality is intentionally always-true: snapshot
+/// identity is not part of hypergraph *content*, and the dynamic
+/// differential oracle's `snapshot == rebuild` check must keep comparing
+/// content only.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SnapshotUid(u64);
+
+impl SnapshotUid {
+    fn fresh() -> Self {
+        // Starts at 1 so 0 can mean "no snapshot yet" in caches.
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        Self(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl PartialEq for SnapshotUid {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
 
 /// Where a global hyperedge lives: its partition and local row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,6 +71,8 @@ pub struct Hypergraph {
     /// `|adj(v)|` per vertex (number of distinct adjacent vertices),
     /// precomputed for the IHS filter.
     pub(crate) adj_counts: Vec<u32>,
+    /// Process-unique snapshot identity (excluded from content equality).
+    pub(crate) uid: SnapshotUid,
 }
 
 impl Hypergraph {
@@ -103,6 +133,7 @@ impl Hypergraph {
             incidence_offsets,
             incidence_edges,
             adj_counts: Vec::new(),
+            uid: SnapshotUid::fresh(),
         };
         let adj_counts = (0..graph.num_vertices())
             .map(|v| graph.adjacent_vertices(VertexId::from_index(v)).len() as u32)
@@ -111,6 +142,18 @@ impl Hypergraph {
             adj_counts,
             ..graph
         }
+    }
+
+    /// Process-unique identity of this snapshot (never 0).
+    ///
+    /// Global edge ids are only comparable between hypergraphs with equal
+    /// `uid`: the dynamic writer's compaction remaps ids across epochs, so
+    /// caches keyed by edge id (e.g. the executors' expansion level stack)
+    /// must reset when this changes. Two snapshots with identical content
+    /// still have distinct uids; content equality is `==`.
+    #[inline]
+    pub fn uid(&self) -> u64 {
+        self.uid.0
     }
 
     /// Number of vertices `|V(H)|`.
