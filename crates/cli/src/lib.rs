@@ -24,8 +24,10 @@
 //!   [`hgmatch_core::delta_match`]), and reports update throughput.
 //! * `gen-stream` — generate a random update stream with a configurable
 //!   insert:delete ratio (the `datasets` update-stream generator).
-//! * `explain <labels.txt> <edges.txt> <qlabels.txt> <qedges.txt>` — show
-//!   the matching order and dataflow.
+//! * `explain <labels.txt> <edges.txt> <qlabels.txt> <qedges.txt>
+//!   [--json]` — show the cost-based matching order, its per-step cost
+//!   estimates next to the greedy Algorithm 3 baseline, and the dataflow;
+//!   `--json` emits a deterministic machine-readable report.
 //! * `sample-query <labels.txt> <edges.txt> <setting> <seed>
 //!   <out-labels> <out-edges>` — draw a random-walk query (q2/q3/q4/q6).
 
@@ -49,7 +51,7 @@ pub const USAGE: &str = "usage:
   hgmatch serve <labels> <edges> [--input FILE] [serve flags]
   hgmatch update <labels> <edges> <stream.txt> [update flags]
   hgmatch gen-stream <labels> <edges> <ops> <insert-ratio> <seed> <out.txt>
-  hgmatch explain <labels> <edges> <qlabels> <qedges>
+  hgmatch explain <labels> <edges> <qlabels> <qedges> [--json]
   hgmatch sample-query <labels> <edges> <q2|q3|q4|q6> <seed> <out-labels> <out-edges>
 
 serve/batch answer many queries on one resident worker pool; a query list
@@ -758,19 +760,55 @@ fn do_gen_stream(args: &[String]) -> Result<(), String> {
 }
 
 fn explain(args: &[String]) -> Result<(), String> {
-    let [labels, edges, qlabels, qedges] = args else {
-        return Err("explain needs data and query label/edge files".into());
+    let mut json = false;
+    let mut files: Vec<&String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown explain flag {other:?}"))
+            }
+            _ => files.push(arg),
+        }
+    }
+    let [labels, edges, qlabels, qedges] = files.as_slice() else {
+        return Err("explain needs data and query label/edge files [--json]".into());
     };
+    print!("{}", explain_report(labels, edges, qlabels, qedges, json)?);
+    Ok(())
+}
+
+/// Builds the full `explain` output for the given data/query files —
+/// the cost-based plan's order and per-step estimates next to the greedy
+/// baseline, plus the compiled dataflow (text mode only). Deterministic
+/// (stable field order, fixed float precision), so CI golden-files it.
+pub fn explain_report(
+    labels: &str,
+    edges: &str,
+    qlabels: &str,
+    qedges: &str,
+    json: bool,
+) -> Result<String, String> {
+    use hgmatch_core::{Explain, Planner, QueryGraph};
     let data = load(labels, edges)?;
     let query = load(qlabels, qedges)?;
-    let matcher = Matcher::new(&data);
-    let plan = matcher.plan(&query).map_err(|e| e.to_string())?;
-    println!("matching order (query hyperedges): {:?}", plan.order());
-    println!("{}", Dataflow::from_plan(&plan, &data));
-    if plan.is_infeasible() {
-        println!("plan is infeasible: some query signature is absent from the data");
+    let q = QueryGraph::new(&query).map_err(|e| e.to_string())?;
+    let explain = Explain::new(&q, &data);
+    if json {
+        return Ok(explain.json());
     }
-    Ok(())
+    // Compile the order the report already chose — one planning pass, and
+    // the dataflow is guaranteed consistent with the cost tables below.
+    let plan = Planner::plan_with_order(&q, &data, explain.chosen.order.clone())
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "matching order (query hyperedges): {:?}\n",
+        plan.order()
+    ));
+    out.push_str(&format!("{}\n", Dataflow::from_plan(&plan, &data)));
+    out.push_str(&explain.text());
+    Ok(out)
 }
 
 fn do_sample(args: &[String]) -> Result<(), String> {

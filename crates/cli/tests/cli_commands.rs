@@ -90,6 +90,42 @@ fn explain_prints_dataflow() {
     let dir = TempDir::new("explain");
     let (dl, de, ql, qe) = write_paper_files(&dir);
     run(&args(&["explain", &dl, &de, &ql, &qe])).expect("explain works");
+    run(&args(&["explain", &dl, &de, &ql, &qe, "--json"])).expect("explain --json works");
+    assert!(run(&args(&["explain", &dl, &de, &ql, &qe, "--frob"])).is_err());
+}
+
+/// Path of a committed fixture file.
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// `explain` output is deterministic and golden-filed: the committed
+/// planner-adversary fixture (hub-heavy {A,B} start vs. a selective {C,D}
+/// start) must produce byte-identical text and JSON reports, so CI can
+/// diff them. The fixture is also the shape where the cost-based order
+/// diverges from greedy — the goldens pin both orders.
+#[test]
+fn explain_matches_golden_files() {
+    let report = |json| {
+        hgmatch_cli::explain_report(
+            &fixture("plan.labels"),
+            &fixture("plan.edges"),
+            &fixture("plan_query.labels"),
+            &fixture("plan_query.edges"),
+            json,
+        )
+        .expect("fixture explains")
+    };
+    let golden_txt = std::fs::read_to_string(fixture("explain.golden.txt")).unwrap();
+    let golden_json = std::fs::read_to_string(fixture("explain.golden.json")).unwrap();
+    assert_eq!(report(false), golden_txt, "text report drifted from golden");
+    assert_eq!(report(true), golden_json, "json report drifted from golden");
+    // Repeated runs are byte-identical (no hash-iteration leaks).
+    assert_eq!(report(true), report(true));
 }
 
 #[test]

@@ -56,6 +56,58 @@ pub(crate) fn default_split_chunk() -> usize {
         .max(1)
 }
 
+/// Relative cardinality drift past which the serving layer drops a cached
+/// plan and re-plans the query shape on its next submission (DESIGN.md
+/// §13.4). Overridable via `HGMATCH_REPLAN_DRIFT`; negative values clamp
+/// to 0 (re-plan on any change).
+pub(crate) fn default_replan_drift() -> f64 {
+    static CACHE: std::sync::OnceLock<Option<f64>> = std::sync::OnceLock::new();
+    let parsed = *CACHE.get_or_init(|| {
+        std::env::var("HGMATCH_REPLAN_DRIFT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    parsed.unwrap_or(0.5).max(0.0)
+}
+
+/// Confidence margin of the cost-based planner: the searched order
+/// replaces the greedy Algorithm 3 order only when its estimated cost is
+/// at least this factor cheaper (DESIGN.md §13.3). Near-tie estimates are
+/// statistically indistinguishable — label-level summaries cannot separate
+/// them — so the planner stays with the paper's baseline there instead of
+/// flipping on noise. The default of 2 reflects that per-step selectivity
+/// estimates multiply across joins, so small predicted wins are within
+/// the model's error bars while real planning mistakes (hub fan-outs)
+/// show up as several-fold predicted gaps. Overridable via
+/// `HGMATCH_PLAN_MARGIN`; values below 1 clamp to 1 (always trust the
+/// search).
+pub(crate) fn default_plan_margin() -> f64 {
+    static CACHE: std::sync::OnceLock<Option<f64>> = std::sync::OnceLock::new();
+    let parsed = *CACHE.get_or_init(|| {
+        std::env::var("HGMATCH_PLAN_MARGIN")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    parsed.unwrap_or(2.0).max(1.0)
+}
+
+/// Beam width of the cost-based order search for queries above the
+/// exhaustive bound (DESIGN.md §13). Overridable via `HGMATCH_PLAN_BEAM`
+/// (the CI plan-stress job pins a tiny width).
+pub(crate) fn default_plan_beam() -> usize {
+    static CACHE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    env_usize(&CACHE, "HGMATCH_PLAN_BEAM").unwrap_or(8).max(1)
+}
+
+/// Largest query-edge count the order search enumerates exhaustively with
+/// branch-and-bound; larger queries fall back to beam search. Overridable
+/// via `HGMATCH_PLAN_EXHAUSTIVE` (`0` forces beam search for every size,
+/// which is how CI stresses the beam path on small queries).
+pub(crate) fn default_plan_exhaustive() -> usize {
+    static CACHE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    env_usize(&CACHE, "HGMATCH_PLAN_EXHAUSTIVE").unwrap_or(8)
+}
+
 impl Default for MatchConfig {
     fn default() -> Self {
         Self {

@@ -8,9 +8,11 @@
 //! match-by-vertex framework used by every prior subhypergraph matcher),
 //! HGMatch expands by one *hyperedge* at a time:
 //!
-//! 1. [`plan`] computes a matching order over query hyperedges using `O(1)`
-//!    cardinalities from the data hypergraph's signature partitions
-//!    (paper Algorithm 3).
+//! 1. [`plan`] computes a matching order over query hyperedges from the
+//!    data hypergraph's per-partition cardinality statistics: a
+//!    statistics-driven cost model with bounded enumeration of connected
+//!    orders ([`cost`], DESIGN.md §13), falling back to the paper's greedy
+//!    Algorithm 3 whenever the model predicts no significant win.
 //! 2. [`candidates`] generates candidate data hyperedges for the next query
 //!    hyperedge purely with sorted-set operations over the inverted
 //!    hyperedge index (Algorithm 4, Observations V.1–V.4).
@@ -66,6 +68,7 @@
 
 pub mod candidates;
 pub mod config;
+pub mod cost;
 pub mod delta;
 pub mod embedding;
 pub mod engine;
@@ -83,6 +86,7 @@ pub mod sink;
 pub mod validate;
 
 pub use config::MatchConfig;
+pub use cost::{CostModel, Explain, OrderEstimate, StepEstimate};
 pub use delta::{delta_match, DeltaBatch, DeltaOutcome};
 pub use embedding::Embedding;
 pub use error::{MatchError, Result};

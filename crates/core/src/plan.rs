@@ -1,11 +1,14 @@
 //! Execution planning: matching order and per-step matching structure.
 //!
-//! [`Planner::plan`] implements the paper's Algorithm 3: the first query
-//! hyperedge is the one with the smallest cardinality `Card(e, H)` (the row
-//! count of the signature partition, fetched in `O(1)`), and each subsequent
-//! hyperedge minimises `Card(e, H) / |Vϕ ∩ e|` among hyperedges connected to
-//! the partial order — i.e. infrequent, highly-connected hyperedges match
-//! first.
+//! [`Planner::plan`] picks the matching order with the statistics-driven
+//! cost model of [`crate::cost`] (DESIGN.md §13): bounded enumeration of
+//! connected orders scored by estimated per-step candidate counts.
+//! [`Planner::plan_greedy`] keeps the paper's one-shot Algorithm 3 rule —
+//! smallest cardinality `Card(e, H)` first, then minimal
+//! `Card(e, H) / |Vϕ ∩ e|` among connected hyperedges — as the comparison
+//! baseline, and [`Planner::plan_with_order`] compiles any caller-chosen
+//! valid order (the differential-test hook: the embedding multiset is
+//! order-invariant).
 //!
 //! The resulting [`Plan`] precomputes everything the runtime operators need
 //! at every step: the target partition, the candidate-generation *anchors*
@@ -15,6 +18,7 @@
 
 use hgmatch_hypergraph::{Hypergraph, Label, SignatureId};
 
+use crate::cost::CostModel;
 use crate::error::Result;
 use crate::query::QueryGraph;
 
@@ -76,6 +80,9 @@ pub struct Plan {
     num_query_vertices: u32,
     /// Whether some step has no partition (zero results guaranteed).
     infeasible: bool,
+    /// Estimated total cost of this order under the model the plan was
+    /// compiled with ([`crate::cost::CostModel`]).
+    cost: f64,
 }
 
 impl Plan {
@@ -122,6 +129,14 @@ impl Plan {
         self.infeasible
     }
 
+    /// Estimated execution cost of this plan's order under the cost model
+    /// it was compiled against (comparable only between plans for the same
+    /// query and data snapshot).
+    #[inline]
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
     /// Reorders an embedding from matching-order positions to query-edge
     /// order: `out[e] = emb[position_of(e)]`.
     pub fn to_query_order(&self, emb_positions: &[u32]) -> Vec<u32> {
@@ -146,11 +161,29 @@ impl Plan {
 pub struct Planner;
 
 impl Planner {
-    /// Compiles a plan for `query` against `data` (paper Algorithm 3 for the
-    /// order, then per-step anchor/profile compilation).
+    /// Compiles the cost-based plan for `query` against `data`: the
+    /// cheapest connected order under the statistics-driven model of
+    /// [`crate::cost::CostModel`] (exhaustive with branch-and-bound for
+    /// small queries, beam search above the exhaustive bound; DESIGN.md
+    /// §13), then per-step anchor/profile compilation. The searched order
+    /// replaces the greedy Algorithm 3 baseline only when the model
+    /// predicts a win beyond the confidence margin
+    /// (`HGMATCH_PLAN_MARGIN`); near-ties keep the baseline.
     pub fn plan(query: &QueryGraph, data: &Hypergraph) -> Result<Plan> {
-        let order = Self::matching_order(query, data);
-        Ok(Self::compile(query, data, order))
+        let model = CostModel::new(query, data);
+        let order = model.choose_order(
+            Self::greedy_order(query, data),
+            model.best_order(),
+            crate::config::default_plan_margin(),
+        );
+        Ok(Self::compile_with_model(query, data, order, &model))
+    }
+
+    /// Compiles a plan using the paper's greedy Algorithm 3 order — the
+    /// baseline the cost-based planner is compared against (`explain`,
+    /// `plan_quality`).
+    pub fn plan_greedy(query: &QueryGraph, data: &Hypergraph) -> Result<Plan> {
+        Ok(Self::compile(query, data, Self::greedy_order(query, data)))
     }
 
     /// Compiles a plan with a caller-chosen matching order. The order must
@@ -173,7 +206,7 @@ impl Planner {
     }
 
     /// Algorithm 3: greedy cardinality-over-connectivity order.
-    fn matching_order(query: &QueryGraph, data: &Hypergraph) -> Vec<u32> {
+    pub fn greedy_order(query: &QueryGraph, data: &Hypergraph) -> Vec<u32> {
         let ne = query.num_edges();
         let card = |e: usize| data.cardinality(query.signature(e)) as f64;
 
@@ -230,6 +263,17 @@ impl Planner {
     }
 
     fn compile(query: &QueryGraph, data: &Hypergraph, order: Vec<u32>) -> Plan {
+        let model = CostModel::new(query, data);
+        Self::compile_with_model(query, data, order, &model)
+    }
+
+    fn compile_with_model(
+        query: &QueryGraph,
+        data: &Hypergraph,
+        order: Vec<u32>,
+        model: &CostModel<'_>,
+    ) -> Plan {
+        let cost = model.estimate_order(&order).total_cost;
         let ne = order.len();
         let mut position = vec![0u32; ne];
         for (pos, &e) in order.iter().enumerate() {
@@ -333,6 +377,7 @@ impl Planner {
             position,
             num_query_vertices: query.num_vertices() as u32,
             infeasible,
+            cost,
         }
     }
 }
@@ -370,17 +415,23 @@ mod tests {
     #[test]
     fn order_is_permutation_and_connected() {
         let data = paper_data();
-        let plan = Planner::plan(&paper_query(), &data).unwrap();
-        let mut order = plan.order().to_vec();
-        order.sort_unstable();
-        assert_eq!(order, vec![0, 1, 2]);
-        assert!(!plan.is_infeasible());
-        // All cardinalities are 2, so the first edge is edge 0 (tie-break),
-        // and each subsequent edge must connect (anchors non-empty).
-        assert_eq!(plan.order()[0], 0);
-        for step in &plan.steps()[1..] {
-            assert!(!step.anchors.is_empty(), "connected order expected");
+        for plan in [
+            Planner::plan(&paper_query(), &data).unwrap(),
+            Planner::plan_greedy(&paper_query(), &data).unwrap(),
+        ] {
+            let mut order = plan.order().to_vec();
+            order.sort_unstable();
+            assert_eq!(order, vec![0, 1, 2]);
+            assert!(!plan.is_infeasible());
+            assert!(plan.cost().is_finite() && plan.cost() > 0.0);
+            // Each subsequent edge must connect (anchors non-empty).
+            for step in &plan.steps()[1..] {
+                assert!(!step.anchors.is_empty(), "connected order expected");
+            }
         }
+        // All cardinalities are 2, so greedy starts at edge 0 (tie-break).
+        let greedy = Planner::plan_greedy(&paper_query(), &data).unwrap();
+        assert_eq!(greedy.order()[0], 0);
     }
 
     #[test]
@@ -396,9 +447,12 @@ mod tests {
         b.add_edge(vec![0, 1, 2]).unwrap(); // {A,A,C}
         b.add_edge(vec![0, 1, 3, 4]).unwrap(); // {A,A,B,C}
         let data = b.build().unwrap();
+        // q1 has signature {A,A,C} with cardinality 1 → greedy starts there.
+        let greedy = Planner::plan_greedy(&paper_query(), &data).unwrap();
+        assert_eq!(greedy.order()[0], 1);
+        // The cost-based order is never estimated worse than greedy.
         let plan = Planner::plan(&paper_query(), &data).unwrap();
-        // q1 has signature {A,A,C} with cardinality 1 → starts the order.
-        assert_eq!(plan.order()[0], 1);
+        assert!(plan.cost() <= greedy.cost() + 1e-9);
     }
 
     #[test]

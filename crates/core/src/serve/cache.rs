@@ -12,19 +12,30 @@
 //! distinguish — they are rebuilt (and interned) during planning on a
 //! miss, and a hit touches only the label/edge comparison.
 //!
-//! Plans are valid for exactly one data hypergraph (Algorithm 3 orders by
+//! Plans are valid for exactly one data hypergraph (the planner orders by
 //! the data's signature cardinalities and steps embed `SignatureId`s of its
 //! interner). Under dynamic updates the server publishes a new snapshot per
 //! epoch ([`MatchServer::update_data`]), so every entry is tagged with the
 //! epoch it is valid for: a key match whose epoch lags the current one is a
 //! miss. [`PlanCache::revalidate`] decides, per published epoch, which
-//! entries survive — an entry whose query labels are disjoint from the
-//! update's touched labels saw no cardinality change, so its plan is
-//! re-tagged to the new epoch instead of dropped (and when partition ids
-//! shifted, `sids_stable == false`, nothing survives).
+//! entries survive:
 //!
-//! Eviction is least-recently-used over a bounded capacity; hits, misses
-//! and invalidations are observable through [`MatchServer::stats`].
+//! * when partition ids shifted (`sids_stable == false`) nothing survives —
+//!   cached plans embed `SignatureId`s that may now dangle;
+//! * an entry whose query labels are disjoint from the update's touched
+//!   labels saw no cardinality change: re-tagged to the new epoch;
+//! * an entry whose labels *were* touched is checked for **stats drift**
+//!   (DESIGN.md §13.4): each entry carries the per-signature cardinalities
+//!   its plan was costed against, and as long as the relative change stays
+//!   within the replan threshold ([`crate::ServeConfig::replan_drift`],
+//!   env `HGMATCH_REPLAN_DRIFT`) the plan is still near-optimal and its
+//!   partition ids are still valid, so it is re-tagged; past the threshold
+//!   (including any signature appearing or going extinct — infinite drift)
+//!   it is dropped and counted in `plans_replanned`, forcing a fresh
+//!   cost-based plan on the shape's next submission.
+//!
+//! Eviction is least-recently-used over a bounded capacity; hits, misses,
+//! invalidations and replans are observable through [`MatchServer::stats`].
 //!
 //! [`MatchServer::update_data`]: super::MatchServer::update_data
 //!
@@ -35,7 +46,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hgmatch_hypergraph::fxhash::FxHashMap;
-use hgmatch_hypergraph::{Hypergraph, Label};
+use hgmatch_hypergraph::{Hypergraph, Label, Signature};
 use parking_lot::Mutex;
 
 use crate::error::Result;
@@ -72,6 +83,42 @@ struct Entry {
     /// Data epoch this plan is valid for. A key match at a stale epoch is
     /// a miss (the entry is replaced by the re-planned result).
     epoch: u64,
+    /// Stats fingerprint: the distinct query-edge signatures and the
+    /// cardinality each had in the snapshot the plan was costed against.
+    /// Drift is always measured against *plan time*, so it accumulates
+    /// across label-touching epochs until the replan threshold trips.
+    sig_cards: Box<[(Signature, u64)]>,
+}
+
+impl Entry {
+    /// Maximum relative cardinality drift of this entry's signatures
+    /// against `data`, with `f64::INFINITY` for a signature that appeared
+    /// or went extinct since plan time (such a plan may be infeasible-
+    /// compiled or embed a dangling partition id — never keep it).
+    fn drift(&self, data: &Hypergraph) -> f64 {
+        let mut worst = 0.0f64;
+        for (sig, old) in self.sig_cards.iter() {
+            let new = data.cardinality(sig) as u64;
+            let drift = match (*old, new) {
+                (0, 0) => 0.0,
+                (0, _) | (_, 0) => f64::INFINITY,
+                (old, new) => old.abs_diff(new) as f64 / old as f64,
+            };
+            worst = worst.max(drift);
+        }
+        worst
+    }
+}
+
+/// The per-entry fingerprint: distinct signatures of the query's edges and
+/// their cardinality in `data`, sorted for deterministic comparison.
+fn fingerprint(query: &QueryGraph, data: &Hypergraph) -> Box<[(Signature, u64)]> {
+    let mut sigs: Vec<&Signature> = (0..query.num_edges()).map(|e| query.signature(e)).collect();
+    sigs.sort_unstable();
+    sigs.dedup();
+    sigs.into_iter()
+        .map(|sig| (sig.clone(), data.cardinality(sig) as u64))
+        .collect()
 }
 
 #[derive(Debug, Default)]
@@ -89,6 +136,7 @@ pub(crate) struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidated: AtomicU64,
+    replanned: AtomicU64,
 }
 
 impl PlanCache {
@@ -101,6 +149,7 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
+            replanned: AtomicU64::new(0),
         }
     }
 
@@ -137,11 +186,12 @@ impl PlanCache {
             }
         }
 
-        // Plan outside the lock: Algorithm 3 is cheap but not free, and
+        // Plan outside the lock: planning is cheap but not free, and
         // submissions should not serialise behind each other's planning.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let q = QueryGraph::new(query)?;
         let plan = Arc::new(Planner::plan(&q, data)?);
+        let sig_cards = fingerprint(&q, data);
 
         let mut inner = self.inner.lock();
         inner.tick += 1;
@@ -158,10 +208,11 @@ impl PlanCache {
                 inner.map.remove(&victim);
             }
         }
-        let entry = inner.map.entry(key).or_insert(Entry {
+        let entry = inner.map.entry(key).or_insert_with(|| Entry {
             plan: Arc::clone(&plan),
             last_used: tick,
             epoch,
+            sig_cards: sig_cards.clone(),
         });
         if entry.epoch < epoch {
             // Overwrite a stale entry in place; never downgrade a fresher
@@ -170,16 +221,21 @@ impl PlanCache {
                 plan: Arc::clone(&plan),
                 last_used: tick,
                 epoch,
+                sig_cards,
             };
         }
         Ok((plan, false))
     }
 
-    /// Reconciles the cache with a newly published data epoch: entries
-    /// whose query labels intersect `touched_labels` (or every entry, when
-    /// `sids_stable` is false) are dropped; the survivors are re-tagged to
-    /// `epoch` — their cardinalities did not change, so their plans remain
-    /// optimal and their embedded partition ids remain valid.
+    /// Reconciles the cache with a newly published data epoch (`data` is
+    /// that epoch's snapshot). When `sids_stable` is false every entry is
+    /// dropped. Otherwise entries whose query labels are disjoint from
+    /// `touched_labels` re-tag to `epoch` unchanged (no cardinality they
+    /// depend on moved); label-touched entries re-tag while their
+    /// cardinality drift since *plan time* stays within `replan_drift`,
+    /// and are dropped — counted in `plans_replanned` — once it exceeds it
+    /// (so the next submission of the shape plans afresh against the new
+    /// statistics).
     ///
     /// Only entries at the epoch being superseded (`epoch - 1`) are
     /// eligible to survive: an entry lagging further behind was inserted
@@ -187,24 +243,39 @@ impl PlanCache {
     /// outside the data lock) and never passed that update's invalidation,
     /// so its plan may embed re-numbered partition ids even though its
     /// labels are disjoint from *this* update's.
-    pub(crate) fn revalidate(&self, epoch: u64, touched_labels: &[Label], sids_stable: bool) {
+    pub(crate) fn revalidate(
+        &self,
+        epoch: u64,
+        touched_labels: &[Label],
+        sids_stable: bool,
+        data: &Hypergraph,
+        replan_drift: f64,
+    ) {
         let mut inner = self.inner.lock();
         let before = inner.map.len();
+        let mut replanned = 0u64;
         if sids_stable {
             inner.map.retain(|key, entry| {
-                let keep = entry.epoch + 1 == epoch
-                    && !key.labels.iter().any(|l| touched_labels.contains(l));
-                if keep {
-                    entry.epoch = epoch;
+                if entry.epoch + 1 != epoch {
+                    return false; // skipped an epoch's sweep — see above
                 }
-                keep
+                let touched = key.labels.iter().any(|l| touched_labels.contains(l));
+                if touched && entry.drift(data) > replan_drift {
+                    replanned += 1;
+                    return false;
+                }
+                entry.epoch = epoch;
+                true
             });
         } else {
             inner.map.clear();
         }
         let dropped = (before - inner.map.len()) as u64;
         drop(inner);
+        // `plans_invalidated` counts every drop; `plans_replanned` the
+        // drift-driven subset.
         self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        self.replanned.fetch_add(replanned, Ordering::Relaxed);
     }
 
     /// Cache hits so far.
@@ -220,6 +291,12 @@ impl PlanCache {
     /// Entries dropped by [`PlanCache::revalidate`] so far.
     pub(crate) fn invalidated(&self) -> u64 {
         self.invalidated.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped because their stats drifted past the replan
+    /// threshold (a subset of [`PlanCache::invalidated`]).
+    pub(crate) fn replanned(&self) -> u64 {
+        self.replanned.load(Ordering::Relaxed)
     }
 
     /// Plans currently cached.
@@ -328,20 +405,76 @@ mod tests {
         assert_eq!(cache.len(), 1);
     }
 
+    /// `tiny_data` with `extra` additional {A,B} edges (drifts the {0,1}
+    /// signature's cardinality from 2 to `2 + extra`).
+    fn drifted_data(extra: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for &l in &[0u32, 1, 0, 1] {
+            b.add_vertex(Label::new(l));
+        }
+        b.add_edge(vec![0, 1]).unwrap();
+        b.add_edge(vec![2, 3]).unwrap();
+        for _ in 0..extra {
+            let a = b.add_vertex(Label::new(0)).raw();
+            let c = b.add_vertex(Label::new(1)).raw();
+            b.add_edge(vec![a, c]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
     #[test]
-    fn revalidate_drops_touched_and_keeps_disjoint() {
+    fn revalidate_keeps_touched_entries_within_drift() {
         let data = tiny_data();
         let cache = PlanCache::new(8);
-        cache.plan_for(&ab_query(1), &data, 0).unwrap(); // labels {0,1}
-        cache.plan_for(&ab_query(2), &data, 0).unwrap(); // labels {0,2}
-                                                         // Label 2 touched: only the {0,2} query drops; {0,1} re-tags.
-        cache.revalidate(1, &[Label::new(2)], true);
-        assert_eq!(cache.len(), 1);
-        assert_eq!(cache.invalidated(), 1);
-        let (_, hit) = cache.plan_for(&ab_query(1), &data, 1).unwrap();
-        assert!(hit, "label-disjoint entry survives at the new epoch");
-        let (_, hit) = cache.plan_for(&ab_query(2), &data, 1).unwrap();
-        assert!(!hit, "touched entry was dropped");
+        cache.plan_for(&ab_query(1), &data, 0).unwrap(); // {0,1}: card 2
+                                                         // Label 0 touched, but cardinality moved 2 → 3 (drift 0.5 ≤ 0.5):
+                                                         // the plan stays near-optimal and is re-tagged, not re-planned.
+        let drifted = drifted_data(1);
+        cache.revalidate(1, &[Label::new(0)], true, &drifted, 0.5);
+        assert_eq!(
+            (cache.len(), cache.invalidated(), cache.replanned()),
+            (1, 0, 0)
+        );
+        let (_, hit) = cache.plan_for(&ab_query(1), &drifted, 1).unwrap();
+        assert!(hit, "below-threshold drift keeps the entry");
+    }
+
+    #[test]
+    fn revalidate_replans_entries_past_drift_threshold() {
+        let data = tiny_data();
+        let cache = PlanCache::new(8);
+        cache.plan_for(&ab_query(1), &data, 0).unwrap(); // {0,1}: card 2
+        cache.plan_for(&ab_query(2), &data, 0).unwrap(); // labels {0,2}: card 0
+                                                         // Cardinality 2 → 6 is drift 2.0 > 0.5: dropped and counted as a
+                                                         // replan. The {0,2} entry's signature stayed at 0 (drift 0) but
+                                                         // its labels were touched too — label 0 — so it is drift-checked
+                                                         // and kept.
+        let drifted = drifted_data(4);
+        cache.revalidate(1, &[Label::new(0), Label::new(1)], true, &drifted, 0.5);
+        assert_eq!(
+            (cache.len(), cache.invalidated(), cache.replanned()),
+            (1, 1, 1)
+        );
+        let (_, hit) = cache.plan_for(&ab_query(1), &drifted, 1).unwrap();
+        assert!(!hit, "drifted entry was dropped");
+        let (_, hit) = cache.plan_for(&ab_query(2), &drifted, 1).unwrap();
+        assert!(hit, "undrifted entry survived");
+    }
+
+    #[test]
+    fn signature_extinction_or_birth_is_infinite_drift() {
+        let data = drifted_data(0);
+        let cache = PlanCache::new(8);
+        cache.plan_for(&ab_query(1), &data, 0).unwrap(); // {0,1}: card 2
+                                                         // New data where the {0,1} signature is extinct: the plan may
+                                                         // embed a dangling partition id, so even a huge threshold drops
+                                                         // it.
+        let mut b = HypergraphBuilder::new();
+        b.add_vertices(2, Label::new(0));
+        b.add_edge(vec![0, 1]).unwrap();
+        let extinct = b.build().unwrap();
+        cache.revalidate(1, &[Label::new(0), Label::new(1)], true, &extinct, 1e12);
+        assert_eq!((cache.len(), cache.replanned()), (0, 1));
     }
 
     #[test]
@@ -353,12 +486,13 @@ mod tests {
         cache.plan_for(&ab_query(1), &data, 0).unwrap();
         // …must not be promoted by a later label-disjoint update: it is
         // dropped even though no touched label matches.
-        cache.revalidate(2, &[Label::new(9)], true);
+        cache.revalidate(2, &[Label::new(9)], true, &data, 0.5);
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.invalidated(), 1);
+        assert_eq!(cache.replanned(), 0, "an epoch skip is not a replan");
         // The normal chain (entry at the superseded epoch) still carries.
         cache.plan_for(&ab_query(1), &data, 2).unwrap();
-        cache.revalidate(3, &[Label::new(9)], true);
+        cache.revalidate(3, &[Label::new(9)], true, &data, 0.5);
         let (_, hit) = cache.plan_for(&ab_query(1), &data, 3).unwrap();
         assert!(hit, "contiguous-epoch entry survives");
     }
@@ -369,8 +503,9 @@ mod tests {
         let cache = PlanCache::new(8);
         cache.plan_for(&ab_query(1), &data, 0).unwrap();
         cache.plan_for(&ab_query(2), &data, 0).unwrap();
-        cache.revalidate(1, &[], false);
+        cache.revalidate(1, &[], false, &data, 0.5);
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.invalidated(), 2);
+        assert_eq!(cache.replanned(), 0);
     }
 }

@@ -109,6 +109,12 @@ pub struct ServeConfig {
     pub fairness_quantum: u32,
     /// Plans kept in the LRU plan cache (0 disables caching).
     pub plan_cache_capacity: usize,
+    /// Relative cardinality drift (vs. plan time) past which a cached plan
+    /// whose labels an update touched is dropped and the shape re-planned
+    /// on its next submission (DESIGN.md §13.4). Below the threshold the
+    /// entry carries over — its partition ids are still valid and its
+    /// order still near-optimal. Default: `HGMATCH_REPLAN_DRIFT` or 0.5.
+    pub replan_drift: f64,
     /// Timeout applied to queries that do not set their own.
     pub default_timeout: Option<Duration>,
     /// Execution knobs shared by all queries (scan chunking, work
@@ -125,6 +131,7 @@ impl Default for ServeConfig {
             threads: 4,
             fairness_quantum: 64,
             plan_cache_capacity: 128,
+            replan_drift: crate::config::default_replan_drift(),
             default_timeout: None,
             match_config: MatchConfig::default(),
         }
@@ -153,6 +160,13 @@ impl ServeConfig {
     /// Sets the fairness quantum, builder style.
     pub fn with_fairness_quantum(mut self, quantum: u32) -> Self {
         self.fairness_quantum = quantum.max(1);
+        self
+    }
+
+    /// Sets the replan drift threshold, builder style (negative clamps
+    /// to 0: re-plan on any cardinality change of a touched label).
+    pub fn with_replan_drift(mut self, drift: f64) -> Self {
+        self.replan_drift = drift.max(0.0);
         self
     }
 }
@@ -332,6 +346,11 @@ pub struct ServeStats {
     /// Plan-cache entries dropped by data updates
     /// ([`MatchServer::update_data`]).
     pub plans_invalidated: u64,
+    /// Plan-cache entries dropped because their cardinality statistics
+    /// drifted past [`ServeConfig::replan_drift`] — the affected query
+    /// shapes re-plan against the new statistics on their next submission
+    /// (a subset of [`ServeStats::plans_invalidated`]).
+    pub plans_replanned: u64,
     /// Epoch of the currently published data snapshot.
     pub data_epoch: u64,
 }
@@ -376,6 +395,7 @@ pub(crate) struct CurrentData {
 pub(crate) struct ServeShared {
     pub(crate) data: Mutex<CurrentData>,
     pub(crate) config: MatchConfig,
+    pub(crate) replan_drift: f64,
     pub(crate) fairness_quantum: u32,
     /// Admitted, unfinished queries (seed-slot scan order = admission
     /// order; finalisation removes entries).
@@ -453,6 +473,7 @@ impl MatchServer {
                 epoch: 0,
             }),
             config: match_config,
+            replan_drift: config.replan_drift.max(0.0),
             fairness_quantum: config.fairness_quantum.max(1),
             queries: Mutex::new(Vec::new()),
             stealers,
@@ -579,9 +600,13 @@ impl MatchServer {
         *current = CurrentData { graph: data, epoch };
         // Revalidate under the data lock so no submission can race a plan
         // of the new epoch past an unswept cache.
-        self.shared
-            .cache
-            .revalidate(epoch, touched_labels, sids_stable);
+        self.shared.cache.revalidate(
+            epoch,
+            touched_labels,
+            sids_stable,
+            &current.graph,
+            self.shared.replan_drift,
+        );
         epoch
     }
 
@@ -604,6 +629,7 @@ impl MatchServer {
             plan_cache_misses: self.shared.cache.misses(),
             plan_cache_size: self.shared.cache.len(),
             plans_invalidated: self.shared.cache.invalidated(),
+            plans_replanned: self.shared.cache.replanned(),
             data_epoch: self.shared.data.lock().epoch,
         }
     }

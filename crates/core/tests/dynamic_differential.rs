@@ -263,8 +263,10 @@ fn plan_cache_invalidation_keeps_answers_fresh() {
     assert_eq!(bb_after.count, 3);
     assert!(server.stats().plans_invalidated >= 2);
 
-    // Now touch only label 1: the {A,A} plan (labels {0}) survives the
-    // epoch, observable as a plan-cache hit at the new epoch.
+    // Now touch only label 1 with a *small* drift (card 3 → 4, below the
+    // default 0.5 replan threshold): both plans survive the epoch — the
+    // {A,A} plan because its labels are disjoint, the {B,B} plan because
+    // its cardinalities barely moved (DESIGN.md §13.4).
     dynamic.insert_hyperedge(vec![6, 8]).unwrap();
     let delta = dynamic.snapshot();
     assert!(delta.sids_stable);
@@ -283,7 +285,28 @@ fn plan_cache_invalidation_keeps_answers_fresh() {
     );
     let bb_final = server.run(&bb, QueryOptions::count()).unwrap();
     assert_eq!(bb_final.count, 4);
-    assert!(!bb_final.plan_cached, "touched-label plan must re-plan");
+    assert!(
+        bb_final.plan_cached,
+        "below-threshold drift must keep the touched-label plan"
+    );
+    assert_eq!(server.stats().plans_replanned, 0);
+
+    // Push the {B,B} cardinality past the drift threshold (3 at plan time
+    // → 6, drift 1.0 > 0.5): the plan is dropped, counted as a replan, and
+    // the next submission plans afresh — with correct results.
+    dynamic.insert_hyperedge(vec![6, 10]).unwrap();
+    dynamic.insert_hyperedge(vec![7, 9]).unwrap();
+    let delta = dynamic.snapshot();
+    assert!(delta.sids_stable);
+    server.update_data(
+        Arc::clone(&delta.graph),
+        &delta.touched_labels,
+        delta.sids_stable,
+    );
+    let bb_drifted = server.run(&bb, QueryOptions::count()).unwrap();
+    assert_eq!(bb_drifted.count, 6);
+    assert!(!bb_drifted.plan_cached, "drifted plan must re-plan");
+    assert_eq!(server.stats().plans_replanned, 1);
 }
 
 /// Delta matching over generated streams: patching the old full result set

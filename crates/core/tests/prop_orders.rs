@@ -1,0 +1,182 @@
+//! Order-invariance differential harness (DESIGN.md §13.6): HGMatch's
+//! match-by-hyperedge semantics guarantee the embedding *multiset* of a
+//! query is independent of the matching order — any connected permutation
+//! explores the same search space. `Planner::plan_with_order` makes every
+//! order compilable, so this suite cross-checks, on random planted
+//! instances:
+//!
+//! * the greedy Algorithm 3 order ([`Planner::plan_greedy`]),
+//! * the cost-based order the production planner picks
+//!   ([`Planner::plan`], margin-gated search),
+//! * and ≥ 4 random valid connected orders,
+//!
+//! all × kernel modes {Auto, forced-scalar} × workers {1, 4}. Any
+//! divergence — a candidate-generation bug that only bites a particular
+//! anchor shape, a cost-model order that compiles wrong anchors, a
+//! scheduler race — fails the property.
+//!
+//! The CI `plan-stress` job replays this suite with
+//! `HGMATCH_PLAN_BEAM=2 HGMATCH_PLAN_EXHAUSTIVE=0`, forcing every
+//! cost-based plan through the tiny-width beam-search path.
+
+use std::sync::Mutex;
+
+use hgmatch_core::{CollectSink, Embedding, MatchConfig, Matcher, Plan, Planner, QueryGraph};
+use hgmatch_datasets::testgen::{random_arity_hypergraph, random_subquery, TestRng};
+use hgmatch_hypergraph::setops::{self, KernelMode};
+use hgmatch_hypergraph::Hypergraph;
+use proptest::prelude::*;
+
+/// Kernel mode is process-global: serialise mode-flipping tests.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_mode() -> std::sync::MutexGuard<'static, ()> {
+    MODE_LOCK.lock().unwrap_or_else(|poisoned| {
+        setops::set_kernel_mode(KernelMode::Auto);
+        poisoned.into_inner()
+    })
+}
+
+/// Draws a random *connected* order: a random start edge, then uniformly
+/// random connected extensions (any remaining edge once the connected
+/// frontier is empty — mirrors the planner's disconnected-query fallback).
+fn random_connected_order(query: &QueryGraph, rng: &mut TestRng) -> Vec<u32> {
+    let ne = query.num_edges();
+    let mut order = Vec::with_capacity(ne);
+    let mut mask = 0u64;
+    for step in 0..ne {
+        let candidates: Vec<u32> = (0..ne as u32)
+            .filter(|&e| {
+                mask & (1 << e) == 0 && (step == 0 || query.adjacent_edges(e as usize) & mask != 0)
+            })
+            .collect();
+        let pool: Vec<u32> = if candidates.is_empty() {
+            (0..ne as u32).filter(|&e| mask & (1 << e) == 0).collect()
+        } else {
+            candidates
+        };
+        let e = pool[rng.below(pool.len() as u64) as usize];
+        mask |= 1 << e;
+        order.push(e);
+    }
+    order
+}
+
+/// Runs `plan` and returns the sorted embedding list (the multiset:
+/// embeddings are distinct, so sorted-vector equality is multiset
+/// equality).
+fn run(plan: &Plan, data: &Hypergraph, threads: usize) -> Vec<Embedding> {
+    let matcher = Matcher::with_config(data, MatchConfig::parallel(threads));
+    let sink = CollectSink::new();
+    matcher.run_plan(plan, &sink);
+    sink.into_results()
+}
+
+/// The property: identical embedding multisets across all orders, kernel
+/// modes and worker counts.
+fn check_case(seed: u64, nv: usize, ne: usize, labels: u32, k: usize) -> Result<(), TestCaseError> {
+    let data = random_arity_hypergraph(seed, nv, ne, labels, 2, 4);
+    let Some(query) = random_subquery(&data, seed ^ 0xABCD, k) else {
+        return Ok(()); // dead-end walk: nothing to check
+    };
+    let q = QueryGraph::new(&query).expect("planted query is valid");
+
+    let mut plans: Vec<(String, Plan)> = vec![
+        (
+            "greedy".into(),
+            Planner::plan_greedy(&q, &data).expect("greedy plans"),
+        ),
+        (
+            "cost-based".into(),
+            Planner::plan(&q, &data).expect("cost-based plans"),
+        ),
+    ];
+    let mut rng = TestRng(seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
+    for i in 0..4 {
+        let order = random_connected_order(&q, &mut rng);
+        plans.push((
+            format!("random-{i} {order:?}"),
+            Planner::plan_with_order(&q, &data, order).expect("any permutation compiles"),
+        ));
+    }
+
+    let _guard = lock_mode();
+    let mut reference: Option<Vec<Embedding>> = None;
+    for mode in [KernelMode::Auto, KernelMode::ForceScalar] {
+        setops::set_kernel_mode(mode);
+        for threads in [1usize, 4] {
+            for (name, plan) in &plans {
+                let found = run(plan, &data, threads);
+                match &reference {
+                    None => reference = Some(found),
+                    Some(expected) => prop_assert_eq!(
+                        &found,
+                        expected,
+                        "embedding multiset diverged: order {} mode {:?} threads {}",
+                        name,
+                        mode,
+                        threads
+                    ),
+                }
+            }
+        }
+    }
+    setops::set_kernel_mode(KernelMode::Auto);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// 2-edge planted queries on mid-density instances.
+    #[test]
+    fn two_edge_queries_are_order_invariant(seed in 0u64..1u64 << 48) {
+        check_case(seed, 24, 50, 3, 2)?;
+    }
+
+    /// 3-edge planted queries (6 permutations; randoms cover beyond the
+    /// greedy/cost pair).
+    #[test]
+    fn three_edge_queries_are_order_invariant(seed in 0u64..1u64 << 48) {
+        check_case(seed, 20, 44, 2, 3)?;
+    }
+
+    /// 4-edge planted queries on denser label-poor instances (bigger
+    /// partitions, bitmap postings in Auto mode).
+    #[test]
+    fn four_edge_queries_are_order_invariant(seed in 0u64..1u64 << 48) {
+        check_case(seed, 16, 60, 2, 4)?;
+    }
+}
+
+/// The paper's Fig. 1 instance, exhaustively: all 6 orders of the 3-edge
+/// query produce the same two embeddings in both kernel modes.
+#[test]
+fn paper_example_all_orders() {
+    use hgmatch_datasets::testgen::{paper_data, paper_query};
+    let data = paper_data();
+    let query = paper_query();
+    let q = QueryGraph::new(&query).unwrap();
+    let _guard = lock_mode();
+    for mode in [KernelMode::Auto, KernelMode::ForceScalar] {
+        setops::set_kernel_mode(mode);
+        for order in [
+            [0u32, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ] {
+            let plan = Planner::plan_with_order(&q, &data, order.to_vec()).unwrap();
+            for threads in [1usize, 4] {
+                assert_eq!(
+                    run(&plan, &data, threads).len(),
+                    2,
+                    "order {order:?} mode {mode:?} threads {threads}"
+                );
+            }
+        }
+    }
+    setops::set_kernel_mode(KernelMode::Auto);
+}

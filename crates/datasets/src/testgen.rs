@@ -207,6 +207,29 @@ pub fn rebuild_oracle(graph: &Hypergraph) -> Hypergraph {
     b.build().expect("rebuild")
 }
 
+/// Deterministic splitmix64 stream for deriving op sequences and random
+/// orders from a test-chosen seed — the shared RNG of the differential
+/// suites (`prop_dynamic`, `prop_stats`, `prop_orders`), which want
+/// reproducibility from a single `u64` without threading a full RNG
+/// through.
+pub struct TestRng(pub u64);
+
+impl TestRng {
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
 /// Worker-thread count for concurrency suites: `HGMATCH_WORKERS` when set
 /// (the CI test matrix pins it to 1 and 4), else `default`.
 pub fn env_workers(default: usize) -> usize {

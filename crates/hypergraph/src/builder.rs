@@ -156,6 +156,7 @@ impl HypergraphBuilder {
                     arity,
                     rows,
                     ids,
+                    &labels,
                 ))
             })
             .collect();

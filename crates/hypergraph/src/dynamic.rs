@@ -43,6 +43,7 @@ use crate::ids::{EdgeId, Label, SignatureId, VertexId};
 use crate::inverted::{key_is_dense, InvertedIndex};
 use crate::partition::Partition;
 use crate::signature::{Signature, SignatureInterner};
+use crate::stats::{degree_bucket, LabelCardinality, PartitionStats, DEGREE_HIST_BUCKETS};
 
 /// Tombstones needed before a partition compacts mid-stream (snapshots
 /// always compact). Small partitions compact eagerly; large ones amortise.
@@ -208,7 +209,8 @@ struct DynIndex {
 impl DynIndex {
     /// Links appended `row` to `v`. Rows only grow, so the push keeps the
     /// list sorted; a dense key's bitmap grows its domain along the way.
-    fn insert(&mut self, v: u32, row: u32, row_space: usize) {
+    /// Returns the posting length after the insert.
+    fn insert(&mut self, v: u32, row: u32, row_space: usize) -> usize {
         let cell = self.cells.entry(v).or_default();
         debug_assert!(cell.list.last().is_none_or(|&r| r < row));
         cell.list.push(row);
@@ -217,20 +219,23 @@ impl DynIndex {
             bits.insert(row);
         }
         cell.sync_repr(row_space);
+        cell.list.len()
     }
 
     /// Unlinks `row` from `v` (tombstoned row leaves the posting set).
-    fn remove(&mut self, v: u32, row: u32, row_space: usize) {
+    /// Returns the posting length after the removal.
+    fn remove(&mut self, v: u32, row: u32, row_space: usize) -> usize {
         let Some(cell) = self.cells.get_mut(&v) else {
             debug_assert!(false, "removing a row from an unindexed vertex");
-            return;
+            return 0;
         };
         if let Ok(i) = cell.list.binary_search(&row) {
             cell.list.remove(i);
         }
+        let remaining = cell.list.len();
         if cell.list.is_empty() {
             self.cells.remove(&v);
-            return;
+            return remaining;
         }
         if let Some(bits) = &mut cell.bits {
             if row < bits.domain() {
@@ -238,6 +243,7 @@ impl DynIndex {
             }
         }
         cell.sync_repr(row_space);
+        remaining
     }
 
     /// Applies an order-preserving row renumbering after compaction and
@@ -254,8 +260,75 @@ impl DynIndex {
     }
 }
 
+/// Incrementally maintained per-label degree summaries of one partition —
+/// the mutable counterpart of [`PartitionStats`] (DESIGN.md §13). Every
+/// posting edit reports a vertex-degree transition `old → new` here; the
+/// bookkeeping is exact integer arithmetic, so the emitted stats are
+/// bit-equal to [`PartitionStats::recompute`] over the same live state
+/// (asserted by `prop_stats.rs` and, via `Partition` equality, by every
+/// snapshot-vs-rebuild differential).
+#[derive(Debug, Default)]
+struct StatsAcc {
+    groups: FxHashMap<Label, LabelAcc>,
+}
+
+#[derive(Debug, Default)]
+struct LabelAcc {
+    distinct: u64,
+    incidences: u64,
+    sum_sq: u64,
+    hist: [u64; DEGREE_HIST_BUCKETS],
+}
+
+impl StatsAcc {
+    /// Records that a vertex of `label` moved from within-partition degree
+    /// `old` to `new` (the two differ by exactly one posting).
+    fn on_degree_change(&mut self, label: Label, old: u64, new: u64) {
+        debug_assert_eq!(old.abs_diff(new), 1, "posting edits move degrees by one");
+        let group = self.groups.entry(label).or_default();
+        if old > 0 {
+            group.hist[degree_bucket(old)] -= 1;
+        } else {
+            group.distinct += 1;
+        }
+        if new > 0 {
+            group.hist[degree_bucket(new)] += 1;
+        } else {
+            group.distinct -= 1;
+        }
+        if new > old {
+            group.incidences += 1;
+        } else {
+            group.incidences -= 1;
+        }
+        group.sum_sq = group.sum_sq + new * new - old * old;
+        if group.distinct == 0 {
+            debug_assert_eq!(group.incidences, 0);
+            debug_assert_eq!(group.sum_sq, 0);
+            self.groups.remove(&label);
+        }
+    }
+
+    /// Emits the canonical (label-sorted) form a frozen partition carries.
+    fn to_stats(&self, rows: u64) -> PartitionStats {
+        let mut labels: Vec<LabelCardinality> = self
+            .groups
+            .iter()
+            .map(|(&label, acc)| LabelCardinality {
+                label,
+                distinct_vertices: acc.distinct,
+                incidences: acc.incidences,
+                sum_sq_degrees: acc.sum_sq,
+                degree_hist: acc.hist,
+            })
+            .collect();
+        labels.sort_unstable_by_key(|g| g.label);
+        PartitionStats { rows, labels }
+    }
+}
+
 /// One mutable signature partition: tombstoned row storage plus the
-/// incrementally maintained [`DynIndex`].
+/// incrementally maintained [`DynIndex`] and [`StatsAcc`].
 #[derive(Debug)]
 struct DynPartition {
     arity: u32,
@@ -266,6 +339,7 @@ struct DynPartition {
     live: Vec<bool>,
     dead: usize,
     index: DynIndex,
+    stats: StatsAcc,
     /// Mutated since the last snapshot freeze (clears partition reuse).
     dirty: bool,
 }
@@ -279,6 +353,7 @@ impl DynPartition {
             live: Vec::new(),
             dead: 0,
             index: DynIndex::default(),
+            stats: StatsAcc::default(),
             dirty: true,
         }
     }
@@ -295,22 +370,25 @@ impl DynPartition {
         self.global.last().copied()
     }
 
-    /// Appends a live row, linking it into the index. Returns the row id.
-    fn insert_row(&mut self, vs: &[u32], gid: u32) -> u32 {
+    /// Appends a live row, linking it into the index and stats. Returns
+    /// the row id.
+    fn insert_row(&mut self, vs: &[u32], gid: u32, labels: &[Label]) -> u32 {
         let row = self.global.len() as u32;
         self.vertices.extend_from_slice(vs);
         self.global.push(gid);
         self.live.push(true);
         let row_space = self.global.len();
         for &v in vs {
-            self.index.insert(v, row, row_space);
+            let new_degree = self.index.insert(v, row, row_space) as u64;
+            self.stats
+                .on_degree_change(labels[v as usize], new_degree - 1, new_degree);
         }
         self.dirty = true;
         row
     }
 
-    /// Tombstones a row and removes it from the posting sets.
-    fn delete_row(&mut self, row: u32) {
+    /// Tombstones a row and removes it from the posting sets and stats.
+    fn delete_row(&mut self, row: u32, labels: &[Label]) {
         debug_assert!(self.live[row as usize], "double delete");
         self.live[row as usize] = false;
         self.dead += 1;
@@ -319,7 +397,9 @@ impl DynPartition {
         let row_space = self.global.len();
         for i in 0..a {
             let v = self.vertices[row as usize * a + i];
-            self.index.remove(v, row, row_space);
+            let new_degree = self.index.remove(v, row, row_space) as u64;
+            self.stats
+                .on_degree_change(labels[v as usize], new_degree + 1, new_degree);
         }
     }
 
@@ -381,6 +461,9 @@ impl DynPartition {
             self.vertices.clone(),
             global_ids,
             index,
+            // Compacted: every remaining row is live, and the maintained
+            // summaries are exactly what a recompute would produce.
+            self.stats.to_stats(self.rows_total() as u64),
         )
     }
 }
@@ -530,7 +613,7 @@ impl DynamicHypergraph {
         }
 
         let gid = u32::try_from(self.locator.len()).expect("edge-id overflow");
-        let row = self.parts[sid.index()].insert_row(&vertices, gid);
+        let row = self.parts[sid.index()].insert_row(&vertices, gid, &self.labels);
         self.locator.push(Some(EdgeLocation {
             signature: sid,
             row,
@@ -561,7 +644,7 @@ impl DynamicHypergraph {
                 .copied(),
         );
         let part = &mut self.parts[loc.signature.index()];
-        part.delete_row(loc.row);
+        part.delete_row(loc.row, &self.labels);
         self.live_edges -= 1;
         self.epoch += 1;
         self.min_deleted_gid = Some(self.min_deleted_gid.map_or(gid, |m| m.min(gid)));

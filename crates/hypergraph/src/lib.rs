@@ -47,4 +47,4 @@ pub use ids::{EdgeId, Label, SignatureId, VertexId};
 pub use inverted::{InvertedIndex, Posting};
 pub use partition::Partition;
 pub use signature::{Signature, SignatureInterner};
-pub use stats::HypergraphStats;
+pub use stats::{HypergraphStats, LabelCardinality, PartitionStats};

@@ -7,8 +7,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::ids::{EdgeId, SignatureId};
+use crate::ids::{EdgeId, Label, SignatureId};
 use crate::inverted::InvertedIndex;
+use crate::stats::PartitionStats;
 
 /// One hyperedge table: every hyperedge in it has the same signature.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,11 +24,16 @@ pub struct Partition {
     global_ids: Vec<EdgeId>,
     /// vertex → sorted local rows.
     index: InvertedIndex,
+    /// Cardinality summaries for the cost-based planner (DESIGN.md §13).
+    /// Covered by `PartialEq`, so the dynamic snapshot-vs-rebuild oracle
+    /// also proves the incremental stats maintenance.
+    stats: PartitionStats,
 }
 
 impl Partition {
     /// Assembles a partition from rows of sorted vertex lists and their
-    /// global ids, building the inverted index.
+    /// global ids, building the inverted index and computing the planner's
+    /// cardinality summaries from `labels` (the graph's vertex labels).
     ///
     /// # Panics
     /// Panics if any row's length differs from `arity`, or if row vertex
@@ -37,6 +43,7 @@ impl Partition {
         arity: u32,
         rows: Vec<Vec<u32>>,
         global_ids: Vec<EdgeId>,
+        labels: &[Label],
     ) -> Self {
         assert_eq!(
             rows.len(),
@@ -54,24 +61,28 @@ impl Partition {
         }
         let row_slices: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
         let index = InvertedIndex::build(&row_slices);
-        Self {
+        let mut partition = Self {
             signature,
             arity,
             vertices,
             global_ids,
             index,
-        }
+            stats: PartitionStats::default(),
+        };
+        partition.stats = PartitionStats::recompute(&partition, labels);
+        partition
     }
 
-    /// Assembles a partition from already-flattened parts and a prebuilt
-    /// index — the dynamic snapshot's freeze path ([`crate::dynamic`]),
-    /// which maintains the index incrementally and must not rebuild it.
+    /// Assembles a partition from already-flattened parts, a prebuilt
+    /// index and incrementally maintained stats — the dynamic snapshot's
+    /// freeze path ([`crate::dynamic`]), which must not rebuild either.
     pub(crate) fn from_parts(
         signature: SignatureId,
         arity: u32,
         vertices: Vec<u32>,
         global_ids: Vec<EdgeId>,
         index: InvertedIndex,
+        stats: PartitionStats,
     ) -> Self {
         debug_assert_eq!(vertices.len(), global_ids.len() * arity as usize);
         Self {
@@ -80,6 +91,7 @@ impl Partition {
             vertices,
             global_ids,
             index,
+            stats,
         }
     }
 
@@ -133,6 +145,13 @@ impl Partition {
         &self.index
     }
 
+    /// The planner's cardinality summaries for this partition
+    /// ([`PartitionStats`], DESIGN.md §13).
+    #[inline]
+    pub fn stats(&self) -> &PartitionStats {
+        &self.stats
+    }
+
     /// Posting list of local rows incident to `vertex` — `he(v, s)` for this
     /// partition's signature `s`.
     #[inline]
@@ -169,6 +188,11 @@ impl Partition {
 mod tests {
     use super::*;
 
+    /// Labels of the paper's Fig. 1b data graph (A=0, B=1, C=2).
+    fn sample_labels() -> Vec<Label> {
+        [0u32, 2, 0, 0, 1, 2, 0].map(Label::new).to_vec()
+    }
+
     fn sample() -> Partition {
         // Partition 3 of the paper's Table I: signature {A,A,B,C};
         // e5 = {v0,v1,v4,v6}, e6 = {v2,v3,v4,v5}.
@@ -177,6 +201,7 @@ mod tests {
             4,
             vec![vec![0, 1, 4, 6], vec![2, 3, 4, 5]],
             vec![EdgeId::new(4), EdgeId::new(5)],
+            &sample_labels(),
         )
     }
 
@@ -223,12 +248,49 @@ mod tests {
             3,
             vec![vec![0, 1]],
             vec![EdgeId::new(0)],
+            &sample_labels(),
         );
     }
 
     #[test]
     #[should_panic(expected = "rows and global ids")]
     fn misaligned_ids_panic() {
-        let _ = Partition::new(SignatureId::new(0), 1, vec![vec![0]], vec![]);
+        let _ = Partition::new(
+            SignatureId::new(0),
+            1,
+            vec![vec![0]],
+            vec![],
+            &sample_labels(),
+        );
+    }
+
+    #[test]
+    fn stats_summarise_labels_and_degrees() {
+        use crate::stats::DEGREE_HIST_BUCKETS;
+        let p = sample();
+        let s = p.stats();
+        assert_eq!(s.rows, 2);
+        // Labels present: A (v0..v3, v6 subset), B (v4), C (v1, v5).
+        let labels: Vec<u32> = s.labels.iter().map(|g| g.label.raw()).collect();
+        assert_eq!(labels, vec![0, 1, 2]);
+        // A: v0, v1? no — v1 is C. A-vertices here: v0, v2, v3, v6, each in
+        // one row — 4 distinct, 4 incidences, all in bucket 0.
+        let a = s.label_group(Label::new(0)).unwrap();
+        assert_eq!((a.distinct_vertices, a.incidences), (4, 4));
+        assert_eq!(a.degree_hist[0], 4);
+        // B: v4 in both rows — degree 2, bucket 1.
+        let b = s.label_group(Label::new(1)).unwrap();
+        assert_eq!((b.distinct_vertices, b.incidences), (1, 2));
+        assert_eq!(b.degree_hist[1], 1);
+        assert!((b.avg_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(b.max_degree_bound(), 3);
+        // Absent label has no group.
+        assert!(s.label_group(Label::new(9)).is_none());
+        // Equality with the recompute oracle is definitional here.
+        assert_eq!(
+            *s,
+            crate::stats::PartitionStats::recompute(&p, &sample_labels())
+        );
+        let _ = DEGREE_HIST_BUCKETS;
     }
 }

@@ -1,8 +1,166 @@
-//! Summary statistics — the columns of the paper's Table II.
+//! Summary statistics: the dataset columns of the paper's Table II, plus
+//! the per-partition cardinality summaries the cost-based planner feeds on
+//! (DESIGN.md §13).
+//!
+//! [`PartitionStats`] describes one signature partition: its row count and,
+//! per vertex label of the signature, how many distinct data vertices of
+//! that label occur in the partition and how their within-partition degrees
+//! distribute (total incidences plus a log2-bucketed histogram). The
+//! planner's cost model turns these into per-anchor selectivities — the
+//! expected fraction of partition rows incident to a random matched vertex
+//! of a given label.
+//!
+//! The summaries are **exact integer counts**, computed two ways that must
+//! agree bit-for-bit:
+//!
+//! * the offline build recomputes them from the finished inverted index
+//!   ([`PartitionStats::recompute`], used by [`crate::partition::Partition::new`]);
+//! * the dynamic writer ([`crate::dynamic`]) maintains them incrementally —
+//!   O(1) per posting edit — and snapshots emit the maintained values
+//!   without recomputation.
+//!
+//! `Partition` equality covers its stats, so the dynamic differential
+//! oracle (snapshot == rebuild-from-scratch) also proves the incremental
+//! maintenance correct; `prop_stats.rs` asserts it directly.
 
 use serde::{Deserialize, Serialize};
 
 use crate::hypergraph::Hypergraph;
+use crate::ids::Label;
+use crate::partition::Partition;
+
+/// Buckets of the per-label degree histogram: bucket `i` counts vertices
+/// whose within-partition degree `d` has `⌊log2 d⌋ = i` (the last bucket
+/// absorbs everything larger).
+pub const DEGREE_HIST_BUCKETS: usize = 16;
+
+/// Histogram bucket of a within-partition degree (`d ≥ 1`).
+#[inline]
+pub fn degree_bucket(degree: u64) -> usize {
+    debug_assert!(degree >= 1, "vertices with zero postings are not counted");
+    ((63 - degree.leading_zeros()) as usize).min(DEGREE_HIST_BUCKETS - 1)
+}
+
+/// Cardinality summary of one vertex label within one signature partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelCardinality {
+    /// The vertex label this group describes.
+    pub label: Label,
+    /// Distinct data vertices of this label occurring in the partition.
+    pub distinct_vertices: u64,
+    /// Total posting entries over those vertices — `Σ_v |he(v, s)|`.
+    pub incidences: u64,
+    /// Sum of squared within-partition degrees — `Σ_v |he(v, s)|²`. The
+    /// second moment turns the plain mean into the *size-biased* mean the
+    /// cost model needs: a vertex reached through a matched hyperedge is
+    /// drawn proportionally to its degree, so its expected posting length
+    /// is `Σd² / Σd`, not `Σd / n`.
+    pub sum_sq_degrees: u64,
+    /// log2-bucketed histogram of within-partition vertex degrees
+    /// (see [`degree_bucket`]).
+    pub degree_hist: [u64; DEGREE_HIST_BUCKETS],
+}
+
+impl LabelCardinality {
+    /// Mean within-partition degree of this label's vertices — the cost
+    /// model's expected posting length for an anchor of this label.
+    #[inline]
+    pub fn avg_degree(&self) -> f64 {
+        if self.distinct_vertices == 0 {
+            return 0.0;
+        }
+        self.incidences as f64 / self.distinct_vertices as f64
+    }
+
+    /// Expected posting length of a vertex of this label *reached through
+    /// an incident hyperedge* (size-biased mean, `Σd²/Σd`). Hub-skewed
+    /// labels have a much larger size-biased mean than plain mean — the
+    /// signal the planner uses to avoid expanding through hubs.
+    #[inline]
+    pub fn size_biased_degree(&self) -> f64 {
+        if self.incidences == 0 {
+            return 0.0;
+        }
+        self.sum_sq_degrees as f64 / self.incidences as f64
+    }
+
+    /// Upper bound of the heaviest non-empty histogram bucket — a cheap
+    /// stand-in for the maximum degree (exact max is not maintainable in
+    /// O(1) under deletions).
+    pub fn max_degree_bound(&self) -> u64 {
+        for (i, &count) in self.degree_hist.iter().enumerate().rev() {
+            if count > 0 {
+                return if i == DEGREE_HIST_BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    (2u64 << i) - 1
+                };
+            }
+        }
+        0
+    }
+}
+
+/// Cardinality summary of one signature partition: the row count that
+/// Algorithm 3 already used, extended with the per-label degree summaries
+/// the cost model needs. Label groups are sorted by label and only cover
+/// labels with at least one incidence.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Number of hyperedge rows (`Card(s, H)`).
+    pub rows: u64,
+    /// Per-label summaries, ascending by label.
+    pub labels: Vec<LabelCardinality>,
+}
+
+impl PartitionStats {
+    /// The summary for `label`, if any vertex of that label occurs.
+    pub fn label_group(&self, label: Label) -> Option<&LabelCardinality> {
+        self.labels
+            .binary_search_by_key(&label, |g| g.label)
+            .ok()
+            .map(|i| &self.labels[i])
+    }
+
+    /// Recomputes the summary from a finished partition and the graph's
+    /// vertex labels — the from-scratch oracle the incremental maintenance
+    /// in [`crate::dynamic`] must agree with bit-for-bit.
+    pub fn recompute(partition: &Partition, labels: &[Label]) -> Self {
+        let mut groups: Vec<(Label, LabelCardinality)> = Vec::new();
+        for (v, postings) in partition.index().iter() {
+            debug_assert!(!postings.is_empty(), "index keys carry postings");
+            let label = labels[v as usize];
+            let entry = match groups.binary_search_by_key(&label, |(l, _)| *l) {
+                Ok(i) => &mut groups[i].1,
+                Err(i) => {
+                    groups.insert(
+                        i,
+                        (
+                            label,
+                            LabelCardinality {
+                                label,
+                                distinct_vertices: 0,
+                                incidences: 0,
+                                sum_sq_degrees: 0,
+                                degree_hist: [0; DEGREE_HIST_BUCKETS],
+                            },
+                        ),
+                    );
+                    &mut groups[i].1
+                }
+            };
+            let degree = postings.len() as u64;
+            entry.distinct_vertices += 1;
+            entry.incidences += degree;
+            entry.sum_sq_degrees += degree * degree;
+            entry.degree_hist[degree_bucket(degree)] += 1;
+        }
+        Self {
+            rows: partition.len() as u64,
+            labels: groups.into_iter().map(|(_, g)| g).collect(),
+        }
+    }
+}
 
 /// Dataset statistics matching the paper's Table II, plus the index/table
 /// sizes reported in Fig. 7.

@@ -9,26 +9,9 @@
 //! the core-level matching differentials, so a representation bug that only
 //! bites one kernel family still fails the PR.
 
+use hgmatch_datasets::testgen::TestRng;
 use hgmatch_hypergraph::{DynamicHypergraph, Hypergraph, HypergraphBuilder, Label};
 use proptest::prelude::*;
-
-/// A deterministic splitmix-style stream for deriving op sequences from a
-/// proptest-chosen seed.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, bound: u64) -> u64 {
-        self.next() % bound
-    }
-}
 
 /// The reference model: vertex labels plus live edges in (re-)insertion
 /// order — exactly what a fresh build would consume.
@@ -54,7 +37,7 @@ impl Model {
 /// probability ~1/4 per op, and checks every snapshot (and the final one)
 /// against the rebuild oracle.
 fn run_case(seed: u64, nv: usize, nl: u64, ops: usize) -> Result<(), TestCaseError> {
-    let mut rng = Rng(seed);
+    let mut rng = TestRng(seed);
     let mut model = Model {
         labels: (0..nv).map(|_| Label::new(rng.below(nl) as u32)).collect(),
         live: Vec::new(),
