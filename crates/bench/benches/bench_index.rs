@@ -37,7 +37,7 @@ fn bench_incident_lookup(c: &mut Criterion) {
         b.iter(|| {
             let mut total = 0usize;
             for v in 0..h.num_vertices() as u32 {
-                total += partition.incident_rows(black_box(v)).len();
+                total += partition.incident_posting(black_box(v)).len();
             }
             black_box(total)
         });

@@ -5,7 +5,10 @@
 //!
 //! * `generate <profile> <labels.txt> <edges.txt>` — emit a synthetic
 //!   dataset (Table II profile) in the text format.
-//! * `stats <labels.txt> <edges.txt>` — print Table II-style statistics.
+//! * `stats <labels.txt> <edges.txt> [--json]` — print Table II-style
+//!   statistics plus a per-partition index memory breakdown by posting
+//!   representation (list / bitmap / compressed, DESIGN.md §14);
+//!   `--json` emits the same data machine-readable.
 //! * `match <labels.txt> <edges.txt> <qlabels.txt> <qedges.txt>
 //!   [--threads N] [--timeout SECS] [--print [LIMIT]]` — count (and
 //!   optionally print) embeddings of one query.
@@ -45,7 +48,7 @@ use hgmatch_hypergraph::io;
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "usage:
   hgmatch generate <profile> <labels.txt> <edges.txt>
-  hgmatch stats <labels.txt> <edges.txt>
+  hgmatch stats <labels.txt> <edges.txt> [--json]
   hgmatch match <labels> <edges> <qlabels> <qedges> [--threads N] [--timeout SECS] [--print [LIMIT]]
   hgmatch batch <labels> <edges> <queries.txt> [serve flags]
   hgmatch serve <labels> <edges> [--input FILE] [serve flags]
@@ -109,16 +112,148 @@ fn generate(args: &[String]) -> Result<(), String> {
 }
 
 fn stats(args: &[String]) -> Result<(), String> {
-    let [labels, edges] = args else {
-        return Err("stats needs <labels.txt> <edges.txt>".into());
+    let mut json = false;
+    let mut files: Vec<&String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown stats flag {other:?}"))
+            }
+            _ => files.push(arg),
+        }
+    }
+    let [labels, edges] = files.as_slice() else {
+        return Err("stats needs <labels.txt> <edges.txt> [--json]".into());
     };
+    print!("{}", stats_report(labels, edges, json)?);
+    Ok(())
+}
+
+/// Builds the full `stats` output: Table II-style dataset summary plus the
+/// per-partition index memory breakdown by posting representation
+/// (DESIGN.md §14). Deterministic (stable field order), so CI can golden-
+/// file it; `--json` emits the same data machine-readable.
+pub fn stats_report(labels: &str, edges: &str, json: bool) -> Result<String, String> {
+    use std::fmt::Write as _;
     let h = load(labels, edges)?;
     let s = h.stats();
-    println!("dataset\t|V|\t|E|\t|Sigma|\tamax\ta\tgraph\tindex");
-    println!("{}", s.table_row("-"));
-    println!("partitions: {}", s.num_partitions);
-    println!("max degree: {}", s.max_degree);
-    Ok(())
+
+    let breakdowns: Vec<(u32, usize, hgmatch_hypergraph::ReprBreakdown, usize)> = h
+        .partitions()
+        .iter()
+        .map(|p| {
+            (
+                p.signature().raw(),
+                p.len(),
+                p.index().repr_breakdown(),
+                p.index().size_bytes(),
+            )
+        })
+        .collect();
+    let mut total = hgmatch_hypergraph::ReprBreakdown::default();
+    let mut total_index_bytes = 0usize;
+    for (_, _, b, bytes) in &breakdowns {
+        total.add(b);
+        total_index_bytes += bytes;
+    }
+    let per_posting = |bytes: usize, postings: usize| {
+        if postings == 0 {
+            0.0
+        } else {
+            bytes as f64 / postings as f64
+        }
+    };
+
+    let mut out = String::new();
+    if json {
+        let body_json = |b: &hgmatch_hypergraph::ReprBreakdown, bytes: usize| {
+            format!(
+                "\"list\": {{\"keys\": {}, \"postings\": {}, \"bytes\": {}}}, \
+                 \"bitmap\": {{\"keys\": {}, \"postings\": {}, \"bytes\": {}}}, \
+                 \"compressed\": {{\"keys\": {}, \"postings\": {}, \"bytes\": {}}}, \
+                 \"index_bytes\": {bytes}, \"bytes_per_posting\": {:.4}",
+                b.list_keys,
+                b.list_postings,
+                b.list_bytes,
+                b.bitmap_keys,
+                b.bitmap_postings,
+                b.bitmap_bytes,
+                b.compressed_keys,
+                b.compressed_postings,
+                b.compressed_bytes,
+                per_posting(bytes, b.total_postings()),
+            )
+        };
+        let parts: Vec<String> = breakdowns
+            .iter()
+            .map(|(sid, rows, b, bytes)| {
+                format!(
+                    "    {{\"signature\": {sid}, \"rows\": {rows}, {}}}",
+                    body_json(b, *bytes)
+                )
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "{{\n  \"num_vertices\": {},\n  \"num_edges\": {},\n  \"num_labels\": {},\n  \
+             \"max_arity\": {},\n  \"num_partitions\": {},\n  \"max_degree\": {},\n  \
+             \"table_bytes\": {},\n  \"index_bytes\": {},\n  \"partitions\": [\n{}\n  ],\n  \
+             \"totals\": {{{}}}\n}}\n",
+            h.num_vertices(),
+            h.num_edges(),
+            h.num_labels(),
+            s.max_arity,
+            s.num_partitions,
+            s.max_degree,
+            h.table_size_bytes(),
+            total_index_bytes,
+            parts.join(",\n"),
+            body_json(&total, total_index_bytes),
+        );
+        return Ok(out);
+    }
+
+    let _ = writeln!(out, "dataset\t|V|\t|E|\t|Sigma|\tamax\ta\tgraph\tindex");
+    let _ = writeln!(out, "{}", s.table_row("-"));
+    let _ = writeln!(out, "partitions: {}", s.num_partitions);
+    let _ = writeln!(out, "max degree: {}", s.max_degree);
+    let _ = writeln!(out, "index memory by representation (keys/postings/bytes):");
+    let _ = writeln!(
+        out,
+        "part\trows\tlist\tbitmap\tcompressed\tindex_bytes\tB/posting"
+    );
+    let row = |out: &mut String,
+               tag: String,
+               rows: usize,
+               b: &hgmatch_hypergraph::ReprBreakdown,
+               bytes: usize| {
+        let _ = writeln!(
+            out,
+            "{tag}\t{rows}\t{}/{}/{}\t{}/{}/{}\t{}/{}/{}\t{bytes}\t{:.2}",
+            b.list_keys,
+            b.list_postings,
+            b.list_bytes,
+            b.bitmap_keys,
+            b.bitmap_postings,
+            b.bitmap_bytes,
+            b.compressed_keys,
+            b.compressed_postings,
+            b.compressed_bytes,
+            per_posting(bytes, b.total_postings()),
+        );
+    };
+    for (sid, rows, b, bytes) in &breakdowns {
+        row(&mut out, sid.to_string(), *rows, b, *bytes);
+    }
+    row(
+        &mut out,
+        "total".into(),
+        h.num_edges(),
+        &total,
+        total_index_bytes,
+    );
+    Ok(out)
 }
 
 fn do_match(args: &[String]) -> Result<(), String> {

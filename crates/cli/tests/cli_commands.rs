@@ -59,6 +59,52 @@ fn generate_and_stats_roundtrip() {
     assert!(std::fs::metadata(&edges).unwrap().len() > 0);
 }
 
+/// `stats` reports the per-partition index memory breakdown by posting
+/// representation, in both text and `--json` form. The assertions stay
+/// representation-agnostic (postings totals, not repr counts) so the CI
+/// `HGMATCH_FORCE_REPR` matrix can replay them unchanged.
+#[test]
+fn stats_reports_index_memory_breakdown() {
+    let dir = TempDir::new("stats-breakdown");
+    let (dl, de, _, _) = write_paper_files(&dir);
+    run(&args(&["stats", &dl, &de])).expect("stats works");
+    run(&args(&["stats", &dl, &de, "--json"])).expect("stats --json works");
+    assert!(run(&args(&["stats", &dl, &de, "--frob"])).is_err());
+
+    let text = hgmatch_cli::stats_report(&dl, &de, false).unwrap();
+    assert!(text.contains("index memory by representation"));
+    assert!(text.contains("part\trows\tlist\tbitmap\tcompressed\tindex_bytes\tB/posting"));
+    let total_line = text
+        .lines()
+        .find(|l| l.starts_with("total\t"))
+        .expect("aggregate row present");
+    // The paper graph has 6 edges and 18 incidences; the three per-repr
+    // posting counts in the aggregate row must sum to 18 whichever
+    // representations were chosen (or forced).
+    let postings_sum: usize = total_line
+        .split('\t')
+        .skip(2)
+        .take(3)
+        .map(|cell| cell.split('/').nth(1).unwrap().parse::<usize>().unwrap())
+        .sum();
+    assert_eq!(postings_sum, 18);
+    assert!(total_line.starts_with("total\t6\t"), "{total_line}");
+
+    let json = hgmatch_cli::stats_report(&dl, &de, true).unwrap();
+    for needle in [
+        "\"num_vertices\": 7",
+        "\"num_edges\": 6",
+        "\"partitions\": [",
+        "\"totals\": {",
+        "\"bytes_per_posting\": ",
+        "\"compressed\": {\"keys\": ",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+    // Deterministic: repeated runs are byte-identical.
+    assert_eq!(json, hgmatch_cli::stats_report(&dl, &de, true).unwrap());
+}
+
 #[test]
 fn generate_rejects_unknown_profile() {
     let dir = TempDir::new("badprofile");

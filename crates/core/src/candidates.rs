@@ -19,16 +19,21 @@
 //! of [`setops::union_many_into`], or a [`Bitmap`] accumulator over the
 //! partition's row space when the postings are dense (hub vertices carry
 //! precomputed bitmaps in the inverted index, OR-ing 64 rows per
-//! instruction).
+//! instruction). Mid-density keys arrive as delta-bitpacked
+//! [`CompressedPostings`](hgmatch_hypergraph::compressed::CompressedPostings)
+//! (DESIGN.md §14): single-posting anchors run the
+//! *fused* kernels of [`setops`] that decode one block at a time into a
+//! stack scratch, multi-posting unions decode into reused arena buffers.
 
 use hgmatch_hypergraph::bitmap::Bitmap;
+use hgmatch_hypergraph::compressed::BLOCK_LEN;
 use hgmatch_hypergraph::hypergraph::Hypergraph;
 use hgmatch_hypergraph::setops;
 
 use crate::config::MatchConfig;
 use crate::plan::Step;
 
-use hgmatch_hypergraph::inverted::MIN_BITMAP_ROWS;
+use hgmatch_hypergraph::inverted::{Posting, MIN_BITMAP_ROWS};
 
 /// The bitmap accumulator is chosen when the postings to union hold at
 /// least `rows / LIST_DENSITY_DIV` entries (or any of them already has a
@@ -89,6 +94,10 @@ pub struct ExpansionState {
     mw: setops::MultiwayScratch,
     acc_bits: Bitmap,
     anchor_bits: Bitmap,
+    /// Decode buffers for compressed postings feeding a k-way list merge
+    /// (single compressed postings never land here — they go through the
+    /// fused kernels instead).
+    decode_arena: Vec<Vec<u32>>,
 }
 
 static EMPTY_LEVEL: &[MVertex] = &[];
@@ -255,13 +264,12 @@ pub fn generate_candidates(
     } else {
         let mut first = true;
         let mut use_bits = false;
-        let mut lists: Vec<&[u32]> = Vec::new();
-        let mut bitmaps: Vec<&Bitmap> = Vec::new();
+        let mut postings: Vec<Posting<'_>> = Vec::new();
         for anchor in &step.anchors {
             let prev = emb[anchor.prev_pos as usize];
-            lists.clear();
-            bitmaps.clear();
+            postings.clear();
             let mut total = 0usize;
+            let mut have_bits = false;
             for &v in data.edge_vertices(prev.into()) {
                 // V_incdt filter: label, embedding degree, not in V_n_incdt.
                 if data.label(v.into()) != anchor.label
@@ -271,16 +279,14 @@ pub fn generate_candidates(
                     continue;
                 }
                 let posting = partition.incident_posting(v);
-                if posting.list.is_empty() {
+                if posting.is_empty() {
                     continue;
                 }
-                total += posting.list.len();
-                match posting.bits {
-                    Some(b) => bitmaps.push(b),
-                    None => lists.push(posting.list),
-                }
+                total += posting.len();
+                have_bits |= posting.bits().is_some();
+                postings.push(posting);
             }
-            if lists.is_empty() && bitmaps.is_empty() {
+            if postings.is_empty() {
                 state.candidates.clear();
                 return 0;
             }
@@ -288,20 +294,25 @@ pub fn generate_candidates(
             // Representation switch (DESIGN.md §5.5): a bitmap accumulator
             // when the postings are dense in the row space, the k-way list
             // merge otherwise.
-            let dense = rows >= MIN_BITMAP_ROWS
-                && (!bitmaps.is_empty() || total * LIST_DENSITY_DIV >= rows);
+            let dense = rows >= MIN_BITMAP_ROWS && (have_bits || total * LIST_DENSITY_DIV >= rows);
 
             if first {
                 first = false;
                 if dense {
                     use_bits = true;
-                    union_postings_into_bitmap(&bitmaps, &lists, rows, &mut state.acc_bits);
+                    union_postings_into_bitmap(&postings, rows, &mut state.acc_bits);
+                } else if let [Posting::Compressed(c)] = postings.as_slice() {
+                    // Single compressed anchor: decode once, no merge.
+                    state.candidates.clear();
+                    c.decode_into(&mut state.candidates);
                 } else {
+                    let mut lists: Vec<&[u32]> = Vec::with_capacity(postings.len());
+                    postings_as_lists(&postings, &mut state.decode_arena, &mut lists);
                     setops::union_many_into(&mut lists, &mut state.candidates, &mut state.mw);
                 }
             } else if use_bits {
                 // C' ∩ next anchor union, word-wise.
-                union_postings_into_bitmap(&bitmaps, &lists, rows, &mut state.anchor_bits);
+                union_postings_into_bitmap(&postings, rows, &mut state.anchor_bits);
                 state.acc_bits.intersect_assign(&state.anchor_bits);
                 if state.acc_bits.is_empty() {
                     return 0;
@@ -310,7 +321,7 @@ pub fn generate_candidates(
                 // Sorted-list accumulator filtered through the anchor's
                 // bitmap union: O(|C'|) membership tests, no materialised
                 // union.
-                union_postings_into_bitmap(&bitmaps, &lists, rows, &mut state.anchor_bits);
+                union_postings_into_bitmap(&postings, rows, &mut state.anchor_bits);
                 state
                     .anchor_bits
                     .filter_list_into(&state.candidates, &mut state.tmp);
@@ -318,7 +329,17 @@ pub fn generate_candidates(
                 if state.candidates.is_empty() {
                     return 0;
                 }
+            } else if let [Posting::Compressed(c)] = postings.as_slice() {
+                // Single compressed anchor: fused decode-and-intersect, one
+                // block at a time against the accumulator.
+                setops::intersect_compressed_into(c, &state.candidates, &mut state.tmp);
+                std::mem::swap(&mut state.candidates, &mut state.tmp);
+                if state.candidates.is_empty() {
+                    return 0;
+                }
             } else {
+                let mut lists: Vec<&[u32]> = Vec::with_capacity(postings.len());
+                postings_as_lists(&postings, &mut state.decode_arena, &mut lists);
                 setops::union_many_into(&mut lists, &mut state.union, &mut state.mw);
                 setops::intersect_into(&state.candidates, &state.union, &mut state.tmp);
                 std::mem::swap(&mut state.candidates, &mut state.tmp);
@@ -338,29 +359,32 @@ pub fn generate_candidates(
     if config.prune_non_incident && !state.non_incident.is_empty() {
         // Eager Observation V.3: drop candidates touching forbidden
         // vertices, with the same representation switch.
-        let mut lists: Vec<&[u32]> = Vec::new();
-        let mut bitmaps: Vec<&Bitmap> = Vec::new();
+        let mut postings: Vec<Posting<'_>> = Vec::new();
         let mut total = 0usize;
+        let mut have_bits = false;
         for &v in &state.non_incident {
             let posting = partition.incident_posting(v);
-            if posting.list.is_empty() {
+            if posting.is_empty() {
                 continue;
             }
-            total += posting.list.len();
-            match posting.bits {
-                Some(b) => bitmaps.push(b),
-                None => lists.push(posting.list),
-            }
+            total += posting.len();
+            have_bits |= posting.bits().is_some();
+            postings.push(posting);
         }
-        if !lists.is_empty() || !bitmaps.is_empty() {
-            let dense = rows >= MIN_BITMAP_ROWS
-                && (!bitmaps.is_empty() || total * LIST_DENSITY_DIV >= rows);
+        if !postings.is_empty() {
+            let dense = rows >= MIN_BITMAP_ROWS && (have_bits || total * LIST_DENSITY_DIV >= rows);
             if dense {
-                union_postings_into_bitmap(&bitmaps, &lists, rows, &mut state.anchor_bits);
+                union_postings_into_bitmap(&postings, rows, &mut state.anchor_bits);
                 state
                     .anchor_bits
                     .filter_list_out(&state.candidates, &mut state.tmp);
+            } else if let [Posting::Compressed(c)] = postings.as_slice() {
+                // Fused difference: subtract the compressed union one
+                // decoded block at a time.
+                setops::difference_list_compressed_into(&state.candidates, c, &mut state.tmp);
             } else {
+                let mut lists: Vec<&[u32]> = Vec::with_capacity(postings.len());
+                postings_as_lists(&postings, &mut state.decode_arena, &mut lists);
                 setops::union_many_into(&mut lists, &mut state.union, &mut state.mw);
                 setops::difference_into(&state.candidates, &state.union, &mut state.tmp);
             }
@@ -371,20 +395,60 @@ pub fn generate_candidates(
     state.candidates.len()
 }
 
-/// Unions precomputed bitmaps (word-wise OR) and sparse lists (bit sets)
-/// into `acc`, reset to the partition's row domain first.
-fn union_postings_into_bitmap(
-    bitmaps: &[&Bitmap],
-    lists: &[&[u32]],
-    rows: usize,
-    acc: &mut Bitmap,
-) {
+/// Unions postings of any representation into `acc`, reset to the
+/// partition's row domain first: precomputed bitmaps word-wise OR, sorted
+/// lists as bit sets, compressed postings one decoded block at a time
+/// through a stack scratch (never materialising the full list).
+fn union_postings_into_bitmap(postings: &[Posting<'_>], rows: usize, acc: &mut Bitmap) {
     acc.reset(rows as u32);
-    for b in bitmaps {
-        acc.union_assign(b);
+    let mut scratch = [0u32; BLOCK_LEN];
+    for p in postings {
+        match p {
+            Posting::Dense { bits, .. } => acc.union_assign(bits),
+            Posting::List(l) => acc.insert_list(l),
+            Posting::Compressed(c) => {
+                for bi in 0..c.num_blocks() {
+                    acc.insert_list(c.decode_block(bi, &mut scratch));
+                }
+            }
+        }
     }
-    for l in lists {
-        acc.insert_list(l);
+}
+
+/// Exposes `postings` as plain sorted slices for a k-way merge, decoding
+/// compressed ones into reused `arena` buffers first (so the borrows into
+/// the arena are taken only after every decode is done).
+fn postings_as_lists<'a>(
+    postings: &[Posting<'a>],
+    arena: &'a mut Vec<Vec<u32>>,
+    lists: &mut Vec<&'a [u32]>,
+) {
+    let ncomp = postings
+        .iter()
+        .filter(|p| matches!(p, Posting::Compressed(_)))
+        .count();
+    if arena.len() < ncomp {
+        arena.resize_with(ncomp, Vec::new);
+    }
+    let mut ci = 0usize;
+    for p in postings {
+        if let Posting::Compressed(c) = p {
+            arena[ci].clear();
+            c.decode_into(&mut arena[ci]);
+            ci += 1;
+        }
+    }
+    let arena: &'a [Vec<u32>] = arena;
+    let mut ci = 0usize;
+    for p in postings {
+        match p {
+            Posting::List(l) => lists.push(l),
+            Posting::Dense { list, .. } => lists.push(list),
+            Posting::Compressed(_) => {
+                lists.push(&arena[ci]);
+                ci += 1;
+            }
+        }
     }
 }
 
@@ -698,8 +762,69 @@ mod tests {
             &state.candidates
         ));
 
-        // The partition's hub key is genuinely dense-represented.
+        // The partition's hub key is genuinely dense-represented (unless a
+        // forced representation overrides the adaptive rule).
+        if hgmatch_hypergraph::inverted::forced_repr().is_none() {
+            let partition = data.partition(step.partition.unwrap());
+            assert!(partition.incident_posting(0).bits().is_some());
+        }
+    }
+
+    #[test]
+    fn compressed_partition_matches_list_results() {
+        // The same mid-density workload forced into each representation
+        // must produce identical candidates: a hub A vertex whose posting
+        // covers a thin slice of a large {A,B} partition, so the adaptive
+        // rule picks the compressed blocks, and the anchor union runs the
+        // fused kernels.
+        let hubs = 48u32; // distinct A vertices spread across rows
+        let per_hub = 96u32; // posting length per hub: compressed range
+                             // (96 ≥ COMPRESSED_MIN_LEN, 96·32 < 48·96 rows)
+        let mut b = HypergraphBuilder::new();
+        for _ in 0..hubs {
+            b.add_vertex(Label::new(0));
+        }
+        let leaves = hubs * per_hub;
+        for _ in 0..leaves {
+            b.add_vertex(Label::new(1));
+        }
+        for leaf in 0..leaves {
+            b.add_edge(vec![leaf % hubs, hubs + leaf]).unwrap();
+        }
+        let data = b.build().unwrap();
+
+        let mut qb = HypergraphBuilder::new();
+        qb.add_vertex(Label::new(0));
+        qb.add_vertex(Label::new(1));
+        qb.add_vertex(Label::new(1));
+        qb.add_edge(vec![0, 1]).unwrap();
+        qb.add_edge(vec![0, 2]).unwrap();
+        let q = QueryGraph::new(&qb.build().unwrap()).unwrap();
+        let plan = Planner::plan(&q, &data).unwrap();
+        let step = &plan.steps()[1];
         let partition = data.partition(step.partition.unwrap());
-        assert!(partition.incident_posting(0).bits.is_some());
+
+        if hgmatch_hypergraph::inverted::forced_repr().is_none() {
+            assert_eq!(
+                partition.incident_posting(0).repr(),
+                hgmatch_hypergraph::ReprKind::Compressed,
+                "hub posting should be mid-density compressed"
+            );
+        }
+
+        let mut state = ExpansionState::new();
+        let emb = [0u32]; // first {A,B} edge: hub 0's first leaf edge
+        state.prepare(&data, step, &emb);
+        let count = generate_candidates(&data, step, &emb, &mut state, &MatchConfig::default());
+        assert_eq!(count, per_hub as usize, "one hub's rows are candidates");
+        assert!(hgmatch_hypergraph::setops::is_strictly_sorted(
+            &state.candidates
+        ));
+        // Oracle: the hub's decoded posting is exactly the candidate set.
+        assert_eq!(
+            state.candidates,
+            partition.incident_posting(0).to_sorted(),
+            "fused anchor union equals the decoded posting"
+        );
     }
 }

@@ -8,10 +8,14 @@
 //! maintains every structure incrementally —
 //!
 //! * **Postings grow in place.** Rows are only ever appended to a
-//!   partition, so a vertex's posting list grows by a sorted push; the
-//!   list↔bitmap adaptive representation flips at the *same* thresholds as
-//!   a fresh [`InvertedIndex::build`] (the rule is shared code), growing a
-//!   dense key's bitmap along with the partition's row space.
+//!   partition, so a vertex's posting set grows by a sorted push; the
+//!   three-way list↔bitmap↔compressed adaptive representation flips at the
+//!   *same* thresholds as a fresh [`InvertedIndex::build`] (the rule is
+//!   shared code). Dense keys grow their bitmap along with the partition's
+//!   row space; compressed keys buffer appends in a small tail that seals
+//!   into a delta-bitpacked block every [`BLOCK_LEN`] rows, and deletions
+//!   repack only the affected block — falling back to a plain list when
+//!   block-interior churn turns pathological (DESIGN.md §14).
 //! * **Deletions tombstone, then compact.** Deleting a hyperedge marks its
 //!   row dead and unlinks it from the affected posting lists in `O(degree)`
 //!   posting edits; the row storage itself is compacted (order-preserving)
@@ -36,11 +40,12 @@
 use std::sync::Arc;
 
 use crate::bitmap::Bitmap;
+use crate::compressed::{CompressedPostings, BLOCK_LEN};
 use crate::error::{HypergraphError, Result};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::hypergraph::{EdgeLocation, Hypergraph};
 use crate::ids::{EdgeId, Label, SignatureId, VertexId};
-use crate::inverted::{key_is_dense, InvertedIndex};
+use crate::inverted::{choose_repr, forced_repr, InvertedIndex, ReprKind};
 use crate::partition::Partition;
 use crate::signature::{Signature, SignatureInterner};
 use crate::stats::{degree_bucket, LabelCardinality, PartitionStats, DEGREE_HIST_BUCKETS};
@@ -48,6 +53,12 @@ use crate::stats::{degree_bucket, LabelCardinality, PartitionStats, DEGREE_HIST_
 /// Tombstones needed before a partition compacts mid-stream (snapshots
 /// always compact). Small partitions compact eagerly; large ones amortise.
 const COMPACT_MIN_DEAD: usize = 32;
+
+/// Block-interior deletions a packed cell tolerates before its churn is
+/// *pathological* — each one repacks a whole block, so once they amount to
+/// half the cell's length the cell falls back to a plain list until the
+/// next compaction resets the counter.
+const PACKED_CHURN_MIN: u32 = 32;
 
 /// One operation of an update stream.
 ///
@@ -166,37 +177,185 @@ pub struct SnapshotDelta {
     pub sids_stable: bool,
 }
 
-/// One posting set of the mutable index: the sorted row-id list (always)
-/// plus a bitmap while the key is dense per [`key_is_dense`].
+/// One posting set of the mutable index, in one of the three adaptive
+/// representations ([`choose_repr`]).
 ///
-/// The live bitmap is the mutable-state analogue of the frozen index's
-/// dense keys: snapshots do *not* consume it (freeze re-derives canonical
-/// bitmaps over the compacted row space); it exists so reads against the
-/// un-frozen state get the adaptive representation at the same density
-/// rule the static index applies. The rule is re-evaluated *lazily*, at
-/// the cell's own next mutation — rows appended through other vertices
-/// grow the partition without touching this cell, so its representation
-/// can lag the current row count until then (compaction resyncs every
-/// cell). Maintenance is O(1) amortised per posting edit except when a
-/// key crosses the density threshold upward, which rebuilds that key's
-/// bitmap from its list.
-#[derive(Debug, Default)]
+/// The live representation is the mutable-state analogue of the frozen
+/// index's per-key switch: snapshots do *not* consume it (freeze decodes
+/// back to the sorted list and re-derives canonical representations over
+/// the compacted row space); it exists so the mutable path carries the
+/// same memory profile the static index would. The rule is re-evaluated
+/// *lazily*, at the cell's own next mutation — rows appended through other
+/// vertices grow the partition without touching this cell, so its
+/// representation can lag the current row count until then (compaction
+/// resyncs every cell). Maintenance is O(1) amortised per posting edit
+/// except when a cell crosses a representation threshold, which rebuilds
+/// that one cell.
+#[derive(Debug)]
+enum CellRepr {
+    /// Sparse: plain sorted row-id list.
+    List(Vec<u32>),
+    /// Dense: sorted list plus an incrementally maintained bitmap.
+    Dense { list: Vec<u32>, bits: Bitmap },
+    /// Mid-density: sealed delta-bitpacked blocks plus an append tail.
+    /// Rows only ascend, so appends land in `tail` and seal into a block
+    /// once it reaches [`BLOCK_LEN`]; block-interior deletions repack just
+    /// the affected block.
+    Packed {
+        blocks: CompressedPostings,
+        tail: Vec<u32>,
+    },
+}
+
+#[derive(Debug)]
 struct PostingCell {
-    list: Vec<u32>,
-    bits: Option<Bitmap>,
+    repr: CellRepr,
+    /// Block-interior deletions since the cell last (re-)packed. Reset by
+    /// compaction ([`DynIndex::remap_rows`]); while pathological
+    /// ([`PACKED_CHURN_MIN`]) the cell refuses the packed representation.
+    churn: u32,
+}
+
+impl Default for PostingCell {
+    fn default() -> Self {
+        Self {
+            repr: CellRepr::List(Vec::new()),
+            churn: 0,
+        }
+    }
 }
 
 impl PostingCell {
+    fn len(&self) -> usize {
+        match &self.repr {
+            CellRepr::List(list) | CellRepr::Dense { list, .. } => list.len(),
+            CellRepr::Packed { blocks, tail } => blocks.len() + tail.len(),
+        }
+    }
+
+    /// The posting set as an owned sorted list (decoding packed blocks).
+    fn to_sorted(&self) -> Vec<u32> {
+        match &self.repr {
+            CellRepr::List(list) | CellRepr::Dense { list, .. } => list.clone(),
+            CellRepr::Packed { blocks, tail } => {
+                let mut out = Vec::with_capacity(self.len());
+                blocks.decode_into(&mut out);
+                out.extend_from_slice(tail);
+                out
+            }
+        }
+    }
+
+    /// The sorted list without decoding, when one is stored.
+    fn as_list(&self) -> Option<&[u32]> {
+        match &self.repr {
+            CellRepr::List(list) | CellRepr::Dense { list, .. } => Some(list),
+            CellRepr::Packed { .. } => None,
+        }
+    }
+
+    /// Appends `row` (strictly above every stored row).
+    fn push(&mut self, row: u32, row_space: usize) {
+        match &mut self.repr {
+            CellRepr::List(list) => {
+                debug_assert!(list.last().is_none_or(|&r| r < row));
+                list.push(row);
+            }
+            CellRepr::Dense { list, bits } => {
+                debug_assert!(list.last().is_none_or(|&r| r < row));
+                list.push(row);
+                bits.grow(row_space as u32);
+                bits.insert(row);
+            }
+            CellRepr::Packed { blocks, tail } => {
+                debug_assert!(tail
+                    .last()
+                    .copied()
+                    .or(blocks.max())
+                    .is_none_or(|r| r < row));
+                tail.push(row);
+                if tail.len() == BLOCK_LEN {
+                    blocks.push_block(tail);
+                    tail.clear();
+                }
+            }
+        }
+    }
+
+    /// Unlinks `row` if present (block-local repack for packed cells).
+    fn remove_row(&mut self, row: u32) {
+        match &mut self.repr {
+            CellRepr::List(list) => {
+                if let Ok(i) = list.binary_search(&row) {
+                    list.remove(i);
+                }
+            }
+            CellRepr::Dense { list, bits } => {
+                if let Ok(i) = list.binary_search(&row) {
+                    list.remove(i);
+                }
+                if row < bits.domain() {
+                    bits.remove(row);
+                }
+            }
+            CellRepr::Packed { blocks, tail } => {
+                if let Ok(i) = tail.binary_search(&row) {
+                    tail.remove(i);
+                } else if blocks.remove(row) {
+                    self.churn += 1;
+                }
+            }
+        }
+    }
+
     /// Re-evaluates the adaptive representation after a mutation.
     /// `row_space` is the partition's current row-id domain.
     fn sync_repr(&mut self, row_space: usize) {
-        if key_is_dense(self.list.len(), row_space) {
-            if self.bits.is_none() {
-                self.bits = Some(Bitmap::from_sorted(&self.list, row_space as u32));
-            }
-        } else {
-            self.bits = None;
+        let len = self.len();
+        let mut desired = choose_repr(len, row_space);
+        if desired == ReprKind::Compressed
+            && forced_repr().is_none()
+            && self.churn >= PACKED_CHURN_MIN
+            && self.churn as usize * 2 >= len
+        {
+            // Pathological churn: hold the plain list until compaction
+            // resets the counter.
+            desired = ReprKind::List;
         }
+        match (&self.repr, desired) {
+            (CellRepr::List(_), ReprKind::List)
+            | (CellRepr::Dense { .. }, ReprKind::Bitmap)
+            | (CellRepr::Packed { .. }, ReprKind::Compressed) => {}
+            (_, kind) => self.switch_repr(kind, row_space),
+        }
+    }
+
+    /// Rebuilds this cell in representation `kind`.
+    fn switch_repr(&mut self, kind: ReprKind, row_space: usize) {
+        let list = match std::mem::replace(&mut self.repr, CellRepr::List(Vec::new())) {
+            CellRepr::List(list) | CellRepr::Dense { list, .. } => list,
+            CellRepr::Packed { blocks, tail } => {
+                let mut out = Vec::with_capacity(blocks.len() + tail.len());
+                blocks.decode_into(&mut out);
+                out.extend_from_slice(&tail);
+                out
+            }
+        };
+        self.repr = match kind {
+            ReprKind::List => CellRepr::List(list),
+            ReprKind::Bitmap => {
+                self.churn = 0;
+                let bits = Bitmap::from_sorted(&list, row_space as u32);
+                CellRepr::Dense { list, bits }
+            }
+            ReprKind::Compressed => {
+                self.churn = 0;
+                CellRepr::Packed {
+                    blocks: CompressedPostings::from_sorted(&list),
+                    tail: Vec::new(),
+                }
+            }
+        };
     }
 }
 
@@ -208,18 +367,13 @@ struct DynIndex {
 
 impl DynIndex {
     /// Links appended `row` to `v`. Rows only grow, so the push keeps the
-    /// list sorted; a dense key's bitmap grows its domain along the way.
-    /// Returns the posting length after the insert.
+    /// cell sorted in every representation. Returns the posting length
+    /// after the insert.
     fn insert(&mut self, v: u32, row: u32, row_space: usize) -> usize {
         let cell = self.cells.entry(v).or_default();
-        debug_assert!(cell.list.last().is_none_or(|&r| r < row));
-        cell.list.push(row);
-        if let Some(bits) = &mut cell.bits {
-            bits.grow(row_space as u32);
-            bits.insert(row);
-        }
+        cell.push(row, row_space);
         cell.sync_repr(row_space);
-        cell.list.len()
+        cell.len()
     }
 
     /// Unlinks `row` from `v` (tombstoned row leaves the posting set).
@@ -229,32 +383,28 @@ impl DynIndex {
             debug_assert!(false, "removing a row from an unindexed vertex");
             return 0;
         };
-        if let Ok(i) = cell.list.binary_search(&row) {
-            cell.list.remove(i);
-        }
-        let remaining = cell.list.len();
-        if cell.list.is_empty() {
+        cell.remove_row(row);
+        let remaining = cell.len();
+        if remaining == 0 {
             self.cells.remove(&v);
             return remaining;
-        }
-        if let Some(bits) = &mut cell.bits {
-            if row < bits.domain() {
-                bits.remove(row);
-            }
         }
         cell.sync_repr(row_space);
         remaining
     }
 
-    /// Applies an order-preserving row renumbering after compaction and
-    /// re-evaluates every cell's representation for the shrunk row space.
+    /// Applies an order-preserving row renumbering after compaction,
+    /// resets churn counters, and re-chooses every cell's representation
+    /// for the shrunk row space (the ISSUE's "re-choose at compaction").
     fn remap_rows(&mut self, remap: &[u32], row_space: usize) {
         for cell in self.cells.values_mut() {
-            for r in &mut cell.list {
+            let mut list = cell.to_sorted();
+            for r in &mut list {
                 debug_assert_ne!(remap[*r as usize], u32::MAX, "posting to dead row");
                 *r = remap[*r as usize];
             }
-            cell.bits = None;
+            cell.repr = CellRepr::List(list);
+            cell.churn = 0;
             cell.sync_repr(row_space);
         }
     }
@@ -441,11 +591,24 @@ impl DynPartition {
     /// construction byte-identical to a fresh [`InvertedIndex::build`].
     fn freeze(&self, canon_sid: SignatureId, gid_remap: &[u32]) -> Partition {
         debug_assert_eq!(self.dead, 0, "freeze requires a compacted partition");
+        // Packed cells store no raw list; decode them into an owned arena
+        // first (fully, so later pushes can't invalidate borrowed slices),
+        // then mix those slices with the list-backed cells. `finish`
+        // re-chooses the canonical representation per key, so the snapshot
+        // stays byte-identical to a fresh build.
+        let decoded: Vec<(u32, Vec<u32>)> = self
+            .index
+            .cells
+            .iter()
+            .filter(|(_, c)| c.as_list().is_none())
+            .map(|(&v, c)| (v, c.to_sorted()))
+            .collect();
         let mut cells: Vec<(u32, &[u32])> = self
             .index
             .cells
             .iter()
-            .map(|(&v, c)| (v, c.list.as_slice()))
+            .filter_map(|(&v, c)| Some((v, c.as_list()?)))
+            .chain(decoded.iter().map(|(v, list)| (*v, list.as_slice())))
             .collect();
         cells.sort_unstable_by_key(|&(v, _)| v);
         let index =
@@ -960,6 +1123,9 @@ mod tests {
 
     #[test]
     fn adaptive_postings_flip_at_build_thresholds() {
+        if crate::inverted::forced_repr().is_some() {
+            return; // representation asserts are meaningless when forced
+        }
         // Drive one partition past MIN_BITMAP_ROWS with a hub vertex: the
         // hub's live posting cell must pick up a bitmap exactly when a
         // fresh build would, and drop it again as deletions thin it out.
@@ -973,17 +1139,19 @@ mod tests {
         {
             let part = &d.parts[0];
             let hub = &part.index.cells[&0];
-            assert_eq!(hub.list.len(), n as usize);
-            let bits = hub.bits.as_ref().expect("hub is dense: bitmap present");
-            assert_eq!(bits.to_sorted(), hub.list, "bitmap mirrors the list");
+            assert_eq!(hub.len(), n as usize);
+            let CellRepr::Dense { list, bits } = &hub.repr else {
+                panic!("hub is dense: bitmap-backed cell expected");
+            };
+            assert_eq!(bits.to_sorted(), *list, "bitmap mirrors the list");
             // A leaf vertex stays list-only.
-            assert!(d.parts[0].index.cells[&1].bits.is_none());
+            assert!(matches!(part.index.cells[&1].repr, CellRepr::List(_)));
         }
         // Snapshot equals a fresh build including its dense keys.
         let snap = d.snapshot();
         let p = snap.graph.partition(SignatureId::new(0));
         assert!(p.index().num_dense_keys() >= 1);
-        assert!(p.incident_posting(0).bits.is_some());
+        assert!(p.incident_posting(0).bits().is_some());
 
         // Delete most hub edges: the cell must shed its bitmap when the
         // density rule stops holding.
@@ -991,7 +1159,10 @@ mod tests {
             d.delete_hyperedge(&[0, leaf]).unwrap();
         }
         let part = &d.parts[0];
-        assert!(part.index.cells[&0].bits.is_none(), "sparse again");
+        assert!(
+            matches!(part.index.cells[&0].repr, CellRepr::List(_)),
+            "sparse again"
+        );
         let snap = d.snapshot();
         let expected = {
             let mut b = HypergraphBuilder::new();
@@ -1001,6 +1172,99 @@ mod tests {
             b.build().unwrap()
         };
         assert_eq!(*snap.graph, expected);
+    }
+
+    #[test]
+    fn packed_cells_seal_repack_and_fall_back_under_churn() {
+        if crate::inverted::forced_repr().is_some() {
+            return; // representation asserts are meaningless when forced
+        }
+        // A mid-density hub: many postings but a small fraction of its
+        // partition's rows, so the live cell must go packed, seal full
+        // blocks as it grows, repack block-locally on deletes, and demote
+        // back to a list under pathological churn. The row space is
+        // diluted with other {0,1}-signature edges that avoid the hub.
+        let mut d = DynamicHypergraph::new();
+        let n = (2 * BLOCK_LEN + 40) as u32;
+        d.add_vertex(Label::new(0)); // hub, vertex 0
+        d.add_vertices(n as usize, Label::new(1)); // leaves 1..=n
+        let (xs, ys) = (100u32, 172u32); // 17 200 dilution rows > 31 * n
+        d.add_vertices(xs as usize, Label::new(0)); // n+1 ..= n+xs
+        d.add_vertices(ys as usize, Label::new(1)); // n+xs+1 ..= n+xs+ys
+        for x in n + 1..=n + xs {
+            for y in n + xs + 1..=n + xs + ys {
+                d.insert_hyperedge(vec![x, y]).unwrap();
+            }
+        }
+        for leaf in 1..=n {
+            d.insert_hyperedge(vec![0, leaf]).unwrap();
+        }
+        let rebuild_with_hub_leaves = |live: &dyn Fn(u32) -> bool| {
+            let mut b = HypergraphBuilder::new();
+            b.add_vertex(Label::new(0));
+            b.add_vertices(n as usize, Label::new(1));
+            b.add_vertices(xs as usize, Label::new(0));
+            b.add_vertices(ys as usize, Label::new(1));
+            for x in n + 1..=n + xs {
+                for y in n + xs + 1..=n + xs + ys {
+                    b.add_edge(vec![x, y]).unwrap();
+                }
+            }
+            for leaf in (1..=n).filter(|&l| live(l)) {
+                b.add_edge(vec![0, leaf]).unwrap();
+            }
+            b.build().unwrap()
+        };
+        {
+            let hub = &d.parts[0].index.cells[&0];
+            assert_eq!(hub.len(), n as usize);
+            let CellRepr::Packed { blocks, tail } = &hub.repr else {
+                panic!("mid-density hub cell should be packed");
+            };
+            assert!(blocks.num_blocks() >= 2, "full spans sealed into blocks");
+            assert!(tail.len() < BLOCK_LEN, "tail stays under one span");
+            assert_eq!(blocks.len() + tail.len(), n as usize);
+        }
+        // Snapshot equals a fresh build (freeze decodes packed cells and
+        // from_sorted_postings re-chooses the canonical representation).
+        let snap = d.snapshot();
+        assert_eq!(*snap.graph, rebuild_with_hub_leaves(&|_| true));
+
+        // Block-interior deletes: still packed at first, byte-equal decode.
+        let mut gone: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        for leaf in (2..=2 * PACKED_CHURN_MIN).step_by(2) {
+            assert!(d.delete_hyperedge(&[0, leaf]).unwrap());
+            gone.insert(leaf);
+        }
+        {
+            let hub = &d.parts[0].index.cells[&0];
+            assert_eq!(hub.len(), (n - PACKED_CHURN_MIN) as usize);
+            assert!(
+                matches!(hub.repr, CellRepr::Packed { .. }),
+                "moderate churn keeps the packed representation"
+            );
+        }
+
+        // Drive churn past the pathological threshold: delete until the
+        // surviving length is at most twice the block-interior churn.
+        let mut deleted = PACKED_CHURN_MIN;
+        let mut leaf = 1;
+        while (n - deleted) as usize > 2 * deleted as usize {
+            assert!(d.delete_hyperedge(&[0, leaf]).unwrap());
+            gone.insert(leaf);
+            leaf += 2;
+            deleted += 1;
+        }
+        assert!(
+            matches!(d.parts[0].index.cells[&0].repr, CellRepr::List(_)),
+            "pathological churn demotes the packed cell to a list"
+        );
+        // The snapshot must still equal a fresh rebuild after the fallback.
+        let snap = d.snapshot();
+        assert_eq!(
+            *snap.graph,
+            rebuild_with_hub_leaves(&|l| !gone.contains(&l))
+        );
     }
 
     #[test]

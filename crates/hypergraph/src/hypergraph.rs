@@ -273,7 +273,7 @@ impl Hypergraph {
     /// `|he(v, s)|`: number of incident hyperedges with signature id `s`.
     #[inline]
     pub fn degree_with_signature(&self, v: VertexId, s: SignatureId) -> usize {
-        self.partitions[s.index()].incident_rows(v.raw()).len()
+        self.partitions[s.index()].incident_posting(v.raw()).len()
     }
 
     /// Number of distinct adjacent vertices `|adj(v)|`.
@@ -361,18 +361,19 @@ impl Hypergraph {
                 .collect(),
         );
         let partition = self.partition_of(&signature)?;
-        // Probe the partition's inverted index via the least-frequent vertex.
-        let mut best: Option<&[u32]> = None;
+        // Probe the partition's inverted index via the least-frequent vertex
+        // (decoding its posting if the index stored it compressed).
+        let mut best: Option<crate::inverted::Posting<'_>> = None;
         for &v in sorted_vertices {
-            let rows = partition.incident_rows(v);
-            if rows.is_empty() {
+            let posting = partition.incident_posting(v);
+            if posting.is_empty() {
                 return None;
             }
-            if best.is_none_or(|b| rows.len() < b.len()) {
-                best = Some(rows);
+            if best.is_none_or(|b| posting.len() < b.len()) {
+                best = Some(posting);
             }
         }
-        best?.iter().copied().find_map(|row| {
+        best?.to_sorted().into_iter().find_map(|row| {
             (partition.row(row) == sorted_vertices).then(|| partition.global_id(row))
         })
     }

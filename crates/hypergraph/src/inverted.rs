@@ -7,13 +7,31 @@
 //! sorted-set operations.
 //!
 //! The index is stored in CSR form over a sorted key array rather than a hash
-//! map: lookups binary-search the key array, and the whole structure is three
+//! map: lookups binary-search the key array, and the whole structure is a few
 //! flat allocations — matching the paper's "lightweight" size analysis of
 //! `O(a_H · |E(H)|)` total postings.
+//!
+//! Postings are stored adaptively in one of three representations
+//! (DESIGN.md §5.4, §14), chosen per key by an internal density rule:
+//!
+//! * **list** — the raw sorted `u32` slice; sparse keys and small partitions.
+//! * **bitmap** — the sorted list *plus* a [`Bitmap`] over the row space, for
+//!   dense keys of large partitions (word-wide set algebra).
+//! * **compressed** — delta-bitpacked blocks
+//!   ([`CompressedPostings`]); mid-density long postings, where the raw list
+//!   is dropped entirely and the fused kernels in [`crate::setops`] decode
+//!   one block at a time.
+//!
+//! `HGMATCH_FORCE_REPR=list|bitmap|compressed` (or [`set_forced_repr`])
+//! pins the choice for stress testing, mirroring `HGMATCH_FORCE_SCALAR`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
 use crate::bitmap::Bitmap;
+use crate::compressed::CompressedPostings;
 
 /// Partitions with fewer rows than this never materialise bitmaps — the
 /// sorted lists are already tiny (DESIGN.md §5.4). Exported so candidate
@@ -24,32 +42,231 @@ pub const MIN_BITMAP_ROWS: usize = 256;
 /// when it covers at least `1/DENSE_KEY_DIV` of the partition's rows.
 const DENSE_KEY_DIV: usize = 32;
 
+/// Postings at least this long that are not bitmap-dense switch to the
+/// delta-bitpacked representation (DESIGN.md §14). Below it, the raw list
+/// fits a cache line or two and block headers would dominate.
+pub const COMPRESSED_MIN_LEN: usize = 64;
+
 /// Sentinel in `dense_idx` for keys without a bitmap.
 const NO_BITMAP: u32 = u32::MAX;
 
-/// The adaptive-representation rule shared by [`InvertedIndex::build`] and
-/// the dynamic index ([`crate::dynamic`]): a key with `posting_len` entries
-/// in a partition of `num_rows` rows carries a bitmap next to its sorted
-/// list exactly when this returns `true`. Centralised so the mutable path
-/// flips representations at the *same* thresholds as a fresh build.
+/// Sentinel in `comp_idx` for keys without a compressed container.
+const NO_COMPRESSED: u32 = u32::MAX;
+
+/// Which of the three posting representations a key uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReprKind {
+    /// Raw sorted row-id list.
+    List,
+    /// Sorted list plus a dense [`Bitmap`] over the partition's row space.
+    Bitmap,
+    /// Delta-bitpacked blocks; the raw list is not stored.
+    Compressed,
+}
+
+/// Forced representation override, process-wide. 0 = none; else
+/// 1 + discriminant of the forced [`ReprKind`].
+static FORCED_REPR: AtomicU8 = AtomicU8::new(0);
+
+fn env_forced_repr() -> Option<ReprKind> {
+    static ENV: OnceLock<Option<ReprKind>> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("HGMATCH_FORCE_REPR").as_deref() {
+        Ok("list") => Some(ReprKind::List),
+        Ok("bitmap") => Some(ReprKind::Bitmap),
+        Ok("compressed") => Some(ReprKind::Compressed),
+        _ => None,
+    })
+}
+
+/// Pins every key to one representation process-wide (`None` restores the
+/// adaptive rule). Takes effect on the next index build or dynamic update;
+/// used by stress tests to prove representations are semantically invisible.
+pub fn set_forced_repr(kind: Option<ReprKind>) {
+    let v = match kind {
+        None => 0,
+        Some(ReprKind::List) => 1,
+        Some(ReprKind::Bitmap) => 2,
+        Some(ReprKind::Compressed) => 3,
+    };
+    FORCED_REPR.store(v, Ordering::Relaxed);
+}
+
+/// The active forced representation ([`set_forced_repr`] or
+/// `HGMATCH_FORCE_REPR=list|bitmap|compressed`), if any. Tests that assert
+/// representation-specific structure skip themselves when this is set.
+pub fn forced_repr() -> Option<ReprKind> {
+    match FORCED_REPR.load(Ordering::Relaxed) {
+        1 => Some(ReprKind::List),
+        2 => Some(ReprKind::Bitmap),
+        3 => Some(ReprKind::Compressed),
+        _ => env_forced_repr(),
+    }
+}
+
+/// Whether the dense-key rule alone (ignoring any forced override) gives
+/// `posting_len` a bitmap in a partition of `num_rows` rows.
 #[inline]
 pub(crate) fn key_is_dense(posting_len: usize, num_rows: usize) -> bool {
     num_rows >= MIN_BITMAP_ROWS && posting_len * DENSE_KEY_DIV >= num_rows
 }
 
-/// A posting set in both of its representations: the sorted row-id list
-/// (always present) and, for dense keys of large partitions, a [`Bitmap`]
-/// over the partition's row space. Consumers pick whichever representation
-/// makes their set operation cheaper (DESIGN.md §5.5).
-#[derive(Debug, Clone, Copy)]
-pub struct Posting<'a> {
-    /// Sorted local row ids.
-    pub list: &'a [u32],
-    /// Dense representation, present only for hot keys.
-    pub bits: Option<&'a Bitmap>,
+/// The adaptive three-way representation rule shared by
+/// [`InvertedIndex::build`] and the dynamic index ([`crate::dynamic`]):
+/// dense keys of large partitions → [`ReprKind::Bitmap`]; other long
+/// postings → [`ReprKind::Compressed`]; everything else →
+/// [`ReprKind::List`]. Centralised — and applied again at freeze time — so
+/// the mutable path flips representations at the *same* thresholds as a
+/// fresh build and the snapshot==rebuild oracle compares identical bytes.
+/// A forced override ([`forced_repr`]) wins over the rule.
+#[inline]
+pub(crate) fn choose_repr(posting_len: usize, num_rows: usize) -> ReprKind {
+    if let Some(kind) = forced_repr() {
+        return kind;
+    }
+    if key_is_dense(posting_len, num_rows) {
+        ReprKind::Bitmap
+    } else if posting_len >= COMPRESSED_MIN_LEN {
+        ReprKind::Compressed
+    } else {
+        ReprKind::List
+    }
 }
 
-/// Inverted index from vertex id to a sorted posting list of local hyperedge
+/// A posting set in whichever representation its key carries. Consumers
+/// dispatch on the arm to pick the cheapest set operation (DESIGN.md §5.5);
+/// [`Posting::decode_into`] materialises the sorted list when a consumer
+/// has no representation-specific path.
+#[derive(Debug, Clone, Copy)]
+pub enum Posting<'a> {
+    /// Sorted local row ids.
+    List(&'a [u32]),
+    /// Dense key: the sorted list plus its bitmap over the row space.
+    Dense {
+        /// Sorted local row ids.
+        list: &'a [u32],
+        /// The same set as one bit per row.
+        bits: &'a Bitmap,
+    },
+    /// Mid-density key: delta-bitpacked blocks, no raw list stored.
+    Compressed(&'a CompressedPostings),
+}
+
+impl<'a> Posting<'a> {
+    /// An empty posting (absent vertex).
+    pub const EMPTY: Posting<'static> = Posting::List(&[]);
+
+    /// Number of row ids in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Posting::List(list) => list.len(),
+            Posting::Dense { list, .. } => list.len(),
+            Posting::Compressed(c) => c.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sorted list when one is stored (`List` and `Dense` arms).
+    #[inline]
+    pub fn as_list(&self) -> Option<&'a [u32]> {
+        match self {
+            Posting::List(list) => Some(list),
+            Posting::Dense { list, .. } => Some(list),
+            Posting::Compressed(_) => None,
+        }
+    }
+
+    /// The bitmap side, present only for dense keys.
+    #[inline]
+    pub fn bits(&self) -> Option<&'a Bitmap> {
+        match self {
+            Posting::Dense { bits, .. } => Some(bits),
+            _ => None,
+        }
+    }
+
+    /// Appends the sorted row ids to `out`, decoding if compressed.
+    pub fn decode_into(&self, out: &mut Vec<u32>) {
+        match self {
+            Posting::List(list) | Posting::Dense { list, .. } => out.extend_from_slice(list),
+            Posting::Compressed(c) => c.decode_into(out),
+        }
+    }
+
+    /// The sorted row ids as a fresh vector.
+    pub fn to_sorted(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len());
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Which representation this posting carries.
+    #[inline]
+    pub fn repr(&self) -> ReprKind {
+        match self {
+            Posting::List(_) => ReprKind::List,
+            Posting::Dense { .. } => ReprKind::Bitmap,
+            Posting::Compressed(_) => ReprKind::Compressed,
+        }
+    }
+}
+
+/// Per-representation key/byte accounting of one index, for the CLI `stats`
+/// breakdown. Bytes cover the posting payloads only (lists, bitmaps, packed
+/// blocks), not the shared CSR key/offset arrays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ReprBreakdown {
+    /// Keys stored as raw lists / their posting entries / their list bytes.
+    pub list_keys: usize,
+    /// Posting entries of list keys.
+    pub list_postings: usize,
+    /// Bytes of list keys (4 per posting).
+    pub list_bytes: usize,
+    /// Keys carrying a bitmap.
+    pub bitmap_keys: usize,
+    /// Posting entries of bitmap keys.
+    pub bitmap_postings: usize,
+    /// Bytes of bitmap keys (sorted list + bitmap words).
+    pub bitmap_bytes: usize,
+    /// Keys stored as delta-bitpacked blocks.
+    pub compressed_keys: usize,
+    /// Posting entries of compressed keys.
+    pub compressed_postings: usize,
+    /// Bytes of compressed keys (headers + packed words).
+    pub compressed_bytes: usize,
+}
+
+impl ReprBreakdown {
+    /// Accumulates another breakdown (e.g. across partitions).
+    pub fn add(&mut self, other: &ReprBreakdown) {
+        self.list_keys += other.list_keys;
+        self.list_postings += other.list_postings;
+        self.list_bytes += other.list_bytes;
+        self.bitmap_keys += other.bitmap_keys;
+        self.bitmap_postings += other.bitmap_postings;
+        self.bitmap_bytes += other.bitmap_bytes;
+        self.compressed_keys += other.compressed_keys;
+        self.compressed_postings += other.compressed_postings;
+        self.compressed_bytes += other.compressed_bytes;
+    }
+
+    /// Total posting entries across all representations.
+    pub fn total_postings(&self) -> usize {
+        self.list_postings + self.bitmap_postings + self.compressed_postings
+    }
+
+    /// Total posting payload bytes across all representations.
+    pub fn total_bytes(&self) -> usize {
+        self.list_bytes + self.bitmap_bytes + self.compressed_bytes
+    }
+}
+
+/// Inverted index from vertex id to a sorted posting set of local hyperedge
 /// row ids within one partition.
 ///
 /// # Example
@@ -62,17 +279,16 @@ pub struct Posting<'a> {
 /// let index = InvertedIndex::build(&rows);
 ///
 /// // he(v, S): vertex 1 is incident to rows 0 and 1.
-/// assert_eq!(index.postings(1), &[0, 1]);
-/// // Absent vertices yield an empty posting list.
-/// assert!(index.postings(9).is_empty());
-/// // Small partitions never materialise bitmaps.
-/// assert!(index.posting(1).bits.is_none());
+/// assert_eq!(index.posting(1).to_sorted(), &[0, 1]);
+/// // Absent vertices yield an empty posting.
+/// assert!(index.posting(9).is_empty());
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InvertedIndex {
     /// Sorted vertex ids that appear in this partition.
     keys: Vec<u32>,
-    /// `offsets[i]..offsets[i+1]` is the posting range of `keys[i]`.
+    /// `offsets[i]..offsets[i+1]` is the posting range of `keys[i]`
+    /// (empty for compressed keys, whose raw list is not stored).
     offsets: Vec<u32>,
     /// Concatenated posting lists (local row ids, ascending per key).
     postings: Vec<u32>,
@@ -82,6 +298,10 @@ pub struct InvertedIndex {
     dense_idx: Vec<u32>,
     /// Bitmaps of the dense keys, in key order.
     bitmaps: Vec<Bitmap>,
+    /// Per-key index into `compressed`, or [`NO_COMPRESSED`].
+    comp_idx: Vec<u32>,
+    /// Delta-bitpacked containers of the compressed keys, in key order.
+    compressed: Vec<CompressedPostings>,
 }
 
 impl InvertedIndex {
@@ -141,28 +361,42 @@ impl InvertedIndex {
         Self::finish(keys, offsets, postings, num_rows)
     }
 
-    /// Shared tail of the constructors: the adaptive representation switch.
-    /// Dense keys of large partitions additionally carry a bitmap over the
-    /// row space, so consumers can run word-wide set algebra against hub
-    /// vertices.
+    /// Shared tail of the constructors: the adaptive representation switch
+    /// ([`choose_repr`]). Dense keys additionally carry a bitmap over the
+    /// row space; mid-density keys re-encode into delta-bitpacked blocks
+    /// and drop their raw list from `postings` entirely.
     fn finish(keys: Vec<u32>, offsets: Vec<u32>, postings: Vec<u32>, num_rows: u32) -> Self {
         let mut dense_idx = vec![NO_BITMAP; keys.len()];
+        let mut comp_idx = vec![NO_COMPRESSED; keys.len()];
         let mut bitmaps = Vec::new();
+        let mut compressed = Vec::new();
+        let mut new_postings = Vec::new();
+        let mut new_offsets = vec![0u32];
         for i in 0..keys.len() {
-            let start = offsets[i] as usize;
-            let end = offsets[i + 1] as usize;
-            if key_is_dense(end - start, num_rows as usize) {
-                dense_idx[i] = bitmaps.len() as u32;
-                bitmaps.push(Bitmap::from_sorted(&postings[start..end], num_rows));
+            let list = &postings[offsets[i] as usize..offsets[i + 1] as usize];
+            match choose_repr(list.len(), num_rows as usize) {
+                ReprKind::List => new_postings.extend_from_slice(list),
+                ReprKind::Bitmap => {
+                    dense_idx[i] = bitmaps.len() as u32;
+                    bitmaps.push(Bitmap::from_sorted(list, num_rows));
+                    new_postings.extend_from_slice(list);
+                }
+                ReprKind::Compressed => {
+                    comp_idx[i] = compressed.len() as u32;
+                    compressed.push(CompressedPostings::from_sorted(list));
+                }
             }
+            new_offsets.push(new_postings.len() as u32);
         }
         Self {
             keys,
-            offsets,
-            postings,
+            offsets: new_offsets,
+            postings: new_postings,
             num_rows,
             dense_idx,
             bitmaps,
+            comp_idx,
+            compressed,
         }
     }
 
@@ -173,24 +407,34 @@ impl InvertedIndex {
         self.num_rows
     }
 
-    /// Returns the posting set for `vertex` in both representations (the
-    /// bitmap side is `None` for sparse keys and absent vertices).
+    /// Returns the posting set for `vertex` in its stored representation
+    /// (an empty [`Posting::List`] for absent vertices).
     #[inline]
     pub fn posting(&self, vertex: u32) -> Posting<'_> {
         match self.keys.binary_search(&vertex) {
-            Ok(i) => {
-                let start = self.offsets[i] as usize;
-                let end = self.offsets[i + 1] as usize;
-                let dense = self.dense_idx[i];
-                Posting {
-                    list: &self.postings[start..end],
-                    bits: (dense != NO_BITMAP).then(|| &self.bitmaps[dense as usize]),
-                }
+            Ok(i) => self.posting_at(i),
+            Err(_) => Posting::EMPTY,
+        }
+    }
+
+    /// The posting of the key at position `i` in the sorted key array.
+    #[inline]
+    fn posting_at(&self, i: usize) -> Posting<'_> {
+        let comp = self.comp_idx[i];
+        if comp != NO_COMPRESSED {
+            return Posting::Compressed(&self.compressed[comp as usize]);
+        }
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        let list = &self.postings[start..end];
+        let dense = self.dense_idx[i];
+        if dense != NO_BITMAP {
+            Posting::Dense {
+                list,
+                bits: &self.bitmaps[dense as usize],
             }
-            Err(_) => Posting {
-                list: &[],
-                bits: None,
-            },
+        } else {
+            Posting::List(list)
         }
     }
 
@@ -200,24 +444,21 @@ impl InvertedIndex {
         self.bitmaps.len()
     }
 
-    /// Returns the posting list (sorted local row ids) for `vertex`, or an
-    /// empty slice if the vertex does not appear in this partition.
+    /// Number of keys stored as delta-bitpacked blocks.
     #[inline]
-    pub fn postings(&self, vertex: u32) -> &[u32] {
-        match self.keys.binary_search(&vertex) {
-            Ok(i) => {
-                let start = self.offsets[i] as usize;
-                let end = self.offsets[i + 1] as usize;
-                &self.postings[start..end]
-            }
-            Err(_) => &[],
-        }
+    pub fn num_compressed_keys(&self) -> usize {
+        self.compressed.len()
     }
 
     /// Number of incidences (total posting entries).
     #[inline]
     pub fn num_postings(&self) -> usize {
         self.postings.len()
+            + self
+                .compressed
+                .iter()
+                .map(CompressedPostings::len)
+                .sum::<usize>()
     }
 
     /// Number of distinct vertices indexed.
@@ -227,20 +468,53 @@ impl InvertedIndex {
     }
 
     /// Approximate heap size of the index in bytes, including the bitmaps
-    /// of dense keys.
+    /// of dense keys and the packed blocks of compressed keys.
     pub fn size_bytes(&self) -> usize {
-        (self.keys.len() + self.offsets.len() + self.postings.len() + self.dense_idx.len())
+        (self.keys.len()
+            + self.offsets.len()
+            + self.postings.len()
+            + self.dense_idx.len()
+            + self.comp_idx.len())
             * std::mem::size_of::<u32>()
             + self.bitmaps.iter().map(Bitmap::size_bytes).sum::<usize>()
+            + self
+                .compressed
+                .iter()
+                .map(CompressedPostings::size_bytes)
+                .sum::<usize>()
     }
 
-    /// Iterates `(vertex, posting list)` pairs in ascending vertex order.
-    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u32])> {
-        self.keys.iter().enumerate().map(move |(i, &v)| {
-            let start = self.offsets[i] as usize;
-            let end = self.offsets[i + 1] as usize;
-            (v, &self.postings[start..end])
-        })
+    /// Per-representation key and byte accounting (CLI `stats`).
+    pub fn repr_breakdown(&self) -> ReprBreakdown {
+        let mut b = ReprBreakdown::default();
+        for i in 0..self.keys.len() {
+            match self.posting_at(i) {
+                Posting::List(list) => {
+                    b.list_keys += 1;
+                    b.list_postings += list.len();
+                    b.list_bytes += std::mem::size_of_val(list);
+                }
+                Posting::Dense { list, bits } => {
+                    b.bitmap_keys += 1;
+                    b.bitmap_postings += list.len();
+                    b.bitmap_bytes += std::mem::size_of_val(list) + bits.size_bytes();
+                }
+                Posting::Compressed(c) => {
+                    b.compressed_keys += 1;
+                    b.compressed_postings += c.len();
+                    b.compressed_bytes += c.size_bytes();
+                }
+            }
+        }
+        b
+    }
+
+    /// Iterates `(vertex, posting)` pairs in ascending vertex order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Posting<'_>)> {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (v, self.posting_at(i)))
     }
 }
 
@@ -254,10 +528,10 @@ mod tests {
         // Partition 1 of the paper's Table I: e1 = {v2, v4}, e2 = {v4, v6}.
         let rows: Vec<&[u32]> = vec![&[2, 4], &[4, 6]];
         let idx = InvertedIndex::build(&rows);
-        assert_eq!(idx.postings(2), &[0]);
-        assert_eq!(idx.postings(4), &[0, 1]);
-        assert_eq!(idx.postings(6), &[1]);
-        assert_eq!(idx.postings(99), &[] as &[u32]);
+        assert_eq!(idx.posting(2).to_sorted(), &[0]);
+        assert_eq!(idx.posting(4).to_sorted(), &[0, 1]);
+        assert_eq!(idx.posting(6).to_sorted(), &[1]);
+        assert!(idx.posting(99).is_empty());
         assert_eq!(idx.num_keys(), 3);
         assert_eq!(idx.num_postings(), 4);
     }
@@ -266,7 +540,7 @@ mod tests {
     fn empty_index() {
         let idx = InvertedIndex::build(&[]);
         assert_eq!(idx.num_keys(), 0);
-        assert_eq!(idx.postings(0), &[] as &[u32]);
+        assert!(idx.posting(0).is_empty());
         assert_eq!(idx.size_bytes(), 4); // the single offset sentinel
     }
 
@@ -274,11 +548,11 @@ mod tests {
     fn posting_lists_are_sorted() {
         let rows: Vec<&[u32]> = vec![&[1, 2, 3], &[2, 3], &[1, 3], &[3]];
         let idx = InvertedIndex::build(&rows);
-        for (_, postings) in idx.iter() {
-            assert!(is_strictly_sorted(postings));
+        for (_, posting) in idx.iter() {
+            assert!(is_strictly_sorted(&posting.to_sorted()));
         }
-        assert_eq!(idx.postings(3), &[0, 1, 2, 3]);
-        assert_eq!(idx.postings(1), &[0, 2]);
+        assert_eq!(idx.posting(3).to_sorted(), &[0, 1, 2, 3]);
+        assert_eq!(idx.posting(1).to_sorted(), &[0, 2]);
     }
 
     #[test]
@@ -291,47 +565,107 @@ mod tests {
 
     #[test]
     fn size_accounts_all_arrays() {
+        if forced_repr().is_some() {
+            return; // exact layout asserts assume the adaptive rule
+        }
         let rows: Vec<&[u32]> = vec![&[1, 2]];
         let idx = InvertedIndex::build(&rows);
-        // keys=2, offsets=3, postings=2, dense_idx=2 → 9 u32s, no bitmaps.
-        assert_eq!(idx.size_bytes(), 9 * 4);
+        // keys=2, offsets=3, postings=2, dense_idx=2, comp_idx=2 → 11 u32s,
+        // no bitmaps or compressed blocks.
+        assert_eq!(idx.size_bytes(), 11 * 4);
         assert_eq!(idx.num_dense_keys(), 0);
+        assert_eq!(idx.num_compressed_keys(), 0);
     }
 
     #[test]
     fn small_partitions_stay_list_only() {
+        if forced_repr().is_some() {
+            return;
+        }
         let rows: Vec<Vec<u32>> = (0..100).map(|_| vec![7u32]).collect();
         let refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
         let idx = InvertedIndex::build(&refs);
-        // Vertex 7 is in every row, but 100 rows < MIN_BITMAP_ROWS.
+        // Vertex 7 is in every row, but 100 rows < MIN_BITMAP_ROWS, and the
+        // posting is long enough for compression.
         assert_eq!(idx.num_dense_keys(), 0);
-        assert!(idx.posting(7).bits.is_none());
-        assert_eq!(idx.posting(7).list.len(), 100);
+        assert_eq!(idx.posting(7).repr(), ReprKind::Compressed);
+        assert_eq!(idx.posting(7).len(), 100);
     }
 
     #[test]
     fn dense_keys_get_bitmaps_sparse_keys_do_not() {
-        // 512 rows; vertex 1 in every row (dense), vertex `100 + r` unique
+        if forced_repr().is_some() {
+            return;
+        }
+        // 512 rows; vertex 1 in every row (dense), vertex `1000 + r` unique
         // per row (sparse).
-        let rows: Vec<Vec<u32>> = (0..512u32).map(|r| vec![1, 100 + r]).collect();
+        let rows: Vec<Vec<u32>> = (0..512u32).map(|r| vec![1, 1000 + r]).collect();
         let refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
         let idx = InvertedIndex::build(&refs);
         assert_eq!(idx.num_rows(), 512);
         assert_eq!(idx.num_dense_keys(), 1);
 
         let dense = idx.posting(1);
-        assert_eq!(dense.list.len(), 512);
-        let bits = dense.bits.expect("hub vertex must be dense");
-        assert_eq!(bits.to_sorted(), dense.list);
+        assert_eq!(dense.len(), 512);
+        let bits = dense.bits().expect("hub vertex must be dense");
+        assert_eq!(bits.to_sorted(), dense.as_list().unwrap());
 
-        let sparse = idx.posting(100);
-        assert_eq!(sparse.list, &[0]);
-        assert!(sparse.bits.is_none());
+        let sparse = idx.posting(1000);
+        assert_eq!(sparse.to_sorted(), &[0]);
+        assert!(sparse.bits().is_none());
 
-        let absent = idx.posting(99);
-        assert!(absent.list.is_empty() && absent.bits.is_none());
+        let absent = idx.posting(999);
+        assert!(absent.is_empty() && absent.bits().is_none());
 
         // Bitmap bytes are accounted.
-        assert!(idx.size_bytes() > (idx.num_keys() * 2 + 1 + idx.num_postings()) * 4);
+        assert!(idx.size_bytes() > (idx.num_keys() * 3 + 1 + idx.num_postings()) * 4);
+    }
+
+    #[test]
+    fn mid_density_keys_compress() {
+        if forced_repr().is_some() {
+            return;
+        }
+        // 8192 rows; vertex 1 in every 32nd row: exactly the bitmap
+        // threshold boundary — len * 32 == rows qualifies as dense, so use
+        // every 33rd row to land in compressed territory.
+        let rows: Vec<Vec<u32>> = (0..8192u32)
+            .map(|r| {
+                if r % 33 == 0 {
+                    vec![1, 2 + r]
+                } else {
+                    vec![2 + r]
+                }
+            })
+            .collect();
+        let refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let idx = InvertedIndex::build(&refs);
+        let posting = idx.posting(1);
+        assert_eq!(posting.repr(), ReprKind::Compressed);
+        assert_eq!(idx.num_compressed_keys(), 1);
+        let expected: Vec<u32> = (0..8192).filter(|r| r % 33 == 0).collect();
+        assert_eq!(posting.to_sorted(), expected);
+        assert_eq!(idx.num_postings(), 8192 + expected.len());
+
+        let b = idx.repr_breakdown();
+        assert_eq!(b.compressed_keys, 1);
+        assert_eq!(b.compressed_postings, expected.len());
+        assert_eq!(b.total_postings(), idx.num_postings());
+        // The memory win: packed bytes far below the 4 B/posting raw list.
+        assert!(b.compressed_bytes * 3 < expected.len() * 4);
+    }
+
+    #[test]
+    fn forced_repr_env_parsing_is_inert_here() {
+        // This test only pins the programmatic accessor's default; the
+        // env-driven path is exercised by the repr-stress CI job.
+        let forced = forced_repr();
+        assert!(
+            forced.is_none()
+                || matches!(
+                    forced,
+                    Some(ReprKind::List) | Some(ReprKind::Bitmap) | Some(ReprKind::Compressed)
+                )
+        );
     }
 }

@@ -26,6 +26,7 @@
 pub mod bipartite;
 pub mod bitmap;
 pub mod builder;
+pub mod compressed;
 pub mod dynamic;
 pub mod error;
 pub mod fxhash;
@@ -40,11 +41,12 @@ pub mod stats;
 
 pub use bitmap::Bitmap;
 pub use builder::HypergraphBuilder;
+pub use compressed::CompressedPostings;
 pub use dynamic::{DynamicHypergraph, SnapshotDelta, UpdateOp};
 pub use error::{HypergraphError, Result};
 pub use hypergraph::Hypergraph;
 pub use ids::{EdgeId, Label, SignatureId, VertexId};
-pub use inverted::{InvertedIndex, Posting};
+pub use inverted::{InvertedIndex, Posting, ReprBreakdown, ReprKind};
 pub use partition::Partition;
 pub use signature::{Signature, SignatureInterner};
 pub use stats::{HypergraphStats, LabelCardinality, PartitionStats};

@@ -152,15 +152,10 @@ impl Partition {
         &self.stats
     }
 
-    /// Posting list of local rows incident to `vertex` — `he(v, s)` for this
-    /// partition's signature `s`.
-    #[inline]
-    pub fn incident_rows(&self, vertex: u32) -> &[u32] {
-        self.index.postings(vertex)
-    }
-
-    /// Posting set of `vertex` in both representations (sorted list plus a
-    /// bitmap for dense keys) — lets Algorithm 4 pick the cheaper one.
+    /// Posting set of local rows incident to `vertex` — `he(v, s)` for this
+    /// partition's signature `s` — in whichever representation the index
+    /// chose (sorted list, bitmap-augmented list, or delta-bitpacked
+    /// blocks); Algorithm 4 dispatches on it to pick the cheapest kernel.
     #[inline]
     pub fn incident_posting(&self, vertex: u32) -> crate::inverted::Posting<'_> {
         self.index.posting(vertex)
@@ -218,12 +213,12 @@ mod tests {
     }
 
     #[test]
-    fn incident_rows_match_paper_table() {
+    fn incident_postings_match_paper_table() {
         let p = sample();
-        assert_eq!(p.incident_rows(0), &[0]);
-        assert_eq!(p.incident_rows(4), &[0, 1]); // v4 → [e5, e6]
-        assert_eq!(p.incident_rows(5), &[1]);
-        assert_eq!(p.incident_rows(7), &[] as &[u32]);
+        assert_eq!(p.incident_posting(0).to_sorted(), vec![0]);
+        assert_eq!(p.incident_posting(4).to_sorted(), vec![0, 1]); // v4 → [e5, e6]
+        assert_eq!(p.incident_posting(5).to_sorted(), vec![1]);
+        assert!(p.incident_posting(7).is_empty());
     }
 
     #[test]

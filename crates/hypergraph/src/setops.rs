@@ -32,6 +32,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
+use crate::compressed::{CompressedPostings, BLOCK_LEN};
+
 /// Size ratio above which intersection switches from linear merge to
 /// galloping search. With `|small| * RATIO < |large|`, probing the large side
 /// with exponential search beats scanning it.
@@ -110,6 +112,13 @@ fn use_simd(a_len: usize, b_len: usize) -> bool {
 /// SIMD block kernel, else linear merge (DESIGN.md §5.2).
 pub fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     out.clear();
+    intersect_append(a, b, out);
+}
+
+/// Appending form of [`intersect_into`]: the same dispatch, but the result
+/// is pushed after `out`'s existing contents. This is what the fused
+/// compressed kernels call once per decoded block.
+fn intersect_append(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     if a.is_empty() || b.is_empty() {
         return;
     }
@@ -142,6 +151,11 @@ pub fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
 /// always available, never SIMD.
 pub fn intersect_into_scalar(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     out.clear();
+    intersect_append_scalar(a, b, out);
+}
+
+/// Appending form of [`intersect_into_scalar`].
+fn intersect_append_scalar(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     if a.is_empty() || b.is_empty() {
         return;
     }
@@ -349,6 +363,11 @@ pub fn union_many(mut inputs: Vec<&[u32]>) -> Vec<u32> {
 /// inputs, scalar merge otherwise.
 pub fn difference_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     out.clear();
+    difference_append(a, b, out);
+}
+
+/// Appending form of [`difference_into`], for the fused compressed kernels.
+fn difference_append(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     if a.is_empty() {
         return;
     }
@@ -480,6 +499,214 @@ pub fn is_strictly_sorted(slice: &[u32]) -> bool {
     slice.windows(2).all(|w| w[0] < w[1])
 }
 
+// ---------------------------------------------------------------------------
+// Fused kernels over delta-bitpacked postings (DESIGN.md §14).
+//
+// Each kernel walks the container block by block, decodes one block into a
+// stack-resident `[u32; BLOCK_LEN]` scratch, and runs the ordinary
+// (KernelMode-dispatched) append kernels against the overlapping subrange of
+// the list operand — the whole posting is never materialised, and blocks
+// whose `[min, max]` span cannot overlap the list are skipped without
+// decoding. The `_scalar` variants decode fully and run the scalar oracle
+// kernels, giving the cross-check tests a fused-free reference.
+// ---------------------------------------------------------------------------
+
+/// Intersects a compressed posting with a sorted list into `out` (cleared
+/// first). Commutative in contents: `c ∩ list`.
+pub fn intersect_compressed_into(c: &CompressedPostings, list: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    if c.is_empty() || list.is_empty() {
+        return;
+    }
+    let mut scratch = [0u32; BLOCK_LEN];
+    let mut lo = 0usize;
+    for bi in 0..c.num_blocks() {
+        let (bmin, bmax) = c.block_range(bi);
+        lo += list[lo..].partition_point(|&x| x < bmin);
+        if lo == list.len() {
+            return;
+        }
+        if list[lo] > bmax {
+            continue; // block sits entirely in a gap of the list
+        }
+        let hi = lo + list[lo..].partition_point(|&x| x <= bmax);
+        if c.block_is_run(bi) {
+            // Run block: every integer in [bmin, bmax] is stored, so the
+            // intersection is exactly the list subrange — no decode.
+            out.extend_from_slice(&list[lo..hi]);
+        } else {
+            intersect_append(c.decode_block(bi, &mut scratch), &list[lo..hi], out);
+        }
+        lo = hi;
+        if lo == list.len() {
+            return;
+        }
+    }
+}
+
+/// Scalar oracle for [`intersect_compressed_into`]: full decode, then the
+/// scalar intersection.
+pub fn intersect_compressed_into_scalar(c: &CompressedPostings, list: &[u32], out: &mut Vec<u32>) {
+    let decoded = c.to_sorted();
+    intersect_into_scalar(&decoded, list, out);
+}
+
+/// Computes `c \ list` into `out` (cleared first).
+pub fn difference_compressed_list_into(c: &CompressedPostings, list: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    if c.is_empty() {
+        return;
+    }
+    let mut scratch = [0u32; BLOCK_LEN];
+    let mut lo = 0usize;
+    for bi in 0..c.num_blocks() {
+        let (bmin, bmax) = c.block_range(bi);
+        lo += list[lo..].partition_point(|&x| x < bmin);
+        let hi = lo + list[lo..].partition_point(|&x| x <= bmax);
+        if c.block_is_run(bi) {
+            // Run block minus the list subrange: emit the inter-hole runs,
+            // collapsing consecutive list values into a single skip. The
+            // cursors are u64 so a run ending at u32::MAX cannot overflow.
+            let sub = &list[lo..hi];
+            let mut v = u64::from(bmin);
+            let mut k = 0;
+            while k < sub.len() {
+                out.extend(v as u32..sub[k]);
+                let mut e = u64::from(sub[k]) + 1;
+                k += 1;
+                while k < sub.len() && u64::from(sub[k]) == e {
+                    e += 1;
+                    k += 1;
+                }
+                v = e;
+            }
+            if v <= u64::from(bmax) {
+                out.extend(v as u32..=bmax);
+            }
+        } else {
+            difference_append(c.decode_block(bi, &mut scratch), &list[lo..hi], out);
+        }
+        lo = hi;
+    }
+}
+
+/// Computes `list \ c` into `out` (cleared first).
+pub fn difference_list_compressed_into(list: &[u32], c: &CompressedPostings, out: &mut Vec<u32>) {
+    out.clear();
+    if list.is_empty() {
+        return;
+    }
+    let mut scratch = [0u32; BLOCK_LEN];
+    let mut lo = 0usize;
+    for bi in 0..c.num_blocks() {
+        let (bmin, bmax) = c.block_range(bi);
+        // Everything below the block's span survives untouched.
+        let split = lo + list[lo..].partition_point(|&x| x < bmin);
+        out.extend_from_slice(&list[lo..split]);
+        lo = split;
+        if lo == list.len() {
+            return;
+        }
+        let hi = lo + list[lo..].partition_point(|&x| x <= bmax);
+        if hi > lo {
+            if !c.block_is_run(bi) {
+                difference_append(&list[lo..hi], c.decode_block(bi, &mut scratch), out);
+            }
+            // Run block: every list value inside [bmin, bmax] is stored in
+            // the block, so the whole subrange is subtracted — emit nothing.
+            lo = hi;
+        }
+    }
+    out.extend_from_slice(&list[lo..]);
+}
+
+/// Tests whether a compressed posting and a sorted list share an element.
+pub fn intersects_compressed(c: &CompressedPostings, list: &[u32]) -> bool {
+    if c.is_empty() || list.is_empty() {
+        return false;
+    }
+    let mut scratch = [0u32; BLOCK_LEN];
+    let mut lo = 0usize;
+    for bi in 0..c.num_blocks() {
+        let (bmin, bmax) = c.block_range(bi);
+        lo += list[lo..].partition_point(|&x| x < bmin);
+        if lo == list.len() {
+            return false;
+        }
+        if list[lo] > bmax {
+            continue;
+        }
+        if c.block_is_run(bi) {
+            return true; // list[lo] ∈ [bmin, bmax] and runs store the span
+        }
+        let hi = lo + list[lo..].partition_point(|&x| x <= bmax);
+        if intersects(c.decode_block(bi, &mut scratch), &list[lo..hi]) {
+            return true;
+        }
+        lo = hi;
+        if lo == list.len() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Tests whether every element of a compressed posting is in sorted `sup`.
+pub fn is_subset_compressed_list(c: &CompressedPostings, sup: &[u32]) -> bool {
+    if c.len() > sup.len() {
+        return false;
+    }
+    let mut scratch = [0u32; BLOCK_LEN];
+    let mut lo = 0usize;
+    for bi in 0..c.num_blocks() {
+        let (bmin, bmax) = c.block_range(bi);
+        lo += sup[lo..].partition_point(|&x| x < bmin);
+        let hi = lo + sup[lo..].partition_point(|&x| x <= bmax);
+        if hi - lo < c.block_len(bi) {
+            return false;
+        }
+        // Run block: `hi - lo >= count` distinct sup values inside a span of
+        // exactly `count` integers means sup covers the block verbatim.
+        if !c.block_is_run(bi) && !is_subset(c.decode_block(bi, &mut scratch), &sup[lo..hi]) {
+            return false;
+        }
+        lo = hi;
+    }
+    true
+}
+
+/// Tests whether every element of sorted `sub` is in a compressed posting.
+pub fn is_subset_list_compressed(sub: &[u32], c: &CompressedPostings) -> bool {
+    if sub.is_empty() {
+        return true;
+    }
+    if sub.len() > c.len() {
+        return false;
+    }
+    let mut scratch = [0u32; BLOCK_LEN];
+    let mut lo = 0usize;
+    for bi in 0..c.num_blocks() {
+        let (bmin, bmax) = c.block_range(bi);
+        if sub[lo] < bmin {
+            // A value fell into the gap before this block: not stored.
+            return false;
+        }
+        let hi = lo + sub[lo..].partition_point(|&x| x <= bmax);
+        if hi > lo {
+            // Run blocks store every integer of their span, so the subrange
+            // is covered for free.
+            if !c.block_is_run(bi) && !is_subset(&sub[lo..hi], c.decode_block(bi, &mut scratch)) {
+                return false;
+            }
+            lo = hi;
+            if lo == sub.len() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// SSE/AVX2 block kernels (DESIGN.md §5.2).
 ///
 /// Both intersection and difference share one structure: load one block per
@@ -583,16 +810,16 @@ mod simd {
         acc
     }
 
-    /// AVX2 intersection of strictly sorted slices. `out` must be empty.
+    /// AVX2 intersection of strictly sorted slices, appended to `out`.
     ///
     /// # Safety
     /// Requires AVX2 (checked by the caller via [`have_avx2`]).
     #[target_feature(enable = "avx2")]
     pub unsafe fn intersect_avx2(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
-        debug_assert!(out.is_empty());
+        let base = out.len();
         out.reserve(a.len().min(b.len()) + 8);
         let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
-        let pout = out.as_mut_ptr();
+        let pout = out.as_mut_ptr().add(base);
         let mut acc = _mm256_setzero_si256();
         while i + 8 <= a.len() && j + 8 <= b.len() {
             let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
@@ -614,7 +841,7 @@ mod simd {
                 acc = _mm256_setzero_si256();
             }
         }
-        out.set_len(k);
+        out.set_len(base + k);
         finish_partial_and_tail(a, b, i, j, movemask_pending_avx2(acc), out, true);
     }
 
@@ -624,17 +851,17 @@ mod simd {
         _mm256_movemask_ps(_mm256_castsi256_ps(acc)) as usize
     }
 
-    /// AVX2 difference (`a \ b`) of strictly sorted slices. `out` must be
-    /// empty.
+    /// AVX2 difference (`a \ b`) of strictly sorted slices, appended to
+    /// `out`.
     ///
     /// # Safety
     /// Requires AVX2 (checked by the caller via [`have_avx2`]).
     #[target_feature(enable = "avx2")]
     pub unsafe fn difference_avx2(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
-        debug_assert!(out.is_empty());
+        let base = out.len();
         out.reserve(a.len() + 8);
         let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
-        let pout = out.as_mut_ptr();
+        let pout = out.as_mut_ptr().add(base);
         let mut acc = _mm256_setzero_si256();
         while i + 8 <= a.len() && j + 8 <= b.len() {
             let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
@@ -656,7 +883,7 @@ mod simd {
                 acc = _mm256_setzero_si256();
             }
         }
-        out.set_len(k);
+        out.set_len(base + k);
         finish_partial_and_tail(a, b, i, j, movemask_pending_avx2(acc), out, false);
     }
 
@@ -674,16 +901,16 @@ mod simd {
         _mm_or_si128(_mm_or_si128(m0, m1), _mm_or_si128(m2, m3))
     }
 
-    /// SSSE3 intersection of strictly sorted slices. `out` must be empty.
+    /// SSSE3 intersection of strictly sorted slices, appended to `out`.
     ///
     /// # Safety
     /// Requires SSSE3 (checked by the caller via [`have_ssse3`]).
     #[target_feature(enable = "ssse3")]
     pub unsafe fn intersect_ssse3(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
-        debug_assert!(out.is_empty());
+        let base = out.len();
         out.reserve(a.len().min(b.len()) + 4);
         let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
-        let pout = out.as_mut_ptr();
+        let pout = out.as_mut_ptr().add(base);
         let mut acc = _mm_setzero_si128();
         while i + 4 <= a.len() && j + 4 <= b.len() {
             let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
@@ -704,22 +931,22 @@ mod simd {
                 acc = _mm_setzero_si128();
             }
         }
-        out.set_len(k);
+        out.set_len(base + k);
         let pending = _mm_movemask_ps(_mm_castsi128_ps(acc)) as usize;
         finish_partial_and_tail4(a, b, i, j, pending, out, true);
     }
 
-    /// SSSE3 difference (`a \ b`) of strictly sorted slices. `out` must be
-    /// empty.
+    /// SSSE3 difference (`a \ b`) of strictly sorted slices, appended to
+    /// `out`.
     ///
     /// # Safety
     /// Requires SSSE3 (checked by the caller via [`have_ssse3`]).
     #[target_feature(enable = "ssse3")]
     pub unsafe fn difference_ssse3(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
-        debug_assert!(out.is_empty());
+        let base = out.len();
         out.reserve(a.len() + 4);
         let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
-        let pout = out.as_mut_ptr();
+        let pout = out.as_mut_ptr().add(base);
         let mut acc = _mm_setzero_si128();
         while i + 4 <= a.len() && j + 4 <= b.len() {
             let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
@@ -740,7 +967,7 @@ mod simd {
                 acc = _mm_setzero_si128();
             }
         }
-        out.set_len(k);
+        out.set_len(base + k);
         let pending = _mm_movemask_ps(_mm_castsi128_ps(acc)) as usize;
         finish_partial_and_tail4(a, b, i, j, pending, out, false);
     }
@@ -1030,5 +1257,105 @@ mod tests {
         assert_eq!(intersect(&a, &b), Vec::<u32>::new());
         assert_eq!(difference(&a, &a), Vec::<u32>::new());
         assert_eq!(difference(&a, &b), a);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn simd_kernels_append_after_existing_contents() {
+        let a = pseudo_sorted(11, 500, 3);
+        let b = pseudo_sorted(42, 500, 3);
+        let mut expected = vec![7u32, 8, 9];
+        let mut tail = Vec::new();
+        intersect_into_scalar(&a, &b, &mut tail);
+        expected.extend_from_slice(&tail);
+        if simd::have_avx2() {
+            let mut out = vec![7u32, 8, 9];
+            // SAFETY: AVX2 verified above.
+            unsafe { simd::intersect_avx2(&a, &b, &mut out) };
+            assert_eq!(out, expected);
+        }
+        if simd::have_ssse3() {
+            let mut out = vec![7u32, 8, 9];
+            // SAFETY: SSSE3 verified above.
+            unsafe { simd::intersect_ssse3(&a, &b, &mut out) };
+            assert_eq!(out, expected);
+        }
+    }
+
+    /// Fused-vs-oracle check across shapes that exercise block skipping,
+    /// partial overlap, and both kernel families.
+    #[test]
+    fn fused_compressed_kernels_match_oracles() {
+        let shapes = [
+            (0usize, 100usize, 1u32),
+            (100, 0, 3),
+            (50, 50, 2),
+            (300, 300, 3),
+            (1000, 100, 17),
+            (100, 1000, 17),
+            (5000, 5000, 5),
+        ];
+        let mut fused = Vec::new();
+        let mut oracle = Vec::new();
+        for (lc, ll, stride) in shapes {
+            let cv = pseudo_sorted(lc as u64 + 7, lc, stride);
+            let list = pseudo_sorted(ll as u64 + 31, ll, stride);
+            let c = crate::compressed::CompressedPostings::from_sorted(&cv);
+
+            intersect_compressed_into(&c, &list, &mut fused);
+            intersect_compressed_into_scalar(&c, &list, &mut oracle);
+            assert_eq!(fused, oracle, "intersect {lc}x{ll} stride {stride}");
+
+            difference_compressed_list_into(&c, &list, &mut fused);
+            difference_into_scalar(&cv, &list, &mut oracle);
+            assert_eq!(fused, oracle, "c\\list {lc}x{ll} stride {stride}");
+
+            difference_list_compressed_into(&list, &c, &mut fused);
+            difference_into_scalar(&list, &cv, &mut oracle);
+            assert_eq!(fused, oracle, "list\\c {lc}x{ll} stride {stride}");
+
+            assert_eq!(
+                intersects_compressed(&c, &list),
+                intersects(&cv, &list),
+                "intersects {lc}x{ll} stride {stride}"
+            );
+            assert_eq!(
+                is_subset_compressed_list(&c, &list),
+                is_subset(&cv, &list),
+                "c⊆list {lc}x{ll} stride {stride}"
+            );
+            assert_eq!(
+                is_subset_list_compressed(&list, &c),
+                is_subset(&list, &cv),
+                "list⊆c {lc}x{ll} stride {stride}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_kernels_handle_subsets_and_disjoint_blocks() {
+        // c spans three widely separated blocks; the list sits between them.
+        let mut cv: Vec<u32> = (0..300).collect();
+        cv.extend(100_000..100_300u32);
+        cv.extend(900_000..900_300u32);
+        let c = crate::compressed::CompressedPostings::from_sorted(&cv);
+        let between: Vec<u32> = (50_000..50_100).collect();
+        let mut out = Vec::new();
+        intersect_compressed_into(&c, &between, &mut out);
+        assert!(out.is_empty());
+        assert!(!intersects_compressed(&c, &between));
+        difference_list_compressed_into(&between, &c, &mut out);
+        assert_eq!(out, between);
+        difference_compressed_list_into(&c, &between, &mut out);
+        assert_eq!(out, cv);
+
+        // Strict subset relationships in both directions.
+        let sub: Vec<u32> = cv.iter().copied().step_by(7).collect();
+        assert!(is_subset_list_compressed(&sub, &c));
+        assert!(is_subset_compressed_list(&c, &cv));
+        let mut missing = sub.clone();
+        missing.push(50_000); // in the inter-block gap
+        missing.sort_unstable();
+        assert!(!is_subset_list_compressed(&missing, &c));
     }
 }

@@ -169,13 +169,15 @@ fn bitmap_threshold_crossing_round_trip() {
     }
     let snap = dynamic.snapshot();
     assert_eq!(*snap.graph, model.rebuild());
-    assert!(
-        snap.graph
-            .partition(hgmatch_hypergraph::SignatureId::new(0))
-            .index()
-            .num_dense_keys()
-            > 0
-    );
+    if hgmatch_hypergraph::inverted::forced_repr().is_none() {
+        assert!(
+            snap.graph
+                .partition(hgmatch_hypergraph::SignatureId::new(0))
+                .index()
+                .num_dense_keys()
+                > 0
+        );
+    }
 
     for leaf in 1..n {
         dynamic.delete_hyperedge(&[0, leaf]).unwrap();
@@ -183,11 +185,109 @@ fn bitmap_threshold_crossing_round_trip() {
     model.live.retain(|e| e[1] == n);
     let snap = dynamic.snapshot();
     assert_eq!(*snap.graph, model.rebuild());
-    assert_eq!(
-        snap.graph
-            .partition(hgmatch_hypergraph::SignatureId::new(0))
-            .index()
-            .num_dense_keys(),
-        0
-    );
+    if hgmatch_hypergraph::inverted::forced_repr().is_none() {
+        assert_eq!(
+            snap.graph
+                .partition(hgmatch_hypergraph::SignatureId::new(0))
+                .index()
+                .num_dense_keys(),
+            0
+        );
+    }
+}
+
+/// Deterministic regression for the three-way representation rule: a hub
+/// key driven across *both* thresholds — list (< COMPRESSED_MIN_LEN rows),
+/// then the compressed mid-density band (long posting, sparse in a diluted
+/// row space), then dense enough for a bitmap — with a snapshot==rebuild
+/// check at each stage, and back down via deletions.
+#[test]
+fn three_way_representation_thresholds_round_trip() {
+    use hgmatch_hypergraph::inverted::{
+        forced_repr, ReprKind, COMPRESSED_MIN_LEN, MIN_BITMAP_ROWS,
+    };
+
+    let hub_edges = 300u32;
+    assert!(hub_edges as usize >= MIN_BITMAP_ROWS); // stage 2 reaches bitmap
+    assert!(hub_edges as usize >= COMPRESSED_MIN_LEN); // stage 3 can compress
+    let dilution = 32 * hub_edges; // pushes hub density below rows/32
+    let mut model = Model {
+        labels: Vec::new(),
+        live: Vec::new(),
+    };
+    let mut dynamic = DynamicHypergraph::new();
+    let add = |model: &mut Model, d: &mut DynamicHypergraph, l: u32| {
+        model.labels.push(Label::new(l));
+        d.add_vertex(Label::new(l));
+        (model.labels.len() - 1) as u32
+    };
+    let hub = add(&mut model, &mut dynamic, 0);
+    let leaves: Vec<u32> = (0..hub_edges)
+        .map(|_| add(&mut model, &mut dynamic, 1))
+        .collect();
+    let xs: Vec<u32> = (0..98).map(|_| add(&mut model, &mut dynamic, 0)).collect();
+    let ys: Vec<u32> = (0..98).map(|_| add(&mut model, &mut dynamic, 1)).collect();
+
+    let hub_repr = |snap: &Hypergraph| {
+        snap.partitions()
+            .iter()
+            .find(|p| !p.incident_posting(hub).is_empty())
+            .map(|p| p.incident_posting(hub).repr())
+    };
+    let insert = |model: &mut Model, d: &mut DynamicHypergraph, e: Vec<u32>| {
+        d.insert_hyperedge(e.clone()).unwrap();
+        model.live.push(e);
+    };
+
+    // Stage 1: a handful of hub edges — plain list.
+    for &leaf in &leaves[..8] {
+        insert(&mut model, &mut dynamic, vec![hub, leaf]);
+    }
+    let snap = dynamic.snapshot();
+    assert_eq!(*snap.graph, model.rebuild());
+    if forced_repr().is_none() {
+        assert_eq!(hub_repr(&snap.graph), Some(ReprKind::List));
+    }
+
+    // Stage 2: full hub posting — dense in the small partition: bitmap.
+    for &leaf in &leaves[8..] {
+        insert(&mut model, &mut dynamic, vec![hub, leaf]);
+    }
+    let snap = dynamic.snapshot();
+    assert_eq!(*snap.graph, model.rebuild());
+    if forced_repr().is_none() {
+        assert_eq!(hub_repr(&snap.graph), Some(ReprKind::Bitmap));
+    }
+
+    // Stage 3: dilute the same partition with hub-free {0,1} edges until
+    // the hub key sits in the mid-density band: compressed.
+    let mut made = 0u32;
+    'dilute: for &x in &xs {
+        for &y in &ys {
+            insert(&mut model, &mut dynamic, vec![x, y]);
+            made += 1;
+            if made == dilution {
+                break 'dilute;
+            }
+        }
+    }
+    assert_eq!(made, dilution, "dilution pool too small");
+    let snap = dynamic.snapshot();
+    assert_eq!(*snap.graph, model.rebuild());
+    if forced_repr().is_none() {
+        assert_eq!(hub_repr(&snap.graph), Some(ReprKind::Compressed));
+    }
+
+    // Stage 4: delete hub edges back below COMPRESSED_MIN_LEN: list again.
+    for &leaf in &leaves[8..] {
+        assert!(dynamic.delete_hyperedge(&[hub, leaf]).unwrap());
+    }
+    model
+        .live
+        .retain(|e| e[0] != hub || leaves[..8].contains(&e[1]));
+    let snap = dynamic.snapshot();
+    assert_eq!(*snap.graph, model.rebuild());
+    if forced_repr().is_none() {
+        assert_eq!(hub_repr(&snap.graph), Some(ReprKind::List));
+    }
 }

@@ -32,6 +32,18 @@ pub struct Measurement {
     pub iters_per_sample: u64,
 }
 
+/// One recorded scalar metric — a non-timing number a bench wants in the
+/// JSON report next to its timing rows (e.g. bytes/posting of a container).
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Metric id, same `group/name` convention as benchmark ids.
+    pub name: String,
+    /// The value.
+    pub value: f64,
+    /// Unit label (reported verbatim, e.g. `"B/posting"`).
+    pub unit: String,
+}
+
 /// Benchmark identifier, optionally parameterised.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -88,6 +100,7 @@ pub struct Criterion {
     default_sample_size: usize,
     default_measurement_time: Duration,
     results: Vec<Measurement>,
+    metrics: Vec<Metric>,
 }
 
 impl Default for Criterion {
@@ -96,6 +109,7 @@ impl Default for Criterion {
             default_sample_size: 20,
             default_measurement_time: Duration::from_millis(600),
             results: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 }
@@ -187,6 +201,19 @@ impl Criterion {
         &self.results
     }
 
+    /// Records a scalar (non-timing) metric into the JSON report's
+    /// `"metrics"` table, e.g. a memory measurement taken alongside the
+    /// timing rows. Also echoed to stdout.
+    pub fn record_metric(&mut self, name: impl Into<String>, value: f64, unit: impl Into<String>) {
+        let m = Metric {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+        };
+        println!("metric {:<50} {:>14.4} {}", m.name, m.value, m.unit);
+        self.metrics.push(m);
+    }
+
     /// Writes the JSON report if `$HGMATCH_BENCH_JSON` is set. Called by
     /// [`criterion_main!`] after all groups run.
     pub fn final_report(&self) {
@@ -202,7 +229,19 @@ impl Criterion {
                 m.name, m.median_ns, m.mean_ns, m.min_ns, m.samples, m.iters_per_sample
             ));
         }
-        out.push_str("  ]\n}\n");
+        if self.metrics.is_empty() {
+            out.push_str("  ]\n}\n");
+        } else {
+            out.push_str("  ],\n  \"metrics\": [\n");
+            for (i, m) in self.metrics.iter().enumerate() {
+                let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "    {{\"name\": {:?}, \"value\": {:.4}, \"unit\": {:?}}}{comma}\n",
+                    m.name, m.value, m.unit
+                ));
+            }
+            out.push_str("  ]\n}\n");
+        }
         match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
             Ok(()) => eprintln!("wrote benchmark report to {path}"),
             Err(e) => eprintln!("failed to write benchmark report to {path}: {e}"),
@@ -311,6 +350,7 @@ mod tests {
             default_sample_size: 5,
             default_measurement_time: Duration::from_millis(20),
             results: Vec::new(),
+            metrics: Vec::new(),
         };
         c.bench_function("spin", |b| {
             b.iter(|| (0..100u64).sum::<u64>());
@@ -327,6 +367,7 @@ mod tests {
             default_sample_size: 3,
             default_measurement_time: Duration::from_millis(10),
             results: Vec::new(),
+            metrics: Vec::new(),
         };
         let mut g = c.benchmark_group("g");
         g.sample_size(3).measurement_time(Duration::from_millis(10));
