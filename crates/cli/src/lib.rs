@@ -28,9 +28,13 @@
 //! * `gen-stream` — generate a random update stream with a configurable
 //!   insert:delete ratio (the `datasets` update-stream generator).
 //! * `explain <labels.txt> <edges.txt> <qlabels.txt> <qedges.txt>
-//!   [--json]` — show the cost-based matching order, its per-step cost
-//!   estimates next to the greedy Algorithm 3 baseline, and the dataflow;
-//!   `--json` emits a deterministic machine-readable report.
+//!   [--json|--observed]` — show the cost-based matching order, its
+//!   per-step cost estimates next to the greedy Algorithm 3 baseline, and
+//!   the dataflow; `--json` emits a deterministic machine-readable
+//!   report; `--observed` additionally executes the query (sequential
+//!   reference run) and reports per-position observed candidate counts
+//!   next to the planner's estimates — the same observed/estimated ratios
+//!   the adaptive re-optimizer's trigger consumes (DESIGN.md §15).
 //! * `sample-query <labels.txt> <edges.txt> <setting> <seed>
 //!   <out-labels> <out-edges>` — draw a random-walk query (q2/q3/q4/q6).
 
@@ -54,7 +58,7 @@ pub const USAGE: &str = "usage:
   hgmatch serve <labels> <edges> [--input FILE] [serve flags]
   hgmatch update <labels> <edges> <stream.txt> [update flags]
   hgmatch gen-stream <labels> <edges> <ops> <insert-ratio> <seed> <out.txt>
-  hgmatch explain <labels> <edges> <qlabels> <qedges> [--json]
+  hgmatch explain <labels> <edges> <qlabels> <qedges> [--json|--observed]
   hgmatch sample-query <labels> <edges> <q2|q3|q4|q6> <seed> <out-labels> <out-edges>
 
 serve/batch answer many queries on one resident worker pool; a query list
@@ -896,20 +900,32 @@ fn do_gen_stream(args: &[String]) -> Result<(), String> {
 
 fn explain(args: &[String]) -> Result<(), String> {
     let mut json = false;
+    let mut observed = false;
     let mut files: Vec<&String> = Vec::new();
     for arg in args {
         match arg.as_str() {
             "--json" => json = true,
+            "--observed" => observed = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown explain flag {other:?}"))
             }
             _ => files.push(arg),
         }
     }
+    if json && observed {
+        return Err("--json and --observed are mutually exclusive".into());
+    }
     let [labels, edges, qlabels, qedges] = files.as_slice() else {
-        return Err("explain needs data and query label/edge files [--json]".into());
+        return Err("explain needs data and query label/edge files [--json|--observed]".into());
     };
-    print!("{}", explain_report(labels, edges, qlabels, qedges, json)?);
+    if observed {
+        print!(
+            "{}",
+            explain_observed_report(labels, edges, qlabels, qedges)?
+        );
+    } else {
+        print!("{}", explain_report(labels, edges, qlabels, qedges, json)?);
+    }
     Ok(())
 }
 
@@ -944,6 +960,63 @@ pub fn explain_report(
     out.push_str(&format!("{}\n", Dataflow::from_plan(&plan, &data)));
     out.push_str(&explain.text());
     Ok(out)
+}
+
+/// Builds the `explain --observed` report: compiles the chosen order,
+/// executes it once on a single thread (the sequential reference
+/// executor — never re-planned, so the recorded counts belong to exactly
+/// this order), and emits deterministic JSON pairing the planner's
+/// per-position estimate with the observed candidate count. `ratio` is
+/// `observed / max(estimated, 1)` — the exact quantity the adaptive
+/// trigger compares against `HGMATCH_REPLAN_RATIO` (DESIGN.md §15), so a
+/// position whose ratio exceeds the configured trigger here is a position
+/// a parallel run would re-plan at.
+pub fn explain_observed_report(
+    labels: &str,
+    edges: &str,
+    qlabels: &str,
+    qedges: &str,
+) -> Result<String, String> {
+    use hgmatch_core::{CountSink, Explain, Planner, QueryGraph};
+    let data = load(labels, edges)?;
+    let query = load(qlabels, qedges)?;
+    let q = QueryGraph::new(&query).map_err(|e| e.to_string())?;
+    let explain = Explain::new(&q, &data);
+    let plan = Planner::plan_with_order(&q, &data, explain.chosen.order.clone())
+        .map_err(|e| e.to_string())?;
+    let sink = CountSink::new();
+    let stats = Matcher::new(&data).run_plan(&plan, &sink);
+    let m = &stats.metrics;
+    let steps: Vec<String> = (0..plan.len())
+        .map(|pos| {
+            let est = plan.est_candidates()[pos];
+            let observed = m.steps.candidates().get(pos).copied().unwrap_or(0);
+            let partials = m.steps.partials().get(pos).copied().unwrap_or(0);
+            format!(
+                "{{\"position\": {pos}, \"query_edge\": {}, \"estimated\": {}, \"observed\": {observed}, \"partials\": {partials}, \"ratio\": {}}}",
+                plan.order()[pos],
+                fmt4(est),
+                fmt4(observed as f64 / est.max(1.0))
+            )
+        })
+        .collect();
+    Ok(format!(
+        "{{\n  \"order\": {:?},\n  \"embeddings\": {},\n  \"steps\": [{}]\n}}\n",
+        plan.order(),
+        m.embeddings,
+        steps.join(", ")
+    ))
+}
+
+/// Fixed-precision float rendering for the observed report — mirrors the
+/// core `Explain` formatting: `{:.4}` is exact for integers and stable
+/// across platforms.
+fn fmt4(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        format!("{:.4e}", f64::MAX)
+    }
 }
 
 fn do_sample(args: &[String]) -> Result<(), String> {

@@ -174,6 +174,59 @@ fn explain_matches_golden_files() {
     assert_eq!(report(true), report(true));
 }
 
+/// `explain --observed` executes the chosen order once (sequential
+/// reference run) and reports per-position observed-vs-estimated candidate
+/// counts as byte-deterministic JSON, golden-filed like the static
+/// reports. On the committed fixture the cost model is exact, so every
+/// ratio pins to 1.0000 — a drift in either the planner or the per-step
+/// metrics attribution shows up as a golden diff.
+#[test]
+fn explain_observed_matches_golden_file() {
+    let report = || {
+        hgmatch_cli::explain_observed_report(
+            &fixture("plan.labels"),
+            &fixture("plan.edges"),
+            &fixture("plan_query.labels"),
+            &fixture("plan_query.edges"),
+        )
+        .expect("fixture explains")
+    };
+    let golden = std::fs::read_to_string(fixture("explain_observed.golden.json")).unwrap();
+    assert_eq!(report(), golden, "observed report drifted from golden");
+    // Repeated runs are byte-identical (the run is sequential: no
+    // worker-interleaving leaks into the counts).
+    assert_eq!(report(), report());
+
+    // The flag wires through the CLI, and combining the two JSON modes is
+    // rejected rather than picking one silently.
+    let f = [
+        fixture("plan.labels"),
+        fixture("plan.edges"),
+        fixture("plan_query.labels"),
+        fixture("plan_query.edges"),
+    ];
+    run(&args(&[
+        "explain",
+        &f[0],
+        &f[1],
+        &f[2],
+        &f[3],
+        "--observed",
+    ]))
+    .expect("explain --observed works");
+    let err = run(&args(&[
+        "explain",
+        &f[0],
+        &f[1],
+        &f[2],
+        &f[3],
+        "--observed",
+        "--json",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("mutually exclusive"), "{err}");
+}
+
 #[test]
 fn sample_query_emits_files() {
     let dir = TempDir::new("sample");

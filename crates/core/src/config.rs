@@ -33,6 +33,13 @@ pub struct MatchConfig {
     /// Candidate rows per assist claim (the granularity of the shared
     /// atomic claim index). Overridable via `HGMATCH_SPLIT_CHUNK`.
     pub split_chunk: usize,
+    /// Mid-query re-plan trigger (DESIGN.md §15): when the observed
+    /// candidate count at a plan position exceeds this factor times the
+    /// planner's estimate, the unmatched suffix is re-ordered with
+    /// observed cardinalities folded in. `0` disables adaptive
+    /// re-optimization entirely (no feedback state is allocated).
+    /// Overridable via `HGMATCH_REPLAN_RATIO`.
+    pub replan_ratio: f64,
 }
 
 /// Reads a `usize` environment override once per process (the CI stress
@@ -68,6 +75,24 @@ pub(crate) fn default_replan_drift() -> f64 {
             .and_then(|v| v.parse().ok())
     });
     parsed.unwrap_or(0.5).max(0.0)
+}
+
+/// Observed/estimated candidate-count ratio past which the engine
+/// re-plans the unmatched suffix of an in-flight query (DESIGN.md §15).
+/// `0` (or negative, which clamps to 0) disables mid-query
+/// re-optimization. The default of 8 sits well past the planner's 2×
+/// confidence margin: a blow-up the trigger fires on is a genuine
+/// misestimate, not model noise. Overridable via `HGMATCH_REPLAN_RATIO`
+/// (the CI adaptive-stress job pins a tiny ratio to force a switch at
+/// every boundary).
+pub(crate) fn default_replan_ratio() -> f64 {
+    static CACHE: std::sync::OnceLock<Option<f64>> = std::sync::OnceLock::new();
+    let parsed = *CACHE.get_or_init(|| {
+        std::env::var("HGMATCH_REPLAN_RATIO")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    parsed.unwrap_or(8.0).max(0.0)
 }
 
 /// Confidence margin of the cost-based planner: the searched order
@@ -118,6 +143,7 @@ impl Default for MatchConfig {
             scan_chunk: 256,
             split_threshold: default_split_threshold(),
             split_chunk: default_split_chunk(),
+            replan_ratio: default_replan_ratio(),
         }
     }
 }
@@ -166,6 +192,13 @@ impl MatchConfig {
         self.split_chunk = chunk.max(1);
         self
     }
+
+    /// Sets the mid-query re-plan trigger ratio (0 disables adaptive
+    /// re-optimization), builder style.
+    pub fn with_replan_ratio(mut self, ratio: f64) -> Self {
+        self.replan_ratio = ratio.max(0.0);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +234,10 @@ mod tests {
         assert_eq!(c.split_threshold, 16);
         // Zero chunk clamps to one (a zero fetch_add would never drain).
         assert_eq!(c.split_chunk, 1);
+        // Negative ratios clamp to 0 (= adaptive re-optimization off).
+        let c = MatchConfig::default().with_replan_ratio(-1.0);
+        assert_eq!(c.replan_ratio, 0.0);
+        let c = MatchConfig::default().with_replan_ratio(0.5);
+        assert_eq!(c.replan_ratio, 0.5);
     }
 }

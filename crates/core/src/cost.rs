@@ -132,6 +132,19 @@ impl<'a> CostModel<'a> {
         self.card[e as usize] as u64
     }
 
+    /// Multiplies the modelled candidate yield of query edge `e` by
+    /// `factor` — the feedback hook of the adaptive re-optimizer
+    /// (DESIGN.md §15). Every estimate involving `e` starts from
+    /// `card[e]` (both as a SCAN and as an extension), so scaling it
+    /// folds an observed/estimated candidate ratio into all downstream
+    /// step estimates. Non-finite and non-positive factors are ignored
+    /// (an observed count of zero says "done", not "free").
+    pub fn scale_edge(&mut self, e: u32, factor: f64) {
+        if factor.is_finite() && factor > 0.0 {
+            self.card[e as usize] *= factor;
+        }
+    }
+
     /// Expected candidates per partial when matching `e` with the edges in
     /// `matched_mask` already matched.
     fn candidates_per_partial(&self, e: u32, matched_mask: u64) -> f64 {
@@ -247,6 +260,47 @@ impl<'a> CostModel<'a> {
         best
     }
 
+    /// The cheapest complete order *extending* a fixed prefix — the
+    /// suffix re-search of the adaptive re-optimizer (DESIGN.md §15): the
+    /// first `prefix.len()` positions are pinned (those partials already
+    /// exist in flight) and only the remaining edges are re-enumerated,
+    /// seeded with the prefix's estimated frontier. Uses the same bounds
+    /// and determinism rules as [`CostModel::best_order`], keyed on the
+    /// *suffix* length.
+    pub fn best_order_with_prefix(&self, prefix: &[u32]) -> Vec<u32> {
+        self.best_order_with_prefix_bounded(prefix, default_plan_beam(), default_plan_exhaustive())
+    }
+
+    /// [`CostModel::best_order_with_prefix`] with explicit search bounds.
+    pub fn best_order_with_prefix_bounded(
+        &self,
+        prefix: &[u32],
+        beam: usize,
+        exhaustive_max: usize,
+    ) -> Vec<u32> {
+        let ne = self.query.num_edges();
+        let mut mask = 0u64;
+        let mut partials = 1.0f64;
+        let mut cost = 0.0f64;
+        for &e in prefix {
+            let step = self.step(e, mask, partials);
+            partials = step.partials_out;
+            cost += step.cost;
+            mask |= 1 << e;
+        }
+        if ne - prefix.len() <= exhaustive_max {
+            let mut best_cost = f64::INFINITY;
+            let mut best: Vec<u32> = Vec::new();
+            let mut seeded = prefix.to_vec();
+            seeded.reserve(ne - prefix.len());
+            self.dfs(mask, partials, cost, &mut seeded, &mut best_cost, &mut best);
+            debug_assert_eq!(best.len(), ne);
+            best
+        } else {
+            self.beam_from(beam.max(1), mask, prefix.to_vec(), partials, cost)
+        }
+    }
+
     fn dfs(
         &self,
         mask: u64,
@@ -290,6 +344,19 @@ impl<'a> CostModel<'a> {
 
     /// Beam search: keep the `beam` cheapest partial orders per level.
     fn beam_best(&self, beam: usize) -> Vec<u32> {
+        self.beam_from(beam, 0, Vec::new(), 1.0, 0.0)
+    }
+
+    /// Beam search from an arbitrary seed state (empty seed = full search;
+    /// a prefix seed = the adaptive suffix re-search).
+    fn beam_from(
+        &self,
+        beam: usize,
+        mask: u64,
+        order: Vec<u32>,
+        partials: f64,
+        cost: f64,
+    ) -> Vec<u32> {
         #[derive(Clone)]
         struct State {
             mask: u64,
@@ -298,13 +365,14 @@ impl<'a> CostModel<'a> {
             cost: f64,
         }
         let ne = self.query.num_edges();
+        let seeded = order.len();
         let mut frontier = vec![State {
-            mask: 0,
-            order: Vec::new(),
-            partials: 1.0,
-            cost: 0.0,
+            mask,
+            order,
+            partials,
+            cost,
         }];
-        for _ in 0..ne {
+        for _ in seeded..ne {
             let mut next: Vec<State> = Vec::new();
             for state in &frontier {
                 for e in self.extensions(state.mask) {

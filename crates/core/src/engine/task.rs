@@ -30,6 +30,7 @@ use std::sync::Arc;
 use crossbeam::deque::{Steal, Stealer, Worker as Deque};
 use hgmatch_hypergraph::{Hypergraph, Partition};
 
+use crate::adaptive::AdaptiveState;
 use crate::candidates::{generate_candidates, ExpansionState};
 use crate::config::MatchConfig;
 use crate::memory::MemoryTracker;
@@ -60,14 +61,22 @@ const POOL_CAP: usize = 64;
 #[derive(Debug)]
 pub(crate) enum Task {
     /// Scan rows `start..end` of the first step's partition; splits itself
-    /// while the range exceeds the configured chunk size.
+    /// while the range exceeds the configured chunk size. Scans carry no
+    /// plan-version tag: every adaptive re-plan pins position 0, so a scan
+    /// always runs the latest version.
     Scan { start: u32, end: u32 },
     /// Expand the partial embedding `emb[..depth]` (matching-order
     /// positions `0..depth`) at step `depth`. Inline: no allocation.
-    Expand { depth: u8, emb: [u32; INLINE_EMB] },
+    /// `ver` is the plan version the embedding was generated under
+    /// (DESIGN.md §15); the scheduler resolves which version to execute.
+    Expand {
+        depth: u8,
+        ver: u32,
+        emb: [u32; INLINE_EMB],
+    },
     /// Expansion deeper than [`INLINE_EMB`]; the buffer is recycled through
     /// the executing worker's pool.
-    ExpandSpilled { emb: Vec<u32> },
+    ExpandSpilled { emb: Vec<u32>, ver: u32 },
     /// An assist ticket for a splittable expansion (DESIGN.md §12): a
     /// claim on the shared candidate range of an expansion some other
     /// worker is (or was) validating. Executing it joins the work-assisting
@@ -102,6 +111,11 @@ pub(crate) struct SplitExpansion {
     next: AtomicUsize,
     /// Rows per claim.
     chunk: usize,
+    /// Plan version the candidates were generated under: every participant
+    /// — owner and assisting thieves — validates against exactly this
+    /// version's step, never an upgraded one (the candidate list is only
+    /// meaningful for the step that produced it).
+    ver: u32,
 }
 
 impl SplitExpansion {
@@ -110,6 +124,11 @@ impl SplitExpansion {
     /// participant that claims the final chunk).
     fn bytes(&self) -> usize {
         (self.emb.len() + self.cands.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// The plan version this split's candidates belong to.
+    pub(crate) fn ver(&self) -> u32 {
+        self.ver
     }
 }
 
@@ -122,6 +141,13 @@ pub(crate) struct QueryEnv<'a, S: Sink + ?Sized> {
     pub sink: &'a S,
     pub config: &'a MatchConfig,
     pub tracker: &'a MemoryTracker,
+    /// Version id of `plan` in the adaptive version table (0 when static).
+    /// Children spawned by this task are tagged with it.
+    pub ver: u32,
+    /// Adaptive re-optimization state (DESIGN.md §15), `None` for static
+    /// execution. When set, completed step boundaries feed observed counts
+    /// back and may adopt a re-planned suffix.
+    pub adaptive: Option<&'a AdaptiveState>,
 }
 
 /// Per-worker scratch reused across tasks — and, in the serving pool,
@@ -229,12 +255,12 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
     fn execute(&mut self, task: Task) {
         match task {
             Task::Scan { start, end } => self.execute_scan(start, end),
-            Task::Expand { depth, emb } => {
+            Task::Expand { depth, ver: _, emb } => {
                 let depth = depth as usize;
                 self.env.tracker.free(MemoryTracker::embedding_bytes(depth));
                 self.execute_expand(depth, &emb[..depth]);
             }
-            Task::ExpandSpilled { emb } => {
+            Task::ExpandSpilled { emb, ver: _ } => {
                 self.env
                     .tracker
                     .free(MemoryTracker::embedding_bytes(emb.len()));
@@ -283,7 +309,10 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
             .env
             .data
             .partition(plan.steps()[0].partition.expect("feasible"));
-        self.metrics.scan_rows += (end - start) as u64;
+        let rows = (end - start) as u64;
+        self.metrics.scan_rows += rows;
+        // Every scanned row is a position-0 partial (SCAN filters nothing).
+        self.note_step(0, rows, rows);
         if plan.len() == 1 {
             // Single-edge query: scan rows are complete embeddings.
             for row in start..end {
@@ -353,6 +382,7 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
                 cands: cands.clone(),
                 next: AtomicUsize::new(0),
                 chunk,
+                ver: self.env.ver,
             });
             self.scratch.state.candidates = cands;
             // The shared buffers are materialised state that outlives this
@@ -360,6 +390,15 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
             // against the query's memory bound like queued embeddings do.
             self.env.tracker.alloc(shared.bytes());
             self.metrics.split_expansions += 1;
+            // Re-planning is suppressed from publication until the range
+            // drains (`split_finished` in the claim loop); the candidates
+            // still feed the observed counts so the trigger re-checks at
+            // the next boundary once the splits are gone.
+            self.metrics.steps.record_candidates(depth, produced as u64);
+            if let Some(ad) = self.env.adaptive {
+                ad.split_started();
+                ad.observe(depth, produced as u64, 0);
+            }
             // Tickets are pushed *before* the owner starts validating, so
             // they sit at the cold end of its LIFO deque — exactly where
             // thieves steal from — while the children spawned below stack
@@ -376,6 +415,7 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
         let mut valid = std::mem::take(&mut self.scratch.valid);
         valid.clear();
         let mut aborted = false;
+        let validated_before = self.metrics.validated;
         for (i, &row) in cands.iter().enumerate() {
             // Mid-expansion cancellation: a huge candidate list must not pin
             // this worker past a cancel/timeout/limit signal.
@@ -395,6 +435,11 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
                 let global = valid[idx];
                 self.spawn_expand(emb, global);
             }
+            // A completed expansion is a step boundary: attribute the
+            // counts to this position and give the adaptive trigger its
+            // chance (DESIGN.md §15).
+            let partials = self.metrics.validated - validated_before;
+            self.note_step(depth, produced as u64, partials);
         }
         self.scratch.state.candidates = cands;
         self.scratch.valid = valid;
@@ -421,6 +466,7 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
         let mut valid = std::mem::take(&mut self.scratch.valid);
         valid.clear();
         let mut aborted = false;
+        let validated_before = self.metrics.validated;
         'claim: loop {
             let start = shared.next.fetch_add(shared.chunk, Ordering::Relaxed);
             if start >= total {
@@ -434,8 +480,14 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
             // accounting (exactly one participant sees end == total with a
             // live claim). A stopped query may skip the release — harmless:
             // its peak is already recorded and the tracker dies with it.
+            // The same exactly-once point lifts the split's re-planning
+            // suppression (a stopped query leaves it raised, which only
+            // blocks re-plans the dying query would never use).
             if end == total {
                 self.env.tracker.free(shared.bytes());
+                if let Some(ad) = self.env.adaptive {
+                    ad.split_finished();
+                }
             }
             for (i, &row) in shared.cands[start..end].iter().enumerate() {
                 if i % ABORT_PROBE == ABORT_PROBE - 1 && (self.abort)() {
@@ -452,10 +504,21 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
                 break;
             }
         }
+        let partials = self.metrics.validated - validated_before;
+        self.metrics.steps.record_partials(depth, partials);
         if !aborted {
             for idx in (0..valid.len()).rev() {
                 let global = valid[idx];
                 self.spawn_expand(&shared.emb, global);
+            }
+            // This participant's share of the split is done — a step
+            // boundary. The candidates were already observed by the owner
+            // at publication; the trigger re-check here is what resumes a
+            // re-plan that was suppressed while the splits were live.
+            if let Some(ad) = self.env.adaptive {
+                if ad.observe(depth, 0, partials) && ad.maybe_replan(depth, self.env.data) {
+                    self.metrics.replans += 1;
+                }
             }
         }
         self.scratch.valid = valid;
@@ -515,6 +578,7 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
             emb[parent.len()] = global;
             (self.emit)(Task::Expand {
                 depth: len as u8,
+                ver: self.env.ver,
                 emb,
             });
         } else {
@@ -523,7 +587,22 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
             buf.reserve(len);
             buf.extend_from_slice(parent);
             buf.push(global);
-            (self.emit)(Task::ExpandSpilled { emb: buf });
+            (self.emit)(Task::ExpandSpilled {
+                emb: buf,
+                ver: self.env.ver,
+            });
+        }
+    }
+
+    /// Records per-position feedback at a completed step boundary and, when
+    /// running adaptively, drives the re-plan trigger (DESIGN.md §15).
+    fn note_step(&mut self, pos: usize, candidates: u64, partials: u64) {
+        self.metrics.steps.record_candidates(pos, candidates);
+        self.metrics.steps.record_partials(pos, partials);
+        if let Some(ad) = self.env.adaptive {
+            if ad.observe(pos, candidates, partials) && ad.maybe_replan(pos, self.env.data) {
+                self.metrics.replans += 1;
+            }
         }
     }
 
@@ -600,6 +679,8 @@ mod tests {
             sink: &sink,
             config,
             tracker: &tracker,
+            ver: 0,
+            adaptive: None,
         };
         let mut scratch = ExecScratch::new();
         let mut metrics = MatchMetrics::default();
@@ -679,6 +760,7 @@ mod tests {
             &config,
             Task::Expand {
                 depth: 1,
+                ver: 0,
                 emb: inline,
             },
         );
@@ -694,6 +776,7 @@ mod tests {
             cands: std::mem::take(&mut state.candidates),
             next: AtomicUsize::new(0),
             chunk: 2,
+            ver: 0,
         });
 
         // The ticket alone (owner never claims): a fresh scratch must

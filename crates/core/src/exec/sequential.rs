@@ -119,12 +119,21 @@ impl<S: Sink> Dfs<'_, S> {
             self.config,
         );
 
+        // Per-step observed counts (the same feedback the adaptive trigger
+        // consumes in the parallel engine — recorded here too so
+        // single-threaded runs report observed-vs-estimated cardinalities,
+        // e.g. for `explain --observed`, but never re-planned: the
+        // sequential executor is the reference semantics).
+        self.metrics.steps.record_candidates(depth, produced as u64);
         if depth == 0 {
             self.metrics.scan_rows += produced as u64;
+            // Scan rows are valid by construction.
+            self.metrics.steps.record_partials(0, produced as u64);
         } else {
             self.metrics.expansions += 1;
             self.metrics.candidates += produced as u64;
         }
+        let mut valid_here = 0u64;
 
         // Take ownership of the candidate buffer so deeper recursion can
         // reuse the per-depth state; restored afterwards to keep capacity.
@@ -156,6 +165,7 @@ impl<S: Sink> Dfs<'_, S> {
                 Validation::Valid => {
                     self.metrics.filtered += 1;
                     self.metrics.validated += 1;
+                    valid_here += 1;
                     self.emb.push(global);
                     self.descend(depth + 1);
                     self.emb.pop();
@@ -167,6 +177,9 @@ impl<S: Sink> Dfs<'_, S> {
             }
         }
         self.states[depth].candidates = cands;
+        if depth > 0 {
+            self.metrics.steps.record_partials(depth, valid_here);
+        }
     }
 
     fn deliver(&mut self) {

@@ -66,6 +66,7 @@
 //! assert_eq!(matcher.count(&query).unwrap(), 2);
 //! ```
 
+pub(crate) mod adaptive;
 pub mod candidates;
 pub mod config;
 pub mod cost;
@@ -91,7 +92,7 @@ pub use delta::{delta_match, DeltaBatch, DeltaOutcome};
 pub use embedding::Embedding;
 pub use error::{MatchError, Result};
 pub use matcher::Matcher;
-pub use metrics::MatchMetrics;
+pub use metrics::{MatchMetrics, StepCounts, MAX_PLAN_STEPS};
 pub use plan::{Plan, Planner};
 pub use query::QueryGraph;
 pub use serve::{MatchServer, QueryHandle, QueryOptions, QueryOutcome, QueryStatus, ServeConfig};

@@ -7,8 +7,93 @@
 //! vertex-profile comparison ("Embeddings"). Engines keep one
 //! `MatchMetrics` per worker and merge at the end, so recording is free of
 //! contention.
+//!
+//! Beyond the aggregate counters, [`StepCounts`] attributes candidates and
+//! validated partials to the *plan position* that produced them — the
+//! runtime-feedback signal the adaptive re-optimizer (DESIGN.md §15)
+//! compares against the planner's per-step estimates. The storage is a
+//! fixed-capacity inline array (no heap allocation on the hot path): plan
+//! length is bounded by [`MAX_PLAN_STEPS`] because the engine tracks
+//! matched query edges in a `u64` bitmask.
 
 use serde::{Deserialize, Serialize};
+
+/// Upper bound on plan length for per-step attribution — the engine's
+/// query-edge bitmask is a `u64`, so no compilable plan exceeds it.
+pub const MAX_PLAN_STEPS: usize = 64;
+
+/// Per-plan-position counters, stored inline (allocation-free).
+///
+/// Position `0` is the SCAN step (candidates = partials = scanned rows);
+/// position `d > 0` counts the candidates generated while extending
+/// depth-`d` partials and how many of them validated into depth-`d+1`
+/// partials. After a mid-query re-plan, counts at positions past the
+/// switch point aggregate over every plan version that executed there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepCounts {
+    len: u32,
+    candidates: [u64; MAX_PLAN_STEPS],
+    partials: [u64; MAX_PLAN_STEPS],
+}
+
+impl Default for StepCounts {
+    fn default() -> Self {
+        Self {
+            len: 0,
+            candidates: [0; MAX_PLAN_STEPS],
+            partials: [0; MAX_PLAN_STEPS],
+        }
+    }
+}
+
+impl StepCounts {
+    /// Number of positions with recorded data (highest touched + 1).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Candidates produced per position, truncated to the touched prefix.
+    pub fn candidates(&self) -> &[u64] {
+        &self.candidates[..self.len as usize]
+    }
+
+    /// Validated partials per position, truncated to the touched prefix.
+    pub fn partials(&self) -> &[u64] {
+        &self.partials[..self.len as usize]
+    }
+
+    /// Adds `n` produced candidates at plan position `step`.
+    #[inline]
+    pub fn record_candidates(&mut self, step: usize, n: u64) {
+        if step < MAX_PLAN_STEPS {
+            self.candidates[step] += n;
+            self.len = self.len.max(step as u32 + 1);
+        }
+    }
+
+    /// Adds `n` validated partials at plan position `step`.
+    #[inline]
+    pub fn record_partials(&mut self, step: usize, n: u64) {
+        if step < MAX_PLAN_STEPS {
+            self.partials[step] += n;
+            self.len = self.len.max(step as u32 + 1);
+        }
+    }
+
+    /// Merges another worker's per-step counters into this one.
+    pub fn merge(&mut self, other: &StepCounts) {
+        for i in 0..other.len as usize {
+            self.candidates[i] += other.candidates[i];
+            self.partials[i] += other.partials[i];
+        }
+        self.len = self.len.max(other.len);
+    }
+}
 
 /// Counters collected during one match execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,6 +121,14 @@ pub struct MatchMetrics {
     /// joined a splittable expansion through a stolen assist ticket rather
     /// than having generated the candidates themselves.
     pub assist_chunks: u64,
+    /// Mid-query suffix re-plans adopted by the adaptive re-optimizer
+    /// (DESIGN.md §15); zero when `replan_ratio` is 0 or no estimate blew
+    /// past the trigger.
+    pub replans: u64,
+    /// Candidates / validated partials attributed to the plan position that
+    /// produced them — observed cardinalities the adaptive re-optimizer
+    /// compares against [`crate::Plan::est_candidates`].
+    pub steps: StepCounts,
 }
 
 impl MatchMetrics {
@@ -49,6 +142,23 @@ impl MatchMetrics {
         self.expansions += other.expansions;
         self.split_expansions += other.split_expansions;
         self.assist_chunks += other.assist_chunks;
+        self.replans += other.replans;
+        self.steps.merge(&other.steps);
+    }
+
+    /// True when no counter was touched — the cheap per-task merge guard
+    /// (every per-step record also bumps an aggregate counter, so checking
+    /// the scalars suffices; no 1 KiB struct compare on the hot path).
+    pub fn is_empty(&self) -> bool {
+        self.scan_rows == 0
+            && self.candidates == 0
+            && self.filtered == 0
+            && self.validated == 0
+            && self.embeddings == 0
+            && self.expansions == 0
+            && self.split_expansions == 0
+            && self.assist_chunks == 0
+            && self.replans == 0
     }
 
     /// False-positive rate of candidate generation: the fraction of
@@ -86,7 +196,11 @@ mod tests {
             expansions: 5,
             split_expansions: 2,
             assist_chunks: 4,
+            replans: 1,
+            ..Default::default()
         };
+        a.steps.record_candidates(1, 10);
+        a.steps.record_partials(1, 7);
         let b = a;
         a.merge(&b);
         assert_eq!(a.candidates, 20);
@@ -94,6 +208,9 @@ mod tests {
         assert_eq!(a.expansions, 10);
         assert_eq!(a.split_expansions, 4);
         assert_eq!(a.assist_chunks, 8);
+        assert_eq!(a.replans, 2);
+        assert_eq!(a.steps.candidates(), &[0, 20]);
+        assert_eq!(a.steps.partials(), &[0, 14]);
     }
 
     #[test]
@@ -109,5 +226,22 @@ mod tests {
         let empty = MatchMetrics::default();
         assert_eq!(empty.false_positive_rate(), 0.0);
         assert_eq!(empty.filtered_precision(), 0.0);
+    }
+
+    #[test]
+    fn step_counts_bound_and_emptiness() {
+        let mut s = StepCounts::default();
+        assert!(s.is_empty());
+        s.record_candidates(2, 5);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.candidates(), &[0, 0, 5]);
+        // Out-of-range positions are dropped, not panicking.
+        s.record_candidates(MAX_PLAN_STEPS, 1);
+        assert_eq!(s.len(), 3);
+
+        let mut m = MatchMetrics::default();
+        assert!(m.is_empty());
+        m.expansions = 1;
+        assert!(!m.is_empty());
     }
 }

@@ -83,6 +83,10 @@ pub struct Plan {
     /// Estimated total cost of this order under the model the plan was
     /// compiled with ([`crate::cost::CostModel`]).
     cost: f64,
+    /// Per-position estimated candidate counts (partials produced at each
+    /// step) under the same model — the baseline the adaptive re-optimizer
+    /// compares observed [`crate::StepCounts`] against (DESIGN.md §15).
+    est_candidates: Vec<f64>,
 }
 
 impl Plan {
@@ -135,6 +139,15 @@ impl Plan {
     #[inline]
     pub fn cost(&self) -> f64 {
         self.cost
+    }
+
+    /// Estimated candidates (partials produced) per matching-order position
+    /// under the plan's cost model — `est_candidates()[pos]` corresponds to
+    /// the observed [`crate::StepCounts::partials`] at `pos`. The adaptive
+    /// re-optimizer's trigger compares the two (DESIGN.md §15).
+    #[inline]
+    pub fn est_candidates(&self) -> &[f64] {
+        &self.est_candidates
     }
 
     /// Reorders an embedding from matching-order positions to query-edge
@@ -190,19 +203,41 @@ impl Planner {
     /// be a permutation of `0..query.num_edges()`; HGMatch works with any
     /// connected order (§V-A).
     pub fn plan_with_order(query: &QueryGraph, data: &Hypergraph, order: Vec<u32>) -> Result<Plan> {
+        Self::assert_permutation(query, &order);
+        Ok(Self::compile(query, data, order))
+    }
+
+    /// Like [`Planner::plan_with_order`], but compiles against a
+    /// caller-supplied cost model instead of fresh statistics. The adaptive
+    /// re-optimizer uses this to stamp a re-planned suffix with estimates
+    /// from the observation-corrected model (so the new plan's own
+    /// `est_candidates` reflect what the runtime has already measured and
+    /// the trigger does not immediately re-fire), and the `plan_adaptive`
+    /// bench uses it to simulate planning from deliberately stale
+    /// statistics.
+    pub fn plan_with_order_costed(
+        query: &QueryGraph,
+        data: &Hypergraph,
+        order: Vec<u32>,
+        model: &CostModel<'_>,
+    ) -> Result<Plan> {
+        Self::assert_permutation(query, &order);
+        Ok(Self::compile_with_model(query, data, order, model))
+    }
+
+    fn assert_permutation(query: &QueryGraph, order: &[u32]) {
         assert_eq!(
             order.len(),
             query.num_edges(),
             "order must cover all query edges"
         );
         let mut seen = vec![false; order.len()];
-        for &e in &order {
+        for &e in order {
             assert!(
                 !std::mem::replace(&mut seen[e as usize], true),
                 "order must be a permutation"
             );
         }
-        Ok(Self::compile(query, data, order))
     }
 
     /// Algorithm 3: greedy cardinality-over-connectivity order.
@@ -273,7 +308,9 @@ impl Planner {
         order: Vec<u32>,
         model: &CostModel<'_>,
     ) -> Plan {
-        let cost = model.estimate_order(&order).total_cost;
+        let estimate = model.estimate_order(&order);
+        let cost = estimate.total_cost;
+        let est_candidates: Vec<f64> = estimate.steps.iter().map(|s| s.partials_out).collect();
         let ne = order.len();
         let mut position = vec![0u32; ne];
         for (pos, &e) in order.iter().enumerate() {
@@ -378,6 +415,7 @@ impl Planner {
             num_query_vertices: query.num_vertices() as u32,
             infeasible,
             cost,
+            est_candidates,
         }
     }
 }
@@ -515,6 +553,27 @@ mod tests {
         let plan = Planner::plan_with_order(&q, &data, vec![2, 0, 1]).unwrap();
         assert_eq!(plan.order(), &[2, 0, 1]);
         assert_eq!(plan.steps()[0].query_edge, 2);
+    }
+
+    #[test]
+    fn est_candidates_match_model_estimate() {
+        let data = paper_data();
+        let q = paper_query();
+        let plan = Planner::plan(&q, &data).unwrap();
+        assert_eq!(plan.est_candidates().len(), plan.len());
+        let model = CostModel::new(&q, &data);
+        let est = model.estimate_order(plan.order());
+        for (pos, step) in est.steps.iter().enumerate() {
+            assert!((plan.est_candidates()[pos] - step.partials_out).abs() < 1e-9);
+        }
+        // A doctored model changes the stamped estimates but not the
+        // compiled structure.
+        let mut scaled = CostModel::new(&q, &data);
+        scaled.scale_edge(plan.order()[0], 0.125);
+        let costed =
+            Planner::plan_with_order_costed(&q, &data, plan.order().to_vec(), &scaled).unwrap();
+        assert_eq!(costed.order(), plan.order());
+        assert!(costed.est_candidates()[0] < plan.est_candidates()[0]);
     }
 
     #[test]

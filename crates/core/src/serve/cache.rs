@@ -62,13 +62,13 @@ use crate::query::QueryGraph;
 /// plan afresh: full canonical labelling would cost more than Algorithm 3
 /// saves on the paper's ≤ 6-edge queries.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct PlanKey {
+pub(crate) struct PlanKey {
     labels: Box<[Label]>,
     edges: Box<[Box<[u32]>]>,
 }
 
 impl PlanKey {
-    fn new(query: &Hypergraph) -> Self {
+    pub(crate) fn new(query: &Hypergraph) -> Self {
         Self {
             labels: query.labels().into(),
             edges: query.iter_edges().map(|(_, vs)| Box::from(vs)).collect(),
@@ -137,6 +137,7 @@ pub(crate) struct PlanCache {
     misses: AtomicU64,
     invalidated: AtomicU64,
     replanned: AtomicU64,
+    corrections: AtomicU64,
 }
 
 impl PlanCache {
@@ -150,6 +151,7 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
             replanned: AtomicU64::new(0),
+            corrections: AtomicU64::new(0),
         }
     }
 
@@ -227,6 +229,33 @@ impl PlanCache {
         Ok((plan, false))
     }
 
+    /// Writes a mid-query corrected plan (DESIGN.md §15) back to `key`'s
+    /// entry, so repeated submissions of the shape start from the
+    /// observation-corrected order instead of re-walking into the same
+    /// misestimate. Overwrites only an entry still tagged with `epoch` —
+    /// the epoch the correcting query was pinned to — never one a newer
+    /// epoch has re-planned (its statistics supersede the observations),
+    /// and never inserts: an evicted shape has no stats fingerprint to
+    /// carry. Returns whether the correction landed.
+    pub(crate) fn write_back(&self, key: &PlanKey, plan: Arc<Plan>, epoch: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(key) {
+            if entry.epoch == epoch {
+                entry.plan = plan;
+                entry.last_used = tick;
+                drop(inner);
+                self.corrections.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Reconciles the cache with a newly published data epoch (`data` is
     /// that epoch's snapshot). When `sids_stable` is false every entry is
     /// dropped. Otherwise entries whose query labels are disjoint from
@@ -297,6 +326,12 @@ impl PlanCache {
     /// threshold (a subset of [`PlanCache::invalidated`]).
     pub(crate) fn replanned(&self) -> u64 {
         self.replanned.load(Ordering::Relaxed)
+    }
+
+    /// Corrected plans written back by adaptive queries
+    /// ([`PlanCache::write_back`]) so far.
+    pub(crate) fn corrections(&self) -> u64 {
+        self.corrections.load(Ordering::Relaxed)
     }
 
     /// Plans currently cached.
@@ -495,6 +530,48 @@ mod tests {
         cache.revalidate(3, &[Label::new(9)], true, &data, 0.5);
         let (_, hit) = cache.plan_for(&ab_query(1), &data, 3).unwrap();
         assert!(hit, "contiguous-epoch entry survives");
+    }
+
+    #[test]
+    fn write_back_replaces_same_epoch_entry() {
+        let data = tiny_data();
+        let cache = PlanCache::new(4);
+        let q = ab_query(1);
+        let (original, _) = cache.plan_for(&q, &data, 0).unwrap();
+        let corrected = Arc::new({
+            let qg = QueryGraph::new(&q).unwrap();
+            Planner::plan(&qg, &data).unwrap()
+        });
+        assert!(cache.write_back(&PlanKey::new(&q), Arc::clone(&corrected), 0));
+        assert_eq!(cache.corrections(), 1);
+        let (served, hit) = cache.plan_for(&q, &data, 0).unwrap();
+        assert!(hit);
+        assert!(
+            Arc::ptr_eq(&served, &corrected) && !Arc::ptr_eq(&served, &original),
+            "subsequent hits must serve the corrected plan"
+        );
+    }
+
+    #[test]
+    fn write_back_never_clobbers_newer_epochs_or_absent_shapes() {
+        let data = tiny_data();
+        let cache = PlanCache::new(4);
+        let q = ab_query(1);
+        cache.plan_for(&q, &data, 0).unwrap();
+        // The entry moved on to epoch 1 (re-planned against fresher
+        // statistics): a stale epoch-0 correction must not land.
+        let (newer, _) = cache.plan_for(&q, &data, 1).unwrap();
+        let stale = Arc::new({
+            let qg = QueryGraph::new(&q).unwrap();
+            Planner::plan(&qg, &data).unwrap()
+        });
+        assert!(!cache.write_back(&PlanKey::new(&q), Arc::clone(&stale), 0));
+        let (served, hit) = cache.plan_for(&q, &data, 1).unwrap();
+        assert!(hit && Arc::ptr_eq(&served, &newer));
+        // Absent shapes and disabled caches are no-ops.
+        assert!(!cache.write_back(&PlanKey::new(&ab_query(0)), Arc::clone(&stale), 1));
+        assert!(!PlanCache::new(0).write_back(&PlanKey::new(&q), stale, 0));
+        assert_eq!(cache.corrections(), 0);
     }
 
     #[test]

@@ -89,11 +89,13 @@ use crossbeam::deque::{Stealer, Worker as Deque};
 use hgmatch_hypergraph::Hypergraph;
 use parking_lot::Mutex;
 
+use crate::adaptive::AdaptiveState;
 use crate::config::MatchConfig;
 use crate::embedding::Embedding;
 use crate::engine::task::Task;
 use crate::error::Result;
 use crate::metrics::MatchMetrics;
+use crate::query::QueryGraph;
 
 use cache::PlanCache;
 use query::{ActiveQuery, StopCause};
@@ -351,6 +353,16 @@ pub struct ServeStats {
     /// shapes re-plan against the new statistics on their next submission
     /// (a subset of [`ServeStats::plans_invalidated`]).
     pub plans_replanned: u64,
+    /// Suffix re-plans adopted *mid-query* by the adaptive trigger
+    /// (DESIGN.md §15): executions whose observed candidate counts
+    /// crossed [`crate::MatchConfig::replan_ratio`] × the plan's estimate
+    /// and switched to a corrected order at a step boundary.
+    pub replans_midquery: u64,
+    /// Observation-corrected plans written back to the plan cache after a
+    /// mid-query re-plan, so repeated submissions of the shape start from
+    /// the corrected order (a consequence of
+    /// [`ServeStats::replans_midquery`], gated on the entry's epoch).
+    pub estimate_corrections: u64,
     /// Epoch of the currently published data snapshot.
     pub data_epoch: u64,
 }
@@ -367,6 +379,7 @@ pub(crate) struct Counters {
     pub(crate) steals: AtomicU64,
     pub(crate) splits: AtomicU64,
     pub(crate) assists: AtomicU64,
+    pub(crate) replans_midquery: AtomicU64,
 }
 
 /// Per-worker accounting of the serving pool, snapshot via
@@ -427,13 +440,29 @@ impl ServeShared {
             QueryStatus::Cancelled => &self.counters.cancelled,
         }
         .fetch_add(1, Ordering::Relaxed);
+        let metrics = *query.metrics.lock();
+        if metrics.replans > 0 {
+            self.counters
+                .replans_midquery
+                .fetch_add(metrics.replans, Ordering::Relaxed);
+            // Convergence (DESIGN.md §15.4): feed the corrected order back
+            // into the cached plan for this shape, so repeated submissions
+            // start corrected instead of re-triggering the same re-plan.
+            // Gated on the entry's epoch still matching the epoch this
+            // query was pinned to — never clobber a newer epoch's plan.
+            if let (Some(ad), Some(key)) = (query.adaptive.as_ref(), query.cache_key.as_ref()) {
+                if let Some(corrected) = ad.corrected_plan() {
+                    self.cache.write_back(key, corrected, query.data_epoch);
+                }
+            }
+        }
         let (count, embeddings) = query.sink.take_output();
         query.complete(QueryOutcome {
             id: query.id,
             status,
             count,
             embeddings,
-            metrics: *query.metrics.lock(),
+            metrics,
             elapsed: query.submitted.elapsed(),
             peak_memory_bytes: query.tracker.peak_bytes(),
             plan_cached: query.plan_cached,
@@ -528,8 +557,22 @@ impl MatchServer {
             .timeout
             .or(self.default_timeout)
             .map(|t| Instant::now() + t);
+        // Arm mid-query re-optimization (DESIGN.md §15) when the trigger
+        // is enabled and the plan has a suffix to re-order. The cache key
+        // is kept so finalisation can write a corrected plan back.
+        let adaptive =
+            if shared.config.replan_ratio > 0.0 && plan.len() > 1 && !plan.is_infeasible() {
+                Some(AdaptiveState::new(
+                    QueryGraph::new(query)?,
+                    Arc::clone(&plan),
+                    shared.config.replan_ratio,
+                ))
+            } else {
+                None
+            };
+        let cache_key = adaptive.as_ref().map(|_| cache::PlanKey::new(query));
         let active = Arc::new(ActiveQuery::new(
-            id, data, epoch, plan, &options, cached, deadline,
+            id, data, epoch, plan, &options, cached, deadline, adaptive, cache_key,
         ));
         shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
 
@@ -630,6 +673,8 @@ impl MatchServer {
             plan_cache_size: self.shared.cache.len(),
             plans_invalidated: self.shared.cache.invalidated(),
             plans_replanned: self.shared.cache.replanned(),
+            replans_midquery: c.replans_midquery.load(Ordering::Relaxed),
+            estimate_corrections: self.shared.cache.corrections(),
             data_epoch: self.shared.data.lock().epoch,
         }
     }

@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 
 use hgmatch_hypergraph::Hypergraph;
 
+use crate::adaptive::AdaptiveState;
 use crate::embedding::Embedding;
 use crate::memory::MemoryTracker;
 use crate::metrics::MatchMetrics;
@@ -16,6 +17,7 @@ use crate::sink::Sink;
 
 use crate::engine::task::Task;
 
+use super::cache::PlanKey;
 use super::{QueryOptions, QueryOutcome, QueryStatus};
 use std::sync::Arc;
 
@@ -119,6 +121,13 @@ pub(crate) struct ActiveQuery {
     /// Epoch of the pinned snapshot (reported on the outcome).
     pub(crate) data_epoch: u64,
     pub(crate) plan: Arc<Plan>,
+    /// Mid-query re-optimization state (DESIGN.md §15); `None` when
+    /// the replan ratio is 0 or the plan is trivial/infeasible. Re-plans
+    /// run against this query's pinned snapshot, never a newer epoch.
+    pub(crate) adaptive: Option<AdaptiveState>,
+    /// Plan-cache key of this query's shape, kept (only for adaptive
+    /// queries) so finalisation can write a corrected plan back.
+    pub(crate) cache_key: Option<PlanKey>,
     pub(crate) sink: ServeSink,
     /// The root scan task, waiting for its first worker. Children bypass
     /// this slot and go straight to worker deques.
@@ -141,6 +150,7 @@ pub(crate) struct ActiveQuery {
 }
 
 impl ActiveQuery {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: u64,
         data: Arc<Hypergraph>,
@@ -149,12 +159,16 @@ impl ActiveQuery {
         options: &QueryOptions,
         plan_cached: bool,
         deadline: Option<Instant>,
+        adaptive: Option<AdaptiveState>,
+        cache_key: Option<PlanKey>,
     ) -> Self {
         Self {
             id,
             data,
             data_epoch,
             plan,
+            adaptive,
+            cache_key,
             sink: ServeSink::new(options.collect, options.max_results),
             seed: Mutex::new(None),
             pending: AtomicU64::new(0),
@@ -281,7 +295,17 @@ mod tests {
     #[test]
     fn first_stop_cause_wins() {
         let (data, plan) = dummy_plan();
-        let q = ActiveQuery::new(7, data, 0, plan, &QueryOptions::default(), false, None);
+        let q = ActiveQuery::new(
+            7,
+            data,
+            0,
+            plan,
+            &QueryOptions::default(),
+            false,
+            None,
+            None,
+            None,
+        );
         assert_eq!(q.stop_cause(), None);
         assert!(!q.stopped());
         q.stop(StopCause::Timeout);

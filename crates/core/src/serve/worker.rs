@@ -121,14 +121,25 @@ fn run_one(
     shared: &ServeShared,
     scratch: &mut ExecScratch,
 ) {
+    // Resolve the plan version this task runs under (DESIGN.md §15) —
+    // per task, at the step boundary, before any step state is built.
+    let (resolved, ver) = match query.adaptive.as_ref() {
+        Some(ad) => {
+            let (plan, ver) = ad.resolve_task(&task);
+            (Some(plan), ver)
+        }
+        None => (None, 0),
+    };
     let env = QueryEnv {
-        plan: &query.plan,
+        plan: resolved.as_deref().unwrap_or(&query.plan),
         // Each task runs against the snapshot its query pinned at
         // submission, not whatever the server currently publishes.
         data: &query.data,
         sink: &query.sink,
         config: &shared.config,
         tracker: &query.tracker,
+        ver,
+        adaptive: query.adaptive.as_ref(),
     };
     let begin = Instant::now();
     let was_assist = matches!(task, Task::Assist { .. });
@@ -149,7 +160,7 @@ fn run_one(
             });
         },
     );
-    if task_metrics != MatchMetrics::default() {
+    if !task_metrics.is_empty() {
         query.metrics.lock().merge(&task_metrics);
         if task_metrics.split_expansions > 0 {
             shared
