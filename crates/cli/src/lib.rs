@@ -56,6 +56,7 @@ pub const USAGE: &str = "usage:
   hgmatch match <labels> <edges> <qlabels> <qedges> [--threads N] [--timeout SECS] [--print [LIMIT]]
   hgmatch batch <labels> <edges> <queries.txt> [serve flags]
   hgmatch serve <labels> <edges> [--input FILE] [serve flags]
+  hgmatch listen <labels> <edges> [listen flags]
   hgmatch update <labels> <edges> <stream.txt> [update flags]
   hgmatch gen-stream <labels> <edges> <ops> <insert-ratio> <seed> <out.txt>
   hgmatch explain <labels> <edges> <qlabels> <qedges> [--json|--observed]
@@ -69,6 +70,22 @@ serve flags:
   --max-results N   stop each query after N embeddings (default: none)
   --repeat K        batch only: submit the list K times (plan-cache demo)
   --input FILE      serve only: read specs from FILE instead of stdin
+  --quantum N       fairness quantum in tasks (default 64)
+  --plan-cache N    plan-cache capacity, 0 disables (default 128)
+
+listen starts the HTTP front door (POST /match, GET /metrics, GET
+/healthz) and drains gracefully on stdin EOF or a `quit` line.
+listen flags:
+  --addr HOST:PORT  bind address (default HGMATCH_LISTEN_ADDR or 127.0.0.1:0)
+  --threads N       engine worker threads (default 4)
+  --http-threads N  connection handler threads (default 4)
+  --queue-depth N   max queued+executing match requests before 429
+                    (default HGMATCH_QUEUE_DEPTH or 4x engine threads)
+  --tenant-qps Q    per-tenant token-bucket rate, 0 = unlimited
+                    (default HGMATCH_TENANT_QPS or 0)
+  --admit-cost C    under load, shed queries whose planner cost estimate
+                    exceeds C (default: disabled)
+  --timeout SECS    default per-query wall-clock budget
   --quantum N       fairness quantum in tasks (default 64)
   --plan-cache N    plan-cache capacity, 0 disables (default 128)
 
@@ -91,6 +108,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "match" => do_match(&args[1..]),
         "batch" => do_batch(&args[1..]),
         "serve" => do_serve(&args[1..]),
+        "listen" => do_listen(&args[1..]),
         "update" => do_update(&args[1..]),
         "gen-stream" => do_gen_stream(&args[1..]),
         "explain" => explain(&args[1..]),
@@ -439,7 +457,12 @@ fn parse_query_spec(line: &str) -> Result<Option<hgmatch_hypergraph::Hypergraph>
             "query spec must be `<qlabels> <qedges>`, got {trimmed:?}"
         ));
     };
-    load(labels, edges).map(Some)
+    let query = load(labels, edges)?;
+    // Shape validation at the edge (shared with the HTTP front door): an
+    // empty or over-long query gets a line-numbered diagnostic here, not a
+    // submission failure tagged only with a synthetic query name.
+    hgmatch_core::validate_query_shape(&query).map_err(|e| e.to_string())?;
+    Ok(Some(query))
 }
 
 /// Locks a std mutex, ignoring poisoning (worker panics already abort).
@@ -449,10 +472,12 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 fn print_outcome(name: &str, outcome: &hgmatch_core::QueryOutcome) {
     println!(
-        "{name}\t{status}\tembeddings={count}\telapsed={secs:.6}s\tplan_cached={cached}",
+        "{name}\t{status}\tembeddings={count}\telapsed={secs:.6}s\tqueue={queued:.6}s\texec={exec:.6}s\tplan_cached={cached}",
         status = outcome.status,
         count = outcome.count,
         secs = outcome.elapsed.as_secs_f64(),
+        queued = outcome.queue_wait.as_secs_f64(),
+        exec = outcome.execution.as_secs_f64(),
         cached = if outcome.plan_cached { "yes" } else { "no" },
     );
 }
@@ -475,6 +500,11 @@ fn print_aggregate(server: &MatchServer, served: usize, wall: Duration) {
         stats.assists,
         stats.timed_out,
         stats.limit_reached,
+    );
+    println!(
+        "latency split: queue-wait {:.4}s total, execution {:.4}s total",
+        stats.queue_wait_total.as_secs_f64(),
+        stats.execution_total.as_secs_f64(),
     );
 }
 
@@ -678,6 +708,119 @@ impl UpdateCliOptions {
         }
         Ok(options)
     }
+}
+
+/// `listen`: start the HTTP front door on a resident pool and block
+/// until stdin closes (or sends `quit`), then drain gracefully. Reading
+/// stdin — rather than a signal — keeps shutdown drivable from CI and
+/// scripts: closing the pipe is the drain request.
+fn do_listen(args: &[String]) -> Result<(), String> {
+    if args.len() < 2 {
+        return Err("listen needs <labels> <edges>".into());
+    }
+    let data = std::sync::Arc::new(load(&args[0], &args[1])?);
+    let mut config = hgmatch_server::FrontDoorConfig::from_env();
+
+    let flags = &args[2..];
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--addr" => {
+                i += 1;
+                config.addr = flags.get(i).ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a number")?;
+                config.serve.threads = n.max(1);
+                config.queue_depth = config.queue_depth.max(n * 4);
+            }
+            "--http-threads" => {
+                i += 1;
+                config.http_threads = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--http-threads needs a number")?;
+            }
+            "--queue-depth" => {
+                i += 1;
+                config.queue_depth = flags
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or("--queue-depth needs a number")?
+                    .max(1);
+            }
+            "--tenant-qps" => {
+                i += 1;
+                config.tenant_qps = flags
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or("--tenant-qps needs a number")?
+                    .max(0.0);
+            }
+            "--admit-cost" => {
+                i += 1;
+                config.admit_cost = flags
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or("--admit-cost needs a number")?;
+            }
+            "--timeout" => {
+                i += 1;
+                let secs: f64 = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--timeout needs seconds")?;
+                config.serve.default_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--quantum" => {
+                i += 1;
+                config.serve.fairness_quantum = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--quantum needs a number")?;
+            }
+            "--plan-cache" => {
+                i += 1;
+                config.serve.plan_cache_capacity = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--plan-cache needs a number")?;
+            }
+            other => return Err(format!("unknown listen flag {other:?}")),
+        }
+        i += 1;
+    }
+
+    let addr = config.addr.clone();
+    let door = hgmatch_server::FrontDoor::bind(data, config)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("listening on http://{}", door.local_addr());
+    println!("POST /match, GET /metrics, GET /healthz; stdin EOF or `quit` drains");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+
+    let stats = door.shutdown();
+    println!(
+        "drained: {} admitted, {} completed, {} limit, {} timed out, {} cancelled",
+        stats.admitted, stats.completed, stats.limit_reached, stats.timed_out, stats.cancelled,
+    );
+    println!(
+        "latency split: queue-wait {:.4}s total, execution {:.4}s total",
+        stats.queue_wait_total.as_secs_f64(),
+        stats.execution_total.as_secs_f64(),
+    );
+    Ok(())
 }
 
 /// `update`: apply an insert/delete stream to a dynamic graph, one

@@ -366,6 +366,45 @@ fn serve_and_batch_reject_bad_specs() {
     assert!(run(&args(&["batch", &dl, &de, &list, "--bogus"])).is_err());
 }
 
+#[test]
+fn empty_and_overlong_queries_get_line_numbered_diagnostics() {
+    let dir = TempDir::new("shapecheck");
+    let (dl, de, ql, qe) = write_paper_files(&dir);
+
+    // A query with zero hyperedges: valid files, empty edge list.
+    let el = dir.path("noedges.labels");
+    let ee = dir.path("noedges.edges");
+    std::fs::write(&el, "0\n").unwrap();
+    std::fs::write(&ee, "").unwrap();
+
+    // A query past the engine's 64-hyperedge limit: a 65-edge path.
+    let bl = dir.path("big.labels");
+    let be = dir.path("big.edges");
+    std::fs::write(&bl, "0\n".repeat(66)).unwrap();
+    let path: String = (0..65).map(|i| format!("{i},{}\n", i + 1)).collect();
+    std::fs::write(&be, path).unwrap();
+
+    let list = dir.path("mixed.txt");
+    std::fs::write(&list, format!("{ql} {qe}\n{el} {ee}\n")).unwrap();
+    let err = run(&args(&["batch", &dl, &de, &list])).unwrap_err();
+    assert!(
+        err.contains("line 2") && err.contains("no hyperedges"),
+        "empty query must get a line-numbered diagnostic: {err}"
+    );
+
+    std::fs::write(&list, format!("# header\n{ql} {qe}\n\n{bl} {be}\n")).unwrap();
+    let err = run(&args(&["batch", &dl, &de, &list])).unwrap_err();
+    assert!(
+        err.contains("line 4") && err.contains("65"),
+        "over-long query must get a line-numbered diagnostic: {err}"
+    );
+    let err = run(&args(&["serve", &dl, &de, "--input", &list])).unwrap_err();
+    assert!(
+        err.contains("line 4") && err.contains("65"),
+        "serve must reject the same way: {err}"
+    );
+}
+
 /// Writes a small update stream against the paper data: delete one edge,
 /// re-insert it, add a vertex and a fresh edge.
 fn write_update_stream_file(dir: &TempDir) -> String {
@@ -463,4 +502,51 @@ fn gen_stream_round_trips_through_update() {
     run(&args(&["update", &dl, &de, &stream, "--batch", "10"])).expect("replay works");
     assert!(run(&args(&["gen-stream", &dl, &de, "10", "2.0", "9", &stream])).is_err());
     assert!(run(&args(&["gen-stream", &dl, &de])).is_err());
+}
+
+/// `listen` binds the HTTP front door and drains on stdin EOF. Runs the
+/// real binary with stdin closed (the in-process `run()` would block on
+/// the test harness's inherited stdin).
+#[test]
+fn listen_binds_and_drains_on_stdin_eof() {
+    let dir = TempDir::new("listen");
+    let (dl, de, _, _) = write_paper_files(&dir);
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hgmatch"))
+        .args([
+            "listen",
+            &dl,
+            &de,
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "1",
+            "--http-threads",
+            "1",
+        ])
+        .stdin(std::process::Stdio::null())
+        .output()
+        .expect("spawn hgmatch listen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("listening on http://127.0.0.1:"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("drained: 0 admitted"), "{stdout}");
+}
+
+#[test]
+fn listen_rejects_bad_flags() {
+    let dir = TempDir::new("listen-bad");
+    let (dl, de, _, _) = write_paper_files(&dir);
+    assert!(run(&args(&["listen", &dl])).is_err());
+    assert!(run(&args(&["listen", &dl, &de, "--bogus"])).is_err());
+    assert!(run(&args(&["listen", &dl, &de, "--queue-depth"])).is_err());
+    assert!(run(&args(&["listen", &dl, &de, "--tenant-qps", "abc"])).is_err());
+    // An unbindable address is a clean error, not a panic.
+    assert!(run(&args(&["listen", &dl, &de, "--addr", "256.0.0.1:80"])).is_err());
 }

@@ -40,6 +40,22 @@ use hgmatch_hypergraph::inverted::{Posting, MIN_BITMAP_ROWS};
 /// precomputed bitmap).
 const LIST_DENSITY_DIV: usize = 16;
 
+/// Candidate rows emitted (or decoded) between `abort()` probes inside
+/// generation. The expansion loop probes every `ABORT_PROBE` *validated*
+/// candidates, but generation itself can emit far more in one call — a
+/// disconnected step materialises the whole partition, and a compressed
+/// posting's width-0 run blocks decode [`BLOCK_LEN`] rows apiece with
+/// almost no work in between (DESIGN.md §14) — so the anchor-less scan,
+/// blockwise decodes and bitmap unions all probe at least once per this
+/// many entries. Matches the expansion loop's cadence
+/// (`engine::task::ABORT_PROBE`), keeping the worst-case candidate budget
+/// between probes bounded by the same constant.
+const GEN_ABORT_PROBE: usize = 1024;
+
+/// Compressed blocks decoded between probes
+/// (`GEN_ABORT_PROBE / BLOCK_LEN` of them span one probe budget).
+const GEN_PROBE_BLOCKS: usize = GEN_ABORT_PROBE / BLOCK_LEN;
+
 /// One distinct vertex of the partial embedding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MVertex {
@@ -250,9 +266,28 @@ pub fn generate_candidates(
     state: &mut ExpansionState,
     config: &MatchConfig,
 ) -> usize {
+    generate_candidates_with_abort(data, step, emb, state, config, &mut || false)
+        .expect("a never-firing abort cannot interrupt generation")
+}
+
+/// [`generate_candidates`] with a cooperative stop signal: `abort` is
+/// polled at anchor boundaries, every [`GEN_PROBE_BLOCKS`] compressed
+/// blocks of a decode, and every [`GEN_ABORT_PROBE`] rows of the
+/// anchor-less partition scan, so a cancel/timeout lands within a bounded
+/// candidate budget even when a single posting decodes to millions of
+/// rows. Returns `None` when aborted mid-generation — `state.candidates`
+/// then holds partial garbage and the caller must emit nothing.
+pub fn generate_candidates_with_abort(
+    data: &Hypergraph,
+    step: &Step,
+    emb: &[u32],
+    state: &mut ExpansionState,
+    config: &MatchConfig,
+    abort: &mut dyn FnMut() -> bool,
+) -> Option<usize> {
     state.candidates.clear();
     let Some(pid) = step.partition else {
-        return 0; // signature absent from the data: no candidates
+        return Some(0); // signature absent from the data: no candidates
     };
     let partition = data.partition(pid);
     let rows = partition.len();
@@ -260,12 +295,26 @@ pub fn generate_candidates(
     if step.anchors.is_empty() {
         // Disconnected step (or an explicitly disconnected order): every row
         // of the partition is a candidate; validation sorts out the rest.
-        state.candidates.extend(0..rows as u32);
+        // Chunked so a huge partition cannot pin the worker past a stop.
+        let mut row = 0u32;
+        while (row as usize) < rows {
+            if abort() {
+                return None;
+            }
+            let end = ((row as usize + GEN_ABORT_PROBE).min(rows)) as u32;
+            state.candidates.extend(row..end);
+            row = end;
+        }
     } else {
         let mut first = true;
         let mut use_bits = false;
         let mut postings: Vec<Posting<'_>> = Vec::new();
         for anchor in &step.anchors {
+            // Anchor boundary: every set operation below is bounded by the
+            // operand sizes this probe (and the blockwise ones) guard.
+            if abort() {
+                return None;
+            }
             let prev = emb[anchor.prev_pos as usize];
             postings.clear();
             let mut total = 0usize;
@@ -288,7 +337,7 @@ pub fn generate_candidates(
             }
             if postings.is_empty() {
                 state.candidates.clear();
-                return 0;
+                return Some(0);
             }
 
             // Representation switch (DESIGN.md §5.5): a bitmap accumulator
@@ -300,63 +349,91 @@ pub fn generate_candidates(
                 first = false;
                 if dense {
                     use_bits = true;
-                    union_postings_into_bitmap(&postings, rows, &mut state.acc_bits);
+                    if union_postings_into_bitmap(&postings, rows, &mut state.acc_bits, abort) {
+                        return None;
+                    }
                 } else if let [Posting::Compressed(c)] = postings.as_slice() {
-                    // Single compressed anchor: decode once, no merge.
+                    // Single compressed anchor: decode once, no merge —
+                    // blockwise, probing at block boundaries so a huge
+                    // posting (width-0 runs especially) cannot outrun a
+                    // stop signal by the whole decode.
                     state.candidates.clear();
-                    c.decode_into(&mut state.candidates);
+                    let mut scratch = [0u32; BLOCK_LEN];
+                    for bi in 0..c.num_blocks() {
+                        if bi % GEN_PROBE_BLOCKS == GEN_PROBE_BLOCKS - 1 && abort() {
+                            return None;
+                        }
+                        state
+                            .candidates
+                            .extend_from_slice(c.decode_block(bi, &mut scratch));
+                    }
                 } else {
                     let mut lists: Vec<&[u32]> = Vec::with_capacity(postings.len());
-                    postings_as_lists(&postings, &mut state.decode_arena, &mut lists);
+                    if postings_as_lists(&postings, &mut state.decode_arena, &mut lists, abort) {
+                        return None;
+                    }
                     setops::union_many_into(&mut lists, &mut state.candidates, &mut state.mw);
                 }
             } else if use_bits {
                 // C' ∩ next anchor union, word-wise.
-                union_postings_into_bitmap(&postings, rows, &mut state.anchor_bits);
+                if union_postings_into_bitmap(&postings, rows, &mut state.anchor_bits, abort) {
+                    return None;
+                }
                 state.acc_bits.intersect_assign(&state.anchor_bits);
                 if state.acc_bits.is_empty() {
-                    return 0;
+                    return Some(0);
                 }
             } else if dense {
                 // Sorted-list accumulator filtered through the anchor's
                 // bitmap union: O(|C'|) membership tests, no materialised
                 // union.
-                union_postings_into_bitmap(&postings, rows, &mut state.anchor_bits);
+                if union_postings_into_bitmap(&postings, rows, &mut state.anchor_bits, abort) {
+                    return None;
+                }
                 state
                     .anchor_bits
                     .filter_list_into(&state.candidates, &mut state.tmp);
                 std::mem::swap(&mut state.candidates, &mut state.tmp);
                 if state.candidates.is_empty() {
-                    return 0;
+                    return Some(0);
                 }
             } else if let [Posting::Compressed(c)] = postings.as_slice() {
                 // Single compressed anchor: fused decode-and-intersect, one
-                // block at a time against the accumulator.
+                // block at a time against the accumulator (output bounded
+                // by the accumulator, which earlier probes already bounded).
                 setops::intersect_compressed_into(c, &state.candidates, &mut state.tmp);
                 std::mem::swap(&mut state.candidates, &mut state.tmp);
                 if state.candidates.is_empty() {
-                    return 0;
+                    return Some(0);
                 }
             } else {
                 let mut lists: Vec<&[u32]> = Vec::with_capacity(postings.len());
-                postings_as_lists(&postings, &mut state.decode_arena, &mut lists);
+                if postings_as_lists(&postings, &mut state.decode_arena, &mut lists, abort) {
+                    return None;
+                }
                 setops::union_many_into(&mut lists, &mut state.union, &mut state.mw);
                 setops::intersect_into(&state.candidates, &state.union, &mut state.tmp);
                 std::mem::swap(&mut state.candidates, &mut state.tmp);
                 if state.candidates.is_empty() {
-                    return 0;
+                    return Some(0);
                 }
             }
         }
         if use_bits {
+            if abort() {
+                return None;
+            }
             state.acc_bits.extract_into(&mut state.candidates);
             if state.candidates.is_empty() {
-                return 0;
+                return Some(0);
             }
         }
     }
 
     if config.prune_non_incident && !state.non_incident.is_empty() {
+        if abort() {
+            return None;
+        }
         // Eager Observation V.3: drop candidates touching forbidden
         // vertices, with the same representation switch.
         let mut postings: Vec<Posting<'_>> = Vec::new();
@@ -374,17 +451,22 @@ pub fn generate_candidates(
         if !postings.is_empty() {
             let dense = rows >= MIN_BITMAP_ROWS && (have_bits || total * LIST_DENSITY_DIV >= rows);
             if dense {
-                union_postings_into_bitmap(&postings, rows, &mut state.anchor_bits);
+                if union_postings_into_bitmap(&postings, rows, &mut state.anchor_bits, abort) {
+                    return None;
+                }
                 state
                     .anchor_bits
                     .filter_list_out(&state.candidates, &mut state.tmp);
             } else if let [Posting::Compressed(c)] = postings.as_slice() {
                 // Fused difference: subtract the compressed union one
-                // decoded block at a time.
+                // decoded block at a time (output bounded by the already
+                // probe-bounded candidate list).
                 setops::difference_list_compressed_into(&state.candidates, c, &mut state.tmp);
             } else {
                 let mut lists: Vec<&[u32]> = Vec::with_capacity(postings.len());
-                postings_as_lists(&postings, &mut state.decode_arena, &mut lists);
+                if postings_as_lists(&postings, &mut state.decode_arena, &mut lists, abort) {
+                    return None;
+                }
                 setops::union_many_into(&mut lists, &mut state.union, &mut state.mw);
                 setops::difference_into(&state.candidates, &state.union, &mut state.tmp);
             }
@@ -392,37 +474,54 @@ pub fn generate_candidates(
         }
     }
 
-    state.candidates.len()
+    Some(state.candidates.len())
 }
 
 /// Unions postings of any representation into `acc`, reset to the
 /// partition's row domain first: precomputed bitmaps word-wise OR, sorted
 /// lists as bit sets, compressed postings one decoded block at a time
-/// through a stack scratch (never materialising the full list).
-fn union_postings_into_bitmap(postings: &[Posting<'_>], rows: usize, acc: &mut Bitmap) {
+/// through a stack scratch (never materialising the full list). Probes
+/// `abort` per posting and every [`GEN_PROBE_BLOCKS`] compressed blocks;
+/// returns `true` when aborted mid-union (`acc` is then partial garbage).
+fn union_postings_into_bitmap(
+    postings: &[Posting<'_>],
+    rows: usize,
+    acc: &mut Bitmap,
+    abort: &mut dyn FnMut() -> bool,
+) -> bool {
     acc.reset(rows as u32);
     let mut scratch = [0u32; BLOCK_LEN];
     for p in postings {
+        if abort() {
+            return true;
+        }
         match p {
             Posting::Dense { bits, .. } => acc.union_assign(bits),
             Posting::List(l) => acc.insert_list(l),
             Posting::Compressed(c) => {
                 for bi in 0..c.num_blocks() {
+                    if bi % GEN_PROBE_BLOCKS == GEN_PROBE_BLOCKS - 1 && abort() {
+                        return true;
+                    }
                     acc.insert_list(c.decode_block(bi, &mut scratch));
                 }
             }
         }
     }
+    false
 }
 
 /// Exposes `postings` as plain sorted slices for a k-way merge, decoding
 /// compressed ones into reused `arena` buffers first (so the borrows into
-/// the arena are taken only after every decode is done).
+/// the arena are taken only after every decode is done). Probes `abort`
+/// per posting and every [`GEN_PROBE_BLOCKS`] decoded blocks; returns
+/// `true` when aborted mid-decode (`lists` is then left empty/partial).
 fn postings_as_lists<'a>(
     postings: &[Posting<'a>],
     arena: &'a mut Vec<Vec<u32>>,
     lists: &mut Vec<&'a [u32]>,
-) {
+    abort: &mut dyn FnMut() -> bool,
+) -> bool {
     let ncomp = postings
         .iter()
         .filter(|p| matches!(p, Posting::Compressed(_)))
@@ -431,10 +530,19 @@ fn postings_as_lists<'a>(
         arena.resize_with(ncomp, Vec::new);
     }
     let mut ci = 0usize;
+    let mut scratch = [0u32; BLOCK_LEN];
     for p in postings {
         if let Posting::Compressed(c) = p {
+            if abort() {
+                return true;
+            }
             arena[ci].clear();
-            c.decode_into(&mut arena[ci]);
+            for bi in 0..c.num_blocks() {
+                if bi % GEN_PROBE_BLOCKS == GEN_PROBE_BLOCKS - 1 && abort() {
+                    return true;
+                }
+                arena[ci].extend_from_slice(c.decode_block(bi, &mut scratch));
+            }
             ci += 1;
         }
     }
@@ -450,6 +558,7 @@ fn postings_as_lists<'a>(
             }
         }
     }
+    false
 }
 
 #[cfg(test)]
@@ -770,6 +879,37 @@ mod tests {
         }
     }
 
+    /// A hub-and-leaves {A,B} graph: `hubs` A vertices, `hubs * per_hub`
+    /// {A,B} edges, hub `i` incident to every `per_hub`-th row — each hub
+    /// posting has `per_hub` entries spread across the partition, which the
+    /// adaptive representation rule keeps mid-density compressed whenever
+    /// `per_hub * 32 < hubs * per_hub` (i.e. `hubs > 32`).
+    fn hub_graph(hubs: u32, per_hub: u32) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for _ in 0..hubs {
+            b.add_vertex(Label::new(0));
+        }
+        let leaves = hubs * per_hub;
+        for _ in 0..leaves {
+            b.add_vertex(Label::new(1));
+        }
+        for leaf in 0..leaves {
+            b.add_edge(vec![leaf % hubs, hubs + leaf]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Two {A,B} query edges sharing the A vertex.
+    fn hub_query() -> QueryGraph {
+        let mut qb = HypergraphBuilder::new();
+        qb.add_vertex(Label::new(0));
+        qb.add_vertex(Label::new(1));
+        qb.add_vertex(Label::new(1));
+        qb.add_edge(vec![0, 1]).unwrap();
+        qb.add_edge(vec![0, 2]).unwrap();
+        QueryGraph::new(&qb.build().unwrap()).unwrap()
+    }
+
     #[test]
     fn compressed_partition_matches_list_results() {
         // The same mid-density workload forced into each representation
@@ -826,5 +966,124 @@ mod tests {
             partition.incident_posting(0).to_sorted(),
             "fused anchor union equals the decoded posting"
         );
+    }
+
+    /// An abort closure that returns `false` for the first `grace` probes
+    /// and `true` from then on, counting every probe.
+    fn probe_fuse(grace: u64) -> (std::rc::Rc<std::cell::Cell<u64>>, impl FnMut() -> bool) {
+        let probes = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let p = std::rc::Rc::clone(&probes);
+        (probes, move || {
+            p.set(p.get() + 1);
+            p.get() > grace
+        })
+    }
+
+    #[test]
+    fn abort_bounds_compressed_decode_emission() {
+        // Regression (cancellation latency, DESIGN.md §14): a multi-block
+        // compressed hub posting must not decode past a raised stop by more
+        // than one probe budget. hubs > 32 keeps the posting mid-density
+        // (compressed under the adaptive rule; the CI repr-stress job also
+        // replays this with HGMATCH_FORCE_REPR=compressed) and per_hub =
+        // 1024 spans four blocks, so the blockwise decode crosses at least
+        // one probe boundary.
+        let data = hub_graph(40, 1024);
+        let q = hub_query();
+        let plan = Planner::plan(&q, &data).unwrap();
+        let step = &plan.steps()[1];
+        if hgmatch_hypergraph::inverted::forced_repr().is_none() {
+            let partition = data.partition(step.partition.unwrap());
+            assert_eq!(
+                partition.incident_posting(0).repr(),
+                hgmatch_hypergraph::ReprKind::Compressed,
+                "hub posting should be mid-density compressed"
+            );
+        }
+
+        let mut state = ExpansionState::new();
+        let emb = [0u32];
+        state.prepare(&data, step, &emb);
+
+        // One grace probe: the anchor-boundary probe passes, the first
+        // in-decode probe (whichever representation path takes it) fires.
+        let (probes, mut abort) = probe_fuse(1);
+        let out = generate_candidates_with_abort(
+            &data,
+            step,
+            &emb,
+            &mut state,
+            &MatchConfig::default(),
+            &mut abort,
+        );
+        assert_eq!(out, None, "a raised stop must interrupt generation");
+        assert!(probes.get() >= 2, "generation must keep probing past entry");
+        assert!(
+            state.candidates.len() <= GEN_ABORT_PROBE,
+            "at most one probe budget may be emitted past the stop, got {}",
+            state.candidates.len()
+        );
+
+        // Sanity: without a stop the same expansion produces the full set.
+        state.prepare(&data, step, &emb);
+        let n = generate_candidates(&data, step, &emb, &mut state, &MatchConfig::default());
+        assert_eq!(n, 1024);
+    }
+
+    #[test]
+    fn abort_bounds_anchorless_scan_emission() {
+        // A disconnected step materialises the whole partition (40960 rows
+        // here); k grace probes must bound the emission to k probe budgets.
+        let data = hub_graph(40, 1024);
+        let mut qb = HypergraphBuilder::new();
+        for &l in &[0u32, 1, 0, 1] {
+            qb.add_vertex(Label::new(l));
+        }
+        qb.add_edge(vec![0, 1]).unwrap();
+        qb.add_edge(vec![2, 3]).unwrap();
+        let q = QueryGraph::new(&qb.build().unwrap()).unwrap();
+        let plan = Planner::plan(&q, &data).unwrap();
+        let step = &plan.steps()[1];
+        assert!(step.anchors.is_empty());
+        let emb = [0u32];
+
+        let mut state = ExpansionState::new();
+        state.prepare(&data, step, &emb);
+        let (_, mut abort) = probe_fuse(3);
+        let out = generate_candidates_with_abort(
+            &data,
+            step,
+            &emb,
+            &mut state,
+            &MatchConfig::default(),
+            &mut abort,
+        );
+        assert_eq!(out, None);
+        assert!(
+            state.candidates.len() <= 3 * GEN_ABORT_PROBE,
+            "three grace probes bound the scan to three probe budgets, got {}",
+            state.candidates.len()
+        );
+    }
+
+    #[test]
+    fn immediate_abort_emits_nothing() {
+        let data = hub_graph(40, 1024);
+        let q = hub_query();
+        let plan = Planner::plan(&q, &data).unwrap();
+        let step = &plan.steps()[1];
+        let emb = [0u32];
+        let mut state = ExpansionState::new();
+        state.prepare(&data, step, &emb);
+        let out = generate_candidates_with_abort(
+            &data,
+            step,
+            &emb,
+            &mut state,
+            &MatchConfig::default(),
+            &mut || true,
+        );
+        assert_eq!(out, None);
+        assert!(state.candidates.is_empty());
     }
 }

@@ -31,7 +31,7 @@ use crossbeam::deque::{Steal, Stealer, Worker as Deque};
 use hgmatch_hypergraph::{Hypergraph, Partition};
 
 use crate::adaptive::AdaptiveState;
-use crate::candidates::{generate_candidates, ExpansionState};
+use crate::candidates::{generate_candidates_with_abort, ExpansionState};
 use crate::config::MatchConfig;
 use crate::memory::MemoryTracker;
 use crate::metrics::MatchMetrics;
@@ -343,8 +343,21 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
             return;
         };
         self.scratch.state.prepare(data, step, emb);
-        let produced =
-            generate_candidates(data, step, emb, &mut self.scratch.state, self.env.config);
+        // Generation probes the abort signal at anchor/block boundaries
+        // (compressed decodes and anchor-less scans can emit far more than
+        // ABORT_PROBE rows in one call); a mid-generation abort leaves the
+        // candidate buffer partial, so nothing below may run.
+        let Some(produced) = generate_candidates_with_abort(
+            data,
+            step,
+            emb,
+            &mut self.scratch.state,
+            self.env.config,
+            self.abort,
+        ) else {
+            self.metrics.expansions += 1;
+            return;
+        };
         self.metrics.expansions += 1;
         self.metrics.candidates += produced as u64;
         let partition = data.partition(pid);
@@ -796,5 +809,58 @@ mod tests {
         let (rest, executed, m2) = drain(&data, &plan, &config, Task::Assist { shared });
         assert_eq!((rest, executed), (0, 1));
         assert_eq!(m2.assist_chunks, 0);
+    }
+
+    /// A stop raised *during* candidate generation (not just between
+    /// validation probes) must abandon the expansion: no children, no
+    /// deliveries, and no candidate accounting for the partial decode —
+    /// the cancellation-latency contract generation's block-boundary
+    /// probes exist to uphold.
+    #[test]
+    fn mid_generation_abort_spawns_nothing() {
+        let (data, plan) = pair_clique(12);
+        let sink = CountSink::new();
+        let tracker = MemoryTracker::new();
+        let config = MatchConfig::default();
+        let env = QueryEnv {
+            plan: &plan,
+            data: &data,
+            sink: &sink,
+            config: &config,
+            tracker: &tracker,
+            ver: 0,
+            adaptive: None,
+        };
+        let mut scratch = ExecScratch::new();
+        let mut metrics = MatchMetrics::default();
+        let mut spawned = 0usize;
+        let mut probes = 0u64;
+        let mut inline = [0u32; INLINE_EMB];
+        inline[0] = 0;
+        // Probe 1 is the task-entry check; every later probe (the first of
+        // which generation itself issues) sees the stop raised.
+        let delivered = execute_task(
+            &env,
+            &mut scratch,
+            &mut metrics,
+            Task::Expand {
+                depth: 1,
+                ver: 0,
+                emb: inline,
+            },
+            &mut || {
+                probes += 1;
+                probes > 1
+            },
+            &mut |_| spawned += 1,
+        );
+        assert!(probes >= 2, "generation must probe past task entry");
+        assert_eq!(delivered, 0);
+        assert_eq!(spawned, 0, "an aborted generation must emit no children");
+        assert_eq!(
+            metrics.candidates, 0,
+            "a partial decode contributes no candidate accounting"
+        );
+        assert_eq!(metrics.expansions, 1);
     }
 }

@@ -94,6 +94,6 @@ pub use error::{MatchError, Result};
 pub use matcher::Matcher;
 pub use metrics::{MatchMetrics, StepCounts, MAX_PLAN_STEPS};
 pub use plan::{Plan, Planner};
-pub use query::QueryGraph;
+pub use query::{validate_query_shape, QueryGraph, MAX_QUERY_EDGES};
 pub use serve::{MatchServer, QueryHandle, QueryOptions, QueryOutcome, QueryStatus, ServeConfig};
 pub use sink::{CollectSink, CountSink, FirstKSink, Sink};

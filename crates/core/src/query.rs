@@ -13,6 +13,31 @@ use crate::error::{MatchError, Result};
 /// Maximum number of query hyperedges (incidence masks are `u64`).
 pub const MAX_QUERY_EDGES: usize = 64;
 
+/// Validates the engine-level shape constraints of a query hypergraph
+/// without compiling it: non-empty, and at most [`MAX_QUERY_EDGES`]
+/// hyperedges — which is also [`crate::MAX_PLAN_STEPS`], the width of the
+/// per-position `StepCounts` accounting, so anything longer would not
+/// merely be slow but silently truncate its own observability. Shared by
+/// the CLI's query-file parsers and the HTTP front door's request parser,
+/// so untrusted input is rejected with one clear diagnostic at the edge
+/// instead of failing deep inside submission.
+///
+/// # Errors
+/// [`MatchError::EmptyQuery`] or [`MatchError::QueryTooLarge`].
+pub fn validate_query_shape(query: &Hypergraph) -> Result<()> {
+    let ne = query.num_edges();
+    if ne == 0 {
+        return Err(MatchError::EmptyQuery);
+    }
+    if ne > MAX_QUERY_EDGES {
+        return Err(MatchError::QueryTooLarge {
+            edges: ne,
+            max: MAX_QUERY_EDGES,
+        });
+    }
+    Ok(())
+}
+
 /// A query hypergraph plus derived matching structure.
 #[derive(Debug, Clone)]
 pub struct QueryGraph {
@@ -35,16 +60,8 @@ impl QueryGraph {
     /// Fails if the query has no hyperedges or more than
     /// [`MAX_QUERY_EDGES`].
     pub fn new(query: &Hypergraph) -> Result<Self> {
+        validate_query_shape(query)?;
         let ne = query.num_edges();
-        if ne == 0 {
-            return Err(MatchError::EmptyQuery);
-        }
-        if ne > MAX_QUERY_EDGES {
-            return Err(MatchError::QueryTooLarge {
-                edges: ne,
-                max: MAX_QUERY_EDGES,
-            });
-        }
 
         let edges: Vec<Vec<u32>> = query.iter_edges().map(|(_, vs)| vs.to_vec()).collect();
         let labels = query.labels().to_vec();

@@ -575,6 +575,77 @@ mod tests {
     }
 
     #[test]
+    fn stale_write_back_after_revalidate_never_resurrects() {
+        let data = tiny_data();
+        let cache = PlanCache::new(4);
+        let q = ab_query(1);
+        let (plan, _) = cache.plan_for(&q, &data, 0).unwrap();
+        // The sweep dropped the entry (sids shifted): a correction pinned
+        // to the swept epoch must not re-insert a plan that may embed
+        // dangling partition ids.
+        cache.revalidate(1, &[], false, &data, 0.5);
+        assert!(!cache.write_back(&PlanKey::new(&q), plan, 0));
+        assert_eq!((cache.len(), cache.corrections()), (0, 0));
+    }
+
+    /// Hammers `plan_for`, `write_back` and `revalidate` from racing
+    /// threads over a capacity-2 cache, so corrections land while their
+    /// entry is being evicted by other shapes and while the epoch moves
+    /// under them. No interleaving may deadlock, lose a counter update,
+    /// overgrow the capacity, or land a correction on a dead entry.
+    #[test]
+    fn write_back_races_eviction_and_epoch_bumps() {
+        use std::sync::atomic::AtomicU64;
+
+        let data = tiny_data();
+        let cache = PlanCache::new(2);
+        let epoch = AtomicU64::new(0);
+        let plan_calls = AtomicU64::new(0);
+        let landed = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let (cache, data, epoch) = (&cache, &data, &epoch);
+                let (plan_calls, landed) = (&plan_calls, &landed);
+                scope.spawn(move || {
+                    let mut state = 0x9E3779B97F4A7C15u64.wrapping_mul(t + 1);
+                    for _ in 0..300 {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let shape = ab_query(((state >> 33) % 5) as u32);
+                        let e = epoch.load(Ordering::Relaxed);
+                        let (plan, _hit) = cache.plan_for(&shape, data, e).unwrap();
+                        plan_calls.fetch_add(1, Ordering::Relaxed);
+                        if state & 1 == 0 && cache.write_back(&PlanKey::new(&shape), plan, e) {
+                            landed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            let (cache, data, epoch) = (&cache, &data, &epoch);
+            scope.spawn(move || {
+                for i in 0..60u64 {
+                    let e = epoch.fetch_add(1, Ordering::Relaxed) + 1;
+                    let touched = [Label::new((i % 5) as u32)];
+                    cache.revalidate(e, &touched, i % 4 != 3, data, 0.5);
+                    std::thread::yield_now();
+                }
+            });
+        });
+        assert!(cache.len() <= 2, "eviction must bound the cache");
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            plan_calls.load(Ordering::Relaxed),
+            "every plan_for is exactly one hit or one miss"
+        );
+        assert_eq!(
+            cache.corrections(),
+            landed.load(Ordering::Relaxed),
+            "corrections counts exactly the write_backs that landed"
+        );
+    }
+
+    #[test]
     fn revalidate_clears_everything_when_sids_shift() {
         let data = tiny_data();
         let cache = PlanCache::new(8);

@@ -264,8 +264,18 @@ pub struct QueryOutcome {
     pub embeddings: Option<Vec<Embedding>>,
     /// Merged execution counters.
     pub metrics: MatchMetrics,
-    /// Submission-to-completion latency.
+    /// Submission-to-completion latency
+    /// (`= queue_wait + execution`, always).
     pub elapsed: Duration,
+    /// Share of [`QueryOutcome::elapsed`] spent waiting for the first
+    /// worker pickup. Under overload this is the queueing delay — the
+    /// number an admission controller should watch, because it grows with
+    /// load while [`QueryOutcome::execution`] does not.
+    pub queue_wait: Duration,
+    /// Share of [`QueryOutcome::elapsed`] after the first worker pickup —
+    /// the engine's actual execution latency, independent of how long the
+    /// query sat in the admission queue.
+    pub execution: Duration,
     /// Peak bytes of materialised partial embeddings for this query.
     pub peak_memory_bytes: i64,
     /// Whether planning was skipped via the plan cache.
@@ -363,6 +373,14 @@ pub struct ServeStats {
     /// the corrected order (a consequence of
     /// [`ServeStats::replans_midquery`], gated on the entry's epoch).
     pub estimate_corrections: u64,
+    /// Total time finished queries spent waiting for their first worker
+    /// pickup (sum of [`QueryOutcome::queue_wait`] over finished queries).
+    /// Divergence of this from [`ServeStats::execution_total`] under load
+    /// is the saturation signal the front door's admission control reads.
+    pub queue_wait_total: Duration,
+    /// Total time finished queries spent executing after first pickup
+    /// (sum of [`QueryOutcome::execution`] over finished queries).
+    pub execution_total: Duration,
     /// Epoch of the currently published data snapshot.
     pub data_epoch: u64,
 }
@@ -380,6 +398,8 @@ pub(crate) struct Counters {
     pub(crate) splits: AtomicU64,
     pub(crate) assists: AtomicU64,
     pub(crate) replans_midquery: AtomicU64,
+    pub(crate) queue_wait_ns: AtomicU64,
+    pub(crate) execution_ns: AtomicU64,
 }
 
 /// Per-worker accounting of the serving pool, snapshot via
@@ -457,13 +477,23 @@ impl ServeShared {
             }
         }
         let (count, embeddings) = query.sink.take_output();
+        let elapsed = query.submitted.elapsed();
+        let (queue_wait, execution) = query.latency_split(elapsed);
+        self.counters
+            .queue_wait_ns
+            .fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
+        self.counters
+            .execution_ns
+            .fetch_add(execution.as_nanos() as u64, Ordering::Relaxed);
         query.complete(QueryOutcome {
             id: query.id,
             status,
             count,
             embeddings,
             metrics,
-            elapsed: query.submitted.elapsed(),
+            elapsed: queue_wait + execution,
+            queue_wait,
+            execution,
             peak_memory_bytes: query.tracker.peak_bytes(),
             plan_cached: query.plan_cached,
             data_epoch: query.data_epoch,
@@ -606,6 +636,31 @@ impl MatchServer {
         Ok(self.submit(query, options)?.wait())
     }
 
+    /// Plans `query` (through the plan cache) against the currently
+    /// published snapshot and returns the cost model's total-cost estimate
+    /// *without admitting it* — the front door's admission-control signal
+    /// for rejecting predicted-expensive queries under load. The compiled
+    /// plan stays cached, so an admitted follow-up [`MatchServer::submit`]
+    /// of the same shape reuses it instead of planning twice (and counts
+    /// as a cache hit). An infeasible shape (a signature absent from the
+    /// data) estimates 0: it resolves inline with no engine work.
+    ///
+    /// # Errors
+    /// Same conditions as [`MatchServer::submit`]: an empty query or one
+    /// past the engine's 64-hyperedge limit.
+    pub fn estimate_cost(&self, query: &Hypergraph) -> Result<f64> {
+        let (data, epoch) = {
+            let current = self.shared.data.lock();
+            (Arc::clone(&current.graph), current.epoch)
+        };
+        let (plan, _cached) = self.shared.cache.plan_for(query, &data, epoch)?;
+        Ok(if plan.is_infeasible() {
+            0.0
+        } else {
+            plan.cost()
+        })
+    }
+
     /// Publishes a new data snapshot: queries submitted from now on pin
     /// `data`, while queries already in flight finish on the epoch they
     /// pinned at submission — no query ever observes a half-applied
@@ -675,6 +730,8 @@ impl MatchServer {
             plans_replanned: self.shared.cache.replanned(),
             replans_midquery: c.replans_midquery.load(Ordering::Relaxed),
             estimate_corrections: self.shared.cache.corrections(),
+            queue_wait_total: Duration::from_nanos(c.queue_wait_ns.load(Ordering::Relaxed)),
+            execution_total: Duration::from_nanos(c.execution_ns.load(Ordering::Relaxed)),
             data_epoch: self.shared.data.lock().epoch,
         }
     }

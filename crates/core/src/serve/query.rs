@@ -139,6 +139,12 @@ pub(crate) struct ActiveQuery {
     stop_cause: AtomicU8,
     pub(crate) deadline: Option<Instant>,
     pub(crate) submitted: Instant,
+    /// Nanoseconds between submission and the first worker picking up any
+    /// of this query's tasks — the queue-wait share of the total latency
+    /// (DESIGN.md §8). `u64::MAX` until the first pickup records it; a
+    /// query finalised without ever reaching a worker keeps the sentinel
+    /// and its whole latency is accounted as queue wait.
+    pub(crate) queue_ns: AtomicU64,
     pub(crate) tracker: MemoryTracker,
     pub(crate) metrics: Mutex<MatchMetrics>,
     pub(crate) plan_cached: bool,
@@ -175,6 +181,7 @@ impl ActiveQuery {
             stop_cause: AtomicU8::new(RUNNING),
             deadline,
             submitted: Instant::now(),
+            queue_ns: AtomicU64::new(u64::MAX),
             tracker: MemoryTracker::new(),
             metrics: Mutex::new(MatchMetrics::default()),
             plan_cached,
@@ -182,6 +189,39 @@ impl ActiveQuery {
             finished: AtomicBool::new(false),
             done_cv: Condvar::new(),
         }
+    }
+
+    /// Records the submission-to-first-pickup latency once: the first
+    /// worker to execute any task of this query stamps it; later calls are
+    /// no-ops. Cheap enough to call per task (one relaxed load on the hot
+    /// path after the stamp lands).
+    #[inline]
+    pub(crate) fn mark_picked_up(&self) {
+        if self.queue_ns.load(Ordering::Relaxed) == u64::MAX {
+            let waited = self.submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let _ = self.queue_ns.compare_exchange(
+                u64::MAX,
+                waited,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Splits the total submit-to-finish latency into queue wait (before
+    /// the first worker pickup) and execution (everything after). A query
+    /// that never reached a worker — admission resolved it inline, or it
+    /// was cancelled while still queued — is all queue wait.
+    pub(crate) fn latency_split(
+        &self,
+        elapsed: std::time::Duration,
+    ) -> (std::time::Duration, std::time::Duration) {
+        let total = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        let queued = self.queue_ns.load(Ordering::Relaxed).min(total);
+        (
+            std::time::Duration::from_nanos(queued),
+            std::time::Duration::from_nanos(total - queued),
+        )
     }
 
     /// Raises `cause` if no earlier cause was raised; the first wins.

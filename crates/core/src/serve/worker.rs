@@ -121,6 +121,9 @@ fn run_one(
     shared: &ServeShared,
     scratch: &mut ExecScratch,
 ) {
+    // First pickup of any of this query's tasks ends its queue-wait phase
+    // (the latency split reported on the outcome and in ServeStats).
+    query.mark_picked_up();
     // Resolve the plan version this task runs under (DESIGN.md §15) —
     // per task, at the step boundary, before any step state is built.
     let (resolved, ver) = match query.adaptive.as_ref() {

@@ -306,3 +306,56 @@ fn repeated_mixed_workload_is_stable() {
     // Every round after the first hits the plan cache for every query.
     assert_eq!(stats.plan_cache_hits, 4 * queries.len() as u64);
 }
+
+/// An update storm races a tiny plan cache: `update_data` bumps the epoch
+/// (alternating label-touched and sids-shifted sweeps) while submissions
+/// keep planning into a capacity-2 cache, so entries are concurrently
+/// inserted, evicted and invalidated. Every published snapshot has the
+/// same content, so any wrong answer means a query ran a plan from the
+/// wrong epoch or a half-swept cache.
+#[test]
+fn update_data_epoch_storm_keeps_results_exact() {
+    let data = Arc::new(random_data(150, 3, 400, 0x5EED));
+    let queries = workload_queries();
+    let expected: Vec<u64> = queries.iter().map(|q| sequential_count(&data, q)).collect();
+    let server = MatchServer::new(
+        Arc::clone(&data),
+        ServeConfig::default()
+            .with_threads(3)
+            .with_plan_cache_capacity(2),
+    );
+    let updates = 48u64;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for i in 0..updates {
+                server.update_data(Arc::clone(&data), &[Label::new((i % 3) as u32)], i % 5 != 4);
+                std::thread::yield_now();
+            }
+        });
+        for round in 0..8 {
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|q| server.submit(q, QueryOptions::count()).unwrap())
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                let outcome = h.wait();
+                assert_eq!(
+                    outcome.status,
+                    QueryStatus::Completed,
+                    "round {round} q {i}"
+                );
+                assert_eq!(outcome.count, expected[i], "round {round} q {i}");
+                assert!(outcome.data_epoch <= updates, "round {round} q {i}");
+            }
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.data_epoch, updates);
+    assert_eq!(stats.admitted, 8 * queries.len() as u64);
+    assert_eq!(stats.completed, 8 * queries.len() as u64);
+    assert!(
+        stats.plan_cache_size <= 2,
+        "cache must stay within capacity through the storm"
+    );
+    server.shutdown();
+}

@@ -1,0 +1,350 @@
+//! Minimal HTTP/1.1 on `std::net`: enough protocol to serve JSON match
+//! requests and a Prometheus scrape — request-line + headers +
+//! `Content-Length` bodies, keep-alive, nothing else (no chunked
+//! encoding, no TLS, no HTTP/2).
+//!
+//! Reads are bounded everywhere: header block ≤ [`MAX_HEAD_BYTES`], body
+//! ≤ [`MAX_BODY_BYTES`], and the read loop polls a stop predicate so
+//! idle keep-alive connections release their handler promptly on
+//! shutdown instead of pinning it until a socket timeout.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Maximum bytes of request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Idle keep-alive connections are closed after this long without a
+/// complete request.
+pub const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
+/// Socket read timeout; also the cadence at which the stop predicate is
+/// polled while waiting for bytes.
+pub const READ_POLL: Duration = Duration::from_millis(50);
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path + optional query string, untouched).
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// request.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request failed (beyond a clean close).
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure; the connection is unusable.
+    Io(io::Error),
+    /// Headers or body exceeded the fixed limits → respond 413.
+    TooLarge,
+    /// The bytes were not valid HTTP → respond 400.
+    Malformed(&'static str),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`. `carry` holds bytes left over from
+/// the previous read on this connection (pipelining) and is updated in
+/// place. Returns `Ok(None)` on a clean close: EOF, idle timeout, or
+/// `stop()` turning true while no request is in flight.
+pub fn read_request(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    stop: &dyn Fn() -> bool,
+) -> Result<Option<Request>, HttpError> {
+    let idle_since = Instant::now();
+    let mut chunk = [0u8; 4096];
+    // Phase 1: accumulate until the end-of-headers marker.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(carry) {
+            break pos;
+        }
+        if carry.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        if carry.is_empty() && (stop() || idle_since.elapsed() > KEEP_ALIVE_IDLE) {
+            return Ok(None);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if carry.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(HttpError::Malformed("connection closed mid-request"))
+                };
+            }
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    };
+
+    let head = std::str::from_utf8(&carry[..head_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(HttpError::Malformed("missing method"))?
+        .to_string();
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or(HttpError::Malformed("missing request target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let body_len = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("invalid content-length"))?,
+        None => 0,
+    };
+    if body_len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+
+    // Phase 2: read the body (head_end + 4 skips the \r\n\r\n).
+    let body_start = head_end + 4;
+    while carry.len() < body_start + body_len {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Malformed("connection closed mid-body")),
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    let body = carry[body_start..body_start + body_len].to_vec();
+    carry.drain(..body_start + body_len);
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response about to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code (200, 400, 404, 405, 413, 429, 503).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` header (seconds) — set on 429s.
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// A JSON response with the given status and body.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// A JSON error response `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(
+            status,
+            format!("{{\"error\":\"{}\"}}", crate::json::escape(message)),
+        )
+    }
+
+    /// Sets `Retry-After`, builder style.
+    pub fn with_retry_after(mut self, seconds: u32) -> Self {
+        self.retry_after = Some(seconds);
+        self
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialises `resp` (with `Connection: close` when `close` is set).
+pub fn render_response(resp: &Response, close: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(resp.body.len() + 256);
+    out.extend_from_slice(
+        format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status)).as_bytes(),
+    );
+    out.extend_from_slice(format!("Content-Type: {}\r\n", resp.content_type).as_bytes());
+    out.extend_from_slice(format!("Content-Length: {}\r\n", resp.body.len()).as_bytes());
+    if let Some(secs) = resp.retry_after {
+        out.extend_from_slice(format!("Retry-After: {secs}\r\n").as_bytes());
+    }
+    out.extend_from_slice(if close {
+        b"Connection: close\r\n"
+    } else {
+        b"Connection: keep-alive\r\n"
+    });
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+/// Writes `resp` to `stream`.
+pub fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> io::Result<()> {
+    stream.write_all(&render_response(resp, close))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_read_timeout(Some(READ_POLL)).unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn parses_pipelined_requests() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(
+                b"POST /match HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /metrics HTTP/1.1\r\n\r\n",
+            )
+            .unwrap();
+        let mut carry = Vec::new();
+        let r1 = read_request(&mut server, &mut carry, &|| false)
+            .unwrap()
+            .unwrap();
+        assert_eq!(r1.method, "POST");
+        assert_eq!(r1.path, "/match");
+        assert_eq!(r1.body, b"hi");
+        let r2 = read_request(&mut server, &mut carry, &|| false)
+            .unwrap()
+            .unwrap();
+        assert_eq!(r2.method, "GET");
+        assert_eq!(r2.path, "/metrics");
+        assert!(r2.body.is_empty());
+        drop(client);
+        assert!(matches!(
+            read_request(&mut server, &mut carry, &|| false),
+            Ok(None)
+        ));
+    }
+
+    #[test]
+    fn stop_predicate_closes_idle_connection() {
+        let (_client, mut server) = pair();
+        let mut carry = Vec::new();
+        let got = read_request(&mut server, &mut carry, &|| true).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(
+                format!(
+                    "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    MAX_BODY_BYTES + 1
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut carry = Vec::new();
+        assert!(matches!(
+            read_request(&mut server, &mut carry, &|| false),
+            Err(HttpError::TooLarge)
+        ));
+
+        let (mut client2, mut server2) = pair();
+        client2.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut carry2 = Vec::new();
+        assert!(matches!(
+            read_request(&mut server2, &mut carry2, &|| false),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn renders_retry_after() {
+        let resp = Response::error(429, "busy").with_retry_after(2);
+        let text = String::from_utf8(render_response(&resp, true)).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"busy\"}"));
+    }
+}

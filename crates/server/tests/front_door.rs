@@ -1,0 +1,439 @@
+//! End-to-end tests of the HTTP front door: real sockets, real engine.
+//!
+//! Covers the admission gates (quota, queue depth, cost), the error
+//! paths shared with the CLI's query validation, keep-alive, graceful
+//! drain, and a golden test pinning the `/metrics` text format.
+
+use hgmatch_core::ServeConfig;
+use hgmatch_hypergraph::{Hypergraph, HypergraphBuilder, Label};
+use hgmatch_server::{FrontDoor, FrontDoorConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Two triangles sharing a vertex: the crate's doc example data.
+fn two_triangles() -> Arc<Hypergraph> {
+    let mut b = HypergraphBuilder::new();
+    for &l in &[0u32, 0, 1, 0, 0] {
+        b.add_vertex(Label::new(l));
+    }
+    b.add_edge(vec![0, 1, 2]).unwrap();
+    b.add_edge(vec![2, 3, 4]).unwrap();
+    Arc::new(b.build().unwrap())
+}
+
+/// A dense single-label pair clique: every 2-subset of `n` vertices is
+/// an edge, so multi-edge path queries have a huge search space — used
+/// to hold a worker busy for a controlled window (with a timeout).
+fn clique(n: usize) -> Arc<Hypergraph> {
+    let mut b = HypergraphBuilder::new();
+    for _ in 0..n {
+        b.add_vertex(Label::new(0));
+    }
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            b.add_edge(vec![i, j]).unwrap();
+        }
+    }
+    Arc::new(b.build().unwrap())
+}
+
+/// The doc-example query: one {A, A, B} hyperedge (2 matches in
+/// `two_triangles`).
+const TRIANGLE_QUERY: &str = r#"{"labels":[0,0,1],"edges":[[0,1,2]]}"#;
+
+/// A 5-edge path over the clique's single label — combinatorial search
+/// space, always stopped by its `timeout_ms`.
+const HEAVY_QUERY: &str = concat!(
+    r#"{"labels":[0,0,0,0,0,0],"edges":[[0,1],[1,2],[2,3],[3,4],[4,5]],"#,
+    r#""timeout_ms":400}"#
+);
+
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_reply(stream: &mut TcpStream) -> Reply {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "connection closed before response head");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..head_end].to_vec()).unwrap();
+    let mut lines = head.split("\r\n");
+    let status = lines
+        .next()
+        .unwrap()
+        .split(' ')
+        .nth(1)
+        .unwrap()
+        .parse::<u16>()
+        .unwrap();
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    let len = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.parse::<usize>().unwrap())
+        .unwrap_or(0);
+    let body_start = head_end + 4;
+    while buf.len() < body_start + len {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8(buf[body_start..body_start + len].to_vec()).unwrap();
+    Reply {
+        status,
+        headers,
+        body,
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    read_reply(&mut stream)
+}
+
+fn field_u64(body: &str, field: &str) -> Option<u64> {
+    let marker = format!("\"{field}\":");
+    let rest = &body[body.find(&marker)? + marker.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn match_end_to_end_with_plan_cache() {
+    let door = FrontDoor::bind(
+        two_triangles(),
+        FrontDoorConfig {
+            serve: ServeConfig::default().with_threads(2),
+            ..FrontDoorConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = door.local_addr();
+
+    let r1 = request(addr, "POST", "/match", TRIANGLE_QUERY);
+    assert_eq!(r1.status, 200, "{}", r1.body);
+    assert_eq!(field_u64(&r1.body, "count"), Some(2));
+    assert!(r1.body.contains("\"status\":\"completed\""), "{}", r1.body);
+    assert!(r1.body.contains("\"plan_cached\":false"), "{}", r1.body);
+
+    // Same shape again: served from the plan cache.
+    let r2 = request(addr, "POST", "/match", TRIANGLE_QUERY);
+    assert_eq!(r2.status, 200);
+    assert!(r2.body.contains("\"plan_cached\":true"), "{}", r2.body);
+
+    // Collect mode returns the matched data-edge tuples.
+    let r3 = request(
+        addr,
+        "POST",
+        "/match",
+        r#"{"labels":[0,0,1],"edges":[[0,1,2]],"collect":true}"#,
+    );
+    assert_eq!(r3.status, 200);
+    assert!(r3.body.contains("\"embeddings\":[[0],[1]]"), "{}", r3.body);
+
+    // The latency split is present and consistent: elapsed = queue + exec.
+    let elapsed = field_u64(&r1.body, "elapsed_us").unwrap();
+    let queue = field_u64(&r1.body, "queue_us").unwrap();
+    let exec = field_u64(&r1.body, "exec_us").unwrap();
+    // Exact in nanoseconds; each microsecond field truncates separately.
+    assert!(
+        elapsed >= queue + exec && elapsed <= queue + exec + 1,
+        "elapsed={elapsed} queue={queue} exec={exec}"
+    );
+
+    let stats = door.shutdown();
+    assert_eq!(stats.admitted, 3);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.plan_cache_hits, 2);
+}
+
+#[test]
+fn validation_errors_are_client_errors() {
+    let door = FrontDoor::bind(two_triangles(), FrontDoorConfig::default()).unwrap();
+    let addr = door.local_addr();
+
+    let r = request(addr, "POST", "/match", "this is not json");
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("invalid JSON"), "{}", r.body);
+
+    // Shared shape validation: empty query.
+    let r = request(addr, "POST", "/match", r#"{"labels":[0],"edges":[]}"#);
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("no hyperedges"), "{}", r.body);
+
+    // Shared shape validation: over MAX_QUERY_EDGES.
+    let labels: Vec<String> = (0..66).map(|_| "0".to_string()).collect();
+    let edges: Vec<String> = (0..65).map(|i| format!("[{},{}]", i, i + 1)).collect();
+    let long = format!(
+        "{{\"labels\":[{}],\"edges\":[{}]}}",
+        labels.join(","),
+        edges.join(",")
+    );
+    let r = request(addr, "POST", "/match", &long);
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("65"), "{}", r.body);
+
+    // Vertex id out of range.
+    let r = request(addr, "POST", "/match", r#"{"labels":[0],"edges":[[0,9]]}"#);
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("edges[0][1]"), "{}", r.body);
+
+    // Routing errors.
+    assert_eq!(request(addr, "GET", "/nope", "").status, 404);
+    assert_eq!(request(addr, "GET", "/match", "").status, 405);
+    assert_eq!(request(addr, "POST", "/metrics", "").status, 405);
+
+    let stats = door.shutdown();
+    assert_eq!(
+        stats.admitted, 0,
+        "no malformed request may reach the engine"
+    );
+}
+
+#[test]
+fn tenant_quota_returns_429_with_retry_after() {
+    let door = FrontDoor::bind(
+        two_triangles(),
+        FrontDoorConfig {
+            tenant_qps: 0.001, // burst 1, effectively no refill during the test
+            ..FrontDoorConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = door.local_addr();
+
+    let body_a = r#"{"tenant":"a","labels":[0,0,1],"edges":[[0,1,2]]}"#;
+    let r1 = request(addr, "POST", "/match", body_a);
+    assert_eq!(r1.status, 200, "{}", r1.body);
+    let r2 = request(addr, "POST", "/match", body_a);
+    assert_eq!(r2.status, 429);
+    assert!(r2.body.contains("over quota"), "{}", r2.body);
+    assert!(r2.header("Retry-After").is_some());
+
+    // Quotas are per tenant: a different tenant still gets through.
+    let body_b = r#"{"tenant":"b","labels":[0,0,1],"edges":[[0,1,2]]}"#;
+    assert_eq!(request(addr, "POST", "/match", body_b).status, 200);
+
+    let metrics = request(addr, "GET", "/metrics", "").body;
+    assert!(
+        metrics.contains("hgmatch_shed_total{reason=\"quota\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("hgmatch_tenant_admitted_total{tenant=\"a\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("hgmatch_tenant_shed_total{tenant=\"a\"} 1"),
+        "{metrics}"
+    );
+    door.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_429() {
+    let door = FrontDoor::bind(
+        clique(40),
+        FrontDoorConfig {
+            queue_depth: 1,
+            http_threads: 4,
+            serve: ServeConfig::default().with_threads(1),
+            ..FrontDoorConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = door.local_addr();
+
+    // Occupy the single queue slot with a query that runs until its
+    // 400 ms timeout.
+    let holder = std::thread::spawn(move || request(addr, "POST", "/match", HEAVY_QUERY));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // While it runs, further requests are shed, not queued.
+    let shed = request(addr, "POST", "/match", TRIANGLE_QUERY);
+    assert_eq!(shed.status, 429, "{}", shed.body);
+    assert!(shed.body.contains("submission queue full"), "{}", shed.body);
+    assert_eq!(shed.header("Retry-After"), Some("1"));
+
+    let held = holder.join().unwrap();
+    assert_eq!(held.status, 200, "{}", held.body);
+    assert!(
+        held.body.contains("\"status\":\"timed-out\""),
+        "{}",
+        held.body
+    );
+
+    let metrics = request(addr, "GET", "/metrics", "").body;
+    assert!(
+        metrics.contains("hgmatch_shed_total{reason=\"queue_full\"} 1"),
+        "{metrics}"
+    );
+    door.shutdown();
+}
+
+#[test]
+fn cost_admission_sheds_expensive_queries_under_load() {
+    let door = FrontDoor::bind(
+        clique(40),
+        FrontDoorConfig {
+            queue_depth: 3,
+            http_threads: 4,
+            admit_cost: 0.5, // every clique query estimates higher
+            serve: ServeConfig::default().with_threads(1),
+            ..FrontDoorConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = door.local_addr();
+
+    // Load the server: one running query (load 1 → gate still closed:
+    // it was admitted while the server was idle).
+    let holder = std::thread::spawn(move || request(addr, "POST", "/match", HEAVY_QUERY));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Second expensive query: load 2, 2*2 > 3 → the cost gate sheds it.
+    let shed = request(addr, "POST", "/match", HEAVY_QUERY);
+    assert_eq!(shed.status, 429, "{}", shed.body);
+    assert!(shed.body.contains("predicted-expensive"), "{}", shed.body);
+    assert!(shed.body.contains("estimated_cost"), "{}", shed.body);
+    assert_eq!(shed.header("Retry-After"), Some("2"));
+
+    assert_eq!(holder.join().unwrap().status, 200);
+    let metrics = request(addr, "GET", "/metrics", "").body;
+    assert!(
+        metrics.contains("hgmatch_shed_total{reason=\"cost\"} 1"),
+        "{metrics}"
+    );
+    door.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    let door = FrontDoor::bind(two_triangles(), FrontDoorConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(door.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    for i in 0..3 {
+        let req = format!(
+            "POST /match HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{TRIANGLE_QUERY}",
+            TRIANGLE_QUERY.len()
+        );
+        stream.write_all(req.as_bytes()).unwrap();
+        let reply = read_reply(&mut stream);
+        assert_eq!(reply.status, 200, "request {i}: {}", reply.body);
+        assert_eq!(reply.header("Connection"), Some("keep-alive"));
+    }
+    // One connection, three engine queries.
+    let stats = door.shutdown();
+    assert_eq!(stats.admitted, 3);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_queries() {
+    let door = FrontDoor::bind(
+        clique(40),
+        FrontDoorConfig {
+            serve: ServeConfig::default().with_threads(1),
+            ..FrontDoorConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = door.local_addr();
+
+    // A query that will still be running when shutdown starts.
+    let in_flight = std::thread::spawn(move || request(addr, "POST", "/match", HEAVY_QUERY));
+    std::thread::sleep(Duration::from_millis(150));
+
+    let stats = door.shutdown();
+
+    // The in-flight query was answered, not dropped.
+    let reply = in_flight.join().unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(
+        reply.body.contains("\"status\":\"timed-out\""),
+        "{}",
+        reply.body
+    );
+    assert_eq!(stats.admitted, 1);
+    assert_eq!(stats.active, 0, "shutdown returned with queries active");
+
+    // The listener is gone.
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // Some platforms accept briefly; a request must at least fail.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut buf = [0u8; 1];
+            matches!(s.read(&mut buf), Ok(0) | Err(_))
+        }
+    );
+}
+
+#[test]
+fn metrics_format_golden() {
+    // Format-stability contract: a fresh 2-worker server must render
+    // exactly this document (one deterministic request: this scrape).
+    let door = FrontDoor::bind(
+        two_triangles(),
+        FrontDoorConfig {
+            http_threads: 1,
+            serve: ServeConfig::default().with_threads(2),
+            ..FrontDoorConfig::default()
+        },
+    )
+    .unwrap();
+    let reply = request(door.local_addr(), "GET", "/metrics", "");
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.header("Content-Type"),
+        Some("text/plain; version=0.0.4")
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_metrics.txt"),
+            &reply.body,
+        )
+        .unwrap();
+    }
+    let expected = include_str!("golden_metrics.txt");
+    assert_eq!(
+        reply.body, expected,
+        "metrics format drifted; update tests/golden_metrics.txt deliberately"
+    );
+    door.shutdown();
+}
