@@ -4,9 +4,14 @@
 //! encoding, no TLS, no HTTP/2).
 //!
 //! Reads are bounded everywhere: header block ≤ [`MAX_HEAD_BYTES`], body
-//! ≤ [`MAX_BODY_BYTES`], and the read loop polls a stop predicate so
-//! idle keep-alive connections release their handler promptly on
-//! shutdown instead of pinning it until a socket timeout.
+//! ≤ [`MAX_BODY_BYTES`], and every poll iteration — idle *and*
+//! mid-request — checks the stop predicate plus a deadline
+//! ([`KEEP_ALIVE_IDLE`] while no request bytes have arrived,
+//! [`REQUEST_DEADLINE`] once they have), so neither an idle keep-alive
+//! connection nor a client stalling mid-headers or mid-body can pin a
+//! handler thread or wedge shutdown. Writes are bounded by
+//! [`WRITE_TIMEOUT`]; a client that stops reading its response is
+//! treated as dead.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -19,6 +24,12 @@ pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 /// Idle keep-alive connections are closed after this long without a
 /// complete request.
 pub const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
+/// Once request bytes have arrived, the whole request (headers + body)
+/// must complete within this long or the read fails with 400.
+pub const REQUEST_DEADLINE: Duration = Duration::from_secs(10);
+/// Socket write timeout: a response write that blocks this long marks
+/// the connection dead.
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 /// Socket read timeout; also the cadence at which the stop predicate is
 /// polled while waiting for bytes.
 pub const READ_POLL: Duration = Duration::from_millis(50);
@@ -34,6 +45,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the request was HTTP/1.0 (whose connection default is
+    /// close, not keep-alive).
+    pub http10: bool,
 }
 
 impl Request {
@@ -45,11 +59,15 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Whether the client asked to close the connection after this
-    /// request.
+    /// Whether the connection should close after this request: an
+    /// explicit `Connection: close`, or an HTTP/1.0 request without an
+    /// explicit `Connection: keep-alive` (1.0's default is close).
     pub fn wants_close(&self) -> bool {
-        self.header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => self.http10,
+        }
     }
 }
 
@@ -73,15 +91,31 @@ impl From<io::Error> for HttpError {
 /// Reads one request from `stream`. `carry` holds bytes left over from
 /// the previous read on this connection (pipelining) and is updated in
 /// place. Returns `Ok(None)` on a clean close: EOF, idle timeout, or
-/// `stop()` turning true while no request is in flight.
+/// `stop()` turning true (a request stalled mid-flight when the stop
+/// fires is abandoned so the handler can exit). A stall past the
+/// deadline with a request partially read is `Malformed` → 400.
 pub fn read_request(
     stream: &mut TcpStream,
     carry: &mut Vec<u8>,
     stop: &dyn Fn() -> bool,
 ) -> Result<Option<Request>, HttpError> {
-    let idle_since = Instant::now();
+    read_request_with_deadline(stream, carry, stop, REQUEST_DEADLINE)
+}
+
+/// [`read_request`] with an explicit per-request deadline (tests use a
+/// short one; production callers use [`REQUEST_DEADLINE`]).
+pub fn read_request_with_deadline(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    stop: &dyn Fn() -> bool,
+    deadline: Duration,
+) -> Result<Option<Request>, HttpError> {
+    let started = Instant::now();
     let mut chunk = [0u8; 4096];
-    // Phase 1: accumulate until the end-of-headers marker.
+    // Phase 1: accumulate until the end-of-headers marker. Stop and
+    // deadline are checked on every poll iteration — not only while the
+    // buffer is empty — so a client stalling mid-headers cannot pin
+    // this handler past the deadline or across a shutdown.
     let head_end = loop {
         if let Some(pos) = find_head_end(carry) {
             break pos;
@@ -89,8 +123,20 @@ pub fn read_request(
         if carry.len() > MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge);
         }
-        if carry.is_empty() && (stop() || idle_since.elapsed() > KEEP_ALIVE_IDLE) {
+        if stop() {
             return Ok(None);
+        }
+        let limit = if carry.is_empty() {
+            KEEP_ALIVE_IDLE
+        } else {
+            deadline
+        };
+        if started.elapsed() > limit {
+            return if carry.is_empty() {
+                Ok(None)
+            } else {
+                Err(HttpError::Malformed("request header read timed out"))
+            };
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
@@ -132,6 +178,7 @@ pub fn read_request(
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported HTTP version"));
     }
+    let http10 = version == "HTTP/1.0";
     let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -141,6 +188,16 @@ pub fn read_request(
             .split_once(':')
             .ok_or(HttpError::Malformed("malformed header line"))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Only Content-Length framing is implemented; silently ignoring
+    // Transfer-Encoding would desync the stream (the chunked body would
+    // be parsed as a pipelined request — a smuggling vector behind a
+    // proxy), so reject it outright.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::Malformed(
+            "Transfer-Encoding is not supported; frame the body with Content-Length",
+        ));
     }
 
     let body_len = match headers.iter().find(|(k, _)| k == "content-length") {
@@ -153,9 +210,17 @@ pub fn read_request(
         return Err(HttpError::TooLarge);
     }
 
-    // Phase 2: read the body (head_end + 4 skips the \r\n\r\n).
+    // Phase 2: read the body (head_end + 4 skips the \r\n\r\n). Same
+    // stop/deadline discipline as phase 1: a client that declares
+    // Content-Length and then stalls cannot hold the handler.
     let body_start = head_end + 4;
     while carry.len() < body_start + body_len {
+        if stop() {
+            return Ok(None);
+        }
+        if started.elapsed() > deadline {
+            return Err(HttpError::Malformed("request body read timed out"));
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return Err(HttpError::Malformed("connection closed mid-body")),
             Ok(n) => carry.extend_from_slice(&chunk[..n]),
@@ -175,6 +240,7 @@ pub fn read_request(
         path,
         headers,
         body,
+        http10,
     }))
 }
 
@@ -309,6 +375,87 @@ mod tests {
         let mut carry = Vec::new();
         let got = read_request(&mut server, &mut carry, &|| true).unwrap();
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn stalled_header_released_by_stop() {
+        let (mut client, mut server) = pair();
+        // Partial header, then the client stalls forever.
+        client
+            .write_all(b"POST /match HTTP/1.1\r\nContent-Le")
+            .unwrap();
+        let mut carry = Vec::new();
+        // Let a few polls consume the partial bytes, then flip stop: the
+        // read must return instead of spinning until a socket timeout.
+        let polls = std::cell::Cell::new(0u32);
+        let stop = || {
+            polls.set(polls.get() + 1);
+            polls.get() > 3
+        };
+        let got = read_request(&mut server, &mut carry, &stop).unwrap();
+        assert!(got.is_none());
+        assert!(!carry.is_empty(), "partial header bytes were consumed");
+    }
+
+    #[test]
+    fn stalled_body_hits_deadline() {
+        let (mut client, mut server) = pair();
+        // Declared body of 10 bytes, only 2 ever sent.
+        client
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi")
+            .unwrap();
+        let mut carry = Vec::new();
+        let got = read_request_with_deadline(
+            &mut server,
+            &mut carry,
+            &|| false,
+            Duration::from_millis(150),
+        );
+        assert!(matches!(got, Err(HttpError::Malformed(_))), "{got:?}");
+    }
+
+    #[test]
+    fn rejects_transfer_encoding() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nhi\r\n0\r\n\r\n",
+            )
+            .unwrap();
+        let mut carry = Vec::new();
+        match read_request(&mut server, &mut carry, &|| false) {
+            Err(HttpError::Malformed(msg)) => assert!(msg.contains("Transfer-Encoding"), "{msg}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn http10_connection_defaults() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(
+                b"GET /a HTTP/1.0\r\n\r\nGET /b HTTP/1.0\r\nConnection: keep-alive\r\n\r\nGET /c HTTP/1.1\r\n\r\n",
+            )
+            .unwrap();
+        let mut carry = Vec::new();
+        let r1 = read_request(&mut server, &mut carry, &|| false)
+            .unwrap()
+            .unwrap();
+        assert!(r1.http10 && r1.wants_close(), "HTTP/1.0 defaults to close");
+        let r2 = read_request(&mut server, &mut carry, &|| false)
+            .unwrap()
+            .unwrap();
+        assert!(
+            !r2.wants_close(),
+            "explicit keep-alive overrides the 1.0 default"
+        );
+        let r3 = read_request(&mut server, &mut carry, &|| false)
+            .unwrap()
+            .unwrap();
+        assert!(
+            !r3.http10 && !r3.wants_close(),
+            "HTTP/1.1 defaults to keep-alive"
+        );
     }
 
     #[test]

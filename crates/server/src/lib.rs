@@ -369,6 +369,11 @@ fn accept_loop(listener: TcpListener, tx: SyncSender<TcpStream>, shared: Arc<Doo
 
 /// Turns a connection away at the accept stage (handler backlog full).
 fn reject_connection(mut stream: TcpStream, shared: &DoorShared) {
+    // This runs on the single accept thread: a client that never reads
+    // must not stall accepting, so bound the write.
+    if stream.set_write_timeout(Some(http::WRITE_TIMEOUT)).is_err() {
+        return;
+    }
     shared
         .counters
         .connections_rejected
@@ -401,7 +406,9 @@ fn handler_loop(rx: Arc<parking_lot::Mutex<Receiver<TcpStream>>>, shared: Arc<Do
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &DoorShared) {
-    if stream.set_read_timeout(Some(http::READ_POLL)).is_err() {
+    if stream.set_read_timeout(Some(http::READ_POLL)).is_err()
+        || stream.set_write_timeout(Some(http::WRITE_TIMEOUT)).is_err()
+    {
         return;
     }
     let _ = stream.set_nodelay(true);
@@ -440,7 +447,10 @@ fn route(shared: &DoorShared, req: &Request) -> Response {
         .counters
         .http_requests
         .fetch_add(1, Ordering::Relaxed);
-    match (req.method.as_str(), req.path.as_str()) {
+    // Match on the path component alone: a query string (`/metrics?x=1`)
+    // must not turn a known path into a 404.
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
         ("GET", "/metrics") => Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
@@ -454,7 +464,7 @@ fn route(shared: &DoorShared, req: &Request) -> Response {
             retry_after: None,
         },
         ("POST", "/match") => handle_match(shared, &req.body),
-        ("GET" | "POST" | "HEAD" | "PUT" | "DELETE", "/match" | "/metrics" | "/healthz") => {
+        (_, "/match" | "/metrics" | "/healthz") => {
             Response::error(405, "method not allowed for this path")
         }
         _ => Response::error(404, "unknown path"),

@@ -213,6 +213,23 @@ fn validation_errors_are_client_errors() {
     assert_eq!(request(addr, "GET", "/nope", "").status, 404);
     assert_eq!(request(addr, "GET", "/match", "").status, 405);
     assert_eq!(request(addr, "POST", "/metrics", "").status, 405);
+    // Unlisted methods on known paths are 405, not 404.
+    assert_eq!(request(addr, "PATCH", "/match", "").status, 405);
+    assert_eq!(request(addr, "OPTIONS", "/healthz", "").status, 405);
+    // A query string does not hide a known path.
+    assert_eq!(request(addr, "GET", "/metrics?x=1", "").status, 200);
+    assert_eq!(request(addr, "GET", "/healthz?probe=lb", "").status, 200);
+    // Chunked framing is rejected, not silently desynced.
+    let mut chunked = TcpStream::connect(addr).unwrap();
+    chunked
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    chunked
+        .write_all(b"POST /match HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .unwrap();
+    let r = read_reply(&mut chunked);
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("Transfer-Encoding"), "{}", r.body);
 
     let stats = door.shutdown();
     assert_eq!(
@@ -359,6 +376,62 @@ fn keep_alive_serves_multiple_requests_per_connection() {
     // One connection, three engine queries.
     let stats = door.shutdown();
     assert_eq!(stats.admitted, 3);
+}
+
+#[test]
+fn http10_client_gets_connection_close() {
+    let door = FrontDoor::bind(two_triangles(), FrontDoorConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(door.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let reply = read_reply(&mut stream);
+    assert_eq!(reply.status, 200);
+    // HTTP/1.0 without Connection: keep-alive defaults to close — the
+    // server must say so and actually close, not hold the socket open.
+    assert_eq!(reply.header("Connection"), Some("close"));
+    let mut buf = [0u8; 1];
+    assert!(matches!(stream.read(&mut buf), Ok(0) | Err(_)));
+    door.shutdown();
+}
+
+#[test]
+fn stalled_clients_do_not_wedge_shutdown() {
+    let door = FrontDoor::bind(
+        two_triangles(),
+        FrontDoorConfig {
+            http_threads: 2,
+            ..FrontDoorConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = door.local_addr();
+
+    // Saturate every handler thread with a connection stalled
+    // mid-request: one mid-headers, one with a declared body that never
+    // arrives. Keep the sockets open across shutdown.
+    let mut s1 = TcpStream::connect(addr).unwrap();
+    s1.write_all(b"POST /match HTTP/1.1\r\nContent-Le").unwrap();
+    let mut s2 = TcpStream::connect(addr).unwrap();
+    s2.write_all(b"POST /match HTTP/1.1\r\nHost: t\r\nContent-Length: 64\r\n\r\nstall")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Shutdown must drain despite both handlers being mid-read: the
+    // stop flag is checked on every poll iteration, not only while a
+    // connection is idle.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(door.shutdown());
+    });
+    let stats = rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("shutdown wedged on stalled clients");
+    assert_eq!(stats.admitted, 0);
+    drop((s1, s2));
 }
 
 #[test]
