@@ -57,6 +57,9 @@ pub const USAGE: &str = "usage:
   hgmatch batch <labels> <edges> <queries.txt> [serve flags]
   hgmatch serve <labels> <edges> [--input FILE] [serve flags]
   hgmatch listen <labels> <edges> [listen flags]
+  hgmatch listen --snapshot <file.hgsnap> [listen flags]
+  hgmatch snapshot save <labels> <edges> <out.hgsnap>
+  hgmatch snapshot load <file.hgsnap>
   hgmatch update <labels> <edges> <stream.txt> [update flags]
   hgmatch gen-stream <labels> <edges> <ops> <insert-ratio> <seed> <out.txt>
   hgmatch explain <labels> <edges> <qlabels> <qedges> [--json|--observed]
@@ -72,6 +75,10 @@ serve flags:
   --input FILE      serve only: read specs from FILE instead of stdin
   --quantum N       fairness quantum in tasks (default 64)
   --plan-cache N    plan-cache capacity, 0 disables (default 128)
+
+snapshot save builds the index and writes a checksummed HGMB v2 snapshot;
+snapshot load restores it (index included, no re-indexing) and prints
+stats. listen --snapshot serves straight from such a snapshot.
 
 listen starts the HTTP front door (POST /match, GET /metrics, GET
 /healthz) and drains gracefully on stdin EOF or a `quit` line.
@@ -96,7 +103,9 @@ update flags:
   --queries FILE    re-answer this query list after every epoch
   --delta           also delta-match each query and cross-check the counts
   --threads N       worker threads for --queries (default 4)
-  --save L E        write the final graph to label/edge files
+  --save FILE       write the final graph (index included) as an HGMB v2
+                    snapshot; `snapshot load` / `listen --snapshot` restore it
+update shards its data plane across HGMATCH_SHARDS writers (default 1).
 profiles: HC MA CH CP SB HB WT TC SA AR";
 
 /// Executes one CLI invocation; `args` excludes the program name.
@@ -109,6 +118,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "batch" => do_batch(&args[1..]),
         "serve" => do_serve(&args[1..]),
         "listen" => do_listen(&args[1..]),
+        "snapshot" => do_snapshot(&args[1..]),
         "update" => do_update(&args[1..]),
         "gen-stream" => do_gen_stream(&args[1..]),
         "explain" => explain(&args[1..]),
@@ -660,7 +670,7 @@ struct UpdateCliOptions {
     queries: Option<String>,
     delta: bool,
     threads: usize,
-    save: Option<(String, String)>,
+    save: Option<String>,
 }
 
 impl UpdateCliOptions {
@@ -697,10 +707,8 @@ impl UpdateCliOptions {
                         .ok_or("--threads needs a number")?;
                 }
                 "--save" => {
-                    let labels = args.get(i + 1).ok_or("--save needs <labels> <edges>")?;
-                    let edges = args.get(i + 2).ok_or("--save needs <labels> <edges>")?;
-                    options.save = Some((labels.clone(), edges.clone()));
-                    i += 2;
+                    i += 1;
+                    options.save = Some(args.get(i).ok_or("--save needs a snapshot path")?.clone());
                 }
                 other => return Err(format!("unknown update flag {other:?}")),
             }
@@ -715,13 +723,22 @@ impl UpdateCliOptions {
 /// stdin — rather than a signal — keeps shutdown drivable from CI and
 /// scripts: closing the pipe is the drain request.
 fn do_listen(args: &[String]) -> Result<(), String> {
-    if args.len() < 2 {
-        return Err("listen needs <labels> <edges>".into());
-    }
-    let data = std::sync::Arc::new(load(&args[0], &args[1])?);
+    // Data source: either the classic text pair, or `--snapshot FILE`
+    // restoring an HGMB v2 snapshot (index included — no re-indexing on
+    // the serve path's cold start).
+    let (data, flags) = if args.first().map(String::as_str) == Some("--snapshot") {
+        let path = args.get(1).ok_or("--snapshot needs a file")?;
+        let graph = io::load_snapshot(Path::new(path))
+            .map_err(|e| format!("loading snapshot {path}: {e}"))?;
+        (std::sync::Arc::new(graph), &args[2..])
+    } else {
+        if args.len() < 2 {
+            return Err("listen needs <labels> <edges> or --snapshot <file>".into());
+        }
+        (std::sync::Arc::new(load(&args[0], &args[1])?), &args[2..])
+    };
     let mut config = hgmatch_server::FrontDoorConfig::from_env();
 
-    let flags = &args[2..];
     let mut i = 0;
     while i < flags.len() {
         match flags[i].as_str() {
@@ -829,7 +846,31 @@ fn do_listen(args: &[String]) -> Result<(), String> {
 fn do_update(args: &[String]) -> Result<(), String> {
     use hgmatch_core::{delta_match, DeltaBatch};
     use hgmatch_hypergraph::dynamic::parse_update_stream;
-    use hgmatch_hypergraph::DynamicHypergraph;
+    use hgmatch_hypergraph::{DynamicHypergraph, ShardedHypergraph, SnapshotDelta, UpdateOp};
+
+    /// The update stream's write path: one monolithic writer, or a
+    /// hash-partitioned sharded plane (`HGMATCH_SHARDS` > 1) whose merged
+    /// snapshots are indistinguishable from the monolithic ones.
+    enum DataPlane {
+        Mono(DynamicHypergraph),
+        Sharded(ShardedHypergraph),
+    }
+
+    impl DataPlane {
+        fn apply(&mut self, op: &UpdateOp) -> hgmatch_hypergraph::Result<bool> {
+            match self {
+                DataPlane::Mono(d) => d.apply(op),
+                DataPlane::Sharded(s) => s.apply(op),
+            }
+        }
+
+        fn snapshot(&mut self) -> SnapshotDelta {
+            match self {
+                DataPlane::Mono(d) => d.snapshot(),
+                DataPlane::Sharded(s) => s.snapshot(),
+            }
+        }
+    }
 
     if args.len() < 3 {
         return Err("update needs <labels> <edges> <stream.txt>".into());
@@ -855,7 +896,15 @@ fn do_update(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let mut dynamic = DynamicHypergraph::from_hypergraph(&base);
+    let num_shards = hgmatch_hypergraph::env_shards();
+    let mut dynamic = if num_shards > 1 {
+        println!("data plane: {num_shards} shards (HGMATCH_SHARDS)");
+        DataPlane::Sharded(
+            ShardedHypergraph::from_hypergraph(&base, num_shards).map_err(|e| e.to_string())?,
+        )
+    } else {
+        DataPlane::Mono(DynamicHypergraph::from_hypergraph(&base))
+    };
     let mut previous = dynamic.snapshot().graph;
     let server = (!queries.is_empty()).then(|| {
         MatchServer::new(
@@ -887,7 +936,6 @@ fn do_update(args: &[String]) -> Result<(), String> {
     let mut snapshot_time = Duration::ZERO;
     for (round, chunk) in ops.chunks(batch_size).enumerate() {
         for op in chunk {
-            use hgmatch_hypergraph::UpdateOp;
             let effective = dynamic.apply(op).map_err(|e| format!("op {op:?}: {e}"))?;
             applied += 1;
             match (op, effective) {
@@ -983,11 +1031,70 @@ fn do_update(args: &[String]) -> Result<(), String> {
         // re-answer per query per epoch.
         print_aggregate(server, served, serve_begin.elapsed());
     }
-    if let Some((labels, edges)) = &options.save {
-        io::save_text(&previous, Path::new(labels), Path::new(edges)).map_err(|e| e.to_string())?;
-        println!("saved final graph to {labels} / {edges}");
+    if let Some(path) = &options.save {
+        io::save_snapshot(&previous, Path::new(path)).map_err(|e| e.to_string())?;
+        println!("saved snapshot to {path}");
     }
     Ok(())
+}
+
+/// `snapshot save|load`: persist a built index as a checksummed HGMB v2
+/// snapshot, or restore one and print its stats — the restore path never
+/// re-runs indexing, it deserialises the postings verbatim.
+fn do_snapshot(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("save") => {
+            let [_, labels, edges, out] = args else {
+                return Err("snapshot save needs <labels> <edges> <out.hgsnap>".into());
+            };
+            let build_begin = Instant::now();
+            let graph = load(labels, edges)?;
+            let build = build_begin.elapsed();
+            let save_begin = Instant::now();
+            io::save_snapshot(&graph, Path::new(out)).map_err(|e| e.to_string())?;
+            let bytes = std::fs::metadata(out).map_err(|e| e.to_string())?.len();
+            println!(
+                "saved {out}: {bytes} bytes ({} vertices, {} edges); \
+                 build {:.4}s, encode+write {:.4}s",
+                graph.num_vertices(),
+                graph.num_edges(),
+                build.as_secs_f64(),
+                save_begin.elapsed().as_secs_f64(),
+            );
+            Ok(())
+        }
+        Some("load") => {
+            let [_, file] = args else {
+                return Err("snapshot load needs <file.hgsnap>".into());
+            };
+            let begin = Instant::now();
+            let graph =
+                io::load_snapshot(Path::new(file)).map_err(|e| format!("loading {file}: {e}"))?;
+            let restore = begin.elapsed();
+            println!(
+                "restored {file} in {:.4}s (no re-indexing)",
+                restore.as_secs_f64()
+            );
+            let stats = graph.stats();
+            let index_bytes: usize = graph
+                .partitions()
+                .iter()
+                .map(|p| p.index().size_bytes())
+                .sum();
+            println!("|V|\t|E|\t|Sigma|\tamax\tpartitions\tindex_bytes");
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{}",
+                graph.num_vertices(),
+                graph.num_edges(),
+                graph.num_labels(),
+                stats.max_arity,
+                graph.partitions().len(),
+                index_bytes,
+            );
+            Ok(())
+        }
+        _ => Err("snapshot needs a subcommand: save | load".into()),
+    }
 }
 
 /// `gen-stream`: emit a random insert/delete stream for a dataset.

@@ -427,28 +427,51 @@ fn update_applies_streams_in_batches() {
     let dir = TempDir::new("update");
     let (dl, de, _, _) = write_paper_files(&dir);
     let stream = write_update_stream_file(&dir);
-    let out_labels = dir.path("out.labels");
-    let out_edges = dir.path("out.edges");
+    let out = dir.path("out.hgsnap");
     run(&args(&[
-        "update",
-        &dl,
-        &de,
-        &stream,
-        "--batch",
-        "2",
-        "--save",
-        &out_labels,
-        &out_edges,
+        "update", &dl, &de, &stream, "--batch", "2", "--save", &out,
     ]))
     .expect("update works");
-    // The saved graph reflects the stream: 8 vertices, 8 edges.
-    let saved = hgmatch_hypergraph::io::load_text(
-        std::path::Path::new(&out_labels),
-        std::path::Path::new(&out_edges),
-    )
-    .unwrap();
+    // The saved snapshot reflects the stream: 8 vertices, 8 edges.
+    let saved = hgmatch_hypergraph::io::load_snapshot(std::path::Path::new(&out)).unwrap();
     assert_eq!(saved.num_vertices(), 8);
     assert_eq!(saved.num_edges(), 8);
+}
+
+/// `snapshot save` then `snapshot load` round-trips the paper graph, and
+/// the saved file equals what `io::encode_snapshot` produces for the same
+/// build — the CLI path adds nothing to the bytes.
+#[test]
+fn snapshot_save_then_load_roundtrips() {
+    let dir = TempDir::new("snapshot");
+    let (dl, de, _, _) = write_paper_files(&dir);
+    let out = dir.path("paper.hgsnap");
+    run(&args(&["snapshot", "save", &dl, &de, &out])).expect("snapshot save works");
+    run(&args(&["snapshot", "load", &out])).expect("snapshot load works");
+
+    let direct =
+        hgmatch_hypergraph::io::load_text(std::path::Path::new(&dl), std::path::Path::new(&de))
+            .unwrap();
+    let restored = hgmatch_hypergraph::io::load_snapshot(std::path::Path::new(&out)).unwrap();
+    assert_eq!(restored, direct);
+    assert_eq!(
+        std::fs::read(&out).unwrap(),
+        &*hgmatch_hypergraph::io::encode_snapshot(&direct),
+    );
+}
+
+#[test]
+fn snapshot_rejects_bad_inputs() {
+    let dir = TempDir::new("snapshot-bad");
+    let (dl, de, _, _) = write_paper_files(&dir);
+    assert!(run(&args(&["snapshot"])).is_err());
+    assert!(run(&args(&["snapshot", "bogus"])).is_err());
+    assert!(run(&args(&["snapshot", "save", &dl, &de])).is_err());
+    assert!(run(&args(&["snapshot", "load", &dir.path("missing.hgsnap")])).is_err());
+    // A corrupt file is a typed decode error, not a panic.
+    let junk = dir.path("junk.hgsnap");
+    std::fs::write(&junk, b"not a snapshot").unwrap();
+    assert!(run(&args(&["snapshot", "load", &junk])).is_err());
 }
 
 #[test]
@@ -539,11 +562,87 @@ fn listen_binds_and_drains_on_stdin_eof() {
     assert!(stdout.contains("drained: 0 admitted"), "{stdout}");
 }
 
+/// `listen --snapshot` serves straight from an HGMB v2 snapshot file.
+#[test]
+fn listen_serves_from_snapshot_file() {
+    let dir = TempDir::new("listen-snapshot");
+    let (dl, de, _, _) = write_paper_files(&dir);
+    let snap = dir.path("data.hgsnap");
+    run(&args(&["snapshot", "save", &dl, &de, &snap])).expect("snapshot save works");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hgmatch"))
+        .args([
+            "listen",
+            "--snapshot",
+            &snap,
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "1",
+            "--http-threads",
+            "1",
+        ])
+        .stdin(std::process::Stdio::null())
+        .output()
+        .expect("spawn hgmatch listen --snapshot");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("listening on http://127.0.0.1:"),
+        "{stdout}"
+    );
+}
+
+/// `HGMATCH_SHARDS` swaps the update path onto the sharded data plane;
+/// the saved snapshot is byte-identical to the monolithic run's. Spawns
+/// the real binary so the env var can't leak into sibling tests.
+#[test]
+fn update_honors_hgmatch_shards() {
+    let dir = TempDir::new("update-sharded");
+    let (dl, de, _, _) = write_paper_files(&dir);
+    let stream = write_update_stream_file(&dir);
+    let mut saved: Vec<Vec<u8>> = Vec::new();
+    for shards in ["1", "3"] {
+        let out = dir.path(&format!("s{shards}.hgsnap"));
+        let cmd = std::process::Command::new(env!("CARGO_BIN_EXE_hgmatch"))
+            .args(["update", &dl, &de, &stream, "--batch", "2", "--save", &out])
+            .env("HGMATCH_SHARDS", shards)
+            .output()
+            .expect("spawn hgmatch update");
+        assert!(
+            cmd.status.success(),
+            "{}",
+            String::from_utf8_lossy(&cmd.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&cmd.stdout);
+        assert_eq!(
+            stdout.contains("data plane: 3 shards"),
+            shards == "3",
+            "{stdout}"
+        );
+        saved.push(std::fs::read(&out).unwrap());
+    }
+    assert_eq!(
+        saved[0], saved[1],
+        "sharded snapshot diverged from monolithic"
+    );
+}
+
 #[test]
 fn listen_rejects_bad_flags() {
     let dir = TempDir::new("listen-bad");
     let (dl, de, _, _) = write_paper_files(&dir);
     assert!(run(&args(&["listen", &dl])).is_err());
+    assert!(run(&args(&["listen", "--snapshot"])).is_err());
+    assert!(run(&args(&[
+        "listen",
+        "--snapshot",
+        &dir.path("missing.hgsnap")
+    ]))
+    .is_err());
     assert!(run(&args(&["listen", &dl, &de, "--bogus"])).is_err());
     assert!(run(&args(&["listen", &dl, &de, "--queue-depth"])).is_err());
     assert!(run(&args(&["listen", &dl, &de, "--tenant-qps", "abc"])).is_err());

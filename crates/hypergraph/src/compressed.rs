@@ -253,6 +253,83 @@ impl CompressedPostings {
         self.headers.len() * std::mem::size_of::<BlockHeader>()
             + self.packed.len() * std::mem::size_of::<u64>()
     }
+
+    /// Appends the HGMB v2 wire encoding: block headers (field by field,
+    /// fixed widths), packed words, total length.
+    pub(crate) fn encode_v2(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u32_le(self.headers.len() as u32);
+        for h in &self.headers {
+            buf.put_u32_le(h.base);
+            buf.put_u32_le(h.max);
+            buf.put_u32_le(h.offset);
+            buf.put_u16_le(h.count);
+            buf.put_u8(h.width);
+        }
+        buf.put_u32_le(self.packed.len() as u32);
+        for &w in &self.packed {
+            buf.put_u64_le(w);
+        }
+        buf.put_u32_le(self.len);
+    }
+
+    /// Decodes the HGMB v2 wire encoding, advancing `data` past it. Every
+    /// block invariant the decode kernels rely on (span ordering, word
+    /// ranges, counts) is re-validated so corrupt input errors instead of
+    /// panicking later inside `decode_block`.
+    pub(crate) fn decode_v2(data: &mut &[u8]) -> crate::error::Result<Self> {
+        use crate::error::HypergraphError;
+        use bytes::Buf;
+        let corrupt = |msg: &str| HypergraphError::Corrupt(format!("compressed posting: {msg}"));
+        crate::io::need(data, 4, "compressed block count")?;
+        let num_blocks = data.get_u32_le() as usize;
+        crate::io::need(data, num_blocks * 15, "compressed block headers")?;
+        let mut headers = Vec::with_capacity(num_blocks);
+        for _ in 0..num_blocks {
+            headers.push(BlockHeader {
+                base: data.get_u32_le(),
+                max: data.get_u32_le(),
+                offset: data.get_u32_le(),
+                count: data.get_u16_le(),
+                width: data.get_u8(),
+            });
+        }
+        crate::io::need(data, 4, "compressed word count")?;
+        let num_words = data.get_u32_le() as usize;
+        let packed = crate::io::read_u64s(data, num_words, "compressed packed words")?;
+        crate::io::need(data, 4, "compressed length")?;
+        let len = data.get_u32_le();
+
+        let mut total = 0u64;
+        let mut prev_max: Option<u32> = None;
+        for h in &headers {
+            if h.count == 0 || h.count as usize > BLOCK_LEN {
+                return Err(corrupt("block count out of range"));
+            }
+            if h.width > 32 {
+                return Err(corrupt("delta width out of range"));
+            }
+            if h.max < h.base {
+                return Err(corrupt("block span inverted"));
+            }
+            if prev_max.is_some_and(|m| h.base <= m) {
+                return Err(corrupt("block spans out of order"));
+            }
+            if h.offset as usize + h.num_words() > packed.len() {
+                return Err(corrupt("block words out of range"));
+            }
+            prev_max = Some(h.max);
+            total += h.count as u64;
+        }
+        if total != len as u64 {
+            return Err(corrupt("length disagrees with block counts"));
+        }
+        Ok(Self {
+            headers,
+            packed,
+            len,
+        })
+    }
 }
 
 /// Unpacks `out.len()` gap deltas of `width` bits from `words` and prefix-

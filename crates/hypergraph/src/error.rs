@@ -21,6 +21,15 @@ pub enum HypergraphError {
     DuplicateVertex { vertex: u32 },
     /// Parse error in a text-format file.
     Parse { line: usize, message: String },
+    /// Binary input does not start with the `HGMB` magic bytes.
+    BadMagic,
+    /// Binary input declares a format version this build cannot decode.
+    UnsupportedVersion(u32),
+    /// A snapshot section (or the whole file) failed its CRC-32 check.
+    ChecksumMismatch {
+        /// Which section failed (`"file"` for the whole-file trailer).
+        section: &'static str,
+    },
     /// Binary format corruption.
     Corrupt(String),
     /// Underlying I/O failure.
@@ -46,6 +55,13 @@ impl fmt::Display for HypergraphError {
                 write!(f, "vertex {vertex} declared more than once")
             }
             Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Self::BadMagic => write!(f, "not a hypergraph binary file (bad magic)"),
+            Self::UnsupportedVersion(v) => {
+                write!(f, "unsupported hypergraph binary version {v}")
+            }
+            Self::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in snapshot section {section:?}")
+            }
             Self::Corrupt(msg) => write!(f, "corrupt binary hypergraph: {msg}"),
             Self::Io(e) => write!(f, "i/o error: {e}"),
         }

@@ -144,6 +144,36 @@ impl Hypergraph {
         }
     }
 
+    /// Reassembles a hypergraph from fully serialized parts — the HGMB v2
+    /// snapshot load path ([`crate::io`]). Unlike [`Hypergraph::assemble`],
+    /// nothing is derived: the incidence CSR and adjacency counts arrive
+    /// precomputed, so restore cost is deserialization alone (the ≥10×
+    /// restore-vs-reindex win of DESIGN.md §17). The caller (the decoder)
+    /// has already validated cross-structure invariants; only the label
+    /// alphabet size and a fresh snapshot uid are computed here.
+    pub(crate) fn from_serialized_parts(
+        labels: Vec<Label>,
+        interner: SignatureInterner,
+        partitions: Vec<Arc<Partition>>,
+        locator: Vec<EdgeLocation>,
+        incidence_offsets: Vec<u64>,
+        incidence_edges: Vec<u32>,
+        adj_counts: Vec<u32>,
+    ) -> Self {
+        let num_labels = labels.iter().map(|l| l.raw() + 1).max().unwrap_or(0);
+        Hypergraph {
+            labels,
+            num_labels,
+            interner,
+            partitions,
+            locator,
+            incidence_offsets,
+            incidence_edges,
+            adj_counts,
+            uid: SnapshotUid::fresh(),
+        }
+    }
+
     /// Process-unique identity of this snapshot (never 0).
     ///
     /// Global edge ids are only comparable between hypergraphs with equal

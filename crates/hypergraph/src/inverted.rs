@@ -516,6 +516,134 @@ impl InvertedIndex {
             .enumerate()
             .map(move |(i, &v)| (v, self.posting_at(i)))
     }
+
+    /// Appends the HGMB v2 wire encoding: every internal array verbatim, so
+    /// a loaded index is byte-for-byte the saved one — including which
+    /// representation each key carries (the adaptive rule is *not* re-run
+    /// on load; see DESIGN.md §17).
+    pub(crate) fn encode_v2(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u32_le(self.keys.len() as u32);
+        for &k in &self.keys {
+            buf.put_u32_le(k);
+        }
+        for &o in &self.offsets {
+            buf.put_u32_le(o);
+        }
+        buf.put_u32_le(self.postings.len() as u32);
+        for &p in &self.postings {
+            buf.put_u32_le(p);
+        }
+        buf.put_u32_le(self.num_rows);
+        for &d in &self.dense_idx {
+            buf.put_u32_le(d);
+        }
+        buf.put_u32_le(self.bitmaps.len() as u32);
+        for bm in &self.bitmaps {
+            bm.encode_v2(buf);
+        }
+        for &c in &self.comp_idx {
+            buf.put_u32_le(c);
+        }
+        buf.put_u32_le(self.compressed.len() as u32);
+        for c in &self.compressed {
+            c.encode_v2(buf);
+        }
+    }
+
+    /// Decodes the HGMB v2 wire encoding, advancing `data` past it. All
+    /// structural invariants `posting_at` relies on (offset monotonicity,
+    /// side-table index ranges, row-space bounds) are re-validated so
+    /// corrupt input errors instead of panicking at query time.
+    pub(crate) fn decode_v2(data: &mut &[u8]) -> crate::error::Result<Self> {
+        use crate::error::HypergraphError;
+        use bytes::Buf;
+        let corrupt = |msg: String| HypergraphError::Corrupt(format!("inverted index: {msg}"));
+        crate::io::need(data, 4, "index key count")?;
+        let num_keys = data.get_u32_le() as usize;
+        let keys = crate::io::read_u32s(data, num_keys, "index keys")?;
+        if !crate::setops::is_strictly_sorted(&keys) {
+            return Err(corrupt("keys not strictly sorted".into()));
+        }
+        let offsets = crate::io::read_u32s(data, num_keys + 1, "index offsets")?;
+        crate::io::need(data, 4, "index posting count")?;
+        let num_postings = data.get_u32_le() as usize;
+        let postings = crate::io::read_u32s(data, num_postings, "index postings")?;
+        crate::io::need(data, 4, "index row count")?;
+        let num_rows = data.get_u32_le();
+        let dense_idx = crate::io::read_u32s(data, num_keys, "index dense table")?;
+        crate::io::need(data, 4, "index bitmap count")?;
+        let num_bitmaps = data.get_u32_le() as usize;
+        let mut bitmaps = Vec::with_capacity(num_bitmaps.min(1024));
+        for _ in 0..num_bitmaps {
+            let bm = Bitmap::decode_v2(data)?;
+            if bm.domain() != num_rows {
+                return Err(corrupt(format!(
+                    "bitmap domain {} in a {num_rows}-row index",
+                    bm.domain()
+                )));
+            }
+            bitmaps.push(bm);
+        }
+        let comp_idx = crate::io::read_u32s(data, num_keys, "index compressed table")?;
+        crate::io::need(data, 4, "index compressed count")?;
+        let num_compressed = data.get_u32_le() as usize;
+        let mut compressed = Vec::with_capacity(num_compressed.min(1024));
+        for _ in 0..num_compressed {
+            let c = CompressedPostings::decode_v2(data)?;
+            if c.max().is_some_and(|m| m >= num_rows) {
+                return Err(corrupt(format!(
+                    "compressed posting exceeds the {num_rows}-row space"
+                )));
+            }
+            compressed.push(c);
+        }
+
+        if offsets[0] != 0 || *offsets.last().unwrap() as usize != postings.len() {
+            return Err(corrupt("offsets do not cover the posting array".into()));
+        }
+        for i in 0..num_keys {
+            if offsets[i] > offsets[i + 1] {
+                return Err(corrupt("offsets not monotone".into()));
+            }
+            let list = &postings[offsets[i] as usize..offsets[i + 1] as usize];
+            if !crate::setops::is_strictly_sorted(list) {
+                return Err(corrupt(format!("posting of key {} not sorted", keys[i])));
+            }
+            if list.last().is_some_and(|&r| r >= num_rows) {
+                return Err(corrupt(format!(
+                    "posting of key {} exceeds the {num_rows}-row space",
+                    keys[i]
+                )));
+            }
+            let d = dense_idx[i];
+            if d != NO_BITMAP && d as usize >= bitmaps.len() {
+                return Err(corrupt("dense table points past the bitmaps".into()));
+            }
+            let c = comp_idx[i];
+            if c != NO_COMPRESSED && c as usize >= compressed.len() {
+                return Err(corrupt(
+                    "compressed table points past the containers".into(),
+                ));
+            }
+            if d != NO_BITMAP && c != NO_COMPRESSED {
+                return Err(corrupt(format!(
+                    "key {} claims two representations",
+                    keys[i]
+                )));
+            }
+        }
+        Ok(Self {
+            keys,
+            offsets,
+            postings,
+            num_rows,
+            dense_idx,
+            bitmaps,
+            comp_idx,
+            compressed,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -1,27 +1,177 @@
-//! Hypergraph serialisation: a Benson-style text format and a compact
-//! binary format.
+//! Hypergraph serialisation: a Benson-style text format and the `HGMB`
+//! binary formats.
 //!
 //! The paper's datasets come from Benson's hypergraph collection, which
 //! ships one file of vertex labels (line `i` = label of vertex `i`) and one
 //! file of hyperedges (one comma-separated vertex list per line). We
-//! implement that format for interchange, plus a length-prefixed binary
-//! format (magic `HGMB`) for fast reloads.
+//! implement that format for interchange, plus two binary formats behind
+//! the shared magic `HGMB`:
+//!
+//! * **v1** — length-prefixed labels and edge lists only; loading rebuilds
+//!   the index from scratch. Kept for interchange.
+//! * **v2** — the *snapshot* format (DESIGN.md §17): a versioned sequence
+//!   of length-prefixed, individually CRC-32-checksummed sections that
+//!   serialise the fully built index — postings in whichever
+//!   list/bitmap/compressed representation each key carries, partition
+//!   stats, signatures, the edge locator, the incidence CSR and adjacency
+//!   counts — closed by a whole-file checksum. Loading reconstructs a
+//!   serving-ready [`Hypergraph`] without re-indexing.
+//!
+//! Every decode path returns typed errors ([`HypergraphError::BadMagic`],
+//! [`HypergraphError::UnsupportedVersion`],
+//! [`HypergraphError::ChecksumMismatch`], [`HypergraphError::Corrupt`]) on
+//! malformed input — truncation at any offset and bit flips anywhere must
+//! never panic or misparse.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::builder::HypergraphBuilder;
 use crate::error::{HypergraphError, Result};
-use crate::hypergraph::Hypergraph;
-use crate::ids::Label;
+use crate::hypergraph::{EdgeLocation, Hypergraph};
+use crate::ids::{EdgeId, Label, SignatureId};
+use crate::inverted::InvertedIndex;
+use crate::partition::Partition;
+use crate::signature::{Signature, SignatureInterner};
+use crate::stats::{LabelCardinality, PartitionStats, DEGREE_HIST_BUCKETS};
 
-/// Magic bytes of the binary format.
+/// Magic bytes shared by both binary formats.
 const MAGIC: &[u8; 4] = b"HGMB";
-/// Current binary format version.
+/// Version of the edge-list-only binary format.
 const VERSION: u32 = 1;
+/// Version of the index-inclusive snapshot format.
+const SNAPSHOT_VERSION: u32 = 2;
+
+/// Section tags of the v2 snapshot layout, in their mandatory file order.
+const SECTION_LABELS: u32 = 1;
+const SECTION_SIGNATURES: u32 = 2;
+const SECTION_PARTITIONS: u32 = 3;
+const SECTION_LOCATOR: u32 = 4;
+const SECTION_INCIDENCE: u32 = 5;
+const SECTION_ADJACENCY: u32 = 6;
+
+/// `(tag, name)` of every v2 section, in file order.
+const SECTIONS: [(u32, &str); 6] = [
+    (SECTION_LABELS, "labels"),
+    (SECTION_SIGNATURES, "signatures"),
+    (SECTION_PARTITIONS, "partitions"),
+    (SECTION_LOCATOR, "locator"),
+    (SECTION_INCIDENCE, "incidence"),
+    (SECTION_ADJACENCY, "adjacency"),
+];
+
+/// Errors unless `data` has at least `n` readable bytes left.
+pub(crate) fn need(data: &[u8], n: usize, what: &str) -> Result<()> {
+    if data.remaining() < n {
+        return Err(HypergraphError::Corrupt(format!(
+            "truncated while reading {what}"
+        )));
+    }
+    Ok(())
+}
+
+/// [`need`] for sizes computed in `u64`, so corrupt length fields cannot
+/// overflow the byte-count arithmetic before the comparison.
+fn need_u64(data: &[u8], n: u64, what: &str) -> Result<()> {
+    if (data.remaining() as u64) < n {
+        return Err(HypergraphError::Corrupt(format!(
+            "truncated while reading {what}"
+        )));
+    }
+    Ok(())
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven with
+/// slicing-by-16 so checksum verification is not the bottleneck of a
+/// snapshot load. Implemented locally because only a fixed set of vendored
+/// crates is available offline (DESIGN.md §7).
+const fn crc32_tables() -> [[u32; 256]; 16] {
+    let mut tables = [[0u32; 256]; 16];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    // tables[t][i]: the CRC of byte i followed by t zero bytes, so sixteen
+    // table lookups fold sixteen input bytes at once.
+    let mut t = 1;
+    while t < 16 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+static CRC_TABLES: [[u32; 256]; 16] = crc32_tables();
+
+/// CRC-32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
+    let mut c = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(16);
+    for chunk in &mut chunks {
+        let lo = u64::from_le_bytes(chunk[..8].try_into().unwrap());
+        let hi = u64::from_le_bytes(chunk[8..].try_into().unwrap());
+        let (w0, w1, w2, w3) = (
+            lo as u32 ^ c,
+            (lo >> 32) as u32,
+            hi as u32,
+            (hi >> 32) as u32,
+        );
+        let fold = |table_hi: usize, word: u32| {
+            t[table_hi][(word & 0xFF) as usize]
+                ^ t[table_hi - 1][((word >> 8) & 0xFF) as usize]
+                ^ t[table_hi - 2][((word >> 16) & 0xFF) as usize]
+                ^ t[table_hi - 3][(word >> 24) as usize]
+        };
+        c = fold(15, w0) ^ fold(11, w1) ^ fold(7, w2) ^ fold(3, w3);
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Bulk-reads `n` little-endian `u32`s, advancing `data` past them.
+pub(crate) fn read_u32s(data: &mut &[u8], n: usize, what: &str) -> Result<Vec<u32>> {
+    need_u64(data, n as u64 * 4, what)?;
+    let (head, rest) = data.split_at(n * 4);
+    *data = rest;
+    Ok(head
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Bulk-reads `n` little-endian `u64`s, advancing `data` past them.
+pub(crate) fn read_u64s(data: &mut &[u8], n: usize, what: &str) -> Result<Vec<u64>> {
+    need_u64(data, n as u64 * 8, what)?;
+    let (head, rest) = data.split_at(n * 8);
+    *data = rest;
+    Ok(head
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
+}
 
 /// Parses vertex labels from a reader: one non-negative integer label per
 /// line; blank lines and `#` comments are skipped.
@@ -118,7 +268,9 @@ pub fn save_text(h: &Hypergraph, labels_path: &Path, edges_path: &Path) -> Resul
     )
 }
 
-/// Encodes a hypergraph in the binary format.
+/// Encodes a hypergraph in the v1 binary format (labels and edge lists
+/// only; loading re-indexes). See [`encode_snapshot`] for the
+/// index-inclusive snapshot format.
 pub fn encode_binary(h: &Hypergraph) -> Bytes {
     let mut buf = BytesMut::with_capacity(
         16 + h.num_vertices() * 4 + h.num_edges() * 8 + h.table_size_bytes(),
@@ -139,30 +291,30 @@ pub fn encode_binary(h: &Hypergraph) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes a hypergraph from the binary format.
-pub fn decode_binary(mut data: &[u8]) -> Result<Hypergraph> {
-    fn need(data: &[u8], n: usize, what: &str) -> Result<()> {
-        if data.remaining() < n {
-            return Err(HypergraphError::Corrupt(format!(
-                "truncated while reading {what}"
-            )));
-        }
-        Ok(())
+/// Decodes a hypergraph from either `HGMB` binary format, dispatching on
+/// the version header: v1 rebuilds the index from its edge lists, v2
+/// ([`decode_snapshot`]) restores the serialized index verbatim.
+pub fn decode_binary(data: &[u8]) -> Result<Hypergraph> {
+    let version = peek_version(data)?;
+    match version {
+        VERSION => decode_binary_v1(data),
+        SNAPSHOT_VERSION => decode_snapshot(data),
+        other => Err(HypergraphError::UnsupportedVersion(other)),
     }
+}
 
+/// Validates the magic bytes and returns the declared format version.
+fn peek_version(data: &[u8]) -> Result<u32> {
     need(data, 8, "header")?;
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(HypergraphError::Corrupt("bad magic".into()));
+    if &data[..4] != MAGIC {
+        return Err(HypergraphError::BadMagic);
     }
-    let version = data.get_u32_le();
-    if version != VERSION {
-        return Err(HypergraphError::Corrupt(format!(
-            "unsupported version {version}"
-        )));
-    }
+    Ok(u32::from_le_bytes(data[4..8].try_into().unwrap()))
+}
 
+/// Decodes the v1 edge-list format (header already validated).
+fn decode_binary_v1(mut data: &[u8]) -> Result<Hypergraph> {
+    data.advance(8);
     need(data, 4, "vertex count")?;
     let nv = data.get_u32_le() as usize;
     need(data, nv * 4, "labels")?;
@@ -192,18 +344,370 @@ pub fn decode_binary(mut data: &[u8]) -> Result<Hypergraph> {
     builder.build()
 }
 
-/// Saves a hypergraph in the binary format.
+/// Saves a hypergraph in the v1 binary format.
 pub fn save_binary(h: &Hypergraph, path: &Path) -> Result<()> {
     let mut file = BufWriter::new(File::create(path)?);
     file.write_all(&encode_binary(h))?;
     Ok(())
 }
 
-/// Loads a hypergraph from the binary format.
+/// Loads a hypergraph from either binary format (see [`decode_binary`]).
 pub fn load_binary(path: &Path) -> Result<Hypergraph> {
     let mut data = Vec::new();
     File::open(path)?.read_to_end(&mut data)?;
     decode_binary(&data)
+}
+
+/// Encodes a hypergraph in the v2 snapshot format: magic + version, the
+/// six checksummed sections of [`SECTIONS`] in order, and a whole-file
+/// CRC-32 trailer. The encoding is deterministic — equal hypergraphs (by
+/// content, including chosen posting representations) produce identical
+/// bytes, which the CI snapshot byte-stability gate relies on.
+pub fn encode_snapshot(h: &Hypergraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + h.table_size_bytes() + h.index_size_bytes() * 2);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(SNAPSHOT_VERSION);
+
+    let mut payload = BytesMut::new();
+    for (tag, _) in SECTIONS {
+        payload.clear();
+        match tag {
+            SECTION_LABELS => {
+                payload.put_u32_le(h.num_vertices() as u32);
+                for l in h.labels() {
+                    payload.put_u32_le(l.raw());
+                }
+            }
+            SECTION_SIGNATURES => {
+                payload.put_u32_le(h.interner().len() as u32);
+                for (_, sig) in h.interner().iter() {
+                    payload.put_u32_le(sig.arity() as u32);
+                    for &l in sig.labels() {
+                        payload.put_u32_le(l.raw());
+                    }
+                }
+            }
+            SECTION_PARTITIONS => {
+                payload.put_u32_le(h.partitions().len() as u32);
+                for p in h.partitions() {
+                    payload.put_u32_le(p.arity());
+                    payload.put_u32_le(p.len() as u32);
+                    for &v in p.raw_vertices() {
+                        payload.put_u32_le(v);
+                    }
+                    for g in p.global_ids() {
+                        payload.put_u32_le(g.raw());
+                    }
+                    p.index().encode_v2(&mut payload);
+                    encode_stats(p.stats(), &mut payload);
+                }
+            }
+            SECTION_LOCATOR => {
+                payload.put_u32_le(h.num_edges() as u32);
+                for e in 0..h.num_edges() {
+                    let loc = h.locate(EdgeId::from_index(e));
+                    payload.put_u32_le(loc.signature.raw());
+                    payload.put_u32_le(loc.row);
+                }
+            }
+            SECTION_INCIDENCE => {
+                for &o in &h.incidence_offsets {
+                    payload.put_u64_le(o);
+                }
+                for &e in &h.incidence_edges {
+                    payload.put_u32_le(e);
+                }
+            }
+            SECTION_ADJACENCY => {
+                for &a in &h.adj_counts {
+                    payload.put_u32_le(a);
+                }
+            }
+            _ => unreachable!("unknown section tag"),
+        }
+        buf.put_u32_le(tag);
+        buf.put_u64_le(payload.len() as u64);
+        buf.put_slice(&payload);
+        buf.put_u32_le(crc32(&payload));
+    }
+
+    let file_crc = crc32(&buf);
+    buf.put_u32_le(file_crc);
+    buf.freeze()
+}
+
+fn encode_stats(stats: &PartitionStats, buf: &mut BytesMut) {
+    buf.put_u64_le(stats.rows);
+    buf.put_u32_le(stats.labels.len() as u32);
+    for g in &stats.labels {
+        buf.put_u32_le(g.label.raw());
+        buf.put_u64_le(g.distinct_vertices);
+        buf.put_u64_le(g.incidences);
+        buf.put_u64_le(g.sum_sq_degrees);
+        for &b in &g.degree_hist {
+            buf.put_u64_le(b);
+        }
+    }
+}
+
+fn decode_stats(data: &mut &[u8]) -> Result<PartitionStats> {
+    need(data, 12, "partition stats header")?;
+    let rows = data.get_u64_le();
+    let num_groups = data.get_u32_le() as usize;
+    need(
+        data,
+        num_groups * (4 + 24 + DEGREE_HIST_BUCKETS * 8),
+        "stats label groups",
+    )?;
+    let mut labels = Vec::with_capacity(num_groups);
+    let mut prev: Option<Label> = None;
+    for _ in 0..num_groups {
+        let label = Label::new(data.get_u32_le());
+        if prev.is_some_and(|p| label <= p) {
+            return Err(HypergraphError::Corrupt(
+                "stats label groups out of order".into(),
+            ));
+        }
+        prev = Some(label);
+        let distinct_vertices = data.get_u64_le();
+        let incidences = data.get_u64_le();
+        let sum_sq_degrees = data.get_u64_le();
+        let mut degree_hist = [0u64; DEGREE_HIST_BUCKETS];
+        for b in &mut degree_hist {
+            *b = data.get_u64_le();
+        }
+        labels.push(LabelCardinality {
+            label,
+            distinct_vertices,
+            incidences,
+            sum_sq_degrees,
+            degree_hist,
+        });
+    }
+    Ok(PartitionStats { rows, labels })
+}
+
+/// Decodes the v2 snapshot format into a serving-ready [`Hypergraph`]
+/// without re-indexing. Section and whole-file checksums are verified, and
+/// every structural invariant the engine relies on is re-validated, so
+/// corrupt input — truncated anywhere, or with any bit flipped — returns a
+/// typed error rather than panicking at load or query time.
+pub fn decode_snapshot(data: &[u8]) -> Result<Hypergraph> {
+    let version = peek_version(data)?;
+    if version != SNAPSHOT_VERSION {
+        return Err(HypergraphError::UnsupportedVersion(version));
+    }
+
+    // Split off every section payload, recording its stored CRC but not
+    // yet verifying it: the whole-file CRC covers every section byte
+    // (payloads, headers, and the stored section CRCs themselves), so one
+    // fast pass proves integrity. Section CRCs are only recomputed when
+    // that pass fails, to localize the damage in the error.
+    let mut cursor = &data[8..];
+    let mut payloads: Vec<(&[u8], u32)> = Vec::with_capacity(SECTIONS.len());
+    for (tag, name) in SECTIONS {
+        need(cursor, 12, "section header")?;
+        let got_tag = cursor.get_u32_le();
+        if got_tag != tag {
+            return Err(HypergraphError::Corrupt(format!(
+                "expected section {name} (tag {tag}), found tag {got_tag}"
+            )));
+        }
+        let len64 = cursor.get_u64_le();
+        need_u64(cursor, len64.saturating_add(4), "section payload")?;
+        let len = usize::try_from(len64)
+            .map_err(|_| HypergraphError::Corrupt(format!("section {name} length overflow")))?;
+        let payload = &cursor[..len];
+        cursor.advance(len);
+        payloads.push((payload, cursor.get_u32_le()));
+    }
+    need(cursor, 4, "file checksum")?;
+    let body_len = data.len() - cursor.len();
+    let stored_file_crc = (&cursor[..4]).get_u32_le();
+    if crc32(&data[..body_len]) != stored_file_crc {
+        for ((payload, stored_crc), (_, name)) in payloads.iter().zip(SECTIONS) {
+            if crc32(payload) != *stored_crc {
+                return Err(HypergraphError::ChecksumMismatch { section: name });
+            }
+        }
+        return Err(HypergraphError::ChecksumMismatch { section: "file" });
+    }
+    if cursor.len() > 4 {
+        return Err(HypergraphError::Corrupt(format!(
+            "{} trailing bytes after snapshot",
+            cursor.len() - 4
+        )));
+    }
+
+    let corrupt = |msg: String| HypergraphError::Corrupt(msg);
+
+    // LABELS.
+    let mut d = payloads[0].0;
+    need(d, 4, "vertex count")?;
+    let nv = d.get_u32_le() as usize;
+    let labels: Vec<Label> = read_u32s(&mut d, nv, "labels")?
+        .into_iter()
+        .map(Label::new)
+        .collect();
+    if !d.is_empty() {
+        return Err(corrupt("trailing bytes in labels section".into()));
+    }
+
+    // SIGNATURES.
+    let mut d = payloads[1].0;
+    need(d, 4, "signature count")?;
+    let num_sigs = d.get_u32_le() as usize;
+    let mut interner = SignatureInterner::new();
+    for i in 0..num_sigs {
+        need(d, 4, "signature arity")?;
+        let arity = d.get_u32_le() as usize;
+        need(d, arity * 4, "signature labels")?;
+        let mut sig_labels = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            sig_labels.push(Label::new(d.get_u32_le()));
+        }
+        if !sig_labels.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(corrupt(format!("signature {i} labels not sorted")));
+        }
+        let id = interner.intern(Signature::from_sorted(sig_labels));
+        if id.index() != i {
+            return Err(corrupt(format!(
+                "signature {i} duplicates signature {}",
+                id.index()
+            )));
+        }
+    }
+    if !d.is_empty() {
+        return Err(corrupt("trailing bytes in signatures section".into()));
+    }
+
+    // PARTITIONS.
+    let mut d = payloads[2].0;
+    need(d, 4, "partition count")?;
+    let num_parts = d.get_u32_le() as usize;
+    if num_parts != num_sigs {
+        return Err(corrupt(format!(
+            "{num_parts} partitions for {num_sigs} signatures"
+        )));
+    }
+    let mut partitions: Vec<Arc<Partition>> = Vec::with_capacity(num_parts);
+    for i in 0..num_parts {
+        let sid = SignatureId::from_index(i);
+        need(d, 8, "partition header")?;
+        let arity = d.get_u32_le();
+        let rows = d.get_u32_le() as usize;
+        if interner.resolve(sid).arity() != arity as usize {
+            return Err(corrupt(format!(
+                "partition {i} arity disagrees with its signature"
+            )));
+        }
+        let num_verts = rows
+            .checked_mul(arity as usize)
+            .ok_or_else(|| corrupt(format!("partition {i} size overflow")))?;
+        let vertices = read_u32s(&mut d, num_verts, "partition vertex table")?;
+        for row in vertices.chunks(arity.max(1) as usize) {
+            if !crate::setops::is_strictly_sorted(row) {
+                return Err(corrupt(format!("partition {i} row not sorted")));
+            }
+            if row.last().is_some_and(|&v| v as usize >= nv) {
+                return Err(corrupt(format!(
+                    "partition {i} row references unknown vertex"
+                )));
+            }
+        }
+        let global_ids: Vec<EdgeId> = read_u32s(&mut d, rows, "partition global ids")?
+            .into_iter()
+            .map(EdgeId::new)
+            .collect();
+        let index = InvertedIndex::decode_v2(&mut d)?;
+        if index.num_rows() as usize != rows {
+            return Err(corrupt(format!(
+                "partition {i} index covers the wrong row count"
+            )));
+        }
+        let stats = decode_stats(&mut d)?;
+        partitions.push(Arc::new(Partition::from_parts(
+            sid, arity, vertices, global_ids, index, stats,
+        )));
+    }
+    if !d.is_empty() {
+        return Err(corrupt("trailing bytes in partitions section".into()));
+    }
+
+    // LOCATOR.
+    let mut d = payloads[3].0;
+    need(d, 4, "edge count")?;
+    let ne = d.get_u32_le() as usize;
+    let entries = read_u32s(&mut d, ne * 2, "locator entries")?;
+    let mut locator = Vec::with_capacity(ne);
+    for (e, pair) in entries.chunks_exact(2).enumerate() {
+        let signature = SignatureId::new(pair[0]);
+        let row = pair[1];
+        let part = partitions
+            .get(signature.index())
+            .ok_or_else(|| corrupt(format!("edge {e} located in unknown partition")))?;
+        if row as usize >= part.len() {
+            return Err(corrupt(format!("edge {e} located past its partition")));
+        }
+        if part.global_id(row).index() != e {
+            return Err(corrupt(format!("edge {e} and its partition row disagree")));
+        }
+        locator.push(EdgeLocation { signature, row });
+    }
+    if !d.is_empty() {
+        return Err(corrupt("trailing bytes in locator section".into()));
+    }
+    if partitions.iter().map(|p| p.len()).sum::<usize>() != ne {
+        return Err(corrupt("partition rows do not cover the edge set".into()));
+    }
+
+    // INCIDENCE.
+    let mut d = payloads[4].0;
+    let incidence_offsets = read_u64s(&mut d, nv + 1, "incidence offsets")?;
+    if incidence_offsets[0] != 0 || incidence_offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt("incidence offsets not monotone from zero".into()));
+    }
+    let total64 = *incidence_offsets.last().unwrap();
+    let total =
+        usize::try_from(total64).map_err(|_| corrupt("incidence length overflow".into()))?;
+    let incidence_edges = read_u32s(&mut d, total, "incidence edges")?;
+    if incidence_edges.iter().any(|&e| e as usize >= ne) {
+        return Err(corrupt("incidence references unknown edge".into()));
+    }
+    if !d.is_empty() {
+        return Err(corrupt("trailing bytes in incidence section".into()));
+    }
+
+    // ADJACENCY.
+    let mut d = payloads[5].0;
+    let adj_counts = read_u32s(&mut d, nv, "adjacency counts")?;
+    if !d.is_empty() {
+        return Err(corrupt("trailing bytes in adjacency section".into()));
+    }
+
+    Ok(Hypergraph::from_serialized_parts(
+        labels,
+        interner,
+        partitions,
+        locator,
+        incidence_offsets,
+        incidence_edges,
+        adj_counts,
+    ))
+}
+
+/// Saves a hypergraph in the v2 snapshot format.
+pub fn save_snapshot(h: &Hypergraph, path: &Path) -> Result<()> {
+    let mut file = BufWriter::new(File::create(path)?);
+    file.write_all(&encode_snapshot(h))?;
+    Ok(())
+}
+
+/// Loads a serving-ready hypergraph from a v2 snapshot file.
+pub fn load_snapshot(path: &Path) -> Result<Hypergraph> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    decode_snapshot(&data)
 }
 
 #[cfg(test)]
@@ -220,6 +724,22 @@ mod tests {
         b.add_edge(vec![2, 4]).unwrap();
         b.add_edge(vec![0, 1, 2]).unwrap();
         b.add_edge(vec![0, 1, 4, 6]).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A graph big enough that its index mixes all three posting
+    /// representations (hub vertex → bitmap or compressed, sparse leaves →
+    /// lists) under the adaptive rule.
+    fn multi_repr() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(Label::new(0)); // hub
+        b.add_vertices(600, Label::new(1)); // leaves
+        for leaf in 1..=300u32 {
+            b.add_edge(vec![0, leaf]).unwrap(); // dense hub key
+        }
+        for leaf in 301..=600u32 {
+            b.add_edge(vec![leaf]).unwrap(); // singleton partition rows
+        }
         b.build().unwrap()
     }
 
@@ -285,7 +805,7 @@ mod tests {
         bad[0] = b'X';
         assert!(matches!(
             decode_binary(&bad),
-            Err(HypergraphError::Corrupt(_))
+            Err(HypergraphError::BadMagic)
         ));
 
         // Bad version.
@@ -293,7 +813,7 @@ mod tests {
         bad[4] = 0xFF;
         assert!(matches!(
             decode_binary(&bad),
-            Err(HypergraphError::Corrupt(_))
+            Err(HypergraphError::UnsupportedVersion(_))
         ));
 
         // Truncation at every prefix must error, never panic.
@@ -314,6 +834,118 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_full_content_equality() {
+        for h in [sample(), multi_repr()] {
+            let bytes = encode_snapshot(&h);
+            let h2 = decode_snapshot(&bytes).unwrap();
+            // Hypergraph PartialEq covers labels, interner, partitions
+            // (vertex tables, global ids, indices with every bitmap and
+            // compressed block, stats), locator, incidence CSR, adjacency.
+            assert_eq!(h, h2);
+            // decode_binary dispatches on the version header.
+            assert_eq!(decode_binary(&bytes).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn snapshot_encoding_is_byte_stable() {
+        for h in [sample(), multi_repr()] {
+            let bytes = encode_snapshot(&h);
+            // save(load(x)) == x, byte for byte — the CI golden gate.
+            let reloaded = decode_snapshot(&bytes).unwrap();
+            assert_eq!(encode_snapshot(&reloaded), bytes);
+            // Deterministic across repeated encodes of the same graph.
+            assert_eq!(encode_snapshot(&h), bytes);
+        }
+    }
+
+    #[test]
+    fn snapshot_empty_graph_roundtrips() {
+        let h = HypergraphBuilder::new().build().unwrap();
+        let bytes = encode_snapshot(&h);
+        let h2 = decode_snapshot(&bytes).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(h2.num_vertices(), 0);
+        assert_eq!(h2.num_edges(), 0);
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_at_every_offset() {
+        let bytes = encode_snapshot(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_every_single_bit_flip() {
+        let bytes = encode_snapshot(&sample()).to_vec();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_snapshot(&bad).is_err(),
+                    "flip of bit {bit} in byte {byte} decoded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_trailing_junk() {
+        let mut bytes = encode_snapshot(&sample()).to_vec();
+        bytes.push(0);
+        assert!(decode_snapshot(&bytes).is_err());
+    }
+
+    #[test]
+    fn snapshot_errors_are_typed() {
+        let bytes = encode_snapshot(&sample()).to_vec();
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_snapshot(&bad),
+            Err(HypergraphError::BadMagic)
+        ));
+
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            decode_snapshot(&bad),
+            Err(HypergraphError::UnsupportedVersion(9))
+        ));
+
+        // Flip a payload byte inside the first section: its checksum fails.
+        let mut bad = bytes.clone();
+        bad[8 + 12 + 1] ^= 0x40;
+        assert!(matches!(
+            decode_snapshot(&bad),
+            Err(HypergraphError::ChecksumMismatch { section: "labels" })
+        ));
+
+        // Flip the file trailer: the whole-file checksum fails.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(
+            decode_snapshot(&bad),
+            Err(HypergraphError::ChecksumMismatch { section: "file" })
+        ));
+    }
+
+    #[test]
     fn file_roundtrips() {
         let dir = std::env::temp_dir().join("hgmatch-io-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -329,6 +961,11 @@ mod tests {
         save_binary(&h, &bp).unwrap();
         let h3 = load_binary(&bp).unwrap();
         assert_eq!(h.num_edges(), h3.num_edges());
+
+        let sp = dir.join("graph.hgsnap");
+        save_snapshot(&h, &sp).unwrap();
+        let h4 = load_snapshot(&sp).unwrap();
+        assert_eq!(h, h4);
 
         std::fs::remove_dir_all(&dir).ok();
     }

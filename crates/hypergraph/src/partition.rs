@@ -145,6 +145,13 @@ impl Partition {
         &self.index
     }
 
+    /// The flattened vertex table (`len * arity` sorted lists back to
+    /// back) — the serialisation path writes it verbatim.
+    #[inline]
+    pub(crate) fn raw_vertices(&self) -> &[u32] {
+        &self.vertices
+    }
+
     /// The planner's cardinality summaries for this partition
     /// ([`PartitionStats`], DESIGN.md §13).
     #[inline]

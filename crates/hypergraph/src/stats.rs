@@ -126,8 +126,19 @@ impl PartitionStats {
     /// vertex labels — the from-scratch oracle the incremental maintenance
     /// in [`crate::dynamic`] must agree with bit-for-bit.
     pub fn recompute(partition: &Partition, labels: &[Label]) -> Self {
+        Self::recompute_from_index(partition.index(), partition.len(), labels)
+    }
+
+    /// The same summary computed straight from an inverted index and its
+    /// row count — for callers that build the index before the partition
+    /// exists (the sharded merge path, [`crate::sharded`]).
+    pub(crate) fn recompute_from_index(
+        index: &crate::inverted::InvertedIndex,
+        rows: usize,
+        labels: &[Label],
+    ) -> Self {
         let mut groups: Vec<(Label, LabelCardinality)> = Vec::new();
-        for (v, postings) in partition.index().iter() {
+        for (v, postings) in index.iter() {
             debug_assert!(!postings.is_empty(), "index keys carry postings");
             let label = labels[v as usize];
             let entry = match groups.binary_search_by_key(&label, |(l, _)| *l) {
@@ -156,7 +167,7 @@ impl PartitionStats {
             entry.degree_hist[degree_bucket(degree)] += 1;
         }
         Self {
-            rows: partition.len() as u64,
+            rows: rows as u64,
             labels: groups.into_iter().map(|(_, g)| g).collect(),
         }
     }

@@ -1,0 +1,151 @@
+//! Persistence differentials for the HGMB v2 snapshot format (DESIGN.md
+//! §17): save→load over dynamic update streams must reproduce the exact
+//! in-memory state, the encoding must be deterministic byte-for-byte, and
+//! the committed golden fixture pins the on-disk layout so accidental
+//! format drift fails CI (`UPDATE_GOLDEN=1` regenerates it deliberately).
+
+use std::sync::Arc;
+
+use hgmatch_datasets::testgen::random_arity_hypergraph;
+use hgmatch_datasets::update_stream::{generate_update_stream, UpdateStreamConfig};
+use hgmatch_hypergraph::io::{decode_snapshot, encode_snapshot, load_snapshot, save_snapshot};
+use hgmatch_hypergraph::{
+    DynamicHypergraph, Hypergraph, HypergraphBuilder, Label, ShardedHypergraph,
+};
+
+/// The deterministic fixture graph: the paper's Fig. 1b data graph plus a
+/// hub block big enough that the adaptive index uses all three posting
+/// representations (list / bitmap / compressed) — so the fixture pins the
+/// serialisation of every representation, not just lists.
+fn fixture_graph() -> Hypergraph {
+    let mut b = HypergraphBuilder::new();
+    for &l in &[0u32, 2, 0, 0, 1, 2, 0] {
+        b.add_vertex(Label::new(l));
+    }
+    b.add_edge(vec![2, 4]).unwrap();
+    b.add_edge(vec![0, 1, 2]).unwrap();
+    b.add_edge(vec![0, 1, 4, 6]).unwrap();
+
+    // Hub block: vertex `hub` joins 300 two-vertex edges (bitmap-dense in
+    // its partition), then 300 singleton edges dilute a second partition.
+    let hub = b.add_vertex(Label::new(3)).raw();
+    let first_leaf = b.add_vertices(600, Label::new(4)).raw();
+    for leaf in first_leaf..first_leaf + 300 {
+        b.add_edge(vec![hub, leaf]).unwrap();
+    }
+    for leaf in first_leaf + 300..first_leaf + 600 {
+        b.add_edge(vec![leaf]).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/paper.hgsnap")
+}
+
+/// The committed fixture must decode, and re-encoding the decoded graph
+/// must reproduce the file byte-for-byte: `save(load(fixture)) ==
+/// fixture`. This half of the golden gate holds under any
+/// `HGMATCH_FORCE_REPR`, because the decoder restores representations
+/// verbatim instead of re-running the adaptive rule.
+#[test]
+fn golden_fixture_is_byte_stable() {
+    let path = fixture_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, encode_snapshot(&fixture_graph())).unwrap();
+    }
+    let fixture = std::fs::read(&path)
+        .expect("missing tests/fixtures/paper.hgsnap; regenerate with UPDATE_GOLDEN=1");
+
+    let decoded = decode_snapshot(&fixture).expect("committed fixture must decode");
+    assert_eq!(
+        &*encode_snapshot(&decoded),
+        fixture.as_slice(),
+        "save(load(fixture)) != fixture; the snapshot format drifted — \
+         regenerate tests/fixtures/paper.hgsnap with UPDATE_GOLDEN=1 deliberately"
+    );
+
+    // A fresh build encodes to the same bytes — unless a forced
+    // representation overrides the adaptive rule the fixture was built
+    // under (the repr-stress CI leg), in which case only the verbatim
+    // half above applies.
+    if hgmatch_hypergraph::inverted::forced_repr().is_none() {
+        assert_eq!(
+            &*encode_snapshot(&fixture_graph()),
+            fixture.as_slice(),
+            "fresh fixture build no longer matches the committed snapshot"
+        );
+        assert_eq!(decoded, fixture_graph());
+    }
+}
+
+/// Save→load→rebuild differential over a dynamic update stream: at every
+/// checkpoint the decoded snapshot equals the in-memory snapshot field for
+/// field (indices in their chosen representations, stats, locator, CSR),
+/// and re-encoding it is byte-identical.
+#[test]
+fn snapshot_roundtrips_across_dynamic_streams() {
+    let base = random_arity_hypergraph(11, 40, 60, 3, 1, 4);
+    let ops = generate_update_stream(
+        &base,
+        &UpdateStreamConfig {
+            ops: 400,
+            insert_ratio: 0.6,
+            seed: 23,
+            ..UpdateStreamConfig::default()
+        },
+    );
+    let mut dynamic = DynamicHypergraph::from_hypergraph(&base);
+    for (i, op) in ops.iter().enumerate() {
+        dynamic.apply(op).expect("stream ops are valid");
+        if i % 97 == 0 || i + 1 == ops.len() {
+            let snap = dynamic.snapshot();
+            let bytes = encode_snapshot(&snap.graph);
+            let restored = decode_snapshot(&bytes).expect("snapshot must decode");
+            assert_eq!(restored, *snap.graph, "decode lost state at op {i}");
+            assert_eq!(
+                encode_snapshot(&restored),
+                bytes,
+                "re-encode not byte-stable at op {i}"
+            );
+        }
+    }
+}
+
+/// The same differential through the sharded facade and real files: a
+/// sharded data plane's merged snapshot, saved and loaded per checkpoint,
+/// must equal the monolithic graph fed the same stream.
+#[test]
+fn sharded_snapshot_files_match_monolithic() {
+    let base = random_arity_hypergraph(5, 30, 40, 3, 1, 4);
+    let ops = generate_update_stream(
+        &base,
+        &UpdateStreamConfig {
+            ops: 200,
+            insert_ratio: 0.65,
+            seed: 41,
+            ..UpdateStreamConfig::default()
+        },
+    );
+    let dir = std::env::temp_dir().join("hgmatch-snapshot-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for num_shards in [1usize, 2, 4] {
+        let mut mono = DynamicHypergraph::from_hypergraph(&base);
+        let mut sharded = ShardedHypergraph::from_hypergraph(&base, num_shards).unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            let a = mono.apply(op).expect("stream ops are valid");
+            let b = sharded.apply(op).expect("stream ops are valid");
+            assert_eq!(a, b, "shards diverged on op {i}");
+            if i % 67 == 0 || i + 1 == ops.len() {
+                let merged: Arc<Hypergraph> = sharded.snapshot().graph;
+                let path = dir.join(format!("shard{num_shards}.hgsnap"));
+                save_snapshot(&merged, &path).unwrap();
+                let restored = load_snapshot(&path).unwrap();
+                assert_eq!(restored, *mono.snapshot().graph);
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -54,11 +54,21 @@ pub struct BytesMut {
 }
 
 impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Creates an empty buffer with at least `capacity` bytes reserved.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             data: Vec::with_capacity(capacity),
         }
+    }
+
+    /// Empties the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
     }
 
     /// Freezes the buffer into an immutable [`Bytes`].
@@ -100,11 +110,31 @@ pub trait Buf {
     /// Panics if fewer than `dst.len()` bytes remain.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
 
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads a little-endian `u64`, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
     /// Reads a little-endian `u32`, advancing the cursor.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
         self.copy_to_slice(&mut b);
         u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u16`, advancing the cursor.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
     }
 
     /// Reads one byte, advancing the cursor.
@@ -126,6 +156,11 @@ impl Buf for &[u8] {
         dst.copy_from_slice(head);
         *self = tail;
     }
+
+    fn advance(&mut self, n: usize) {
+        assert!(self.len() >= n, "buffer underflow");
+        *self = &self[n..];
+    }
 }
 
 /// Write side: append primitives.
@@ -133,8 +168,18 @@ pub trait BufMut {
     /// Appends a byte slice.
     fn put_slice(&mut self, src: &[u8]);
 
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
         self.put_slice(&v.to_le_bytes());
     }
 
