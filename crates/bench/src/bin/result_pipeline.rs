@@ -1,0 +1,322 @@
+//! `result_pipeline` — the reduce-then-scan result-pipeline benchmark
+//! (DESIGN.md §18), written to `BENCH_scan.json`.
+//!
+//! Three experiments:
+//!
+//! 1. **compact** — [`hgmatch_core::scan::ParallelCompact`] (8
+//!    participants, the claim→reduce→lookback→emit loop) versus the
+//!    single-participant [`hgmatch_core::scan::compact_into`] on a large
+//!    candidate-id array.
+//! 2. **extract** — [`hgmatch_core::scan::ParallelExtract`] (bitmap→sorted
+//!    row list, the dense-split handoff) versus
+//!    [`hgmatch_core::scan::extract_bits_into`].
+//! 3. **aggregate** — one embedding-heavy query through every
+//!    [`AggregateMode`]: materialize, count-only, top-k, sampled. All modes
+//!    must agree on the exact count (asserted).
+//!
+//! `--check` turns the two committed gates into hard assertions:
+//!
+//! * parallel compact at 8 participants sustains ≥ `scale ×` the
+//!   sequential throughput, where `scale` is core-scaled — 2.0 with ≥ 8
+//!   cores, `2.0 · cores / 8` with ≥ 2, and 0.25 on a single core (8
+//!   oversubscribed participants may run slower than one; the gate then
+//!   bounds the protocol overhead instead of demanding a speedup). The
+//!   applied scale is recorded in the report.
+//! * count-only answers the embedding-heavy query ≥ 3× faster than
+//!   materialize (zero-materialization is the point of the mode split).
+//!
+//! Usage: `result_pipeline [--elements N] [--blowup N] [--reps N]
+//!                         [--workers N] [--json PATH] [--check]`.
+//! `HGMATCH_BENCH_SMOKE=1` shrinks every knob for the CI bench-smoke job.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use hgmatch_bench::experiments::{bench_smoke, num_cpus};
+use hgmatch_core::scan::{compact_into, extract_bits_into, ParallelCompact, ParallelExtract};
+use hgmatch_core::{AggregateMode, MatchConfig, Matcher, ScoreFn};
+use hgmatch_datasets::testgen::blowup;
+use hgmatch_hypergraph::bitmap::Bitmap;
+
+/// Best-of-`reps` wall time of `f`.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let begin = Instant::now();
+        let r = f();
+        best = best.min(begin.elapsed());
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn throughput(elements: usize, wall: Duration) -> f64 {
+    elements as f64 / wall.as_secs_f64().max(1e-9) / 1e6
+}
+
+/// Core-scaled compact gate: the committed 2× target assumes ≥ 8 cores;
+/// fewer cores scale it linearly, and a single core only bounds the
+/// protocol overhead (oversubscription cannot speed anything up).
+fn compact_gate_scale(cores: usize) -> f64 {
+    if cores >= 8 {
+        2.0
+    } else if cores >= 2 {
+        2.0 * cores as f64 / 8.0
+    } else {
+        0.25
+    }
+}
+
+struct ModePoint {
+    name: &'static str,
+    wall: Duration,
+    count: u64,
+    materialized: u64,
+}
+
+fn main() {
+    let smoke = bench_smoke();
+    let mut elements: usize = if smoke { 1 << 20 } else { 1 << 24 };
+    let mut blowup_n: u32 = if smoke { 28 } else { 56 };
+    let mut reps: usize = if smoke { 3 } else { 5 };
+    let mut workers: usize = 8;
+    let mut json_path: Option<String> = None;
+    let mut check = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--elements" => {
+                i += 1;
+                elements = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--elements N");
+            }
+            "--blowup" => {
+                i += 1;
+                blowup_n = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--blowup N");
+            }
+            "--reps" => {
+                i += 1;
+                reps = args.get(i).and_then(|s| s.parse().ok()).expect("--reps N");
+            }
+            "--workers" => {
+                i += 1;
+                workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--workers N");
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json PATH").clone());
+            }
+            "--check" => check = true,
+            other => panic!("unknown flag {other:?}"),
+        }
+        i += 1;
+    }
+
+    let cores = num_cpus();
+    println!(
+        "# result_pipeline: {elements} elements, blowup n={blowup_n}, {workers} participants, host_cpus={cores}"
+    );
+
+    // Experiment 1: compaction. A pseudo-random id array, keeping ~60%.
+    let input: Vec<u32> = (0..elements as u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
+    let keep = |x: u32| x % 5 < 3;
+    let (seq_compact, expect) = best_of(reps, || {
+        let mut out = Vec::new();
+        compact_into(&input, &mut out, keep);
+        out
+    });
+    let (par_compact, got) = best_of(reps, || {
+        let pc = ParallelCompact::new(&input, keep);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| assert!(pc.run(&mut || false)));
+            }
+        });
+        let mut out = Vec::new();
+        pc.collect_into(&mut out);
+        out
+    });
+    assert_eq!(got, expect, "parallel compact diverged from sequential");
+    let compact_speedup = seq_compact.as_secs_f64() / par_compact.as_secs_f64().max(1e-9);
+    println!("compact\tvariant\twall_s\tMelem_per_s");
+    println!(
+        "compact\tsequential\t{:.4}\t{:.1}",
+        seq_compact.as_secs_f64(),
+        throughput(elements, seq_compact)
+    );
+    println!(
+        "compact\tparallel_{workers}\t{:.4}\t{:.1}\t(speedup {compact_speedup:.2}x)",
+        par_compact.as_secs_f64(),
+        throughput(elements, par_compact)
+    );
+
+    // Experiment 2: bitmap→list extraction over the kept *positions* — the
+    // shape of the candidate-generation handoff (a dense bitmap over the
+    // edge-id domain, ~60% populated).
+    let mut bm = Bitmap::new(elements as u32);
+    for (pos, &x) in input.iter().enumerate() {
+        if keep(x) {
+            bm.insert(pos as u32);
+        }
+    }
+    let popcount = bm.count_ones();
+    let (seq_extract, expect) = best_of(reps, || {
+        let mut out = Vec::new();
+        extract_bits_into(bm.words(), &mut out);
+        out
+    });
+    let (par_extract, got) = best_of(reps, || {
+        let px = ParallelExtract::new(bm.words().to_vec(), popcount);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| assert!(px.run(&mut || false)));
+            }
+        });
+        (0..px.len()).map(|i| px.row(i)).collect::<Vec<u32>>()
+    });
+    assert_eq!(got, expect, "parallel extract diverged from sequential");
+    let extract_speedup = seq_extract.as_secs_f64() / par_extract.as_secs_f64().max(1e-9);
+    println!("extract\tvariant\twall_s\tMrow_per_s");
+    println!(
+        "extract\tsequential\t{:.4}\t{:.1}",
+        seq_extract.as_secs_f64(),
+        throughput(popcount as usize, seq_extract)
+    );
+    println!(
+        "extract\tparallel_{workers}\t{:.4}\t{:.1}\t(speedup {extract_speedup:.2}x)",
+        par_extract.as_secs_f64(),
+        throughput(popcount as usize, par_extract)
+    );
+
+    // Experiment 3: aggregation modes on an embedding-heavy query — a
+    // clique blow-up whose 3-edge path query produces far more embeddings
+    // than candidates, so delivery (not candidate generation) dominates.
+    let (data, query) = blowup(blowup_n, 3);
+    let matcher = Matcher::with_config(&data, MatchConfig::parallel(workers.min(cores.max(1))));
+    let modes: [(&'static str, AggregateMode); 4] = [
+        ("materialize", AggregateMode::Materialize),
+        ("count_only", AggregateMode::CountOnly),
+        (
+            "top_k",
+            AggregateMode::TopK {
+                k: 8,
+                score: ScoreFn::EdgeIdSum,
+            },
+        ),
+        (
+            "sampled",
+            AggregateMode::Sampled {
+                budget: 64,
+                seed: 42,
+            },
+        ),
+    ];
+    let mut points: Vec<ModePoint> = Vec::new();
+    println!("aggregate\tmode\twall_s\tembeddings\tmaterialized");
+    for (name, mode) in modes {
+        let (wall, out) = best_of(reps, || matcher.aggregate_with(&query, mode).unwrap());
+        println!(
+            "aggregate\t{name}\t{:.4}\t{}\t{}",
+            wall.as_secs_f64(),
+            out.count,
+            out.stats.metrics.materialized
+        );
+        points.push(ModePoint {
+            name,
+            wall,
+            count: out.count,
+            materialized: out.stats.metrics.materialized,
+        });
+    }
+    let exact = points[0].count;
+    assert!(exact > 0, "blow-up query found nothing");
+    for p in &points {
+        assert_eq!(p.count, exact, "{} disagrees on the exact count", p.name);
+    }
+    assert_eq!(points[1].materialized, 0, "count-only materialised");
+    let count_speedup = points[0].wall.as_secs_f64() / points[1].wall.as_secs_f64().max(1e-9);
+    println!("# count_only speedup over materialize: {count_speedup:.2}x");
+
+    // Gates.
+    let scale = compact_gate_scale(cores);
+    let compact_pass = compact_speedup >= scale;
+    let count_pass = count_speedup >= 3.0;
+    println!(
+        "# gate compact: parallel/sequential {compact_speedup:.2}x >= {scale:.2}x (cores={cores}) -> {}",
+        if compact_pass { "pass" } else { "FAIL" }
+    );
+    println!(
+        "# gate count_only: {count_speedup:.2}x >= 3.00x -> {}",
+        if count_pass { "pass" } else { "FAIL" }
+    );
+
+    if let Some(path) = json_path {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"host_cpus\": {cores}, \"participants\": {workers}, \"elements\": {elements}, \"blowup_n\": {blowup_n}, \"reps\": {reps},"
+        );
+        let _ = writeln!(
+            out,
+            "  \"compact\": {{\"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.4}}},",
+            seq_compact.as_secs_f64(),
+            par_compact.as_secs_f64(),
+            compact_speedup
+        );
+        let _ = writeln!(
+            out,
+            "  \"extract\": {{\"rows\": {popcount}, \"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.4}}},",
+            seq_extract.as_secs_f64(),
+            par_extract.as_secs_f64(),
+            extract_speedup
+        );
+        let _ = writeln!(
+            out,
+            "  \"aggregate\": {{\"embeddings\": {exact}, \"modes\": {{"
+        );
+        for (pi, p) in points.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"wall_s\": {:.6}, \"materialized\": {}}}{}",
+                p.name,
+                p.wall.as_secs_f64(),
+                p.materialized,
+                if pi + 1 < points.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  }}, \"count_only_speedup\": {count_speedup:.4}}},");
+        let _ = writeln!(
+            out,
+            "  \"gates\": {{\"compact_scale\": {scale:.4}, \"compact_pass\": {compact_pass}, \"count_only_target\": 3.0, \"count_only_pass\": {count_pass}}}"
+        );
+        out.push_str("}\n");
+        std::fs::write(&path, out).expect("write json report");
+        println!("# wrote {path}");
+    }
+
+    if check {
+        assert!(
+            compact_pass,
+            "compact gate: parallel {compact_speedup:.2}x < required {scale:.2}x (cores={cores})"
+        );
+        assert!(
+            count_pass,
+            "count-only gate: {count_speedup:.2}x < required 3.00x over materialize"
+        );
+        println!("# CHECK OK");
+    }
+}

@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 
 use hgmatch_core::operators::Dataflow;
 use hgmatch_core::serve::{MatchServer, QueryHandle, QueryOptions, ServeConfig};
-use hgmatch_core::{MatchConfig, Matcher};
+use hgmatch_core::{AggregateMode, AggregateSummary, MatchConfig, Matcher, ScoreFn};
 use hgmatch_datasets::{profile_by_name, sample_query, standard_settings};
 use hgmatch_hypergraph::io;
 
@@ -71,6 +71,9 @@ serve flags:
   --threads N       worker threads in the shared pool (default 4)
   --timeout SECS    per-query wall-clock budget (default: none)
   --max-results N   stop each query after N embeddings (default: none)
+  --agg MODE        aggregation mode per query (DESIGN.md §18.2):
+                    count | materialize | topk:K[:SCORE] | sample:BUDGET[:SEED]
+                    SCORE is edge_id_sum | min_edge | hash (default edge_id_sum)
   --repeat K        batch only: submit the list K times (plan-cache demo)
   --input FILE      serve only: read specs from FILE instead of stdin
   --quantum N       fairness quantum in tasks (default 64)
@@ -366,6 +369,57 @@ fn parse_timeout(value: Option<&String>) -> Result<Duration, String> {
     Duration::try_from_secs_f64(secs).map_err(|e| format!("--timeout {secs}: {e}"))
 }
 
+/// Parses a `--agg` operand:
+/// `count | materialize | topk:K[:SCORE] | sample:BUDGET[:SEED]`.
+/// The colon grammar keeps the mode one shell word — no sub-flags to
+/// misplace — and mirrors the HTTP front door's `aggregate` object
+/// (DESIGN.md §18.2).
+fn parse_agg(value: Option<&String>) -> Result<AggregateMode, String> {
+    let spec = value.ok_or("--agg needs a mode")?;
+    let mut parts = spec.split(':');
+    let head = parts.next().unwrap_or("");
+    let mode = match head {
+        "count" | "count_only" => AggregateMode::CountOnly,
+        "materialize" => AggregateMode::Materialize,
+        "topk" | "top_k" => {
+            let k: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or("--agg topk:K needs a positive K")?;
+            if k == 0 {
+                return Err("--agg topk:K needs a positive K".into());
+            }
+            let score = match parts.next() {
+                None => ScoreFn::EdgeIdSum,
+                Some(name) => ScoreFn::parse(name)
+                    .ok_or_else(|| format!("--agg topk: unknown score {name:?}"))?,
+            };
+            AggregateMode::TopK { k, score }
+        }
+        "sample" | "sampled" => {
+            let budget: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or("--agg sample:BUDGET needs a positive budget")?;
+            if budget == 0 {
+                return Err("--agg sample:BUDGET needs a positive budget".into());
+            }
+            let seed: u64 = match parts.next() {
+                None => 0,
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| "--agg sample seed must be an integer")?,
+            };
+            AggregateMode::Sampled { budget, seed }
+        }
+        other => return Err(format!("--agg: unknown mode {other:?}")),
+    };
+    if parts.next().is_some() {
+        return Err(format!("--agg: trailing fields in {spec:?}"));
+    }
+    Ok(mode)
+}
+
 /// Which serving subcommand is parsing flags (they share most but not all).
 #[derive(PartialEq, Eq, Clone, Copy)]
 enum ServeMode {
@@ -410,6 +464,10 @@ impl ServeCliOptions {
                             .and_then(|s| s.parse().ok())
                             .ok_or("--max-results needs a number")?,
                     );
+                }
+                "--agg" => {
+                    i += 1;
+                    per_query.aggregate = Some(parse_agg(args.get(i))?);
                 }
                 "--repeat" if mode == ServeMode::Batch => {
                     i += 1;
@@ -481,8 +539,31 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 fn print_outcome(name: &str, outcome: &hgmatch_core::QueryOutcome) {
+    let mut agg = format!("agg={}", outcome.aggregate.mode_name());
+    match &outcome.aggregate {
+        AggregateSummary::TopK { k, score, scores } => {
+            let best: Vec<String> = scores.iter().map(|s| s.to_string()).collect();
+            agg.push_str(&format!(
+                ":{k}:{} scores=[{}]",
+                score.name(),
+                best.join(","),
+            ));
+        }
+        AggregateSummary::Sampled {
+            budget,
+            seed,
+            sampled,
+            fraction,
+            ci95,
+        } => {
+            agg.push_str(&format!(
+                ":{budget}:{seed} sampled={sampled} fraction={fraction:.4} ci95={ci95:.4}"
+            ));
+        }
+        AggregateSummary::Materialized | AggregateSummary::Count => {}
+    }
     println!(
-        "{name}\t{status}\tembeddings={count}\telapsed={secs:.6}s\tqueue={queued:.6}s\texec={exec:.6}s\tplan_cached={cached}",
+        "{name}\t{status}\tembeddings={count}\telapsed={secs:.6}s\tqueue={queued:.6}s\texec={exec:.6}s\tplan_cached={cached}\t{agg}",
         status = outcome.status,
         count = outcome.count,
         secs = outcome.elapsed.as_secs_f64(),
@@ -510,6 +591,15 @@ fn print_aggregate(server: &MatchServer, served: usize, wall: Duration) {
         stats.assists,
         stats.timed_out,
         stats.limit_reached,
+    );
+    println!(
+        "results: {} found, {} materialized (modes: materialize={}, count={}, topk={}, sampled={})",
+        stats.results_found,
+        stats.results_materialized,
+        stats.queries_materialize,
+        stats.queries_count_only,
+        stats.queries_top_k,
+        stats.queries_sampled,
     );
     println!(
         "latency split: queue-wait {:.4}s total, execution {:.4}s total",
@@ -1250,10 +1340,15 @@ pub fn explain_observed_report(
             )
         })
         .collect();
+    // `materialized` counts embeddings actually handed to the sink as
+    // vectors (0 here: the observed run counts, it does not collect) —
+    // the same found-vs-materialized split `/metrics` exports
+    // (DESIGN.md §18.3).
     Ok(format!(
-        "{{\n  \"order\": {:?},\n  \"embeddings\": {},\n  \"steps\": [{}]\n}}\n",
+        "{{\n  \"order\": {:?},\n  \"embeddings\": {},\n  \"materialized\": {},\n  \"steps\": [{}]\n}}\n",
         plan.order(),
         m.embeddings,
+        m.materialized,
         steps.join(", ")
     ))
 }

@@ -305,6 +305,42 @@ fn batch_serves_query_list_on_shared_pool() {
     .expect("batch with limits works");
 }
 
+/// `--agg` selects the per-query aggregation mode (DESIGN.md §18.2) on
+/// both serving subcommands; malformed specs are flag errors, not panics.
+#[test]
+fn batch_and_serve_accept_agg_modes() {
+    let dir = TempDir::new("agg");
+    let (dl, de, list) = write_query_list(&dir);
+    for agg in [
+        "count",
+        "materialize",
+        "topk:2",
+        "topk:3:min_edge",
+        "sample:2:7",
+    ] {
+        run(&args(&["batch", &dl, &de, &list, "--agg", agg]))
+            .unwrap_or_else(|e| panic!("batch --agg {agg}: {e}"));
+    }
+    run(&args(&[
+        "serve", &dl, &de, "--input", &list, "--agg", "topk:1",
+    ]))
+    .expect("serve --agg works");
+    for bad in [
+        "median",
+        "topk",
+        "topk:0",
+        "topk:2:bogus",
+        "sample",
+        "sample:0",
+        "sample:2:x",
+        "count:1",
+    ] {
+        let err = run(&args(&["batch", &dl, &de, &list, "--agg", bad])).unwrap_err();
+        assert!(err.contains("--agg"), "{bad}: {err}");
+    }
+    assert!(run(&args(&["batch", &dl, &de, &list, "--agg"])).is_err());
+}
+
 #[test]
 fn serve_streams_from_input_file() {
     let dir = TempDir::new("serve");

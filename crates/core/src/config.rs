@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::aggregate::AggregateMode;
+
 /// Configuration shared by all executors.
 #[derive(Debug, Clone)]
 pub struct MatchConfig {
@@ -40,6 +42,11 @@ pub struct MatchConfig {
     /// re-optimization entirely (no feedback state is allocated).
     /// Overridable via `HGMATCH_REPLAN_RATIO`.
     pub replan_ratio: f64,
+    /// How results are aggregated (DESIGN.md §18.2). `Materialize`
+    /// preserves the pre-aggregation behaviour; the sink-construction
+    /// helpers ([`crate::Matcher::aggregate`], the serve layer's
+    /// per-query options) consult this as the default mode.
+    pub aggregate: AggregateMode,
 }
 
 /// Reads a `usize` environment override once per process (the CI stress
@@ -144,6 +151,7 @@ impl Default for MatchConfig {
             split_threshold: default_split_threshold(),
             split_chunk: default_split_chunk(),
             replan_ratio: default_replan_ratio(),
+            aggregate: AggregateMode::Materialize,
         }
     }
 }
@@ -199,6 +207,12 @@ impl MatchConfig {
         self.replan_ratio = ratio.max(0.0);
         self
     }
+
+    /// Sets the default aggregation mode, builder style.
+    pub fn with_aggregate(mut self, mode: AggregateMode) -> Self {
+        self.aggregate = mode;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +228,7 @@ mod tests {
         assert!(c.work_stealing);
         assert!(c.scan_chunk > 0);
         assert!(c.split_chunk > 0);
+        assert_eq!(c.aggregate, AggregateMode::Materialize);
     }
 
     #[test]

@@ -329,24 +329,27 @@ fn find_task<S: Sink>(
 }
 
 /// The one-shot engine's cooperative stop check: an already-raised abort
-/// flag is honoured every call (one relaxed load); the sink's satisfaction
-/// and the deadline are consulted every [`CHECK_INTERVAL`] calls.
+/// flag and the sink's satisfaction are honoured on *every* call (two
+/// cheap atomic loads — with counts flushing mid-task, a first-k limit
+/// must land within one probe of saturation, not one [`CHECK_INTERVAL`]
+/// window of ABORT_PROBE-sized strides); only the `Instant::now()`
+/// deadline check stays on the interval cadence.
 #[inline]
 fn check_abort<S: Sink>(shared: &Shared<'_, S>, checks: &mut u64) -> bool {
     *checks += 1;
-    if checks.is_multiple_of(CHECK_INTERVAL) || *checks == 1 {
-        if shared.abort.load(Ordering::Relaxed) {
-            return true;
-        }
-        if shared.sink.is_satisfied() {
-            shared.abort.store(true, Ordering::Relaxed);
-            return true;
-        }
-        if shared.deadline.is_some_and(|d| Instant::now() >= d) {
-            shared.abort.store(true, Ordering::Relaxed);
-            shared.timed_out.store(true, Ordering::Relaxed);
-            return true;
-        }
+    if shared.abort.load(Ordering::Relaxed) {
+        return true;
+    }
+    if shared.sink.is_satisfied() {
+        shared.abort.store(true, Ordering::Relaxed);
+        return true;
+    }
+    if (checks.is_multiple_of(CHECK_INTERVAL) || *checks == 1)
+        && shared.deadline.is_some_and(|d| Instant::now() >= d)
+    {
+        shared.abort.store(true, Ordering::Relaxed);
+        shared.timed_out.store(true, Ordering::Relaxed);
+        return true;
     }
     shared.abort.load(Ordering::Relaxed)
 }

@@ -31,11 +31,12 @@ use crossbeam::deque::{Steal, Stealer, Worker as Deque};
 use hgmatch_hypergraph::{Hypergraph, Partition};
 
 use crate::adaptive::AdaptiveState;
-use crate::candidates::{generate_candidates_with_abort, ExpansionState};
+use crate::candidates::{generate_candidates_dense, ExpansionState, GenOutput};
 use crate::config::MatchConfig;
 use crate::memory::MemoryTracker;
 use crate::metrics::MatchMetrics;
 use crate::plan::Plan;
+use crate::scan::ParallelExtract;
 use crate::sink::Sink;
 use crate::validate::{validate_candidate, ValidateScratch, Validation};
 
@@ -48,6 +49,14 @@ pub(crate) const CHECK_INTERVAL: u64 = 256;
 /// cancelled query releases its worker even mid-way through a huge
 /// candidate list.
 const ABORT_PROBE: usize = 1024;
+
+/// Deliveries batched before the sink's count is flushed mid-task. Counts
+/// used to flush only at task end, which starved `is_satisfied()` during
+/// one giant (possibly split) expansion: every stop probe saw a stale
+/// count and every participant validated its entire share past
+/// `max_results`. Small enough that a limit lands within one probe-ish of
+/// saturation, large enough that counting stays a batched atomic.
+const COUNT_FLUSH: u64 = 64;
 
 /// Partial embeddings of at most this many edges live inline in the task —
 /// no heap allocation on the expansion path. Queries with more hyperedges
@@ -103,10 +112,10 @@ pub(crate) struct SplitExpansion {
     /// The partial embedding this expansion extends (matching-order data
     /// edge ids; its length is the step index).
     emb: Vec<u32>,
-    /// Candidate local rows in the step's partition, as produced by
-    /// Algorithm 4 on the owning worker.
-    cands: Vec<u32>,
-    /// Next unclaimed index into `cands`; `fetch_add(chunk)` claims
+    /// The shared candidate range (materialised list or dense bitmap
+    /// pending extraction).
+    source: SplitSource,
+    /// Next unclaimed candidate index; `fetch_add(chunk)` claims
     /// `[old, old + chunk)`.
     next: AtomicUsize,
     /// Rows per claim.
@@ -118,12 +127,50 @@ pub(crate) struct SplitExpansion {
     ver: u32,
 }
 
+/// The candidate range of a [`SplitExpansion`], in one of two
+/// representations.
+#[derive(Debug)]
+pub(crate) enum SplitSource {
+    /// Algorithm 4 produced a materialised sorted row list on the owner.
+    List(Vec<u32>),
+    /// Generation ended on the dense bitmap representation and handed the
+    /// words over un-decoded ([`crate::candidates::GenOutput::Dense`]):
+    /// every participant first joins the block-state reduce-then-scan
+    /// extraction (DESIGN.md §18.1) before claiming validation chunks, so
+    /// the bitmap→list materialization itself is parallel across the same
+    /// assist tickets that parallelise validation.
+    Dense(ParallelExtract),
+}
+
 impl SplitExpansion {
     /// Heap bytes this shared expansion materialises (tracked against the
     /// query's [`MemoryTracker`]: allocated at split, released by the
     /// participant that claims the final chunk).
     fn bytes(&self) -> usize {
-        (self.emb.len() + self.cands.len()) * std::mem::size_of::<u32>()
+        self.emb.len() * std::mem::size_of::<u32>()
+            + match &self.source {
+                SplitSource::List(c) => c.len() * std::mem::size_of::<u32>(),
+                SplitSource::Dense(x) => x.bytes(),
+            }
+    }
+
+    /// Total candidate rows in the shared range.
+    fn total(&self) -> usize {
+        match &self.source {
+            SplitSource::List(c) => c.len(),
+            SplitSource::Dense(x) => x.len(),
+        }
+    }
+
+    /// Candidate row at index `i`. For a dense source this is only
+    /// meaningful once the shared extraction completed (participants run
+    /// it to completion before claiming).
+    #[inline]
+    fn row(&self, i: usize) -> u32 {
+        match &self.source {
+            SplitSource::List(c) => c[i],
+            SplitSource::Dense(x) => x.row(i),
+        }
     }
 
     /// The plan version this split's candidates belong to.
@@ -282,7 +329,7 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
     /// ticket popped after the range drained — or after the query stopped —
     /// degenerates to accounting.
     fn execute_assist(&mut self, shared: &SplitExpansion) {
-        if (self.abort)() || shared.next.load(Ordering::Relaxed) >= shared.cands.len() {
+        if (self.abort)() || shared.next.load(Ordering::Relaxed) >= shared.total() {
             return;
         }
         let step = &self.env.plan.steps()[shared.emb.len()];
@@ -343,22 +390,58 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
             return;
         };
         self.scratch.state.prepare(data, step, emb);
+        // Dense handoff floor: when a split could actually recruit peers
+        // (stealing on, threshold set, >1 worker), a bitmap accumulator at
+        // least this large skips the sequential decode entirely and is
+        // published as a shared parallel extraction instead. The floor
+        // guarantees the ticket formula below yields ≥ 1 for every dense
+        // return (`count - 1 >= chunk`), so a dense split always has a
+        // range worth sharing.
+        let cfg = self.env.config;
+        let chunk = cfg.split_chunk.max(1);
+        let dense_min = if cfg.split_threshold > 0 && cfg.work_stealing && cfg.threads > 1 {
+            cfg.split_threshold.max(chunk + 1)
+        } else {
+            0
+        };
         // Generation probes the abort signal at anchor/block boundaries
         // (compressed decodes and anchor-less scans can emit far more than
         // ABORT_PROBE rows in one call); a mid-generation abort leaves the
         // candidate buffer partial, so nothing below may run.
-        let Some(produced) = generate_candidates_with_abort(
+        let Some(out) = generate_candidates_dense(
             data,
             step,
             emb,
             &mut self.scratch.state,
-            self.env.config,
+            cfg,
+            dense_min,
             self.abort,
         ) else {
             self.metrics.expansions += 1;
             return;
         };
         self.metrics.expansions += 1;
+        let produced = match out {
+            GenOutput::List(n) => n,
+            GenOutput::Dense(count) => {
+                // The candidates are still the accumulator bitmap: publish
+                // it as a splittable expansion whose participants first run
+                // the shared reduce-then-scan extraction, then validate.
+                self.metrics.candidates += count as u64;
+                let words = self.scratch.state.take_acc_words();
+                let tickets = ((count as usize - 1) / chunk).min(cfg.threads - 1);
+                debug_assert!(tickets > 0, "dense_min guarantees a shareable range");
+                self.publish_split(
+                    emb,
+                    SplitSource::Dense(ParallelExtract::new(words, count)),
+                    count as u64,
+                    depth,
+                    chunk,
+                    tickets,
+                );
+                return;
+            }
+        };
         self.metrics.candidates += produced as u64;
         let partition = data.partition(pid);
         let last = depth + 1 == plan.len();
@@ -376,8 +459,6 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
         // plain serial loop below is strictly cheaper. With one worker
         // this also keeps delivery order exactly the sequential
         // executor's — the `max_results` determinism contract.
-        let cfg = self.env.config;
-        let chunk = cfg.split_chunk.max(1);
         let tickets =
             if cfg.split_threshold > 0 && cfg.work_stealing && cands.len() >= cfg.split_threshold {
                 ((cands.len() - 1) / chunk).min(cfg.threads.saturating_sub(1))
@@ -385,43 +466,14 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
                 0
             };
         if tickets > 0 {
-            let shared = Arc::new(SplitExpansion {
-                emb: emb.to_vec(),
-                // Copied, not moved: the Arc outlives this task on other
-                // workers' deques, so donating the scratch buffer would
-                // forfeit its warmed capacity on every split. One exact-size
-                // copy is cheaper than regrowing the buffer from empty past
-                // the (large) split threshold on the next expansion.
-                cands: cands.clone(),
-                next: AtomicUsize::new(0),
-                chunk,
-                ver: self.env.ver,
-            });
+            // Copied, not moved: the Arc outlives this task on other
+            // workers' deques, so donating the scratch buffer would
+            // forfeit its warmed capacity on every split. One exact-size
+            // copy is cheaper than regrowing the buffer from empty past
+            // the (large) split threshold on the next expansion.
+            let source = SplitSource::List(cands.clone());
             self.scratch.state.candidates = cands;
-            // The shared buffers are materialised state that outlives this
-            // task (they stay live until the range drains), so they count
-            // against the query's memory bound like queued embeddings do.
-            self.env.tracker.alloc(shared.bytes());
-            self.metrics.split_expansions += 1;
-            // Re-planning is suppressed from publication until the range
-            // drains (`split_finished` in the claim loop); the candidates
-            // still feed the observed counts so the trigger re-checks at
-            // the next boundary once the splits are gone.
-            self.metrics.steps.record_candidates(depth, produced as u64);
-            if let Some(ad) = self.env.adaptive {
-                ad.split_started();
-                ad.observe(depth, produced as u64, 0);
-            }
-            // Tickets are pushed *before* the owner starts validating, so
-            // they sit at the cold end of its LIFO deque — exactly where
-            // thieves steal from — while the children spawned below stack
-            // on the hot end for the owner's own depth-first descent.
-            for _ in 0..tickets {
-                (self.emit)(Task::Assist {
-                    shared: Arc::clone(&shared),
-                });
-            }
-            self.run_split(&shared, true);
+            self.publish_split(emb, source, produced as u64, depth, chunk, tickets);
             return;
         }
 
@@ -458,15 +510,76 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
         self.scratch.valid = valid;
     }
 
+    /// Publishes a splittable expansion (DESIGN.md §12): moves the
+    /// candidate range into shared ownership, accounts it, emits `tickets`
+    /// assist tickets for idle peers, and joins the claim loop as owner.
+    ///
+    /// Tickets are pushed *before* the owner starts validating, so they
+    /// sit at the cold end of its LIFO deque — exactly where thieves steal
+    /// from — while the children spawned by the claim loop stack on the
+    /// hot end for the owner's own depth-first descent.
+    fn publish_split(
+        &mut self,
+        emb: &[u32],
+        source: SplitSource,
+        produced: u64,
+        depth: usize,
+        chunk: usize,
+        tickets: usize,
+    ) {
+        let shared = Arc::new(SplitExpansion {
+            emb: emb.to_vec(),
+            source,
+            next: AtomicUsize::new(0),
+            chunk,
+            ver: self.env.ver,
+        });
+        // The shared buffers are materialised state that outlives this
+        // task (they stay live until the range drains), so they count
+        // against the query's memory bound like queued embeddings do.
+        self.env.tracker.alloc(shared.bytes());
+        self.metrics.split_expansions += 1;
+        // Re-planning is suppressed from publication until the range
+        // drains (`split_finished` in the claim loop); the candidates
+        // still feed the observed counts so the trigger re-checks at
+        // the next boundary once the splits are gone.
+        self.metrics.steps.record_candidates(depth, produced);
+        if let Some(ad) = self.env.adaptive {
+            ad.split_started();
+            ad.observe(depth, produced, 0);
+        }
+        for _ in 0..tickets {
+            (self.emit)(Task::Assist {
+                shared: Arc::clone(&shared),
+            });
+        }
+        self.run_split(&shared, true);
+    }
+
     /// The work-assisting claim loop: claims disjoint chunks of `shared`'s
     /// candidate range until it drains, validating each row and spawning
     /// this participant's share of child expansions locally (so the assist
     /// hands the thief a subtree to descend, not a one-off batch).
     ///
+    /// A dense source has a phase before the claims: every participant
+    /// joins the shared reduce-then-scan extraction until *all* blocks are
+    /// emitted (late joiners shorten it; a lone owner degenerates to a
+    /// sequential decode), because claimed validation ranges index the
+    /// extracted output.
+    ///
     /// [`ExpansionState::prepare`] must have run for `shared.emb` on this
     /// worker's scratch (the owner did so before generating candidates;
     /// [`Exec::execute_assist`] does it for thieves).
     fn run_split(&mut self, shared: &SplitExpansion, owner: bool) {
+        if let SplitSource::Dense(extract) = &shared.source {
+            if !extract.run(self.abort) {
+                // Aborted mid-extraction: the query is stopping, so no
+                // claims are made (rows may be partial garbage). The
+                // stop signal is sticky — every other participant bails
+                // the same way, so nobody reads the partial output.
+                return;
+            }
+        }
         let depth = shared.emb.len();
         let plan = self.env.plan;
         let step = &plan.steps()[depth];
@@ -475,7 +588,7 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
         };
         let partition = self.env.data.partition(pid);
         let last = depth + 1 == plan.len();
-        let total = shared.cands.len();
+        let total = shared.total();
         let mut valid = std::mem::take(&mut self.scratch.valid);
         valid.clear();
         let mut aborted = false;
@@ -502,11 +615,12 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
                     ad.split_finished();
                 }
             }
-            for (i, &row) in shared.cands[start..end].iter().enumerate() {
+            for (i, idx) in (start..end).enumerate() {
                 if i % ABORT_PROBE == ABORT_PROBE - 1 && (self.abort)() {
                     aborted = true;
                     break 'claim;
                 }
+                let row = shared.row(idx);
                 self.validate_row(partition, step, depth, &shared.emb, row, last, &mut valid);
             }
             // Per-chunk probe: stop claiming promptly once the query stops
@@ -623,10 +737,18 @@ impl<S: Sink + ?Sized> Exec<'_, '_, S> {
     fn deliver_full(&mut self) {
         self.metrics.embeddings += 1;
         self.delivered += 1;
-        // Counts are batched per task (`flush_counts`) so counting costs no
-        // shared atomic per embedding.
+        // Counts are batched (`flush_counts`) so counting costs a shared
+        // atomic once per COUNT_FLUSH deliveries, not per embedding — but
+        // they must flush *during* the task, not only at its end: a
+        // `max_results` stop probes `is_satisfied()` mid-expansion, and a
+        // count that only advances at task boundaries lets one giant
+        // (split) expansion validate its whole range past the limit.
         self.uncounted += 1;
+        if self.uncounted >= COUNT_FLUSH {
+            self.flush_counts();
+        }
         if self.env.sink.needs_embeddings() {
+            self.metrics.materialized += 1;
             self.env
                 .plan
                 .to_query_order_into(&self.scratch.full, &mut self.scratch.ordered);
@@ -786,7 +908,7 @@ mod tests {
         assert!(produced > 0);
         let shared = Arc::new(SplitExpansion {
             emb,
-            cands: std::mem::take(&mut state.candidates),
+            source: SplitSource::List(std::mem::take(&mut state.candidates)),
             next: AtomicUsize::new(0),
             chunk: 2,
             ver: 0,

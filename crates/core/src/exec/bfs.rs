@@ -149,6 +149,7 @@ impl BfsExecutor {
             metrics.embeddings = level.len() as u64;
             sink.add_count(level.len() as u64);
             if sink.needs_embeddings() {
+                metrics.materialized = level.len() as u64;
                 for emb in &level {
                     sink.consume(&plan.to_query_order(emb));
                 }

@@ -186,6 +186,7 @@ impl<S: Sink> Dfs<'_, S> {
         self.metrics.embeddings += 1;
         self.pending_count += 1;
         if self.sink.needs_embeddings() {
+            self.metrics.materialized += 1;
             let ordered = self.plan.to_query_order(&self.emb);
             self.sink.consume(&ordered);
         }

@@ -67,6 +67,7 @@
 //! ```
 
 pub(crate) mod adaptive;
+pub mod aggregate;
 pub mod candidates;
 pub mod config;
 pub mod cost;
@@ -82,18 +83,20 @@ pub mod metrics;
 pub mod operators;
 pub mod plan;
 pub mod query;
+pub mod scan;
 pub mod serve;
 pub mod sink;
 pub mod validate;
 
+pub use aggregate::{AggregateMode, AggregateSummary, ScoreFn};
 pub use config::MatchConfig;
 pub use cost::{CostModel, Explain, OrderEstimate, StepEstimate};
 pub use delta::{delta_match, DeltaBatch, DeltaOutcome};
 pub use embedding::Embedding;
 pub use error::{MatchError, Result};
-pub use matcher::Matcher;
+pub use matcher::{AggregateOutcome, Matcher};
 pub use metrics::{MatchMetrics, StepCounts, MAX_PLAN_STEPS};
 pub use plan::{Plan, Planner};
 pub use query::{validate_query_shape, QueryGraph, MAX_QUERY_EDGES};
 pub use serve::{MatchServer, QueryHandle, QueryOptions, QueryOutcome, QueryStatus, ServeConfig};
-pub use sink::{CollectSink, CountSink, FirstKSink, Sink};
+pub use sink::{CollectSink, CountSink, FirstKSink, SampleSink, Sink, TopKSink};

@@ -7,6 +7,7 @@
 
 use hgmatch_hypergraph::Hypergraph;
 
+use crate::aggregate::{ci95_half_width, AggregateMode, AggregateSummary};
 use crate::config::MatchConfig;
 use crate::embedding::Embedding;
 use crate::engine::ParallelEngine;
@@ -14,7 +15,24 @@ use crate::error::Result;
 use crate::exec::{RunStats, SequentialExecutor};
 use crate::plan::{Plan, Planner};
 use crate::query::QueryGraph;
-use crate::sink::{CollectSink, CountSink, FirstKSink, Sink};
+use crate::sink::{CollectSink, CountSink, FirstKSink, SampleSink, Sink, TopKSink};
+
+/// Result of [`Matcher::aggregate`]: the exact embedding count, whatever
+/// embeddings the mode kept, the mode-specific summary and the run's
+/// execution statistics.
+#[derive(Debug)]
+pub struct AggregateOutcome {
+    /// Exact number of embeddings found (all modes count exactly).
+    pub count: u64,
+    /// Embeddings the mode kept: everything (sorted) under materialize,
+    /// `None` under count-only, the best k (best first) under top-k, the
+    /// sample (sorted) under sampled.
+    pub embeddings: Option<Vec<Embedding>>,
+    /// Mode-specific summary (top-k scores, sample confidence bounds, …).
+    pub summary: AggregateSummary,
+    /// Execution statistics of the run.
+    pub stats: RunStats,
+}
 
 /// Matches query hypergraphs against one indexed data hypergraph.
 ///
@@ -119,6 +137,81 @@ impl<'a> Matcher<'a> {
         Ok(!self.find_first(query, 1)?.is_empty())
     }
 
+    /// Runs `query` under the configured aggregation mode
+    /// ([`MatchConfig::aggregate`]): exact count plus whatever embeddings
+    /// the mode keeps (DESIGN.md §18.2).
+    pub fn aggregate(&self, query: &Hypergraph) -> Result<AggregateOutcome> {
+        self.aggregate_with(query, self.config.aggregate)
+    }
+
+    /// Runs `query` under an explicit aggregation mode, overriding the
+    /// configured one.
+    pub fn aggregate_with(
+        &self,
+        query: &Hypergraph,
+        mode: AggregateMode,
+    ) -> Result<AggregateOutcome> {
+        Ok(match mode {
+            AggregateMode::Materialize => {
+                let sink = CollectSink::new();
+                let stats = self.run(query, &sink)?;
+                let embeddings = sink.into_results();
+                AggregateOutcome {
+                    count: embeddings.len() as u64,
+                    embeddings: Some(embeddings),
+                    summary: AggregateSummary::Materialized,
+                    stats,
+                }
+            }
+            AggregateMode::CountOnly => {
+                let sink = CountSink::new();
+                let stats = self.run(query, &sink)?;
+                AggregateOutcome {
+                    count: sink.count(),
+                    embeddings: None,
+                    summary: AggregateSummary::Count,
+                    stats,
+                }
+            }
+            AggregateMode::TopK { k, score } => {
+                let sink = TopKSink::new(k, score);
+                let stats = self.run(query, &sink)?;
+                let count = sink.count();
+                let (embeddings, scores) = sink.into_results();
+                AggregateOutcome {
+                    count,
+                    embeddings: Some(embeddings),
+                    summary: AggregateSummary::TopK { k, score, scores },
+                    stats,
+                }
+            }
+            AggregateMode::Sampled { budget, seed } => {
+                let sink = SampleSink::new(budget, seed);
+                let stats = self.run(query, &sink)?;
+                let count = sink.count();
+                let embeddings = sink.into_results();
+                let sampled = embeddings.len() as u64;
+                let fraction = if count == 0 {
+                    1.0
+                } else {
+                    sampled as f64 / count as f64
+                };
+                AggregateOutcome {
+                    count,
+                    embeddings: Some(embeddings),
+                    summary: AggregateSummary::Sampled {
+                        budget,
+                        seed,
+                        sampled,
+                        fraction,
+                        ci95: ci95_half_width(sampled, count),
+                    },
+                    stats,
+                }
+            }
+        })
+    }
+
     /// Runs `query` into `sink` with the configured executor. Parallel
     /// runs additionally re-optimize mid-query when observed candidate
     /// counts cross [`MatchConfig::replan_ratio`] × the plan's estimate
@@ -203,6 +296,58 @@ mod tests {
         let (count, stats) = m.count_with_stats(&query).unwrap();
         assert_eq!(count, 2);
         assert_eq!(stats.workers.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_modes_agree_on_count() {
+        use crate::aggregate::ScoreFn;
+        let data = paper_data();
+        let query = paper_query();
+        let m = Matcher::new(&data);
+        let full = m
+            .aggregate_with(&query, AggregateMode::Materialize)
+            .unwrap();
+        let count = m.aggregate_with(&query, AggregateMode::CountOnly).unwrap();
+        let topk = m
+            .aggregate_with(
+                &query,
+                AggregateMode::TopK {
+                    k: 1,
+                    score: ScoreFn::EdgeIdSum,
+                },
+            )
+            .unwrap();
+        let sampled = m
+            .aggregate_with(&query, AggregateMode::Sampled { budget: 1, seed: 7 })
+            .unwrap();
+        assert_eq!(full.count, 2);
+        assert_eq!(count.count, 2);
+        assert_eq!(topk.count, 2);
+        assert_eq!(sampled.count, 2);
+        assert!(count.embeddings.is_none());
+        assert_eq!(full.embeddings.as_ref().unwrap().len(), 2);
+        assert_eq!(topk.embeddings.as_ref().unwrap().len(), 1);
+        assert_eq!(sampled.embeddings.as_ref().unwrap().len(), 1);
+        // The top-1 by edge-id sum is the max-sum member of the full set.
+        let best = full
+            .embeddings
+            .unwrap()
+            .into_iter()
+            .max_by_key(|e| e.raw().iter().map(|&x| x as u64).sum::<u64>())
+            .unwrap();
+        assert_eq!(topk.embeddings.unwrap()[0], best);
+        // The sample is a member of the full result set.
+        match sampled.summary {
+            AggregateSummary::Sampled {
+                sampled: n,
+                fraction,
+                ..
+            } => {
+                assert_eq!(n, 1);
+                assert!((fraction - 0.5).abs() < 1e-9);
+            }
+            other => panic!("unexpected summary {other:?}"),
+        }
     }
 
     #[test]

@@ -110,7 +110,15 @@ pub struct MatchMetrics {
     /// (partial) embeddings produced by EXPAND.
     pub validated: u64,
     /// Complete embeddings delivered to the sink (Fig. 9 "Embeddings").
+    /// Counting is exact in every aggregation mode; this is the logical
+    /// result count, not an allocation count.
     pub embeddings: u64,
+    /// Embeddings actually *materialised* (converted to query order and
+    /// handed to `Sink::consume`). Zero in count-only mode; ≤ `embeddings`
+    /// always. Keeping this separate from `embeddings` is what lets
+    /// `/metrics` and `explain --observed` report bulk-counted results
+    /// without claiming they were allocated (DESIGN.md §18.3).
+    pub materialized: u64,
     /// EXPAND invocations (one per partial embedding per step).
     pub expansions: u64,
     /// Expansions whose candidate range was published as splittable
@@ -139,6 +147,7 @@ impl MatchMetrics {
         self.filtered += other.filtered;
         self.validated += other.validated;
         self.embeddings += other.embeddings;
+        self.materialized += other.materialized;
         self.expansions += other.expansions;
         self.split_expansions += other.split_expansions;
         self.assist_chunks += other.assist_chunks;
@@ -155,6 +164,7 @@ impl MatchMetrics {
             && self.filtered == 0
             && self.validated == 0
             && self.embeddings == 0
+            && self.materialized == 0
             && self.expansions == 0
             && self.split_expansions == 0
             && self.assist_chunks == 0
@@ -193,6 +203,7 @@ mod tests {
             filtered: 8,
             validated: 7,
             embeddings: 3,
+            materialized: 3,
             expansions: 5,
             split_expansions: 2,
             assist_chunks: 4,
@@ -205,6 +216,7 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.candidates, 20);
         assert_eq!(a.embeddings, 6);
+        assert_eq!(a.materialized, 6);
         assert_eq!(a.expansions, 10);
         assert_eq!(a.split_expansions, 4);
         assert_eq!(a.assist_chunks, 8);

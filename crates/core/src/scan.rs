@@ -1,0 +1,479 @@
+//! Block-state reduce-then-scan primitives (DESIGN.md §18).
+//!
+//! The result pipeline has three stages that produce *dense* output from
+//! *positionally known* input — bitmap→list materialization, compaction of
+//! filtered candidate lists, and result aggregation — and all three share
+//! one structural problem: every output element's position depends on how
+//! many elements every *earlier* input block contributed. The classic
+//! answer is a reduce-then-scan over fixed-size blocks with decoupled
+//! lookback (the same block-state loop at the core of the related
+//! work-assisting codebases, see SNIPPETS.md):
+//!
+//! 1. **claim** — participants grab block indexes from one atomic counter
+//!    (`fetch_add`, the exact exactly-once idiom of the engine's
+//!    `SplitExpansion` claim loop);
+//! 2. **reduce** — the claimer counts its block's contribution and
+//!    publishes it as an `AGGREGATE` in the block's state word;
+//! 3. **lookback** — it walks preceding block states backwards, summing
+//!    aggregates until it meets an inclusive `PREFIX`, which yields its own
+//!    exclusive prefix (its output offset) without waiting for a global
+//!    barrier;
+//! 4. **emit** — it writes its block's output at that offset (slots are
+//!    disjoint across blocks, so emission is write-once and lock-free) and
+//!    publishes its own inclusive `PREFIX` for successors.
+//!
+//! Deadlock freedom: blocks are claimed in monotonically increasing order
+//! and every claimed block publishes its `AGGREGATE` *before* its own
+//! lookback, so a lookback only ever waits on strictly older blocks whose
+//! claimers are past their reduce — block 0 publishes a `PREFIX` outright
+//! and terminates every chain. With one participant the loop degenerates
+//! to a sequential running prefix (no spinning, no contention), which is
+//! why the same code also backs the single-threaded entry points
+//! ([`extract_bits_into`], [`compact_into`]) used inside candidate
+//! generation.
+//!
+//! [`ParallelExtract`] (bitmap words → sorted row list) is wired into the
+//! engine's work-assisting splits: a dense expansion publishes its
+//! accumulator bitmap instead of a materialised list, and every
+//! participant — owner and assist-ticket thieves alike — first helps drain
+//! the extraction blocks, then moves on to validating the extracted rows
+//! (`engine::task::SplitSource::Dense`). [`ParallelCompact`] is the same
+//! loop over a predicate filter, benchmarked by the `result_pipeline` bin.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Words per extraction block: 64 words = 4096 row bits, matching the
+/// engine's `ABORT_PROBE` granularity so one block is one probe budget.
+pub const BLOCK_WORDS: usize = 64;
+
+/// Elements per compaction block.
+pub const BLOCK_ELEMS: usize = 4096;
+
+/// Block states, packed into one `AtomicU64` per block: tag in the top two
+/// bits, the 62-bit count below. Counts are element counts of `u32`-indexed
+/// inputs, so 62 bits never saturate.
+// TAG 0 (all-zero state word) means "empty: nothing published yet".
+const TAG_AGGREGATE: u64 = 1;
+const TAG_PREFIX: u64 = 2;
+const TAG_SHIFT: u32 = 62;
+const VALUE_MASK: u64 = (1 << TAG_SHIFT) - 1;
+
+#[inline]
+fn pack(tag: u64, value: u64) -> u64 {
+    debug_assert!(value <= VALUE_MASK);
+    (tag << TAG_SHIFT) | value
+}
+
+/// Shared per-block bookkeeping of one reduce-then-scan: the block-state
+/// words, the claim counter and the completion counter.
+#[derive(Debug)]
+struct BlockLedger {
+    states: Box<[AtomicU64]>,
+    next: AtomicUsize,
+    remaining: AtomicUsize,
+}
+
+impl BlockLedger {
+    fn new(blocks: usize) -> Self {
+        Self {
+            states: (0..blocks).map(|_| AtomicU64::new(0)).collect(),
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(blocks),
+        }
+    }
+
+    /// Claims the next unprocessed block (monotonic, exactly-once).
+    #[inline]
+    fn claim(&self) -> Option<usize> {
+        let b = self.next.fetch_add(1, Ordering::Relaxed);
+        (b < self.states.len()).then_some(b)
+    }
+
+    /// Decoupled lookback: resolves block `b`'s *exclusive* prefix by
+    /// walking predecessors backwards, summing `AGGREGATE`s until an
+    /// inclusive `PREFIX` terminates the chain. Spins (with abort polls)
+    /// on a predecessor that has not yet published anything. Returns
+    /// `None` on abort.
+    fn exclusive_prefix(&self, b: usize, abort: &mut dyn FnMut() -> bool) -> Option<u64> {
+        let mut sum = 0u64;
+        let mut i = b;
+        while i > 0 {
+            i -= 1;
+            loop {
+                let s = self.states[i].load(Ordering::Acquire);
+                match s >> TAG_SHIFT {
+                    TAG_PREFIX => return Some(sum + (s & VALUE_MASK)),
+                    TAG_AGGREGATE => {
+                        sum += s & VALUE_MASK;
+                        break;
+                    }
+                    _ => {
+                        if abort() {
+                            return None;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+        Some(sum)
+    }
+
+    /// Marks one block fully emitted; all blocks done ⇒ output readable.
+    #[inline]
+    fn finish_block(&self) {
+        self.remaining.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Waits (yielding) until every block has been emitted — participants
+    /// that drained the claim counter may still be behind a straggler
+    /// finishing its last block. Returns `false` on abort.
+    fn wait_done(&self, abort: &mut dyn FnMut() -> bool) -> bool {
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            if abort() {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+}
+
+/// Shared-state parallel bitmap→list materialization: decodes the set bits
+/// of a word array into a pre-sized output of sorted row ids. Any number
+/// of participants may call [`ParallelExtract::run`] concurrently; each
+/// runs the claim→reduce→lookback→emit loop until the blocks drain.
+#[derive(Debug)]
+pub struct ParallelExtract {
+    words: Box<[u64]>,
+    ledger: BlockLedger,
+    out: Box<[AtomicU32]>,
+}
+
+impl ParallelExtract {
+    /// Wraps `words` (bitmap backing store, bit `i` at `words[i>>6]`) whose
+    /// total popcount is `count`. The output is sized exactly — the reduce
+    /// pass re-derives per-block counts, the caller supplies the total.
+    pub fn new(words: Vec<u64>, count: u32) -> Self {
+        debug_assert_eq!(
+            words.iter().map(|w| w.count_ones() as u64).sum::<u64>(),
+            count as u64
+        );
+        let blocks = words.len().div_ceil(BLOCK_WORDS);
+        Self {
+            words: words.into_boxed_slice(),
+            ledger: BlockLedger::new(blocks),
+            out: (0..count).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Number of rows the extraction produces.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether the extraction produces no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Heap bytes of the shared state (words + output slots).
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8 + self.out.len() * 4
+    }
+
+    /// Participates in the extraction until every block is claimed *and
+    /// emitted*, so on a `true` return the whole output is readable.
+    /// Returns `false` if `abort` fired (the output is then partial and
+    /// must not be read).
+    pub fn run(&self, abort: &mut dyn FnMut() -> bool) -> bool {
+        while let Some(b) = self.ledger.claim() {
+            if abort() {
+                return false;
+            }
+            let lo = b * BLOCK_WORDS;
+            let hi = (lo + BLOCK_WORDS).min(self.words.len());
+            let block = &self.words[lo..hi];
+            // Reduce: this block's contribution to the output length.
+            let agg: u64 = block.iter().map(|w| w.count_ones() as u64).sum();
+            let excl = if b == 0 {
+                0
+            } else {
+                self.ledger.states[b].store(pack(TAG_AGGREGATE, agg), Ordering::Release);
+                match self.ledger.exclusive_prefix(b, abort) {
+                    Some(p) => p,
+                    None => return false,
+                }
+            };
+            // Emit: decode the block's bits at the resolved offset. Slots
+            // are disjoint across blocks, so relaxed stores suffice — the
+            // ledger's Release/Acquire on `remaining` publishes them.
+            let mut idx = excl as usize;
+            for (wi, &word) in block.iter().enumerate() {
+                let base = ((lo + wi) as u32) << 6;
+                let mut w = word;
+                while w != 0 {
+                    self.out[idx].store(base + w.trailing_zeros(), Ordering::Relaxed);
+                    idx += 1;
+                    w &= w - 1;
+                }
+            }
+            self.ledger.states[b].store(pack(TAG_PREFIX, excl + agg), Ordering::Release);
+            self.ledger.finish_block();
+        }
+        self.ledger.wait_done(abort)
+    }
+
+    /// Reads row `i` of the extracted output. Only meaningful after a
+    /// participant's [`ParallelExtract::run`] returned `true`.
+    #[inline]
+    pub fn row(&self, i: usize) -> u32 {
+        self.out[i].load(Ordering::Relaxed)
+    }
+}
+
+/// Shared-state parallel compaction: keeps the elements of `input` that
+/// satisfy `keep`, preserving order, with the same claim→reduce→lookback→
+/// emit loop ([`ParallelExtract`] describes the protocol). The reduce pass
+/// evaluates the predicate once per element to size the block, the emit
+/// pass once more to place survivors — the standard two-touch trade of a
+/// parallel compact, paid only on the multi-participant path.
+#[derive(Debug)]
+pub struct ParallelCompact<'a, F: Fn(u32) -> bool + Sync> {
+    input: &'a [u32],
+    keep: F,
+    ledger: BlockLedger,
+    out: Box<[AtomicU32]>,
+    total: AtomicU64,
+}
+
+impl<'a, F: Fn(u32) -> bool + Sync> ParallelCompact<'a, F> {
+    /// Prepares a compaction of `input` through `keep`. The output buffer
+    /// is sized for the worst case (everything kept).
+    pub fn new(input: &'a [u32], keep: F) -> Self {
+        let blocks = input.len().div_ceil(BLOCK_ELEMS);
+        Self {
+            input,
+            keep,
+            ledger: BlockLedger::new(blocks),
+            out: (0..input.len()).map(|_| AtomicU32::new(0)).collect(),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Participates until every block is claimed and emitted (see
+    /// [`ParallelExtract::run`]). Returns `false` on abort.
+    pub fn run(&self, abort: &mut dyn FnMut() -> bool) -> bool {
+        let blocks = self.input.len().div_ceil(BLOCK_ELEMS);
+        while let Some(b) = self.ledger.claim() {
+            if abort() {
+                return false;
+            }
+            let lo = b * BLOCK_ELEMS;
+            let hi = (lo + BLOCK_ELEMS).min(self.input.len());
+            let block = &self.input[lo..hi];
+            let agg = block.iter().filter(|&&x| (self.keep)(x)).count() as u64;
+            let excl = if b == 0 {
+                0
+            } else {
+                self.ledger.states[b].store(pack(TAG_AGGREGATE, agg), Ordering::Release);
+                match self.ledger.exclusive_prefix(b, abort) {
+                    Some(p) => p,
+                    None => return false,
+                }
+            };
+            let mut idx = excl as usize;
+            for &x in block {
+                if (self.keep)(x) {
+                    self.out[idx].store(x, Ordering::Relaxed);
+                    idx += 1;
+                }
+            }
+            if b + 1 == blocks {
+                self.total.store(excl + agg, Ordering::Release);
+            }
+            self.ledger.states[b].store(pack(TAG_PREFIX, excl + agg), Ordering::Release);
+            self.ledger.finish_block();
+        }
+        self.ledger.wait_done(abort)
+    }
+
+    /// Number of kept elements. Only meaningful after a participant's
+    /// [`ParallelCompact::run`] returned `true`.
+    pub fn len(&self) -> usize {
+        self.total.load(Ordering::Acquire) as usize
+    }
+
+    /// Whether nothing survived (see [`ParallelCompact::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends the compacted elements to `out`. Only meaningful after a
+    /// participant's [`ParallelCompact::run`] returned `true`.
+    pub fn collect_into(&self, out: &mut Vec<u32>) {
+        let n = self.len();
+        out.reserve(n);
+        for slot in &self.out[..n] {
+            out.push(slot.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// Single-participant bitmap→list materialization: the same block loop
+/// with the lookback degenerated to a running prefix (block `b`'s
+/// predecessor is always `PREFIX`-complete when one thread claims in
+/// order), so it touches no atomics. Appends the set bits of `words`,
+/// ascending, to `out`.
+pub fn extract_bits_into(words: &[u64], out: &mut Vec<u32>) {
+    let mut lo = 0usize;
+    while lo < words.len() {
+        let hi = (lo + BLOCK_WORDS).min(words.len());
+        let block = &words[lo..hi];
+        // Reduce: reserve the block's exact contribution before emitting,
+        // so a dense block never re-allocates mid-decode.
+        let agg: usize = block.iter().map(|w| w.count_ones() as usize).sum();
+        out.reserve(agg);
+        for (wi, &word) in block.iter().enumerate() {
+            let base = ((lo + wi) as u32) << 6;
+            let mut w = word;
+            while w != 0 {
+                out.push(base + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+        lo = hi;
+    }
+}
+
+/// Single-participant compaction: clears `out`, then appends the elements
+/// of `input` that satisfy `keep`, preserving order, block by block.
+pub fn compact_into(input: &[u32], out: &mut Vec<u32>, mut keep: impl FnMut(u32) -> bool) {
+    out.clear();
+    let mut lo = 0usize;
+    while lo < input.len() {
+        let hi = (lo + BLOCK_ELEMS).min(input.len());
+        out.extend(input[lo..hi].iter().copied().filter(|&x| keep(x)));
+        lo = hi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgmatch_hypergraph::bitmap::Bitmap;
+
+    fn never() -> impl FnMut() -> bool {
+        || false
+    }
+
+    #[test]
+    fn sequential_extract_matches_bitmap() {
+        let ids: Vec<u32> = (0..20_000).filter(|i| i % 7 == 0 || i % 11 == 3).collect();
+        let bm = Bitmap::from_sorted(&ids, 20_000);
+        let mut out = Vec::new();
+        extract_bits_into(bm.words(), &mut out);
+        assert_eq!(out, ids);
+    }
+
+    #[test]
+    fn sequential_compact_filters_in_order() {
+        let input: Vec<u32> = (0..10_000).rev().collect();
+        let mut out = vec![99]; // compact_into clears
+        compact_into(&input, &mut out, |x| x % 3 == 0);
+        let expect: Vec<u32> = (0..10_000).rev().filter(|x| x % 3 == 0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_extract_single_participant() {
+        let ids: Vec<u32> = (0..50_000).filter(|i| i % 13 != 5).collect();
+        let bm = Bitmap::from_sorted(&ids, 50_000);
+        let count = bm.count_ones();
+        let px = ParallelExtract::new(bm.words().to_vec(), count);
+        assert!(px.run(&mut never()));
+        let got: Vec<u32> = (0..px.len()).map(|i| px.row(i)).collect();
+        assert_eq!(got, ids);
+    }
+
+    #[test]
+    fn parallel_extract_many_participants() {
+        let ids: Vec<u32> = (0..300_000)
+            .filter(|i: &u32| i.wrapping_mul(2654435761) % 5 < 3)
+            .collect();
+        let bm = Bitmap::from_sorted(&ids, 300_000);
+        let px = ParallelExtract::new(bm.words().to_vec(), bm.count_ones());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| assert!(px.run(&mut never())));
+            }
+        });
+        let got: Vec<u32> = (0..px.len()).map(|i| px.row(i)).collect();
+        assert_eq!(got, ids);
+    }
+
+    #[test]
+    fn parallel_extract_empty_and_tiny() {
+        let px = ParallelExtract::new(Vec::new(), 0);
+        assert!(px.run(&mut never()));
+        assert_eq!(px.len(), 0);
+        assert!(px.is_empty());
+
+        let bm = Bitmap::from_sorted(&[3], 64);
+        let px = ParallelExtract::new(bm.words().to_vec(), 1);
+        assert!(px.run(&mut never()));
+        assert_eq!((px.len(), px.row(0)), (1, 3));
+    }
+
+    #[test]
+    fn parallel_extract_abort_stops() {
+        let ids: Vec<u32> = (0..100_000).collect();
+        let bm = Bitmap::from_sorted(&ids, 100_000);
+        let px = ParallelExtract::new(bm.words().to_vec(), bm.count_ones());
+        let mut calls = 0u32;
+        let aborted = !px.run(&mut || {
+            calls += 1;
+            calls > 2
+        });
+        assert!(aborted, "abort mid-extraction must report failure");
+    }
+
+    #[test]
+    fn parallel_compact_matches_sequential() {
+        let input: Vec<u32> = (0..200_000u32)
+            .map(|i| i.wrapping_mul(48271) % 65_536)
+            .collect();
+        let keep = |x: u32| x.is_multiple_of(2);
+        let mut expect = Vec::new();
+        compact_into(&input, &mut expect, keep);
+
+        let pc = ParallelCompact::new(&input, keep);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| assert!(pc.run(&mut never())));
+            }
+        });
+        assert_eq!(pc.len(), expect.len());
+        let mut got = Vec::new();
+        pc.collect_into(&mut got);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn parallel_compact_keep_all_and_none() {
+        let input: Vec<u32> = (0..10_000).collect();
+        let all = ParallelCompact::new(&input, |_| true);
+        assert!(all.run(&mut never()));
+        assert_eq!(all.len(), input.len());
+
+        let none = ParallelCompact::new(&input, |_| false);
+        assert!(none.run(&mut never()));
+        assert_eq!(none.len(), 0);
+        assert!(none.is_empty());
+        let mut out = Vec::new();
+        none.collect_into(&mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -90,6 +90,7 @@ use hgmatch_hypergraph::Hypergraph;
 use parking_lot::Mutex;
 
 use crate::adaptive::AdaptiveState;
+use crate::aggregate::{AggregateMode, AggregateSummary};
 use crate::config::MatchConfig;
 use crate::embedding::Embedding;
 use crate::engine::task::Task;
@@ -119,6 +120,11 @@ pub struct ServeConfig {
     pub replan_drift: f64,
     /// Timeout applied to queries that do not set their own.
     pub default_timeout: Option<Duration>,
+    /// Aggregation mode applied to queries that neither set
+    /// [`QueryOptions::aggregate`] nor ask to collect; `None` keeps the
+    /// historical default (count-only). Lets a deployment flip its whole
+    /// result path to e.g. sampled estimates without touching clients.
+    pub default_aggregate: Option<AggregateMode>,
     /// Execution knobs shared by all queries (scan chunking, work
     /// stealing, pruning). Its `threads` and `timeout` fields are ignored:
     /// the pool size is [`ServeConfig::threads`] and timeouts are
@@ -135,6 +141,7 @@ impl Default for ServeConfig {
             plan_cache_capacity: 128,
             replan_drift: crate::config::default_replan_drift(),
             default_timeout: None,
+            default_aggregate: None,
             match_config: MatchConfig::default(),
         }
     }
@@ -171,6 +178,12 @@ impl ServeConfig {
         self.replan_drift = drift.max(0.0);
         self
     }
+
+    /// Sets the server-wide default aggregation mode, builder style.
+    pub fn with_default_aggregate(mut self, mode: AggregateMode) -> Self {
+        self.default_aggregate = Some(mode);
+        self
+    }
 }
 
 /// Per-query execution options.
@@ -182,7 +195,13 @@ pub struct QueryOptions {
     /// tasks of the query are dropped, releasing workers.
     pub max_results: Option<u64>,
     /// Materialise embeddings (otherwise the query only counts).
+    /// Subsumed by [`QueryOptions::aggregate`], which wins when set; kept
+    /// for source compatibility with pre-aggregation callers.
     pub collect: bool,
+    /// Explicit aggregation mode. `None` falls back to `collect`
+    /// (materialize), then to [`ServeConfig::default_aggregate`], then to
+    /// count-only.
+    pub aggregate: Option<AggregateMode>,
 }
 
 impl QueryOptions {
@@ -208,6 +227,23 @@ impl QueryOptions {
         }
     }
 
+    /// Keeps the best `k` embeddings by `score` (exact count included).
+    pub fn top_k(k: usize, score: crate::aggregate::ScoreFn) -> Self {
+        Self {
+            aggregate: Some(AggregateMode::TopK { k, score }),
+            ..Self::default()
+        }
+    }
+
+    /// Keeps a seed-reproducible sample of at most `budget` embeddings
+    /// (exact count included).
+    pub fn sampled(budget: usize, seed: u64) -> Self {
+        Self {
+            aggregate: Some(AggregateMode::Sampled { budget, seed }),
+            ..Self::default()
+        }
+    }
+
     /// Sets the timeout, builder style.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
@@ -218,6 +254,25 @@ impl QueryOptions {
     pub fn with_max_results(mut self, limit: u64) -> Self {
         self.max_results = Some(limit);
         self
+    }
+
+    /// Sets the aggregation mode, builder style.
+    pub fn with_aggregate(mut self, mode: AggregateMode) -> Self {
+        self.aggregate = Some(mode);
+        self
+    }
+
+    /// Resolves the mode this query runs under: an explicit
+    /// [`QueryOptions::aggregate`] wins, then the `collect` flag
+    /// (materialize), then the server default, then count-only.
+    pub fn effective_aggregate(&self, server_default: Option<AggregateMode>) -> AggregateMode {
+        self.aggregate.unwrap_or_else(|| {
+            if self.collect {
+                AggregateMode::Materialize
+            } else {
+                server_default.unwrap_or(AggregateMode::CountOnly)
+            }
+        })
     }
 }
 
@@ -259,9 +314,13 @@ pub struct QueryOutcome {
     /// Embeddings found (exact only when `status` is
     /// [`QueryStatus::Completed`] or [`QueryStatus::LimitReached`]).
     pub count: u64,
-    /// Collected embeddings (sorted), when
-    /// [`QueryOptions::collect`] was set.
+    /// Embeddings the aggregation mode kept: everything (sorted) under
+    /// materialize, `None` under count-only, the best k (best first) under
+    /// top-k, the sample (sorted) under sampled.
     pub embeddings: Option<Vec<Embedding>>,
+    /// Mode-specific summary: top-k scores, sample fraction and confidence
+    /// half-width, or a bare marker for materialize/count-only.
+    pub aggregate: AggregateSummary,
     /// Merged execution counters.
     pub metrics: MatchMetrics,
     /// Submission-to-completion latency
@@ -383,6 +442,21 @@ pub struct ServeStats {
     pub execution_total: Duration,
     /// Epoch of the currently published data snapshot.
     pub data_epoch: u64,
+    /// Embeddings found across finished queries (the logical result count,
+    /// summed over outcomes — exact in every aggregation mode).
+    pub results_found: u64,
+    /// Embeddings actually materialised across finished queries (converted
+    /// to query order and handed to the sink); diverges from
+    /// [`ServeStats::results_found`] under count-only/top-k/sampled modes.
+    pub results_materialized: u64,
+    /// Finished queries that ran under materialize aggregation.
+    pub queries_materialize: u64,
+    /// Finished queries that ran under count-only aggregation.
+    pub queries_count_only: u64,
+    /// Finished queries that ran under top-k aggregation.
+    pub queries_top_k: u64,
+    /// Finished queries that ran under sampled aggregation.
+    pub queries_sampled: u64,
 }
 
 #[derive(Debug, Default)]
@@ -400,6 +474,12 @@ pub(crate) struct Counters {
     pub(crate) replans_midquery: AtomicU64,
     pub(crate) queue_wait_ns: AtomicU64,
     pub(crate) execution_ns: AtomicU64,
+    pub(crate) results_found: AtomicU64,
+    pub(crate) results_materialized: AtomicU64,
+    pub(crate) queries_materialize: AtomicU64,
+    pub(crate) queries_count_only: AtomicU64,
+    pub(crate) queries_top_k: AtomicU64,
+    pub(crate) queries_sampled: AtomicU64,
 }
 
 /// Per-worker accounting of the serving pool, snapshot via
@@ -476,7 +556,20 @@ impl ServeShared {
                 }
             }
         }
-        let (count, embeddings) = query.sink.take_output();
+        let (count, embeddings, aggregate) = query.sink.take_output();
+        match aggregate {
+            AggregateSummary::Materialized => &self.counters.queries_materialize,
+            AggregateSummary::Count => &self.counters.queries_count_only,
+            AggregateSummary::TopK { .. } => &self.counters.queries_top_k,
+            AggregateSummary::Sampled { .. } => &self.counters.queries_sampled,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .results_found
+            .fetch_add(count, Ordering::Relaxed);
+        self.counters
+            .results_materialized
+            .fetch_add(metrics.materialized, Ordering::Relaxed);
         let elapsed = query.submitted.elapsed();
         let (queue_wait, execution) = query.latency_split(elapsed);
         self.counters
@@ -490,6 +583,7 @@ impl ServeShared {
             status,
             count,
             embeddings,
+            aggregate,
             metrics,
             elapsed: queue_wait + execution,
             queue_wait,
@@ -511,6 +605,7 @@ pub struct MatchServer {
     shared: Arc<ServeShared>,
     workers: Vec<JoinHandle<()>>,
     default_timeout: Option<Duration>,
+    default_aggregate: Option<AggregateMode>,
 }
 
 impl MatchServer {
@@ -546,6 +641,7 @@ impl MatchServer {
             next_id: AtomicU64::new(0),
         });
         let default_timeout = config.default_timeout;
+        let default_aggregate = config.default_aggregate;
 
         let workers = deques
             .into_iter()
@@ -563,6 +659,7 @@ impl MatchServer {
             shared,
             workers,
             default_timeout,
+            default_aggregate,
         }
     }
 
@@ -601,8 +698,9 @@ impl MatchServer {
                 None
             };
         let cache_key = adaptive.as_ref().map(|_| cache::PlanKey::new(query));
+        let mode = options.effective_aggregate(self.default_aggregate);
         let active = Arc::new(ActiveQuery::new(
-            id, data, epoch, plan, &options, cached, deadline, adaptive, cache_key,
+            id, data, epoch, plan, &options, mode, cached, deadline, adaptive, cache_key,
         ));
         shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
 
@@ -733,6 +831,12 @@ impl MatchServer {
             queue_wait_total: Duration::from_nanos(c.queue_wait_ns.load(Ordering::Relaxed)),
             execution_total: Duration::from_nanos(c.execution_ns.load(Ordering::Relaxed)),
             data_epoch: self.shared.data.lock().epoch,
+            results_found: c.results_found.load(Ordering::Relaxed),
+            results_materialized: c.results_materialized.load(Ordering::Relaxed),
+            queries_materialize: c.queries_materialize.load(Ordering::Relaxed),
+            queries_count_only: c.queries_count_only.load(Ordering::Relaxed),
+            queries_top_k: c.queries_top_k.load(Ordering::Relaxed),
+            queries_sampled: c.queries_sampled.load(Ordering::Relaxed),
         }
     }
 

@@ -183,24 +183,27 @@ fn run_one(
     }
 }
 
-/// Per-query cooperative stop check: an already-raised stop is honoured on
-/// every probe (one relaxed load); limit satisfaction and the wall-clock
-/// deadline are consulted every [`CHECK_INTERVAL`] probes.
+/// Per-query cooperative stop check: an already-raised stop and limit
+/// satisfaction are honoured on *every* probe (two cheap atomic loads —
+/// with counts flushing mid-task, a `max_results` limit must land within
+/// one probe of saturation, not one [`CHECK_INTERVAL`] window of
+/// ABORT_PROBE-sized strides); only the `Instant::now()` deadline check
+/// stays on the interval cadence.
 #[inline]
 fn should_stop(query: &ActiveQuery, probes: &mut u64) -> bool {
     *probes += 1;
     if query.stopped() {
         return true;
     }
-    if probes.is_multiple_of(CHECK_INTERVAL) || *probes == 1 {
-        if query.sink.is_satisfied() {
-            query.stop(StopCause::Limit);
-            return true;
-        }
-        if query.deadline.is_some_and(|d| Instant::now() >= d) {
-            query.stop(StopCause::Timeout);
-            return true;
-        }
+    if query.sink.is_satisfied() {
+        query.stop(StopCause::Limit);
+        return true;
+    }
+    if (probes.is_multiple_of(CHECK_INTERVAL) || *probes == 1)
+        && query.deadline.is_some_and(|d| Instant::now() >= d)
+    {
+        query.stop(StopCause::Timeout);
+        return true;
     }
     false
 }

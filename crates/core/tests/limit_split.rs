@@ -1,0 +1,139 @@
+//! Regression: `max_results` / first-k truncation racing assist-ticket
+//! splits (DESIGN.md §18).
+//!
+//! The fixture is a hub-star: one selective anchor edge plus one huge
+//! last-step expansion of `N` sibling edges. With the split threshold
+//! forced down to 4, that expansion is published for work assisting and
+//! every worker chews on a chunk of it concurrently. Before the fix,
+//! workers flushed their bulk counts only at chunk end and probed
+//! `Sink::is_satisfied` only every `CHECK_INTERVAL` rows — so a k=5 limit
+//! against a 20 000-wide expansion materialised thousands of embeddings
+//! and overshot the count by orders of magnitude. After the fix (counts
+//! flush every `COUNT_FLUSH` deliveries, satisfaction probed per row),
+//! the overshoot is bounded by a small per-worker constant.
+
+use hgmatch_core::serve::{MatchServer, QueryOptions, QueryStatus, ServeConfig};
+use hgmatch_core::{FirstKSink, MatchConfig, Matcher};
+use hgmatch_hypergraph::{Hypergraph, HypergraphBuilder, Label};
+use std::sync::Arc;
+
+/// Embeddings a k-limited run may deliver to the sink past the limit:
+/// a descheduled worker can finish its claimed assist chunk (pinned to 2
+/// rows below, like the sched-stress CI matrix) plus up to `COUNT_FLUSH`
+/// (64) deliveries in flight before its next probe. Generous headroom on
+/// top keeps the test schedule-proof on oversubscribed single-core
+/// runners while staying ~40x below the pre-fix overshoot (the full
+/// 20 000).
+const OVERSHOOT_PER_WORKER: u64 = 128;
+
+const N: usize = 20_000;
+const K: u64 = 5;
+
+/// Hub-star data graph: vertex 0 is the hub (label 1), vertex 1 the
+/// anchor (label 2), vertices 2..N+2 leaves (label 0). Edges: the single
+/// anchor edge {0,1} plus N star edges {0, 2+i}.
+fn hub_star(n: usize) -> Hypergraph {
+    let mut b = HypergraphBuilder::new();
+    b.add_vertex(Label::new(1));
+    b.add_vertex(Label::new(2));
+    for _ in 0..n {
+        b.add_vertex(Label::new(0));
+    }
+    b.add_edge(vec![0, 1]).unwrap();
+    for i in 0..n {
+        b.add_edge(vec![0, 2 + i as u32]).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// 2-path query: {hub, anchor} + {hub, leaf}. The anchor edge has exactly
+/// one candidate; the leaf edge has N — one giant final expansion.
+fn two_path_query() -> Hypergraph {
+    let mut b = HypergraphBuilder::new();
+    b.add_vertex(Label::new(1));
+    b.add_vertex(Label::new(2));
+    b.add_vertex(Label::new(0));
+    b.add_edge(vec![0, 1]).unwrap();
+    b.add_edge(vec![0, 2]).unwrap();
+    b.build().unwrap()
+}
+
+/// One-shot engine path: `find_first` under forced splitting returns
+/// exactly k embeddings and the sink sees a bounded number of deliveries.
+#[test]
+fn first_k_is_exact_under_forced_splits() {
+    let data = hub_star(N);
+    let query = two_path_query();
+    for workers in [2usize, 8] {
+        let config = MatchConfig::parallel(workers)
+            .with_split_threshold(4)
+            .with_split_chunk(2);
+        let matcher = Matcher::with_config(&data, config);
+
+        let results = matcher.find_first(&query, K as usize).unwrap();
+        assert_eq!(results.len(), K as usize, "workers={workers}");
+
+        // The sink-level view: deliveries past the limit stay bounded.
+        let sink = FirstKSink::new(K as usize);
+        let stats = matcher.run(&query, &sink).unwrap();
+        let bound = K + workers as u64 * OVERSHOOT_PER_WORKER;
+        assert!(
+            stats.metrics.materialized <= bound,
+            "workers={workers}: materialized {} > bound {bound} \
+             (limit truncation raced the splits)",
+            stats.metrics.materialized,
+        );
+        assert_eq!(sink.into_results().len(), K as usize);
+    }
+}
+
+/// Resident-pool path: a `max_results` query stops exactly once with
+/// `LimitReached`, reports exactly k, and materializes a bounded number
+/// of embeddings even though the final expansion was split N/chunk ways.
+#[test]
+fn serve_limit_stops_exactly_once_under_forced_splits() {
+    let data = Arc::new(hub_star(N));
+    let query = two_path_query();
+    for workers in [2usize, 8] {
+        let mut config = ServeConfig::default().with_threads(workers);
+        config.match_config = config
+            .match_config
+            .with_split_threshold(4)
+            .with_split_chunk(2);
+        let server = MatchServer::new(Arc::clone(&data), config);
+
+        let outcome = server.run(&query, QueryOptions::first(K)).unwrap();
+        assert_eq!(
+            outcome.status,
+            QueryStatus::LimitReached,
+            "workers={workers}"
+        );
+        assert_eq!(outcome.count, K, "workers={workers}");
+        let embs = outcome.embeddings.as_ref().expect("materialize mode");
+        assert_eq!(embs.len(), K as usize, "workers={workers}");
+        let bound = K + workers as u64 * OVERSHOOT_PER_WORKER;
+        assert!(
+            outcome.metrics.materialized <= bound,
+            "workers={workers}: materialized {} > bound {bound}",
+            outcome.metrics.materialized,
+        );
+
+        // Count-only limit: same exact stop without materializing anything.
+        let outcome = server
+            .run(&query, QueryOptions::count().with_max_results(K))
+            .unwrap();
+        assert_eq!(outcome.status, QueryStatus::LimitReached);
+        assert_eq!(outcome.count, K);
+        assert_eq!(outcome.metrics.materialized, 0);
+        assert!(outcome.embeddings.is_none());
+
+        let stats = server.stats();
+        assert_eq!(stats.limit_reached, 2, "workers={workers}");
+        // Exactly-once stop: the limit fired once per query, and the
+        // splits recorded alongside prove the expansion really was shared.
+        assert!(
+            stats.splits > 0,
+            "workers={workers}: no splits — fixture degenerated"
+        );
+    }
+}

@@ -359,7 +359,7 @@ pub fn load_binary(path: &Path) -> Result<Hypergraph> {
 }
 
 /// Encodes a hypergraph in the v2 snapshot format: magic + version, the
-/// six checksummed sections of [`SECTIONS`] in order, and a whole-file
+/// six checksummed sections of `SECTIONS` in order, and a whole-file
 /// CRC-32 trailer. The encoding is deterministic — equal hypergraphs (by
 /// content, including chosen posting representations) produce identical
 /// bytes, which the CI snapshot byte-stability gate relies on.

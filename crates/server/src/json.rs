@@ -6,10 +6,23 @@
 //! nesting-depth limit; numbers are `f64` (every integer the protocol
 //! carries — vertex ids, labels, limits — fits exactly). Errors carry a
 //! byte offset so malformed request bodies get a pointable diagnostic.
+//!
+//! Counts, however, are `u64` and a count-only query over a huge data
+//! hypergraph can exceed 2^53 — past which `f64` transport silently
+//! corrupts low bits. The wire contract is therefore *split encoding*:
+//! writers emit a `u64` as a bare JSON number while it is exactly
+//! representable ([`MAX_SAFE_INT`]) and as a decimal *string* beyond;
+//! readers accept both via [`Json::as_u64_lossless`].
 
 /// Maximum nesting depth accepted by [`parse`]. Request bodies are flat
 /// (an object of arrays), so this only guards against hostile inputs.
 const MAX_DEPTH: usize = 32;
+
+/// Largest integer exactly representable in an `f64` *and* unambiguous on
+/// the wire: 2^53 − 1 (JavaScript's `MAX_SAFE_INTEGER`). At 2^53 itself
+/// the neighbouring integer 2^53 + 1 parses to the same float, so 2^53 is
+/// already past the lossless range.
+pub const MAX_SAFE_INT: u64 = (1 << 53) - 1;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,10 +59,28 @@ impl Json {
         }
     }
 
-    /// The value as a non-negative integer, if it is one exactly.
+    /// The value as a non-negative integer, if it is one exactly and
+    /// unambiguously (≤ [`MAX_SAFE_INT`]; larger numbers collide with a
+    /// neighbouring integer after the `f64` round-trip, so they are
+    /// rejected rather than silently truncated).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= MAX_SAFE_INT as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer under the split encoding: a
+    /// plain number within the safe range, or a decimal string beyond it
+    /// (the form [`write_u64`] emits).
+    pub fn as_u64_lossless(&self) -> Option<u64> {
+        match self {
+            Json::Num(_) => self.as_u64(),
+            Json::Str(s) if !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) => {
+                s.parse::<u64>().ok()
+            }
             _ => None,
         }
     }
@@ -298,6 +329,21 @@ impl Parser<'_> {
     }
 }
 
+/// Appends `v` to `out` under the split encoding: a bare number while
+/// exactly representable in an `f64` (≤ [`MAX_SAFE_INT`]), a quoted
+/// decimal string beyond — so a count near 2^64 survives any
+/// float-based JSON reader untouched and ours losslessly
+/// ([`Json::as_u64_lossless`]).
+pub fn write_u64(out: &mut String, v: u64) {
+    if v <= MAX_SAFE_INT {
+        out.push_str(&v.to_string());
+    } else {
+        out.push('"');
+        out.push_str(&v.to_string());
+        out.push('"');
+    }
+}
+
 /// Escapes `s` for embedding inside a JSON string literal (quotes not
 /// included).
 pub fn escape(s: &str) -> String {
@@ -362,6 +408,61 @@ mod tests {
         assert_eq!(parse(b"-1").unwrap().as_u64(), None);
         assert_eq!(parse(b"1.5").unwrap().as_u64(), None);
         assert_eq!(parse(b"1e3").unwrap().as_u64(), Some(1000));
+    }
+
+    #[test]
+    fn u64_is_lossless_around_the_f64_boundary() {
+        // 2^53 - 1 is the last unambiguous plain number.
+        assert_eq!(MAX_SAFE_INT, 9007199254740991);
+        assert_eq!(
+            parse(b"9007199254740991").unwrap().as_u64(),
+            Some(MAX_SAFE_INT)
+        );
+        // 2^53 and 2^53 + 1 parse to the *same* f64 — a plain number
+        // there is ambiguous, so both are rejected, not truncated.
+        assert_eq!(
+            parse(b"9007199254740992").unwrap(),
+            parse(b"9007199254740993").unwrap()
+        );
+        assert_eq!(parse(b"9007199254740992").unwrap().as_u64(), None);
+        assert_eq!(parse(b"9007199254740993").unwrap().as_u64_lossless(), None);
+
+        // The split encoding round-trips every u64 exactly.
+        for v in [
+            0,
+            MAX_SAFE_INT,
+            MAX_SAFE_INT + 1,
+            MAX_SAFE_INT + 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut doc = String::from("{\"count\":");
+            write_u64(&mut doc, v);
+            doc.push('}');
+            let parsed = parse(doc.as_bytes()).unwrap();
+            assert_eq!(
+                parsed.get("count").and_then(Json::as_u64_lossless),
+                Some(v),
+                "round-trip failed for {v} via {doc}"
+            );
+            // Within the safe range the encoding stays a plain number
+            // (no behaviour change for existing float-based readers).
+            assert_eq!(
+                parsed.get("count").and_then(Json::as_u64).is_some(),
+                v <= MAX_SAFE_INT
+            );
+        }
+
+        // Non-canonical strings are not numbers.
+        assert_eq!(parse(b"\"\"").unwrap().as_u64_lossless(), None);
+        assert_eq!(parse(b"\"12x\"").unwrap().as_u64_lossless(), None);
+        assert_eq!(
+            parse(b"\"99999999999999999999999\"")
+                .unwrap()
+                .as_u64_lossless(),
+            None,
+            "overflowing decimal strings are rejected"
+        );
     }
 
     #[test]

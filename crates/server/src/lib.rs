@@ -36,7 +36,8 @@
 //!   "edges": [[0, 1, 2], [2, 1]],
 //!   "collect": false,
 //!   "max_results": 100,
-//!   "timeout_ms": 1000
+//!   "timeout_ms": 1000,
+//!   "aggregate": {"mode": "top_k", "k": 10, "score": "edge_id_sum"}
 //! }
 //! ```
 //!
@@ -45,7 +46,17 @@
 //! the same [`hgmatch_core::validate_query_shape`] the CLI uses, so an
 //! over-long or empty query is rejected identically on both entry paths.
 //! A 200 response carries the outcome: status, count, the latency split,
-//! and (when `collect` is set) the matched data-edge tuples.
+//! the matched data-edge tuples the aggregation mode kept, and an
+//! `aggregate` summary object (DESIGN.md §18.5).
+//!
+//! The optional `aggregate` object selects the result-aggregation mode:
+//! `{"mode":"materialize"}`, `{"mode":"count_only"}`,
+//! `{"mode":"top_k","k":K,"score":"edge_id_sum"|"min_edge"|"hash"}` or
+//! `{"mode":"sampled","budget":B,"seed":S}`. When absent, `collect`
+//! chooses between materialize and count-only as before. Counts ride the
+//! split `u64` encoding ([`json::write_u64`]): a bare number within
+//! `f64`'s exact range, a decimal string beyond — never a corrupted
+//! float.
 
 pub mod http;
 pub mod json;
@@ -53,7 +64,9 @@ pub mod metrics;
 pub mod tenant;
 
 use hgmatch_core::serve::{ServeStats, WorkerServeStats};
-use hgmatch_core::{MatchServer, QueryOptions, QueryOutcome, ServeConfig};
+use hgmatch_core::{
+    AggregateMode, AggregateSummary, MatchServer, QueryOptions, QueryOutcome, ScoreFn, ServeConfig,
+};
 use hgmatch_hypergraph::{Hypergraph, HypergraphBuilder, Label};
 use http::{HttpError, Request, Response};
 use metrics::DoorSnapshot;
@@ -568,6 +581,10 @@ impl MatchRequest {
                 "field 'timeout_ms' must be a non-negative integer".to_string()
             })?)),
         };
+        let aggregate = match doc.get("aggregate") {
+            None => None,
+            Some(v) => Some(parse_aggregate(v)?),
+        };
 
         Ok(MatchRequest {
             tenant,
@@ -576,8 +593,65 @@ impl MatchRequest {
                 timeout,
                 max_results,
                 collect,
+                aggregate,
             },
         })
+    }
+}
+
+/// Parses the `aggregate` request object into an [`AggregateMode`].
+fn parse_aggregate(v: &json::Json) -> Result<AggregateMode, String> {
+    let mode = v
+        .get("mode")
+        .and_then(json::Json::as_str)
+        .ok_or_else(|| "field 'aggregate.mode' must be a string".to_string())?;
+    match mode {
+        "materialize" => Ok(AggregateMode::Materialize),
+        "count_only" => Ok(AggregateMode::CountOnly),
+        "top_k" => {
+            let k = v
+                .get("k")
+                .and_then(json::Json::as_u64)
+                .filter(|&k| k <= usize::MAX as u64)
+                .ok_or_else(|| "field 'aggregate.k' must be a non-negative integer".to_string())?;
+            let score = match v.get("score") {
+                None => ScoreFn::EdgeIdSum,
+                Some(s) => s.as_str().and_then(ScoreFn::parse).ok_or_else(|| {
+                    "field 'aggregate.score' must be one of \
+                         'edge_id_sum', 'min_edge', 'hash'"
+                        .to_string()
+                })?,
+            };
+            Ok(AggregateMode::TopK {
+                k: k as usize,
+                score,
+            })
+        }
+        "sampled" => {
+            let budget = v
+                .get("budget")
+                .and_then(json::Json::as_u64)
+                .filter(|&b| b <= usize::MAX as u64)
+                .ok_or_else(|| {
+                    "field 'aggregate.budget' must be a non-negative integer".to_string()
+                })?;
+            let seed = match v.get("seed") {
+                None => 0,
+                Some(s) => s.as_u64_lossless().ok_or_else(|| {
+                    "field 'aggregate.seed' must be a non-negative integer \
+                     (or a decimal string past 2^53)"
+                        .to_string()
+                })?,
+            };
+            Ok(AggregateMode::Sampled {
+                budget: budget as usize,
+                seed,
+            })
+        }
+        other => Err(format!(
+            "unknown aggregate mode '{other}' (expected 'materialize', \
+             'count_only', 'top_k' or 'sampled')"
+        )),
     }
 }
 
@@ -651,21 +725,28 @@ fn handle_match(shared: &DoorShared, body: &[u8]) -> Response {
     Response::json(200, outcome_json(&outcome))
 }
 
-/// Serialises a [`QueryOutcome`] as the `/match` response body.
+/// Serialises a [`QueryOutcome`] as the `/match` response body. The count
+/// uses the split `u64` encoding ([`json::write_u64`]) so results past
+/// 2^53 cross the wire losslessly.
 fn outcome_json(outcome: &QueryOutcome) -> String {
     let mut out = String::with_capacity(160);
     out.push_str(&format!(
-        "{{\"id\":{},\"status\":\"{}\",\"count\":{},\"elapsed_us\":{},\"queue_us\":{},\"exec_us\":{},\"plan_cached\":{},\"data_epoch\":{},\"peak_memory_bytes\":{}",
-        outcome.id,
-        outcome.status,
-        outcome.count,
+        "{{\"id\":{},\"status\":\"{}\",\"count\":",
+        outcome.id, outcome.status,
+    ));
+    json::write_u64(&mut out, outcome.count);
+    out.push_str(&format!(
+        ",\"elapsed_us\":{},\"queue_us\":{},\"exec_us\":{},\"plan_cached\":{},\"data_epoch\":{},\"peak_memory_bytes\":{},\"materialized\":{}",
         outcome.elapsed.as_micros(),
         outcome.queue_wait.as_micros(),
         outcome.execution.as_micros(),
         outcome.plan_cached,
         outcome.data_epoch,
         outcome.peak_memory_bytes,
+        outcome.metrics.materialized,
     ));
+    out.push_str(",\"aggregate\":");
+    write_aggregate_json(&mut out, &outcome.aggregate);
     if let Some(embeddings) = &outcome.embeddings {
         out.push_str(",\"embeddings\":[");
         for (i, emb) in embeddings.iter().enumerate() {
@@ -685,6 +766,41 @@ fn outcome_json(outcome: &QueryOutcome) -> String {
     }
     out.push('}');
     out
+}
+
+/// Serialises the mode-specific [`AggregateSummary`] object.
+fn write_aggregate_json(out: &mut String, summary: &AggregateSummary) {
+    out.push_str(&format!("{{\"mode\":\"{}\"", summary.mode_name()));
+    match summary {
+        AggregateSummary::Materialized | AggregateSummary::Count => {}
+        AggregateSummary::TopK { k, score, scores } => {
+            out.push_str(&format!(
+                ",\"k\":{k},\"score\":\"{}\",\"scores\":[",
+                score.name()
+            ));
+            for (i, s) in scores.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_u64(out, *s);
+            }
+            out.push(']');
+        }
+        AggregateSummary::Sampled {
+            budget,
+            seed,
+            sampled,
+            fraction,
+            ci95,
+        } => {
+            out.push_str(&format!(",\"budget\":{budget},\"seed\":"));
+            json::write_u64(out, *seed);
+            out.push_str(&format!(
+                ",\"sampled\":{sampled},\"fraction\":{fraction},\"ci95\":{ci95}"
+            ));
+        }
+    }
+    out.push('}');
 }
 
 #[cfg(test)]

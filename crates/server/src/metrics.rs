@@ -232,6 +232,38 @@ pub fn render(
         );
     }
 
+    // Engine: result aggregation (DESIGN.md §18.5). found vs materialized
+    // diverging is the zero-materialization modes working as intended.
+    counter(
+        &mut out,
+        "hgmatch_results_found_total",
+        "Embeddings found across finished queries (exact in every mode).",
+        stats.results_found,
+    );
+    counter(
+        &mut out,
+        "hgmatch_results_materialized_total",
+        "Embeddings actually materialised and handed to sinks.",
+        stats.results_materialized,
+    );
+    family(
+        &mut out,
+        "hgmatch_queries_aggregate_total",
+        "counter",
+        "Finished queries by aggregation mode.",
+    );
+    for (mode, n) in [
+        ("count_only", stats.queries_count_only),
+        ("materialize", stats.queries_materialize),
+        ("sampled", stats.queries_sampled),
+        ("top_k", stats.queries_top_k),
+    ] {
+        let _ = writeln!(
+            out,
+            "hgmatch_queries_aggregate_total{{mode=\"{mode}\"}} {n}"
+        );
+    }
+
     // Front door: HTTP.
     counter(
         &mut out,

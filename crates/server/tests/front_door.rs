@@ -179,6 +179,134 @@ fn match_end_to_end_with_plan_cache() {
 }
 
 #[test]
+fn aggregate_modes_end_to_end() {
+    let door = FrontDoor::bind(
+        two_triangles(),
+        FrontDoorConfig {
+            serve: ServeConfig::default().with_threads(2),
+            ..FrontDoorConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = door.local_addr();
+
+    // count_only: exact count, no embeddings array, zero materialized.
+    let r = request(
+        addr,
+        "POST",
+        "/match",
+        r#"{"labels":[0,0,1],"edges":[[0,1,2]],"aggregate":{"mode":"count_only"}}"#,
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(field_u64(&r.body, "count"), Some(2));
+    assert_eq!(field_u64(&r.body, "materialized"), Some(0));
+    assert!(!r.body.contains("\"embeddings\""), "{}", r.body);
+    assert!(
+        r.body.contains("\"aggregate\":{\"mode\":\"count_only\"}"),
+        "{}",
+        r.body
+    );
+
+    // top_k: count stays exact, only k embeddings, scores attached.
+    let r = request(
+        addr,
+        "POST",
+        "/match",
+        r#"{"labels":[0,0,1],"edges":[[0,1,2]],"aggregate":{"mode":"top_k","k":1,"score":"edge_id_sum"}}"#,
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(field_u64(&r.body, "count"), Some(2));
+    // The two embeddings are data edges [0] and [1]; top-1 by id sum = [1].
+    assert!(r.body.contains("\"embeddings\":[[1]]"), "{}", r.body);
+    assert!(
+        r.body
+            .contains("\"mode\":\"top_k\",\"k\":1,\"score\":\"edge_id_sum\",\"scores\":[1]"),
+        "{}",
+        r.body
+    );
+
+    // sampled: seed-reproducible subset plus confidence metadata.
+    let body = r#"{"labels":[0,0,1],"edges":[[0,1,2]],"aggregate":{"mode":"sampled","budget":1,"seed":42}}"#;
+    let r1 = request(addr, "POST", "/match", body);
+    let r2 = request(addr, "POST", "/match", body);
+    assert_eq!(r1.status, 200, "{}", r1.body);
+    assert_eq!(field_u64(&r1.body, "count"), Some(2));
+    assert!(
+        r1.body
+            .contains("\"mode\":\"sampled\",\"budget\":1,\"seed\":42,\"sampled\":1"),
+        "{}",
+        r1.body
+    );
+    let sample_of = |b: &str| {
+        let start = b.find("\"embeddings\":").unwrap();
+        b[start..b[start..].find(']').unwrap() + start + 1].to_string()
+    };
+    assert_eq!(
+        sample_of(&r1.body),
+        sample_of(&r2.body),
+        "same seed must reproduce the same sample"
+    );
+
+    // Unknown modes and malformed parameters are client errors.
+    let r = request(
+        addr,
+        "POST",
+        "/match",
+        r#"{"labels":[0,0,1],"edges":[[0,1,2]],"aggregate":{"mode":"median"}}"#,
+    );
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("unknown aggregate mode"), "{}", r.body);
+    let r = request(
+        addr,
+        "POST",
+        "/match",
+        r#"{"labels":[0,0,1],"edges":[[0,1,2]],"aggregate":{"mode":"top_k"}}"#,
+    );
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("aggregate.k"), "{}", r.body);
+
+    // The aggregate metric families report per-mode query counts.
+    let m = request(addr, "GET", "/metrics", "");
+    assert!(
+        m.body
+            .contains("hgmatch_queries_aggregate_total{mode=\"count_only\"} 1"),
+        "{}",
+        m.body
+    );
+    assert!(
+        m.body
+            .contains("hgmatch_queries_aggregate_total{mode=\"top_k\"} 1"),
+        "{}",
+        m.body
+    );
+    assert!(
+        m.body
+            .contains("hgmatch_queries_aggregate_total{mode=\"sampled\"} 2"),
+        "{}",
+        m.body
+    );
+    assert!(
+        m.body.contains("hgmatch_results_found_total 8"),
+        "{}",
+        m.body
+    );
+    // count_only materialised nothing; top_k and the two sampled runs
+    // each materialised both embeddings to aggregate over them.
+    assert!(
+        m.body.contains("hgmatch_results_materialized_total 6"),
+        "{}",
+        m.body
+    );
+
+    let stats = door.shutdown();
+    assert_eq!(stats.queries_count_only, 1);
+    assert_eq!(stats.queries_top_k, 1);
+    assert_eq!(stats.queries_sampled, 2);
+    assert_eq!(stats.results_found, 8);
+    assert_eq!(stats.results_materialized, 6);
+}
+
+#[test]
 fn validation_errors_are_client_errors() {
     let door = FrontDoor::bind(two_triangles(), FrontDoorConfig::default()).unwrap();
     let addr = door.local_addr();
